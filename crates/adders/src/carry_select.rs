@@ -1,0 +1,154 @@
+//! Carry-select adders.
+//!
+//! Each block (except the least-significant) is computed twice — once
+//! assuming carry-in 0, once assuming carry-in 1 — and the real block carry,
+//! arriving late, merely steers multiplexers. This is the structural idea
+//! the paper embeds in its window adders (Fig. 4.2), so this module is also
+//! exercised as a substrate by the `vlcsa` crate's netlists.
+
+use gatesim::{Netlist, NetlistBuilder, Signal};
+
+use crate::pg::{self, PgBit};
+use crate::prefix;
+
+/// Builds an `n`-bit carry-select adder with uniform `block`-bit blocks
+/// (the first block absorbs any remainder, mirroring the paper's placement
+/// of the odd-sized window at the least-significant end).
+///
+/// Blocks are internally Kogge–Stone.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select_adder(width: usize, block: usize) -> Netlist {
+    assert!(block >= 1, "block size must be >= 1");
+    let mut sizes = Vec::new();
+    let blocks = width.div_ceil(block);
+    let first = width - block * (blocks - 1);
+    sizes.push(first);
+    sizes.extend(std::iter::repeat(block).take(blocks - 1));
+    build(width, &sizes, format!("carry_select_{width}x{block}"))
+}
+
+/// Builds a square-root-profiled carry-select adder: block sizes grow by
+/// one (k, k+1, k+2, …) so every block's local sum arrives just as the
+/// select chain reaches it — the classic O(√n)-delay sizing.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn carry_select_sqrt_adder(width: usize) -> Netlist {
+    // Find the smallest starting size whose staircase covers the width.
+    let mut start = 1usize;
+    loop {
+        let mut total = 0usize;
+        let mut k = start;
+        while total < width {
+            total += k;
+            k += 1;
+        }
+        if total >= width {
+            // Distribute: sizes start..k-1 cover >= width; shrink the last.
+            let mut sizes: Vec<usize> = (start..k).collect();
+            let excess = total - width;
+            let last = sizes.last_mut().expect("at least one block");
+            if *last > excess {
+                *last -= excess;
+            } else {
+                // Degenerate staircase; fall back to uniform blocks.
+                return carry_select_adder(width, start.max(2));
+            }
+            sizes.reverse(); // smallest block at the least-significant end
+            return build(width, &sizes, format!("carry_select_sqrt_{width}"));
+        }
+        start += 1;
+    }
+}
+
+/// Shared construction: `sizes` are block widths, LSB block first.
+fn build(width: usize, sizes: &[usize], name: String) -> Netlist {
+    assert_eq!(sizes.iter().sum::<usize>(), width, "block sizes must cover the width");
+    let mut b = NetlistBuilder::new(name);
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let plane = pg::pg_bits(&mut b, &a, &bb);
+
+    let mut sums: Vec<Signal> = Vec::with_capacity(width);
+    let mut select: Option<Signal> = None; // carry into the current block
+    let mut lo = 0usize;
+    for (i, &size) in sizes.iter().enumerate() {
+        let slice = &plane[lo..lo + size];
+        if i == 0 {
+            // LSB block: single copy, carry-in 0.
+            let (s, cout) = block_sum(&mut b, slice, None);
+            sums.extend(s);
+            select = Some(cout);
+        } else {
+            let zero = b.const0();
+            let one = b.const1();
+            let (s0, c0) = block_sum(&mut b, slice, Some(zero));
+            let (s1, c1) = block_sum(&mut b, slice, Some(one));
+            let sel = select.expect("select chain initialized by first block");
+            sums.extend(b.mux_bus(&s0, &s1, sel));
+            select = Some(b.mux2(c0, c1, sel));
+        }
+        lo += size;
+    }
+    b.output_bus("sum", &sums);
+    b.output_bit("cout", select.expect("at least one block"));
+    b.finish()
+}
+
+/// One block: Kogge–Stone carries with an explicit carry-in signal, plus
+/// sum formation. Returns `(sums, carry_out)`.
+///
+/// Also used by the `vlcsa` crate to build window adders.
+pub fn block_sum(
+    b: &mut NetlistBuilder,
+    slice: &[PgBit],
+    cin: Option<Signal>,
+) -> (Vec<Signal>, Signal) {
+    let network = prefix::kogge_stone(slice.len());
+    let carries = prefix::realize_carries(b, slice, &network, cin);
+    let sums = pg::sum_bits(b, slice, &carries, cin);
+    (sums, carries[slice.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::{equiv, sta};
+
+    #[test]
+    fn uniform_blocks_match_ripple() {
+        for (width, block) in [(8usize, 3usize), (16, 4), (33, 8), (64, 16)] {
+            let cs = carry_select_adder(width, block);
+            let ks = crate::prefix::kogge_stone_adder(width);
+            assert_eq!(
+                equiv::check(&cs, &ks, 512, 9).unwrap(),
+                None,
+                "width {width} block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_profile_matches_and_is_fast() {
+        for width in [16usize, 32, 64, 128] {
+            let cs = carry_select_sqrt_adder(width);
+            let ks = crate::prefix::kogge_stone_adder(width);
+            assert_eq!(equiv::check(&cs, &ks, 512, 10).unwrap(), None, "width {width}");
+        }
+        // Much faster than ripple.
+        let rca_t = sta::analyze(&crate::ripple::ripple_carry_adder(64)).critical_delay_tau();
+        let cs_t = sta::analyze(&carry_select_sqrt_adder(64)).critical_delay_tau();
+        assert!(cs_t < rca_t / 2.0, "carry-select {cs_t} vs ripple {rca_t}");
+    }
+
+    #[test]
+    fn block_of_width_equals_plain_adder() {
+        let cs = carry_select_adder(16, 16);
+        let ks = crate::prefix::kogge_stone_adder(16);
+        assert_eq!(equiv::check(&cs, &ks, 0, 0).unwrap(), None);
+    }
+}

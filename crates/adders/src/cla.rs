@@ -1,0 +1,115 @@
+//! Hierarchical carry-lookahead adder with 4-bit groups.
+//!
+//! Each level collapses up to four `(G, P)` pairs into one through the
+//! classic lookahead expansion, recursively; carries are then expanded back
+//! down the hierarchy. Depth is O(log₄ n) lookahead stages.
+
+use gatesim::{Netlist, NetlistBuilder, Signal};
+
+use crate::pg::{self, GroupPg};
+
+/// Builds an `n`-bit hierarchical carry-lookahead adder
+/// (`a`, `b` → `sum`, `cout`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn cla_adder(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("cla4_{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let plane = pg::pg_bits(&mut b, &a, &bb);
+    let groups: Vec<GroupPg> =
+        plane.iter().map(|bit| GroupPg { g: bit.g, p: Some(bit.p) }).collect();
+    let cin = b.const0();
+    let (carries_out, cout) = lookahead(&mut b, &groups, cin);
+    let sums = pg::sum_bits(&mut b, &plane, &carries_out, None);
+    b.output_bus("sum", &sums);
+    b.output_bit("cout", cout);
+    b.finish()
+}
+
+/// Recursive lookahead over group `(G, P)` values.
+///
+/// Returns the carry **out of** every group plus the overall carry-out
+/// (equal to the last element; returned separately for convenience).
+fn lookahead(
+    b: &mut NetlistBuilder,
+    groups: &[GroupPg],
+    cin: Signal,
+) -> (Vec<Signal>, Signal) {
+    if groups.len() <= 4 {
+        let outs = expand_block(b, groups, cin);
+        let cout = *outs.last().expect("non-empty group list");
+        return (outs, cout);
+    }
+    // Collapse chunks of 4 into super-groups.
+    let chunks: Vec<&[GroupPg]> = groups.chunks(4).collect();
+    let supers: Vec<GroupPg> = chunks.iter().map(|c| combine_block(b, c)).collect();
+    let (super_carries, cout) = lookahead(b, &supers, cin);
+    // Expand within each chunk using the carry into the chunk.
+    let mut outs = Vec::with_capacity(groups.len());
+    for (i, chunk) in chunks.iter().enumerate() {
+        let chunk_cin = if i == 0 { cin } else { super_carries[i - 1] };
+        outs.extend(expand_block(b, chunk, chunk_cin));
+    }
+    (outs, cout)
+}
+
+/// Carries out of each member of a ≤4-wide block given the block carry-in:
+/// `c_0 = G_0 | P_0·cin`, `c_1 = G_1 | P_1·G_0 | P_1·P_0·cin`, …
+fn expand_block(b: &mut NetlistBuilder, block: &[GroupPg], cin: Signal) -> Vec<Signal> {
+    let mut outs = Vec::with_capacity(block.len());
+    let mut carry = cin;
+    for grp in block {
+        // Flat two-level form per member keeps the depth at two gates.
+        let p = grp.p.expect("CLA keeps all group propagates");
+        let t = b.and2(p, carry);
+        carry = b.or2(grp.g, t);
+        outs.push(carry);
+    }
+    outs
+}
+
+/// The `(G, P)` of a ≤4-wide block, with the flat lookahead expansion.
+fn combine_block(b: &mut NetlistBuilder, block: &[GroupPg]) -> GroupPg {
+    let mut acc = block[0];
+    for grp in &block[1..] {
+        acc = pg::combine(b, *grp, acc, true);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::equiv;
+
+    #[test]
+    fn matches_ripple_small() {
+        for width in [1usize, 2, 3, 4, 5, 7, 8] {
+            let cla = cla_adder(width);
+            let rca = crate::ripple::ripple_carry_adder(width);
+            assert_eq!(equiv::check(&cla, &rca, 0, 0).unwrap(), None, "width {width}");
+        }
+    }
+
+    #[test]
+    fn matches_kogge_stone_random_wide() {
+        for width in [17usize, 32, 64, 100] {
+            let cla = cla_adder(width);
+            let ks = crate::prefix::kogge_stone_adder(width);
+            assert_eq!(equiv::check(&cla, &ks, 512, 5).unwrap(), None, "width {width}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_depth() {
+        // One more radix-4 hierarchy level costs a bounded number of
+        // collapse+expand stages, far below the 4x ripple growth.
+        let d64 = cla_adder(64).depth();
+        let d256 = cla_adder(256).depth();
+        assert!(d256 <= d64 + 16, "CLA depth must grow slowly: {d64} -> {d256}");
+        assert!(d256 < 64, "CLA-256 depth {d256} must be far sublinear");
+    }
+}

@@ -1,0 +1,93 @@
+//! Conditional-sum adder.
+//!
+//! Every block is computed for both possible carry-ins and blocks are merged
+//! pairwise in a logarithmic tree of multiplexers — the fully unrolled
+//! limit of carry-select. O(log n) delay with high mux/area cost.
+
+use gatesim::{Netlist, NetlistBuilder, Signal};
+
+
+
+/// A block conditionally summed for both carry-in values.
+#[derive(Debug, Clone)]
+struct CondBlock {
+    /// Sums and carry-out assuming carry-in 0.
+    sum0: Vec<Signal>,
+    cout0: Signal,
+    /// Sums and carry-out assuming carry-in 1.
+    sum1: Vec<Signal>,
+    cout1: Signal,
+}
+
+/// Builds an `n`-bit conditional-sum adder (`a`, `b` → `sum`, `cout`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn conditional_sum_adder(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("cond_sum_{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+
+    // Base case: 1-bit blocks.
+    let mut blocks: Vec<CondBlock> = a
+        .iter()
+        .zip(&bb)
+        .map(|(&x, &y)| {
+            let p = b.xor2(x, y);
+            let g = b.and2(x, y);
+            let np = b.xnor2(x, y);
+            let gp = b.or2(x, y);
+            CondBlock { sum0: vec![p], cout0: g, sum1: vec![np], cout1: gp }
+        })
+        .collect();
+
+    // Merge adjacent blocks until one remains.
+    while blocks.len() > 1 {
+        let mut merged = Vec::with_capacity(blocks.len().div_ceil(2));
+        let mut it = blocks.into_iter();
+        while let Some(lo) = it.next() {
+            match it.next() {
+                Some(hi) => merged.push(merge(&mut b, lo, hi)),
+                None => merged.push(lo),
+            }
+        }
+        blocks = merged;
+    }
+    let result = blocks.pop().expect("width >= 1");
+    b.output_bus("sum", &result.sum0);
+    b.output_bit("cout", result.cout0);
+    b.finish()
+}
+
+/// Merges two adjacent conditional blocks (`lo` less significant).
+fn merge(b: &mut NetlistBuilder, lo: CondBlock, hi: CondBlock) -> CondBlock {
+    let mut sum0 = lo.sum0.clone();
+    sum0.extend(b.mux_bus(&hi.sum0, &hi.sum1, lo.cout0));
+    let cout0 = b.mux2(hi.cout0, hi.cout1, lo.cout0);
+    let mut sum1 = lo.sum1.clone();
+    sum1.extend(b.mux_bus(&hi.sum0, &hi.sum1, lo.cout1));
+    let cout1 = b.mux2(hi.cout0, hi.cout1, lo.cout1);
+    CondBlock { sum0, cout0, sum1, cout1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::equiv;
+
+    #[test]
+    fn matches_kogge_stone() {
+        for width in [1usize, 2, 3, 7, 16, 33, 64] {
+            let cond = conditional_sum_adder(width);
+            let ks = crate::prefix::kogge_stone_adder(width);
+            assert_eq!(equiv::check(&cond, &ks, 512, 13).unwrap(), None, "width {width}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_depth() {
+        let d = conditional_sum_adder(64).depth();
+        assert!(d <= 16, "conditional-sum depth {d} should be logarithmic");
+    }
+}

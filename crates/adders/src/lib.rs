@@ -1,0 +1,142 @@
+//! Baseline adder generators for the VLCSA reproduction.
+//!
+//! Every generator returns a [`gatesim::Netlist`] with the common interface
+//!
+//! * inputs `a`, `b` — the `n`-bit addends (LSB first),
+//! * output `sum` — the `n`-bit sum,
+//! * output `cout` — the carry out of bit `n−1`,
+//!
+//! so all designs are mutually equivalence-checkable and plug into the same
+//! timing/area experiments. The families implemented:
+//!
+//! | module | designs |
+//! |--------|---------|
+//! | [`ripple`] | ripple-carry |
+//! | [`prefix`] | Kogge–Stone, Brent–Kung, Sklansky, Han–Carlson, Ladner–Fischer (any width, via a validated prefix-network abstraction) |
+//! | [`cla`] | hierarchical 4-bit carry-lookahead |
+//! | [`carry_select`] | uniform- and square-root-block carry-select |
+//! | [`carry_skip`] | fixed-block carry-skip |
+//! | [`cond_sum`] | conditional-sum |
+//! | [`designware`] | a best-of-family, delay-optimized selection standing in for the Synopsys DesignWare adder (see DESIGN.md §5) |
+//!
+//! The low-level building blocks ([`pg`]) — propagate/generate cells, prefix
+//! carry realization with optional carry-in, sum formation — are shared with
+//! the speculative adders in the `vlcsa` crate, exactly as the paper's
+//! window adders reuse carry-select and Kogge–Stone structures.
+//!
+//! # Example
+//!
+//! ```
+//! use adders::prefix;
+//! use bitnum::UBig;
+//! use gatesim::sim;
+//!
+//! let ks = prefix::kogge_stone_adder(32);
+//! let a = UBig::from_u128(123_456_789, 32);
+//! let b = UBig::from_u128(987_654_321, 32);
+//! let out = sim::simulate_ubig(&ks, &[("a", &a), ("b", &b)])?;
+//! assert_eq!(out["sum"], a.wrapping_add(&b));
+//! # Ok::<(), gatesim::GateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carry_select;
+pub mod carry_skip;
+pub mod cla;
+pub mod cond_sum;
+pub mod designware;
+pub mod pg;
+pub mod prefix;
+pub mod ripple;
+
+use gatesim::Netlist;
+
+/// The adder families this crate can generate, for experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Family {
+    /// Ripple-carry.
+    Ripple,
+    /// Kogge–Stone parallel prefix.
+    KoggeStone,
+    /// Brent–Kung parallel prefix.
+    BrentKung,
+    /// Sklansky parallel prefix.
+    Sklansky,
+    /// Han–Carlson parallel prefix.
+    HanCarlson,
+    /// Ladner–Fischer parallel prefix.
+    LadnerFischer,
+    /// Hierarchical carry-lookahead (4-bit groups).
+    Cla,
+    /// Carry-select with uniform block size.
+    CarrySelect,
+    /// Carry-select with square-root block sizing.
+    CarrySelectSqrt,
+    /// Carry-skip with fixed blocks.
+    CarrySkip,
+    /// Conditional-sum.
+    CondSum,
+}
+
+impl Family {
+    /// All families, in report order.
+    pub const ALL: [Family; 11] = [
+        Family::Ripple,
+        Family::KoggeStone,
+        Family::BrentKung,
+        Family::Sklansky,
+        Family::HanCarlson,
+        Family::LadnerFischer,
+        Family::Cla,
+        Family::CarrySelect,
+        Family::CarrySelectSqrt,
+        Family::CarrySkip,
+        Family::CondSum,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Ripple => "ripple",
+            Family::KoggeStone => "kogge-stone",
+            Family::BrentKung => "brent-kung",
+            Family::Sklansky => "sklansky",
+            Family::HanCarlson => "han-carlson",
+            Family::LadnerFischer => "ladner-fischer",
+            Family::Cla => "cla4",
+            Family::CarrySelect => "carry-select",
+            Family::CarrySelectSqrt => "carry-select-sqrt",
+            Family::CarrySkip => "carry-skip",
+            Family::CondSum => "conditional-sum",
+        }
+    }
+
+    /// Generates the family's netlist at the given width, using each
+    /// family's default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn build(self, width: usize) -> Netlist {
+        match self {
+            Family::Ripple => ripple::ripple_carry_adder(width),
+            Family::KoggeStone => prefix::kogge_stone_adder(width),
+            Family::BrentKung => prefix::brent_kung_adder(width),
+            Family::Sklansky => prefix::sklansky_adder(width),
+            Family::HanCarlson => prefix::han_carlson_adder(width),
+            Family::LadnerFischer => prefix::ladner_fischer_adder(width),
+            Family::Cla => cla::cla_adder(width),
+            Family::CarrySelect => {
+                carry_select::carry_select_adder(width, (width as f64).sqrt().ceil() as usize)
+            }
+            Family::CarrySelectSqrt => carry_select::carry_select_sqrt_adder(width),
+            Family::CarrySkip => {
+                carry_skip::carry_skip_adder(width, (width as f64).sqrt().ceil() as usize)
+            }
+            Family::CondSum => cond_sum::conditional_sum_adder(width),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared gate-level building blocks: propagate/generate cells, prefix
+//! combine cells, carry application and sum formation.
+//!
+//! These fragments are the vocabulary from which every adder in the
+//! workspace — traditional, speculative, and variable-latency — is
+//! assembled. They operate inside a caller-provided [`NetlistBuilder`] so
+//! composite designs (window adders, detection trees, recovery prefix
+//! adders) can share logic through the builder's hash-consing.
+
+use gatesim::{NetlistBuilder, Signal};
+
+/// Per-bit propagate/generate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PgBit {
+    /// `p_i = a_i XOR b_i` — also the half-sum used for sum formation.
+    pub p: Signal,
+    /// `g_i = a_i AND b_i`.
+    pub g: Signal,
+}
+
+/// Builds the per-bit propagate/generate plane for two equal-width buses.
+///
+/// # Panics
+///
+/// Panics if the buses have different widths.
+pub fn pg_bits(b: &mut NetlistBuilder, a: &[Signal], bb: &[Signal]) -> Vec<PgBit> {
+    assert_eq!(a.len(), bb.len(), "operand width mismatch");
+    a.iter()
+        .zip(bb)
+        .map(|(&x, &y)| PgBit { p: b.xor2(x, y), g: b.and2(x, y) })
+        .collect()
+}
+
+/// A group `(G, P)` pair during prefix evaluation. `P` may be dropped
+/// (`None`) once a group's span reaches bit 0 and no carry-in must be
+/// applied (the classic "gray cell" optimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPg {
+    /// Group generate.
+    pub g: Signal,
+    /// Group propagate, if still required.
+    pub p: Option<Signal>,
+}
+
+/// Prefix combine (`∘` operator): `hi ∘ lo` where `hi` covers the more
+/// significant range.
+///
+/// `G = G_hi | (P_hi & G_lo)`, `P = P_hi & P_lo` (only when both groups
+/// still carry a `P` and `keep_p` is true).
+///
+/// # Panics
+///
+/// Panics if `hi.p` is `None` (a group whose span already reaches bit 0
+/// cannot be extended downward).
+pub fn combine(b: &mut NetlistBuilder, hi: GroupPg, lo: GroupPg, keep_p: bool) -> GroupPg {
+    let hp = hi.p.expect("cannot extend a completed group");
+    let t = b.and2(hp, lo.g);
+    let g = b.or2(hi.g, t);
+    let p = if keep_p {
+        lo.p.map(|lp| b.and2(hp, lp))
+    } else {
+        None
+    };
+    GroupPg { g, p }
+}
+
+/// Applies a carry-in to a vector of group `(G, P)` values that each span
+/// `[0, i]`: returns `c_out[i] = G_i | (P_i & cin)` for every position.
+///
+/// With `cin = None` the carries are just the group generates.
+pub fn apply_cin(b: &mut NetlistBuilder, groups: &[GroupPg], cin: Option<Signal>) -> Vec<Signal> {
+    groups
+        .iter()
+        .map(|grp| match (cin, grp.p) {
+            (Some(c), Some(p)) => {
+                let t = b.and2(p, c);
+                b.or2(grp.g, t)
+            }
+            (Some(_), None) => grp.g,
+            (None, _) => grp.g,
+        })
+        .collect()
+}
+
+/// Forms sum bits from the propagate plane and the per-position carry-outs:
+/// `s_0 = p_0 ^ cin`, `s_i = p_i ^ c_out[i-1]`.
+///
+/// `carries_out[i]` must be the carry out of bit `i`; only indices
+/// `0..n-1` are consumed.
+pub fn sum_bits(
+    b: &mut NetlistBuilder,
+    pg: &[PgBit],
+    carries_out: &[Signal],
+    cin: Option<Signal>,
+) -> Vec<Signal> {
+    let mut sums = Vec::with_capacity(pg.len());
+    for (i, bit) in pg.iter().enumerate() {
+        let s = if i == 0 {
+            match cin {
+                Some(c) => b.xor2(bit.p, c),
+                None => bit.p,
+            }
+        } else {
+            b.xor2(bit.p, carries_out[i - 1])
+        };
+        sums.push(s);
+    }
+    sums
+}
+
+/// A compact serial (ripple) computation of all carry-outs from a PG plane:
+/// `c_i = g_i | (p_i & c_{i-1})`. O(n) cells, O(n) depth.
+pub fn ripple_carries(
+    b: &mut NetlistBuilder,
+    pg: &[PgBit],
+    cin: Option<Signal>,
+) -> Vec<Signal> {
+    let mut carries = Vec::with_capacity(pg.len());
+    let mut c = cin;
+    for bit in pg {
+        let next = match c {
+            Some(cs) => {
+                let t = b.and2(bit.p, cs);
+                b.or2(bit.g, t)
+            }
+            None => bit.g,
+        };
+        carries.push(next);
+        c = Some(next);
+    }
+    carries
+}
+
+/// Computes the group `(G, P)` of a contiguous PG slice as a balanced tree:
+/// `G` = generate of the whole slice, `P` = AND of all propagates.
+/// O(len) cells, O(log len) depth.
+pub fn group_of_slice(b: &mut NetlistBuilder, pg: &[PgBit]) -> GroupPg {
+    fn rec(b: &mut NetlistBuilder, pg: &[PgBit]) -> GroupPg {
+        match pg.len() {
+            0 => panic!("empty slice has no group PG"),
+            1 => GroupPg { g: pg[0].g, p: Some(pg[0].p) },
+            _ => {
+                let mid = pg.len() / 2;
+                let lo = rec(b, &pg[..mid]);
+                let hi = rec(b, &pg[mid..]);
+                combine(b, hi, lo, true)
+            }
+        }
+    }
+    rec(b, pg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+    use bitnum::UBig;
+    use gatesim::sim;
+
+    /// Builds a reference ripple adder from the fragments and checks it.
+    #[test]
+    fn fragments_compose_into_correct_adder() {
+        let n = 48;
+        let mut b = NetlistBuilder::new("frag");
+        let a = b.input_bus("a", n);
+        let bb = b.input_bus("b", n);
+        let cin = b.input_bit("cin");
+        let pg = pg_bits(&mut b, &a, &bb);
+        let carries = ripple_carries(&mut b, &pg, Some(cin));
+        let sums = sum_bits(&mut b, &pg, &carries, Some(cin));
+        b.output_bus("sum", &sums);
+        b.output_bit("cout", carries[n - 1]);
+        let net = b.finish();
+
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..50 {
+            let x = UBig::random(n, &mut rng);
+            let y = UBig::random(n, &mut rng);
+            for cin_v in [false, true] {
+                let c = if cin_v { UBig::ones(1) } else { UBig::zero(1) };
+                let out =
+                    sim::simulate_ubig(&net, &[("a", &x), ("b", &y), ("cin", &c)]).unwrap();
+                let (want, want_c) = x.add_with_carry(&y, cin_v);
+                assert_eq!(out["sum"], want);
+                assert_eq!(out["cout"], if want_c { UBig::ones(1) } else { UBig::zero(1) });
+            }
+        }
+    }
+
+    #[test]
+    fn group_of_slice_matches_behavioral() {
+        let n = 20;
+        let mut b = NetlistBuilder::new("grp");
+        let a = b.input_bus("a", n);
+        let bb = b.input_bus("b", n);
+        let pg = pg_bits(&mut b, &a, &bb);
+        let grp = group_of_slice(&mut b, &pg);
+        b.output_bit("gg", grp.g);
+        b.output_bit("gp", grp.p.unwrap());
+        let net = b.finish();
+
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..100 {
+            let x = UBig::random(n, &mut rng);
+            let y = UBig::random(n, &mut rng);
+            let out = sim::simulate_ubig(&net, &[("a", &x), ("b", &y)]).unwrap();
+            let planes = bitnum::pg::PgPlanes::of(&x, &y);
+            let (p, g) = planes.group_pg(0, n);
+            assert_eq!(out["gg"].bit(0), g);
+            assert_eq!(out["gp"].bit(0), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend a completed group")]
+    fn combine_rejects_completed_group() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let hi = GroupPg { g: x, p: None };
+        let lo = GroupPg { g: x, p: Some(x) };
+        combine(&mut b, hi, lo, true);
+    }
+}

@@ -1,0 +1,48 @@
+//! Ripple-carry adder: the minimal-area, O(n)-delay baseline.
+
+use gatesim::{Netlist, NetlistBuilder};
+
+use crate::pg;
+
+/// Builds an `n`-bit ripple-carry adder (`a`, `b` → `sum`, `cout`) from a
+/// chain of full adders.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("ripple_{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let plane = pg::pg_bits(&mut b, &a, &bb);
+    let carries = pg::ripple_carries(&mut b, &plane, None);
+    let sums = pg::sum_bits(&mut b, &plane, &carries, None);
+    b.output_bus("sum", &sums);
+    b.output_bit("cout", carries[width - 1]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::equiv;
+
+    #[test]
+    fn tiny_widths_exhaustive_vs_prefix() {
+        for width in 1..=6 {
+            let rca = ripple_carry_adder(width);
+            let ks = crate::prefix::kogge_stone_adder(width);
+            assert_eq!(
+                equiv::check(&rca, &ks, 0, 0).unwrap(),
+                None,
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_depth() {
+        let n = ripple_carry_adder(32);
+        assert!(n.depth() >= 32, "ripple depth {} must be linear", n.depth());
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-family checks: every adder family computes the same function, and
+//! the structural delay/area rankings follow the textbook ordering.
+
+use adders::Family;
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+use gatesim::{area, equiv, sim, sta};
+
+#[test]
+fn all_families_equivalent_at_mixed_widths() {
+    for width in [5usize, 16, 24, 33, 64] {
+        let reference = Family::KoggeStone.build(width);
+        for family in Family::ALL {
+            if family == Family::KoggeStone {
+                continue;
+            }
+            let candidate = family.build(width);
+            assert_eq!(
+                equiv::check(&reference, &candidate, 512, 23).unwrap(),
+                None,
+                "{} disagrees with kogge-stone at width {width}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_families_match_bignum_reference() {
+    let width = 96;
+    let mut rng = Xoshiro256::seed_from_u64(1234);
+    for family in Family::ALL {
+        let netlist = family.build(width);
+        for _ in 0..20 {
+            let a = UBig::random(width, &mut rng);
+            let b = UBig::random(width, &mut rng);
+            let out = sim::simulate_ubig(&netlist, &[("a", &a), ("b", &b)]).unwrap();
+            let (sum, cout) = a.overflowing_add(&b);
+            assert_eq!(out["sum"], sum, "{} sum", family.name());
+            assert_eq!(out["cout"].bit(0), cout, "{} cout", family.name());
+        }
+        // Corner cases.
+        for (a, b) in [
+            (UBig::zero(width), UBig::zero(width)),
+            (UBig::ones(width), UBig::ones(width)),
+            (UBig::ones(width), UBig::from_u128(1, width)),
+        ] {
+            let out = sim::simulate_ubig(&netlist, &[("a", &a), ("b", &b)]).unwrap();
+            let (sum, cout) = a.overflowing_add(&b);
+            assert_eq!(out["sum"], sum, "{} corner sum", family.name());
+            assert_eq!(out["cout"].bit(0), cout, "{} corner cout", family.name());
+        }
+    }
+}
+
+#[test]
+fn textbook_delay_and_area_ordering() {
+    let width = 64;
+    let delay = |f: Family| sta::analyze(&f.build(width)).critical_delay_tau();
+    let size = |f: Family| area::analyze(&f.build(width)).total_nand2();
+
+    // Ripple is the slowest and smallest of the classic designs.
+    let t_ripple = delay(Family::Ripple);
+    let a_ripple = size(Family::Ripple);
+    for f in [Family::KoggeStone, Family::Sklansky, Family::BrentKung, Family::CondSum] {
+        assert!(delay(f) < t_ripple / 2.0, "{} should be much faster than ripple", f.name());
+        assert!(size(f) > a_ripple, "{} should be bigger than ripple", f.name());
+    }
+    // Brent–Kung trades depth for area against Kogge–Stone.
+    assert!(size(Family::BrentKung) < size(Family::KoggeStone));
+    assert!(Family::BrentKung.build(width).depth() > Family::KoggeStone.build(width).depth());
+}
+
+#[test]
+fn designware_choice_beats_every_raw_family() {
+    for width in [32usize, 128] {
+        let dw = adders::designware::best(width);
+        for family in [Family::KoggeStone, Family::Sklansky, Family::HanCarlson] {
+            let raw = sta::analyze(&family.build(width)).critical_delay_tau();
+            assert!(
+                dw.delay_tau <= raw + 1e-9,
+                "DW ({}, {:.1}) slower than raw {} ({:.1}) at width {width}",
+                dw.candidate,
+                dw.delay_tau,
+                family.name(),
+                raw
+            );
+        }
+        // And it is still a correct adder.
+        let ks = Family::KoggeStone.build(width);
+        assert_eq!(equiv::check(&dw.netlist, &ks, 256, 29).unwrap(), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! `cargo bench --bench figures` — replays the complete table/figure suite
+//! with a reduced Monte Carlo budget, so a single `cargo bench` run
+//! regenerates every artifact of the paper's evaluation (at lower
+//! statistical resolution than `experiments --all --full`).
+
+use vlcsa_bench::{registry, Config};
+
+fn main() {
+    // Respect Criterion-style filter arguments minimally: any free argument
+    // filters experiment ids by substring. `--bench` is passed by cargo.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let config = Config::quick();
+    let start = std::time::Instant::now();
+    let mut ran = 0;
+    for e in registry() {
+        if !filters.is_empty() && !filters.iter().any(|f| e.id.contains(f.as_str())) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let table = (e.run)(&config);
+        println!("{table}");
+        println!("  [{} in {:.1}s]\n", e.id, t0.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    println!(
+        "figures: {ran} experiments regenerated in {:.1}s (mc_samples = {}; run \
+         `cargo run --release -p vlcsa-bench --bin experiments -- --all` for \
+         paper-scale sampling)",
+        start.elapsed().as_secs_f64(),
+        config.mc_samples
+    );
+}

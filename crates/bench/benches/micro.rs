@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks: throughput of the behavioral kernels and the
+//! EDA substrate (simulation, timing, synthesis sweep).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+use gatesim::{opt, sim, sta};
+use vlcsa::{OverflowMode, Scsa, Scsa2, Vlcsa1};
+use workloads::dist::{Distribution, OperandSource};
+
+fn operand_batch(n: usize, count: usize, seed: u64) -> Vec<(UBig, UBig)> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..count).map(|_| (UBig::random(n, &mut rng), UBig::random(n, &mut rng))).collect()
+}
+
+fn bench_behavioral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("behavioral");
+    for n in [64usize, 512] {
+        let pairs = operand_batch(n, 1024, 1);
+        g.throughput(Throughput::Elements(pairs.len() as u64));
+
+        g.bench_function(format!("exact_add_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = false;
+                for (x, y) in &pairs {
+                    acc ^= x.overflowing_add(y).1;
+                }
+                acc
+            })
+        });
+
+        let scsa = Scsa::new(n, 14.min(n));
+        g.bench_function(format!("scsa1_speculate_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = false;
+                for (x, y) in &pairs {
+                    acc ^= scsa.speculate(x, y).cout;
+                }
+                acc
+            })
+        });
+        g.bench_function(format!("scsa1_is_error_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (x, y) in &pairs {
+                    acc += scsa.is_error(x, y, OverflowMode::Truncate) as usize;
+                }
+                acc
+            })
+        });
+
+        let scsa2 = Scsa2::new(n, 13.min(n));
+        g.bench_function(format!("scsa2_speculate_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = false;
+                for (x, y) in &pairs {
+                    acc ^= scsa2.speculate(x, y).cout1;
+                }
+                acc
+            })
+        });
+
+        let vlcsa1 = Vlcsa1::new(n, 14.min(n));
+        g.bench_function(format!("vlcsa1_add_{n}"), |b| {
+            b.iter(|| {
+                let mut cycles = 0u64;
+                for (x, y) in &pairs {
+                    cycles += vlcsa1.add(x, y).cycles as u64;
+                }
+                cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    let ks = adders::prefix::kogge_stone_adder(64);
+
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let stim_a: Vec<u64> = (0..64).map(|_| bitnum::rng::RandomBits::next_u64(&mut rng)).collect();
+    let stim_b: Vec<u64> = (0..64).map(|_| bitnum::rng::RandomBits::next_u64(&mut rng)).collect();
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("netlist_sim_ks64_64vectors", |b| {
+        b.iter(|| sim::simulate(&ks, &[("a", &stim_a), ("b", &stim_b)]).unwrap())
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sta_ks64", |b| b.iter(|| sta::analyze(&ks).critical_delay_tau()));
+
+    g.bench_function("generate_vlcsa1_64", |b| {
+        b.iter(|| vlcsa::netlist::vlcsa1_netlist(64, 14).cell_count())
+    });
+
+    g.bench_function("optimize_scsa1_64", |b| {
+        b.iter_batched(
+            || vlcsa::netlist::scsa1_netlist(64, 14),
+            |net| opt::best_buffered(&net, &[4, 8, 16]).cell_count(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("gaussian_pairs_64", |b| {
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1024 {
+                acc += src.next_pair().0.count_ones();
+            }
+            acc
+        })
+    });
+    g.bench_function("chain_histogram_record_32", |b| {
+        let pairs = operand_batch(32, 1024, 9);
+        b.iter_batched(
+            || workloads::chains::ChainHistogram::new(32),
+            |mut h| {
+                for (x, y) in &pairs {
+                    h.record(x, y);
+                }
+                h.chains()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_behavioral, bench_substrate, bench_workloads
+}
+criterion_main!(benches);

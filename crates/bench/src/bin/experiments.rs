@@ -1,0 +1,128 @@
+//! Command-line driver for the experiment suite.
+//!
+//! ```text
+//! experiments --list                 # show every artifact id
+//! experiments --run fig7.1,tab7.4    # run specific experiments
+//! experiments --all                  # everything, in paper order
+//! experiments --all --full           # 10^7 Monte Carlo samples
+//! experiments --all --samples 50000  # custom sample count
+//! experiments --all --out results    # also write .txt/.csv per artifact
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vlcsa_bench::{registry, Config, Table};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config::default();
+    let mut to_run: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut all = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--all" => all = true,
+            "--full" => config.mc_samples = 10_000_000,
+            "--quick" => config.mc_samples = Config::quick().mc_samples,
+            "--samples" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => config.mc_samples = n,
+                    None => return usage("--samples needs a number"),
+                }
+            }
+            "--run" => {
+                i += 1;
+                match args.get(i) {
+                    Some(ids) => to_run.extend(ids.split(',').map(|s| s.trim().to_string())),
+                    None => return usage("--run needs a comma-separated id list"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => config.out_dir = Some(PathBuf::from(dir)),
+                    None => return usage("--out needs a directory"),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let reg = registry();
+    if list {
+        for e in &reg {
+            println!("{:14} {}", e.id, e.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if all {
+        to_run = reg.iter().map(|e| e.id.to_string()).collect();
+    }
+    if to_run.is_empty() {
+        return usage("nothing to do: pass --list, --run <ids> or --all");
+    }
+
+    if let Some(dir) = &config.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    for id in &to_run {
+        match reg.iter().find(|e| e.id == id.as_str()) {
+            None => {
+                eprintln!("unknown experiment id {id:?} (use --list)");
+                failed = true;
+            }
+            Some(e) => {
+                let start = std::time::Instant::now();
+                let table = (e.run)(&config);
+                println!("{table}");
+                println!("  [{} in {:.1}s]\n", e.id, start.elapsed().as_secs_f64());
+                if let Some(dir) = &config.out_dir {
+                    write_outputs(dir, &table);
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_outputs(dir: &std::path::Path, table: &Table) {
+    let stem = table.id.replace('.', "_");
+    let txt = dir.join(format!("{stem}.txt"));
+    let csv = dir.join(format!("{stem}.csv"));
+    if let Err(e) = std::fs::write(&txt, table.to_string()) {
+        eprintln!("cannot write {}: {e}", txt.display());
+    }
+    if let Err(e) = std::fs::write(&csv, table.to_csv()) {
+        eprintln!("cannot write {}: {e}", csv.display());
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: experiments [--list] [--run id1,id2] [--all] [--quick|--full|--samples N] [--out DIR]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

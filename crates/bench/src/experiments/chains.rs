@@ -1,0 +1,126 @@
+//! Carry-chain profiling experiments: Figs. 6.1–6.5.
+
+use workloads::chains::ChainHistogram;
+use workloads::crypto::CryptoBench;
+use workloads::dist::{Distribution, OperandSource};
+
+use crate::table::Table;
+use crate::Config;
+
+/// σ for the 32-bit profiling figures (the paper does not state the value
+/// used for its 32-bit examples; 2⁸ keeps operands "small" relative to the
+/// 32-bit range exactly as its Fig. 6.4/6.5 show).
+const SIGMA_32: f64 = 256.0;
+
+fn histogram(dist: Distribution, width: usize, samples: usize, seed: u64) -> ChainHistogram {
+    let mut src = OperandSource::new(dist, width, seed);
+    let mut hist = ChainHistogram::new(width);
+    for _ in 0..samples {
+        let (a, b) = src.next_pair();
+        hist.record(&a, &b);
+    }
+    hist
+}
+
+fn histogram_table(id: &str, title: &str, dist: Distribution, config: &Config) -> Table {
+    let width = 32;
+    let hist = histogram(dist, width, config.mc_samples, 0x6001);
+    let mut t = Table::new(id, title, &["chain length", "% of chains", "% of adds with chain >= len"]);
+    for (len, share) in hist.rows() {
+        t.row(vec![
+            len.to_string(),
+            format!("{share:.3}%"),
+            format!("{:.3}%", 100.0 * hist.additions_with_chain_at_least(len)),
+        ]);
+    }
+    t.note(format!(
+        "{} additions of width {width}, distribution {}; mean chain length {:.2}",
+        hist.additions(),
+        dist.name(),
+        hist.mean_len()
+    ));
+    t
+}
+
+/// Fig. 6.1: unsigned uniform inputs.
+pub fn fig6_1(config: &Config) -> Table {
+    histogram_table(
+        "fig6.1",
+        "Carry chain lengths for unsigned random inputs (32-bit adder)",
+        Distribution::UnsignedUniform,
+        config,
+    )
+}
+
+/// Fig. 6.3: two's-complement uniform inputs.
+pub fn fig6_3(config: &Config) -> Table {
+    let mut t = histogram_table(
+        "fig6.3",
+        "Carry chain lengths for 2's complement random inputs (32-bit adder)",
+        Distribution::TwosComplementUniform,
+        config,
+    );
+    t.note("uniform bit patterns: statistics match Fig. 6.1, as the paper observes");
+    t
+}
+
+/// Fig. 6.4: unsigned Gaussian inputs.
+pub fn fig6_4(config: &Config) -> Table {
+    histogram_table(
+        "fig6.4",
+        "Carry chain lengths for unsigned Gaussian inputs (32-bit adder)",
+        Distribution::UnsignedGaussian { sigma: SIGMA_32 },
+        config,
+    )
+}
+
+/// Fig. 6.5: two's-complement Gaussian inputs — the bimodal case.
+pub fn fig6_5(config: &Config) -> Table {
+    let mut t = histogram_table(
+        "fig6.5",
+        "Carry chain lengths for 2's complement Gaussian inputs (32-bit adder)",
+        Distribution::TwosComplementGaussian { sigma: SIGMA_32 },
+        config,
+    );
+    t.note("bimodal: a nontrivial share of chains is as long as the adder \
+            (small positive + small negative additions)");
+    t
+}
+
+/// Fig. 6.2: the four cryptographic benchmarks.
+pub fn fig6_2(config: &Config) -> Table {
+    let width = CryptoBench::Rsa512.width();
+    let mut hists = Vec::new();
+    // Iterations scale with the sample budget (each run emits 10^5..10^7
+    // traced additions depending on the benchmark).
+    let iters = (config.mc_samples / 500_000).clamp(1, 4);
+    for bench in CryptoBench::ALL {
+        let mut hist = ChainHistogram::new(width);
+        bench.run(iters, 0x6002, &mut hist);
+        hists.push((bench, hist));
+    }
+    let mut t = Table::new(
+        "fig6.2",
+        "Carry chain lengths from cryptographic workloads (32-bit software adds)",
+        &["chain length", "RSA", "DH", "ECELGP", "ECDSP"],
+    );
+    for len in 1..=width {
+        let mut row = vec![len.to_string()];
+        for (_, hist) in &hists {
+            row.push(format!("{:.3}%", 100.0 * hist.share(len)));
+        }
+        t.row(row);
+    }
+    for (bench, hist) in &hists {
+        t.note(format!(
+            "{}: {} traced additions ({} field bits), {:.2}% of adds contain a chain >= 20",
+            bench.name(),
+            hist.additions(),
+            bench.field_bits(),
+            100.0 * hist.additions_with_chain_at_least(20)
+        ));
+    }
+    t.note("traces regenerated from our own RSA/DH/EC implementations \
+            (word-level datapath + control-plane additions); see DESIGN.md §5");
+    t
+}

@@ -1,0 +1,64 @@
+//! The experiment implementations, grouped by paper chapter.
+
+pub mod chains;
+pub mod error_model;
+pub mod extensions;
+pub mod gaussian;
+pub mod synthesis;
+
+/// The adder widths of every Ch. 7 sweep.
+pub const WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+/// Window sizes for the 0.01% error-rate target (Table 7.3/7.4 row),
+/// derived from the analytical solver with the paper's semantics.
+pub fn windows_0p01() -> Vec<(usize, usize)> {
+    WIDTHS
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                vlcsa::model::window_size_for(
+                    n,
+                    1e-4,
+                    vlcsa::model::Semantics::RoundsTo2Dp,
+                    vlcsa::OverflowMode::Truncate,
+                    vlcsa::model::Model::Paper,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Window sizes for the 0.25% target (Table 7.4 row).
+pub fn windows_0p25() -> Vec<(usize, usize)> {
+    WIDTHS
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                vlcsa::model::window_size_for(
+                    n,
+                    2.5e-3,
+                    vlcsa::model::Semantics::RoundsTo2Dp,
+                    vlcsa::OverflowMode::Truncate,
+                    vlcsa::model::Model::Paper,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// VLSA chain lengths for 0.01% (Table 7.3 column), from the exact VLSA
+/// model with the same rounding semantics.
+pub fn vlsa_chains_0p01() -> Vec<(usize, usize)> {
+    WIDTHS
+        .iter()
+        .map(|&n| (n, vlsa::model::chain_length_for(n, 1e-4, vlsa::model::Semantics::RoundsTo2Dp)))
+        .collect()
+}
+
+/// VLCSA 2 window sizes (Table 7.5): width-independent per the paper; the
+/// `tab7.5` experiment re-derives them by simulation.
+pub const VLCSA2_WINDOW_0P01: usize = 13;
+/// VLCSA 2 window size for the 0.25% target (Table 7.5).
+pub const VLCSA2_WINDOW_0P25: usize = 9;

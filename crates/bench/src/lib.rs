@@ -1,0 +1,129 @@
+//! The experiment harness: one runnable generator per table/figure of the
+//! paper's evaluation (Ch. 7) plus the Ch. 3/6 model and profiling figures
+//! and several extension studies.
+//!
+//! Every experiment is a pure function `fn(&Config) -> Table`; the
+//! [`registry`] maps the paper's artifact ids (`fig3.5`, `tab7.4`, …) to
+//! them. The `experiments` binary runs them from the command line and the
+//! `figures` bench target replays the whole suite with a reduced sample
+//! count.
+//!
+//! ```
+//! use vlcsa_bench::{registry, Config};
+//!
+//! let config = Config { mc_samples: 10_000, ..Config::default() };
+//! let exp = registry().into_iter().find(|e| e.id == "fig3.5").unwrap();
+//! let table = (exp.run)(&config);
+//! assert!(!table.rows.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::{fnum, pct, Table};
+
+/// Runtime configuration for the experiment suite.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Monte Carlo trials per measured point. The paper uses 10⁶ for the
+    /// Gaussian tables and 10⁷ for the model validation; the default is
+    /// 10⁶ (pass `--full` to the binary for 10⁷).
+    pub mc_samples: usize,
+    /// Where result files are written (`None`: print only).
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { mc_samples: 1_000_000, out_dir: None }
+    }
+}
+
+impl Config {
+    /// A fast configuration for smoke runs and `cargo bench`.
+    pub fn quick() -> Self {
+        Self { mc_samples: 100_000, out_dir: None }
+    }
+}
+
+/// One registered experiment.
+pub struct Experiment {
+    /// The paper artifact id (`fig7.1`, `tab7.5`, `ext.latency`, …).
+    pub id: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// The generator.
+    pub run: fn(&Config) -> Table,
+}
+
+/// All experiments, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    use experiments::*;
+    macro_rules! exp {
+        ($id:literal, $about:literal, $f:path) => {
+            Experiment { id: $id, about: $about, run: $f }
+        };
+    }
+    vec![
+        exp!("fig3.5", "predicted SCSA error rates vs window size (eq. 3.13)", error_model::fig3_5),
+        exp!("fig6.1", "carry-chain histogram: unsigned uniform, 32-bit", chains::fig6_1),
+        exp!("fig6.2", "carry-chain histograms: cryptographic workload traces", chains::fig6_2),
+        exp!("fig6.3", "carry-chain histogram: 2's-complement uniform", chains::fig6_3),
+        exp!("fig6.4", "carry-chain histogram: unsigned Gaussian", chains::fig6_4),
+        exp!("fig6.5", "carry-chain histogram: 2's-complement Gaussian (bimodal)", chains::fig6_5),
+        exp!("fig7.1", "analytical error model vs Monte Carlo", error_model::fig7_1),
+        exp!("tab7.1", "VLCSA 1 error rates on 2's-complement Gaussian inputs", gaussian::tab7_1),
+        exp!("tab7.2", "VLCSA 2 error rates on 2's-complement Gaussian inputs", gaussian::tab7_2),
+        exp!("tab7.3", "window size (SCSA) vs chain length (VLSA) @0.01%", error_model::tab7_3),
+        exp!("tab7.4", "SCSA/VLCSA 1 window sizes @0.01% and @0.25%", error_model::tab7_4),
+        exp!("tab7.5", "VLCSA 2 window sizes from Gaussian simulation", gaussian::tab7_5),
+        exp!("fig7.2", "delay: speculative adders vs Kogge-Stone", synthesis::fig7_2),
+        exp!("fig7.3", "area: speculative adders vs Kogge-Stone", synthesis::fig7_3),
+        exp!("fig7.4", "delay: variable-latency adders vs Kogge-Stone", synthesis::fig7_4),
+        exp!("fig7.5", "area: variable-latency adders vs Kogge-Stone", synthesis::fig7_5),
+        exp!("fig7.6", "delay: SCSA 1 vs DesignWare-substitute", synthesis::fig7_6),
+        exp!("fig7.7", "area: SCSA 1 vs DesignWare-substitute", synthesis::fig7_7),
+        exp!("fig7.8", "delay: VLCSA 1 vs DesignWare-substitute", synthesis::fig7_8),
+        exp!("fig7.9", "area: VLCSA 1 vs DesignWare-substitute", synthesis::fig7_9),
+        exp!("fig7.10", "delay: VLCSA 2 vs DesignWare-substitute", synthesis::fig7_10),
+        exp!("fig7.11", "area: VLCSA 2 vs DesignWare-substitute", synthesis::fig7_11),
+        exp!("ext.magnitude", "error magnitude: SCSA vs per-bit speculation (Sec. 3.3)", extensions::magnitude),
+        exp!("ext.latency", "average latency of VLCSA 1/2 across input distributions", extensions::latency),
+        exp!("ext.detect", "detection overestimate (false-positive) ablation", extensions::detect_ablation),
+        exp!("ext.buffering", "fanout-buffering ablation on the synthesis flow", extensions::buffering_ablation),
+        exp!("ext.dsp", "FIR accumulation workload profile and engine latency", extensions::dsp),
+        exp!("ext.power", "switching-activity power of the competing designs", extensions::power),
+        exp!("ext.window_style", "window-adder style ablation (KS/BK/Sklansky windows)", extensions::window_style),
+        exp!("ext.verilog", "Verilog export of the main designs", extensions::verilog_export),
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run_by_id(id: &str, config: &Config) -> Option<Table> {
+    registry().into_iter().find(|e| e.id == id).map(|e| (e.run)(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_known() {
+        let reg = registry();
+        let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len());
+        assert!(reg.len() >= 22, "every paper artifact registered");
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("fig99.9", &Config::quick()).is_none());
+    }
+}

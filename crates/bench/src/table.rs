@@ -1,0 +1,160 @@
+//! Plain-text/CSV result tables.
+
+use std::fmt;
+
+/// A rendered experiment result: a titled table plus free-form notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Artifact id (`fig7.1`, `tab7.4`, …).
+    pub id: String,
+    /// Human title (what the paper's caption says).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Commentary: parameters, paper-expected values, deviations.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders as CSV (headers + rows; notes as `#` comments).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str("# ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with engineering-style precision for tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else if v.abs() >= 1e-3 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a probability as a percentage string like the paper's tables.
+pub fn pct(v: f64) -> String {
+    format!("{:.4}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("tabX", "demo", &["n", "rate"]);
+        t.row(vec!["64".into(), pct(0.25)]);
+        t.note("just a demo");
+        let text = t.to_string();
+        assert!(text.contains("tabX"));
+        assert!(text.contains("25.0000%"));
+        assert!(text.contains("note: just a demo"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# just a demo\nn,rate\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fnum(1234.6), "1235");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(0.012), "0.0120");
+        assert_eq!(fnum(1.2e-5), "1.200e-5");
+    }
+}

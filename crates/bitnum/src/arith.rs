@@ -1,0 +1,216 @@
+//! Widening multiplication and division for [`UBig`].
+//!
+//! These are not on the paper's critical path (the paper is about addition),
+//! but the cryptographic workload substrate (RSA/DH modular exponentiation,
+//! elliptic-curve arithmetic in `workloads::crypto`) needs full
+//! multiprecision multiply/divide to generate realistic addition traces.
+
+use crate::ubig::limbs_for;
+use crate::UBig;
+
+impl UBig {
+    /// Full widening multiplication: the result has width
+    /// `self.width() + rhs.width()` so no bits are lost.
+    ///
+    /// ```
+    /// use bitnum::UBig;
+    /// let a = UBig::from_u128(u64::MAX as u128, 64);
+    /// let p = a.mul_wide(&a);
+    /// assert_eq!(p.width(), 128);
+    /// assert_eq!(p.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    /// ```
+    pub fn mul_wide(&self, rhs: &Self) -> Self {
+        let out_width = self.width() + rhs.width();
+        let mut out = vec![0u64; limbs_for(out_width)];
+        for (i, &a) in self.limbs().iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs().iter().enumerate() {
+                let idx = i + j;
+                if idx >= out.len() {
+                    break;
+                }
+                let t = a as u128 * b as u128 + out[idx] as u128 + carry;
+                out[idx] = t as u64;
+                carry = t >> 64;
+            }
+            let mut idx = i + rhs.limbs().len();
+            while carry != 0 && idx < out.len() {
+                let t = out[idx] as u128 + carry;
+                out[idx] = t as u64;
+                carry = t >> 64;
+                idx += 1;
+            }
+        }
+        Self::from_limbs(&out, out_width)
+    }
+
+    /// Modular multiplication at the width of `modulus`:
+    /// `(self * rhs) mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mul_mod(&self, rhs: &Self, modulus: &Self) -> Self {
+        let product = self.mul_wide(rhs);
+        product.rem(&modulus.resize(product.width())).resize(modulus.width())
+    }
+
+    /// Division with remainder: returns `(self / rhs, self % rhs)`, both at
+    /// the width of `self`.
+    ///
+    /// Uses limb-wise binary long division — O(width) subtract/compare steps;
+    /// adequate for the workload generator, not a general bignum library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
+        assert!(!rhs.is_zero(), "division by zero");
+        let width = self.width();
+        let mut quotient = UBig::zero(width);
+        let mut remainder = UBig::zero(width);
+        let Some(top) = self.highest_set_bit() else {
+            return (quotient, remainder);
+        };
+        let rhs_w = rhs.resize(width);
+        for i in (0..=top).rev() {
+            // remainder = (remainder << 1) | bit_i(self)
+            remainder = remainder.shl(1);
+            if self.bit(i) {
+                remainder.set_bit(0, true);
+            }
+            if remainder >= rhs_w {
+                remainder = remainder.wrapping_sub(&rhs_w);
+                quotient.set_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Remainder only: `self % rhs`, at the width of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn rem(&self, rhs: &Self) -> Self {
+        self.div_rem(rhs).1
+    }
+
+    /// Modular exponentiation by square-and-multiply:
+    /// `self^exponent mod modulus`, at the width of `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn pow_mod(&self, exponent: &Self, modulus: &Self) -> Self {
+        let width = modulus.width();
+        let mut base = self.resize(width).rem(modulus);
+        let mut acc = UBig::from_u128(1, width).rem(modulus);
+        let top = match exponent.highest_set_bit() {
+            Some(t) => t,
+            None => return acc,
+        };
+        for i in 0..=top {
+            if exponent.bit(i) {
+                acc = acc.mul_mod(&base, modulus);
+            }
+            if i != top {
+                base = base.mul_mod(&base, modulus);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::Xoshiro256;
+    use crate::UBig;
+
+    #[test]
+    fn mul_wide_matches_u128() {
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        for _ in 0..500 {
+            let a = UBig::random(60, &mut rng);
+            let b = UBig::random(60, &mut rng);
+            let p = a.mul_wide(&b);
+            assert_eq!(p.to_u128(), Some(a.to_u128().unwrap() * b.to_u128().unwrap()));
+        }
+    }
+
+    #[test]
+    fn mul_wide_big_identities() {
+        let mut rng = Xoshiro256::seed_from_u64(32);
+        let a = UBig::random(300, &mut rng);
+        let one = UBig::from_u128(1, 300);
+        assert_eq!(a.mul_wide(&one).resize(300), a);
+        assert!(a.mul_wide(&UBig::zero(300)).is_zero());
+        // (a * 2) == a << 1 at double width.
+        let two = UBig::from_u128(2, 300);
+        assert_eq!(a.mul_wide(&two), a.resize(600).shl(1));
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let mut rng = Xoshiro256::seed_from_u64(33);
+        for _ in 0..500 {
+            let a = UBig::random(100, &mut rng);
+            let mut b = UBig::random(40, &mut rng).resize(100);
+            if b.is_zero() {
+                b = UBig::from_u128(3, 100);
+            }
+            let (q, r) = a.div_rem(&b);
+            let av = a.to_u128().unwrap();
+            let bv = b.to_u128().unwrap();
+            assert_eq!(q.to_u128(), Some(av / bv));
+            assert_eq!(r.to_u128(), Some(av % bv));
+        }
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let mut rng = Xoshiro256::seed_from_u64(34);
+        for _ in 0..50 {
+            let a = UBig::random(320, &mut rng);
+            let b = UBig::random(200, &mut rng).resize(320);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, r) = a.div_rem(&b);
+            assert!(r < b);
+            // q*b + r == a (computed at 640 bits to avoid overflow).
+            let qb = q.mul_wide(&b.resize(320));
+            let sum = qb.wrapping_add(&r.resize(640));
+            assert_eq!(sum.resize(320), a);
+        }
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        let m = UBig::from_u128(1000, 64);
+        let b = UBig::from_u128(7, 64);
+        let e = UBig::from_u128(13, 64);
+        // 7^13 mod 1000 = 96889010407 mod 1000 = 407.
+        assert_eq!(b.pow_mod(&e, &m).to_u128(), Some(407));
+        // x^0 = 1.
+        assert_eq!(b.pow_mod(&UBig::zero(64), &m).to_u128(), Some(1));
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem: a^(p-1) = 1 mod p for prime p.
+        let p = UBig::from_u128(1_000_000_007, 64);
+        let pm1 = UBig::from_u128(1_000_000_006, 64);
+        let mut rng = Xoshiro256::seed_from_u64(35);
+        for _ in 0..10 {
+            let a = UBig::random(30, &mut rng).resize(64);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a.pow_mod(&pm1, &p).to_u128(), Some(1));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`UBig`](crate::UBig) from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUBigError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    /// The string contained a character that is not a hexadecimal digit.
+    InvalidDigit(char),
+    /// The string was empty.
+    Empty,
+    /// The parsed value does not fit in the requested width.
+    Overflow,
+}
+
+impl ParseUBigError {
+    pub(crate) fn invalid_digit(c: char) -> Self {
+        Self { kind: ParseErrorKind::InvalidDigit(c) }
+    }
+
+    pub(crate) fn empty() -> Self {
+        Self { kind: ParseErrorKind::Empty }
+    }
+
+    pub(crate) fn overflow() -> Self {
+        Self { kind: ParseErrorKind::Overflow }
+    }
+}
+
+impl fmt::Display for ParseUBigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::InvalidDigit(c) => {
+                write!(f, "invalid hexadecimal digit {c:?}")
+            }
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::Overflow => write!(f, "value does not fit in the requested width"),
+        }
+    }
+}
+
+impl Error for ParseUBigError {}

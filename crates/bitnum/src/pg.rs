@@ -1,0 +1,528 @@
+//! Propagate/generate kernels and carry-chain analysis.
+//!
+//! Binary addition of `a + b` defines, at every bit position `i`, a
+//! *propagate* signal `p_i = a_i XOR b_i` and a *generate* signal
+//! `g_i = a_i AND b_i` (eqs. 3.1–3.2 of the paper). The carry recurrence is
+//! `c_i = g_i OR (p_i AND c_{i-1})`, so a carry travels exactly along
+//! maximal runs of consecutive propagate bits — the paper's *carry chains*.
+//!
+//! This module computes those signal planes word-parallel on [`UBig`]
+//! operands, extracts exact per-bit carries, enumerates carry-chain runs
+//! (used by the Ch. 6 workload profiling), and provides the windowed
+//! prefix kernels used by the speculative adders.
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::{UBig, pg};
+//!
+//! let a = UBig::from_u128(0b0111, 4);
+//! let b = UBig::from_u128(0b0001, 4);
+//! let planes = pg::PgPlanes::of(&a, &b);
+//! // Bit 0 generates, bits 1..=2 propagate.
+//! assert_eq!(planes.g.to_u128(), Some(0b0001));
+//! assert_eq!(planes.p.to_u128(), Some(0b0110));
+//! let (carries, cout) = pg::carries_in(&a, &b, false);
+//! assert_eq!(carries.to_u128(), Some(0b1110)); // carry enters bits 1,2,3
+//! assert!(!cout);
+//! ```
+
+use crate::UBig;
+
+/// The propagate and generate bit planes of one addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgPlanes {
+    /// Propagate plane: `p_i = a_i XOR b_i`.
+    pub p: UBig,
+    /// Generate plane: `g_i = a_i AND b_i`.
+    pub g: UBig,
+}
+
+impl PgPlanes {
+    /// Computes the planes for `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn of(a: &UBig, b: &UBig) -> Self {
+        Self { p: a ^ b, g: a & b }
+    }
+
+    /// Operand width.
+    pub fn width(&self) -> usize {
+        self.p.width()
+    }
+
+    /// Group propagate over the bit range `[lo, lo+len)`: true iff every bit
+    /// in the range propagates.
+    pub fn group_p(&self, lo: usize, len: usize) -> bool {
+        debug_assert!(lo + len <= self.width());
+        let window = extract_window_u128_checked(&self.p, lo, len);
+        match window {
+            Some(w) => w == mask_u128(len),
+            None => (0..len).all(|j| self.p.bit(lo + j)),
+        }
+    }
+
+    /// Group generate over the bit range `[lo, lo+len)`: true iff the range
+    /// produces a carry-out when its carry-in is 0 (eq. 3.5).
+    pub fn group_g(&self, lo: usize, len: usize) -> bool {
+        debug_assert!(lo + len <= self.width());
+        // Scan from the top: G = g_hi | p_hi (g_{hi-1} | p_{hi-1} (...)).
+        let mut acc = false;
+        for j in 0..len {
+            let i = lo + j;
+            acc = self.g.bit(i) || (self.p.bit(i) && acc);
+        }
+        acc
+    }
+
+    /// Both group signals for the range, computed with word arithmetic when
+    /// the range fits in 128 bits (the common case for adder windows).
+    pub fn group_pg(&self, lo: usize, len: usize) -> (bool, bool) {
+        if len <= 128 {
+            if let (Some(p), Some(g)) = (
+                extract_window_u128_checked(&self.p, lo, len),
+                extract_window_u128_checked(&self.g, lo, len),
+            ) {
+                let m = mask_u128(len);
+                let group_p = p == m;
+                // The group generate equals the carry-out of the isolated
+                // window addition with carry-in 0. Reconstruct operands with
+                // the same planes: a' = g | p, b' = g.
+                let a = g | p;
+                let b = g;
+                let group_g = if len == 128 {
+                    a.checked_add(b).is_none()
+                } else {
+                    (a + b) >> len & 1 == 1
+                };
+                return (group_p, group_g);
+            }
+        }
+        (self.group_p(lo, len), self.group_g(lo, len))
+    }
+}
+
+fn mask_u128(len: usize) -> u128 {
+    if len >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << len) - 1
+    }
+}
+
+/// Extracts bits `[lo, lo+len)` of `x` into a `u64`.
+///
+/// This is the hot-path window accessor used by the speculative-adder Monte
+/// Carlo kernels.
+///
+/// # Panics
+///
+/// Panics if `len > 64` or the range exceeds the width.
+pub fn extract_window_u64(x: &UBig, lo: usize, len: usize) -> u64 {
+    assert!(len <= 64, "window wider than 64 bits");
+    assert!(lo + len <= x.width(), "window out of range");
+    let limbs = x.limbs();
+    let limb = lo / 64;
+    let off = lo % 64;
+    let mut v = limbs[limb] >> off;
+    if off != 0 && limb + 1 < limbs.len() {
+        v |= limbs[limb + 1] << (64 - off);
+    }
+    if len < 64 {
+        v &= (1u64 << len) - 1;
+    }
+    v
+}
+
+fn extract_window_u128_checked(x: &UBig, lo: usize, len: usize) -> Option<u128> {
+    if len > 128 || lo + len > x.width() {
+        return None;
+    }
+    if len <= 64 {
+        return Some(extract_window_u64(x, lo, len) as u128);
+    }
+    let low = extract_window_u64(x, lo, 64) as u128;
+    let high = extract_window_u64(x, lo + 64, len - 64) as u128;
+    Some(low | (high << 64))
+}
+
+/// Computes, for `a + b + cin`, the carry **into** every bit position
+/// (bit `i` of the result is `c_{i-1}`, the carry consumed by position `i`)
+/// together with the overall carry-out.
+///
+/// Identity used: `s_i = p_i XOR c_{i-1}`, so `c_{i-1} = p_i XOR s_i`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn carries_in(a: &UBig, b: &UBig, cin: bool) -> (UBig, bool) {
+    let (sum, cout) = a.add_with_carry(b, cin);
+    let p = a ^ b;
+    (&p ^ &sum, cout)
+}
+
+/// A maximal run of consecutive set bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Least-significant bit position of the run.
+    pub lo: usize,
+    /// Number of consecutive set bits.
+    pub len: usize,
+}
+
+/// Enumerates the maximal runs of set bits in `x`, in increasing position.
+///
+/// Applied to a propagate plane this yields the paper's carry chains
+/// ("the number of consecutive propagate signals with value 1 is called the
+/// carry chain length", Ch. 3).
+pub fn runs(x: &UBig) -> Vec<Run> {
+    let mut out = Vec::new();
+    let mut current: Option<Run> = None;
+    let limbs = x.limbs();
+    for (li, &limb) in limbs.iter().enumerate() {
+        if limb == 0 {
+            if let Some(r) = current.take() {
+                out.push(r);
+            }
+            continue;
+        }
+        let mut w = limb;
+        let base = li * 64;
+        let mut pos = 0usize;
+        while w != 0 {
+            let tz = w.trailing_zeros() as usize;
+            if tz > 0 {
+                if let Some(r) = current.take() {
+                    out.push(r);
+                }
+                w >>= tz;
+                pos += tz;
+            }
+            let ones = w.trailing_ones() as usize;
+            let lo = base + pos;
+            match &mut current {
+                Some(r) if r.lo + r.len == lo => r.len += ones,
+                Some(r) => {
+                    out.push(*r);
+                    current = Some(Run { lo, len: ones });
+                }
+                None => current = Some(Run { lo, len: ones }),
+            }
+            if ones == 64 {
+                break;
+            }
+            w >>= ones;
+            pos += ones;
+        }
+        // If the run did not reach the top bit of this limb, it cannot
+        // continue into the next limb.
+        if let Some(r) = current {
+            if r.lo + r.len != base + 64 {
+                out.push(r);
+                current = None;
+            }
+        }
+    }
+    if let Some(r) = current {
+        out.push(r);
+    }
+    out
+}
+
+/// Length of the longest run of set bits in `x` (0 if `x` is zero).
+pub fn longest_run(x: &UBig) -> usize {
+    runs(x).into_iter().map(|r| r.len).max().unwrap_or(0)
+}
+
+/// One *generate-triggered* carry chain: a generate at `start` followed by
+/// `len` consecutive propagate bits above it. This is the "chain that a real
+/// carry would traverse" view used in the VLSA error analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggeredChain {
+    /// Position of the generate bit that launches the carry.
+    pub start: usize,
+    /// Number of consecutive propagate bits the carry traverses above
+    /// `start` (0 if the bit directly above does not propagate).
+    pub len: usize,
+}
+
+/// Enumerates generate-triggered chains: for every `g_i = 1`, the maximal
+/// run of propagate bits starting at `i + 1`.
+pub fn triggered_chains(planes: &PgPlanes) -> Vec<TriggeredChain> {
+    let width = planes.width();
+    let mut out = Vec::new();
+    // Precompute, for every position, the length of the propagate run
+    // starting at that position, by scanning from the top.
+    let mut run_up = vec![0usize; width + 1];
+    for i in (0..width).rev() {
+        run_up[i] = if planes.p.bit(i) { run_up[i + 1] + 1 } else { 0 };
+    }
+    for i in 0..width {
+        if planes.g.bit(i) {
+            out.push(TriggeredChain { start: i, len: run_up[i + 1] });
+        }
+    }
+    out
+}
+
+/// Truncated Kogge–Stone sweep: given the `(p, g)` planes, performs `levels`
+/// doubling steps of the parallel-prefix recurrence
+/// `G |= P & (G << 2^j); P &= P << 2^j`.
+///
+/// After `L` levels, bit `i` of the returned generate plane is the group
+/// generate over the window `[max(0, i − 2^L + 1), i]` — i.e. the
+/// *speculative carry-out of bit `i` computed from its previous `2^L` bits*,
+/// which is exactly the speculation performed by the VLSA baseline, and with
+/// `L = ⌈log₂ n⌉` the exact carries of the full addition.
+///
+/// Returns the swept `(p, g)` planes.
+pub fn prefix_sweep(planes: &PgPlanes, levels: usize) -> PgPlanes {
+    let mut p = planes.p.clone();
+    let mut g = planes.g.clone();
+    for j in 0..levels {
+        let shift = 1usize << j;
+        if shift >= p.width() {
+            break;
+        }
+        let g_shifted = g.shl(shift);
+        let p_shifted = p.shl(shift);
+        g = &g | &(&p & &g_shifted);
+        p = &p & &p_shifted;
+    }
+    PgPlanes { p, g }
+}
+
+/// Windowed prefix planes for an **arbitrary** window length.
+///
+/// Returns planes where, for `i ≥ len−1`, bit `i` holds the group `(P, G)`
+/// over the window `[i − len + 1, i]`. For clipped positions `i < len−1`:
+///
+/// * `G` is the group generate over `[0, i]` — i.e. the *exact* carry out
+///   of bit `i` (shifts fill with zeros, which models the real carry-in 0);
+/// * `P` is 0 — there is no full-length window ending there.
+///
+/// These are precisely the semantics the VLSA baseline needs: `G` is the
+/// per-bit speculative carry computed from the previous `len` bits, and `P`
+/// flags positions terminating a full-length propagate run (its error
+/// detector).
+///
+/// Built from [`prefix_sweep`]-style doublings plus one residual overlapped
+/// combine (`⌈log₂ len⌉ + 1` steps); overlapping windows combine exactly
+/// under `(P, G)` semantics.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn windowed_planes(planes: &PgPlanes, len: usize) -> PgPlanes {
+    assert!(len >= 1, "window length must be >= 1");
+    let width = planes.width();
+    if len >= width {
+        let levels = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+        return prefix_sweep(planes, levels.max(1));
+    }
+    // Doubling phase: window w = 2^j for the largest 2^j <= len.
+    let mut w = 1usize;
+    let mut p = planes.p.clone();
+    let mut g = planes.g.clone();
+    while w * 2 <= len {
+        let g_shifted = g.shl(w);
+        let p_shifted = p.shl(w);
+        g = &g | &(&p & &g_shifted);
+        p = &p & &p_shifted;
+        w *= 2;
+    }
+    // Residual overlapped combine: extend window w to len with shift s.
+    let s = len - w;
+    if s > 0 {
+        let g_shifted = g.shl(s);
+        let p_shifted = p.shl(s);
+        g = &g | &(&p & &g_shifted);
+        p = &p & &p_shifted;
+    }
+    PgPlanes { p, g }
+}
+
+/// Exact carry-out plane of `a + b` with carry-in 0: bit `i` is the carry
+/// **out of** bit `i`. Computed with a full prefix sweep.
+pub fn carries_out(a: &UBig, b: &UBig) -> UBig {
+    let planes = PgPlanes::of(a, b);
+    let levels = usize::BITS as usize - (a.width() - 1).leading_zeros() as usize;
+    prefix_sweep(&planes, levels).g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RandomBits, Xoshiro256};
+
+    #[test]
+    fn carries_match_schoolbook() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for width in [8usize, 63, 64, 65, 130] {
+            for _ in 0..200 {
+                let a = UBig::random(width, &mut rng);
+                let b = UBig::random(width, &mut rng);
+                let cin = rng.next_bool();
+                let (carries, cout) = carries_in(&a, &b, cin);
+                // Schoolbook reference.
+                let mut c = cin;
+                for i in 0..width {
+                    assert_eq!(carries.bit(i), c, "carry into bit {i}");
+                    let ai = a.bit(i);
+                    let bi = b.bit(i);
+                    c = (ai && bi) || (c && (ai ^ bi));
+                }
+                assert_eq!(cout, c);
+            }
+        }
+    }
+
+    #[test]
+    fn carries_out_matches_carries_in_shifted() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..100 {
+            let a = UBig::random(96, &mut rng);
+            let b = UBig::random(96, &mut rng);
+            let outs = carries_out(&a, &b);
+            let (ins, cout) = carries_in(&a, &b, false);
+            for i in 0..95 {
+                assert_eq!(outs.bit(i), ins.bit(i + 1));
+            }
+            assert_eq!(outs.bit(95), cout);
+        }
+    }
+
+    #[test]
+    fn group_pg_consistency() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        for _ in 0..200 {
+            let a = UBig::random(200, &mut rng);
+            let b = UBig::random(200, &mut rng);
+            let planes = PgPlanes::of(&a, &b);
+            for (lo, len) in [(0usize, 17usize), (5, 64), (100, 100), (64, 65), (190, 10)] {
+                let (p, g) = planes.group_pg(lo, len);
+                assert_eq!(p, planes.group_p(lo, len), "P lo={lo} len={len}");
+                assert_eq!(g, planes.group_g(lo, len), "G lo={lo} len={len}");
+                // Group G must equal the carry-out of the isolated window.
+                let aw = a.extract(lo, len);
+                let bw = b.extract(lo, len);
+                let (_, cout) = aw.overflowing_add(&bw);
+                assert_eq!(g, cout);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_simple() {
+        let x = UBig::from_u128(0b0110_1110, 8);
+        let r = runs(&x);
+        assert_eq!(r, vec![Run { lo: 1, len: 3 }, Run { lo: 5, len: 2 }]);
+        assert_eq!(longest_run(&x), 3);
+        assert!(runs(&UBig::zero(8)).is_empty());
+        assert_eq!(runs(&UBig::ones(130)), vec![Run { lo: 0, len: 130 }]);
+    }
+
+    #[test]
+    fn runs_cross_limb_boundary() {
+        let mut x = UBig::zero(130);
+        for i in 60..70 {
+            x.set_bit(i, true);
+        }
+        assert_eq!(runs(&x), vec![Run { lo: 60, len: 10 }]);
+    }
+
+    #[test]
+    fn runs_match_naive_on_random() {
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        for _ in 0..200 {
+            let x = UBig::random(150, &mut rng);
+            let fast = runs(&x);
+            // Naive extraction.
+            let mut naive = Vec::new();
+            let mut i = 0;
+            while i < 150 {
+                if x.bit(i) {
+                    let lo = i;
+                    while i < 150 && x.bit(i) {
+                        i += 1;
+                    }
+                    naive.push(Run { lo, len: i - lo });
+                } else {
+                    i += 1;
+                }
+            }
+            assert_eq!(fast, naive);
+        }
+    }
+
+    #[test]
+    fn triggered_chain_example() {
+        // a = 0111, b = 0001: g at bit 0, p at bits 1,2.
+        let a = UBig::from_u128(0b0111, 4);
+        let b = UBig::from_u128(0b0001, 4);
+        let planes = PgPlanes::of(&a, &b);
+        let chains = triggered_chains(&planes);
+        assert_eq!(chains, vec![TriggeredChain { start: 0, len: 2 }]);
+    }
+
+    #[test]
+    fn prefix_sweep_full_depth_gives_exact_carries() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for width in [32usize, 100, 256] {
+            for _ in 0..50 {
+                let a = UBig::random(width, &mut rng);
+                let b = UBig::random(width, &mut rng);
+                let planes = PgPlanes::of(&a, &b);
+                let levels = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+                let swept = prefix_sweep(&planes, levels);
+                assert_eq!(swept.g, carries_out(&a, &b));
+                let (ins, cout) = carries_in(&a, &b, false);
+                for i in 1..width {
+                    assert_eq!(swept.g.bit(i - 1), ins.bit(i));
+                }
+                assert_eq!(swept.g.bit(width - 1), cout);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_planes_match_group_pg() {
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        for len in [1usize, 2, 3, 5, 7, 13, 17, 31, 64, 70] {
+            let a = UBig::random(70, &mut rng);
+            let b = UBig::random(70, &mut rng);
+            let planes = PgPlanes::of(&a, &b);
+            let windowed = windowed_planes(&planes, len);
+            for i in 0usize..70 {
+                let lo = (i + 1).saturating_sub(len);
+                let (p, g) = planes.group_pg(lo, i - lo + 1);
+                if i >= len - 1 {
+                    assert_eq!(windowed.p.bit(i), p, "P len={len} i={i}");
+                } else {
+                    assert!(!windowed.p.bit(i), "clipped P must be 0: len={len} i={i}");
+                }
+                // G is exact over the (possibly clipped) window either way.
+                assert_eq!(windowed.g.bit(i), g, "G len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_window_u64_spans_limbs() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let x = UBig::random(256, &mut rng);
+        for lo in [0usize, 1, 60, 63, 64, 100, 191] {
+            for len in [1usize, 17, 33, 64] {
+                if lo + len > 256 {
+                    continue;
+                }
+                let w = extract_window_u64(&x, lo, len);
+                for j in 0..len {
+                    assert_eq!((w >> j) & 1 == 1, x.bit(lo + j), "lo={lo} len={len} j={j}");
+                }
+            }
+        }
+    }
+}

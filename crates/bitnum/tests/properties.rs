@@ -1,0 +1,118 @@
+//! Property-based tests for `bitnum` against `u128` reference semantics.
+
+use bitnum::pg::{self, PgPlanes};
+use bitnum::UBig;
+use proptest::prelude::*;
+
+fn ubig_and_u128(width: usize) -> impl Strategy<Value = (UBig, u128)> {
+    prop::num::u128::ANY.prop_map(move |v| {
+        let masked = if width == 128 { v } else { v & ((1u128 << width) - 1) };
+        (UBig::from_u128(v, width), masked)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((a, av) in ubig_and_u128(96), (b, bv) in ubig_and_u128(96), cin: bool) {
+        let (sum, cout) = a.add_with_carry(&b, cin);
+        let full = av + bv + cin as u128;
+        prop_assert_eq!(sum.to_u128().unwrap(), full & ((1u128 << 96) - 1));
+        prop_assert_eq!(cout, full >> 96 != 0);
+    }
+
+    #[test]
+    fn sub_matches_u128((a, av) in ubig_and_u128(80), (b, bv) in ubig_and_u128(80)) {
+        let (diff, borrow) = a.overflowing_sub(&b);
+        prop_assert_eq!(diff.to_u128().unwrap(), av.wrapping_sub(bv) & ((1u128 << 80) - 1));
+        prop_assert_eq!(borrow, av < bv);
+    }
+
+    #[test]
+    fn add_commutes_and_associates(
+        (a, _) in ubig_and_u128(128),
+        (b, _) in ubig_and_u128(128),
+        (c, _) in ubig_and_u128(128),
+    ) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+        prop_assert_eq!(
+            a.wrapping_add(&b).wrapping_add(&c),
+            a.wrapping_add(&b.wrapping_add(&c))
+        );
+    }
+
+    #[test]
+    fn negate_is_additive_inverse((a, _) in ubig_and_u128(67)) {
+        prop_assert!(a.wrapping_add(&a.negate()).is_zero());
+    }
+
+    #[test]
+    fn shifts_match_u128((a, av) in ubig_and_u128(120), k in 0usize..120) {
+        prop_assert_eq!(a.shl(k).to_u128().unwrap(), (av << k) & ((1u128 << 120) - 1));
+        prop_assert_eq!(a.shr(k).to_u128().unwrap(), av >> k);
+    }
+
+    #[test]
+    fn hex_roundtrip((a, _) in ubig_and_u128(128)) {
+        let s = format!("{a:x}");
+        let back = UBig::from_hex(&s, 128).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn twos_complement_roundtrip(v in prop::num::i64::ANY) {
+        let x = UBig::from_i128(v as i128, 64);
+        prop_assert_eq!(x.to_i128(), Some(v as i128));
+        prop_assert_eq!(x.msb(), v < 0);
+    }
+
+    #[test]
+    fn carry_chain_runs_cover_all_propagates((a, _) in ubig_and_u128(128), (b, _) in ubig_and_u128(128)) {
+        let planes = PgPlanes::of(&a, &b);
+        let total: usize = pg::runs(&planes.p).iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, planes.p.count_ones());
+        // Runs are disjoint, ordered and maximal.
+        let rs = pg::runs(&planes.p);
+        for w in rs.windows(2) {
+            prop_assert!(w[0].lo + w[0].len < w[1].lo);
+        }
+        for r in &rs {
+            for j in 0..r.len {
+                prop_assert!(planes.p.bit(r.lo + j));
+            }
+            if r.lo > 0 {
+                prop_assert!(!planes.p.bit(r.lo - 1));
+            }
+            if r.lo + r.len < 128 {
+                prop_assert!(!planes.p.bit(r.lo + r.len));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sweep_partial_levels_window_property(
+        (a, _) in ubig_and_u128(64),
+        (b, _) in ubig_and_u128(64),
+        levels in 0usize..6,
+    ) {
+        // After `levels` sweeps, bit i of G is the group generate of the
+        // window [max(0, i-2^levels+1), i].
+        let planes = PgPlanes::of(&a, &b);
+        let swept = pg::prefix_sweep(&planes, levels);
+        let span = 1usize << levels;
+        for i in 0usize..64 {
+            let lo = i.saturating_sub(span - 1);
+            let (_, g) = planes.group_pg(lo, i - lo + 1);
+            prop_assert_eq!(swept.g.bit(i), g, "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn mul_div_roundtrip((a, av) in ubig_and_u128(64), (b, bv) in ubig_and_u128(64)) {
+        prop_assume!(bv != 0);
+        let p = a.mul_wide(&b);
+        prop_assert_eq!(p.to_u128(), Some(av * bv));
+        let (q, r) = p.div_rem(&b.resize(128));
+        prop_assert_eq!(q.to_u128(), Some(av * bv / bv));
+        prop_assert_eq!(r.to_u128(), Some(0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Error detection signals (Ch. 5.1 and 6.6).
+//!
+//! Both detectors are pure combinations of the window group signals the
+//! speculative adder already computes:
+//!
+//! * `ERR0 = ∨_{0 ≤ i < m−1} P^{i+1} · G^i` — window `i` generates and
+//!   window `i+1` fully propagates, so the generate would have to reach the
+//!   window after next: SCSA 1's speculation is (potentially) wrong. This
+//!   is a *sound overestimate*: every real error is flagged (eq. 5.1).
+//! * `ERR1 = ∨_{0 ≤ i < m−1} P^i · ¬P^{i+1}` — some propagating window is
+//!   followed by a non-propagating one, i.e. a chain dies before the MSB.
+//!   When `ERR0 = 1` but `ERR1 = 0`, the offending chain runs to the MSB
+//!   and the second speculative result `S*,1` is exact (Ch. 6.6).
+
+use crate::scsa::WindowPg;
+
+/// `ERR0` (the paper's `ERR` of VLCSA 1): flags when a generate abuts a
+/// fully propagating window.
+pub fn err0(windows: &[WindowPg]) -> bool {
+    windows.windows(2).any(|w| w[0].g && w[1].p)
+}
+
+/// `ERR1` of VLCSA 2: flags when some propagate run dies before reaching
+/// the most significant window.
+///
+/// The pair `(0, 1)` is excluded: window 0 is *not speculative* — its
+/// carry-in is the architectural carry-in 0, so `S*,1` steers window 1
+/// with the true carry-out `G⁰` (see [`crate::Scsa2`]) and a propagate run
+/// confined to window 0 can never invalidate `S*,1`. This matters when the
+/// remainder-sized LSB window is small (e.g. 2 bits at `n = 512, k = 17`,
+/// where `P⁰ = 1` on a quarter of all inputs).
+pub fn err1(windows: &[WindowPg]) -> bool {
+    windows.len() >= 3 && windows[1..].windows(2).any(|w| w[0].p && !w[1].p)
+}
+
+/// The VLCSA 2 selection decision (Ch. 6.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// `ERR0 = 0`: `S*,0` is correct.
+    Spec0,
+    /// `ERR0 = 1, ERR1 = 0`: the chain reaches the MSB; `S*,1` is correct.
+    Spec1,
+    /// `ERR0 = 1, ERR1 = 1`: stall and recover.
+    Recover,
+}
+
+/// Evaluates both detectors and returns the selection.
+pub fn select(windows: &[WindowPg]) -> Selection {
+    if !err0(windows) {
+        Selection::Spec0
+    } else if !err1(windows) {
+        Selection::Spec1
+    } else {
+        Selection::Recover
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OverflowMode, Scsa, Scsa2};
+    use bitnum::rng::Xoshiro256;
+    use bitnum::UBig;
+
+    fn wpg(p: bool, g: bool) -> WindowPg {
+        WindowPg { p, g, gp: p || g }
+    }
+
+    #[test]
+    fn err0_truth_table() {
+        // G then P (ascending significance) flags.
+        assert!(err0(&[wpg(false, true), wpg(true, false)]));
+        // P then G does not.
+        assert!(!err0(&[wpg(true, false), wpg(false, true)]));
+        // Single window never flags.
+        assert!(!err0(&[wpg(true, true)]));
+        assert!(!err0(&[]));
+    }
+
+    #[test]
+    fn err1_truth_table() {
+        // A propagating window (above window 0) followed by a
+        // non-propagating one flags.
+        assert!(err1(&[wpg(false, true), wpg(true, false), wpg(false, false)]));
+        // Upward-closed propagate set (over windows >= 1) does not flag.
+        assert!(!err1(&[wpg(false, true), wpg(true, false), wpg(true, false)]));
+        // The pair (0, 1) is excluded: window 0 is not speculative, so a
+        // run confined to it cannot invalidate S*,1.
+        assert!(!err1(&[wpg(true, false), wpg(false, false), wpg(false, false)]));
+        assert!(!err1(&[wpg(true, false), wpg(false, false)]));
+        assert!(!err1(&[wpg(true, true)]));
+    }
+
+    #[test]
+    fn err0_is_sound_for_scsa1_uniform() {
+        // No false negatives on 50k uniform trials.
+        let scsa = Scsa::new(64, 8);
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let mut errors = 0;
+        for _ in 0..50_000 {
+            let a = UBig::random(64, &mut rng);
+            let b = UBig::random(64, &mut rng);
+            if scsa.is_error(&a, &b, OverflowMode::Truncate) {
+                errors += 1;
+                assert!(err0(&scsa.window_pg(&a, &b)), "missed error {a} + {b}");
+            }
+        }
+        assert!(errors > 10, "expected some errors at k=8");
+    }
+
+    #[test]
+    fn selection_spec1_implies_sum1_exact() {
+        // The Ch. 6.6 case analysis: ERR0=1 ∧ ERR1=0 ⇒ S*,1 exact.
+        use workloads::dist::{Distribution, OperandSource};
+        let scsa2 = Scsa2::new(64, 13);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 23);
+        let mut spec1_hits = 0;
+        for _ in 0..20_000 {
+            let (a, b) = src.next_pair();
+            let pgs = scsa2.window_pg(&a, &b);
+            if select(&pgs) == Selection::Spec1 {
+                spec1_hits += 1;
+                let spec = scsa2.speculate(&a, &b);
+                assert_eq!(spec.sum1, a.wrapping_add(&b), "S*,1 wrong for {a} + {b}");
+            }
+        }
+        // ~25% of Gaussian pairs take the S*,1 path.
+        assert!(spec1_hits > 2_000, "spec1 path hits {spec1_hits}");
+    }
+
+    #[test]
+    fn detectors_are_sound_for_scsa2() {
+        // select() != Recover must imply the selected result is exact —
+        // on uniform AND Gaussian inputs.
+        use workloads::dist::{Distribution, OperandSource};
+        for dist in [Distribution::UnsignedUniform, Distribution::paper_gaussian()] {
+            let scsa2 = Scsa2::new(64, 9);
+            let mut src = OperandSource::new(dist, 64, 31);
+            for _ in 0..20_000 {
+                let (a, b) = src.next_pair();
+                let pgs = scsa2.window_pg(&a, &b);
+                let spec = scsa2.speculate(&a, &b);
+                let exact = a.wrapping_add(&b);
+                match select(&pgs) {
+                    Selection::Spec0 => assert_eq!(spec.sum0, exact),
+                    Selection::Spec1 => assert_eq!(spec.sum1, exact),
+                    Selection::Recover => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Error-magnitude analysis (Ch. 3.3).
+//!
+//! When SCSA errs, all outputs of one window are off together, so the
+//! numerical error is a single unit at the window boundary — a *relative*
+//! error around `2^-(k-1)` of the result. Bit-level speculation (the VLSA
+//! baseline) can instead flip the most significant bit alone, a relative
+//! error up to ~50%. The accumulator below measures that contrast (used by
+//! the error-tolerant example and the magnitude ablation experiment).
+
+use bitnum::UBig;
+
+/// Running statistics over relative error magnitudes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MagnitudeStats {
+    errors: u64,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl MagnitudeStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one speculation: `spec` against the `exact` result. Returns
+    /// the relative magnitude if the speculation was wrong.
+    ///
+    /// The magnitude is `|spec − exact| / exact` (the paper's definition);
+    /// for an exact result of zero the magnitude is counted as 1.
+    pub fn record(&mut self, spec: &UBig, exact: &UBig) -> Option<f64> {
+        self.total += 1;
+        if spec == exact {
+            return None;
+        }
+        self.errors += 1;
+        let diff = if spec > exact {
+            spec.wrapping_sub(exact)
+        } else {
+            exact.wrapping_sub(spec)
+        };
+        let denom = exact.to_f64();
+        let mag = if denom == 0.0 { 1.0 } else { diff.to_f64() / denom };
+        self.sum += mag;
+        self.max = self.max.max(mag);
+        Some(mag)
+    }
+
+    /// Number of wrong speculations recorded.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Number of speculations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean relative magnitude over the *errors* (0.0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.errors == 0 {
+            0.0
+        } else {
+            self.sum / self.errors as f64
+        }
+    }
+
+    /// Largest relative magnitude observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OverflowMode, Scsa};
+    use bitnum::rng::Xoshiro256;
+
+    #[test]
+    fn paper_example_3_3() {
+        // Correct 11001, speculative 10001: magnitude 01000/11001 = 0.32.
+        let mut stats = MagnitudeStats::new();
+        let exact = UBig::from_u128(0b11001, 5);
+        let spec = UBig::from_u128(0b10001, 5);
+        let mag = stats.record(&spec, &exact).unwrap();
+        assert!((mag - 8.0 / 25.0).abs() < 1e-12);
+        assert_eq!(stats.errors(), 1);
+    }
+
+    #[test]
+    fn correct_speculations_do_not_count() {
+        let mut stats = MagnitudeStats::new();
+        let v = UBig::from_u128(7, 8);
+        assert!(stats.record(&v, &v).is_none());
+        assert_eq!(stats.errors(), 0);
+        assert_eq!(stats.total(), 1);
+        assert_eq!(stats.mean(), 0.0);
+    }
+
+    #[test]
+    fn scsa_errors_have_small_magnitude() {
+        // Ch. 3.3's claim: SCSA errors are low-magnitude because a missing
+        // inter-window carry is one unit at a window boundary. Like the
+        // paper's analysis we consider non-overflowing additions (when the
+        // true sum wraps, "relative error" loses meaning: the exact result
+        // can be arbitrarily close to zero).
+        let scsa = Scsa::new(64, 8);
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        let mut stats = MagnitudeStats::new();
+        for _ in 0..300_000 {
+            let a = UBig::random(64, &mut rng);
+            let b = UBig::random(64, &mut rng);
+            let (exact, overflowed) = a.overflowing_add(&b);
+            if overflowed {
+                continue;
+            }
+            if scsa.is_error(&a, &b, OverflowMode::Truncate) {
+                let spec = scsa.speculate(&a, &b);
+                let mag = stats.record(&spec.sum, &exact).expect("is_error says wrong");
+                // A missing carry is one unit at a window boundary the
+                // exact sum also contains, so each magnitude is <= 1.
+                assert!(mag <= 1.0 + 1e-9, "magnitude {mag}");
+            }
+        }
+        assert!(stats.errors() > 20, "need errors to measure");
+        // Far below the ~50% of an MSB-flipping bit-speculation error.
+        assert!(stats.mean() < 0.1, "mean magnitude {}", stats.mean());
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-operand variable-latency addition — the paper's future work
+//! ("we plan to generalize the speculative and reliable variable latency
+//! carry select addition for ... multi-operand addition", Ch. 8).
+//!
+//! Summing `m` operands with a reliable variable-latency adder is not just
+//! a fold: every intermediate addition can stall independently, so the
+//! expected latency is `(m−1)·T_clk·(1 + P_err)` and the worst case twice
+//! that. Two reduction schedules are provided:
+//!
+//! * [`MultiAdder::sum_sequential`] — a linear fold (minimal hardware, one
+//!   adder reused);
+//! * [`MultiAdder::sum_tree`] — a balanced binary reduction, modelling
+//!   `⌈m/2⌉` adders operating in parallel per level: the *cycle count* is
+//!   the maximum over each level's slowest addition, which is where
+//!   variable latency gets interesting — one stall holds up the level.
+//!
+//! Both return exact sums (the reliability invariant composes) plus the
+//! cycle accounting needed to size a schedule.
+
+use bitnum::UBig;
+
+use crate::vlcsa1::Vlcsa1;
+use crate::vlcsa2::Vlcsa2;
+
+/// The engine a reduction runs on.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// VLCSA 1 (uniform-input tuned).
+    V1(Vlcsa1),
+    /// VLCSA 2 (practical-input tuned).
+    V2(Vlcsa2),
+}
+
+impl Engine {
+    fn add(&self, a: &UBig, b: &UBig) -> crate::AddOutcome {
+        match self {
+            Engine::V1(e) => e.add(a, b),
+            Engine::V2(e) => e.add(a, b),
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            Engine::V1(e) => e.width(),
+            Engine::V2(e) => e.width(),
+        }
+    }
+}
+
+/// The result of a multi-operand reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiOutcome {
+    /// The exact (wrapping) sum of all operands.
+    pub sum: UBig,
+    /// Total cycles under the schedule's model (see module docs).
+    pub cycles: u64,
+    /// Number of two-input additions performed.
+    pub additions: u64,
+    /// How many of them stalled.
+    pub stalls: u64,
+}
+
+/// A multi-operand adder built on a variable-latency engine.
+#[derive(Debug, Clone)]
+pub struct MultiAdder {
+    engine: Engine,
+}
+
+impl MultiAdder {
+    /// Wraps a VLCSA 1 engine.
+    pub fn with_vlcsa1(engine: Vlcsa1) -> Self {
+        Self { engine: Engine::V1(engine) }
+    }
+
+    /// Wraps a VLCSA 2 engine.
+    pub fn with_vlcsa2(engine: Vlcsa2) -> Self {
+        Self { engine: Engine::V2(engine) }
+    }
+
+    /// Operand width.
+    pub fn width(&self) -> usize {
+        self.engine.width()
+    }
+
+    /// Sequential fold: one adder, `m−1` dependent additions; cycles are
+    /// the sum of each addition's latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is empty or widths mismatch.
+    pub fn sum_sequential(&self, operands: &[UBig]) -> MultiOutcome {
+        assert!(!operands.is_empty(), "need at least one operand");
+        let mut acc = operands[0].clone();
+        let mut cycles = 0u64;
+        let mut additions = 0u64;
+        let mut stalls = 0u64;
+        for operand in &operands[1..] {
+            let outcome = self.engine.add(&acc, operand);
+            cycles += outcome.cycles as u64;
+            additions += 1;
+            stalls += (outcome.cycles > 1) as u64;
+            acc = outcome.sum;
+        }
+        MultiOutcome { sum: acc, cycles, additions, stalls }
+    }
+
+    /// Balanced tree reduction: each level runs its additions in parallel
+    /// on separate adders; a level takes as long as its slowest addition
+    /// (2 cycles if *any* of them stalls, else 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is empty or widths mismatch.
+    pub fn sum_tree(&self, operands: &[UBig]) -> MultiOutcome {
+        assert!(!operands.is_empty(), "need at least one operand");
+        let mut level: Vec<UBig> = operands.to_vec();
+        let mut cycles = 0u64;
+        let mut additions = 0u64;
+        let mut stalls = 0u64;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut level_cycles = 0u64;
+            let mut chunks = level.chunks_exact(2);
+            for pair in &mut chunks {
+                let outcome = self.engine.add(&pair[0], &pair[1]);
+                additions += 1;
+                stalls += (outcome.cycles > 1) as u64;
+                level_cycles = level_cycles.max(outcome.cycles as u64);
+                next.push(outcome.sum);
+            }
+            if let [odd] = chunks.remainder() {
+                next.push(odd.clone());
+            }
+            cycles += level_cycles.max(1);
+            level = next;
+        }
+        MultiOutcome { sum: level.pop().expect("non-empty"), cycles, additions, stalls }
+    }
+}
+
+/// Reference wrapping sum for checking reductions.
+pub fn exact_sum(operands: &[UBig]) -> UBig {
+    let mut acc = operands[0].clone();
+    for x in &operands[1..] {
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+    use workloads::dist::{Distribution, OperandSource};
+
+    fn operands(n: usize, count: usize, seed: u64) -> Vec<UBig> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..count).map(|_| UBig::random(n, &mut rng)).collect()
+    }
+
+    #[test]
+    fn both_schedules_are_exact() {
+        let adder = MultiAdder::with_vlcsa1(Vlcsa1::new(64, 8));
+        for count in [1usize, 2, 3, 7, 16, 33] {
+            let ops = operands(64, count, count as u64);
+            let want = exact_sum(&ops);
+            let seq = adder.sum_sequential(&ops);
+            let tree = adder.sum_tree(&ops);
+            assert_eq!(seq.sum, want, "sequential m={count}");
+            assert_eq!(tree.sum, want, "tree m={count}");
+            assert_eq!(seq.additions, count as u64 - 1);
+            assert_eq!(tree.additions, count as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn tree_uses_fewer_cycles_than_sequence() {
+        let adder = MultiAdder::with_vlcsa1(Vlcsa1::new(64, 10));
+        let ops = operands(64, 64, 9);
+        let seq = adder.sum_sequential(&ops);
+        let tree = adder.sum_tree(&ops);
+        // 63 dependent adds vs ~6 levels.
+        assert!(tree.cycles <= 2 * 7);
+        assert!(seq.cycles >= 63);
+        assert!(tree.cycles < seq.cycles / 3);
+    }
+
+    #[test]
+    fn cycle_accounting_matches_stall_counts() {
+        let adder = MultiAdder::with_vlcsa1(Vlcsa1::new(64, 6));
+        let ops = operands(64, 40, 11);
+        let seq = adder.sum_sequential(&ops);
+        assert_eq!(seq.cycles, seq.additions + seq.stalls);
+        let tree = adder.sum_tree(&ops);
+        assert!(tree.cycles >= 6, "at least one cycle per level");
+        assert!(tree.stalls <= tree.additions);
+    }
+
+    #[test]
+    fn vlcsa2_engine_handles_gaussian_streams() {
+        let adder = MultiAdder::with_vlcsa2(Vlcsa2::new(64, 13));
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 5);
+        let ops: Vec<UBig> = (0..64).map(|_| src.next_operand()).collect();
+        let tree = adder.sum_tree(&ops);
+        assert_eq!(tree.sum, exact_sum(&ops));
+        // Sign-mixed Gaussian operands barely stall VLCSA 2.
+        assert!(tree.stalls <= 3, "stalls {}", tree.stalls);
+    }
+}

@@ -1,0 +1,247 @@
+//! SCSA 1 — speculative carry select addition (Ch. 3–4), behavioral model.
+//!
+//! The behavioral kernel is word-parallel: each window (≤ 63 bits) is
+//! extracted into a `u64`, its two conditional sums and carry-outs are one
+//! `u64` addition each, and the speculative carry into window `i` is the
+//! previous window's carry-out with carry-in 0 — the group generate
+//! `G^{i-1}` (eq. 3.8). This runs tens of millions of trials per second,
+//! which is what the Ch. 7 Monte Carlo experiments need.
+
+use bitnum::pg;
+use bitnum::UBig;
+
+use crate::window::WindowLayout;
+use crate::OverflowMode;
+
+/// Group signals of one window: everything the window adder computes about
+/// its own bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPg {
+    /// Group propagate `P^i` (all bits propagate).
+    pub p: bool,
+    /// Group generate `G^i` — the carry-out assuming carry-in 0.
+    pub g: bool,
+    /// Carry-out assuming carry-in 1: `G^i ∨ P^i`. SCSA 1 discards this
+    /// select signal; SCSA 2 uses it for the second speculative result.
+    pub gp: bool,
+}
+
+/// The result of a speculative addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecResult {
+    /// The speculative sum.
+    pub sum: UBig,
+    /// The speculative carry-out of the most significant bit.
+    pub cout: bool,
+}
+
+/// An SCSA 1 speculative adder instance.
+///
+/// # Example
+///
+/// ```
+/// use bitnum::UBig;
+/// use vlcsa::Scsa;
+///
+/// let scsa = Scsa::new(64, 14);
+/// let a = UBig::from_u128(1000, 64);
+/// let b = UBig::from_u128(2000, 64);
+/// let spec = scsa.speculate(&a, &b);
+/// assert_eq!(spec.sum.to_u128(), Some(3000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scsa {
+    layout: WindowLayout,
+}
+
+impl Scsa {
+    /// Creates an SCSA 1 of the given width and window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`WindowLayout::new`].
+    pub fn new(width: usize, window: usize) -> Self {
+        Self { layout: WindowLayout::new(width, window) }
+    }
+
+    /// Creates an SCSA 1 from an explicit layout.
+    pub fn with_layout(layout: WindowLayout) -> Self {
+        Self { layout }
+    }
+
+    /// Adder width.
+    pub fn width(&self) -> usize {
+        self.layout.width()
+    }
+
+    /// Window size `k`.
+    pub fn window(&self) -> usize {
+        self.layout.window()
+    }
+
+    /// The window decomposition.
+    pub fn layout(&self) -> &WindowLayout {
+        &self.layout
+    }
+
+    /// Computes the group `(P, G, G∨P)` signals of every window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths do not match the adder width.
+    pub fn window_pg(&self, a: &UBig, b: &UBig) -> Vec<WindowPg> {
+        self.check(a, b);
+        self.layout
+            .iter()
+            .map(|(lo, len)| {
+                let aw = pg::extract_window_u64(a, lo, len);
+                let bw = pg::extract_window_u64(b, lo, len);
+                let s0 = aw + bw; // len <= 63: no u64 overflow
+                let g = (s0 >> len) & 1 == 1;
+                let gp = ((s0 + 1) >> len) & 1 == 1;
+                WindowPg { p: g != gp, g, gp }
+            })
+            .collect()
+    }
+
+    /// The SCSA 1 speculative addition (eq. 3.8: every inter-window carry
+    /// speculated as the previous window's group generate).
+    pub fn speculate(&self, a: &UBig, b: &UBig) -> SpecResult {
+        self.check(a, b);
+        let mut sum = UBig::zero(self.width());
+        let mut spec_cin = false; // window 0: the real carry-in, 0
+        let mut cout = false;
+        for (lo, len) in self.layout.iter() {
+            let aw = pg::extract_window_u64(a, lo, len);
+            let bw = pg::extract_window_u64(b, lo, len);
+            let s = aw + bw + spec_cin as u64;
+            sum.deposit_bits(lo, len, s);
+            cout = (s >> len) & 1 == 1;
+            // Next window's carry is speculated with THIS window's
+            // carry-in truncated to 0.
+            spec_cin = ((aw + bw) >> len) & 1 == 1;
+        }
+        SpecResult { sum, cout }
+    }
+
+    /// True iff the speculative result differs from the exact sum under
+    /// the given overflow accounting.
+    pub fn is_error(&self, a: &UBig, b: &UBig, mode: OverflowMode) -> bool {
+        let spec = self.speculate(a, b);
+        let (exact, exact_cout) = a.overflowing_add(b);
+        spec.sum != exact
+            || (mode == OverflowMode::CarryOut && spec.cout != exact_cout)
+    }
+
+    fn check(&self, a: &UBig, b: &UBig) {
+        assert_eq!(a.width(), self.width(), "operand width mismatch");
+        assert_eq!(b.width(), self.width(), "operand width mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+
+    #[test]
+    fn exact_when_no_window_crossing_chains() {
+        let scsa = Scsa::new(32, 8);
+        // Operands with no carries at all.
+        let a = UBig::from_u128(0x5555_5555, 32);
+        let b = UBig::from_u128(0x2222_2222, 32);
+        assert!(!scsa.is_error(&a, &b, OverflowMode::CarryOut));
+    }
+
+    #[test]
+    fn window_pg_matches_planes() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let scsa = Scsa::new(100, 13);
+        for _ in 0..200 {
+            let a = UBig::random(100, &mut rng);
+            let b = UBig::random(100, &mut rng);
+            let pgs = scsa.window_pg(&a, &b);
+            let planes = bitnum::pg::PgPlanes::of(&a, &b);
+            for (i, (lo, len)) in scsa.layout().iter().enumerate() {
+                let (p, g) = planes.group_pg(lo, len);
+                assert_eq!(pgs[i].p, p, "P window {i}");
+                assert_eq!(pgs[i].g, g, "G window {i}");
+                assert_eq!(pgs[i].gp, g || p, "G|P window {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_matches_windowed_reference() {
+        // Reference: recompute each window with the previous window's
+        // isolated carry-out via UBig arithmetic.
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for (n, k) in [(64usize, 14usize), (65, 9), (128, 15), (512, 17)] {
+            let scsa = Scsa::new(n, k);
+            for _ in 0..50 {
+                let a = UBig::random(n, &mut rng);
+                let b = UBig::random(n, &mut rng);
+                let spec = scsa.speculate(&a, &b);
+                let mut cin = false;
+                for (lo, len) in scsa.layout().iter() {
+                    let aw = a.extract(lo, len);
+                    let bw = b.extract(lo, len);
+                    let (sw, _) = aw.add_with_carry(&bw, cin);
+                    assert_eq!(spec.sum.extract(lo, len), sw, "window at {lo}");
+                    let (_, g) = aw.overflowing_add(&bw);
+                    cin = g;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_iff_flagged_pattern_exists() {
+        // The classic error pattern (Fig. 3.4): window i generates, window
+        // i+1 fully propagates.
+        let n = 32;
+        let k = 8;
+        let scsa = Scsa::new(n, k);
+        // Window 0 generates: a= b= 0x80 in window 0 => carry out.
+        // Window 1 all-propagate: a=0xff, b=0x00.
+        let a = UBig::from_u128(0x00_00_ff_80, 32);
+        let b = UBig::from_u128(0x00_00_00_80, 32);
+        assert!(scsa.is_error(&a, &b, OverflowMode::Truncate));
+        let spec = scsa.speculate(&a, &b);
+        let exact = a.wrapping_add(&b);
+        // Error magnitude is small: one unit at the window boundary.
+        let diff = exact.wrapping_sub(&spec.sum);
+        assert_eq!(diff.count_ones(), 1);
+    }
+
+    #[test]
+    fn full_width_window_is_exact() {
+        let scsa = Scsa::new(40, 40);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..200 {
+            let a = UBig::random(40, &mut rng);
+            let b = UBig::random(40, &mut rng);
+            assert!(!scsa.is_error(&a, &b, OverflowMode::CarryOut));
+        }
+    }
+
+    #[test]
+    fn error_rate_decreases_with_window_size() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let trials = 30_000;
+        let mut rates = Vec::new();
+        for k in [4usize, 8, 12] {
+            let scsa = Scsa::new(64, k);
+            let mut errors = 0;
+            for _ in 0..trials {
+                let a = UBig::random(64, &mut rng);
+                let b = UBig::random(64, &mut rng);
+                if scsa.is_error(&a, &b, OverflowMode::CarryOut) {
+                    errors += 1;
+                }
+            }
+            rates.push(errors as f64 / trials as f64);
+        }
+        assert!(rates[0] > rates[1] && rates[1] > rates[2], "{rates:?}");
+    }
+}

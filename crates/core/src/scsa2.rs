@@ -1,0 +1,213 @@
+//! SCSA 2 — modified speculative addition for practical inputs (Ch. 6.5).
+//!
+//! SCSA 1's window adder computes two conditional sums (carry-in 0/1) and
+//! selects with the previous window's `G` — discarding the other carry-out
+//! select signal `G ∨ P` (the carry-out *assuming carry-in 1*). SCSA 2
+//! keeps both: it produces a second speculative result `S*,1` whose windows
+//! are selected by `G^{i-1} ∨ P^{i-1}`. When a carry chain runs from some
+//! generate all the way to the MSB (the dominant error pattern of
+//! two's-complement Gaussian inputs), every window along the chain
+//! propagates, `G ∨ P` equals the true carry, and `S*,1` is exact — turning
+//! a 25% stall rate back into 0.01% (Tables 7.1/7.2).
+
+use bitnum::pg;
+use bitnum::UBig;
+
+use crate::scsa::{Scsa, WindowPg};
+use crate::window::WindowLayout;
+use crate::OverflowMode;
+
+/// The two speculative results of SCSA 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec2Result {
+    /// `S*,0`: window carries speculated as `G^{i-1}` (identical to
+    /// SCSA 1's result).
+    pub sum0: UBig,
+    /// Carry-out of `S*,0`.
+    pub cout0: bool,
+    /// `S*,1`: window carries speculated as `G^{i-1} ∨ P^{i-1}`.
+    pub sum1: UBig,
+    /// Carry-out of `S*,1`.
+    pub cout1: bool,
+}
+
+/// An SCSA 2 speculative adder instance.
+///
+/// # Example
+///
+/// ```
+/// use bitnum::UBig;
+/// use vlcsa::Scsa2;
+///
+/// // Small positive + small negative: the chain runs to the MSB, S*,1 is
+/// // exact where S*,0 is not.
+/// let scsa2 = Scsa2::new(64, 13);
+/// let a = UBig::from_u128(100, 64);
+/// let b = UBig::from_i128(-3, 64);
+/// let spec = scsa2.speculate(&a, &b);
+/// assert_eq!(spec.sum1, a.wrapping_add(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scsa2 {
+    inner: Scsa,
+}
+
+impl Scsa2 {
+    /// Creates an SCSA 2 of the given width and window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`WindowLayout::new`].
+    pub fn new(width: usize, window: usize) -> Self {
+        Self { inner: Scsa::new(width, window) }
+    }
+
+    /// Adder width.
+    pub fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    /// Window size `k`.
+    pub fn window(&self) -> usize {
+        self.inner.window()
+    }
+
+    /// The window decomposition.
+    pub fn layout(&self) -> &WindowLayout {
+        self.inner.layout()
+    }
+
+    /// The underlying SCSA 1 (shared window adders).
+    pub fn scsa1(&self) -> &Scsa {
+        &self.inner
+    }
+
+    /// Group signals per window (same hardware as SCSA 1).
+    pub fn window_pg(&self, a: &UBig, b: &UBig) -> Vec<WindowPg> {
+        self.inner.window_pg(a, b)
+    }
+
+    /// Computes both speculative results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths do not match the adder width.
+    pub fn speculate(&self, a: &UBig, b: &UBig) -> Spec2Result {
+        assert_eq!(a.width(), self.width(), "operand width mismatch");
+        assert_eq!(b.width(), self.width(), "operand width mismatch");
+        let width = self.width();
+        let mut sum0 = UBig::zero(width);
+        let mut sum1 = UBig::zero(width);
+        let (mut cin0, mut cin1) = (false, false); // window 0: real cin = 0
+        let (mut cout0, mut cout1) = (false, false);
+        for (i, (lo, len)) in self.layout().iter().enumerate() {
+            let aw = pg::extract_window_u64(a, lo, len);
+            let bw = pg::extract_window_u64(b, lo, len);
+            let base = aw + bw;
+            let s0 = base + cin0 as u64;
+            let s1 = base + cin1 as u64;
+            sum0.deposit_bits(lo, len, s0);
+            sum1.deposit_bits(lo, len, s1);
+            cout0 = (s0 >> len) & 1 == 1;
+            cout1 = (s1 >> len) & 1 == 1;
+            // Next speculations from THIS window's select signals:
+            // G (carry-in truncated to 0) and G|P (carry-in forced to 1).
+            // Window 0 is not speculative — its carry-in is the real 0 —
+            // so BOTH chains leave it with the true carry-out G⁰.
+            cin0 = (base >> len) & 1 == 1;
+            cin1 = if i == 0 { cin0 } else { ((base + 1) >> len) & 1 == 1 };
+        }
+        Spec2Result { sum0, cout0, sum1, cout1 }
+    }
+
+    /// True iff **both** speculative results differ from the exact sum
+    /// (the SCSA 2 error event of Table 7.2).
+    pub fn is_error(&self, a: &UBig, b: &UBig, mode: OverflowMode) -> bool {
+        let spec = self.speculate(a, b);
+        let (exact, exact_cout) = a.overflowing_add(b);
+        let wrong0 = spec.sum0 != exact
+            || (mode == OverflowMode::CarryOut && spec.cout0 != exact_cout);
+        let wrong1 = spec.sum1 != exact
+            || (mode == OverflowMode::CarryOut && spec.cout1 != exact_cout);
+        wrong0 && wrong1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+
+    #[test]
+    fn sum0_matches_scsa1() {
+        let scsa2 = Scsa2::new(96, 11);
+        let scsa1 = Scsa::new(96, 11);
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        for _ in 0..500 {
+            let a = UBig::random(96, &mut rng);
+            let b = UBig::random(96, &mut rng);
+            let two = scsa2.speculate(&a, &b);
+            let one = scsa1.speculate(&a, &b);
+            assert_eq!(two.sum0, one.sum);
+            assert_eq!(two.cout0, one.cout);
+        }
+    }
+
+    #[test]
+    fn msb_reaching_chain_is_corrected_by_sum1() {
+        // Small positive + small negative with |pos| > |neg|: a generate
+        // fires in the low windows and every higher window propagates
+        // (upward-closed), so ERR1 = 0 and S*,1 is exact. (Patterns whose
+        // propagate run is broken midway — e.g. 2^40 − 2^20 — raise ERR1
+        // and go to recovery instead; see `detect::select`.)
+        let scsa2 = Scsa2::new(64, 13);
+        for (x, y) in [(100i128, -3i128), (1_000_000, -1), (5, -4), (123_456, -7)] {
+            let a = UBig::from_i128(x, 64);
+            let b = UBig::from_i128(y, 64);
+            let exact = a.wrapping_add(&b);
+            let spec = scsa2.speculate(&a, &b);
+            assert_eq!(spec.sum1, exact, "S*,1 must fix {x} + {y}");
+        }
+    }
+
+    #[test]
+    fn gaussian_error_rate_collapses_vs_scsa1() {
+        // Table 7.1 vs 7.2: ~25% for SCSA 1, ~0.01% for SCSA 2.
+        use workloads::dist::{Distribution, OperandSource};
+        let n = 64;
+        let scsa1 = Scsa::new(n, 14);
+        let scsa2 = Scsa2::new(n, 14);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), n, 11);
+        let trials = 20_000;
+        let (mut e1, mut e2) = (0usize, 0usize);
+        for _ in 0..trials {
+            let (a, b) = src.next_pair();
+            if scsa1.is_error(&a, &b, OverflowMode::Truncate) {
+                e1 += 1;
+            }
+            if scsa2.is_error(&a, &b, OverflowMode::Truncate) {
+                e2 += 1;
+            }
+        }
+        let r1 = e1 as f64 / trials as f64;
+        let r2 = e2 as f64 / trials as f64;
+        assert!((0.2..0.3).contains(&r1), "SCSA1 rate {r1}");
+        assert!(r2 < 0.005, "SCSA2 rate {r2}");
+    }
+
+    #[test]
+    fn uniform_error_rate_not_worse_than_scsa1() {
+        let scsa1 = Scsa::new(64, 8);
+        let scsa2 = Scsa2::new(64, 8);
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let (mut e1, mut e2) = (0usize, 0usize);
+        for _ in 0..30_000 {
+            let a = UBig::random(64, &mut rng);
+            let b = UBig::random(64, &mut rng);
+            e1 += scsa1.is_error(&a, &b, OverflowMode::Truncate) as usize;
+            e2 += scsa2.is_error(&a, &b, OverflowMode::Truncate) as usize;
+        }
+        assert!(e2 <= e1, "SCSA2 ({e2}) must not err more than SCSA1 ({e1})");
+        assert!(e1 > 0, "window 8 at n=64 should err in 30k uniform trials");
+    }
+}

@@ -1,0 +1,231 @@
+//! VLCSA 1 — the reliable variable-latency carry select adder (Ch. 5).
+//!
+//! One cycle when the detector stays quiet (the overwhelmingly common
+//! case), two cycles when it flags and the recovery prefix adder produces
+//! the exact result. The output is **always** exact — the crate's central
+//! reliability invariant, enforced by tests and a debug assertion.
+
+use bitnum::UBig;
+
+use crate::detect;
+use crate::scsa::Scsa;
+use crate::window::WindowLayout;
+
+/// The outcome of one variable-latency addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddOutcome {
+    /// The (always exact) sum.
+    pub sum: UBig,
+    /// The (always exact) carry-out.
+    pub cout: bool,
+    /// Cycles consumed: 1 (speculation accepted) or 2 (recovery).
+    pub cycles: u8,
+    /// Whether error detection flagged (`STALL`).
+    pub flagged: bool,
+}
+
+/// Latency bookkeeping across many operations (eq. 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    ops: u64,
+    stalls: u64,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: &AddOutcome) {
+        self.ops += 1;
+        if outcome.cycles > 1 {
+            self.stalls += 1;
+        }
+    }
+
+    /// Operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations that stalled for recovery.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Observed stall (nominal error) rate.
+    pub fn stall_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / self.ops as f64
+        }
+    }
+
+    /// Average cycles per addition: `1 + P_err` (eq. 5.2's `T_ave / T_clk`).
+    pub fn avg_cycles(&self) -> f64 {
+        1.0 + self.stall_rate()
+    }
+
+    /// Average time per addition given the clock period (eq. 5.2:
+    /// `T_ave = T_clk · (1 + P_err)`).
+    pub fn avg_time(&self, t_clk: f64) -> f64 {
+        t_clk * self.avg_cycles()
+    }
+}
+
+/// A VLCSA 1 instance.
+///
+/// # Example
+///
+/// ```
+/// use bitnum::UBig;
+/// use vlcsa::{LatencyStats, Vlcsa1};
+///
+/// let adder = Vlcsa1::new(64, 14);
+/// let mut stats = LatencyStats::new();
+/// let outcome = adder.add(&UBig::from_u128(7, 64), &UBig::from_u128(9, 64));
+/// stats.record(&outcome);
+/// assert_eq!(outcome.sum.to_u128(), Some(16));
+/// assert_eq!(stats.avg_cycles(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vlcsa1 {
+    scsa: Scsa,
+}
+
+impl Vlcsa1 {
+    /// Creates a VLCSA 1 of the given width and window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`WindowLayout::new`].
+    pub fn new(width: usize, window: usize) -> Self {
+        Self { scsa: Scsa::new(width, window) }
+    }
+
+    /// Adder width.
+    pub fn width(&self) -> usize {
+        self.scsa.width()
+    }
+
+    /// Window size `k`.
+    pub fn window(&self) -> usize {
+        self.scsa.window()
+    }
+
+    /// The window decomposition.
+    pub fn layout(&self) -> &WindowLayout {
+        self.scsa.layout()
+    }
+
+    /// The underlying speculative adder.
+    pub fn scsa(&self) -> &Scsa {
+        &self.scsa
+    }
+
+    /// One variable-latency addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths do not match the adder width.
+    pub fn add(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        let pgs = self.scsa.window_pg(a, b);
+        let flagged = detect::err0(&pgs);
+        if flagged {
+            // STALL: the recovery prefix adder over the window group P/G
+            // produces the exact result in the second cycle.
+            let (sum, cout) = a.overflowing_add(b);
+            AddOutcome { sum, cout, cycles: 2, flagged }
+        } else {
+            // VALID: the speculative result is provably exact here.
+            let spec = self.scsa.speculate(a, b);
+            debug_assert_eq!(spec.sum, a.wrapping_add(b), "reliability invariant");
+            AddOutcome { sum: spec.sum, cout: spec.cout, cycles: 1, flagged }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+    use workloads::dist::{Distribution, OperandSource};
+
+    #[test]
+    fn always_exact_on_uniform() {
+        let adder = Vlcsa1::new(64, 6); // small window: frequent stalls
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut stats = LatencyStats::new();
+        for _ in 0..50_000 {
+            let a = UBig::random(64, &mut rng);
+            let b = UBig::random(64, &mut rng);
+            let outcome = adder.add(&a, &b);
+            let (sum, cout) = a.overflowing_add(&b);
+            assert_eq!(outcome.sum, sum);
+            assert_eq!(outcome.cout, cout);
+            stats.record(&outcome);
+        }
+        assert!(stats.stalls() > 0, "k=6 must stall sometimes");
+        assert!(stats.avg_cycles() > 1.0 && stats.avg_cycles() < 1.5);
+    }
+
+    #[test]
+    fn stall_rate_matches_nominal_model() {
+        let adder = Vlcsa1::new(128, 9);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut stats = LatencyStats::new();
+        for _ in 0..200_000 {
+            let a = UBig::random(128, &mut rng);
+            let b = UBig::random(128, &mut rng);
+            stats.record(&adder.add(&a, &b));
+        }
+        let nominal = crate::model::err0_rate_exact(128, 9);
+        let sigma = (nominal / 200_000.0).sqrt();
+        assert!(
+            (stats.stall_rate() - nominal).abs() < 5.0 * sigma + 1e-6,
+            "stall {} vs nominal {}",
+            stats.stall_rate(),
+            nominal
+        );
+    }
+
+    #[test]
+    fn gaussian_inputs_stall_a_quarter_of_the_time() {
+        // Table 7.1: 25.01% at (64, 14) with sigma = 2^32.
+        let adder = Vlcsa1::new(64, 14);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 7);
+        let mut stats = LatencyStats::new();
+        for _ in 0..50_000 {
+            let (a, b) = src.next_pair();
+            let outcome = adder.add(&a, &b);
+            assert_eq!(outcome.sum, a.wrapping_add(&b));
+            stats.record(&outcome);
+        }
+        assert!(
+            (0.22..0.28).contains(&stats.stall_rate()),
+            "stall rate {}",
+            stats.stall_rate()
+        );
+    }
+
+    #[test]
+    fn eq_5_2_average_time() {
+        let mut stats = LatencyStats::new();
+        let fast = AddOutcome {
+            sum: UBig::zero(8),
+            cout: false,
+            cycles: 1,
+            flagged: false,
+        };
+        let slow = AddOutcome { cycles: 2, flagged: true, ..fast.clone() };
+        for _ in 0..99 {
+            stats.record(&fast);
+        }
+        stats.record(&slow);
+        assert!((stats.avg_cycles() - 1.01).abs() < 1e-12);
+        assert!((stats.avg_time(2.0) - 2.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! VLCSA 2 — the modified variable-latency adder for practical inputs
+//! (Ch. 6.7).
+//!
+//! Selection logic (Fig. 6.8): `ERR0 = 0` → accept `S*,0`;
+//! `ERR0 = 1 ∧ ERR1 = 0` → accept `S*,1` (the chain reaches the MSB and the
+//! alternate speculation is exact); `ERR0 = 1 ∧ ERR1 = 1` → stall one cycle
+//! and take the recovery result. Both accept paths are single-cycle.
+
+use bitnum::UBig;
+
+use crate::detect::{self, Selection};
+use crate::scsa2::Scsa2;
+use crate::vlcsa1::{AddOutcome, LatencyStats};
+use crate::window::WindowLayout;
+
+/// A VLCSA 2 instance.
+///
+/// # Example
+///
+/// ```
+/// use bitnum::UBig;
+/// use vlcsa::Vlcsa2;
+///
+/// let adder = Vlcsa2::new(64, 13); // Table 7.5 window size @0.01%
+/// // Small positive + small negative: VLCSA 1 would stall; VLCSA 2's
+/// // second speculative result absorbs it in a single cycle.
+/// let a = UBig::from_u128(1000, 64);
+/// let b = UBig::from_i128(-1, 64);
+/// let outcome = adder.add(&a, &b);
+/// assert_eq!(outcome.sum.to_u128(), Some(999));
+/// assert_eq!(outcome.cycles, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vlcsa2 {
+    scsa2: Scsa2,
+}
+
+impl Vlcsa2 {
+    /// Creates a VLCSA 2 of the given width and window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`WindowLayout::new`].
+    pub fn new(width: usize, window: usize) -> Self {
+        Self { scsa2: Scsa2::new(width, window) }
+    }
+
+    /// Adder width.
+    pub fn width(&self) -> usize {
+        self.scsa2.width()
+    }
+
+    /// Window size `k`.
+    pub fn window(&self) -> usize {
+        self.scsa2.window()
+    }
+
+    /// The window decomposition.
+    pub fn layout(&self) -> &WindowLayout {
+        self.scsa2.layout()
+    }
+
+    /// The underlying modified speculative adder.
+    pub fn scsa2(&self) -> &Scsa2 {
+        &self.scsa2
+    }
+
+    /// One variable-latency addition. The result is always exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths do not match the adder width.
+    pub fn add(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        let pgs = self.scsa2.window_pg(a, b);
+        match detect::select(&pgs) {
+            Selection::Spec0 => {
+                let spec = self.scsa2.speculate(a, b);
+                debug_assert_eq!(spec.sum0, a.wrapping_add(b), "reliability invariant");
+                AddOutcome { sum: spec.sum0, cout: spec.cout0, cycles: 1, flagged: false }
+            }
+            Selection::Spec1 => {
+                let spec = self.scsa2.speculate(a, b);
+                debug_assert_eq!(spec.sum1, a.wrapping_add(b), "reliability invariant");
+                AddOutcome { sum: spec.sum1, cout: spec.cout1, cycles: 1, flagged: false }
+            }
+            Selection::Recover => {
+                let (sum, cout) = a.overflowing_add(b);
+                AddOutcome { sum, cout, cycles: 2, flagged: true }
+            }
+        }
+    }
+
+    /// Convenience: measured stall rate over a stream of operand pairs.
+    pub fn stall_rate<I: Iterator<Item = (UBig, UBig)>>(&self, pairs: I) -> LatencyStats {
+        let mut stats = LatencyStats::new();
+        for (a, b) in pairs {
+            stats.record(&self.add(&a, &b));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::{RandomBits, Xoshiro256};
+    use workloads::dist::{Distribution, OperandSource};
+
+    #[test]
+    fn always_exact_on_all_distributions() {
+        for dist in [
+            Distribution::UnsignedUniform,
+            Distribution::TwosComplementUniform,
+            Distribution::UnsignedGaussian { sigma: (1u64 << 32) as f64 },
+            Distribution::paper_gaussian(),
+        ] {
+            let adder = Vlcsa2::new(64, 9);
+            let mut src = OperandSource::new(dist, 64, 17);
+            for _ in 0..20_000 {
+                let (a, b) = src.next_pair();
+                let outcome = adder.add(&a, &b);
+                let (sum, cout) = a.overflowing_add(&b);
+                assert_eq!(outcome.sum, sum, "{dist:?}");
+                assert_eq!(outcome.cout, cout, "{dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_stall_rate_collapses_to_uniform_level() {
+        // Table 7.2: nominal error rate 0.01% at (64, 14) — vs VLCSA 1's
+        // 25% (Table 7.1). At 100k trials a 0.01% rate gives ~10 stalls.
+        let adder = Vlcsa2::new(64, 14);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 29);
+        let mut stats = LatencyStats::new();
+        for _ in 0..100_000 {
+            let (a, b) = src.next_pair();
+            stats.record(&adder.add(&a, &b));
+        }
+        assert!(
+            stats.stall_rate() < 0.002,
+            "VLCSA 2 stall rate {} should be near 0.01%",
+            stats.stall_rate()
+        );
+    }
+
+    #[test]
+    fn single_cycle_for_pure_sign_extension_chains() {
+        let adder = Vlcsa2::new(128, 13);
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        for _ in 0..1000 {
+            // small positive + small negative with |pos| > |neg|
+            let pos = (rng.next_u64() >> 40) as i128 + 2;
+            let neg = -((rng.next_u64() >> 50) as i128 % pos.max(2)) - 1;
+            let a = UBig::from_i128(pos, 128);
+            let b = UBig::from_i128(neg.max(-pos + 1), 128);
+            let outcome = adder.add(&a, &b);
+            assert_eq!(outcome.sum, a.wrapping_add(&b));
+        }
+    }
+
+    #[test]
+    fn stall_rate_helper_counts() {
+        let adder = Vlcsa2::new(64, 10);
+        let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 3);
+        let pairs: Vec<_> = (0..5000).map(|_| src.next_pair()).collect();
+        let stats = adder.stall_rate(pairs.into_iter());
+        assert_eq!(stats.ops(), 5000);
+        assert!(stats.avg_cycles() >= 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Window segmentation (Ch. 4, Fig. 4.1).
+//!
+//! An `n`-bit adder is segmented into `m = ⌈n/k⌉` windows. When `k` does
+//! not divide `n`, the remainder-sized window (`n − k·(m−1)` bits) is
+//! placed at the **least-significant** end — the paper adopts the
+//! carry-select optimization of putting the small block first so its late
+//! select signal lines up with the other blocks' mux chains.
+
+/// The window decomposition of an adder.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WindowLayout {
+    width: usize,
+    window: usize,
+    /// (lo, len) per window, LSB window first.
+    bounds: Vec<(usize, usize)>,
+}
+
+impl WindowLayout {
+    /// Segments `width` bits into windows of size `window` (the first,
+    /// least-significant window absorbs the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `window == 0`, or `window > 63` (the
+    /// behavioral kernels pack windows into `u64` words; the paper never
+    /// uses windows above 21 bits).
+    pub fn new(width: usize, window: usize) -> Self {
+        assert!(width >= 1, "width must be >= 1");
+        assert!(window >= 1 && window <= 63, "window size must be in 1..=63");
+        let count = width.div_ceil(window);
+        let first = width - window * (count - 1);
+        let mut bounds = Vec::with_capacity(count);
+        bounds.push((0, first));
+        let mut lo = first;
+        for _ in 1..count {
+            bounds.push((lo, window));
+            lo += window;
+        }
+        debug_assert_eq!(lo, width);
+        Self { width, window, bounds }
+    }
+
+    /// Total adder width `n`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Nominal window size `k`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of windows `m = ⌈n/k⌉`.
+    pub fn count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `(lo, len)` of window `i` (window 0 is least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()`.
+    pub fn bounds(&self, i: usize) -> (usize, usize) {
+        self.bounds[i]
+    }
+
+    /// Iterates over `(lo, len)` pairs, LSB window first.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.bounds.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let l = WindowLayout::new(64, 16);
+        assert_eq!(l.count(), 4);
+        assert_eq!(l.bounds(0), (0, 16));
+        assert_eq!(l.bounds(3), (48, 16));
+    }
+
+    #[test]
+    fn remainder_goes_first() {
+        // 64 = 14*4 + 8: first window 8 bits, then four 14-bit windows.
+        let l = WindowLayout::new(64, 14);
+        assert_eq!(l.count(), 5);
+        assert_eq!(l.bounds(0), (0, 8));
+        for i in 1..5 {
+            assert_eq!(l.bounds(i).1, 14);
+        }
+        let covered: usize = l.iter().map(|(_, len)| len).sum();
+        assert_eq!(covered, 64);
+    }
+
+    #[test]
+    fn windows_tile_the_width() {
+        for width in [1usize, 7, 32, 63, 64, 65, 100, 512] {
+            for window in [1usize, 3, 13, 17, 63] {
+                let l = WindowLayout::new(width, window);
+                let mut expected_lo = 0;
+                for (i, (lo, len)) in l.iter().enumerate() {
+                    assert_eq!(lo, expected_lo, "width {width} window {window} i {i}");
+                    assert!(len >= 1 && len <= window);
+                    if i > 0 {
+                        assert_eq!(len, window, "only window 0 may be short");
+                    }
+                    expected_lo += len;
+                }
+                assert_eq!(expected_lo, width);
+                assert_eq!(l.count(), width.div_ceil(window));
+            }
+        }
+    }
+
+    #[test]
+    fn single_window_when_k_ge_n() {
+        let l = WindowLayout::new(10, 32);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.bounds(0), (0, 10));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the SCSA/VLCSA invariants.
+
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+use proptest::prelude::*;
+use vlcsa::{detect, OverflowMode, Scsa, Scsa2};
+
+/// Strategy: a width, a window size, and a seed for operand generation.
+fn params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..300, 1usize..40, any::<u64>())
+        .prop_map(|(n, k, seed)| (n, k.min(n).min(63), seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Speculation differs from the exact sum only in the presence of the
+    /// flagged pattern — ERR0 soundness, for arbitrary (n, k).
+    #[test]
+    fn err0_soundness((n, k, seed) in params()) {
+        let scsa = Scsa::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..32 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            if scsa.is_error(&a, &b, OverflowMode::CarryOut) {
+                prop_assert!(detect::err0(&scsa.window_pg(&a, &b)));
+            }
+        }
+    }
+
+    /// The carry-out of the implemented SCSA is wrong only when the sum
+    /// already is (the vacuity of eq. 3.13's last term).
+    #[test]
+    fn cout_error_implies_sum_error((n, k, seed) in params()) {
+        let scsa = Scsa::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..32 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            prop_assert_eq!(
+                scsa.is_error(&a, &b, OverflowMode::CarryOut),
+                scsa.is_error(&a, &b, OverflowMode::Truncate)
+            );
+        }
+    }
+
+    /// SCSA 2's selection logic always yields an exact accepted result.
+    #[test]
+    fn scsa2_selection_soundness((n, k, seed) in params()) {
+        let scsa2 = Scsa2::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..32 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            let exact = a.wrapping_add(&b);
+            let spec = scsa2.speculate(&a, &b);
+            match detect::select(&scsa2.window_pg(&a, &b)) {
+                detect::Selection::Spec0 => prop_assert_eq!(&spec.sum0, &exact),
+                detect::Selection::Spec1 => prop_assert_eq!(&spec.sum1, &exact),
+                detect::Selection::Recover => {}
+            }
+        }
+    }
+
+    /// Speculation is *locally exact*: every window's sum equals the true
+    /// sum of that window with the speculated carry-in — i.e. the only
+    /// error mechanism is a wrong inter-window carry.
+    #[test]
+    fn speculation_is_locally_exact((n, k, seed) in params()) {
+        let scsa = Scsa::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = UBig::random(n, &mut rng);
+        let b = UBig::random(n, &mut rng);
+        let spec = scsa.speculate(&a, &b);
+        let pgs = scsa.window_pg(&a, &b);
+        let mut prev_g = false; // window 0 carry-in is 0
+        for (i, (lo, len)) in scsa.layout().iter().enumerate() {
+            let aw = a.extract(lo, len);
+            let bw = b.extract(lo, len);
+            let (expect, _) = aw.add_with_carry(&bw, prev_g);
+            prop_assert_eq!(spec.sum.extract(lo, len), expect, "window {}", i);
+            prev_g = pgs[i].g;
+        }
+    }
+
+    /// Monotonicity: an error at window size k+1 implies the chain that
+    /// caused it also defeats size k... is false in general; what *does*
+    /// hold is the model-level monotonicity. Check the exact model against
+    /// arbitrary parameters.
+    #[test]
+    fn exact_model_bounded_and_monotone(n in 4usize..400, k in 2usize..24) {
+        let k = k.min(n).min(63);
+        let p = vlcsa::model::exact_error_rate(n, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if k + 1 <= n.min(63) {
+            prop_assert!(vlcsa::model::exact_error_rate(n, k + 1) <= p + 1e-12);
+        }
+        let nominal = vlcsa::model::err0_rate_exact(n, k);
+        prop_assert!(nominal + 1e-12 >= p, "nominal {} < exact {}", nominal, p);
+    }
+
+    /// Window layout invariants for arbitrary parameters.
+    #[test]
+    fn layout_tiles(n in 1usize..2000, k in 1usize..64) {
+        let k = k.min(63);
+        let layout = vlcsa::window::WindowLayout::new(n, k);
+        let mut lo = 0usize;
+        for (w_lo, w_len) in layout.iter() {
+            prop_assert_eq!(w_lo, lo);
+            prop_assert!(w_len >= 1 && w_len <= k);
+            lo += w_len;
+        }
+        prop_assert_eq!(lo, n);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cell-area accounting.
+//!
+//! Areas are summed in NAND2 equivalents and convertible to µm² through
+//! [`crate::UM2_PER_NAND2`], matching the scale of the paper's area figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, Node};
+use crate::UM2_PER_NAND2;
+
+/// Area summary of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    by_kind: BTreeMap<CellKind, usize>,
+    total_nand2: f64,
+}
+
+impl AreaReport {
+    /// Total area in NAND2 equivalents.
+    pub fn total_nand2(&self) -> f64 {
+        self.total_nand2
+    }
+
+    /// Total area in µm² under the calibrated 65 nm process.
+    pub fn total_um2(&self) -> f64 {
+        self.total_nand2 * UM2_PER_NAND2
+    }
+
+    /// Instance count per cell kind (constants excluded).
+    pub fn counts(&self) -> &BTreeMap<CellKind, usize> {
+        &self.by_kind
+    }
+
+    /// Total number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.by_kind.values().sum()
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} NAND2-eq ({:.1} um2): ", self.total_nand2, self.total_um2())?;
+        let mut first = true;
+        for (kind, count) in &self.by_kind {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{kind:?}x{count}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the area of a netlist.
+pub fn analyze(netlist: &Netlist) -> AreaReport {
+    let mut by_kind = BTreeMap::new();
+    let mut total = 0.0;
+    for node in netlist.nodes() {
+        if let Node::Cell { kind, .. } = node {
+            if matches!(kind, CellKind::Const0 | CellKind::Const1) {
+                continue;
+            }
+            *by_kind.entry(*kind).or_insert(0) += 1;
+            total += kind.area();
+        }
+    }
+    AreaReport { by_kind, total_nand2: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn counts_and_total() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let a = b.and2(x, y);
+        let o = b.xor2(a, y);
+        b.output_bit("z", o);
+        let n = b.finish();
+        let r = analyze(&n);
+        assert_eq!(r.cell_count(), 2);
+        assert!((r.total_nand2() - (CellKind::And2.area() + CellKind::Xor2.area())).abs() < 1e-12);
+        assert!(r.total_um2() > r.total_nand2()); // 1.44 scale
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let one = b.const1();
+        let z = b.xor2(x, one); // folds to inverter
+        b.output_bit("z", z);
+        let n = b.finish();
+        let r = analyze(&n);
+        assert_eq!(r.cell_count(), 1);
+        assert!((r.total_nand2() - CellKind::Inv.area()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,825 @@
+use std::collections::HashMap;
+
+use crate::cell::CellKind;
+use crate::netlist::{Bus, Netlist, Node, Signal};
+
+/// Incremental netlist constructor with hash-consing and constant folding.
+///
+/// The builder plays the role of a synthesis tool's front end:
+///
+/// * structurally identical cells are merged (common-subexpression
+///   elimination) — commutative cells are input-normalized first;
+/// * constants propagate through every cell kind (`AND(x,0) → 0`,
+///   `MUX(d0,d1,1) → d1`, double inverters cancel, …), which is how the
+///   paper's "carry truncated to 0" speculation actually shrinks hardware;
+/// * [`NetlistBuilder::finish`] sweeps logic not reachable from an output.
+///
+/// Node creation order is topological by construction, an invariant the
+/// simulator and timer rely on.
+///
+/// # Panics
+///
+/// Builder methods panic on programmer errors (duplicate bus names, foreign
+/// signals); they are infallible otherwise.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<Bus>,
+    outputs: Vec<Bus>,
+    cse: HashMap<(CellKind, [Signal; 4]), Signal>,
+    const0: Option<Signal>,
+    const1: Option<Signal>,
+    /// When false, hash-consing and folding are suspended (used by the
+    /// fanout-buffering pass, which needs duplicate `Buf` cells).
+    share: bool,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            cse: HashMap::new(),
+            const0: None,
+            const1: None,
+            share: true,
+        }
+    }
+
+    /// Disables hash-consing and folding for subsequently created cells.
+    /// Only the optimization passes need this.
+    pub(crate) fn set_sharing(&mut self, share: bool) {
+        self.share = share;
+    }
+
+    /// Declares an input bus of `width` bits; returns its signals LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or `width == 0`.
+    pub fn input_bus(&mut self, name: impl Into<String>, width: usize) -> Vec<Signal> {
+        let name = name.into();
+        assert!(width > 0, "bus {name:?} must have width >= 1");
+        assert!(
+            self.inputs.iter().all(|b| b.name != name),
+            "input bus {name:?} declared twice"
+        );
+        let bus_idx = self.inputs.len() as u32;
+        let signals: Vec<Signal> = (0..width)
+            .map(|bit| self.push(Node::Input { bus: bus_idx, bit: bit as u32 }))
+            .collect();
+        self.inputs.push(Bus { name, signals: signals.clone() });
+        signals
+    }
+
+    /// Declares a 1-bit input.
+    pub fn input_bit(&mut self, name: impl Into<String>) -> Signal {
+        self.input_bus(name, 1)[0]
+    }
+
+    /// Declares an output bus driven by `signals` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used, `signals` is empty, or a signal
+    /// does not belong to this builder.
+    pub fn output_bus(&mut self, name: impl Into<String>, signals: &[Signal]) {
+        let name = name.into();
+        assert!(!signals.is_empty(), "output bus {name:?} must have width >= 1");
+        assert!(
+            self.outputs.iter().all(|b| b.name != name),
+            "output bus {name:?} declared twice"
+        );
+        for s in signals {
+            assert!(s.index() < self.nodes.len(), "signal from another netlist");
+        }
+        self.outputs.push(Bus { name, signals: signals.to_vec() });
+    }
+
+    /// Declares a 1-bit output.
+    pub fn output_bit(&mut self, name: impl Into<String>, signal: Signal) {
+        self.output_bus(name, &[signal]);
+    }
+
+    /// The constant-0 signal.
+    pub fn const0(&mut self) -> Signal {
+        if let Some(s) = self.const0 {
+            return s;
+        }
+        let s = self.push(Node::Cell { kind: CellKind::Const0, ins: [Signal(0); 4] });
+        self.const0 = Some(s);
+        s
+    }
+
+    /// The constant-1 signal.
+    pub fn const1(&mut self) -> Signal {
+        if let Some(s) = self.const1 {
+            return s;
+        }
+        let s = self.push(Node::Cell { kind: CellKind::Const1, ins: [Signal(0); 4] });
+        self.const1 = Some(s);
+        s
+    }
+
+    /// A constant of the given value.
+    pub fn constant(&mut self, value: bool) -> Signal {
+        if value {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    /// Returns the constant value of `s`, if it is a constant node.
+    pub fn const_value(&self, s: Signal) -> Option<bool> {
+        match self.nodes[s.index()] {
+            Node::Cell { kind: CellKind::Const0, .. } => Some(false),
+            Node::Cell { kind: CellKind::Const1, .. } => Some(true),
+            _ => None,
+        }
+    }
+
+    /// If `s` is an inverter output, returns its input.
+    fn inv_input(&self, s: Signal) -> Option<Signal> {
+        match self.nodes[s.index()] {
+            Node::Cell { kind: CellKind::Inv, ins } => Some(ins[0]),
+            _ => None,
+        }
+    }
+
+    fn push(&mut self, node: Node) -> Signal {
+        let id = Signal(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Instantiates a cell, applying folding and sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the cell arity or an
+    /// input belongs to another builder.
+    pub fn cell(&mut self, kind: CellKind, inputs: &[Signal]) -> Signal {
+        assert_eq!(inputs.len(), kind.arity(), "{kind:?} needs {} inputs", kind.arity());
+        for s in inputs {
+            assert!(s.index() < self.nodes.len(), "signal from another netlist");
+        }
+        let mut ins = [Signal(0); 4];
+        ins[..inputs.len()].copy_from_slice(inputs);
+
+        if self.share {
+            if let Some(folded) = self.fold(kind, &ins) {
+                return folded;
+            }
+            // Normalize commutative inputs for better sharing.
+            let mut key = ins;
+            match kind {
+                CellKind::And2
+                | CellKind::Or2
+                | CellKind::Nand2
+                | CellKind::Nor2
+                | CellKind::Xor2
+                | CellKind::Xnor2 => key[..2].sort(),
+                CellKind::Maj3 => key[..3].sort(),
+                CellKind::And4 | CellKind::Or4 | CellKind::Nand4 | CellKind::Nor4 => {
+                    key[..4].sort()
+                }
+                _ => {}
+            }
+            if let Some(&existing) = self.cse.get(&(kind, key)) {
+                return existing;
+            }
+            let s = self.push(Node::Cell { kind, ins: key });
+            self.cse.insert((kind, key), s);
+            s
+        } else {
+            self.push(Node::Cell { kind, ins })
+        }
+    }
+
+    /// Constant folding and local simplification. Returns the replacement
+    /// signal if the cell can be elided.
+    fn fold(&mut self, kind: CellKind, ins: &[Signal; 4]) -> Option<Signal> {
+        use CellKind::*;
+        let c = |b: &Self, s: Signal| b.const_value(s);
+        let (a, b2, c3) = (ins[0], ins[1], ins[2]);
+        match kind {
+            Const0 | Const1 => None,
+            And4 | Or4 | Nand4 | Nor4 => {
+                // Wide gates fold only in the presence of constants or
+                // duplicates, by lowering to the 2-input network (which
+                // folds recursively).
+                let is_and = matches!(kind, And4 | Nand4);
+                let invert = matches!(kind, Nand4 | Nor4);
+                let has_const = ins.iter().any(|&s| c(self, s).is_some());
+                let mut unique = ins.to_vec();
+                unique.sort();
+                unique.dedup();
+                if !has_const && unique.len() == 4 {
+                    return None;
+                }
+                let mut acc: Option<Signal> = None;
+                for &s in ins.iter() {
+                    acc = Some(match acc {
+                        None => s,
+                        Some(prev) => {
+                            if is_and {
+                                self.and2(prev, s)
+                            } else {
+                                self.or2(prev, s)
+                            }
+                        }
+                    });
+                }
+                let out = acc.expect("four inputs");
+                Some(if invert { self.inv(out) } else { out })
+            }
+            Buf => Some(a),
+            Inv => {
+                if let Some(v) = c(self, a) {
+                    return Some(self.constant(!v));
+                }
+                self.inv_input(a)
+            }
+            And2 | Nand2 => {
+                let invert = kind == Nand2;
+                let out = |builder: &mut Self, s: Signal| {
+                    if invert {
+                        Some(builder.inv(s))
+                    } else {
+                        Some(s)
+                    }
+                };
+                match (c(self, a), c(self, b2)) {
+                    (Some(false), _) | (_, Some(false)) => {
+                        let z = self.constant(invert);
+                        Some(z)
+                    }
+                    (Some(true), _) => out(self, b2),
+                    (_, Some(true)) => out(self, a),
+                    _ if a == b2 => out(self, a),
+                    _ if self.inv_input(a) == Some(b2) || self.inv_input(b2) == Some(a) => {
+                        let z = self.constant(invert);
+                        Some(z)
+                    }
+                    _ => None,
+                }
+            }
+            Or2 | Nor2 => {
+                let invert = kind == Nor2;
+                let out = |builder: &mut Self, s: Signal| {
+                    if invert {
+                        Some(builder.inv(s))
+                    } else {
+                        Some(s)
+                    }
+                };
+                match (c(self, a), c(self, b2)) {
+                    (Some(true), _) | (_, Some(true)) => {
+                        let z = self.constant(!invert);
+                        Some(z)
+                    }
+                    (Some(false), _) => out(self, b2),
+                    (_, Some(false)) => out(self, a),
+                    _ if a == b2 => out(self, a),
+                    _ if self.inv_input(a) == Some(b2) || self.inv_input(b2) == Some(a) => {
+                        let z = self.constant(!invert);
+                        Some(z)
+                    }
+                    _ => None,
+                }
+            }
+            Xor2 | Xnor2 => {
+                let invert = kind == Xnor2;
+                let out = |builder: &mut Self, s: Signal, inv: bool| {
+                    if inv != invert {
+                        Some(builder.inv(s))
+                    } else {
+                        Some(s)
+                    }
+                };
+                match (c(self, a), c(self, b2)) {
+                    (Some(va), Some(vb)) => Some(self.constant((va ^ vb) != invert)),
+                    (Some(va), None) => out(self, b2, va),
+                    (None, Some(vb)) => out(self, a, vb),
+                    _ if a == b2 => Some(self.constant(invert)),
+                    _ if self.inv_input(a) == Some(b2) || self.inv_input(b2) == Some(a) => {
+                        Some(self.constant(!invert))
+                    }
+                    _ => None,
+                }
+            }
+            Mux2 => {
+                // ins = [d0, d1, sel]
+                match c(self, c3) {
+                    Some(false) => return Some(a),
+                    Some(true) => return Some(b2),
+                    None => {}
+                }
+                if a == b2 {
+                    return Some(a);
+                }
+                match (c(self, a), c(self, b2)) {
+                    (Some(false), Some(true)) => Some(c3),
+                    (Some(true), Some(false)) => Some(self.inv(c3)),
+                    (Some(false), None) => Some(self.and2(b2, c3)),
+                    (None, Some(true)) => Some(self.or2(a, c3)),
+                    (Some(true), None) => {
+                        let ns = self.inv(c3);
+                        Some(self.or2(b2, ns))
+                    }
+                    (None, Some(false)) => {
+                        let ns = self.inv(c3);
+                        Some(self.and2(a, ns))
+                    }
+                    _ => None,
+                }
+            }
+            Aoi21 => {
+                // !((a & b) | c)
+                match c(self, c3) {
+                    Some(true) => return Some(self.const0()),
+                    Some(false) => return Some(self.nand2(a, b2)),
+                    None => {}
+                }
+                match (c(self, a), c(self, b2)) {
+                    (Some(false), _) | (_, Some(false)) => Some(self.inv(c3)),
+                    (Some(true), _) => Some(self.nor2(b2, c3)),
+                    (_, Some(true)) => Some(self.nor2(a, c3)),
+                    _ => None,
+                }
+            }
+            Oai21 => {
+                // !((a | b) & c)
+                match c(self, c3) {
+                    Some(false) => return Some(self.const1()),
+                    Some(true) => return Some(self.nor2(a, b2)),
+                    None => {}
+                }
+                match (c(self, a), c(self, b2)) {
+                    (Some(true), _) | (_, Some(true)) => Some(self.inv(c3)),
+                    (Some(false), _) => Some(self.nand2(b2, c3)),
+                    (_, Some(false)) => Some(self.nand2(a, c3)),
+                    _ => None,
+                }
+            }
+            Maj3 => {
+                let consts = [c(self, a), c(self, b2), c(self, c3)];
+                let sigs = [a, b2, c3];
+                // A constant input reduces majority to AND/OR of the others.
+                for i in 0..3 {
+                    if let Some(v) = consts[i] {
+                        let x = sigs[(i + 1) % 3];
+                        let y = sigs[(i + 2) % 3];
+                        return Some(if v { self.or2(x, y) } else { self.and2(x, y) });
+                    }
+                }
+                // A repeated input dominates the vote.
+                if a == b2 || a == c3 {
+                    return Some(a);
+                }
+                if b2 == c3 {
+                    return Some(b2);
+                }
+                None
+            }
+        }
+    }
+
+    /// Buffer (identity; folded away unless sharing is disabled).
+    pub fn buf(&mut self, a: Signal) -> Signal {
+        self.cell(CellKind::Buf, &[a])
+    }
+
+    /// An *isolation buffer*: a real `Buf` cell instantiated even under
+    /// sharing (never folded, never merged with other buffers of `a`).
+    ///
+    /// Use it to decouple a timing-critical consumer from heavy side loads
+    /// (e.g. a recovery stage tapping speculative signals), exactly as a
+    /// synthesis tool isolates critical paths.
+    pub fn isolation_buf(&mut self, a: Signal) -> Signal {
+        assert!(a.index() < self.nodes.len(), "signal from another netlist");
+        self.push(Node::Cell { kind: CellKind::Buf, ins: [a, Signal(0), Signal(0), Signal(0)] })
+    }
+
+    /// Inverter.
+    pub fn inv(&mut self, a: Signal) -> Signal {
+        self.cell(CellKind::Inv, &[a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.cell(CellKind::And2, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.cell(CellKind::Or2, &[a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.cell(CellKind::Nand2, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.cell(CellKind::Nor2, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.cell(CellKind::Xor2, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.cell(CellKind::Xnor2, &[a, b])
+    }
+
+    /// 2:1 multiplexer: `sel ? d1 : d0`.
+    pub fn mux2(&mut self, d0: Signal, d1: Signal, sel: Signal) -> Signal {
+        self.cell(CellKind::Mux2, &[d0, d1, sel])
+    }
+
+    /// AND-OR-invert: `!((a & b) | c)`.
+    pub fn aoi21(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        self.cell(CellKind::Aoi21, &[a, b, c])
+    }
+
+    /// OR-AND-invert: `!((a | b) & c)`.
+    pub fn oai21(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        self.cell(CellKind::Oai21, &[a, b, c])
+    }
+
+    /// 3-input majority (a full-adder carry).
+    pub fn maj3(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        self.cell(CellKind::Maj3, &[a, b, c])
+    }
+
+    /// 4-input AND.
+    pub fn and4(&mut self, a: Signal, b: Signal, c: Signal, d: Signal) -> Signal {
+        self.cell(CellKind::And4, &[a, b, c, d])
+    }
+
+    /// 4-input OR.
+    pub fn or4(&mut self, a: Signal, b: Signal, c: Signal, d: Signal) -> Signal {
+        self.cell(CellKind::Or4, &[a, b, c, d])
+    }
+
+    /// 4-input NAND.
+    pub fn nand4(&mut self, a: Signal, b: Signal, c: Signal, d: Signal) -> Signal {
+        self.cell(CellKind::Nand4, &[a, b, c, d])
+    }
+
+    /// 4-input NOR.
+    pub fn nor4(&mut self, a: Signal, b: Signal, c: Signal, d: Signal) -> Signal {
+        self.cell(CellKind::Nor4, &[a, b, c, d])
+    }
+
+    /// Balanced AND over any number of signals (1 for the empty set).
+    pub fn and_many(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_balanced(signals, true)
+    }
+
+    /// Balanced OR over any number of signals (0 for the empty set).
+    pub fn or_many(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_balanced(signals, false)
+    }
+
+    fn reduce_balanced(&mut self, signals: &[Signal], is_and: bool) -> Signal {
+        match signals.len() {
+            0 => self.constant(is_and),
+            1 => signals[0],
+            _ => {
+                let mid = signals.len() / 2;
+                let lo = self.reduce_balanced(&signals[..mid], is_and);
+                let hi = self.reduce_balanced(&signals[mid..], is_and);
+                if is_and {
+                    self.and2(lo, hi)
+                } else {
+                    self.or2(lo, hi)
+                }
+            }
+        }
+    }
+
+    /// Fast wide OR: alternating NOR4/NAND4 levels (the mapping a
+    /// delay-driven synthesis run produces for a single-bit reduction cone,
+    /// e.g. an error-detection flag). Roughly half the depth of the binary
+    /// tree from [`NetlistBuilder::or_many`].
+    pub fn or_many_wide(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_wide(signals, false)
+    }
+
+    /// Fast wide AND: alternating NAND4/NOR4 levels.
+    pub fn and_many_wide(&mut self, signals: &[Signal]) -> Signal {
+        self.reduce_wide(signals, true)
+    }
+
+    /// Alternating inverting 4-ary reduction. `is_and` selects AND
+    /// semantics. Polarity is tracked per level: positive levels use
+    /// NOR4/NAND4 producing complemented partials, which the next level's
+    /// dual gate re-absorbs (De Morgan).
+    fn reduce_wide(&mut self, signals: &[Signal], is_and: bool) -> Signal {
+        if signals.is_empty() {
+            return self.constant(is_and);
+        }
+        let mut level: Vec<Signal> = signals.to_vec();
+        // `inverted` tracks whether `level` currently holds complements.
+        let mut inverted = false;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            // Positive AND level → NAND4; positive OR level → NOR4.
+            // Inverted AND level (holding complements) → NOR4 (De Morgan);
+            // inverted OR level → NAND4.
+            let use_nand = is_and != inverted;
+            for chunk in level.chunks(4) {
+                let out = match (chunk.len(), use_nand) {
+                    (4, true) => self.nand4(chunk[0], chunk[1], chunk[2], chunk[3]),
+                    (4, false) => self.nor4(chunk[0], chunk[1], chunk[2], chunk[3]),
+                    (3, true) => {
+                        let t = self.and2(chunk[0], chunk[1]);
+                        self.nand2(t, chunk[2])
+                    }
+                    (3, false) => {
+                        let t = self.or2(chunk[0], chunk[1]);
+                        self.nor2(t, chunk[2])
+                    }
+                    (2, true) => self.nand2(chunk[0], chunk[1]),
+                    (2, false) => self.nor2(chunk[0], chunk[1]),
+                    (_, _) => self.inv(chunk[0]),
+                };
+                next.push(out);
+            }
+            level = next;
+            inverted = !inverted;
+        }
+        let out = level[0];
+        if inverted {
+            self.inv(out)
+        } else {
+            out
+        }
+    }
+
+    /// Selects between two equal-width buses: `sel ? d1 : d0`, bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus widths differ.
+    pub fn mux_bus(&mut self, d0: &[Signal], d1: &[Signal], sel: Signal) -> Vec<Signal> {
+        assert_eq!(d0.len(), d1.len(), "mux bus width mismatch");
+        d0.iter().zip(d1).map(|(&x, &y)| self.mux2(x, y, sel)).collect()
+    }
+
+    /// Number of nodes created so far (including inputs and constants).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The cell kind producing `s`, if it is a cell (test/debug helper).
+    pub fn clone_node_kind(&self, s: Signal) -> Option<CellKind> {
+        match self.nodes.get(s.index()) {
+            Some(Node::Cell { kind, .. }) => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// Finalizes the netlist: sweeps nodes not reachable from any output
+    /// (dead-code elimination) while keeping every declared input bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output bus was declared.
+    pub fn finish(self) -> Netlist {
+        assert!(!self.outputs.is_empty(), "netlist {:?} has no outputs", self.name);
+        let mut live = vec![false; self.nodes.len()];
+        // Inputs are part of the interface; keep them all.
+        for bus in &self.inputs {
+            for s in &bus.signals {
+                live[s.index()] = true;
+            }
+        }
+        let mut stack: Vec<usize> = self
+            .outputs
+            .iter()
+            .flat_map(|b| b.signals.iter().map(|s| s.index()))
+            .collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            if let Node::Cell { kind, ins } = &self.nodes[i] {
+                for s in ins.iter().take(kind.arity()) {
+                    if !live[s.index()] {
+                        stack.push(s.index());
+                    }
+                }
+            }
+        }
+        // Mark cell inputs of live output nodes too (outputs pushed first
+        // may have been marked live before their inputs were queued).
+        // A second forward fix-up pass is unnecessary because the stack walk
+        // above already visits all transitive inputs; but inputs of nodes
+        // marked live prior to the walk (input buses) have no inputs.
+
+        let mut remap = vec![Signal(0); self.nodes.len()];
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.into_iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let new_node = match node {
+                Node::Input { .. } => node,
+                Node::Cell { kind, mut ins } => {
+                    for s in ins.iter_mut().take(kind.arity()) {
+                        *s = remap[s.index()];
+                    }
+                    Node::Cell { kind, ins }
+                }
+            };
+            remap[i] = Signal(nodes.len() as u32);
+            nodes.push(new_node);
+        }
+        let map_bus = |bus: Bus| Bus {
+            name: bus.name,
+            signals: bus.signals.iter().map(|s| remap[s.index()]).collect(),
+        };
+        Netlist {
+            name: self.name,
+            nodes,
+            inputs: self.inputs.into_iter().map(map_bus).collect(),
+            outputs: self.outputs.into_iter().map(map_bus).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_and() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.and2(x, zero), zero);
+        assert_eq!(b.and2(x, one), x);
+        assert_eq!(b.and2(x, x), x);
+        let nx = b.inv(x);
+        assert_eq!(b.and2(x, nx), zero);
+        assert_eq!(b.or2(x, nx), one);
+        assert_eq!(b.xor2(x, nx), one);
+    }
+
+    #[test]
+    fn double_inverter_cancels() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let nx = b.inv(x);
+        assert_eq!(b.inv(nx), x);
+    }
+
+    #[test]
+    fn mux_folds() {
+        let mut b = NetlistBuilder::new("t");
+        let d0 = b.input_bit("d0");
+        let d1 = b.input_bit("d1");
+        let s = b.input_bit("s");
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.mux2(d0, d1, zero), d0);
+        assert_eq!(b.mux2(d0, d1, one), d1);
+        assert_eq!(b.mux2(d0, d0, s), d0);
+        assert_eq!(b.mux2(zero, one, s), s);
+    }
+
+    #[test]
+    fn cse_shares_commutative() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.and2(y, x);
+        assert_eq!(g1, g2);
+        let g3 = b.xor2(x, y);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn maj_folds() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let zero = b.const0();
+        let one = b.const1();
+        let m0 = b.maj3(x, y, zero);
+        let expect_and = b.and2(x, y);
+        assert_eq!(m0, expect_and);
+        let m1 = b.maj3(x, one, y);
+        let expect_or = b.or2(x, y);
+        assert_eq!(m1, expect_or);
+        assert_eq!(b.maj3(x, y, x), x);
+    }
+
+    #[test]
+    fn finish_sweeps_dead_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let used = b.and2(x, y);
+        let _dead = b.xor2(x, y);
+        b.output_bit("z", used);
+        let n = b.finish();
+        // input x, input y, and2 — the xor is gone.
+        assert_eq!(n.nodes().len(), 3);
+        assert_eq!(n.cell_count(), 1);
+    }
+
+    #[test]
+    fn and_or_many_balanced() {
+        let mut b = NetlistBuilder::new("t");
+        let xs = b.input_bus("x", 9);
+        let a = b.and_many(&xs);
+        b.output_bit("a", a);
+        let n = b.finish();
+        // Depth of a balanced 9-input tree is 4.
+        assert_eq!(n.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_bus_panics() {
+        let mut b = NetlistBuilder::new("t");
+        b.input_bus("x", 2);
+        b.input_bus("x", 3);
+    }
+
+    #[test]
+    fn wide_reduction_matches_binary_for_all_sizes() {
+        use crate::{equiv, Netlist};
+        let build = |width: usize, wide: bool, is_and: bool| -> Netlist {
+            let mut b = NetlistBuilder::new("t");
+            let xs = b.input_bus("x", width);
+            let z = match (wide, is_and) {
+                (true, true) => b.and_many_wide(&xs),
+                (true, false) => b.or_many_wide(&xs),
+                (false, true) => b.and_many(&xs),
+                (false, false) => b.or_many(&xs),
+            };
+            b.output_bit("z", z);
+            b.finish()
+        };
+        for width in 1..=14 {
+            for is_and in [false, true] {
+                let wide = build(width, true, is_and);
+                let bin = build(width, false, is_and);
+                assert_eq!(
+                    equiv::check(&wide, &bin, 0, 0).unwrap(),
+                    None,
+                    "width {width} and={is_and}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_reduction_is_shallower() {
+        let mut b = NetlistBuilder::new("t");
+        let xs = b.input_bus("x", 32);
+        let wide = b.or_many_wide(&xs);
+        b.output_bit("z", wide);
+        let n_wide = b.finish();
+        let mut b = NetlistBuilder::new("t");
+        let xs = b.input_bus("x", 32);
+        let bin = b.or_many(&xs);
+        b.output_bit("z", bin);
+        let n_bin = b.finish();
+        assert!(n_wide.depth() < n_bin.depth(), "{} vs {}", n_wide.depth(), n_bin.depth());
+    }
+
+    #[test]
+    fn wide_gate_constant_folding_lowers() {
+        let mut b = NetlistBuilder::new("t");
+        let xs = b.input_bus("x", 3);
+        let one = b.const1();
+        let zero = b.const0();
+        let a4 = b.and4(xs[0], xs[1], xs[2], one);
+        // Folded to a 2-input network, not an And4 cell.
+        assert!(!matches!(
+            b.clone_node_kind(a4),
+            Some(CellKind::And4)
+        ));
+        let z = b.or4(xs[0], zero, xs[1], xs[2]);
+        assert!(!matches!(b.clone_node_kind(z), Some(CellKind::Or4)));
+        let dead = b.nand4(xs[0], xs[0], xs[1], xs[2]); // duplicate input
+        assert!(!matches!(b.clone_node_kind(dead), Some(CellKind::Nand4)));
+    }
+}

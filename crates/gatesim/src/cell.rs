@@ -1,0 +1,265 @@
+//! The standard-cell library.
+//!
+//! Timing follows the logical-effort model: each cell has a *parasitic
+//! delay* `p` (intrinsic, load-independent) and each input pin a
+//! *capacitance* proportional to the pin's logical effort `g`. All cells are
+//! minimum drive, so the delay of a cell instance is
+//! `p + Σ (pin capacitance of fanout pins)` in units of τ
+//! (see [`crate::sta`]). Areas are in NAND2 equivalents.
+//!
+//! The values below are the textbook logical-effort numbers (Sutherland,
+//! Sproull & Harris) for static CMOS, with compound cells (AND2/OR2/MUX2/
+//! XOR2/MAJ3) modelled as their standard two-stage realizations.
+
+/// The kinds of cells available to netlists.
+///
+/// Input ordering conventions:
+/// * [`CellKind::Mux2`]: `[d0, d1, sel]`, output `sel ? d1 : d0`.
+/// * [`CellKind::Aoi21`]: `[a, b, c]`, output `!((a & b) | c)`.
+/// * [`CellKind::Oai21`]: `[a, b, c]`, output `!((a | b) & c)`.
+/// * [`CellKind::Maj3`]: majority of the three inputs (a full-adder carry).
+/// * 4-input gates take `[a, b, c, d]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum CellKind {
+    Const0,
+    Const1,
+    Buf,
+    Inv,
+    And2,
+    Or2,
+    Nand2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    Mux2,
+    Aoi21,
+    Oai21,
+    Maj3,
+    And4,
+    Or4,
+    Nand4,
+    Nor4,
+}
+
+/// Every cell kind, in a stable order (useful for reports).
+pub const ALL_KINDS: [CellKind; 18] = [
+    CellKind::Const0,
+    CellKind::Const1,
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Nand2,
+    CellKind::Nor2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Aoi21,
+    CellKind::Oai21,
+    CellKind::Maj3,
+    CellKind::And4,
+    CellKind::Or4,
+    CellKind::Nand4,
+    CellKind::Nor4,
+];
+
+impl CellKind {
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0,
+            Buf | Inv => 1,
+            And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 => 2,
+            Mux2 | Aoi21 | Oai21 | Maj3 => 3,
+            And4 | Or4 | Nand4 | Nor4 => 4,
+        }
+    }
+
+    /// Cell area in NAND2 equivalents.
+    pub fn area(self) -> f64 {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0.0,
+            Inv => 0.67,
+            Buf => 1.0,
+            Nand2 | Nor2 => 1.0,
+            And2 | Or2 => 1.33,
+            Aoi21 | Oai21 => 1.33,
+            Xor2 | Xnor2 => 2.0,
+            Mux2 => 2.0,
+            Maj3 => 2.33,
+            Nand4 | Nor4 => 2.0,
+            And4 | Or4 => 2.33,
+        }
+    }
+
+    /// Parasitic (intrinsic) delay in τ.
+    pub fn parasitic(self) -> f64 {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0.0,
+            Inv => 1.0,
+            Buf => 2.0,
+            Nand2 | Nor2 => 2.0,
+            And2 | Or2 => 3.0,
+            Aoi21 | Oai21 => 3.0,
+            Xor2 | Xnor2 => 4.0,
+            Mux2 => 4.0,
+            Maj3 => 5.0,
+            Nand4 | Nor4 => 4.0,
+            And4 | Or4 => 5.0,
+        }
+    }
+
+    /// Input pin capacitance in unit inverter capacitances (the logical
+    /// effort of the pin). Uniform across pins of a cell in this library.
+    pub fn pin_cap(self) -> f64 {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0.0,
+            Inv | Buf => 1.0,
+            Nand2 | And2 => 4.0 / 3.0,
+            Nor2 | Or2 => 5.0 / 3.0,
+            Aoi21 | Oai21 => 2.0,
+            Xor2 | Xnor2 => 4.0,
+            Mux2 => 2.0,
+            Maj3 => 2.0,
+            Nand4 | And4 => 2.0,
+            Nor4 | Or4 => 3.0,
+        }
+    }
+
+    /// Bit-parallel evaluation over 64 lanes. Unused inputs must be 0.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64, c: u64, d: u64) -> u64 {
+        use CellKind::*;
+        match self {
+            Const0 => 0,
+            Const1 => u64::MAX,
+            Buf => a,
+            Inv => !a,
+            And2 => a & b,
+            Or2 => a | b,
+            Nand2 => !(a & b),
+            Nor2 => !(a | b),
+            Xor2 => a ^ b,
+            Xnor2 => !(a ^ b),
+            Mux2 => (c & b) | (!c & a),
+            Aoi21 => !((a & b) | c),
+            Oai21 => !((a | b) & c),
+            Maj3 => (a & b) | (a & c) | (b & c),
+            And4 => a & b & c & d,
+            Or4 => a | b | c | d,
+            Nand4 => !(a & b & c & d),
+            Nor4 => !(a | b | c | d),
+        }
+    }
+
+    /// The Verilog expression template for this cell (see
+    /// [`crate::verilog`]).
+    pub fn verilog_expr(self, ins: &[String]) -> String {
+        use CellKind::*;
+        match self {
+            Const0 => "1'b0".into(),
+            Const1 => "1'b1".into(),
+            Buf => ins[0].clone(),
+            Inv => format!("~{}", ins[0]),
+            And2 => format!("{} & {}", ins[0], ins[1]),
+            Or2 => format!("{} | {}", ins[0], ins[1]),
+            Nand2 => format!("~({} & {})", ins[0], ins[1]),
+            Nor2 => format!("~({} | {})", ins[0], ins[1]),
+            Xor2 => format!("{} ^ {}", ins[0], ins[1]),
+            Xnor2 => format!("~({} ^ {})", ins[0], ins[1]),
+            Mux2 => format!("{2} ? {1} : {0}", ins[0], ins[1], ins[2]),
+            Aoi21 => format!("~(({} & {}) | {})", ins[0], ins[1], ins[2]),
+            Oai21 => format!("~(({} | {}) & {})", ins[0], ins[1], ins[2]),
+            Maj3 => format!(
+                "({0} & {1}) | ({0} & {2}) | ({1} & {2})",
+                ins[0], ins[1], ins[2]
+            ),
+            And4 => format!("{} & {} & {} & {}", ins[0], ins[1], ins[2], ins[3]),
+            Or4 => format!("{} | {} | {} | {}", ins[0], ins[1], ins[2], ins[3]),
+            Nand4 => format!("~({} & {} & {} & {})", ins[0], ins[1], ins[2], ins[3]),
+            Nor4 => format!("~({} | {} | {} | {})", ins[0], ins[1], ins[2], ins[3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_usage() {
+        for kind in ALL_KINDS {
+            assert!(kind.arity() <= 4);
+            // Evaluating with all-zero inputs must not panic.
+            let _ = kind.eval(0, 0, 0, 0);
+        }
+    }
+
+    #[test]
+    fn truth_tables() {
+        // Exhaustive single-lane truth tables for the 3/4-input cells.
+        for a in [0u64, 1] {
+            for b in [0u64, 1] {
+                for c in [0u64, 1] {
+                    let (ab, bb, cb) = (a == 1, b == 1, c == 1);
+                    assert_eq!(
+                        CellKind::Mux2.eval(a, b, c, 0) & 1 == 1,
+                        if cb { bb } else { ab }
+                    );
+                    assert_eq!(CellKind::Aoi21.eval(a, b, c, 0) & 1 == 1, !((ab && bb) || cb));
+                    assert_eq!(CellKind::Oai21.eval(a, b, c, 0) & 1 == 1, !((ab || bb) && cb));
+                    assert_eq!(
+                        CellKind::Maj3.eval(a, b, c, 0) & 1 == 1,
+                        (ab as u8 + bb as u8 + cb as u8) >= 2
+                    );
+                    for d in [0u64, 1] {
+                        let db = d == 1;
+                        assert_eq!(
+                            CellKind::And4.eval(a, b, c, d) & 1 == 1,
+                            ab && bb && cb && db
+                        );
+                        assert_eq!(
+                            CellKind::Nor4.eval(a, b, c, d) & 1 == 1,
+                            !(ab || bb || cb || db)
+                        );
+                        assert_eq!(
+                            CellKind::Nand4.eval(a, b, c, d),
+                            !CellKind::And4.eval(a, b, c, d)
+                        );
+                        assert_eq!(
+                            CellKind::Or4.eval(a, b, c, d),
+                            !CellKind::Nor4.eval(a, b, c, d)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_gates_cost_less_than_two_levels() {
+        // The reason synthesis maps reduction cones onto them: a two-level
+        // NOR2 realization pays two parasitics plus the internal wire/pin
+        // load, a single NOR4 only its own parasitic.
+        let two_level = 2.0 * CellKind::Nor2.parasitic() + CellKind::Nor2.pin_cap();
+        assert!(CellKind::Nor4.parasitic() < two_level);
+        assert!(CellKind::Nand4.area() < 2.0 * CellKind::Nand2.area() + CellKind::Inv.area());
+    }
+
+    #[test]
+    fn costs_are_positive_for_logic() {
+        for kind in ALL_KINDS {
+            if matches!(kind, CellKind::Const0 | CellKind::Const1) {
+                continue;
+            }
+            assert!(kind.area() > 0.0);
+            assert!(kind.parasitic() > 0.0);
+            assert!(kind.pin_cap() > 0.0);
+        }
+    }
+}

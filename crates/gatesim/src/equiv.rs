@@ -1,0 +1,275 @@
+//! Combinational equivalence checking.
+//!
+//! Two netlists with the same interface (input and output buses matched by
+//! name and width) are compared by simulation: exhaustively when the total
+//! input width is small, otherwise with lane-parallel random vectors. This
+//! is the workhorse check used throughout the workspace to validate adder
+//! netlists against each other and against behavioral models.
+
+use bitnum::rng::{RandomBits, Xoshiro256};
+use bitnum::UBig;
+
+use crate::error::GateError;
+use crate::netlist::Netlist;
+use crate::sim;
+
+/// Exhaustive checking is used when the total input bit count is at most
+/// this many bits.
+pub const EXHAUSTIVE_LIMIT: usize = 16;
+
+/// A concrete input assignment on which two netlists disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Input assignment, one value per bus.
+    pub inputs: Vec<(String, UBig)>,
+    /// Name of a disagreeing output bus.
+    pub output: String,
+    /// Value produced by the first netlist.
+    pub lhs: UBig,
+    /// Value produced by the second netlist.
+    pub rhs: UBig,
+}
+
+/// Checks equivalence of `a` and `b`.
+///
+/// Runs exhaustively if the joint input width is at most
+/// [`EXHAUSTIVE_LIMIT`] bits; otherwise simulates at least `random_vectors`
+/// random assignments (rounded up to multiples of 64), seeded with `seed`.
+///
+/// Returns `Ok(None)` when no difference was found, or the first
+/// counterexample.
+///
+/// # Errors
+///
+/// Returns [`GateError::InterfaceMismatch`] if the designs do not have the
+/// same buses.
+pub fn check(
+    a: &Netlist,
+    b: &Netlist,
+    random_vectors: usize,
+    seed: u64,
+) -> Result<Option<Counterexample>, GateError> {
+    check_interfaces(a, b)?;
+    let total_bits: usize = a.inputs().iter().map(|bus| bus.signals.len()).sum();
+    if total_bits <= EXHAUSTIVE_LIMIT {
+        exhaustive(a, b, total_bits)
+    } else {
+        random(a, b, random_vectors, seed)
+    }
+}
+
+fn check_interfaces(a: &Netlist, b: &Netlist) -> Result<(), GateError> {
+    for bus in a.inputs() {
+        match b.input(&bus.name) {
+            Some(other) if other.signals.len() == bus.signals.len() => {}
+            _ => {
+                return Err(GateError::InterfaceMismatch(format!(
+                    "input bus {:?} missing or width-mismatched",
+                    bus.name
+                )))
+            }
+        }
+    }
+    if a.inputs().len() != b.inputs().len() {
+        return Err(GateError::InterfaceMismatch("different input bus counts".into()));
+    }
+    for bus in a.outputs() {
+        match b.output(&bus.name) {
+            Some(other) if other.signals.len() == bus.signals.len() => {}
+            _ => {
+                return Err(GateError::InterfaceMismatch(format!(
+                    "output bus {:?} missing or width-mismatched",
+                    bus.name
+                )))
+            }
+        }
+    }
+    if a.outputs().len() != b.outputs().len() {
+        return Err(GateError::InterfaceMismatch("different output bus counts".into()));
+    }
+    Ok(())
+}
+
+/// Runs one batch of 64 lane-parallel vectors and extracts a counterexample
+/// if any lane disagrees.
+fn run_batch(
+    a: &Netlist,
+    b: &Netlist,
+    stimuli: &[(String, Vec<u64>)],
+    lanes: usize,
+) -> Result<Option<Counterexample>, GateError> {
+    let borrowed: Vec<(&str, &[u64])> =
+        stimuli.iter().map(|(n, w)| (n.as_str(), w.as_slice())).collect();
+    let out_a = sim::simulate(a, &borrowed)?;
+    let out_b = sim::simulate(b, &borrowed)?;
+    for bus in a.outputs() {
+        let wa = &out_a[&bus.name];
+        let wb = &out_b[&bus.name];
+        let mut diff_lanes = 0u64;
+        for (x, y) in wa.iter().zip(wb) {
+            diff_lanes |= x ^ y;
+        }
+        let lane_mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        diff_lanes &= lane_mask;
+        if diff_lanes != 0 {
+            let lane = diff_lanes.trailing_zeros() as usize;
+            let extract = |words: &[u64]| {
+                let mut v = UBig::zero(words.len());
+                for (i, w) in words.iter().enumerate() {
+                    if (w >> lane) & 1 == 1 {
+                        v.set_bit(i, true);
+                    }
+                }
+                v
+            };
+            let inputs = stimuli
+                .iter()
+                .map(|(name, words)| (name.clone(), extract(words)))
+                .collect();
+            return Ok(Some(Counterexample {
+                inputs,
+                output: bus.name.clone(),
+                lhs: extract(wa),
+                rhs: extract(wb),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+fn exhaustive(
+    a: &Netlist,
+    b: &Netlist,
+    total_bits: usize,
+) -> Result<Option<Counterexample>, GateError> {
+    let total: u64 = 1u64 << total_bits;
+    let mut assignment = 0u64;
+    while assignment < total {
+        let lanes = (total - assignment).min(64) as usize;
+        // Bit j of bus-concatenated input for lane l is taken from the
+        // integer (assignment + l).
+        let mut stimuli: Vec<(String, Vec<u64>)> = Vec::new();
+        let mut bit_base = 0usize;
+        for bus in a.inputs() {
+            let mut words = vec![0u64; bus.signals.len()];
+            for l in 0..lanes {
+                let value = assignment + l as u64;
+                for (j, w) in words.iter_mut().enumerate() {
+                    if (value >> (bit_base + j)) & 1 == 1 {
+                        *w |= 1u64 << l;
+                    }
+                }
+            }
+            bit_base += bus.signals.len();
+            stimuli.push((bus.name.clone(), words));
+        }
+        if let Some(cex) = run_batch(a, b, &stimuli, lanes)? {
+            return Ok(Some(cex));
+        }
+        assignment += lanes as u64;
+    }
+    Ok(None)
+}
+
+fn random(
+    a: &Netlist,
+    b: &Netlist,
+    vectors: usize,
+    seed: u64,
+) -> Result<Option<Counterexample>, GateError> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let batches = vectors.div_ceil(64).max(1);
+    for _ in 0..batches {
+        let stimuli: Vec<(String, Vec<u64>)> = a
+            .inputs()
+            .iter()
+            .map(|bus| {
+                (
+                    bus.name.clone(),
+                    (0..bus.signals.len()).map(|_| rng.next_u64()).collect(),
+                )
+            })
+            .collect();
+        if let Some(cex) = run_batch(a, b, &stimuli, 64)? {
+            return Ok(Some(cex));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn make(f: impl Fn(&mut NetlistBuilder, Signal, Signal) -> Signal) -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let z = f(&mut b, x, y);
+        b.output_bit("z", z);
+        b.finish()
+    }
+    use crate::netlist::Signal;
+
+    #[test]
+    fn demorgan_equivalence() {
+        // !(x & y) == !x | !y
+        let lhs = make(|b, x, y| b.nand2(x, y));
+        let rhs = make(|b, x, y| {
+            let nx = b.inv(x);
+            let ny = b.inv(y);
+            b.or2(nx, ny)
+        });
+        assert_eq!(check(&lhs, &rhs, 64, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn finds_counterexample_exhaustively() {
+        let lhs = make(|b, x, y| b.and2(x, y));
+        let rhs = make(|b, x, y| b.or2(x, y));
+        let cex = check(&lhs, &rhs, 64, 0).unwrap().expect("must differ");
+        // AND and OR differ exactly when x != y.
+        let x = &cex.inputs.iter().find(|(n, _)| n == "x").unwrap().1;
+        let y = &cex.inputs.iter().find(|(n, _)| n == "y").unwrap().1;
+        assert_ne!(x, y);
+        assert_ne!(cex.lhs, cex.rhs);
+    }
+
+    #[test]
+    fn wide_designs_use_random_vectors() {
+        // 2x 32-bit inputs: beyond exhaustive limit.
+        let wide = |flip: bool| {
+            let mut b = NetlistBuilder::new("w");
+            let xs = b.input_bus("x", 32);
+            let ys = b.input_bus("y", 32);
+            let mut outs = Vec::new();
+            for i in 0..32 {
+                let z = if flip && i == 17 {
+                    b.xnor2(xs[i], ys[i])
+                } else {
+                    b.xor2(xs[i], ys[i])
+                };
+                outs.push(z);
+            }
+            b.output_bus("z", &outs);
+            b.finish()
+        };
+        assert_eq!(check(&wide(false), &wide(false), 256, 7).unwrap(), None);
+        let cex = check(&wide(false), &wide(true), 256, 7).unwrap().expect("bit 17 differs");
+        assert_eq!(cex.output, "z");
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let lhs = make(|b, x, y| b.and2(x, y));
+        let mut b = NetlistBuilder::new("other");
+        let x = b.input_bit("x");
+        b.output_bit("z", x);
+        let rhs = b.finish();
+        assert!(matches!(
+            check(&lhs, &rhs, 64, 0),
+            Err(GateError::InterfaceMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction, simulation and checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GateError {
+    /// A referenced bus name does not exist in the netlist.
+    UnknownBus(String),
+    /// A bus was declared twice.
+    DuplicateBus(String),
+    /// A supplied stimulus has the wrong number of bits for its bus.
+    WidthMismatch {
+        /// Bus name.
+        bus: String,
+        /// Width declared in the netlist.
+        expected: usize,
+        /// Width supplied by the caller.
+        got: usize,
+    },
+    /// Two netlists cannot be compared (different interfaces).
+    InterfaceMismatch(String),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::UnknownBus(name) => write!(f, "unknown bus {name:?}"),
+            GateError::DuplicateBus(name) => write!(f, "bus {name:?} declared twice"),
+            GateError::WidthMismatch { bus, expected, got } => {
+                write!(f, "bus {bus:?} expects {expected} bits, got {got}")
+            }
+            GateError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for GateError {}

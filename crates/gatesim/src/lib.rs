@@ -1,0 +1,82 @@
+//! Gate-level netlist substrate: a tiny "Design Compiler" for adder research.
+//!
+//! The paper's evaluation (Ch. 7) generates Verilog for every adder design
+//! and synthesizes it with Synopsys Design Compiler on a UMC 65 nm library,
+//! then compares critical-path delay and cell area. This crate reproduces
+//! that flow with an auditable, self-contained model:
+//!
+//! * [`cell`] — a small standard-cell library (INV … MUX2, AOI/OAI, MAJ3)
+//!   with logical-effort timing parameters and NAND2-equivalent areas
+//!   calibrated to a 65 nm process.
+//! * [`Netlist`] / [`NetlistBuilder`] — a combinational netlist IR. The
+//!   builder hash-conses structurally identical gates and constant-folds as
+//!   it goes, which plays the role of the logic sharing a synthesis tool
+//!   performs.
+//! * [`sim`] — 64-way bit-parallel logic simulation.
+//! * [`sta`] — load-aware static timing analysis
+//!   (`arc delay = parasitic + Σ fanout pin capacitance`), so fanout
+//!   penalties — central to the paper's critique of prior speculative
+//!   adders — are modelled.
+//! * [`area`] — cell-area accounting with per-kind breakdown.
+//! * [`opt`] — netlist rebuilding passes: sweep (CSE + constant folding +
+//!   dead-cone removal) and fanout buffering.
+//! * [`equiv`] — random + exhaustive combinational equivalence checking.
+//! * [`verilog`] — structural Verilog export (the artifact the paper's C++
+//!   generators produced).
+//!
+//! # Example: build, simulate and time a 1-bit full adder
+//!
+//! ```
+//! use gatesim::{NetlistBuilder, sim, sta};
+//!
+//! let mut b = NetlistBuilder::new("full_adder");
+//! let a = b.input_bit("a");
+//! let c = b.input_bit("b");
+//! let cin = b.input_bit("cin");
+//! let t = b.xor2(a, c);
+//! let s = b.xor2(t, cin);
+//! let co = b.maj3(a, c, cin);
+//! b.output_bit("sum", s);
+//! b.output_bit("cout", co);
+//! let netlist = b.finish();
+//!
+//! let out = sim::simulate_bools(&netlist, &[("a", &[true]), ("b", &[true]), ("cin", &[false])])?;
+//! assert_eq!(out["sum"], vec![false]);
+//! assert_eq!(out["cout"], vec![true]);
+//!
+//! let timing = sta::analyze(&netlist);
+//! assert!(timing.critical_delay_tau() > 0.0);
+//! # Ok::<(), gatesim::GateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod build;
+pub mod cell;
+mod error;
+mod netlist;
+pub mod opt;
+pub mod power;
+pub mod sim;
+pub mod sta;
+pub mod equiv;
+pub mod verilog;
+
+pub use build::NetlistBuilder;
+pub use cell::CellKind;
+pub use error::GateError;
+pub use netlist::{Netlist, Node, Signal};
+
+/// Area of one NAND2-equivalent in µm² for the modelled 65 nm process.
+///
+/// Used to convert the library's normalized areas into the µm² scale the
+/// paper's figures use. (UMC 65LL NAND2X1 is ≈1.44 µm².)
+pub const UM2_PER_NAND2: f64 = 1.44;
+
+/// Picoseconds per logical-effort delay unit τ for the modelled process.
+///
+/// τ is the slope of the inverter delay-vs-fanout line; ~15 ps reproduces
+/// the magnitude of the paper's 65 nm synthesis results (KS-512 ≈ 2 ns).
+pub const PS_PER_TAU: f64 = 15.0;

@@ -1,0 +1,172 @@
+use std::fmt;
+
+use crate::cell::CellKind;
+
+/// A handle to a logic value inside a [`Netlist`] (the output net of a node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal(pub(crate) u32);
+
+impl Signal {
+    /// The node index this signal is produced by.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the netlist DAG: a primary input bit or a cell instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A primary input bit: `(bus index, bit index)`.
+    Input {
+        /// Index into [`Netlist::inputs`].
+        bus: u32,
+        /// Bit position within the bus.
+        bit: u32,
+    },
+    /// A cell instance. Unused input slots hold `Signal(0)` and are ignored
+    /// (slot count is given by [`CellKind::arity`]).
+    Cell {
+        /// The cell kind.
+        kind: CellKind,
+        /// Input signals; only the first `kind.arity()` entries are real.
+        ins: [Signal; 4],
+    },
+}
+
+/// A named bus (ordered list of signals, LSB first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    /// Bus name (a Verilog-compatible identifier).
+    pub name: String,
+    /// Signals of the bus, least-significant bit first.
+    pub signals: Vec<Signal>,
+}
+
+/// An immutable combinational netlist.
+///
+/// Structural invariants (maintained by [`crate::NetlistBuilder`]):
+/// * nodes are stored in topological order (a cell's inputs always precede
+///   it), so simulation and timing are single linear passes;
+/// * every [`Signal`] is produced by exactly one node;
+/// * output buses reference existing signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<Bus>,
+    pub(crate) outputs: Vec<Bus>,
+}
+
+impl Netlist {
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the same netlist under a different design name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Declared input buses, in declaration order.
+    pub fn inputs(&self) -> &[Bus] {
+        &self.inputs
+    }
+
+    /// Declared output buses, in declaration order.
+    pub fn outputs(&self) -> &[Bus] {
+        &self.outputs
+    }
+
+    /// Looks up an input bus by name.
+    pub fn input(&self, name: &str) -> Option<&Bus> {
+        self.inputs.iter().find(|b| b.name == name)
+    }
+
+    /// Looks up an output bus by name.
+    pub fn output(&self, name: &str) -> Option<&Bus> {
+        self.outputs.iter().find(|b| b.name == name)
+    }
+
+    /// Number of cell instances (excluding primary inputs and constants).
+    pub fn cell_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n,
+                    Node::Cell { kind, .. }
+                    if !matches!(kind, CellKind::Const0 | CellKind::Const1)
+                )
+            })
+            .count()
+    }
+
+    /// Per-node fanout: how many cell input pins each signal drives, plus
+    /// one per output-bus bit it feeds.
+    pub fn fanouts(&self) -> Vec<u32> {
+        let mut fanout = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            if let Node::Cell { kind, ins } = node {
+                for &input in ins.iter().take(kind.arity()) {
+                    fanout[input.index()] += 1;
+                }
+            }
+        }
+        for bus in &self.outputs {
+            for sig in &bus.signals {
+                fanout[sig.index()] += 1;
+            }
+        }
+        fanout
+    }
+
+    /// Highest fanout of any internal signal (0 for an empty design).
+    pub fn max_fanout(&self) -> u32 {
+        self.fanouts().into_iter().max().unwrap_or(0)
+    }
+
+    /// Logic depth in cell stages along the deepest input→output cone
+    /// (structural; see [`crate::sta`] for the load-aware delay).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Cell { kind, ins } = node {
+                if kind.arity() == 0 {
+                    continue;
+                }
+                depth[i] = 1 + ins
+                    .iter()
+                    .take(kind.arity())
+                    .map(|s| depth[s.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        self.outputs
+            .iter()
+            .flat_map(|b| &b.signals)
+            .map(|s| depth[s.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cells, depth {}, max fanout {}",
+            self.name,
+            self.cell_count(),
+            self.depth(),
+            self.max_fanout()
+        )
+    }
+}

@@ -1,0 +1,200 @@
+//! Netlist optimization passes.
+//!
+//! Passes are implemented as rebuilds: the netlist is re-emitted through a
+//! fresh [`NetlistBuilder`], which re-applies hash-consing, constant folding
+//! and dead-cone sweeping. This keeps the topological-order invariant intact
+//! and makes every pass trivially composable.
+//!
+//! * [`sweep`] — CSE + constant folding + dead-logic removal.
+//! * [`buffer_fanout`] — splits signals whose fanout exceeds a limit with a
+//!   buffer tree (classic high-fanout-net synthesis fix; this is what lets
+//!   the DesignWare-substitute baseline shed the fanout penalty of wide
+//!   prefix networks).
+//! * [`best_buffered`] — tries several fanout limits and keeps the variant
+//!   with the lowest critical-path delay (ties broken by area), emulating a
+//!   delay-driven synthesis sweep.
+
+use crate::netlist::{Netlist, Node, Signal};
+use crate::{area, sta, NetlistBuilder};
+
+/// Re-emits the netlist through a fresh builder, applying sharing, folding
+/// and dead-logic sweeping.
+pub fn sweep(netlist: &Netlist) -> Netlist {
+    rebuild(netlist, u32::MAX)
+}
+
+/// Inserts buffer trees on every signal whose fanout exceeds `max_fanout`.
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2`.
+pub fn buffer_fanout(netlist: &Netlist, max_fanout: u32) -> Netlist {
+    assert!(max_fanout >= 2, "max_fanout must be at least 2");
+    rebuild(netlist, max_fanout)
+}
+
+/// Applies [`sweep`] and then tries `buffer_fanout` at each of the given
+/// limits, returning the variant with the lowest critical-path delay
+/// (area breaks ties). The unbuffered design competes too.
+pub fn best_buffered(netlist: &Netlist, limits: &[u32]) -> Netlist {
+    let base = sweep(netlist);
+    let mut best_cost = cost(&base);
+    let mut best = base.clone();
+    for &limit in limits {
+        let candidate = buffer_fanout(&base, limit);
+        let c = cost(&candidate);
+        if c < best_cost {
+            best_cost = c;
+            best = candidate;
+        }
+    }
+    best
+}
+
+fn cost(netlist: &Netlist) -> (f64, f64) {
+    (
+        sta::analyze(netlist).critical_delay_tau(),
+        area::analyze(netlist).total_nand2(),
+    )
+}
+
+/// Shared rebuild engine. `max_fanout == u32::MAX` means "no buffering".
+fn rebuild(netlist: &Netlist, max_fanout: u32) -> Netlist {
+    let mut b = NetlistBuilder::new(netlist.name().to_string());
+
+    // Fanout of the *source* netlist (cell pins + output pins) so we know
+    // how many replicas each signal needs.
+    let fanouts = netlist.fanouts();
+
+    // Replicas of each source signal in the new netlist, with a rotating
+    // cursor distributing consumers across them.
+    struct Replicated {
+        copies: Vec<Signal>,
+        cursor: usize,
+    }
+    impl Replicated {
+        fn next(&mut self) -> Signal {
+            let s = self.copies[self.cursor];
+            self.cursor = (self.cursor + 1) % self.copies.len();
+            s
+        }
+    }
+    let mut map: Vec<Option<Replicated>> = Vec::with_capacity(netlist.nodes().len());
+    map.resize_with(netlist.nodes().len(), || None);
+
+    // Declare all input buses first so their signals exist.
+    let mut input_signals: Vec<Vec<Signal>> = Vec::new();
+    for bus in netlist.inputs() {
+        input_signals.push(b.input_bus(bus.name.clone(), bus.signals.len()));
+    }
+
+    // Builds the replica set for a newly created signal.
+    fn replicate(
+        b: &mut NetlistBuilder,
+        src: Signal,
+        fanout: u32,
+        max_fanout: u32,
+    ) -> Vec<Signal> {
+        if fanout <= max_fanout {
+            return vec![src];
+        }
+        let leaves = fanout.div_ceil(max_fanout);
+        grow(b, src, leaves as usize, max_fanout as usize)
+    }
+    fn grow(b: &mut NetlistBuilder, src: Signal, count: usize, max: usize) -> Vec<Signal> {
+        if count <= 1 {
+            return vec![src];
+        }
+        let parents = grow(b, src, count.div_ceil(max), max);
+        let mut out = Vec::with_capacity(count);
+        b.set_sharing(false);
+        'outer: for p in parents {
+            for _ in 0..max {
+                if out.len() == count {
+                    break 'outer;
+                }
+                out.push(b.buf(p));
+            }
+        }
+        b.set_sharing(true);
+        out
+    }
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let new_sig = match node {
+            Node::Input { bus, bit } => input_signals[*bus as usize][*bit as usize],
+            Node::Cell { kind, ins } => {
+                let mapped: Vec<Signal> = ins
+                    .iter()
+                    .take(kind.arity())
+                    .map(|s| {
+                        map[s.index()]
+                            .as_mut()
+                            .expect("topological order violated")
+                            .next()
+                    })
+                    .collect();
+                b.cell(*kind, &mapped)
+            }
+        };
+        let copies = replicate(&mut b, new_sig, fanouts[i], max_fanout);
+        map[i] = Some(Replicated { copies, cursor: 0 });
+    }
+
+    for bus in netlist.outputs() {
+        let signals: Vec<Signal> = bus
+            .signals
+            .iter()
+            .map(|s| map[s.index()].as_mut().expect("dangling output").next())
+            .collect();
+        b.output_bus(bus.name.clone(), &signals);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{equiv, sta, NetlistBuilder};
+
+    fn high_fanout_design() -> Netlist {
+        // One XOR result drives 40 AND gates.
+        let mut b = NetlistBuilder::new("hot");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let hot = b.xor2(x, y);
+        let loads = b.input_bus("l", 40);
+        let outs: Vec<_> = loads.iter().map(|&l| b.and2(hot, l)).collect();
+        b.output_bus("z", &outs);
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_is_identity_on_clean_design() {
+        let n = high_fanout_design();
+        let s = sweep(&n);
+        assert_eq!(n.cell_count(), s.cell_count());
+        assert!(equiv::check(&n, &s, 256, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn buffering_reduces_delay_and_preserves_function() {
+        let n = high_fanout_design();
+        let before = sta::analyze(&n).critical_delay_tau();
+        let buffered = buffer_fanout(&n, 8);
+        let after = sta::analyze(&buffered).critical_delay_tau();
+        assert!(buffered.max_fanout() <= 8 + 1, "fanout {}", buffered.max_fanout());
+        assert!(after < before, "buffering should help: {after} vs {before}");
+        assert!(equiv::check(&n, &buffered, 256, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn best_buffered_never_worse() {
+        let n = high_fanout_design();
+        let base = sta::analyze(&sweep(&n)).critical_delay_tau();
+        let best = best_buffered(&n, &[4, 8, 16]);
+        let t = sta::analyze(&best).critical_delay_tau();
+        assert!(t <= base);
+        assert!(equiv::check(&n, &best, 256, 3).unwrap().is_none());
+    }
+}

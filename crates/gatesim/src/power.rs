@@ -1,0 +1,204 @@
+//! Switching-activity power estimation.
+//!
+//! Dynamic power in static CMOS is `½·α·C·V²·f` per net: proportional to
+//! the toggle rate α times the switched capacitance C. This module
+//! estimates the `α·C` sum by simulating randomized vector pairs and
+//! counting, for every signal, how many lanes toggle between the two
+//! vectors, weighted by the signal's load (fanout pin + wire capacitance)
+//! plus its driver's internal (output) capacitance.
+//!
+//! The result is reported in normalized *switched-capacitance units per
+//! operation* — like the delay/area models, only relative comparisons are
+//! meaningful (speculative adders switch less than deep prefix trees
+//! because most windows are narrow; the recovery logic adds standby
+//! switching, which is why the paper's variable-latency designs care about
+//! the detector's simplicity).
+
+use bitnum::rng::{RandomBits, Xoshiro256};
+
+use crate::netlist::{Netlist, Node};
+use crate::sta::WIRE_CAP;
+
+/// A power estimate for one netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Mean switched capacitance per input transition (normalized units).
+    pub switched_cap_per_op: f64,
+    /// Mean number of toggling signals per input transition.
+    pub toggles_per_op: f64,
+    /// Number of vector transitions simulated.
+    pub transitions: usize,
+}
+
+/// Estimates switching activity with `transitions` random vector pairs
+/// (rounded up to lanes of 64), seeded deterministically.
+///
+/// # Panics
+///
+/// Panics if the netlist has no inputs.
+pub fn estimate(netlist: &Netlist, transitions: usize, seed: u64) -> PowerReport {
+    assert!(!netlist.inputs().is_empty(), "netlist has no inputs");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let n = netlist.nodes().len();
+
+    // Per-signal switched capacitance: the loads it drives plus its own
+    // driver output parasitic (approximated by the cell's pin cap).
+    let mut cap = vec![0.0f64; n];
+    for node in netlist.nodes() {
+        if let Node::Cell { kind, ins } = node {
+            for s in ins.iter().take(kind.arity()) {
+                cap[s.index()] += kind.pin_cap() + WIRE_CAP;
+            }
+        }
+    }
+    for bus in netlist.outputs() {
+        for s in &bus.signals {
+            cap[s.index()] += 1.0 + WIRE_CAP;
+        }
+    }
+
+    let batches = transitions.div_ceil(64).max(1);
+    let mut total_cap = 0.0f64;
+    let mut total_toggles = 0.0f64;
+    let mut prev = vec![0u64; n];
+    let mut cur = vec![0u64; n];
+    for batch in 0..=batches {
+        // Evaluate one batch of random vectors in place.
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            cur[i] = match node {
+                Node::Input { .. } => rng.next_u64(),
+                Node::Cell { kind, ins } => {
+                    let get = |slot: usize| {
+                        if slot < kind.arity() {
+                            cur[ins[slot].index()]
+                        } else {
+                            0
+                        }
+                    };
+                    kind.eval(get(0), get(1), get(2), get(3))
+                }
+            };
+        }
+        if batch > 0 {
+            // Lane-wise toggles against the previous batch.
+            for i in 0..n {
+                let toggles = (prev[i] ^ cur[i]).count_ones() as f64;
+                total_toggles += toggles;
+                total_cap += toggles * cap[i];
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let ops = (batches * 64) as f64;
+    PowerReport {
+        switched_cap_per_op: total_cap / ops,
+        toggles_per_op: total_toggles / ops,
+        transitions: batches * 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn inverter_chain(len: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let x = b.input_bit("x");
+        let mut s = x;
+        b.set_sharing(false);
+        for _ in 0..len {
+            s = b.inv(s);
+        }
+        b.set_sharing(true);
+        b.output_bit("z", s);
+        b.finish()
+    }
+
+    #[test]
+    fn longer_chains_switch_more() {
+        let short = estimate(&inverter_chain(4), 1024, 1);
+        let long = estimate(&inverter_chain(16), 1024, 1);
+        assert!(long.switched_cap_per_op > short.switched_cap_per_op * 2.0);
+        // An inverter chain toggles every node on ~half the transitions.
+        assert!(long.toggles_per_op > 6.0);
+    }
+
+    #[test]
+    fn constant_cone_switches_nothing() {
+        let mut b = NetlistBuilder::new("const");
+        let x = b.input_bit("x");
+        let zero = b.const0();
+        let z = b.and2(x, zero); // folds to constant 0
+        b.output_bit("z", z);
+        let net = b.finish();
+        let p = estimate(&net, 512, 2);
+        // Only the dangling input toggles; it drives nothing.
+        assert!(p.switched_cap_per_op < 0.8, "cap {}", p.switched_cap_per_op);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = inverter_chain(8);
+        let a = estimate(&net, 512, 42);
+        let b = estimate(&net, 512, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adders_rank_plausibly() {
+        // A ripple adder has fewer, lighter nodes than Kogge-Stone: less
+        // switched capacitance per operation.
+        let rca = crate::opt::sweep(&test_adder(false));
+        let ks = crate::opt::sweep(&test_adder(true));
+        let p_rca = estimate(&rca, 2048, 7);
+        let p_ks = estimate(&ks, 2048, 7);
+        assert!(p_rca.switched_cap_per_op < p_ks.switched_cap_per_op);
+    }
+
+    /// Local mini adders to avoid a dev-dependency cycle with `adders`.
+    fn test_adder(prefix: bool) -> Netlist {
+        let n = 16;
+        let mut b = NetlistBuilder::new(if prefix { "ks" } else { "rca" });
+        let a = b.input_bus("a", n);
+        let bb = b.input_bus("b", n);
+        let p: Vec<_> = a.iter().zip(&bb).map(|(&x, &y)| b.xor2(x, y)).collect();
+        let g: Vec<_> = a.iter().zip(&bb).map(|(&x, &y)| b.and2(x, y)).collect();
+        let mut carries = Vec::new();
+        if prefix {
+            // Kogge-Stone sweep on (g, p).
+            let mut gg = g.clone();
+            let mut pp = p.clone();
+            let mut stride = 1;
+            while stride < n {
+                let (gs, ps) = (gg.clone(), pp.clone());
+                for i in stride..n {
+                    let t = b.and2(ps[i], gs[i - stride]);
+                    gg[i] = b.or2(gs[i], t);
+                    pp[i] = b.and2(ps[i], ps[i - stride]);
+                }
+                stride *= 2;
+            }
+            carries = gg;
+        } else {
+            let mut c = None;
+            for i in 0..n {
+                let next = match c {
+                    None => g[i],
+                    Some(cs) => {
+                        let t = b.and2(p[i], cs);
+                        b.or2(g[i], t)
+                    }
+                };
+                carries.push(next);
+                c = Some(next);
+            }
+        }
+        let mut sums = vec![p[0]];
+        for i in 1..n {
+            sums.push(b.xor2(p[i], carries[i - 1]));
+        }
+        b.output_bus("sum", &sums);
+        b.finish()
+    }
+}

@@ -1,0 +1,209 @@
+//! Bit-parallel logic simulation.
+//!
+//! The simulator evaluates a [`Netlist`] over 64 independent test vectors at
+//! once: each signal is a `u64` whose lane *j* carries the value of the
+//! signal under stimulus *j*. One linear pass over the (topologically
+//! ordered) node array evaluates the whole design.
+//!
+//! Convenience wrappers accept `bool` vectors or [`UBig`] operands.
+
+use std::collections::HashMap;
+
+use bitnum::UBig;
+
+use crate::error::GateError;
+use crate::netlist::{Netlist, Node};
+
+/// Simulates 64 vectors at once.
+///
+/// `stimuli` supplies, for every input bus, one `u64` per bit (LSB first);
+/// lane *j* of each word belongs to test vector *j*. Returns the same
+/// layout for every output bus.
+///
+/// # Errors
+///
+/// Returns [`GateError`] if a bus is missing, unknown, or has the wrong
+/// width.
+pub fn simulate(
+    netlist: &Netlist,
+    stimuli: &[(&str, &[u64])],
+) -> Result<HashMap<String, Vec<u64>>, GateError> {
+    let mut by_bus: HashMap<&str, &[u64]> = HashMap::new();
+    for (name, words) in stimuli {
+        by_bus.insert(name, words);
+    }
+    // Validate the interface both ways.
+    for bus in netlist.inputs() {
+        match by_bus.get(bus.name.as_str()) {
+            None => return Err(GateError::UnknownBus(bus.name.clone())),
+            Some(words) if words.len() != bus.signals.len() => {
+                return Err(GateError::WidthMismatch {
+                    bus: bus.name.clone(),
+                    expected: bus.signals.len(),
+                    got: words.len(),
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, _) in stimuli {
+        if netlist.input(name).is_none() {
+            return Err(GateError::UnknownBus((*name).to_string()));
+        }
+    }
+
+    let mut values = vec![0u64; netlist.nodes().len()];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        values[i] = match node {
+            Node::Input { bus, bit } => {
+                let bus_ref = &netlist.inputs()[*bus as usize];
+                by_bus[bus_ref.name.as_str()][*bit as usize]
+            }
+            Node::Cell { kind, ins } => {
+                let get = |slot: usize| {
+                    if slot < kind.arity() {
+                        values[ins[slot].index()]
+                    } else {
+                        0
+                    }
+                };
+                kind.eval(get(0), get(1), get(2), get(3))
+            }
+        };
+    }
+
+    let mut out = HashMap::new();
+    for bus in netlist.outputs() {
+        out.insert(
+            bus.name.clone(),
+            bus.signals.iter().map(|s| values[s.index()]).collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Simulates a single vector given as booleans per bus bit (LSB first).
+///
+/// # Errors
+///
+/// Propagates interface errors from [`simulate`].
+pub fn simulate_bools(
+    netlist: &Netlist,
+    stimuli: &[(&str, &[bool])],
+) -> Result<HashMap<String, Vec<bool>>, GateError> {
+    let words: Vec<(&str, Vec<u64>)> = stimuli
+        .iter()
+        .map(|(name, bits)| {
+            (*name, bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect())
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[u64])> =
+        words.iter().map(|(n, w)| (*n, w.as_slice())).collect();
+    let out = simulate(netlist, &borrowed)?;
+    Ok(out
+        .into_iter()
+        .map(|(name, ws)| (name, ws.into_iter().map(|w| w & 1 == 1).collect()))
+        .collect())
+}
+
+/// Simulates a single vector with [`UBig`] operands: each input bus takes a
+/// `UBig` of matching width, each output bus is returned as a `UBig`.
+///
+/// # Errors
+///
+/// Propagates interface errors from [`simulate`].
+pub fn simulate_ubig(
+    netlist: &Netlist,
+    stimuli: &[(&str, &UBig)],
+) -> Result<HashMap<String, UBig>, GateError> {
+    let words: Vec<(&str, Vec<u64>)> = stimuli
+        .iter()
+        .map(|(name, v)| {
+            (
+                *name,
+                (0..v.width())
+                    .map(|i| if v.bit(i) { u64::MAX } else { 0 })
+                    .collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[u64])> =
+        words.iter().map(|(n, w)| (*n, w.as_slice())).collect();
+    let out = simulate(netlist, &borrowed)?;
+    Ok(out
+        .into_iter()
+        .map(|(name, ws)| {
+            let mut v = UBig::zero(ws.len());
+            for (i, w) in ws.iter().enumerate() {
+                if w & 1 == 1 {
+                    v.set_bit(i, true);
+                }
+            }
+            (name, v)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input_bus("a", 2);
+        let c = b.input_bus("b", 2);
+        let z: Vec<_> = a.iter().zip(&c).map(|(&x, &y)| b.xor2(x, y)).collect();
+        b.output_bus("z", &z);
+        b.finish()
+    }
+
+    #[test]
+    fn lane_parallel_matches_scalar() {
+        let n = xor_netlist();
+        let a = [0b1010_1010u64, 0xffff];
+        let b = [0b0110_0110u64, 0x0f0f];
+        let out = simulate(&n, &[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(out["z"][0], a[0] ^ b[0]);
+        assert_eq!(out["z"][1], a[1] ^ b[1]);
+    }
+
+    #[test]
+    fn ubig_wrapper_roundtrip() {
+        let n = xor_netlist();
+        let a = UBig::from_u128(0b01, 2);
+        let b = UBig::from_u128(0b11, 2);
+        let out = simulate_ubig(&n, &[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(out["z"], UBig::from_u128(0b10, 2));
+    }
+
+    #[test]
+    fn missing_bus_is_error() {
+        let n = xor_netlist();
+        let a = [0u64, 0];
+        assert!(matches!(
+            simulate(&n, &[("a", &a)]),
+            Err(GateError::UnknownBus(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_width_is_error() {
+        let n = xor_netlist();
+        let a = [0u64];
+        let b = [0u64, 0];
+        assert!(matches!(
+            simulate(&n, &[("a", &a), ("b", &b)]),
+            Err(GateError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_bus_is_error() {
+        let n = xor_netlist();
+        let a = [0u64, 0];
+        let b = [0u64, 0];
+        let c = [0u64];
+        assert!(simulate(&n, &[("a", &a), ("b", &b), ("c", &c)]).is_err());
+    }
+}

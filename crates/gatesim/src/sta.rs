@@ -1,0 +1,286 @@
+//! Load-aware static timing analysis.
+//!
+//! Delay model (logical effort with minimum-drive cells):
+//!
+//! ```text
+//! delay(node) = parasitic(cell) + Σ_{fanout pins} (pin_cap + WIRE_CAP) [τ]
+//! arrival(node) = max over inputs of arrival(input) + delay(node)
+//! ```
+//!
+//! Primary inputs arrive at t = 0 but still pay their fanout load (they are
+//! driven by an ideal minimum inverter), so designs with huge primary-input
+//! fanout — the problem the paper points out in prior speculative adders —
+//! are penalized realistically. Output-bus bits add one register-pin load.
+//!
+//! Delays are reported in τ and convertible to nanoseconds with
+//! [`crate::PS_PER_TAU`].
+
+use crate::netlist::{Netlist, Node, Signal};
+use crate::PS_PER_TAU;
+
+/// Wire capacitance charged per fanout pin, in unit inverter capacitances.
+pub const WIRE_CAP: f64 = 0.5;
+
+/// Load presented by an output-bus bit (a register data pin).
+pub const OUTPUT_PIN_CAP: f64 = 1.0;
+
+/// The result of timing a netlist.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    arrivals: Vec<f64>,
+    critical_path: Vec<Signal>,
+    critical_delay: f64,
+    output_arrivals: Vec<(String, f64)>,
+}
+
+impl TimingReport {
+    /// Critical-path delay in τ.
+    pub fn critical_delay_tau(&self) -> f64 {
+        self.critical_delay
+    }
+
+    /// Critical-path delay in nanoseconds under the calibrated process.
+    pub fn critical_delay_ns(&self) -> f64 {
+        self.critical_delay * PS_PER_TAU / 1000.0
+    }
+
+    /// Arrival time (τ) of the latest bit of the named output bus, if it
+    /// exists.
+    pub fn output_arrival_tau(&self, bus: &str) -> Option<f64> {
+        self.output_arrivals
+            .iter()
+            .find(|(name, _)| name == bus)
+            .map(|&(_, t)| t)
+    }
+
+    /// Arrival time (τ) of every output bus, in declaration order.
+    pub fn output_arrivals(&self) -> &[(String, f64)] {
+        &self.output_arrivals
+    }
+
+    /// The signals along the critical path, from a primary input to the
+    /// latest output.
+    pub fn critical_path(&self) -> &[Signal] {
+        &self.critical_path
+    }
+
+    /// Arrival time (τ) of an individual signal.
+    pub fn arrival_tau(&self, s: Signal) -> f64 {
+        self.arrivals[s.index()]
+    }
+
+    /// Renders the critical path as a human-readable timing report: one
+    /// line per stage with the cell kind, incremental delay and cumulative
+    /// arrival — the `report_timing` a synthesis flow prints.
+    pub fn path_report(&self, netlist: &Netlist) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path of {} ({:.1}τ = {:.3} ns):",
+            netlist.name(),
+            self.critical_delay_tau(),
+            self.critical_delay_ns()
+        );
+        let mut prev = 0.0f64;
+        for s in &self.critical_path {
+            let arrival = self.arrivals[s.index()];
+            let label = match &netlist.nodes()[s.index()] {
+                Node::Input { bus, bit } => {
+                    format!("input {}[{}]", netlist.inputs()[*bus as usize].name, bit)
+                }
+                Node::Cell { kind, .. } => format!("{kind:?}"),
+            };
+            let _ = writeln!(
+                out,
+                "  {label:<12} +{:>6.1}  @{:>7.1}",
+                arrival - prev,
+                arrival
+            );
+            prev = arrival;
+        }
+        out
+    }
+}
+
+/// Times a netlist.
+pub fn analyze(netlist: &Netlist) -> TimingReport {
+    let n = netlist.nodes().len();
+    // Accumulate the capacitive load on every signal.
+    let mut load = vec![0.0f64; n];
+    for node in netlist.nodes() {
+        if let Node::Cell { kind, ins } = node {
+            for s in ins.iter().take(kind.arity()) {
+                load[s.index()] += kind.pin_cap() + WIRE_CAP;
+            }
+        }
+    }
+    for bus in netlist.outputs() {
+        for s in &bus.signals {
+            load[s.index()] += OUTPUT_PIN_CAP + WIRE_CAP;
+        }
+    }
+
+    let mut arrival = vec![0.0f64; n];
+    let mut pred: Vec<Option<Signal>> = vec![None; n];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        match node {
+            Node::Input { .. } => {
+                // Ideal driver: zero intrinsic delay, pays its load.
+                arrival[i] = load[i];
+            }
+            Node::Cell { kind, ins } => {
+                if kind.arity() == 0 {
+                    arrival[i] = 0.0; // constants are tie cells
+                    continue;
+                }
+                let mut worst = 0.0f64;
+                let mut worst_in = None;
+                for s in ins.iter().take(kind.arity()) {
+                    let t = arrival[s.index()];
+                    if worst_in.is_none() || t > worst {
+                        worst = t;
+                        worst_in = Some(*s);
+                    }
+                }
+                arrival[i] = worst + kind.parasitic() + load[i];
+                pred[i] = worst_in;
+            }
+        }
+    }
+
+    let mut output_arrivals = Vec::new();
+    let mut critical_end: Option<Signal> = None;
+    let mut critical_delay = 0.0f64;
+    for bus in netlist.outputs() {
+        let mut bus_worst = 0.0f64;
+        for s in &bus.signals {
+            let t = arrival[s.index()];
+            if t > bus_worst {
+                bus_worst = t;
+            }
+            if critical_end.is_none() || t > critical_delay {
+                critical_delay = t;
+                critical_end = Some(*s);
+            }
+        }
+        output_arrivals.push((bus.name.clone(), bus_worst));
+    }
+
+    let mut critical_path = Vec::new();
+    let mut cursor = critical_end;
+    while let Some(s) = cursor {
+        critical_path.push(s);
+        cursor = pred[s.index()];
+    }
+    critical_path.reverse();
+
+    TimingReport { arrivals: arrival, critical_path, critical_delay, output_arrivals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn chain_is_slower_than_tree() {
+        // 8-input AND as a chain vs a balanced tree.
+        let chain = {
+            let mut b = NetlistBuilder::new("chain");
+            let xs = b.input_bus("x", 8);
+            let mut acc = xs[0];
+            for &x in &xs[1..] {
+                acc = b.and2(acc, x);
+            }
+            b.output_bit("z", acc);
+            b.finish()
+        };
+        let tree = {
+            let mut b = NetlistBuilder::new("tree");
+            let xs = b.input_bus("x", 8);
+            let z = b.and_many(&xs);
+            b.output_bit("z", z);
+            b.finish()
+        };
+        let tc = analyze(&chain).critical_delay_tau();
+        let tt = analyze(&tree).critical_delay_tau();
+        assert!(tc > tt, "chain {tc} should be slower than tree {tt}");
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        // One inverter driving 1 load vs driving 16 loads.
+        let light = {
+            let mut b = NetlistBuilder::new("light");
+            let x = b.input_bit("x");
+            let nx = b.inv(x);
+            let y = b.input_bit("y");
+            let z = b.and2(nx, y);
+            b.output_bit("z", z);
+            b.finish()
+        };
+        let heavy = {
+            let mut b = NetlistBuilder::new("heavy");
+            let x = b.input_bit("x");
+            let nx = b.inv(x);
+            let ys = b.input_bus("y", 16);
+            let zs: Vec<_> = ys.iter().map(|&y| b.and2(nx, y)).collect();
+            b.output_bus("z", &zs);
+            b.finish()
+        };
+        let tl = analyze(&light).critical_delay_tau();
+        let th = analyze(&heavy).critical_delay_tau();
+        assert!(th > tl + 10.0, "fanout 16 ({th}) must cost well over fanout 1 ({tl})");
+    }
+
+    #[test]
+    fn critical_path_is_connected_and_ends_at_output() {
+        let mut b = NetlistBuilder::new("t");
+        let xs = b.input_bus("x", 4);
+        let a = b.and2(xs[0], xs[1]);
+        let c = b.xor2(a, xs[2]);
+        let d = b.or2(c, xs[3]);
+        b.output_bit("z", d);
+        let n = b.finish();
+        let report = analyze(&n);
+        let path = report.critical_path();
+        assert!(!path.is_empty());
+        // Arrivals must be non-decreasing along the path.
+        for w in path.windows(2) {
+            assert!(report.arrival_tau(w[0]) <= report.arrival_tau(w[1]));
+        }
+        assert_eq!(path.last().unwrap().index(), n.output("z").unwrap().signals[0].index());
+    }
+
+    #[test]
+    fn path_report_lists_every_stage() {
+        let mut b = NetlistBuilder::new("report");
+        let xs = b.input_bus("x", 4);
+        let a = b.and2(xs[0], xs[1]);
+        let c = b.xor2(a, xs[2]);
+        let d = b.or2(c, xs[3]);
+        b.output_bit("z", d);
+        let n = b.finish();
+        let report = analyze(&n);
+        let text = report.path_report(&n);
+        assert!(text.contains("critical path of report"));
+        // Path: input -> And2 -> Xor2 -> Or2.
+        assert!(text.contains("And2"));
+        assert!(text.contains("Xor2"));
+        assert!(text.contains("Or2"));
+        assert_eq!(text.lines().count(), 1 + report.critical_path().len());
+    }
+
+    #[test]
+    fn ns_conversion_is_linear() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_bit("x");
+        let y = b.input_bit("y");
+        let z = b.and2(x, y);
+        b.output_bit("z", z);
+        let n = b.finish();
+        let r = analyze(&n);
+        assert!((r.critical_delay_ns() - r.critical_delay_tau() * PS_PER_TAU / 1000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: random netlists survive optimization passes unchanged in
+//! function, and the simulator is lane-consistent.
+
+use gatesim::{equiv, opt, sim, CellKind, Netlist, NetlistBuilder, Signal};
+use proptest::prelude::*;
+
+/// A recipe for one random gate: kind selector plus three input selectors.
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    kind: u8,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+fn gate_recipe() -> impl Strategy<Value = GateRecipe> {
+    (0u8..12, any::<usize>(), any::<usize>(), any::<usize>())
+        .prop_map(|(kind, a, b, c)| GateRecipe { kind, a, b, c })
+}
+
+/// Builds a random 8-input netlist from recipes; every created signal is a
+/// candidate input for later gates, so deep and reconvergent structures
+/// appear.
+fn build_random(recipes: &[GateRecipe], outputs: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut pool: Vec<Signal> = b.input_bus("x", 8);
+    for r in recipes {
+        let pick = |sel: usize| pool[sel % pool.len()];
+        let (x, y, z) = (pick(r.a), pick(r.b), pick(r.c));
+        let s = match r.kind {
+            0 => b.inv(x),
+            1 => b.and2(x, y),
+            2 => b.or2(x, y),
+            3 => b.nand2(x, y),
+            4 => b.nor2(x, y),
+            5 => b.xor2(x, y),
+            6 => b.xnor2(x, y),
+            7 => b.mux2(x, y, z),
+            8 => b.aoi21(x, y, z),
+            9 => b.oai21(x, y, z),
+            10 => b.maj3(x, y, z),
+            _ => b.buf(x),
+        };
+        pool.push(s);
+    }
+    let outs: Vec<Signal> = (0..outputs).map(|i| pool[pool.len() - 1 - (i % pool.len())]).collect();
+    b.output_bus("z", &outs);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sweep_preserves_function(recipes in prop::collection::vec(gate_recipe(), 1..120)) {
+        let n = build_random(&recipes, 4);
+        let swept = opt::sweep(&n);
+        prop_assert!(equiv::check(&n, &swept, 128, 99).unwrap().is_none());
+        prop_assert!(swept.cell_count() <= n.cell_count());
+    }
+
+    #[test]
+    fn buffering_preserves_function(
+        recipes in prop::collection::vec(gate_recipe(), 1..120),
+        limit in 2u32..9,
+    ) {
+        let n = build_random(&recipes, 4);
+        let buffered = opt::buffer_fanout(&n, limit);
+        prop_assert!(equiv::check(&n, &buffered, 128, 123).unwrap().is_none());
+    }
+
+    #[test]
+    fn simulation_is_lane_consistent(
+        recipes in prop::collection::vec(gate_recipe(), 1..60),
+        stim in prop::array::uniform8(any::<u64>()),
+    ) {
+        let n = build_random(&recipes, 4);
+        let lanes = sim::simulate(&n, &[("x", &stim)]).unwrap();
+        // Each lane must match an independent single-lane simulation.
+        for lane in [0usize, 13, 63] {
+            let scalar: Vec<u64> = stim
+                .iter()
+                .map(|w| if (w >> lane) & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
+            let single = sim::simulate(&n, &[("x", &scalar)]).unwrap();
+            for (a, b) in lanes["z"].iter().zip(&single["z"]) {
+                prop_assert_eq!((a >> lane) & 1, b & 1);
+            }
+        }
+    }
+
+    #[test]
+    fn verilog_emits_every_cell(recipes in prop::collection::vec(gate_recipe(), 1..60)) {
+        let n = build_random(&recipes, 2);
+        let text = gatesim::verilog::emit(&n);
+        let assigns = text.lines().filter(|l| l.trim_start().starts_with("assign")).count();
+        let const_cells = n
+            .nodes()
+            .iter()
+            .filter(|nd| matches!(nd, gatesim::Node::Cell { kind: CellKind::Const0 | CellKind::Const1, .. }))
+            .count();
+        // one assign per cell (incl. constants) + one per output bit
+        prop_assert_eq!(assigns, n.cell_count() + const_cells + 2);
+    }
+}

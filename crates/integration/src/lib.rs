@@ -1,0 +1,3 @@
+//! Host crate for the repository-root `tests/` directory. The interesting
+//! code lives in those integration tests; this library is intentionally
+//! empty.

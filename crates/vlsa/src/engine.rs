@@ -1,0 +1,99 @@
+//! A variable-latency engine around the VLSA baseline, mirroring the
+//! VLCSA engines' protocol (1 cycle when detection stays quiet, 2 cycles
+//! through the completion stage otherwise; always exact).
+
+use bitnum::UBig;
+
+use crate::Vlsa;
+
+/// The outcome of one variable-latency VLSA addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VlsaOutcome {
+    /// The (always exact) sum.
+    pub sum: UBig,
+    /// The (always exact) carry-out.
+    pub cout: bool,
+    /// 1 (speculation accepted) or 2 (completion stage).
+    pub cycles: u8,
+    /// Whether the run detector flagged.
+    pub flagged: bool,
+}
+
+/// The VLSA adder operated as a reliable variable-latency unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VlsaEngine {
+    adder: Vlsa,
+}
+
+impl VlsaEngine {
+    /// Wraps a VLSA instance.
+    pub fn new(adder: Vlsa) -> Self {
+        Self { adder }
+    }
+
+    /// The underlying speculative adder.
+    pub fn vlsa(&self) -> &Vlsa {
+        &self.adder
+    }
+
+    /// One variable-latency addition; the result is always exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths do not match the adder width.
+    pub fn add(&self, a: &UBig, b: &UBig) -> VlsaOutcome {
+        if self.adder.detect(a, b) {
+            let (sum, cout) = self.adder.recover(a, b);
+            VlsaOutcome { sum, cout, cycles: 2, flagged: true }
+        } else {
+            let (sum, cout) = self.adder.speculative_add(a, b);
+            debug_assert_eq!(sum, a.wrapping_add(b), "reliability invariant");
+            VlsaOutcome { sum, cout, cycles: 1, flagged: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+
+    #[test]
+    fn always_exact_and_sometimes_stalls() {
+        let engine = VlsaEngine::new(Vlsa::new(64, 8));
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut stalls = 0;
+        for _ in 0..30_000 {
+            let a = UBig::random(64, &mut rng);
+            let b = UBig::random(64, &mut rng);
+            let outcome = engine.add(&a, &b);
+            let (sum, cout) = a.overflowing_add(&b);
+            assert_eq!(outcome.sum, sum);
+            assert_eq!(outcome.cout, cout);
+            stalls += (outcome.cycles == 2) as usize;
+        }
+        assert!(stalls > 0, "l=8 must stall within 30k uniform trials");
+    }
+
+    #[test]
+    fn stall_rate_higher_than_vlcsa_at_equal_parameter() {
+        // The Table 7.3 asymmetry seen from the engine side: at k = l the
+        // per-bit speculation stalls more (it overestimates more broadly).
+        let engine = VlsaEngine::new(Vlsa::new(64, 10));
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let mut vlsa_stalls = 0usize;
+        for _ in 0..30_000 {
+            let a = UBig::random(64, &mut rng);
+            let b = UBig::random(64, &mut rng);
+            vlsa_stalls += (engine.add(&a, &b).cycles == 2) as usize;
+        }
+        let vlsa_rate = vlsa_stalls as f64 / 30_000.0;
+        let vlcsa_nominal = 30_000.0; // placeholder to keep types simple
+        let _ = vlcsa_nominal;
+        // Compare against the SCSA nominal model at the same parameter.
+        // (vlsa crate cannot depend on vlcsa; the cross-check lives in the
+        // integration tests. Here: the rate must at least exceed the VLSA
+        // error-model rate, since detection overestimates.)
+        assert!(vlsa_rate >= crate::model::error_rate(64, 10));
+    }
+}

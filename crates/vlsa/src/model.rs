@@ -1,0 +1,179 @@
+//! Exact analytical error model for VLSA under unsigned uniform inputs.
+//!
+//! The speculative result is wrong iff some bit consumes a carry older than
+//! its `l`-bit window — equivalently, iff a propagate run reaches length `l`
+//! *with a live carry entering it*. Scanning the bits LSB→MSB, that event
+//! is a small Markov chain:
+//!
+//! * state `(cb, r)` — `cb` is the carry entering the current propagate run
+//!   and `r` the run length so far (capped at `l`);
+//! * per bit (uniform operands): generate w.p. ¼ → `(1, 0)`;
+//!   propagate w.p. ½ → `(cb, r+1)`, erring if `r+1 ≥ l ∧ cb`;
+//!   kill w.p. ¼ → `(0, 0)`.
+//!
+//! This gives the *exact* probability, unlike the paper's union-bound-style
+//! approximations; the solver below inverts it for Table 7.3.
+
+/// Exact probability that an `n`-bit VLSA with chain length `l` produces a
+/// wrong speculative result (sum or carry-out) on unsigned uniform inputs.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or `n == 0`.
+pub fn error_rate(n: usize, l: usize) -> f64 {
+    assert!(n >= 1 && l >= 1, "invalid parameters");
+    if l >= n {
+        return 0.0;
+    }
+    // prob[cb][r]: probability mass in live states; `err` absorbs.
+    let mut prob = vec![[0.0f64; 2]; l];
+    prob[0][0] = 1.0;
+    let mut err = 0.0f64;
+    for _bit in 0..n {
+        let mut next = vec![[0.0f64; 2]; l];
+        let mut next_err = err;
+        for r in 0..l {
+            for cb in 0..2 {
+                let p = prob[r][cb];
+                if p == 0.0 {
+                    continue;
+                }
+                // Generate (g=1): carry becomes live, run resets.
+                next[0][1] += p * 0.25;
+                // Kill (p=0, g=0): everything resets.
+                next[0][0] += p * 0.25;
+                // Propagate: run extends.
+                if r + 1 >= l {
+                    if cb == 1 {
+                        next_err += p * 0.5;
+                    } else {
+                        // A runaway run with no carry below can never err;
+                        // stay saturated at r = l-1 … but a *later* carry
+                        // cannot enter an ongoing run, so the run stays
+                        // harmless until broken.
+                        next[l - 1][0] += p * 0.5;
+                    }
+                } else {
+                    next[r + 1][cb] += p * 0.5;
+                }
+            }
+        }
+        prob = next;
+        err = next_err;
+    }
+    err
+}
+
+/// Solver semantics for inverting the error model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Smallest `l` with `error_rate ≤ target`.
+    Strict,
+    /// Smallest `l` whose error rate, expressed in percent and rounded to
+    /// two decimals, is `≤ target` — the rounding the paper's tables use.
+    RoundsTo2Dp,
+}
+
+/// Smallest chain length `l` meeting `target` (a probability, e.g. `1e-4`
+/// for the paper's 0.01 %).
+///
+/// # Panics
+///
+/// Panics if `target <= 0` or `n == 0`.
+pub fn chain_length_for(n: usize, target: f64, semantics: Semantics) -> usize {
+    assert!(target > 0.0, "target must be positive");
+    for l in 1..=n {
+        let p = error_rate(n, l);
+        let ok = match semantics {
+            Semantics::Strict => p <= target,
+            Semantics::RoundsTo2Dp => {
+                let pct = (p * 100.0 * 100.0).round() / 100.0;
+                let tgt = (target * 100.0 * 100.0).round() / 100.0;
+                pct <= tgt
+            }
+        };
+        if ok {
+            return l;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vlsa;
+    use bitnum::rng::Xoshiro256;
+    use bitnum::UBig;
+
+    #[test]
+    fn monotonic_in_l_and_n() {
+        for n in [64usize, 256] {
+            for l in 4..20 {
+                assert!(error_rate(n, l + 1) <= error_rate(n, l));
+            }
+        }
+        for l in [8usize, 12] {
+            assert!(error_rate(128, l) >= error_rate(64, l));
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let mut rng = Xoshiro256::seed_from_u64(100);
+        for (n, l) in [(64usize, 6usize), (64, 8), (128, 7)] {
+            let adder = Vlsa::new(n, l);
+            let trials = 200_000usize;
+            let mut errors = 0usize;
+            for _ in 0..trials {
+                let a = UBig::random(n, &mut rng);
+                let b = UBig::random(n, &mut rng);
+                if adder.is_error(&a, &b) {
+                    errors += 1;
+                }
+            }
+            let mc = errors as f64 / trials as f64;
+            let model = error_rate(n, l);
+            let tol = 4.0 * (model / trials as f64).sqrt() + 1e-6;
+            assert!(
+                (mc - model).abs() < tol.max(model * 0.15),
+                "n={n} l={l}: mc={mc:.6} model={model:.6}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(error_rate(32, 32), 0.0);
+        assert!(error_rate(32, 1) > 0.1); // speculating nothing errs a lot
+    }
+
+    #[test]
+    fn solver_is_consistent() {
+        for n in [64usize, 128, 256, 512] {
+            let l = chain_length_for(n, 1e-4, Semantics::Strict);
+            assert!(error_rate(n, l) <= 1e-4);
+            if l > 1 {
+                assert!(error_rate(n, l - 1) > 1e-4);
+            }
+            let l2 = chain_length_for(n, 1e-4, Semantics::RoundsTo2Dp);
+            assert!(l2 <= l);
+        }
+    }
+
+    #[test]
+    fn paper_table_7_3_chain_lengths() {
+        // Table 7.3 reports l = 17/18/20/21 for n = 64/128/256/512 at an
+        // error rate of "0.01%". Our exact model under the paper's rounding
+        // semantics must land within ±1 bit of those values (the paper
+        // mixes analytical and simulated estimates; see EXPERIMENTS.md).
+        let expect = [(64usize, 17usize), (128, 18), (256, 20), (512, 21)];
+        for (n, l_paper) in expect {
+            let l = chain_length_for(n, 1e-4, Semantics::RoundsTo2Dp);
+            assert!(
+                l.abs_diff(l_paper) <= 1,
+                "n={n}: solver {l} vs paper {l_paper}"
+            );
+        }
+    }
+}

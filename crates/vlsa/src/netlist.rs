@@ -1,0 +1,219 @@
+//! Gate-level VLSA: speculative stage, detection and recovery netlists.
+//!
+//! The generated design exposes (for an `n`-bit adder with chain length
+//! `l`):
+//!
+//! * `sum`, `cout` — the speculative outputs (truncated prefix network of
+//!   depth `⌈log₂ l⌉ (+1)`);
+//! * `err` — the propagate-run detector (`OR` over all full-window group
+//!   propagates, which the speculative stage computes anyway — the sharing
+//!   Verma et al. describe);
+//! * `sum_exact`, `cout_exact` — the recovery outputs: the same prefix
+//!   planes *completed* to full width by continued doubling (the
+//!   second-cycle completion stage).
+//!
+//! Timing the three output groups of one netlist with
+//! [`gatesim::sta::analyze`] yields exactly the three delays Fig. 7.4
+//! plots (speculation, detection, recovery).
+
+use adders::pg::{self, GroupPg};
+use gatesim::{Netlist, NetlistBuilder, Signal};
+
+/// Builds only the speculative stage (the "speculative adder in VLSA" that
+/// Figs. 7.2/7.3 compare): `a`, `b` → `sum`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `chain_len == 0` or `chain_len > width`.
+pub fn vlsa_spec_netlist(width: usize, chain_len: usize) -> Netlist {
+    let full = vlsa_netlist(width, chain_len);
+    // Rebuild keeping only the speculative outputs; the sweep in `finish`
+    // removes the detection and completion cones.
+    let mut b = NetlistBuilder::new(format!("vlsa_spec_{width}_l{chain_len}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let mut map: Vec<Signal> = Vec::with_capacity(full.nodes().len());
+    for node in full.nodes() {
+        let s = match node {
+            gatesim::Node::Input { bus, bit } => {
+                let src = if *bus == 0 { &a } else { &bb };
+                src[*bit as usize]
+            }
+            gatesim::Node::Cell { kind, ins } => {
+                let mapped: Vec<Signal> =
+                    ins.iter().take(kind.arity()).map(|s| map[s.index()]).collect();
+                b.cell(*kind, &mapped)
+            }
+        };
+        map.push(s);
+    }
+    let sum_bus = full.output("sum").expect("sum output");
+    let sum: Vec<Signal> = sum_bus.signals.iter().map(|s| map[s.index()]).collect();
+    b.output_bus("sum", &sum);
+    let cout = full.output("cout").expect("cout output").signals[0];
+    b.output_bit("cout", map[cout.index()]);
+    b.finish()
+}
+
+/// Builds the full VLSA netlist (speculation + detection + recovery).
+///
+/// # Panics
+///
+/// Panics if `chain_len == 0` or `chain_len > width`.
+pub fn vlsa_netlist(width: usize, chain_len: usize) -> Netlist {
+    assert!(chain_len >= 1 && chain_len <= width, "chain length out of range");
+    let mut b = NetlistBuilder::new(format!("vlsa_{width}_l{chain_len}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let plane = pg::pg_bits(&mut b, &a, &bb);
+
+    // --- Speculative stage: truncated prefix computation -----------------
+    let mut groups: Vec<GroupPg> =
+        plane.iter().map(|bit| GroupPg { g: bit.g, p: Some(bit.p) }).collect();
+    // Span-start tracker; positions with lo == 0 are exact and final.
+    let mut lo: Vec<usize> = (0..width).collect();
+    let mut window = 1usize;
+    let apply_stride = |b: &mut NetlistBuilder,
+                            groups: &mut Vec<GroupPg>,
+                            lo: &mut Vec<usize>,
+                            stride: usize,
+                            window: usize| {
+        let snapshot = groups.clone();
+        let lo_snapshot = lo.clone();
+        for pos in stride..width {
+            if lo_snapshot[pos] == 0 {
+                continue; // already exact
+            }
+            let hi = snapshot[pos];
+            let low = snapshot[pos - stride];
+            // Overlapped combine is exact for (P, G); keep P alive — the
+            // detector and the completion stage both need it.
+            groups[pos] = pg::combine(b, hi, low, true);
+            lo[pos] = lo_snapshot[pos - stride];
+        }
+        let _ = window;
+    };
+    // Doubling phase up to the largest power of two <= l.
+    while window * 2 <= chain_len {
+        apply_stride(&mut b, &mut groups, &mut lo, window, window);
+        window *= 2;
+    }
+    // Residual overlapped stride to reach exactly l.
+    let residual = chain_len - window;
+    if residual > 0 {
+        apply_stride(&mut b, &mut groups, &mut lo, residual, window);
+        window = chain_len;
+    }
+
+    // Speculative sums: s_i = p_i ^ c_{i-1}, spec carries are the windowed G.
+    let spec_carries: Vec<Signal> = groups.iter().map(|g| g.g).collect();
+    let spec_sums = pg::sum_bits(&mut b, &plane, &spec_carries, None);
+    b.output_bus("sum", &spec_sums);
+    b.output_bit("cout", spec_carries[width - 1]);
+
+    // --- Detection: dedicated sliding-window propagate-run detector ------
+    // Verma et al. build the detector from the raw propagate bits (its own
+    // AND doubling plane — this is where VLSA's area overhead comes from),
+    // flagging any full l-bit propagate window preceded by a carry-capable
+    // bit (a | b).
+    let mut p_plane: Vec<Signal> = plane.iter().map(|bit| bit.p).collect();
+    let mut ww = 1usize;
+    let and_stride = |b: &mut NetlistBuilder, p_plane: &mut Vec<Signal>, stride: usize| {
+        let snapshot = p_plane.clone();
+        for pos in stride..width {
+            p_plane[pos] = b.and2(snapshot[pos], snapshot[pos - stride]);
+        }
+        // Positions below the stride fall out of the full-window domain;
+        // they are excluded by the precursor indexing below.
+    };
+    while ww * 2 <= chain_len {
+        and_stride(&mut b, &mut p_plane, ww);
+        ww *= 2;
+    }
+    if chain_len - ww > 0 {
+        and_stride(&mut b, &mut p_plane, chain_len - ww);
+    }
+    let mut terms = Vec::with_capacity(width.saturating_sub(chain_len));
+    for i in chain_len..width {
+        let carry_capable = b.or2(a[i - chain_len], bb[i - chain_len]);
+        terms.push(b.and2(p_plane[i], carry_capable));
+    }
+    let err = b.or_many_wide(&terms);
+    b.output_bit("err", err);
+
+    // --- Recovery: complete the prefix computation by further doubling ---
+    // Isolation buffers decouple the speculative outputs from the
+    // completion stage's input load, as a delay-driven synthesis run would.
+    let mut groups: Vec<GroupPg> = groups
+        .iter()
+        .map(|grp| GroupPg {
+            g: b.isolation_buf(grp.g),
+            p: grp.p.map(|p| b.isolation_buf(p)),
+        })
+        .collect();
+    while window < width {
+        apply_stride(&mut b, &mut groups, &mut lo, window, window);
+        window *= 2;
+    }
+    debug_assert!(lo.iter().all(|&l0| l0 == 0), "completion must reach bit 0");
+    let exact_carries: Vec<Signal> = groups.iter().map(|g| g.g).collect();
+    let exact_sums = pg::sum_bits(&mut b, &plane, &exact_carries, None);
+    b.output_bus("sum_exact", &exact_sums);
+    b.output_bit("cout_exact", exact_carries[width - 1]);
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vlsa;
+    use bitnum::rng::Xoshiro256;
+    use bitnum::UBig;
+    use gatesim::{sim, sta};
+
+    #[test]
+    fn netlist_matches_behavioral_model() {
+        let mut rng = Xoshiro256::seed_from_u64(55);
+        for (n, l) in [(32usize, 6usize), (48, 11), (64, 17)] {
+            let net = vlsa_netlist(n, l);
+            let model = Vlsa::new(n, l);
+            for _ in 0..200 {
+                let a = UBig::random(n, &mut rng);
+                let b = UBig::random(n, &mut rng);
+                let out = sim::simulate_ubig(&net, &[("a", &a), ("b", &b)]).unwrap();
+                let (spec, spec_cout) = model.speculative_add(&a, &b);
+                assert_eq!(out["sum"], spec, "spec sum n={n} l={l}");
+                assert_eq!(out["cout"].bit(0), spec_cout);
+                assert_eq!(out["err"].bit(0), model.detect(&a, &b), "err n={n} l={l}");
+                let (exact, exact_cout) = a.overflowing_add(&b);
+                assert_eq!(out["sum_exact"], exact);
+                assert_eq!(out["cout_exact"].bit(0), exact_cout);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_delays_are_ordered() {
+        // Spec < detection (slightly) < recovery; all < ripple.
+        let net = vlsa_netlist(64, 17);
+        let t = sta::analyze(&net);
+        let spec = t.output_arrival_tau("sum").unwrap();
+        let err = t.output_arrival_tau("err").unwrap();
+        let rec = t.output_arrival_tau("sum_exact").unwrap();
+        assert!(err > spec * 0.8, "detector should not be far faster than spec");
+        assert!(rec > spec, "recovery completes after speculation");
+    }
+
+    #[test]
+    fn forced_long_chain_is_flagged_and_recovered() {
+        let n = 32;
+        let net = vlsa_netlist(n, 8);
+        let a = UBig::from_u128(1, n);
+        let b = UBig::from_u128((1 << 31) - 1, n);
+        let out = sim::simulate_ubig(&net, &[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(out["err"].bit(0), true);
+        assert_eq!(out["sum_exact"], a.wrapping_add(&b));
+        assert_ne!(out["sum"], a.wrapping_add(&b));
+    }
+}

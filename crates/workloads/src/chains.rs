@@ -1,0 +1,211 @@
+//! Carry-chain statistics (the histograms of Figs. 6.1–6.5).
+//!
+//! The paper defines the carry chain length as "the number of consecutive
+//! propagate signals with value 1" (Ch. 3). For each addition we therefore
+//! enumerate the maximal runs of 1s in the propagate plane `p = a ⊕ b` and
+//! histogram their lengths; the figures plot the percentage of chains at
+//! each length. Long chains — the bimodal mode of two's-complement Gaussian
+//! inputs — are what defeat VLCSA 1 and motivate VLCSA 2.
+
+use bitnum::pg::{self, PgPlanes};
+use bitnum::UBig;
+
+/// A histogram of carry-chain lengths over many additions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHistogram {
+    width: usize,
+    /// counts[len] = number of maximal propagate runs of exactly `len`
+    /// bits (index 0 unused).
+    counts: Vec<u64>,
+    /// counts of the longest chain per addition.
+    longest_counts: Vec<u64>,
+    additions: u64,
+    chains: u64,
+}
+
+impl ChainHistogram {
+    /// Creates an empty histogram for `width`-bit additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1, "width must be >= 1");
+        Self {
+            width,
+            counts: vec![0; width + 1],
+            longest_counts: vec![0; width + 1],
+            additions: 0,
+            chains: 0,
+        }
+    }
+
+    /// Operand width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Records one addition's chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths do not match the histogram width.
+    pub fn record(&mut self, a: &UBig, b: &UBig) {
+        assert_eq!(a.width(), self.width, "operand width mismatch");
+        assert_eq!(b.width(), self.width, "operand width mismatch");
+        let planes = PgPlanes::of(a, b);
+        self.additions += 1;
+        let mut longest = 0usize;
+        for run in pg::runs(&planes.p) {
+            self.counts[run.len] += 1;
+            self.chains += 1;
+            longest = longest.max(run.len);
+        }
+        self.longest_counts[longest] += 1;
+    }
+
+    /// Number of additions recorded.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// Total number of chains observed.
+    pub fn chains(&self) -> u64 {
+        self.chains
+    }
+
+    /// Fraction of chains with exactly this length (0.0 if no chains yet).
+    pub fn share(&self, len: usize) -> f64 {
+        if self.chains == 0 || len > self.width {
+            return 0.0;
+        }
+        self.counts[len] as f64 / self.chains as f64
+    }
+
+    /// Fraction of chains at least this long.
+    pub fn share_at_least(&self, len: usize) -> f64 {
+        if self.chains == 0 {
+            return 0.0;
+        }
+        let c: u64 = self.counts[len.min(self.width + 1).max(1)..].iter().sum();
+        c as f64 / self.chains as f64
+    }
+
+    /// Fraction of additions whose longest chain is ≥ `len` — the quantity
+    /// that bounds a speculative adder's error rate.
+    pub fn additions_with_chain_at_least(&self, len: usize) -> f64 {
+        if self.additions == 0 {
+            return 0.0;
+        }
+        let c: u64 = self.longest_counts[len.min(self.width + 1).max(0)..].iter().sum();
+        c as f64 / self.additions as f64
+    }
+
+    /// Mean chain length.
+    pub fn mean_len(&self) -> f64 {
+        if self.chains == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(len, &c)| len as u64 * c)
+            .sum();
+        total as f64 / self.chains as f64
+    }
+
+    /// `(length, percentage-of-chains)` rows for plotting, lengths 1..=width.
+    pub fn rows(&self) -> Vec<(usize, f64)> {
+        (1..=self.width).map(|len| (len, 100.0 * self.share(len))).collect()
+    }
+
+    /// Merges another histogram of the same width into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &ChainHistogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        for (c, o) in self.longest_counts.iter_mut().zip(&other.longest_counts) {
+            *c += o;
+        }
+        self.additions += other.additions;
+        self.chains += other.chains;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, OperandSource};
+
+    fn collect(dist: Distribution, width: usize, n: usize) -> ChainHistogram {
+        let mut src = OperandSource::new(dist, width, 7);
+        let mut h = ChainHistogram::new(width);
+        for _ in 0..n {
+            let (a, b) = src.next_pair();
+            h.record(&a, &b);
+        }
+        h
+    }
+
+    #[test]
+    fn explicit_example() {
+        let mut h = ChainHistogram::new(8);
+        // a ^ b = 0110_1110: runs of 3 and 2.
+        let a = UBig::from_u128(0b0110_1110, 8);
+        let b = UBig::zero(8);
+        h.record(&a, &b);
+        assert_eq!(h.chains(), 2);
+        assert!((h.share(3) - 0.5).abs() < 1e-12);
+        assert!((h.share(2) - 0.5).abs() < 1e-12);
+        assert_eq!(h.additions_with_chain_at_least(3), 1.0);
+        assert_eq!(h.additions_with_chain_at_least(4), 0.0);
+    }
+
+    #[test]
+    fn uniform_chains_decay_geometrically() {
+        // Fig. 6.1: the share roughly halves per extra bit of length.
+        let h = collect(Distribution::UnsignedUniform, 32, 20_000);
+        assert!(h.share(1) > h.share(2));
+        assert!(h.share(2) > h.share(4));
+        assert!(h.share(4) > h.share(8));
+        assert!(h.share_at_least(20) < 0.001);
+        // Ratio between consecutive small lengths ≈ 2.
+        let ratio = h.share(2) / h.share(3);
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn twos_complement_gaussian_is_bimodal() {
+        // Fig. 6.5: long chains near the adder width appear with a
+        // nontrivial share; unsigned Gaussian (Fig. 6.4) lacks them.
+        let sigma = 256.0; // 2^8 for a 32-bit adder
+        let tc = collect(Distribution::TwosComplementGaussian { sigma }, 32, 20_000);
+        let un = collect(Distribution::UnsignedGaussian { sigma }, 32, 20_000);
+        assert!(
+            tc.share_at_least(20) > 0.05,
+            "2c gaussian long-chain share {}",
+            tc.share_at_least(20)
+        );
+        assert!(
+            un.share_at_least(20) < 0.005,
+            "unsigned gaussian long-chain share {}",
+            un.share_at_least(20)
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = collect(Distribution::UnsignedUniform, 32, 1000);
+        let b = collect(Distribution::UnsignedUniform, 32, 1000);
+        let chains_before = a.chains();
+        a.merge(&b);
+        assert_eq!(a.chains(), chains_before + b.chains());
+        assert_eq!(a.additions(), 2000);
+    }
+}

@@ -1,0 +1,620 @@
+//! Cryptographic workloads with addition tracing.
+//!
+//! The paper motivates VLCSA 2 with carry-chain profiles "extracted from a
+//! cryptographic workload" (Fig. 6.2, after Cilardo DATE'09): RSA,
+//! Diffie–Hellman, EC ElGamal and ECDSA. Those traces are not distributed,
+//! so this module *regenerates* the workload: multiprecision modular
+//! arithmetic (interleaved double-and-add modular multiplication, modular
+//! exponentiation, secp256k1 Jacobian point arithmetic) built on
+//! [`bitnum::UBig`], instrumented so that **every datapath addition and
+//! subtraction is recorded** — a subtraction as the `a + !b (+1)` the adder
+//! hardware actually executes.
+//!
+//! Cilardo's profile — like the Kelly & Phillips study the paper also
+//! cites — was taken from *software* running on a 32-bit machine, so the
+//! traced additions are (a) the 32-bit word-level adds that multiword
+//! arithmetic decomposes into, and (b) the control-plane arithmetic around
+//! them: loop-counter increments and bound comparisons, which the ALU
+//! executes as `i + 1` and `i + !n + 1` — precisely the "small positive
+//! plus small negative" two's-complement pattern the paper identifies as
+//! the source of MSB-reaching carry chains. We trace both planes at
+//! [`TRACE_WIDTH`] bits. Feeding the pairs to
+//! [`crate::chains::ChainHistogram`] reproduces the bimodal shape of
+//! Fig. 6.2: a geometric short-chain mode plus a heavy mode hugging the
+//! word width.
+
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+
+use crate::chains::ChainHistogram;
+
+/// A consumer of traced adder operand pairs.
+pub trait AddSink {
+    /// Records one addition `a + b` presented to the datapath adder.
+    fn record_add(&mut self, a: &UBig, b: &UBig);
+}
+
+impl AddSink for ChainHistogram {
+    fn record_add(&mut self, a: &UBig, b: &UBig) {
+        self.record(a, b);
+    }
+}
+
+/// Collects raw operand pairs (optionally capped).
+#[derive(Debug, Clone, Default)]
+pub struct PairCollector {
+    pairs: Vec<(UBig, UBig)>,
+    cap: Option<usize>,
+}
+
+impl PairCollector {
+    /// A collector keeping at most `cap` pairs (`None` = unbounded).
+    pub fn with_cap(cap: Option<usize>) -> Self {
+        Self { pairs: Vec::new(), cap }
+    }
+
+    /// The collected pairs.
+    pub fn pairs(&self) -> &[(UBig, UBig)] {
+        &self.pairs
+    }
+}
+
+impl AddSink for PairCollector {
+    fn record_add(&mut self, a: &UBig, b: &UBig) {
+        if self.cap.map_or(true, |c| self.pairs.len() < c) {
+            self.pairs.push((a.clone(), b.clone()));
+        }
+    }
+}
+
+/// A sink that discards everything (for timing runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl AddSink for NullSink {
+    fn record_add(&mut self, _a: &UBig, _b: &UBig) {}
+}
+
+/// The word width at which software additions are traced (the 32-bit ALU
+/// of the machines the paper's workload studies profiled).
+pub const TRACE_WIDTH: usize = 32;
+
+/// Records the word-level adds of a multiword operation: `a op b` executes
+/// as one `TRACE_WIDTH`-bit addition per word.
+fn record_words<S: AddSink + ?Sized>(sink: &mut S, a: &UBig, b: &UBig) {
+    let words = a.width().div_ceil(TRACE_WIDTH);
+    for w in 0..words {
+        let lo = w * TRACE_WIDTH;
+        let len = TRACE_WIDTH.min(a.width() - lo);
+        let aw = a.extract(lo, len).resize(TRACE_WIDTH);
+        let bw = b.extract(lo, len).resize(TRACE_WIDTH);
+        sink.record_add(&aw, &bw);
+    }
+}
+
+/// Records the control-plane arithmetic of one software loop step over a
+/// multiword value: the counter increment `i + 1`, the bound comparison
+/// `i - n` (executed as `i + !n + 1`), and the remaining-length computation
+/// `n - i` — all small-positive/small-negative two's-complement additions.
+/// The last one subtracts the smaller value from the larger, so its borrow
+/// chain runs from a low generate all the way to the MSB: the exact pattern
+/// VLCSA 2's second speculative result absorbs (Ch. 6.4).
+fn record_loop_step<S: AddSink + ?Sized>(sink: &mut S, i: u64, n: u64) {
+    let iv = UBig::from_u128(i as u128, TRACE_WIDTH);
+    let nv = UBig::from_u128(n as u128, TRACE_WIDTH);
+    let one = UBig::from_u128(1, TRACE_WIDTH);
+    sink.record_add(&iv, &one);
+    sink.record_add(&iv, &nv.not_bits());
+    sink.record_add(&nv, &iv.not_bits());
+}
+
+/// Modular arithmetic over a fixed odd modulus with addition tracing.
+///
+/// All values are kept reduced (`< m`) at the modulus width `n`.
+#[derive(Debug)]
+pub struct ModContext<'s, S: AddSink> {
+    modulus: UBig,
+    width: usize,
+    sink: &'s mut S,
+}
+
+impl<'s, S: AddSink> ModContext<'s, S> {
+    /// Creates a context; `modulus` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn new(modulus: UBig, sink: &'s mut S) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        let width = modulus.width();
+        Self { modulus, width, sink }
+    }
+
+    /// The modulus width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Traced addition: records the word-level operand pairs, returns the
+    /// raw sum and carry.
+    fn traced_add(&mut self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        record_words(self.sink, a, b);
+        a.overflowing_add(b)
+    }
+
+    /// Traced subtraction: records the `(a, !b)` word pairs the adder
+    /// sees, and returns `(a - b, borrow)`.
+    fn traced_sub(&mut self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        let nb = b.not_bits();
+        record_words(self.sink, a, &nb);
+        a.overflowing_sub(b)
+    }
+
+    /// `(a + b) mod m` for reduced inputs.
+    pub fn add_mod(&mut self, a: &UBig, b: &UBig) -> UBig {
+        let (sum, carry) = self.traced_add(a, b);
+        if carry || sum >= self.modulus {
+            let m = self.modulus.clone();
+            self.traced_sub(&sum, &m).0
+        } else {
+            sum
+        }
+    }
+
+    /// `(a - b) mod m` for reduced inputs.
+    pub fn sub_mod(&mut self, a: &UBig, b: &UBig) -> UBig {
+        let (diff, borrow) = self.traced_sub(a, b);
+        if borrow {
+            let m = self.modulus.clone();
+            self.traced_add(&diff, &m).0
+        } else {
+            diff
+        }
+    }
+
+    /// `(a * b) mod m` by interleaved double-and-add — the shift/add/
+    /// conditional-subtract structure of a hardware modular multiplier,
+    /// generating one or two traced additions per operand bit.
+    pub fn mul_mod(&mut self, a: &UBig, b: &UBig) -> UBig {
+        let mut acc = UBig::zero(self.width);
+        let top = match b.highest_set_bit() {
+            Some(t) => t,
+            None => return acc,
+        };
+        for i in (0..=top).rev() {
+            // Software loop bookkeeping around the datapath operation.
+            record_loop_step(self.sink, (top - i) as u64, top as u64 + 1);
+            // acc = 2*acc mod m
+            let acc2 = acc.clone();
+            acc = self.add_mod(&acc, &acc2);
+            if b.bit(i) {
+                let a2 = a.clone();
+                acc = self.add_mod(&acc, &a2);
+            }
+        }
+        acc
+    }
+
+    /// `base^exp mod m` by square-and-multiply over [`ModContext::mul_mod`].
+    pub fn pow_mod(&mut self, base: &UBig, exp: &UBig) -> UBig {
+        let mut result = UBig::from_u128(1, self.width).rem(&self.modulus);
+        let mut b = base.rem(&self.modulus.resize(base.width())).resize(self.width);
+        let top = match exp.highest_set_bit() {
+            Some(t) => t,
+            None => return result,
+        };
+        for i in 0..=top {
+            if exp.bit(i) {
+                let r = result.clone();
+                result = self.mul_mod(&r, &b);
+            }
+            if i != top {
+                let bb = b.clone();
+                b = self.mul_mod(&bb, &bb);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse by Fermat's little theorem (`m` must be prime).
+    pub fn inv_mod(&mut self, a: &UBig) -> UBig {
+        let two = UBig::from_u128(2, self.width);
+        let exp = self.modulus.wrapping_sub(&two);
+        self.pow_mod(a, &exp)
+    }
+}
+
+/// A point on secp256k1 in Jacobian coordinates (`Z = 0` ⇒ infinity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JacobianPoint {
+    /// X coordinate.
+    pub x: UBig,
+    /// Y coordinate.
+    pub y: UBig,
+    /// Z coordinate.
+    pub z: UBig,
+}
+
+/// The secp256k1 field prime `2^256 − 2^32 − 977`.
+pub fn secp256k1_p() -> UBig {
+    UBig::from_hex(
+        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        256,
+    )
+    .expect("constant parses")
+}
+
+/// The secp256k1 group order.
+pub fn secp256k1_n() -> UBig {
+    UBig::from_hex(
+        "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141",
+        256,
+    )
+    .expect("constant parses")
+}
+
+/// The secp256k1 base point, in Jacobian coordinates.
+pub fn secp256k1_g() -> JacobianPoint {
+    JacobianPoint {
+        x: UBig::from_hex(
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+            256,
+        )
+        .expect("constant parses"),
+        y: UBig::from_hex(
+            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+            256,
+        )
+        .expect("constant parses"),
+        z: UBig::from_u128(1, 256),
+    }
+}
+
+impl JacobianPoint {
+    /// The point at infinity.
+    pub fn infinity() -> Self {
+        Self {
+            x: UBig::from_u128(1, 256),
+            y: UBig::from_u128(1, 256),
+            z: UBig::zero(256),
+        }
+    }
+
+    /// True iff this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+}
+
+/// Point doubling on secp256k1 (a = 0), dbl-2009-l formulas.
+pub fn ec_double<S: AddSink>(ctx: &mut ModContext<'_, S>, p: &JacobianPoint) -> JacobianPoint {
+    if p.is_infinity() || p.y.is_zero() {
+        return JacobianPoint::infinity();
+    }
+    let a = ctx.mul_mod(&p.x, &p.x); // X1^2
+    let b = ctx.mul_mod(&p.y, &p.y); // Y1^2
+    let c = ctx.mul_mod(&b, &b); // B^2
+    // D = 2*((X1+B)^2 - A - C)
+    let x1b = ctx.add_mod(&p.x, &b);
+    let x1b2 = ctx.mul_mod(&x1b, &x1b);
+    let t = ctx.sub_mod(&x1b2, &a);
+    let t = ctx.sub_mod(&t, &c);
+    let d = ctx.add_mod(&t, &t);
+    // E = 3*A
+    let a2 = ctx.add_mod(&a, &a);
+    let e = ctx.add_mod(&a2, &a);
+    let f = ctx.mul_mod(&e, &e);
+    // X3 = F - 2*D
+    let d2 = ctx.add_mod(&d, &d);
+    let x3 = ctx.sub_mod(&f, &d2);
+    // Y3 = E*(D - X3) - 8*C
+    let dx = ctx.sub_mod(&d, &x3);
+    let edx = ctx.mul_mod(&e, &dx);
+    let c2 = ctx.add_mod(&c, &c);
+    let c4 = ctx.add_mod(&c2, &c2);
+    let c8 = ctx.add_mod(&c4, &c4);
+    let y3 = ctx.sub_mod(&edx, &c8);
+    // Z3 = 2*Y1*Z1
+    let yz = ctx.mul_mod(&p.y, &p.z);
+    let z3 = ctx.add_mod(&yz, &yz);
+    JacobianPoint { x: x3, y: y3, z: z3 }
+}
+
+/// Point addition on secp256k1, add-2007-bl formulas with special cases.
+pub fn ec_add<S: AddSink>(
+    ctx: &mut ModContext<'_, S>,
+    p: &JacobianPoint,
+    q: &JacobianPoint,
+) -> JacobianPoint {
+    if p.is_infinity() {
+        return q.clone();
+    }
+    if q.is_infinity() {
+        return p.clone();
+    }
+    let z1z1 = ctx.mul_mod(&p.z, &p.z);
+    let z2z2 = ctx.mul_mod(&q.z, &q.z);
+    let u1 = ctx.mul_mod(&p.x, &z2z2);
+    let u2 = ctx.mul_mod(&q.x, &z1z1);
+    let z2cube = ctx.mul_mod(&q.z, &z2z2);
+    let s1 = ctx.mul_mod(&p.y, &z2cube);
+    let z1cube = ctx.mul_mod(&p.z, &z1z1);
+    let s2 = ctx.mul_mod(&q.y, &z1cube);
+    let h = ctx.sub_mod(&u2, &u1);
+    let rr = ctx.sub_mod(&s2, &s1);
+    if h.is_zero() {
+        if rr.is_zero() {
+            return ec_double(ctx, p);
+        }
+        return JacobianPoint::infinity();
+    }
+    let h2 = ctx.add_mod(&h, &h);
+    let i = ctx.mul_mod(&h2, &h2);
+    let j = ctx.mul_mod(&h, &i);
+    let r2 = ctx.add_mod(&rr, &rr);
+    let v = ctx.mul_mod(&u1, &i);
+    // X3 = r2^2 - J - 2*V
+    let r2sq = ctx.mul_mod(&r2, &r2);
+    let t = ctx.sub_mod(&r2sq, &j);
+    let v2 = ctx.add_mod(&v, &v);
+    let x3 = ctx.sub_mod(&t, &v2);
+    // Y3 = r2*(V - X3) - 2*S1*J
+    let vx = ctx.sub_mod(&v, &x3);
+    let rvx = ctx.mul_mod(&r2, &vx);
+    let s1j = ctx.mul_mod(&s1, &j);
+    let s1j2 = ctx.add_mod(&s1j, &s1j);
+    let y3 = ctx.sub_mod(&rvx, &s1j2);
+    // Z3 = ((Z1+Z2)^2 - Z1Z1 - Z2Z2) * H
+    let z12 = ctx.add_mod(&p.z, &q.z);
+    let z12sq = ctx.mul_mod(&z12, &z12);
+    let t = ctx.sub_mod(&z12sq, &z1z1);
+    let t = ctx.sub_mod(&t, &z2z2);
+    let z3 = ctx.mul_mod(&t, &h);
+    JacobianPoint { x: x3, y: y3, z: z3 }
+}
+
+/// Scalar multiplication (double-and-add, MSB first).
+pub fn ec_scalar_mul<S: AddSink>(
+    ctx: &mut ModContext<'_, S>,
+    k: &UBig,
+    p: &JacobianPoint,
+) -> JacobianPoint {
+    let mut acc = JacobianPoint::infinity();
+    let top = match k.highest_set_bit() {
+        Some(t) => t,
+        None => return acc,
+    };
+    for i in (0..=top).rev() {
+        acc = ec_double(ctx, &acc);
+        if k.bit(i) {
+            acc = ec_add(ctx, &acc, p);
+        }
+    }
+    acc
+}
+
+/// Converts a Jacobian point to affine `(x, y)` (requires a prime modulus).
+pub fn ec_to_affine<S: AddSink>(
+    ctx: &mut ModContext<'_, S>,
+    p: &JacobianPoint,
+) -> Option<(UBig, UBig)> {
+    if p.is_infinity() {
+        return None;
+    }
+    let zinv = ctx.inv_mod(&p.z);
+    let zinv2 = ctx.mul_mod(&zinv, &zinv);
+    let zinv3 = ctx.mul_mod(&zinv2, &zinv);
+    Some((ctx.mul_mod(&p.x, &zinv2), ctx.mul_mod(&p.y, &zinv3)))
+}
+
+/// The cryptographic benchmarks of Fig. 6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CryptoBench {
+    /// RSA-style modular exponentiation with a 512-bit random odd modulus.
+    Rsa512,
+    /// Diffie–Hellman key agreement: 256-bit modular exponentiation over a
+    /// random odd modulus.
+    Dh256,
+    /// EC ElGamal over secp256k1: ephemeral and shared-secret scalar
+    /// multiplications.
+    EcElGamalP256,
+    /// ECDSA-style signing arithmetic over secp256k1: one base-point
+    /// multiplication plus modular inverse and products modulo the order.
+    EcdsaP256,
+}
+
+impl CryptoBench {
+    /// All benchmarks, in Fig. 6.2 order.
+    pub const ALL: [CryptoBench; 4] = [
+        CryptoBench::Rsa512,
+        CryptoBench::Dh256,
+        CryptoBench::EcElGamalP256,
+        CryptoBench::EcdsaP256,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoBench::Rsa512 => "RSA",
+            CryptoBench::Dh256 => "DH",
+            CryptoBench::EcElGamalP256 => "ECELGP",
+            CryptoBench::EcdsaP256 => "ECDSP",
+        }
+    }
+
+    /// The width at which the benchmark's additions are traced — the
+    /// 32-bit software word size (see the module docs).
+    pub fn width(self) -> usize {
+        TRACE_WIDTH
+    }
+
+    /// The benchmark's field/modulus size in bits.
+    pub fn field_bits(self) -> usize {
+        match self {
+            CryptoBench::Rsa512 => 512,
+            CryptoBench::Dh256 => 256,
+            CryptoBench::EcElGamalP256 | CryptoBench::EcdsaP256 => 256,
+        }
+    }
+
+    /// Runs `iterations` operations of the benchmark, recording every
+    /// datapath addition into `sink`.
+    pub fn run<S: AddSink>(self, iterations: usize, seed: u64, sink: &mut S) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xc0ffee);
+        match self {
+            CryptoBench::Rsa512 | CryptoBench::Dh256 => {
+                let width = self.field_bits();
+                for _ in 0..iterations {
+                    let mut m = UBig::random(width, &mut rng);
+                    m.set_bit(0, true); // odd
+                    m.set_bit(width - 1, true); // full width
+                    let base = UBig::random(width, &mut rng);
+                    // Short exponents keep runs fast while exercising the
+                    // same mul_mod inner loop statistics.
+                    let exp = UBig::random(64, &mut rng).resize(width);
+                    let mut ctx = ModContext::new(m, sink);
+                    let _ = ctx.pow_mod(&base, &exp);
+                }
+            }
+            CryptoBench::EcElGamalP256 => {
+                for _ in 0..iterations {
+                    let k = UBig::random(128, &mut rng).resize(256);
+                    let mut ctx = ModContext::new(secp256k1_p(), sink);
+                    let g = secp256k1_g();
+                    let shared = ec_scalar_mul(&mut ctx, &k, &g);
+                    let _ = ec_to_affine(&mut ctx, &shared);
+                }
+            }
+            CryptoBench::EcdsaP256 => {
+                for _ in 0..iterations {
+                    let k = UBig::random(128, &mut rng).resize(256);
+                    // r = x(kG) mod n ; s = k^-1 (z + r d) mod n
+                    let (r, _) = {
+                        let mut ctx = ModContext::new(secp256k1_p(), sink);
+                        let g = secp256k1_g();
+                        let kg = ec_scalar_mul(&mut ctx, &k, &g);
+                        ec_to_affine(&mut ctx, &kg).expect("k != 0")
+                    };
+                    let mut ctx = ModContext::new(secp256k1_n(), sink);
+                    let z = UBig::random(256, &mut rng);
+                    let d = UBig::random(256, &mut rng);
+                    let kinv = ctx.inv_mod(&k);
+                    let rd = ctx.mul_mod(&r, &d);
+                    let zrd = ctx.add_mod(&z.rem(&secp256k1_n()), &rd);
+                    let _s = ctx.mul_mod(&kinv, &zrd);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_mod_matches_reference() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut sink = NullSink;
+        for _ in 0..20 {
+            let mut m = UBig::random(96, &mut rng);
+            m.set_bit(0, true);
+            m.set_bit(95, true);
+            let a = UBig::random(96, &mut rng).rem(&m);
+            let b = UBig::random(96, &mut rng).rem(&m);
+            let mut ctx = ModContext::new(m.clone(), &mut sink);
+            assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_reference() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let mut sink = NullSink;
+        for _ in 0..5 {
+            let mut m = UBig::random(64, &mut rng);
+            m.set_bit(0, true);
+            m.set_bit(63, true);
+            let base = UBig::random(64, &mut rng);
+            let exp = UBig::random(20, &mut rng).resize(64);
+            let mut ctx = ModContext::new(m.clone(), &mut sink);
+            assert_eq!(ctx.pow_mod(&base, &exp), base.pow_mod(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn ec_group_law_holds() {
+        let mut sink = NullSink;
+        let mut ctx = ModContext::new(secp256k1_p(), &mut sink);
+        let g = secp256k1_g();
+        // 2G + G == 3G (computed two ways).
+        let g2 = ec_double(&mut ctx, &g);
+        let g3a = ec_add(&mut ctx, &g2, &g);
+        let g3b = ec_scalar_mul(&mut ctx, &UBig::from_u128(3, 256), &g);
+        let a3 = ec_to_affine(&mut ctx, &g3a).unwrap();
+        let b3 = ec_to_affine(&mut ctx, &g3b).unwrap();
+        assert_eq!(a3, b3);
+    }
+
+    #[test]
+    fn ec_points_stay_on_curve() {
+        let mut sink = NullSink;
+        let mut ctx = ModContext::new(secp256k1_p(), &mut sink);
+        let g = secp256k1_g();
+        for k in [1u128, 2, 5, 77, 123_456] {
+            let p = ec_scalar_mul(&mut ctx, &UBig::from_u128(k, 256), &g);
+            let (x, y) = ec_to_affine(&mut ctx, &p).unwrap();
+            // y^2 = x^3 + 7 (mod p)
+            let y2 = ctx.mul_mod(&y, &y);
+            let x2 = ctx.mul_mod(&x, &x);
+            let x3 = ctx.mul_mod(&x2, &x);
+            let seven = UBig::from_u128(7, 256);
+            let rhs = ctx.add_mod(&x3, &seven);
+            assert_eq!(y2, rhs, "k={k} off curve");
+        }
+    }
+
+    #[test]
+    fn known_answer_2g() {
+        // Public test vector for secp256k1 2G.
+        let mut sink = NullSink;
+        let mut ctx = ModContext::new(secp256k1_p(), &mut sink);
+        let g2 = ec_double(&mut ctx, &secp256k1_g());
+        let (x, y) = ec_to_affine(&mut ctx, &g2).unwrap();
+        assert_eq!(
+            x,
+            UBig::from_hex(
+                "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
+                256
+            )
+            .unwrap()
+        );
+        assert_eq!(
+            y,
+            UBig::from_hex(
+                "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a",
+                256
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn benchmarks_emit_bimodal_traces() {
+        for bench in CryptoBench::ALL {
+            let mut hist = ChainHistogram::new(bench.width());
+            bench.run(1, 77, &mut hist);
+            assert!(hist.additions() > 1000, "{}: {} adds", bench.name(), hist.additions());
+            // Fig. 6.2's bimodal shape: dominant geometric short-chain mode
+            // plus a heavy mode of chains reaching toward the word width.
+            assert!(hist.share(1) > hist.share(4), "{}: short mode", bench.name());
+            let long = hist.additions_with_chain_at_least(20);
+            assert!(
+                long > 0.02,
+                "{}: long-chain mode share {long} too small",
+                bench.name()
+            );
+            assert!(long < 0.8, "{}: long-chain mode share {long} implausibly big", bench.name());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The operand distributions of the paper's evaluation.
+
+use bitnum::rng::{RandomBits, Xoshiro256};
+use bitnum::UBig;
+
+use crate::gaussian::Gaussian;
+
+/// An operand distribution (Ch. 6–7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Unsigned uniform over `[0, 2^n)` — the paper's "random inputs".
+    UnsignedUniform,
+    /// Uniform bit patterns interpreted as two's complement (identical bit
+    /// statistics to [`Distribution::UnsignedUniform`]; Fig. 6.3 shows the
+    /// chain histogram barely changes).
+    TwosComplementUniform,
+    /// |N(0, σ²)| magnitudes (Fig. 6.4).
+    UnsignedGaussian {
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// N(0, σ²) in two's complement — the paper's proxy for practical
+    /// inputs (Fig. 6.5, Tables 7.1/7.2/7.5).
+    TwosComplementGaussian {
+        /// Standard deviation.
+        sigma: f64,
+    },
+}
+
+impl Distribution {
+    /// Short identifier for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Distribution::UnsignedUniform => "unsigned-uniform".into(),
+            Distribution::TwosComplementUniform => "2c-uniform".into(),
+            Distribution::UnsignedGaussian { sigma } => {
+                format!("unsigned-gaussian(sigma=2^{:.0})", sigma.log2())
+            }
+            Distribution::TwosComplementGaussian { sigma } => {
+                format!("2c-gaussian(sigma=2^{:.0})", sigma.log2())
+            }
+        }
+    }
+
+    /// The paper's σ = 2³² Gaussian in two's complement.
+    pub fn paper_gaussian() -> Self {
+        Distribution::TwosComplementGaussian { sigma: (1u64 << 32) as f64 }
+    }
+}
+
+/// A deterministic stream of operand pairs from a distribution.
+#[derive(Debug, Clone)]
+pub struct OperandSource {
+    dist: Distribution,
+    width: usize,
+    rng: Xoshiro256,
+    gaussian: Option<Gaussian>,
+}
+
+impl OperandSource {
+    /// Creates a source of `width`-bit operand pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or a Gaussian σ is not positive.
+    pub fn new(dist: Distribution, width: usize, seed: u64) -> Self {
+        assert!(width >= 1, "width must be >= 1");
+        let gaussian = match dist {
+            Distribution::UnsignedGaussian { sigma }
+            | Distribution::TwosComplementGaussian { sigma } => Some(Gaussian::new(sigma)),
+            _ => None,
+        };
+        Self { dist, width, rng: Xoshiro256::seed_from_u64(seed), gaussian }
+    }
+
+    /// The distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// The operand width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Draws the next operand pair.
+    pub fn next_pair(&mut self) -> (UBig, UBig) {
+        (self.next_operand(), self.next_operand())
+    }
+
+    /// Draws a single operand.
+    pub fn next_operand(&mut self) -> UBig {
+        match self.dist {
+            Distribution::UnsignedUniform | Distribution::TwosComplementUniform => {
+                UBig::random(self.width, &mut self.rng)
+            }
+            Distribution::UnsignedGaussian { .. } => self
+                .gaussian
+                .as_mut()
+                .expect("gaussian sampler present")
+                .sample_unsigned(&mut self.rng, self.width),
+            Distribution::TwosComplementGaussian { .. } => self
+                .gaussian
+                .as_mut()
+                .expect("gaussian sampler present")
+                .sample_twos_complement(&mut self.rng, self.width),
+        }
+    }
+}
+
+impl RandomBits for OperandSource {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
+        let mut b = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_pair(), b.next_pair());
+        }
+        let mut c = OperandSource::new(Distribution::paper_gaussian(), 64, 43);
+        assert_ne!(a.next_pair(), c.next_pair());
+    }
+
+    #[test]
+    fn gaussian_twos_complement_mixes_signs() {
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 128, 1);
+        let (mut pos, mut neg) = (0, 0);
+        for _ in 0..1000 {
+            if src.next_operand().msb() {
+                neg += 1;
+            } else {
+                pos += 1;
+            }
+        }
+        assert!(pos > 300 && neg > 300, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn uniform_fills_width() {
+        let mut src = OperandSource::new(Distribution::UnsignedUniform, 96, 5);
+        let mut high = false;
+        for _ in 0..100 {
+            high |= src.next_operand().bit(95);
+        }
+        assert!(high, "uniform operands should hit the MSB");
+    }
+}

@@ -1,0 +1,133 @@
+//! Discrete Gaussian sampling via Box–Muller.
+//!
+//! The paper's "Gaussian inputs" are integers drawn from N(0, σ²) (μ = 0,
+//! σ = 2³² in Ch. 7) and interpreted either as magnitudes (unsigned) or in
+//! two's complement. `f64` precision limits σ to below ~2⁵⁰, far above
+//! anything the experiments need.
+
+use bitnum::rng::RandomBits;
+use bitnum::UBig;
+
+/// A Box–Muller Gaussian sampler over a caller-provided bit source.
+///
+/// Generates pairs internally and caches the spare value.
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler for N(0, σ²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and positive.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        Self { sigma, spare: None }
+    }
+
+    /// The standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one standard-normal deviate scaled by σ.
+    pub fn sample<R: RandomBits + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z * self.sigma;
+        }
+        // Box–Muller; u1 in (0, 1] to keep ln finite.
+        let u1 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u1 = (1.0 - u1).max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * self.sigma
+    }
+
+    /// Draws a signed integer deviate (rounded to nearest).
+    pub fn sample_i128<R: RandomBits + ?Sized>(&mut self, rng: &mut R) -> i128 {
+        self.sample(rng).round() as i128
+    }
+
+    /// Draws a two's-complement `width`-bit Gaussian operand.
+    pub fn sample_twos_complement<R: RandomBits + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        width: usize,
+    ) -> UBig {
+        UBig::from_i128(self.sample_i128(rng), width)
+    }
+
+    /// Draws an unsigned (absolute-value) `width`-bit Gaussian operand.
+    pub fn sample_unsigned<R: RandomBits + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        width: usize,
+    ) -> UBig {
+        UBig::from_i128(self.sample_i128(rng).abs(), width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut g = Gaussian::new(1000.0);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = g.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 20.0, "mean {mean}");
+        assert!((var.sqrt() - 1000.0).abs() < 20.0, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn twos_complement_signs_balanced() {
+        let mut g = Gaussian::new((1u64 << 20) as f64);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut neg = 0;
+        for _ in 0..10_000 {
+            if g.sample_twos_complement(&mut rng, 64).msb() {
+                neg += 1;
+            }
+        }
+        assert!((4000..6000).contains(&neg), "negatives {neg}");
+    }
+
+    #[test]
+    fn unsigned_has_no_sign_bit_for_small_sigma() {
+        let mut g = Gaussian::new(1000.0);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = g.sample_unsigned(&mut rng, 64);
+            assert!(!v.msb());
+            assert!(v.highest_set_bit().unwrap_or(0) < 20);
+        }
+    }
+
+    #[test]
+    fn sigma_two_pow_32_magnitude() {
+        // The paper's σ = 2^32: values should be a few times 2^32.
+        let mut g = Gaussian::new((1u64 << 32) as f64);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut max_bit = 0;
+        for _ in 0..10_000 {
+            let v = g.sample_unsigned(&mut rng, 128);
+            max_bit = max_bit.max(v.highest_set_bit().unwrap_or(0));
+        }
+        assert!((32..40).contains(&max_bit), "max bit {max_bit}");
+    }
+}

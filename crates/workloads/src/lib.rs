@@ -1,0 +1,43 @@
+//! Input workloads for speculative-adder evaluation.
+//!
+//! Chapter 6 of the paper shows that the carry-chain statistics of an
+//! adder's operands decide whether speculation pays off: unsigned uniform
+//! inputs have geometrically short chains, while practical inputs — profiled
+//! there from a cryptographic benchmark suite — are bimodal, with a heavy
+//! mode of chains running all the way to the MSB (small-negative plus
+//! small-positive additions in two's complement). This crate provides:
+//!
+//! * [`dist`] — the four operand distributions the paper evaluates
+//!   (unsigned/two's-complement × uniform/Gaussian), deterministic and
+//!   seedable;
+//! * [`gaussian`] — Box–Muller sampling of discrete Gaussians at any σ;
+//! * [`chains`] — carry-chain statistics (the histograms of Figs. 6.1–6.5);
+//! * [`crypto`] — RSA/DH modular exponentiation and elliptic-curve
+//!   double-and-add built on `bitnum`, instrumented so every datapath
+//!   addition/subtraction is recorded (the stand-in for the benchmark
+//!   traces of Fig. 6.2; see DESIGN.md §5).
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::dist::{Distribution, OperandSource};
+//! use workloads::chains;
+//!
+//! let mut src = OperandSource::new(Distribution::TwosComplementGaussian { sigma: 256.0 }, 32, 1);
+//! let mut hist = chains::ChainHistogram::new(32);
+//! for _ in 0..1000 {
+//!     let (a, b) = src.next_pair();
+//!     hist.record(&a, &b);
+//! }
+//! // Two's-complement Gaussian inputs exhibit the paper's long-chain mode.
+//! assert!(hist.share_at_least(24) > 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod crypto;
+pub mod dist;
+pub mod dsp;
+pub mod gaussian;

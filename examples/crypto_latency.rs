@@ -1,0 +1,83 @@
+//! Practical-workload latency: why VLCSA 2 exists.
+//!
+//! Chapter 6 profiles cryptographic workloads, finds MSB-reaching carry
+//! chains everywhere, and shows VLCSA 1 degenerating to a 25% stall rate on
+//! the two's-complement Gaussian proxy. This example closes the loop on
+//! real(istic) data: it regenerates the crypto traces, replays every traced
+//! addition through VLCSA 1 and VLCSA 2, and compares average latency.
+//!
+//! Run with: `cargo run --release -p vlcsa --example crypto_latency`
+
+use bitnum::UBig;
+use vlcsa::{LatencyStats, Vlcsa1, Vlcsa2};
+use workloads::chains::ChainHistogram;
+use workloads::crypto::{AddSink, CryptoBench, PairCollector};
+use workloads::dist::{Distribution, OperandSource};
+
+fn replay(pairs: &[(UBig, UBig)], v1: &Vlcsa1, v2: &Vlcsa2) -> (LatencyStats, LatencyStats) {
+    let mut s1 = LatencyStats::new();
+    let mut s2 = LatencyStats::new();
+    for (a, b) in pairs {
+        let o1 = v1.add(a, b);
+        debug_assert_eq!(o1.sum, a.wrapping_add(b));
+        s1.record(&o1);
+        let o2 = v2.add(a, b);
+        debug_assert_eq!(o2.sum, a.wrapping_add(b));
+        s2.record(&o2);
+    }
+    (s1, s2)
+}
+
+fn main() {
+    let width = 32; // the traced software word size
+    let v1 = Vlcsa1::new(width, 8);
+    let v2 = Vlcsa2::new(width, 8);
+
+    println!("{:10} {:>10} {:>14} {:>14} {:>22}", "workload", "adds", "VLCSA1 stall", "VLCSA2 stall", "avg cycles (1 -> 2)");
+    for bench in CryptoBench::ALL {
+        // Collect a bounded trace plus its chain statistics.
+        let mut collector = PairCollector::with_cap(Some(200_000));
+        let mut hist = ChainHistogram::new(width);
+        struct Tee<'a>(&'a mut PairCollector, &'a mut ChainHistogram);
+        impl AddSink for Tee<'_> {
+            fn record_add(&mut self, a: &UBig, b: &UBig) {
+                self.0.record_add(a, b);
+                self.1.record(a, b);
+            }
+        }
+        bench.run(1, 42, &mut Tee(&mut collector, &mut hist));
+        let (s1, s2) = replay(collector.pairs(), &v1, &v2);
+        println!(
+            "{:10} {:>10} {:>13.2}% {:>13.2}% {:>11.3} -> {:.3}   (chains >= 20: {:.1}%)",
+            bench.name(),
+            collector.pairs().len(),
+            100.0 * s1.stall_rate(),
+            100.0 * s2.stall_rate(),
+            s1.avg_cycles(),
+            s2.avg_cycles(),
+            100.0 * hist.additions_with_chain_at_least(20),
+        );
+    }
+
+    // The paper's Gaussian proxy at the same window size, for reference.
+    let mut src = OperandSource::new(
+        Distribution::TwosComplementGaussian { sigma: 256.0 },
+        width,
+        7,
+    );
+    let pairs: Vec<_> = (0..200_000).map(|_| src.next_pair()).collect();
+    let (s1, s2) = replay(&pairs, &v1, &v2);
+    println!(
+        "{:10} {:>10} {:>13.2}% {:>13.2}% {:>11.3} -> {:.3}",
+        "gaussian",
+        pairs.len(),
+        100.0 * s1.stall_rate(),
+        100.0 * s2.stall_rate(),
+        s1.avg_cycles(),
+        s2.avg_cycles(),
+    );
+    println!(
+        "\nVLCSA 2's second speculative result absorbs the MSB-reaching chains \
+         that stall VLCSA 1 on sign-mixed arithmetic (Ch. 6)."
+    );
+}

@@ -1,0 +1,143 @@
+//! Cross-layer consistency: the gate-level netlists must compute exactly
+//! what the behavioral models compute, for every design in the workspace,
+//! and the baseline adders must agree with the bignum reference.
+
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+use gatesim::{equiv, sim};
+use vlcsa::{detect, Scsa, Scsa2};
+use vlsa::Vlsa;
+
+#[test]
+fn every_baseline_adder_equals_the_reference() {
+    for n in [7usize, 33, 64] {
+        let reference = adders::ripple::ripple_carry_adder(n);
+        for family in adders::Family::ALL {
+            let candidate = family.build(n);
+            assert_eq!(
+                equiv::check(&reference, &candidate, 512, 0xC0).unwrap(),
+                None,
+                "{} at n={n}",
+                family.name()
+            );
+        }
+        let dw = adders::designware::best(n).netlist;
+        assert_eq!(equiv::check(&reference, &dw, 512, 0xC1).unwrap(), None, "DW at n={n}");
+    }
+}
+
+#[test]
+fn scsa_netlists_equal_behavioral_models() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC2);
+    for (n, k) in [(48usize, 9usize), (64, 14), (130, 17)] {
+        let scsa1 = Scsa::new(n, k);
+        let scsa2 = Scsa2::new(n, k);
+        let net1 = vlcsa::netlist::scsa1_netlist(n, k);
+        let net2 = vlcsa::netlist::scsa2_netlist(n, k);
+        for _ in 0..300 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            let out1 = sim::simulate_ubig(&net1, &[("a", &a), ("b", &b)]).unwrap();
+            let spec1 = scsa1.speculate(&a, &b);
+            assert_eq!(out1["sum"], spec1.sum);
+            assert_eq!(out1["cout"].bit(0), spec1.cout);
+            let out2 = sim::simulate_ubig(&net2, &[("a", &a), ("b", &b)]).unwrap();
+            let spec2 = scsa2.speculate(&a, &b);
+            assert_eq!(out2["sum"], spec2.sum0);
+            assert_eq!(out2["sum1"], spec2.sum1);
+            assert_eq!(out2["cout"].bit(0), spec2.cout0);
+            assert_eq!(out2["cout1"].bit(0), spec2.cout1);
+        }
+    }
+}
+
+#[test]
+fn vlcsa_netlist_protocol_equals_engine_decisions() {
+    // The hardware's VALID/STALL handshake must match the behavioral
+    // engines' cycle decisions on both uniform and Gaussian inputs.
+    use workloads::dist::{Distribution, OperandSource};
+    for dist in [Distribution::UnsignedUniform, Distribution::paper_gaussian()] {
+        let (n, k) = (64usize, 10usize);
+        let net1 = vlcsa::netlist::vlcsa1_netlist(n, k);
+        let net2 = vlcsa::netlist::vlcsa2_netlist(n, k);
+        let model1 = Scsa::new(n, k);
+        let model2 = Scsa2::new(n, k);
+        let mut src = OperandSource::new(dist, n, 0xC3);
+        for _ in 0..300 {
+            let (a, b) = src.next_pair();
+            let (exact, exact_cout) = a.overflowing_add(&b);
+
+            let out = sim::simulate_ubig(&net1, &[("a", &a), ("b", &b)]).unwrap();
+            let flagged = detect::err0(&model1.window_pg(&a, &b));
+            assert_eq!(out["err"].bit(0), flagged);
+            assert_eq!(out["sum_rec"], exact);
+            assert_eq!(out["cout_rec"].bit(0), exact_cout);
+            if !flagged {
+                assert_eq!(out["sum"], exact);
+            }
+
+            let out = sim::simulate_ubig(&net2, &[("a", &a), ("b", &b)]).unwrap();
+            let selection = detect::select(&model2.window_pg(&a, &b));
+            let stall = selection == detect::Selection::Recover;
+            assert_eq!(out["stall"].bit(0), stall);
+            assert_eq!(out["sum_rec"], exact);
+            if !stall {
+                assert_eq!(out["sum"], exact, "selected speculative result must be exact");
+                assert_eq!(out["cout"].bit(0), exact_cout);
+            }
+        }
+    }
+}
+
+#[test]
+fn vlsa_netlist_equals_behavioral_model() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC4);
+    let (n, l) = (64usize, 12usize);
+    let net = vlsa::netlist::vlsa_netlist(n, l);
+    let spec_only = vlsa::netlist::vlsa_spec_netlist(n, l);
+    let model = Vlsa::new(n, l);
+    for _ in 0..300 {
+        let a = UBig::random(n, &mut rng);
+        let b = UBig::random(n, &mut rng);
+        let out = sim::simulate_ubig(&net, &[("a", &a), ("b", &b)]).unwrap();
+        let (spec, spec_cout) = model.speculative_add(&a, &b);
+        assert_eq!(out["sum"], spec);
+        assert_eq!(out["cout"].bit(0), spec_cout);
+        assert_eq!(out["err"].bit(0), model.detect(&a, &b));
+        let only = sim::simulate_ubig(&spec_only, &[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(only["sum"], spec);
+    }
+    // The speculative-only netlist must be a strict subset in area.
+    assert!(spec_only.cell_count() < net.cell_count());
+}
+
+#[test]
+fn optimization_passes_preserve_all_headline_designs() {
+    for net in [
+        vlcsa::netlist::scsa1_netlist(64, 14),
+        vlcsa::netlist::vlcsa1_netlist(64, 14),
+        vlcsa::netlist::vlcsa2_netlist(64, 13),
+        vlsa::netlist::vlsa_netlist(64, 17),
+    ] {
+        let tuned = gatesim::opt::best_buffered(&net, &[4, 8, 16]);
+        assert_eq!(
+            equiv::check(&net, &tuned, 512, 0xC5).unwrap(),
+            None,
+            "tuning changed {}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn verilog_export_is_nonempty_and_structured() {
+    for net in [
+        vlcsa::netlist::vlcsa1_netlist(32, 8),
+        vlcsa::netlist::vlcsa2_netlist(32, 8),
+    ] {
+        let text = gatesim::verilog::emit(&net);
+        assert!(text.contains("module"));
+        assert!(text.contains("endmodule"));
+        assert!(text.lines().count() > net.cell_count() / 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Exhaustive verification at small widths: for every (a, b) pair in the
+//! full input space, the engines are exact and the detectors sound — a
+//! formal-strength complement to the randomized suites.
+
+use bitnum::UBig;
+use vlcsa::{detect, OverflowMode, Scsa, Scsa2, Vlcsa1, Vlcsa2};
+
+/// Every (n, k) combination checked over all 2^(2n) input pairs.
+fn grid() -> Vec<(usize, usize)> {
+    let mut g = Vec::new();
+    for n in 2..=9usize {
+        for k in 1..=n {
+            g.push((n, k));
+        }
+    }
+    g
+}
+
+#[test]
+fn scsa1_error_set_is_exactly_characterized() {
+    // For each pair: the speculative result differs from the exact sum iff
+    // some window's speculative carry-in is wrong — and then ERR0 flags.
+    for (n, k) in grid() {
+        let scsa = Scsa::new(n, k);
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let a = UBig::from_u128(av as u128, n);
+                let b = UBig::from_u128(bv as u128, n);
+                let is_err = scsa.is_error(&a, &b, OverflowMode::CarryOut);
+                if is_err {
+                    assert!(
+                        detect::err0(&scsa.window_pg(&a, &b)),
+                        "missed error n={n} k={k} a={av:#x} b={bv:#x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_exact_over_full_input_space() {
+    for (n, k) in grid() {
+        let v1 = Vlcsa1::new(n, k);
+        let v2 = Vlcsa2::new(n, k);
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let a = UBig::from_u128(av as u128, n);
+                let b = UBig::from_u128(bv as u128, n);
+                let (sum, cout) = a.overflowing_add(&b);
+                let o1 = v1.add(&a, &b);
+                assert_eq!(
+                    (&o1.sum, o1.cout),
+                    (&sum, cout),
+                    "VLCSA1 n={n} k={k} a={av:#x} b={bv:#x}"
+                );
+                let o2 = v2.add(&a, &b);
+                assert_eq!(
+                    (&o2.sum, o2.cout),
+                    (&sum, cout),
+                    "VLCSA2 n={n} k={k} a={av:#x} b={bv:#x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scsa2_spec1_exact_whenever_selected() {
+    for (n, k) in grid() {
+        let scsa2 = Scsa2::new(n, k);
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let a = UBig::from_u128(av as u128, n);
+                let b = UBig::from_u128(bv as u128, n);
+                let pgs = scsa2.window_pg(&a, &b);
+                let spec = scsa2.speculate(&a, &b);
+                let exact = a.wrapping_add(&b);
+                match detect::select(&pgs) {
+                    detect::Selection::Spec0 => {
+                        assert_eq!(spec.sum0, exact, "S*,0 n={n} k={k} a={av:#x} b={bv:#x}")
+                    }
+                    detect::Selection::Spec1 => {
+                        assert_eq!(spec.sum1, exact, "S*,1 n={n} k={k} a={av:#x} b={bv:#x}")
+                    }
+                    detect::Selection::Recover => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_model_agrees_with_exhaustive_count() {
+    // The Markov model must equal the exhaustive error count exactly
+    // (uniform inputs = every pair weighted equally).
+    for (n, k) in [(6usize, 2usize), (8, 3), (8, 4), (9, 3)] {
+        let scsa = Scsa::new(n, k);
+        let mut errors = 0u64;
+        for av in 0..(1u64 << n) {
+            for bv in 0..(1u64 << n) {
+                let a = UBig::from_u128(av as u128, n);
+                let b = UBig::from_u128(bv as u128, n);
+                errors += scsa.is_error(&a, &b, OverflowMode::Truncate) as u64;
+            }
+        }
+        let measured = errors as f64 / (1u64 << (2 * n)) as f64;
+        let model = vlcsa::model::exact_error_rate(n, k);
+        assert!(
+            (measured - model).abs() < 1e-12,
+            "n={n} k={k}: exhaustive {measured} vs model {model}"
+        );
+    }
+}

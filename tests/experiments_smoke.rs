@@ -1,0 +1,64 @@
+//! Smoke tests for the experiment harness: every registered artifact runs
+//! at a reduced sample count and produces a plausible table.
+
+use vlcsa_bench::{registry, run_by_id, Config};
+
+fn tiny() -> Config {
+    Config { mc_samples: 5_000, out_dir: None }
+}
+
+#[test]
+fn fast_experiments_all_run() {
+    // Everything except the trace-heavy and synthesis-heavy artifacts runs
+    // here; those get dedicated tests below so failures localize.
+    let skip = ["fig6.2", "tab7.5", "fig7.10", "fig7.11", "ext.latency"];
+    let config = tiny();
+    for e in registry() {
+        if skip.contains(&e.id) {
+            continue;
+        }
+        let table = (e.run)(&config);
+        assert_eq!(table.id, e.id);
+        assert!(!table.rows.is_empty(), "{} produced no rows", e.id);
+        assert!(!table.columns.is_empty());
+        for row in &table.rows {
+            assert_eq!(row.len(), table.columns.len(), "{} row width", e.id);
+        }
+        // Render paths must not panic.
+        let _ = table.to_string();
+        let _ = table.to_csv();
+    }
+}
+
+#[test]
+fn crypto_figure_runs() {
+    let table = run_by_id("fig6.2", &tiny()).unwrap();
+    assert_eq!(table.columns.len(), 5); // length + 4 benchmarks
+    assert_eq!(table.rows.len(), 32);
+}
+
+#[test]
+fn vlcsa2_synthesis_figures_run() {
+    for id in ["fig7.10", "fig7.11"] {
+        let table = run_by_id(id, &tiny()).unwrap();
+        assert_eq!(table.rows.len(), 4);
+    }
+}
+
+#[test]
+fn latency_extension_runs() {
+    let table = run_by_id("ext.latency", &tiny()).unwrap();
+    assert_eq!(table.rows.len(), 4); // four distributions
+}
+
+#[test]
+fn solver_experiment_is_stable_at_low_samples() {
+    // tab7.5 with few samples still returns window sizes in a sane band.
+    let table = run_by_id("tab7.5", &tiny()).unwrap();
+    for row in &table.rows {
+        let k01: usize = row[1].parse().unwrap();
+        let k25: usize = row[3].parse().unwrap();
+        assert!((8..=20).contains(&k01), "k@0.01% = {k01}");
+        assert!((5..=14).contains(&k25), "k@0.25% = {k25}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Model-validation integration tests (the Fig. 7.1 claim): the analytical
+//! error models must predict Monte Carlo measurements across the parameter
+//! space, and the detectors must be sound everywhere.
+
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+use vlcsa::{detect, model, OverflowMode, Scsa};
+use vlsa::Vlsa;
+
+#[test]
+fn scsa_exact_model_tracks_simulation_over_grid() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF1);
+    let trials = 120_000;
+    for n in [64usize, 128, 256] {
+        for k in [6usize, 9, 12] {
+            let scsa = Scsa::new(n, k);
+            let mut errors = 0usize;
+            for _ in 0..trials {
+                let a = UBig::random(n, &mut rng);
+                let b = UBig::random(n, &mut rng);
+                errors += scsa.is_error(&a, &b, OverflowMode::Truncate) as usize;
+            }
+            let mc = errors as f64 / trials as f64;
+            let predicted = model::exact_error_rate(n, k);
+            let sigma = (predicted * (1.0 - predicted) / trials as f64).sqrt();
+            assert!(
+                (mc - predicted).abs() < 5.0 * sigma + 2e-6,
+                "n={n} k={k}: mc={mc:.6} model={predicted:.6}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vlsa_model_tracks_simulation() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF2);
+    let trials = 120_000;
+    for (n, l) in [(64usize, 7usize), (128, 9)] {
+        let adder = Vlsa::new(n, l);
+        let mut errors = 0usize;
+        for _ in 0..trials {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            errors += adder.is_error(&a, &b) as usize;
+        }
+        let mc = errors as f64 / trials as f64;
+        let predicted = vlsa::model::error_rate(n, l);
+        let sigma = (predicted * (1.0 - predicted) / trials as f64).sqrt();
+        assert!(
+            (mc - predicted).abs() < 5.0 * sigma + 2e-6,
+            "n={n} l={l}: mc={mc:.6} model={predicted:.6}"
+        );
+    }
+}
+
+#[test]
+fn detection_soundness_sweep() {
+    // No false negatives anywhere: error implies flag, for both SCSA
+    // detectors and the VLSA run detector.
+    let mut rng = Xoshiro256::seed_from_u64(0xF3);
+    for k in [5usize, 8, 13] {
+        let n = 96;
+        let scsa = Scsa::new(n, k);
+        let vlsa = Vlsa::new(n, k);
+        for _ in 0..40_000 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            if scsa.is_error(&a, &b, OverflowMode::Truncate) {
+                assert!(
+                    detect::err0(&scsa.window_pg(&a, &b)),
+                    "SCSA k={k}: missed error on {a} + {b}"
+                );
+            }
+            if vlsa.is_error(&a, &b) {
+                assert!(vlsa.detect(&a, &b), "VLSA l={k}: missed error on {a} + {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn nominal_rate_bounds_real_rate() {
+    for n in [64usize, 256] {
+        for k in 4..16 {
+            let real = model::exact_error_rate(n, k);
+            let nominal = model::err0_rate_exact(n, k);
+            assert!(
+                nominal >= real - 1e-15,
+                "n={n} k={k}: nominal {nominal} < real {real}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scsa_needs_smaller_windows_than_vlsa() {
+    // The comparative claim behind Table 7.3, checked from the models
+    // directly: at equal parameter k = l, SCSA's window-level speculation
+    // errs less than VLSA's per-bit speculation, so its solver returns
+    // smaller parameters at every width and target.
+    for n in [64usize, 128, 256, 512] {
+        for target in [1e-3, 1e-4] {
+            let k = model::window_size_for(
+                n,
+                target,
+                model::Semantics::Strict,
+                OverflowMode::Truncate,
+                model::Model::Exact,
+            );
+            let l = vlsa::model::chain_length_for(n, target, vlsa::model::Semantics::Strict);
+            assert!(k < l, "n={n} target={target}: k={k} !< l={l}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Golden reproduction checks for the paper's parameter tables and headline
+//! rates: these pin the quantitative claims end-to-end.
+
+use vlcsa::model::{self, Model, Semantics};
+use vlcsa::{detect, OverflowMode, Scsa, Scsa2};
+use workloads::dist::{Distribution, OperandSource};
+
+/// Tables 7.3/7.4, SCSA columns: exact reproduction.
+#[test]
+fn table_7_3_and_7_4_scsa_window_sizes() {
+    let expect_001 = [(64usize, 14usize), (128, 15), (256, 16), (512, 17)];
+    let expect_025 = [(64usize, 10usize), (128, 11), (256, 12), (512, 13)];
+    for (n, k) in expect_001 {
+        assert_eq!(
+            model::window_size_for(n, 1e-4, Semantics::RoundsTo2Dp, OverflowMode::Truncate, Model::Paper),
+            k,
+            "0.01% n={n}"
+        );
+    }
+    for (n, k) in expect_025 {
+        assert_eq!(
+            model::window_size_for(n, 2.5e-3, Semantics::RoundsTo2Dp, OverflowMode::Truncate, Model::Paper),
+            k,
+            "0.25% n={n}"
+        );
+    }
+}
+
+/// Table 7.3, VLSA column: within ±1 of the paper (see EXPERIMENTS.md).
+#[test]
+fn table_7_3_vlsa_chain_lengths() {
+    for (n, l_paper) in [(64usize, 17usize), (128, 18), (256, 20), (512, 21)] {
+        let l = vlsa::model::chain_length_for(n, 1e-4, vlsa::model::Semantics::RoundsTo2Dp);
+        assert!(l.abs_diff(l_paper) <= 1, "n={n}: {l} vs paper {l_paper}");
+    }
+}
+
+/// Table 7.1: VLCSA 1 stalls on ~25% of 2's-complement Gaussian inputs.
+#[test]
+fn table_7_1_gaussian_rate() {
+    let trials = 60_000;
+    for (n, k) in [(64usize, 14usize), (256, 16)] {
+        let scsa = Scsa::new(n, k);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), n, 0xD1);
+        let mut errors = 0usize;
+        for _ in 0..trials {
+            let (a, b) = src.next_pair();
+            errors += scsa.is_error(&a, &b, OverflowMode::Truncate) as usize;
+        }
+        let rate = errors as f64 / trials as f64;
+        assert!((0.235..0.265).contains(&rate), "n={n}: rate {rate} (paper: 25.01%)");
+    }
+}
+
+/// Table 7.2: VLCSA 2 collapses the Gaussian error rate to ~0.01%.
+#[test]
+fn table_7_2_gaussian_rate() {
+    let trials = 100_000;
+    for (n, k) in [(64usize, 14usize), (512, 17)] {
+        let scsa2 = Scsa2::new(n, k);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), n, 0xD2);
+        let (mut errors, mut stalls) = (0usize, 0usize);
+        for _ in 0..trials {
+            let (a, b) = src.next_pair();
+            errors += scsa2.is_error(&a, &b, OverflowMode::Truncate) as usize;
+            stalls += matches!(
+                detect::select(&scsa2.window_pg(&a, &b)),
+                detect::Selection::Recover
+            ) as usize;
+        }
+        let err_rate = errors as f64 / trials as f64;
+        let stall_rate = stalls as f64 / trials as f64;
+        assert!(err_rate < 1e-3, "n={n}: error rate {err_rate} (paper: 0.01%)");
+        assert!(stall_rate < 2e-3, "n={n}: stall rate {stall_rate}");
+    }
+}
+
+/// Table 7.5's headline property: the VLCSA 2 window size is
+/// width-independent (the same k meets the target at every width).
+#[test]
+fn table_7_5_width_independence() {
+    let trials = 60_000;
+    let k = 13;
+    for n in [64usize, 128, 256, 512] {
+        let scsa2 = Scsa2::new(n, k);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), n, 0xD3);
+        let mut stalls = 0usize;
+        for _ in 0..trials {
+            let (a, b) = src.next_pair();
+            stalls += matches!(
+                detect::select(&scsa2.window_pg(&a, &b)),
+                detect::Selection::Recover
+            ) as usize;
+        }
+        let rate = stalls as f64 / trials as f64;
+        assert!(rate < 1.5e-3, "n={n}, k={k}: stall rate {rate} should be ~0.01%");
+    }
+}
+
+/// The headline synthesis claims, end to end on the 64-bit design point.
+#[test]
+fn headline_delay_area_claims() {
+    use gatesim::{area, opt, sta};
+    let tune = |net: &gatesim::Netlist| opt::best_buffered(net, &[4, 8, 16]);
+    let n = 64;
+
+    let dw = adders::designware::best(n);
+    let scsa = tune(&vlcsa::netlist::scsa1_netlist(n, 14));
+    let vlcsa1 = tune(&vlcsa::netlist::vlcsa1_netlist(n, 14));
+
+    // SCSA is faster than the strongest traditional adder...
+    let t_scsa = sta::analyze(&scsa).output_arrival_tau("sum").unwrap();
+    assert!(t_scsa < 0.95 * dw.delay_tau, "SCSA {t_scsa:.0} vs DW {:.0}", dw.delay_tau);
+    // ...and smaller.
+    let a_scsa = area::analyze(&scsa).total_nand2();
+    assert!(a_scsa < dw.area_nand2, "SCSA area {a_scsa:.0} vs DW {:.0}", dw.area_nand2);
+
+    // VLCSA 1's clock (max of speculation and detection) still beats DW.
+    let timing = sta::analyze(&vlcsa1);
+    let t_clk = timing
+        .output_arrival_tau("sum")
+        .unwrap()
+        .max(timing.output_arrival_tau("err").unwrap());
+    assert!(t_clk < dw.delay_tau, "VLCSA1 clk {t_clk:.0} vs DW {:.0}", dw.delay_tau);
+    // And recovery closes within two cycles.
+    let t_rec = timing.output_arrival_tau("sum_rec").unwrap();
+    assert!(t_rec < 2.0 * t_clk, "recovery {t_rec:.0} vs 2x{t_clk:.0}");
+}

@@ -1,0 +1,151 @@
+//! The central invariant of the paper: a *reliable* variable-latency adder
+//! never returns a wrong sum, on any input distribution — speculation only
+//! changes latency, never values. Exercised across engines, widths and
+//! distributions, including adversarial patterns.
+
+use bitnum::rng::{RandomBits, Xoshiro256};
+use bitnum::UBig;
+use proptest::prelude::*;
+use vlcsa::{Vlcsa1, Vlcsa2};
+use workloads::dist::{Distribution, OperandSource};
+
+fn all_distributions() -> Vec<Distribution> {
+    vec![
+        Distribution::UnsignedUniform,
+        Distribution::TwosComplementUniform,
+        Distribution::UnsignedGaussian { sigma: (1u64 << 32) as f64 },
+        Distribution::paper_gaussian(),
+        Distribution::TwosComplementGaussian { sigma: 300.0 },
+    ]
+}
+
+#[test]
+fn vlcsa1_exact_on_every_distribution() {
+    for dist in all_distributions() {
+        for (n, k) in [(64usize, 14usize), (65, 9), (128, 15), (512, 17)] {
+            let adder = Vlcsa1::new(n, k);
+            let mut src = OperandSource::new(dist, n, 0xAA);
+            for _ in 0..5_000 {
+                let (a, b) = src.next_pair();
+                let outcome = adder.add(&a, &b);
+                let (sum, cout) = a.overflowing_add(&b);
+                assert_eq!(outcome.sum, sum, "{dist:?} n={n} k={k}");
+                assert_eq!(outcome.cout, cout, "{dist:?} n={n} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn vlcsa2_exact_on_every_distribution() {
+    for dist in all_distributions() {
+        for (n, k) in [(64usize, 13usize), (100, 9), (512, 13)] {
+            let adder = Vlcsa2::new(n, k);
+            let mut src = OperandSource::new(dist, n, 0xBB);
+            for _ in 0..5_000 {
+                let (a, b) = src.next_pair();
+                let outcome = adder.add(&a, &b);
+                let (sum, cout) = a.overflowing_add(&b);
+                assert_eq!(outcome.sum, sum, "{dist:?} n={n} k={k}");
+                assert_eq!(outcome.cout, cout, "{dist:?} n={n} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_carry_patterns() {
+    // Hand-built worst cases: maximal chains, chains at window boundaries,
+    // alternating patterns, all-ones, wrap-around.
+    for (n, k) in [(64usize, 14usize), (512, 17)] {
+        let v1 = Vlcsa1::new(n, k);
+        let v2 = Vlcsa2::new(n, k.max(13) - 4);
+        let mut patterns: Vec<(UBig, UBig)> = vec![
+            (UBig::ones(n), UBig::from_u128(1, n)),
+            (UBig::ones(n), UBig::ones(n)),
+            (UBig::zero(n), UBig::zero(n)),
+            (UBig::from_u128(1, n), UBig::ones(n).shr(1)),
+        ];
+        // A generate just below each window boundary with propagates above.
+        for boundary in (k..n).step_by(k) {
+            let mut a = UBig::zero(n);
+            a.set_bit(boundary - 1, true);
+            let mut b = UBig::ones(n).shl(boundary - 1);
+            b.set_bit(boundary - 1, true);
+            patterns.push((a, b.resize(n)));
+        }
+        for (a, b) in patterns {
+            let (sum, cout) = a.overflowing_add(&b);
+            let o1 = v1.add(&a, &b);
+            assert_eq!((o1.sum, o1.cout), (sum.clone(), cout), "VLCSA1 {a} {b}");
+            let o2 = v2.add(&a, &b);
+            assert_eq!((o2.sum, o2.cout), (sum, cout), "VLCSA2 {a} {b}");
+        }
+    }
+}
+
+#[test]
+fn sign_mixed_small_values_single_cycle_on_vlcsa2() {
+    // The whole point of VLCSA 2: small-positive + small-negative pairs
+    // complete in one cycle (Ch. 6), not two.
+    let n = 256;
+    let adder = Vlcsa2::new(n, 13);
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    let mut one_cycle = 0usize;
+    let total = 2_000;
+    for _ in 0..total {
+        let pos = (rng.next_u64() >> 24) as i128 + 1;
+        let neg = -((rng.next_u64() >> 32) as i128) - 1;
+        let a = UBig::from_i128(pos, n);
+        let b = UBig::from_i128(neg, n);
+        let outcome = adder.add(&a, &b);
+        assert_eq!(outcome.sum, a.wrapping_add(&b));
+        one_cycle += (outcome.cycles == 1) as usize;
+    }
+    assert!(
+        one_cycle as f64 > 0.98 * total as f64,
+        "only {one_cycle}/{total} sign-mixed adds were single-cycle"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vlcsa1_exact_for_arbitrary_parameters(
+        seed in any::<u64>(),
+        n in 2usize..200,
+        k in 1usize..40,
+    ) {
+        let k = k.min(n).min(63);
+        let adder = Vlcsa1::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..50 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            let outcome = adder.add(&a, &b);
+            let (sum, cout) = a.overflowing_add(&b);
+            prop_assert_eq!(&outcome.sum, &sum);
+            prop_assert_eq!(outcome.cout, cout);
+        }
+    }
+
+    #[test]
+    fn vlcsa2_exact_for_arbitrary_parameters(
+        seed in any::<u64>(),
+        n in 2usize..200,
+        k in 1usize..40,
+    ) {
+        let k = k.min(n).min(63);
+        let adder = Vlcsa2::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..50 {
+            let a = UBig::random(n, &mut rng);
+            let b = UBig::random(n, &mut rng);
+            let outcome = adder.add(&a, &b);
+            let (sum, cout) = a.overflowing_add(&b);
+            prop_assert_eq!(&outcome.sum, &sum);
+            prop_assert_eq!(outcome.cout, cout);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end workload pipeline: crypto traces → chain profiles → engine
+//! latency — the Ch. 6 narrative as one executable chain.
+
+use bitnum::UBig;
+use vlcsa::{Vlcsa1, Vlcsa2};
+use workloads::chains::ChainHistogram;
+use workloads::crypto::{AddSink, CryptoBench, PairCollector};
+use workloads::dist::{Distribution, OperandSource};
+
+/// Fans a trace out to both a histogram and a pair collector.
+struct Tee<'a>(&'a mut ChainHistogram, &'a mut PairCollector);
+impl AddSink for Tee<'_> {
+    fn record_add(&mut self, a: &UBig, b: &UBig) {
+        self.0.record(a, b);
+        self.1.record_add(a, b);
+    }
+}
+
+#[test]
+fn crypto_traces_stall_vlcsa1_but_not_vlcsa2() {
+    let width = CryptoBench::Dh256.width();
+    let mut hist = ChainHistogram::new(width);
+    let mut pairs = PairCollector::with_cap(Some(60_000));
+    CryptoBench::Dh256.run(1, 0xAB, &mut Tee(&mut hist, &mut pairs));
+
+    // The profile is bimodal (the Fig. 6.2 phenomenon).
+    assert!(hist.share(1) > hist.share(4), "short-chain mode present");
+    let long_mode = hist.additions_with_chain_at_least(20);
+    assert!(long_mode > 0.02, "long-chain mode share {long_mode}");
+
+    // Replaying through the engines: VLCSA 1 pays for the long mode,
+    // VLCSA 2 does not (and both stay exact).
+    let v1 = Vlcsa1::new(width, 8);
+    let v2 = Vlcsa2::new(width, 8);
+    let (mut stalls1, mut stalls2) = (0usize, 0usize);
+    for (a, b) in pairs.pairs() {
+        let o1 = v1.add(a, b);
+        assert_eq!(o1.sum, a.wrapping_add(b));
+        stalls1 += (o1.cycles == 2) as usize;
+        let o2 = v2.add(a, b);
+        assert_eq!(o2.sum, a.wrapping_add(b));
+        stalls2 += (o2.cycles == 2) as usize;
+    }
+    let n = pairs.pairs().len() as f64;
+    let (r1, r2) = (stalls1 as f64 / n, stalls2 as f64 / n);
+    assert!(
+        r2 < r1 * 0.7,
+        "VLCSA 2 ({r2:.4}) must stall clearly less than VLCSA 1 ({r1:.4}) on crypto traces"
+    );
+}
+
+#[test]
+fn gaussian_proxy_matches_trace_behaviour_qualitatively() {
+    // The paper's argument for using 2's-complement Gaussian as a proxy:
+    // both exhibit the MSB-reaching chain mode that defeats VLCSA 1.
+    let width = 32;
+    let mut src = OperandSource::new(
+        Distribution::TwosComplementGaussian { sigma: 256.0 },
+        width,
+        0xAC,
+    );
+    let mut hist = ChainHistogram::new(width);
+    for _ in 0..30_000 {
+        let (a, b) = src.next_pair();
+        hist.record(&a, &b);
+    }
+    assert!(hist.additions_with_chain_at_least(20) > 0.1, "proxy long-chain mode");
+
+    let v1 = Vlcsa1::new(width, 8);
+    let mut stalls = 0usize;
+    let mut src = OperandSource::new(
+        Distribution::TwosComplementGaussian { sigma: 256.0 },
+        width,
+        0xAD,
+    );
+    for _ in 0..30_000 {
+        let (a, b) = src.next_pair();
+        stalls += (v1.add(&a, &b).cycles == 2) as usize;
+    }
+    assert!(
+        stalls as f64 / 30_000.0 > 0.15,
+        "the proxy should stall VLCSA 1 heavily: {}",
+        stalls as f64 / 30_000.0
+    );
+}
+
+#[test]
+fn trace_width_matches_profiler_width() {
+    for bench in CryptoBench::ALL {
+        let mut pairs = PairCollector::with_cap(Some(100));
+        bench.run(1, 1, &mut pairs);
+        assert!(!pairs.pairs().is_empty());
+        for (a, b) in pairs.pairs() {
+            assert_eq!(a.width(), bench.width());
+            assert_eq!(b.width(), bench.width());
+        }
+    }
+}
