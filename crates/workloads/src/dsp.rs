@@ -5,7 +5,7 @@
 //!
 //! A fixed-point FIR filter is simulated over synthetic sensor data (sine +
 //! noise) and every accumulator addition is traced through the same
-//! [`AddSink`](crate::crypto::AddSink) interface as the crypto workloads.
+//! [`AddSink`] interface as the crypto workloads.
 //! DSP accumulation is signed: coefficient products alternate in sign, so
 //! small-negative + small-positive additions — the VLCSA 2 motivation —
 //! appear naturally in the trace.

@@ -1,0 +1,285 @@
+//! A small, dependency-free, offline stand-in for the [`criterion`]
+//! benchmarking crate (see `DESIGN.md §7`). It implements the subset of the
+//! API used by `crates/bench/benches/micro.rs` — benchmark groups,
+//! throughput annotation, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros — on top of a simple
+//! warm-up + fixed-sample wall-clock measurement.
+//!
+//! Reported numbers are mean wall-clock time per iteration (with elements/s
+//! when a [`Throughput`] is set). There are no statistical refinements,
+//! saved baselines, or HTML reports; swap the `vendor/` path dependency for
+//! the real crates.io `criterion` to get those without source changes.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Adopt command-line filters (every free argument is a substring
+    /// filter on benchmark ids), mirroring criterion's CLI behavior.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&self, id: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        // Warm-up: repeat the routine until the warm-up budget is spent.
+        let warm_up_until = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher { iterations: 0, elapsed: Duration::ZERO };
+        while Instant::now() < warm_up_until {
+            bencher.iterations = 0;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.iterations == 0 {
+                break; // routine never called iter(); nothing to measure
+            }
+        }
+        // Measurement: `sample_size` samples within the time budget.
+        let measure_until = Instant::now() + self.measurement_time;
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        for sample in 0..self.sample_size {
+            bencher.iterations = 0;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total_iters += bencher.iterations;
+            total_time += bencher.elapsed;
+            if sample > 0 && Instant::now() > measure_until {
+                break;
+            }
+        }
+        if total_iters == 0 {
+            println!("{id:<44} (no iterations)");
+            return;
+        }
+        let ns_per_iter = total_time.as_nanos() as f64 / total_iters as f64;
+        let rate = throughput
+            .map(|t| t.describe(ns_per_iter))
+            .unwrap_or_default();
+        println!("{id:<44} {:>12}/iter{rate}", format_ns(ns_per_iter));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration, so results
+    /// include an elements/s (or bytes/s) rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// End the group. (Consumes the group; reporting is immediate, so this
+    /// is a no-op beyond symmetry with the real API.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the hot routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a batch loop. The routine's return value
+    /// is black-boxed so the optimizer cannot discard the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Keep batching until the timed region dwarfs the two Instant
+        // reads (~tens of ns), so sub-microsecond routines aren't skewed
+        // by timer overhead.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+            if start.elapsed() >= Duration::from_micros(10) {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iters;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = 8u64;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iterations += iters;
+    }
+}
+
+/// Hint for batched-input sizing (accepted for API compatibility; the shim
+/// uses a fixed batch count).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are small; large batches are fine.
+    SmallInput,
+    /// Inputs are large; keep batches small.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn describe(&self, ns_per_iter: f64) -> String {
+        let (count, unit) = match self {
+            Throughput::Elements(n) => (*n, "elem"),
+            Throughput::Bytes(n) => (*n, "B"),
+        };
+        if ns_per_iter <= 0.0 {
+            return String::new();
+        }
+        let per_sec = count as f64 * 1_000_000_000.0 / ns_per_iter;
+        format!("  ({per_sec:.3e} {unit}/s)")
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro grammar.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,396 @@
+//! A small, dependency-free, offline stand-in for the [`proptest`] crate.
+//!
+//! The workspace vendors this shim because the build environment has no
+//! network access to crates.io (see `DESIGN.md §7`). It implements exactly
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `pat in strategy` and `name: Type`
+//!   parameters and an optional `#![proptest_config(..)]` inner attribute;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   integer-range strategies,
+//!   tuple strategies, `any::<T>()`, `prop::num::*::ANY`,
+//!   `prop::collection::vec` and `prop::array::uniform8`.
+//!
+//! Unlike real proptest there is **no shrinking** and no persistence of
+//! failing cases: generation is deterministic (a fixed-seed SplitMix64
+//! stream), so a failure reproduces on every run. Swapping the `vendor/`
+//! path dependency for the real crates.io `proptest` requires no source
+//! changes in the tests.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of test values. This shim's strategies generate directly
+    /// from an RNG; there is no value tree and no shrinking.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f` (mirrors `proptest`'s
+        /// `Strategy::prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, map: f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                    let span = (hi - lo) as u128 + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*}
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*}
+    }
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`]; also the type of the
+    /// `prop::num::*::ANY` constants.
+    pub struct Any<A>(pub(crate) PhantomData<A>);
+
+    /// The canonical strategy for `A` (full value range).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    wide as $t
+                }
+            }
+        )*}
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::num`, `prop::collection`,
+    //! `prop::array`), mirroring the paths the real prelude exposes.
+
+    pub mod num {
+        //! Full-range numeric strategies (`prop::num::u128::ANY`, ...).
+        macro_rules! num_module {
+            ($($m:ident / $t:ty),*) => {$(
+                pub mod $m {
+                    #![allow(missing_docs)]
+                    use crate::arbitrary::Any;
+                    use core::marker::PhantomData;
+                    /// Strategy covering the full range of the type.
+                    pub const ANY: Any<$t> = Any(PhantomData);
+                }
+            )*}
+        }
+        num_module!(
+            u8 / u8, u16 / u16, u32 / u32, u64 / u64, u128 / u128, usize / usize,
+            i8 / i8, i16 / i16, i32 / i32, i64 / i64, i128 / i128, isize / isize
+        );
+    }
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// `Vec` strategy: each value is a vector whose length is drawn
+        /// uniformly from `size` and whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod array {
+        //! Fixed-size array strategies.
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        macro_rules! uniform_array {
+            ($($name:ident / $wrapper:ident / $n:literal),*) => {$(
+                /// Strategy for `[S::Value; N]` built from one element strategy.
+                pub struct $wrapper<S>(S);
+
+                /// Array strategy: every element drawn from `element`.
+                pub fn $name<S: Strategy>(element: S) -> $wrapper<S> {
+                    $wrapper(element)
+                }
+
+                impl<S: Strategy> Strategy for $wrapper<S> {
+                    type Value = [S::Value; $n];
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        core::array::from_fn(|_| self.0.generate(rng))
+                    }
+                }
+            )*}
+        }
+        uniform_array!(
+            uniform2 / UniformArray2 / 2,
+            uniform4 / UniformArray4 / 4,
+            uniform8 / UniformArray8 / 8,
+            uniform16 / UniformArray16 / 16,
+            uniform32 / UniformArray32 / 32
+        );
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*` for the subset
+    //! this shim implements.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Supports the subset of the real macro's grammar
+/// used in this workspace: an optional `#![proptest_config(expr)]` inner
+/// attribute followed by `#[test] fn name(params) { body }` items, where
+/// each parameter is either `pattern in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg) ($body) [] $($params)*);
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: run the cases.
+    (($cfg:expr) ($body:block) [$({$p:pat} {$s:expr})+]) => {
+        $crate::test_runner::run_cases(
+            $cfg,
+            ($($s,)+),
+            |($($p,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        )
+    };
+    // `pattern in strategy, ...`
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $p:pat in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) ($body) [$($acc)* {$p} {$s}] $($rest)*)
+    };
+    // `pattern in strategy` (final parameter, no trailing comma)
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $p:pat in $s:expr) => {
+        $crate::__proptest_case!(($cfg) ($body) [$($acc)* {$p} {$s}])
+    };
+    // `name: Type, ...` — sugar for `name in any::<Type>()`
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $x:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) ($body) [$($acc)* {$x} {$crate::arbitrary::any::<$t>()}] $($rest)*)
+    };
+    // `name: Type` (final parameter)
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $x:ident : $t:ty) => {
+        $crate::__proptest_case!(($cfg) ($body) [$($acc)* {$x} {$crate::arbitrary::any::<$t>()}])
+    };
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects (skips) the current test case unless `cond` holds. The runner
+/// draws a replacement case, up to a bounded number of rejections.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

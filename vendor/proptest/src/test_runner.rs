@@ -1,0 +1,120 @@
+//! The case runner: configuration, deterministic RNG, and the driver loop
+//! behind the [`proptest!`](crate::proptest) macro.
+
+use crate::strategy::Strategy;
+
+/// Test-runner configuration (`proptest::test_runner::Config` equivalent).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required for a pass.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!` failures) tolerated before
+    /// the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; the runner draws another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64). A fixed seed keeps
+/// every run reproducible; there is no failure persistence because there is
+/// no randomness to persist.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The fixed-seed generator used by [`run_cases`].
+    pub fn deterministic() -> Self {
+        TestRng { state: 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drive `test` over `config.cases` generated inputs. Panics (failing the
+/// enclosing `#[test]`) on the first case whose result is
+/// [`TestCaseError::Fail`]; rejected cases are replaced, up to
+/// `config.max_global_rejects`.
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: core::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic();
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = strategy.generate(&mut rng);
+        // Rendered up front so the failing input survives the move into
+        // `test` (no shrinking here, so this is the whole repro story).
+        let input = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest: too many rejected cases ({rejected}) — last: {reason}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest: case #{} failed (after {rejected} rejects):\n{message}\n\
+                     generated input: {input}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Smoke tests for the shim itself: macro grammar, strategies, rejection,
+//! and failure reporting.
+
+use proptest::prelude::*;
+
+fn pair() -> impl Strategy<Value = (u64, u64)> {
+    (0u64..100, 1u64..7).prop_map(|(a, b)| (a, a * b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mixed_param_forms((a, ab) in pair(), flip: bool, k in 1usize..9) {
+        prop_assert!(ab % a.max(1) == 0 || a == 0);
+        prop_assert!(k >= 1 && k < 9);
+        let _ = flip;
+    }
+
+    #[test]
+    fn assume_rejects_and_replaces(n in 0u32..10) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    fn collections_and_arrays(
+        v in prop::collection::vec(0u8..5, 1..20),
+        arr in prop::array::uniform8(any::<u64>()),
+        big in prop::num::u128::ANY,
+    ) {
+        prop_assert!(!v.is_empty() && v.len() < 20);
+        prop_assert!(v.iter().all(|&x| x < 5));
+        prop_assert_eq!(arr.len(), 8);
+        let _ = big;
+    }
+}
+
+#[test]
+#[should_panic(expected = "generated input")]
+fn failure_reports_generated_input() {
+    proptest::test_runner::run_cases(
+        ProptestConfig::with_cases(4),
+        (0u32..10,),
+        |(_n,)| Err(proptest::test_runner::TestCaseError::fail("forced")),
+    );
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let strat = (0u64..1_000_000,);
+    let draw = |_| {
+        let mut rng = proptest::test_runner::TestRng::deterministic();
+        (0..10).map(|_| strat.generate(&mut rng).0).collect::<Vec<_>>()
+    };
+    assert_eq!(draw(0), draw(1));
+}
