@@ -1,0 +1,425 @@
+//! Batched (bit-sliced) behavioral evaluation of the baseline adder
+//! families.
+//!
+//! The netlist generators in this crate describe *hardware structure*; this
+//! module evaluates the same algorithms *behaviorally* over a
+//! [`BitSlab`] — 64 independent additions per gate-level word operation —
+//! so throughput experiments can compare adder families at rates the
+//! one-operand-at-a-time scalar path cannot reach (see the `batch` bench in
+//! `vlcsa-bench` and the benchmark contract in EXPERIMENTS.md).
+//!
+//! Every engine implements [`BatchAdd`] with two paths that compute the
+//! identical function:
+//!
+//! * [`BatchAdd::add_batch`] — bit-sliced over all lanes of a slab pair;
+//! * [`BatchAdd::add_one`] — the scalar reference with per-bit loops,
+//!   mirroring the same carry structure one operand pair at a time. This is
+//!   the baseline the batch speedups in `BENCH_batch.json` are measured
+//!   against.
+//!
+//! Lane-exact agreement between the two (and with [`UBig::overflowing_add`])
+//! is enforced by the `batch_properties` proptest suite.
+//!
+//! # Example
+//!
+//! ```
+//! use adders::batch::{BatchAdd, BatchCarrySelect};
+//! use bitnum::batch::BitSlab;
+//! use bitnum::UBig;
+//!
+//! let engine = BatchCarrySelect::new(64, 8);
+//! let a = BitSlab::from_lanes(&vec![UBig::from_u128(123, 64); 4]);
+//! let b = BitSlab::from_lanes(&vec![UBig::from_u128(877, 64); 4]);
+//! let out = engine.add_batch(&a, &b);
+//! assert_eq!(out.sum.lane(2).to_u128(), Some(1000));
+//! assert_eq!(out.cout, 0);
+//! ```
+
+use bitnum::batch::{ripple_words, BitSlab};
+use bitnum::UBig;
+
+/// The result of one batched addition: a slab of sums plus a per-lane
+/// carry-out word.
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchRipple, BatchSum};
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+///
+/// let out: BatchSum = BatchRipple::new(8).add_batch(
+///     &BitSlab::from_lanes(&[UBig::from_u128(255, 8), UBig::from_u128(1, 8)]),
+///     &BitSlab::from_lanes(&[UBig::from_u128(1, 8), UBig::from_u128(1, 8)]),
+/// );
+/// assert_eq!(out.sum.lane(0).to_u128(), Some(0)); // 256 wraps
+/// assert_eq!(out.cout, 0b01); // only lane 0 carries out
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSum {
+    /// The wrapped sums, one lane per input lane.
+    pub sum: BitSlab,
+    /// Carry-out word: bit `l` is lane `l`'s carry out of bit `width-1`.
+    pub cout: u64,
+}
+
+/// A behavioral adder engine with a bit-sliced batch path and a scalar
+/// per-bit reference path.
+///
+/// Implementations must make the two paths compute the same function:
+/// `add_batch(a, b).sum.lane(l)` equals `add_one(&a.lane(l), &b.lane(l)).0`
+/// for every lane `l` (and likewise the carry-outs) — which in turn must
+/// equal the exact [`UBig::overflowing_add`].
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchCla};
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+///
+/// let engine = BatchCla::new(16);
+/// let (a, b) = (UBig::from_u128(0xfffe, 16), UBig::from_u128(3, 16));
+/// let (sum, cout) = engine.add_one(&a, &b);
+/// assert_eq!(sum.to_u128(), Some(1));
+/// assert!(cout);
+/// let batch = engine.add_batch(&BitSlab::from_lanes(&[a]), &BitSlab::from_lanes(&[b]));
+/// assert_eq!(batch.sum.lane(0), sum);
+/// ```
+pub trait BatchAdd {
+    /// The operand width the engine was built for.
+    fn width(&self) -> usize;
+
+    /// Short display name for reports (e.g. `"carry-select"`).
+    fn name(&self) -> &'static str;
+
+    /// Adds all lanes of `a` and `b` bit-sliced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the engine width or with each
+    /// other's lane count.
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum;
+
+    /// Adds one operand pair through the scalar per-bit path (the
+    /// benchmark baseline), returning `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths disagree with the engine width.
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool);
+}
+
+fn check_slabs(width: usize, a: &BitSlab, b: &BitSlab) {
+    assert_eq!(a.width(), width, "slab width mismatch");
+    assert_eq!(b.width(), width, "slab width mismatch");
+    assert_eq!(a.lanes(), b.lanes(), "slab lane count mismatch");
+}
+
+fn check_ones(width: usize, a: &UBig, b: &UBig) {
+    assert_eq!(a.width(), width, "operand width mismatch");
+    assert_eq!(b.width(), width, "operand width mismatch");
+}
+
+/// Bit-sliced ripple-carry: one word-parallel carry chain across the full
+/// width. The simplest engine and the latency reference for the rest.
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchRipple};
+/// let engine = BatchRipple::new(32);
+/// assert_eq!(engine.width(), 32);
+/// assert_eq!(engine.name(), "ripple");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRipple {
+    width: usize,
+}
+
+impl BatchRipple {
+    /// Creates a ripple engine of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1 && width <= bitnum::MAX_WIDTH, "unsupported width {width}");
+        Self { width }
+    }
+}
+
+impl BatchAdd for BatchRipple {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "ripple"
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
+        check_slabs(self.width, a, b);
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let cout = ripple_words(a.words(), b.words(), 0, sum.words_mut());
+        BatchSum { sum, cout }
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        check_ones(self.width, a, b);
+        let mut sum = UBig::zero(self.width);
+        let mut carry = false;
+        for i in 0..self.width {
+            let (ai, bi) = (a.bit(i), b.bit(i));
+            sum.set_bit(i, ai ^ bi ^ carry);
+            carry = (ai && bi) || (carry && (ai ^ bi));
+        }
+        (sum, carry)
+    }
+}
+
+/// Bit-sliced blocked carry-lookahead: 4-bit groups compute their group
+/// `(P, G)` signals, the inter-group carries follow the lookahead
+/// recurrence `C_{j+1} = G_j ∨ P_j·C_j`, and each group forms its sum bits
+/// from its group carry-in — the behavioral shape of the hierarchical CLA
+/// netlist in [`crate::cla`].
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchCla};
+/// use bitnum::UBig;
+/// let engine = BatchCla::new(10); // width not a multiple of the group size
+/// let (sum, cout) = engine.add_one(&UBig::from_u128(1000, 10), &UBig::from_u128(30, 10));
+/// assert_eq!(sum.to_u128(), Some(6)); // 1030 mod 1024
+/// assert!(cout);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCla {
+    width: usize,
+}
+
+/// Lookahead group size of [`BatchCla`] (matching the netlist generator's
+/// 4-bit groups).
+const CLA_GROUP: usize = 4;
+
+impl BatchCla {
+    /// Creates a carry-lookahead engine of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1 && width <= bitnum::MAX_WIDTH, "unsupported width {width}");
+        Self { width }
+    }
+}
+
+impl BatchAdd for BatchCla {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "cla4"
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
+        check_slabs(self.width, a, b);
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let mut group_cin = 0u64;
+        for lo in (0..self.width).step_by(CLA_GROUP) {
+            let len = CLA_GROUP.min(self.width - lo);
+            // Group P/G from the per-bit signals (word-parallel lookahead).
+            let (mut gp, mut gg) = (u64::MAX, 0u64);
+            for i in lo..lo + len {
+                let p = a.word(i) ^ b.word(i);
+                let g = a.word(i) & b.word(i);
+                gg = g | (p & gg);
+                gp &= p;
+            }
+            // Sum bits from the group carry-in.
+            let mut carry = group_cin;
+            for i in lo..lo + len {
+                let p = a.word(i) ^ b.word(i);
+                let g = a.word(i) & b.word(i);
+                sum.set_word(i, p ^ carry);
+                carry = g | (p & carry);
+            }
+            group_cin = gg | (gp & group_cin);
+            debug_assert_eq!(carry, group_cin, "lookahead carry disagrees with chain");
+        }
+        BatchSum { sum, cout: group_cin }
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        check_ones(self.width, a, b);
+        let mut sum = UBig::zero(self.width);
+        let mut group_cin = false;
+        for lo in (0..self.width).step_by(CLA_GROUP) {
+            let len = CLA_GROUP.min(self.width - lo);
+            let (mut gp, mut gg) = (true, false);
+            let mut carry = group_cin;
+            for i in lo..lo + len {
+                let p = a.bit(i) ^ b.bit(i);
+                let g = a.bit(i) && b.bit(i);
+                sum.set_bit(i, p ^ carry);
+                carry = g || (p && carry);
+                gg = g || (p && gg);
+                gp &= p;
+            }
+            group_cin = gg || (gp && group_cin);
+        }
+        (sum, group_cin)
+    }
+}
+
+/// Bit-sliced carry-select: each block computes its two conditional sums
+/// (carry-in 0 and carry-in 1) with word-parallel ripple chains, then the
+/// incoming carry word selects per lane — the behavioral shape of
+/// [`crate::carry_select`], and the structure the paper's speculative
+/// window adders reuse.
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchCarrySelect};
+/// let engine = BatchCarrySelect::new(64, 8);
+/// assert_eq!(engine.block(), 8);
+/// assert_eq!(engine.name(), "carry-select");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCarrySelect {
+    width: usize,
+    block: usize,
+}
+
+impl BatchCarrySelect {
+    /// Creates a carry-select engine with uniform `block`-bit blocks (the
+    /// most significant block may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`], or if
+    /// `block` is not in `1..=64` (blocks are packed into `u64` words on
+    /// the scalar path).
+    pub fn new(width: usize, block: usize) -> Self {
+        assert!(width >= 1 && width <= bitnum::MAX_WIDTH, "unsupported width {width}");
+        assert!(block >= 1 && block <= 64, "block size must be in 1..=64");
+        Self { width, block }
+    }
+
+    /// The block size.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+}
+
+impl BatchAdd for BatchCarrySelect {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "carry-select"
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let mut s0 = vec![0u64; self.block];
+        let mut s1 = vec![0u64; self.block];
+        let mut cin = 0u64;
+        for lo in (0..self.width).step_by(self.block) {
+            let len = self.block.min(self.width - lo);
+            let aw = &a.words()[lo..lo + len];
+            let bw = &b.words()[lo..lo + len];
+            let c0 = ripple_words(aw, bw, 0, &mut s0[..len]);
+            let c1 = ripple_words(aw, bw, mask, &mut s1[..len]);
+            for j in 0..len {
+                sum.set_word(lo + j, (s0[j] & !cin) | (s1[j] & cin));
+            }
+            cin = (c0 & !cin) | (c1 & cin);
+        }
+        BatchSum { sum, cout: cin }
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        check_ones(self.width, a, b);
+        let mut sum = UBig::zero(self.width);
+        let mut cin = false;
+        for lo in (0..self.width).step_by(self.block) {
+            let len = self.block.min(self.width - lo);
+            // Both conditional legs, then select with the incoming carry.
+            let (mut c0, mut c1) = (false, true);
+            let mut bits0 = 0u64;
+            let mut bits1 = 0u64;
+            for j in 0..len {
+                let (ai, bi) = (a.bit(lo + j), b.bit(lo + j));
+                let p = ai ^ bi;
+                let g = ai && bi;
+                bits0 |= ((p ^ c0) as u64) << j;
+                bits1 |= ((p ^ c1) as u64) << j;
+                c0 = g || (p && c0);
+                c1 = g || (p && c1);
+            }
+            sum.deposit_bits(lo, len, if cin { bits1 } else { bits0 });
+            cin = if cin { c1 } else { c0 };
+        }
+        (sum, cin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitnum::rng::Xoshiro256;
+
+    fn engines(width: usize) -> Vec<Box<dyn BatchAdd>> {
+        vec![
+            Box::new(BatchRipple::new(width)),
+            Box::new(BatchCla::new(width)),
+            Box::new(BatchCarrySelect::new(width, 8.min(width))),
+            Box::new(BatchCarrySelect::new(width, 3.min(width))),
+        ]
+    }
+
+    #[test]
+    fn both_paths_match_exact_addition() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        for width in [1usize, 7, 10, 64, 65, 100] {
+            for lanes in [1usize, 13, 64] {
+                let a = BitSlab::random(width, lanes, &mut rng);
+                let b = BitSlab::random(width, lanes, &mut rng);
+                for engine in engines(width) {
+                    let batch = engine.add_batch(&a, &b);
+                    for l in 0..lanes {
+                        let (al, bl) = (a.lane(l), b.lane(l));
+                        let (exact, exact_cout) = al.overflowing_add(&bl);
+                        assert_eq!(
+                            batch.sum.lane(l),
+                            exact,
+                            "{} batch width={width} lane={l}",
+                            engine.name()
+                        );
+                        assert_eq!((batch.cout >> l) & 1 == 1, exact_cout);
+                        let (one, one_cout) = engine.add_one(&al, &bl);
+                        assert_eq!(one, exact, "{} scalar", engine.name());
+                        assert_eq!(one_cout, exact_cout);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carries_cross_block_boundaries() {
+        // All-ones + 1: the carry ripples through every block.
+        let width = 24;
+        let a = BitSlab::from_lanes(&[UBig::ones(width)]);
+        let b = BitSlab::from_lanes(&[UBig::from_u128(1, width)]);
+        for engine in engines(width) {
+            let out = engine.add_batch(&a, &b);
+            assert!(out.sum.lane(0).is_zero(), "{}", engine.name());
+            assert_eq!(out.cout, 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slab width mismatch")]
+    fn width_mismatch_panics() {
+        let engine = BatchRipple::new(16);
+        let _ = engine.add_batch(&BitSlab::zero(8, 2), &BitSlab::zero(8, 2));
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod carry_select;
 pub mod carry_skip;
 pub mod cla;

@@ -1,0 +1,71 @@
+//! Property tests: the bit-sliced batch path of every behavioral engine
+//! agrees lane-for-lane with its scalar path and with exact addition, at
+//! arbitrary widths, lane counts and block sizes.
+
+use adders::batch::{BatchAdd, BatchCarrySelect, BatchCla, BatchRipple};
+use bitnum::batch::BitSlab;
+use bitnum::rng::Xoshiro256;
+use proptest::prelude::*;
+
+fn engines(width: usize, block: usize) -> Vec<Box<dyn BatchAdd>> {
+    vec![
+        Box::new(BatchRipple::new(width)),
+        Box::new(BatchCla::new(width)),
+        Box::new(BatchCarrySelect::new(width, block)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batch lane `l` == scalar path == `UBig::overflowing_add`, for every
+    /// family, including lanes < 64 and widths not multiples of the block.
+    #[test]
+    fn lane_agreement(
+        n in 1usize..150,
+        lanes in 1usize..=64,
+        block in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let block = block.min(n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = BitSlab::random(n, lanes, &mut rng);
+        let b = BitSlab::random(n, lanes, &mut rng);
+        for engine in engines(n, block) {
+            let batch = engine.add_batch(&a, &b);
+            prop_assert_eq!(batch.sum.lanes(), lanes);
+            prop_assert_eq!(batch.cout & !a.lane_mask(), 0, "stray cout bits");
+            for l in 0..lanes {
+                let (al, bl) = (a.lane(l), b.lane(l));
+                let (exact, exact_cout) = al.overflowing_add(&bl);
+                prop_assert_eq!(
+                    batch.sum.lane(l), exact.clone(),
+                    "{} n={} block={} lane={}", engine.name(), n, block, l
+                );
+                prop_assert_eq!((batch.cout >> l) & 1 == 1, exact_cout);
+                let (one, one_cout) = engine.add_one(&al, &bl);
+                prop_assert_eq!(one, exact, "{} scalar path", engine.name());
+                prop_assert_eq!(one_cout, exact_cout);
+            }
+        }
+    }
+
+    /// Transpose/untranspose is lossless and the sum words never leak
+    /// bits beyond the lane mask.
+    #[test]
+    fn slab_invariants_survive_addition(
+        n in 1usize..200,
+        lanes in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = BitSlab::random(n, lanes, &mut rng);
+        let b = BitSlab::random(n, lanes, &mut rng);
+        prop_assert_eq!(BitSlab::from_lanes(&a.to_lanes()), a.clone());
+        let out = BatchRipple::new(n).add_batch(&a, &b);
+        let mask = a.lane_mask();
+        for i in 0..n {
+            prop_assert_eq!(out.sum.word(i) & !mask, 0, "stray bits at position {}", i);
+        }
+    }
+}

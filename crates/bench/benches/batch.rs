@@ -1,0 +1,282 @@
+//! Scalar vs bit-sliced throughput for every batch engine, with a
+//! machine-readable result file.
+//!
+//! Two passes share one workload setup:
+//!
+//! 1. a criterion group (`batch_vs_scalar/...`) printing per-benchmark
+//!    wall-clock and elements/s rates, and
+//! 2. a recording pass that re-times each scalar/batch pair with a
+//!    best-of-3 measurement and writes `BENCH_batch.json` at the
+//!    repository root — the benchmark contract documented in
+//!    EXPERIMENTS.md ("Batched throughput: the `batch` bench and
+//!    `BENCH_batch.json`").
+//!
+//! `cargo bench -p vlcsa-bench --bench batch` runs both passes;
+//! `-- --smoke` (the CI mode) shrinks every budget to milliseconds and
+//! skips the JSON write so a checked-in result file is never clobbered by
+//! a throwaway run. Free arguments filter the criterion pass by substring,
+//! as in the other bench targets.
+
+use std::time::{Duration, Instant};
+
+use adders::batch::{BatchAdd, BatchCarrySelect, BatchCla, BatchRipple};
+use bitnum::batch::BitSlab;
+use bitnum::UBig;
+use criterion::{Criterion, Throughput};
+use vlcsa::{Vlcsa1, Vlcsa2};
+use workloads::dist::{Distribution, OperandSource};
+
+const LANES: usize = 64;
+
+/// One scalar-vs-batch comparison, serialized into `BENCH_batch.json`.
+struct Entry {
+    engine: &'static str,
+    width: usize,
+    distribution: String,
+    scalar_ns_per_op: f64,
+    batch_ns_per_op: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns_per_op / self.batch_ns_per_op
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"width\": {}, \"lanes\": {}, ",
+                "\"distribution\": \"{}\", \"scalar_ns_per_op\": {:.2}, ",
+                "\"batch_ns_per_op\": {:.2}, \"scalar_ops_per_sec\": {:.0}, ",
+                "\"batch_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}"
+            ),
+            self.engine,
+            self.width,
+            LANES,
+            self.distribution,
+            self.scalar_ns_per_op,
+            self.batch_ns_per_op,
+            1e9 / self.scalar_ns_per_op,
+            1e9 / self.batch_ns_per_op,
+            self.speedup(),
+        )
+    }
+}
+
+/// Best-of-3 nanoseconds per call of `f`, self-calibrating the batch count
+/// from a warm-up quarter of `target`.
+fn ns_per_call<F: FnMut() -> u64>(mut f: F, target: Duration) -> f64 {
+    let mut sink = 0u64;
+    let warm_until = Instant::now() + target / 4;
+    let mut calls = 0u64;
+    while Instant::now() < warm_until {
+        sink = sink.wrapping_add(f());
+        calls += 1;
+    }
+    let calls_per_sample = calls.max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..calls_per_sample {
+            sink = sink.wrapping_add(f());
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / calls_per_sample as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn operand_group(dist: Distribution, width: usize, seed: u64) -> (Vec<(UBig, UBig)>, BitSlab, BitSlab) {
+    let mut src = OperandSource::new(dist, width, seed);
+    let pairs: Vec<(UBig, UBig)> = (0..LANES).map(|_| src.next_pair()).collect();
+    let mut src = OperandSource::new(dist, width, seed);
+    let (a, b) = src.next_batch(LANES);
+    (pairs, a, b)
+}
+
+fn family_engines(width: usize) -> Vec<Box<dyn BatchAdd>> {
+    vec![
+        Box::new(BatchRipple::new(width)),
+        Box::new(BatchCla::new(width)),
+        Box::new(BatchCarrySelect::new(width, (width as f64).sqrt().ceil() as usize)),
+    ]
+}
+
+/// Times one scalar/batch pair of closures, each processing `LANES`
+/// additions per call, and returns the per-operation numbers.
+fn record<S, B>(engine: &'static str, width: usize, dist: Distribution, target: Duration, mut scalar: S, mut batch: B) -> Entry
+where
+    S: FnMut() -> u64,
+    B: FnMut() -> u64,
+{
+    let scalar_ns = ns_per_call(&mut scalar, target) / LANES as f64;
+    let batch_ns = ns_per_call(&mut batch, target) / LANES as f64;
+    Entry {
+        engine,
+        width,
+        distribution: dist.name(),
+        scalar_ns_per_op: scalar_ns,
+        batch_ns_per_op: batch_ns,
+    }
+}
+
+fn record_all(target: Duration) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    // Baseline adder families: uniform operands at two widths.
+    for width in [64usize, 256] {
+        let (pairs, a, b) = operand_group(Distribution::UnsignedUniform, width, 1);
+        for engine in family_engines(width) {
+            let name = engine.name();
+            entries.push(record(
+                name,
+                width,
+                Distribution::UnsignedUniform,
+                target,
+                || {
+                    let mut acc = 0u64;
+                    for (x, y) in &pairs {
+                        acc = acc.wrapping_add(engine.add_one(x, y).1 as u64);
+                    }
+                    acc
+                },
+                || engine.add_batch(&a, &b).cout,
+            ));
+        }
+    }
+    // Variable-latency engines: uniform and the paper's Gaussian.
+    for dist in [Distribution::UnsignedUniform, Distribution::paper_gaussian()] {
+        let (pairs, a, b) = operand_group(dist, 64, 2);
+        let v1 = Vlcsa1::new(64, 14);
+        entries.push(record(
+            "vlcsa1",
+            64,
+            dist,
+            target,
+            || {
+                let mut cycles = 0u64;
+                for (x, y) in &pairs {
+                    cycles += v1.add(x, y).cycles as u64;
+                }
+                cycles
+            },
+            || v1.add_batch(&a, &b).total_cycles(),
+        ));
+        let v2 = Vlcsa2::new(64, 13);
+        entries.push(record(
+            "vlcsa2",
+            64,
+            dist,
+            target,
+            || {
+                let mut cycles = 0u64;
+                for (x, y) in &pairs {
+                    cycles += v2.add(x, y).cycles as u64;
+                }
+                cycles
+            },
+            || v2.add_batch(&a, &b).total_cycles(),
+        ));
+    }
+    entries
+}
+
+fn criterion_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_vs_scalar");
+    g.throughput(Throughput::Elements(LANES as u64));
+    let (pairs, a, b) = operand_group(Distribution::UnsignedUniform, 64, 1);
+    for engine in family_engines(64) {
+        let name = engine.name();
+        g.bench_function(format!("{name}_64/scalar"), |bch| {
+            bch.iter(|| {
+                let mut acc = 0u64;
+                for (x, y) in &pairs {
+                    acc = acc.wrapping_add(engine.add_one(x, y).1 as u64);
+                }
+                acc
+            })
+        });
+        g.bench_function(format!("{name}_64/batch"), |bch| {
+            bch.iter(|| engine.add_batch(&a, &b).cout)
+        });
+    }
+    let v1 = Vlcsa1::new(64, 14);
+    g.bench_function("vlcsa1_64/scalar", |bch| {
+        bch.iter(|| {
+            let mut cycles = 0u64;
+            for (x, y) in &pairs {
+                cycles += v1.add(x, y).cycles as u64;
+            }
+            cycles
+        })
+    });
+    g.bench_function("vlcsa1_64/batch", |bch| {
+        bch.iter(|| v1.add_batch(&a, &b).total_cycles())
+    });
+    let (gpairs, ga, gb) = operand_group(Distribution::paper_gaussian(), 64, 2);
+    let v2 = Vlcsa2::new(64, 13);
+    g.bench_function("vlcsa2_64_gaussian/scalar", |bch| {
+        bch.iter(|| {
+            let mut cycles = 0u64;
+            for (x, y) in &gpairs {
+                cycles += v2.add(x, y).cycles as u64;
+            }
+            cycles
+        })
+    });
+    g.bench_function("vlcsa2_64_gaussian/batch", |bch| {
+        bch.iter(|| v2.add_batch(&ga, &gb).total_cycles())
+    });
+    g.finish();
+}
+
+fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/batch/v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench batch\",\n");
+    out.push_str("  \"units\": {\"scalar_ns_per_op\": \"ns\", \"batch_ns_per_op\": \"ns\", \"scalar_ops_per_sec\": \"additions/s\", \"batch_ops_per_sec\": \"additions/s\", \"speedup\": \"ratio\"},\n");
+    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut c = if smoke {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(700))
+            .warm_up_time(Duration::from_millis(150))
+    }
+    .configure_from_args();
+    criterion_pass(&mut c);
+
+    let target = if smoke { Duration::from_millis(4) } else { Duration::from_millis(400) };
+    let entries = record_all(target);
+    println!("\n{:<14} {:>5} {:>22} {:>14} {:>13} {:>9}", "engine", "width", "distribution", "scalar ns/op", "batch ns/op", "speedup");
+    for e in &entries {
+        println!(
+            "{:<14} {:>5} {:>22} {:>14.1} {:>13.2} {:>8.1}x",
+            e.engine, e.width, e.distribution, e.scalar_ns_per_op, e.batch_ns_per_op, e.speedup()
+        );
+    }
+    if smoke {
+        println!("\n--smoke: skipping BENCH_batch.json write (budgets too small to be meaningful)");
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_batch.json");
+    match write_json(&entries, &path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,351 @@
+//! Bit-sliced (transposed) operand storage for batched evaluation.
+//!
+//! A [`BitSlab`] holds up to 64 independent `width`-bit values — *lanes* —
+//! in transposed layout: one `u64` word per **bit position**, where bit `l`
+//! of word `i` is lane `l`'s bit `i`. In this layout a single word
+//! operation evaluates one gate of all lanes simultaneously, so a
+//! `width`-step carry chain produces 64 full additions in `width` word
+//! operations — the trick constrained-decoding engines and bit-sliced
+//! cipher implementations use to make per-element work word-parallel.
+//!
+//! The adder crates build on two primitives here: the storage itself
+//! (transpose in, compute word-parallel, transpose out) and the bit-sliced
+//! ripple kernel [`ripple_words`], which is both a complete 64-lane adder
+//! and the per-window building block of the speculative engines.
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::batch::{ripple_words, BitSlab};
+//! use bitnum::UBig;
+//!
+//! let a = BitSlab::from_lanes(&[UBig::from_u128(3, 8), UBig::from_u128(200, 8)]);
+//! let b = BitSlab::from_lanes(&[UBig::from_u128(4, 8), UBig::from_u128(100, 8)]);
+//! let mut sum = BitSlab::zero(8, 2);
+//! let cout = ripple_words(a.words(), b.words(), 0, sum.words_mut());
+//! assert_eq!(sum.lane(0).to_u128(), Some(7));
+//! assert_eq!(sum.lane(1).to_u128(), Some(44)); // 300 mod 256
+//! assert_eq!(cout, 0b10); // only lane 1 overflows 8 bits
+//! ```
+
+use crate::rng::RandomBits;
+use crate::UBig;
+
+/// Maximum number of lanes a [`BitSlab`] can hold (one per bit of a `u64`).
+pub const MAX_LANES: usize = 64;
+
+/// A batch of up to 64 equal-width values in transposed (bit-sliced) layout.
+///
+/// Lane `l`'s bit `i` is stored as bit `l` of [`BitSlab::word`]`(i)`; bits
+/// at lane positions `>= lanes()` are guaranteed zero in every word (a type
+/// invariant maintained by all constructors and [`BitSlab::set_word`]).
+///
+/// # Example
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+///
+/// let lanes: Vec<UBig> = (0..5).map(|v| UBig::from_u128(v, 16)).collect();
+/// let slab = BitSlab::from_lanes(&lanes);
+/// assert_eq!(slab.width(), 16);
+/// assert_eq!(slab.lanes(), 5);
+/// // Bit 0 across lanes: values 1 and 3 are odd -> lanes 1 and 3 set.
+/// assert_eq!(slab.word(0), 0b01010);
+/// assert_eq!(slab.to_lanes(), lanes);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitSlab {
+    width: usize,
+    lanes: usize,
+    /// `words[i]` holds bit `i` of every lane.
+    words: Vec<u64>,
+}
+
+impl BitSlab {
+    /// Creates an all-zero slab of `lanes` lanes of `width` bits each.
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// let slab = BitSlab::zero(32, 64);
+    /// assert!(slab.to_lanes().iter().all(|l| l.is_zero()));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`crate::MAX_WIDTH`], or if
+    /// `lanes` is zero or exceeds [`MAX_LANES`].
+    pub fn zero(width: usize, lanes: usize) -> Self {
+        assert!(
+            width >= 1 && width <= crate::MAX_WIDTH,
+            "unsupported width {width}"
+        );
+        assert!(
+            lanes >= 1 && lanes <= MAX_LANES,
+            "lanes must be in 1..={MAX_LANES}, got {lanes}"
+        );
+        Self { width, lanes, words: vec![0; width] }
+    }
+
+    /// Transposes a slice of equal-width values into a slab (value `l`
+    /// becomes lane `l`).
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::UBig;
+    /// let slab = BitSlab::from_lanes(&[UBig::from_u128(0b10, 2), UBig::from_u128(0b01, 2)]);
+    /// assert_eq!(slab.word(0), 0b10); // lane 1 has bit 0 set
+    /// assert_eq!(slab.word(1), 0b01); // lane 0 has bit 1 set
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, holds more than [`MAX_LANES`] values,
+    /// or the values disagree on width.
+    pub fn from_lanes(values: &[UBig]) -> Self {
+        assert!(!values.is_empty(), "a slab needs at least one lane");
+        let width = values[0].width();
+        let mut slab = Self::zero(width, values.len());
+        for (l, v) in values.iter().enumerate() {
+            assert_eq!(v.width(), width, "lane {l} width mismatch");
+            for (li, &limb) in v.limbs().iter().enumerate() {
+                let mut w = limb;
+                while w != 0 {
+                    let i = li * 64 + w.trailing_zeros() as usize;
+                    slab.words[i] |= 1 << l;
+                    w &= w - 1;
+                }
+            }
+        }
+        slab
+    }
+
+    /// Fills a slab with uniformly random lanes (equivalent to transposing
+    /// `lanes` draws of [`UBig::random`], but sampled directly in
+    /// transposed layout).
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::rng::Xoshiro256;
+    /// let mut rng = Xoshiro256::seed_from_u64(1);
+    /// let slab = BitSlab::random(64, 16, &mut rng);
+    /// assert_eq!(slab.lanes(), 16);
+    /// assert!(slab.words().iter().all(|&w| w <= slab.lane_mask()));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`BitSlab::zero`].
+    pub fn random<R: RandomBits + ?Sized>(width: usize, lanes: usize, rng: &mut R) -> Self {
+        let mut slab = Self::zero(width, lanes);
+        let mask = slab.lane_mask();
+        for w in &mut slab.words {
+            *w = rng.next_u64() & mask;
+        }
+        slab
+    }
+
+    /// The bit width of each lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The number of lanes held.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The word mask with one bit set per lane
+    /// (`u64::MAX` at 64 lanes).
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// assert_eq!(BitSlab::zero(8, 3).lane_mask(), 0b111);
+    /// assert_eq!(BitSlab::zero(8, 64).lane_mask(), u64::MAX);
+    /// ```
+    pub fn lane_mask(&self) -> u64 {
+        if self.lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+
+    /// The word of bit position `i`: bit `l` is lane `l`'s bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// All bit-position words, LSB position first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the bit-position words for in-place kernels.
+    ///
+    /// The caller must keep lane bits `>= lanes()` zero; kernels that only
+    /// combine existing words (e.g. [`ripple_words`] with a masked
+    /// carry-in) preserve this automatically. Use [`BitSlab::set_word`]
+    /// when the new word may carry stray high bits.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Replaces the word of bit position `i`, masking off lane bits beyond
+    /// [`BitSlab::lanes`].
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// let mut slab = BitSlab::zero(4, 2);
+    /// slab.set_word(3, u64::MAX); // stray bits beyond lane 1 are dropped
+    /// assert_eq!(slab.word(3), 0b11);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_word(&mut self, i: usize, word: u64) {
+        let mask = self.lane_mask();
+        self.words[i] = word & mask;
+    }
+
+    /// Extracts lane `l` as a [`UBig`] (the inverse of
+    /// [`BitSlab::from_lanes`] for one value).
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::UBig;
+    /// let v = UBig::from_u128(0xdead, 64);
+    /// let slab = BitSlab::from_lanes(&[UBig::zero(64), v.clone()]);
+    /// assert_eq!(slab.lane(1), v);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes`.
+    pub fn lane(&self, l: usize) -> UBig {
+        assert!(l < self.lanes, "lane {l} out of range for {} lanes", self.lanes);
+        let mut limbs = vec![0u64; self.width.div_ceil(64)];
+        for (i, &w) in self.words.iter().enumerate() {
+            limbs[i / 64] |= ((w >> l) & 1) << (i % 64);
+        }
+        UBig::from_limbs(&limbs, self.width)
+    }
+
+    /// Untransposes the slab back into one [`UBig`] per lane.
+    pub fn to_lanes(&self) -> Vec<UBig> {
+        (0..self.lanes).map(|l| self.lane(l)).collect()
+    }
+}
+
+/// Bit-sliced ripple-carry addition: adds `a` and `b` word-parallel across
+/// lanes, writing sum words into `sum` and returning the carry-out word.
+///
+/// `cin` is a *per-lane* carry-in word (bit `l` is lane `l`'s carry-in), so
+/// the same kernel serves as a full-width adder (`cin = 0`), the
+/// carry-in-1 leg of a carry-select block (`cin = lane_mask`), or a
+/// speculative window fed by a per-lane select signal. The carry recurrence
+/// per bit position is the usual `c' = g | (p & c)` on whole words: 64
+/// lanes per ~5 word operations.
+///
+/// All three slices must come from slabs of identical width and lane
+/// count, restricted to the same bit range; `cin` must have no bits set
+/// beyond the lane mask (guaranteed when it is `0`, a slab's
+/// [`BitSlab::lane_mask`], or a word produced by this kernel from masked
+/// inputs).
+///
+/// # Example
+///
+/// ```
+/// use bitnum::batch::{ripple_words, BitSlab};
+/// use bitnum::UBig;
+///
+/// let a = BitSlab::from_lanes(&vec![UBig::from_u128(9, 4); 3]);
+/// let b = BitSlab::from_lanes(&vec![UBig::from_u128(6, 4); 3]);
+/// let mut s = BitSlab::zero(4, 3);
+/// // Carry-in only into lane 1: lanes 0 and 2 get 15, lane 1 wraps to 0.
+/// let cout = ripple_words(a.words(), b.words(), 0b010, s.words_mut());
+/// assert_eq!(s.lane(0).to_u128(), Some(15));
+/// assert_eq!(s.lane(1).to_u128(), Some(0));
+/// assert_eq!(cout, 0b010);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn ripple_words(a: &[u64], b: &[u64], cin: u64, sum: &mut [u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "operand word counts differ");
+    assert_eq!(a.len(), sum.len(), "sum word count differs");
+    let mut carry = cin;
+    for ((&aw, &bw), sw) in a.iter().zip(b).zip(sum.iter_mut()) {
+        let p = aw ^ bw;
+        let g = aw & bw;
+        *sw = p ^ carry;
+        carry = g | (p & carry);
+    }
+    carry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for (width, lanes) in [(1usize, 1usize), (8, 3), (64, 64), (65, 17), (130, 5), (512, 64)] {
+            let values: Vec<UBig> =
+                (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+            let slab = BitSlab::from_lanes(&values);
+            assert_eq!(slab.to_lanes(), values, "width={width} lanes={lanes}");
+            for (l, v) in values.iter().enumerate() {
+                assert_eq!(&slab.lane(l), v);
+            }
+        }
+    }
+
+    #[test]
+    fn words_respect_lane_mask() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let slab = BitSlab::random(100, 7, &mut rng);
+        assert_eq!(slab.lane_mask(), 0x7f);
+        assert!(slab.words().iter().all(|&w| w & !0x7f == 0));
+        let mut slab = slab;
+        slab.set_word(0, u64::MAX);
+        assert_eq!(slab.word(0), 0x7f);
+    }
+
+    #[test]
+    fn ripple_matches_scalar_adds() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for (width, lanes) in [(64usize, 64usize), (65, 64), (31, 9), (128, 1)] {
+            let a = BitSlab::random(width, lanes, &mut rng);
+            let b = BitSlab::random(width, lanes, &mut rng);
+            let cin = rng.next_u64() & a.lane_mask();
+            let mut sum = BitSlab::zero(width, lanes);
+            let cout = ripple_words(a.words(), b.words(), cin, sum.words_mut());
+            for l in 0..lanes {
+                let (s, c) = a.lane(l).add_with_carry(&b.lane(l), (cin >> l) & 1 == 1);
+                assert_eq!(sum.lane(l), s, "lane {l} width {width}");
+                assert_eq!((cout >> l) & 1 == 1, c, "cout lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be in")]
+    fn too_many_lanes_panic() {
+        let _ = BitSlab::zero(8, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mixed_width_lanes_panic() {
+        let _ = BitSlab::from_lanes(&[UBig::zero(8), UBig::zero(9)]);
+    }
+}

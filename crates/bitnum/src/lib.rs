@@ -14,6 +14,10 @@
 //! * [`rng`] — small deterministic PRNGs (SplitMix64, Xoshiro256++) so every
 //!   experiment in the workspace is exactly reproducible without an external
 //!   RNG dependency.
+//! * [`batch`] — bit-sliced (transposed) batch storage: up to 64 lanes
+//!   packed one `u64` word per bit position, so one word operation
+//!   evaluates a gate of 64 independent additions. The substrate of the
+//!   workspace's batched throughput engines.
 //!
 //! # Example
 //!
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod arith;
+pub mod batch;
 mod error;
 pub mod pg;
 pub mod rng;

@@ -1,6 +1,8 @@
 //! Property-based tests for `bitnum` against `u128` reference semantics.
 
+use bitnum::batch::{ripple_words, BitSlab};
 use bitnum::pg::{self, PgPlanes};
+use bitnum::rng::Xoshiro256;
 use bitnum::UBig;
 use proptest::prelude::*;
 
@@ -103,6 +105,30 @@ proptest! {
             let lo = i.saturating_sub(span - 1);
             let (_, g) = planes.group_pg(lo, i - lo + 1);
             prop_assert_eq!(swept.g.bit(i), g, "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn bitslab_transpose_roundtrip(width in 1usize..300, lanes in 1usize..=64, seed in any::<u64>()) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+        let slab = BitSlab::from_lanes(&values);
+        prop_assert_eq!(slab.to_lanes(), values);
+        prop_assert!(slab.words().iter().all(|&w| w & !slab.lane_mask() == 0));
+    }
+
+    #[test]
+    fn bitslab_ripple_matches_scalar(width in 1usize..130, lanes in 1usize..=64, seed in any::<u64>()) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = BitSlab::random(width, lanes, &mut rng);
+        let b = BitSlab::random(width, lanes, &mut rng);
+        let cin = bitnum::rng::RandomBits::next_u64(&mut rng) & a.lane_mask();
+        let mut sum = BitSlab::zero(width, lanes);
+        let cout = ripple_words(a.words(), b.words(), cin, sum.words_mut());
+        for l in 0..lanes {
+            let (s, c) = a.lane(l).add_with_carry(&b.lane(l), (cin >> l) & 1 == 1);
+            prop_assert_eq!(sum.lane(l), s, "lane {}", l);
+            prop_assert_eq!((cout >> l) & 1 == 1, c, "cout lane {}", l);
         }
     }
 

@@ -1,0 +1,586 @@
+//! Bit-sliced batch evaluation of the speculative and variable-latency
+//! adders.
+//!
+//! The scalar engines ([`Scsa::speculate`], [`Vlcsa1::add`], …) evaluate
+//! one operand pair at a time; this module evaluates up to 64 pairs
+//! word-parallel over [`BitSlab`] operands. Each window runs its two
+//! conditional legs (carry-in 0 / carry-in 1) as bit-sliced ripple chains —
+//! exactly the carry-select structure of the hardware — and the per-lane
+//! select words are the speculated carries, so the group signals
+//! ([`WindowPgWords`]) fall out of the same pass: `G = c0`, `G∨P = c1`,
+//! `P = c0 ⊕ c1`. Detection is a handful of word AND/OR operations
+//! ([`crate::detect::err0_word`], [`crate::detect::err1_word`]), and
+//! recovery is one full-width bit-sliced ripple shared by all stalled
+//! lanes.
+//!
+//! Lane-exact agreement with the scalar path on every distribution is
+//! enforced by the `batch_properties` proptest suite; the throughput gap
+//! (≥ 10× at 64 lanes) is recorded by the `batch` bench in `vlcsa-bench`
+//! (see the benchmark contract in EXPERIMENTS.md).
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::batch::BitSlab;
+//! use vlcsa::Vlcsa1;
+//! use workloads::dist::{Distribution, OperandSource};
+//!
+//! let adder = Vlcsa1::new(64, 14);
+//! let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 1);
+//! let (a, b) = src.next_batch(64); // one 64-lane issue group
+//! let out = adder.add_batch(&a, &b);
+//! for l in 0..64 {
+//!     assert_eq!(out.sum.lane(l), a.lane(l).wrapping_add(&b.lane(l)));
+//! }
+//! ```
+
+use bitnum::batch::{ripple_words, BitSlab};
+
+use crate::detect;
+use crate::scsa::Scsa;
+use crate::scsa2::Scsa2;
+use crate::vlcsa1::Vlcsa1;
+use crate::vlcsa2::Vlcsa2;
+use crate::window::WindowLayout;
+
+/// Per-window group signals of a whole batch: bit `l` of each word is
+/// lane `l`'s scalar [`WindowPg`](crate::WindowPg) signal.
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+/// use vlcsa::Scsa;
+///
+/// let scsa = Scsa::new(8, 4);
+/// // Lane 0: window 0 all-propagates (0xf + 0x0); lane 1: it generates.
+/// let a = BitSlab::from_lanes(&[UBig::from_u128(0x0f, 8), UBig::from_u128(0x09, 8)]);
+/// let b = BitSlab::from_lanes(&[UBig::from_u128(0x00, 8), UBig::from_u128(0x08, 8)]);
+/// let pgs = scsa.window_pg_batch(&a, &b);
+/// assert_eq!(pgs[0].p, 0b01);
+/// assert_eq!(pgs[0].g, 0b10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPgWords {
+    /// Group propagate word `P^i`.
+    pub p: u64,
+    /// Group generate word `G^i` (carry-out assuming carry-in 0).
+    pub g: u64,
+    /// Carry-out word assuming carry-in 1: `G^i ∨ P^i`.
+    pub gp: u64,
+}
+
+/// The batched SCSA 1 speculative result.
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+/// use vlcsa::Scsa;
+///
+/// let scsa = Scsa::new(64, 14);
+/// let a = BitSlab::from_lanes(&vec![UBig::from_u128(1000, 64); 8]);
+/// let b = BitSlab::from_lanes(&vec![UBig::from_u128(2000, 64); 8]);
+/// let spec = scsa.speculate_batch(&a, &b);
+/// assert_eq!(spec.sum.lane(3).to_u128(), Some(3000));
+/// assert_eq!(spec.cout, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// The speculative sums (lane `l` matches
+    /// [`Scsa::speculate`]`(a.lane(l), b.lane(l)).sum`).
+    pub sum: BitSlab,
+    /// Per-lane speculative carry-out word.
+    pub cout: u64,
+}
+
+/// The batched SCSA 2 speculative results (both legs).
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+/// use vlcsa::Scsa2;
+///
+/// // Small positive + small negative: the MSB-reaching chain makes S*,1
+/// // exact where S*,0 is not — per lane, as in the scalar engine.
+/// let scsa2 = Scsa2::new(64, 13);
+/// let a = BitSlab::from_lanes(&[UBig::from_u128(100, 64)]);
+/// let b = BitSlab::from_lanes(&[UBig::from_i128(-3, 64)]);
+/// let spec = scsa2.speculate_batch(&a, &b);
+/// assert_eq!(spec.sum1.lane(0).to_u128(), Some(97));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch2Spec {
+    /// `S*,0` lanes (window carries speculated as `G^{i-1}`).
+    pub sum0: BitSlab,
+    /// Per-lane carry-out word of `S*,0`.
+    pub cout0: u64,
+    /// `S*,1` lanes (window carries speculated as `G^{i-1} ∨ P^{i-1}`).
+    pub sum1: BitSlab,
+    /// Per-lane carry-out word of `S*,1`.
+    pub cout1: u64,
+}
+
+/// The outcome of one batched variable-latency addition: always-exact sums
+/// plus per-lane latency bookkeeping.
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+/// use vlcsa::Vlcsa1;
+///
+/// let adder = Vlcsa1::new(32, 4);
+/// // Lane 1 hits the classic mis-speculation pattern; lane 0 does not.
+/// let a = BitSlab::from_lanes(&[UBig::from_u128(1, 32), UBig::from_u128(0x0ff8, 32)]);
+/// let b = BitSlab::from_lanes(&[UBig::from_u128(2, 32), UBig::from_u128(0x0008, 32)]);
+/// let out = adder.add_batch(&a, &b);
+/// assert_eq!(out.cycles(0), 1);
+/// assert_eq!(out.cycles(1), 2);
+/// assert_eq!(out.stalls(), 1);
+/// assert_eq!(out.total_cycles(), 3);
+/// assert_eq!(out.sum.lane(1).to_u128(), Some(0x1000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The (always exact) sums.
+    pub sum: BitSlab,
+    /// The (always exact) per-lane carry-out word.
+    pub cout: u64,
+    /// Per-lane stall word: bit `l` set iff lane `l` took the 2-cycle
+    /// recovery path.
+    pub flagged: u64,
+}
+
+impl BatchOutcome {
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.sum.lanes()
+    }
+
+    /// Cycles lane `l` consumed: 1 (speculation accepted) or 2 (recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn cycles(&self, l: usize) -> u8 {
+        assert!(l < self.lanes(), "lane {l} out of range");
+        1 + ((self.flagged >> l) & 1) as u8
+    }
+
+    /// Per-lane cycle counts, lane 0 first.
+    pub fn cycles_per_lane(&self) -> Vec<u8> {
+        (0..self.lanes()).map(|l| self.cycles(l)).collect()
+    }
+
+    /// Number of lanes that stalled for recovery.
+    pub fn stalls(&self) -> u32 {
+        self.flagged.count_ones()
+    }
+
+    /// Total cycles across all lanes (`lanes + stalls`), the quantity a
+    /// bank of independent adder units consumes for this issue group.
+    pub fn total_cycles(&self) -> u64 {
+        self.lanes() as u64 + self.stalls() as u64
+    }
+
+    /// Fraction of lanes that stalled.
+    pub fn stall_rate(&self) -> f64 {
+        self.stalls() as f64 / self.lanes() as f64
+    }
+}
+
+/// One bit-sliced speculation pass: per window, both conditional legs and
+/// the select-chain muxes, yielding the group-signal words and the
+/// speculative sum(s).
+struct SpecPass {
+    pgs: Vec<WindowPgWords>,
+    sum0: BitSlab,
+    cout0: u64,
+    sum1: Option<BitSlab>,
+    cout1: u64,
+}
+
+fn check_batch(layout: &WindowLayout, a: &BitSlab, b: &BitSlab) {
+    assert_eq!(a.width(), layout.width(), "operand slab width mismatch");
+    assert_eq!(b.width(), layout.width(), "operand slab width mismatch");
+    assert_eq!(a.lanes(), b.lanes(), "operand slab lane count mismatch");
+}
+
+fn spec_pass(layout: &WindowLayout, a: &BitSlab, b: &BitSlab, want_sum1: bool) -> SpecPass {
+    check_batch(layout, a, b);
+    let width = layout.width();
+    let lanes = a.lanes();
+    let mask = a.lane_mask();
+    let mut pgs = Vec::with_capacity(layout.count());
+    let mut sum0 = BitSlab::zero(width, lanes);
+    let mut sum1 = want_sum1.then(|| BitSlab::zero(width, lanes));
+    let window = layout.window();
+    let mut s0 = vec![0u64; window];
+    let mut s1 = vec![0u64; window];
+    // Select chains: cin0 follows G^{i-1}, cin1 follows G^{i-1} ∨ P^{i-1}
+    // (window 0 is not speculative: both start at the real carry-in 0 and
+    // leave window 0 with the true G⁰).
+    let (mut cin0, mut cin1) = (0u64, 0u64);
+    let (mut cout0, mut cout1) = (0u64, 0u64);
+    for (i, (lo, len)) in layout.iter().enumerate() {
+        let aw = &a.words()[lo..lo + len];
+        let bw = &b.words()[lo..lo + len];
+        let c0 = ripple_words(aw, bw, 0, &mut s0[..len]);
+        let c1 = ripple_words(aw, bw, mask, &mut s1[..len]);
+        pgs.push(WindowPgWords { p: c0 ^ c1, g: c0, gp: c1 });
+        for j in 0..len {
+            sum0.set_word(lo + j, (s0[j] & !cin0) | (s1[j] & cin0));
+        }
+        cout0 = (c0 & !cin0) | (c1 & cin0);
+        if let Some(sum1) = sum1.as_mut() {
+            for j in 0..len {
+                sum1.set_word(lo + j, (s0[j] & !cin1) | (s1[j] & cin1));
+            }
+            cout1 = (c0 & !cin1) | (c1 & cin1);
+        }
+        cin0 = c0;
+        cin1 = if i == 0 { c0 } else { c1 };
+    }
+    SpecPass { pgs, sum0, cout0, sum1, cout1 }
+}
+
+/// Full-width exact bit-sliced addition (the shared recovery adder).
+fn exact_batch(a: &BitSlab, b: &BitSlab) -> (BitSlab, u64) {
+    let mut sum = BitSlab::zero(a.width(), a.lanes());
+    let cout = ripple_words(a.words(), b.words(), 0, sum.words_mut());
+    (sum, cout)
+}
+
+impl Scsa {
+    /// Computes the group `(P, G, G∨P)` signal words of every window for a
+    /// whole batch — the bit-sliced [`Scsa::window_pg`].
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::rng::Xoshiro256;
+    /// use vlcsa::Scsa;
+    ///
+    /// let scsa = Scsa::new(100, 13);
+    /// let mut rng = Xoshiro256::seed_from_u64(3);
+    /// let a = BitSlab::random(100, 64, &mut rng);
+    /// let b = BitSlab::random(100, 64, &mut rng);
+    /// let pgs = scsa.window_pg_batch(&a, &b);
+    /// let scalar = scsa.window_pg(&a.lane(7), &b.lane(7));
+    /// for (w, s) in pgs.iter().zip(&scalar) {
+    ///     assert_eq!((w.p >> 7) & 1 == 1, s.p);
+    ///     assert_eq!((w.g >> 7) & 1 == 1, s.g);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the adder width or with each
+    /// other's lane count.
+    pub fn window_pg_batch(&self, a: &BitSlab, b: &BitSlab) -> Vec<WindowPgWords> {
+        check_batch(self.layout(), a, b);
+        let mask = a.lane_mask();
+        let mut scratch = vec![0u64; self.layout().window()];
+        self.layout()
+            .iter()
+            .map(|(lo, len)| {
+                let aw = &a.words()[lo..lo + len];
+                let bw = &b.words()[lo..lo + len];
+                let c0 = ripple_words(aw, bw, 0, &mut scratch[..len]);
+                let c1 = ripple_words(aw, bw, mask, &mut scratch[..len]);
+                WindowPgWords { p: c0 ^ c1, g: c0, gp: c1 }
+            })
+            .collect()
+    }
+
+    /// The SCSA 1 speculative addition of a whole batch — the bit-sliced
+    /// [`Scsa::speculate`], lane-exact with the scalar path.
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::rng::Xoshiro256;
+    /// use vlcsa::Scsa;
+    ///
+    /// let scsa = Scsa::new(64, 8);
+    /// let mut rng = Xoshiro256::seed_from_u64(5);
+    /// let a = BitSlab::random(64, 32, &mut rng);
+    /// let b = BitSlab::random(64, 32, &mut rng);
+    /// let spec = scsa.speculate_batch(&a, &b);
+    /// for l in 0..32 {
+    ///     assert_eq!(spec.sum.lane(l), scsa.speculate(&a.lane(l), &b.lane(l)).sum);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the adder width or with each
+    /// other's lane count.
+    pub fn speculate_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSpec {
+        let pass = spec_pass(self.layout(), a, b, false);
+        BatchSpec { sum: pass.sum0, cout: pass.cout0 }
+    }
+}
+
+impl Scsa2 {
+    /// Group signal words per window for a whole batch (same hardware as
+    /// SCSA 1; see [`Scsa::window_pg_batch`]).
+    pub fn window_pg_batch(&self, a: &BitSlab, b: &BitSlab) -> Vec<WindowPgWords> {
+        self.scsa1().window_pg_batch(a, b)
+    }
+
+    /// Both speculative results of a whole batch — the bit-sliced
+    /// [`Scsa2::speculate`], lane-exact with the scalar path.
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::rng::Xoshiro256;
+    /// use vlcsa::Scsa2;
+    ///
+    /// let scsa2 = Scsa2::new(96, 11);
+    /// let mut rng = Xoshiro256::seed_from_u64(8);
+    /// let a = BitSlab::random(96, 16, &mut rng);
+    /// let b = BitSlab::random(96, 16, &mut rng);
+    /// let spec = scsa2.speculate_batch(&a, &b);
+    /// let scalar = scsa2.speculate(&a.lane(5), &b.lane(5));
+    /// assert_eq!(spec.sum0.lane(5), scalar.sum0);
+    /// assert_eq!(spec.sum1.lane(5), scalar.sum1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the adder width or with each
+    /// other's lane count.
+    pub fn speculate_batch(&self, a: &BitSlab, b: &BitSlab) -> Batch2Spec {
+        let pass = spec_pass(self.layout(), a, b, true);
+        Batch2Spec {
+            sum0: pass.sum0,
+            cout0: pass.cout0,
+            sum1: pass.sum1.expect("sum1 requested"),
+            cout1: pass.cout1,
+        }
+    }
+}
+
+impl Vlcsa1 {
+    /// One batched variable-latency addition: up to 64 lanes speculate,
+    /// detect and (where flagged) recover word-parallel. Every lane's sum
+    /// is exact; flagged lanes cost 2 cycles, the rest 1 — identical
+    /// per-lane behavior to [`Vlcsa1::add`].
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use vlcsa::Vlcsa1;
+    /// use workloads::dist::{Distribution, OperandSource};
+    ///
+    /// let adder = Vlcsa1::new(64, 6); // small window: frequent stalls
+    /// let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 3);
+    /// let (a, b) = src.next_batch(64);
+    /// let out = adder.add_batch(&a, &b);
+    /// for l in 0..out.lanes() {
+    ///     let scalar = adder.add(&a.lane(l), &b.lane(l));
+    ///     assert_eq!(out.sum.lane(l), scalar.sum);
+    ///     assert_eq!(out.cycles(l), scalar.cycles);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the adder width or with each
+    /// other's lane count.
+    pub fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+        let pass = spec_pass(self.layout(), a, b, false);
+        let flagged = detect::err0_word(&pass.pgs);
+        let mut sum = pass.sum0;
+        let mut cout = pass.cout0;
+        // The shared recovery adder runs only when some lane stalled —
+        // the no-stall common case stays at two ripple legs per window.
+        if flagged != 0 {
+            let (exact, exact_cout) = exact_batch(a, b);
+            for i in 0..sum.width() {
+                sum.set_word(i, (sum.word(i) & !flagged) | (exact.word(i) & flagged));
+            }
+            cout = (cout & !flagged) | (exact_cout & flagged);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let (exact, exact_cout) = exact_batch(a, b);
+            debug_assert_eq!(sum.words(), exact.words(), "reliability invariant");
+            debug_assert_eq!(cout, exact_cout, "reliability invariant");
+        }
+        BatchOutcome { sum, cout, flagged }
+    }
+}
+
+impl Vlcsa2 {
+    /// One batched variable-latency addition through the VLCSA 2 selection
+    /// logic: per lane, `ERR0 = 0` accepts `S*,0`, `ERR0 ∧ ¬ERR1` accepts
+    /// `S*,1`, and only `ERR0 ∧ ERR1` lanes pay the 2-cycle recovery —
+    /// identical per-lane behavior to [`Vlcsa2::add`].
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::UBig;
+    /// use vlcsa::Vlcsa2;
+    ///
+    /// let adder = Vlcsa2::new(64, 13);
+    /// // Small positive + small negative: VLCSA 1 would stall; the S*,1
+    /// // leg absorbs it in one cycle — here for a whole lane group.
+    /// let a = BitSlab::from_lanes(&vec![UBig::from_u128(1000, 64); 16]);
+    /// let b = BitSlab::from_lanes(&vec![UBig::from_i128(-1, 64); 16]);
+    /// let out = adder.add_batch(&a, &b);
+    /// assert_eq!(out.stalls(), 0);
+    /// assert_eq!(out.sum.lane(9).to_u128(), Some(999));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the adder width or with each
+    /// other's lane count.
+    pub fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+        let pass = spec_pass(self.layout(), a, b, true);
+        let err0 = detect::err0_word(&pass.pgs);
+        let err1 = detect::err1_word(&pass.pgs);
+        let use1 = err0 & !err1;
+        let recover = err0 & err1;
+        let sum1 = pass.sum1.expect("sum1 requested");
+        let mut sum = pass.sum0;
+        let mut cout = pass.cout0;
+        if err0 != 0 {
+            // The shared recovery adder runs only when some lane needs it
+            // (both detectors high); S*,1-corrected lanes stay word-muxed.
+            let exact = (recover != 0).then(|| exact_batch(a, b));
+            for i in 0..sum.width() {
+                let mut w = (sum.word(i) & !err0) | (sum1.word(i) & use1);
+                if let Some((ex, _)) = &exact {
+                    w |= ex.word(i) & recover;
+                }
+                sum.set_word(i, w);
+            }
+            cout = (cout & !err0) | (pass.cout1 & use1);
+            if let Some((_, ex_cout)) = &exact {
+                cout |= ex_cout & recover;
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let (exact, exact_cout) = exact_batch(a, b);
+            debug_assert_eq!(sum.words(), exact.words(), "reliability invariant");
+            debug_assert_eq!(cout, exact_cout, "reliability invariant");
+        }
+        BatchOutcome { sum, cout, flagged: recover }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::Selection;
+    use bitnum::rng::Xoshiro256;
+    use workloads::dist::{Distribution, OperandSource};
+
+    #[test]
+    fn window_pg_batch_matches_scalar() {
+        let scsa = Scsa::new(100, 13);
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let a = BitSlab::random(100, 37, &mut rng);
+        let b = BitSlab::random(100, 37, &mut rng);
+        let words = scsa.window_pg_batch(&a, &b);
+        for l in 0..37 {
+            let scalar = scsa.window_pg(&a.lane(l), &b.lane(l));
+            for (i, s) in scalar.iter().enumerate() {
+                assert_eq!((words[i].p >> l) & 1 == 1, s.p, "P window {i} lane {l}");
+                assert_eq!((words[i].g >> l) & 1 == 1, s.g, "G window {i} lane {l}");
+                assert_eq!((words[i].gp >> l) & 1 == 1, s.gp, "GP window {i} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculate_batch_matches_scalar_both_engines() {
+        let mut rng = Xoshiro256::seed_from_u64(32);
+        for (n, k, lanes) in [(64usize, 14usize, 64usize), (65, 9, 3), (128, 15, 64), (33, 33, 7)] {
+            let scsa = Scsa::new(n, k);
+            let scsa2 = Scsa2::new(n, k);
+            let a = BitSlab::random(n, lanes, &mut rng);
+            let b = BitSlab::random(n, lanes, &mut rng);
+            let one = scsa.speculate_batch(&a, &b);
+            let two = scsa2.speculate_batch(&a, &b);
+            for l in 0..lanes {
+                let s1 = scsa.speculate(&a.lane(l), &b.lane(l));
+                assert_eq!(one.sum.lane(l), s1.sum, "n={n} k={k} lane={l}");
+                assert_eq!((one.cout >> l) & 1 == 1, s1.cout);
+                let s2 = scsa2.speculate(&a.lane(l), &b.lane(l));
+                assert_eq!(two.sum0.lane(l), s2.sum0);
+                assert_eq!(two.sum1.lane(l), s2.sum1);
+                assert_eq!((two.cout0 >> l) & 1 == 1, s2.cout0);
+                assert_eq!((two.cout1 >> l) & 1 == 1, s2.cout1);
+            }
+        }
+    }
+
+    #[test]
+    fn vlcsa1_batch_lane_behavior_matches_scalar() {
+        let adder = Vlcsa1::new(64, 6);
+        let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 7);
+        let mut stalls = 0u32;
+        for _ in 0..100 {
+            let (a, b) = src.next_batch(64);
+            let out = adder.add_batch(&a, &b);
+            stalls += out.stalls();
+            for l in 0..64 {
+                let scalar = adder.add(&a.lane(l), &b.lane(l));
+                assert_eq!(out.sum.lane(l), scalar.sum);
+                assert_eq!((out.cout >> l) & 1 == 1, scalar.cout);
+                assert_eq!(out.cycles(l), scalar.cycles);
+                assert_eq!((out.flagged >> l) & 1 == 1, scalar.flagged);
+            }
+        }
+        assert!(stalls > 0, "k=6 must stall in 6400 uniform trials");
+    }
+
+    #[test]
+    fn vlcsa2_batch_selection_matches_scalar() {
+        let adder = Vlcsa2::new(64, 13);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 9);
+        let (mut spec1_lanes, mut recover_lanes) = (0u32, 0u32);
+        for _ in 0..100 {
+            let (a, b) = src.next_batch(64);
+            let out = adder.add_batch(&a, &b);
+            let pgs = adder.scsa2().window_pg_batch(&a, &b);
+            let err0 = detect::err0_word(&pgs);
+            let err1 = detect::err1_word(&pgs);
+            for l in 0..64 {
+                let scalar = adder.add(&a.lane(l), &b.lane(l));
+                assert_eq!(out.sum.lane(l), scalar.sum);
+                assert_eq!(out.cycles(l), scalar.cycles);
+                // The word detectors agree with the scalar selection.
+                let sel = detect::select(&adder.scsa2().window_pg(&a.lane(l), &b.lane(l)));
+                match sel {
+                    Selection::Spec0 => assert_eq!((err0 >> l) & 1, 0),
+                    Selection::Spec1 => {
+                        assert_eq!((err0 >> l) & 1, 1);
+                        assert_eq!((err1 >> l) & 1, 0);
+                        spec1_lanes += 1;
+                    }
+                    Selection::Recover => {
+                        assert_eq!((err0 >> l) & 1, 1);
+                        assert_eq!((err1 >> l) & 1, 1);
+                        recover_lanes += 1;
+                    }
+                }
+            }
+        }
+        assert!(spec1_lanes > 500, "Gaussian batches should exercise S*,1");
+        let _ = recover_lanes;
+    }
+
+    #[test]
+    fn single_lane_batch() {
+        let adder = Vlcsa1::new(40, 40);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let a = BitSlab::random(40, 1, &mut rng);
+        let b = BitSlab::random(40, 1, &mut rng);
+        let out = adder.add_batch(&a, &b);
+        assert_eq!(out.lanes(), 1);
+        assert_eq!(out.sum.lane(0), a.lane(0).wrapping_add(&b.lane(0)));
+        assert_eq!(out.cycles_per_lane(), vec![1]); // one window: never stalls
+        assert_eq!(out.stall_rate(), 0.0);
+    }
+}

@@ -12,6 +12,7 @@
 //!   When `ERR0 = 1` but `ERR1 = 0`, the offending chain runs to the MSB
 //!   and the second speculative result `S*,1` is exact (Ch. 6.6).
 
+use crate::batch::WindowPgWords;
 use crate::scsa::WindowPg;
 
 /// `ERR0` (the paper's `ERR` of VLCSA 1): flags when a generate abuts a
@@ -31,6 +32,53 @@ pub fn err0(windows: &[WindowPg]) -> bool {
 /// where `P⁰ = 1` on a quarter of all inputs).
 pub fn err1(windows: &[WindowPg]) -> bool {
     windows.len() >= 3 && windows[1..].windows(2).any(|w| w[0].p && !w[1].p)
+}
+
+/// Vectorized `ERR0`: evaluates [`err0`] for up to 64 lanes at once on the
+/// batched group-signal words — one AND + OR per window pair.
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+/// use vlcsa::{detect, Scsa};
+///
+/// let scsa = Scsa::new(32, 8);
+/// // Lane 1 is the classic error pattern (generate then full propagate);
+/// // lane 0 is carry-free.
+/// let a = BitSlab::from_lanes(&[UBig::from_u128(1, 32), UBig::from_u128(0xff80, 32)]);
+/// let b = BitSlab::from_lanes(&[UBig::from_u128(2, 32), UBig::from_u128(0x0080, 32)]);
+/// let err = detect::err0_word(&scsa.window_pg_batch(&a, &b));
+/// assert_eq!(err, 0b10);
+/// ```
+pub fn err0_word(windows: &[WindowPgWords]) -> u64 {
+    windows.windows(2).fold(0, |acc, w| acc | (w[0].g & w[1].p))
+}
+
+/// Vectorized `ERR1`: evaluates [`err1`] per lane on the batched
+/// group-signal words, with the same window-pair `(0, 1)` exclusion as the
+/// scalar detector.
+///
+/// ```
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+/// use vlcsa::{detect, Scsa2};
+///
+/// let scsa2 = Scsa2::new(64, 13);
+/// // Small positive + small negative: the chain reaches the MSB, so ERR0
+/// // flags but ERR1 stays low and S*,1 is accepted — on every lane.
+/// let a = BitSlab::from_lanes(&vec![UBig::from_u128(100, 64); 2]);
+/// let b = BitSlab::from_lanes(&vec![UBig::from_i128(-3, 64); 2]);
+/// let pgs = scsa2.window_pg_batch(&a, &b);
+/// assert_eq!(detect::err0_word(&pgs), 0b11);
+/// assert_eq!(detect::err1_word(&pgs), 0b00);
+/// ```
+pub fn err1_word(windows: &[WindowPgWords]) -> u64 {
+    if windows.len() < 3 {
+        return 0;
+    }
+    // `p` words never carry bits beyond the lane mask, so `w[0].p & !w[1].p`
+    // stays masked.
+    windows[1..].windows(2).fold(0, |acc, w| acc | (w[0].p & !w[1].p))
 }
 
 /// The VLCSA 2 selection decision (Ch. 6.7).

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod detect;
 pub mod magnitude;
 pub mod model;
@@ -56,7 +57,8 @@ mod vlcsa1;
 mod vlcsa2;
 pub mod window;
 
-pub use scsa::{Scsa, SpecResult};
+pub use batch::{Batch2Spec, BatchOutcome, BatchSpec, WindowPgWords};
+pub use scsa::{Scsa, SpecResult, WindowPg};
 pub use scsa2::{Scsa2, Spec2Result};
 pub use vlcsa1::{AddOutcome, LatencyStats, Vlcsa1};
 pub use vlcsa2::Vlcsa2;

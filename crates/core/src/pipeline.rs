@@ -22,6 +22,7 @@
 //! assert!(report.cycles >= 1000);
 //! ```
 
+use bitnum::batch::BitSlab;
 use bitnum::UBig;
 
 use crate::vlcsa1::Vlcsa1;
@@ -95,6 +96,49 @@ impl Pipeline {
         }
         report
     }
+
+    /// Runs a stream of bit-sliced **issue groups** (up to 64 operand
+    /// pairs per step) through a bank of parallel adder units, one unit
+    /// per lane.
+    ///
+    /// Accounting matches [`Pipeline::run`] lane-for-lane: `operations`
+    /// and `stalls` count lanes, `cycles` sums per-lane cycles (each lane
+    /// is an independent unit, so group throughput is lanes per cycle
+    /// minus recovery bubbles). `max_stall_run` counts consecutive
+    /// *groups* containing at least one stalled lane — the group-level
+    /// back-pressure a lock-step issue front observes.
+    ///
+    /// ```
+    /// use vlcsa::pipeline::Pipeline;
+    /// use vlcsa::Vlcsa1;
+    /// use workloads::dist::{Distribution, OperandSource};
+    ///
+    /// let mut pipe = Pipeline::new(Vlcsa1::new(64, 14));
+    /// let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 1);
+    /// let report = pipe.run_batches((0..16).map(|_| src.next_batch(64)));
+    /// assert_eq!(report.operations, 16 * 64);
+    /// assert!(report.cpi() >= 1.0);
+    /// ```
+    pub fn run_batches<I: IntoIterator<Item = (BitSlab, BitSlab)>>(
+        &mut self,
+        groups: I,
+    ) -> StreamReport {
+        let mut report = StreamReport::default();
+        let mut stall_run = 0u64;
+        for (a, b) in groups {
+            let outcome = self.engine.add_batch(&a, &b);
+            report.operations += outcome.lanes() as u64;
+            report.cycles += outcome.total_cycles();
+            report.stalls += outcome.stalls() as u64;
+            if outcome.stalls() > 0 {
+                stall_run += 1;
+                report.max_stall_run = report.max_stall_run.max(stall_run);
+            } else {
+                stall_run = 0;
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +167,22 @@ mod tests {
         // motivation in one assertion.
         assert!(report.speedup_vs_fixed(1.12) < 1.0);
         assert!(report.max_stall_run >= 2, "Gaussian streams stall in bursts");
+    }
+
+    #[test]
+    fn batch_stream_matches_scalar_stream_accounting() {
+        // The same 3200 operand pairs, issued scalar vs in 64-lane groups,
+        // must retire with identical operation/stall/cycle totals.
+        let mut scalar_src = OperandSource::new(Distribution::paper_gaussian(), 64, 5);
+        let mut batch_src = OperandSource::new(Distribution::paper_gaussian(), 64, 5);
+        let mut scalar_pipe = Pipeline::new(Vlcsa1::new(64, 14));
+        let mut batch_pipe = Pipeline::new(Vlcsa1::new(64, 14));
+        let scalar = scalar_pipe.run((0..3200).map(|_| scalar_src.next_pair()));
+        let batch = batch_pipe.run_batches((0..50).map(|_| batch_src.next_batch(64)));
+        assert_eq!(batch.operations, scalar.operations);
+        assert_eq!(batch.stalls, scalar.stalls);
+        assert_eq!(batch.cycles, scalar.cycles);
+        assert!(batch.stalls > 0, "Gaussian at k=14 stalls ~25% of lanes");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests for the batched speculative engines: lane-exact
+//! agreement with the scalar path for both VLCSA variants, on every
+//! operand distribution, including width-not-multiple-of-window and
+//! lanes < 64 edge cases.
+
+use bitnum::batch::BitSlab;
+use bitnum::rng::Xoshiro256;
+use proptest::prelude::*;
+use vlcsa::{detect, Scsa, Scsa2, Vlcsa1, Vlcsa2};
+use workloads::dist::{Distribution, OperandSource};
+
+/// Width, window, lane count and seed — widths deliberately not multiples
+/// of the window, lane counts spanning 1..=64.
+fn params() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (2usize..200, 1usize..30, 1usize..=64, any::<u64>())
+        .prop_map(|(n, k, lanes, seed)| (n, k.min(n).min(63), lanes, seed))
+}
+
+fn distributions() -> [Distribution; 4] {
+    [
+        Distribution::UnsignedUniform,
+        Distribution::TwosComplementUniform,
+        Distribution::UnsignedGaussian { sigma: (1u64 << 24) as f64 },
+        Distribution::paper_gaussian(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Vlcsa1::add_batch` lane `i` behaves exactly like `Vlcsa1::add` of
+    /// lane `i`'s operands — sum, carry-out, cycles and flag — on all
+    /// distributions.
+    #[test]
+    fn vlcsa1_batch_lane_agreement((n, k, lanes, seed) in params()) {
+        let adder = Vlcsa1::new(n, k);
+        for (d, dist) in distributions().into_iter().enumerate() {
+            let mut src = OperandSource::new(dist, n, seed ^ d as u64);
+            let (a, b) = src.next_batch(lanes);
+            let out = adder.add_batch(&a, &b);
+            prop_assert_eq!(out.lanes(), lanes);
+            prop_assert_eq!(out.total_cycles(), lanes as u64 + out.stalls() as u64);
+            for l in 0..lanes {
+                let scalar = adder.add(&a.lane(l), &b.lane(l));
+                prop_assert_eq!(&out.sum.lane(l), &scalar.sum, "{:?} lane {}", dist, l);
+                prop_assert_eq!((out.cout >> l) & 1 == 1, scalar.cout);
+                prop_assert_eq!(out.cycles(l), scalar.cycles);
+                prop_assert_eq!((out.flagged >> l) & 1 == 1, scalar.flagged);
+            }
+        }
+    }
+
+    /// `Vlcsa2::add_batch` lane `i` behaves exactly like `Vlcsa2::add` of
+    /// lane `i`'s operands on all distributions (sum, carry-out, cycles).
+    #[test]
+    fn vlcsa2_batch_lane_agreement((n, k, lanes, seed) in params()) {
+        let adder = Vlcsa2::new(n, k);
+        for (d, dist) in distributions().into_iter().enumerate() {
+            let mut src = OperandSource::new(dist, n, seed ^ (d as u64) << 8);
+            let (a, b) = src.next_batch(lanes);
+            let out = adder.add_batch(&a, &b);
+            for l in 0..lanes {
+                let scalar = adder.add(&a.lane(l), &b.lane(l));
+                prop_assert_eq!(&out.sum.lane(l), &scalar.sum, "{:?} lane {}", dist, l);
+                prop_assert_eq!((out.cout >> l) & 1 == 1, scalar.cout);
+                prop_assert_eq!(out.cycles(l), scalar.cycles);
+            }
+        }
+    }
+
+    /// The batched speculation and group signals match the scalar engines
+    /// bit-for-bit (not just post-recovery results).
+    #[test]
+    fn speculation_and_pg_lane_agreement((n, k, lanes, seed) in params()) {
+        let scsa = Scsa::new(n, k);
+        let scsa2 = Scsa2::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = BitSlab::random(n, lanes, &mut rng);
+        let b = BitSlab::random(n, lanes, &mut rng);
+        let spec = scsa.speculate_batch(&a, &b);
+        let spec2 = scsa2.speculate_batch(&a, &b);
+        let words = scsa.window_pg_batch(&a, &b);
+        for l in 0..lanes {
+            let (al, bl) = (a.lane(l), b.lane(l));
+            let s1 = scsa.speculate(&al, &bl);
+            prop_assert_eq!(&spec.sum.lane(l), &s1.sum);
+            prop_assert_eq!((spec.cout >> l) & 1 == 1, s1.cout);
+            let s2 = scsa2.speculate(&al, &bl);
+            prop_assert_eq!(&spec2.sum0.lane(l), &s2.sum0);
+            prop_assert_eq!(&spec2.sum1.lane(l), &s2.sum1);
+            prop_assert_eq!((spec2.cout0 >> l) & 1 == 1, s2.cout0);
+            prop_assert_eq!((spec2.cout1 >> l) & 1 == 1, s2.cout1);
+            for (i, w) in scsa.window_pg(&al, &bl).iter().enumerate() {
+                prop_assert_eq!((words[i].p >> l) & 1 == 1, w.p);
+                prop_assert_eq!((words[i].g >> l) & 1 == 1, w.g);
+                prop_assert_eq!((words[i].gp >> l) & 1 == 1, w.gp);
+            }
+        }
+    }
+
+    /// The word detectors agree with the scalar detectors per lane.
+    #[test]
+    fn word_detectors_lane_agreement((n, k, lanes, seed) in params()) {
+        let scsa = Scsa::new(n, k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = BitSlab::random(n, lanes, &mut rng);
+        let b = BitSlab::random(n, lanes, &mut rng);
+        let words = scsa.window_pg_batch(&a, &b);
+        let err0 = detect::err0_word(&words);
+        let err1 = detect::err1_word(&words);
+        prop_assert_eq!(err0 & !a.lane_mask(), 0, "stray err0 bits");
+        prop_assert_eq!(err1 & !a.lane_mask(), 0, "stray err1 bits");
+        for l in 0..lanes {
+            let pgs = scsa.window_pg(&a.lane(l), &b.lane(l));
+            prop_assert_eq!((err0 >> l) & 1 == 1, detect::err0(&pgs), "lane {}", l);
+            prop_assert_eq!((err1 >> l) & 1 == 1, detect::err1(&pgs), "lane {}", l);
+        }
+    }
+}

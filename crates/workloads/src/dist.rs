@@ -1,5 +1,6 @@
 //! The operand distributions of the paper's evaluation.
 
+use bitnum::batch::BitSlab;
 use bitnum::rng::{RandomBits, Xoshiro256};
 use bitnum::UBig;
 
@@ -88,6 +89,44 @@ impl OperandSource {
         (self.next_operand(), self.next_operand())
     }
 
+    /// Draws the next `lanes` operand pairs as a transposed issue group:
+    /// lane `l` of the returned slabs is the `l`-th pair drawn, in the same
+    /// order [`OperandSource::next_pair`] would produce them, for every
+    /// distribution.
+    ///
+    /// ```
+    /// use workloads::dist::{Distribution, OperandSource};
+    ///
+    /// let mut scalar = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
+    /// let mut batched = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
+    /// let (a, b) = batched.next_batch(8);
+    /// for l in 0..8 {
+    ///     let (sa, sb) = scalar.next_pair();
+    ///     assert_eq!(a.lane(l), sa);
+    ///     assert_eq!(b.lane(l), sb);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds
+    /// [`bitnum::batch::MAX_LANES`].
+    pub fn next_batch(&mut self, lanes: usize) -> (BitSlab, BitSlab) {
+        assert!(
+            lanes >= 1 && lanes <= bitnum::batch::MAX_LANES,
+            "lanes must be in 1..={}, got {lanes}",
+            bitnum::batch::MAX_LANES
+        );
+        let mut a = Vec::with_capacity(lanes);
+        let mut b = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let (x, y) = self.next_pair();
+            a.push(x);
+            b.push(y);
+        }
+        (BitSlab::from_lanes(&a), BitSlab::from_lanes(&b))
+    }
+
     /// Draws a single operand.
     pub fn next_operand(&mut self) -> UBig {
         match self.dist {
@@ -141,6 +180,29 @@ mod tests {
             }
         }
         assert!(pos > 300 && neg > 300, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn next_batch_is_transposed_next_pairs() {
+        for dist in [
+            Distribution::UnsignedUniform,
+            Distribution::TwosComplementUniform,
+            Distribution::UnsignedGaussian { sigma: (1u64 << 20) as f64 },
+            Distribution::paper_gaussian(),
+        ] {
+            let mut scalar = OperandSource::new(dist, 96, 19);
+            let mut batched = OperandSource::new(dist, 96, 19);
+            let (a, b) = batched.next_batch(17);
+            assert_eq!(a.lanes(), 17);
+            assert_eq!(a.width(), 96);
+            for l in 0..17 {
+                let (sa, sb) = scalar.next_pair();
+                assert_eq!(a.lane(l), sa, "{dist:?} lane {l}");
+                assert_eq!(b.lane(l), sb, "{dist:?} lane {l}");
+            }
+            // The streams stay in lock-step afterwards.
+            assert_eq!(scalar.next_pair(), batched.next_pair());
+        }
     }
 
     #[test]
