@@ -138,7 +138,10 @@ impl BatchRipple {
     ///
     /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
     pub fn new(width: usize) -> Self {
-        assert!(width >= 1 && width <= bitnum::MAX_WIDTH, "unsupported width {width}");
+        assert!(
+            (1..=bitnum::MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
         Self { width }
     }
 }
@@ -155,7 +158,7 @@ impl BatchAdd for BatchRipple {
     fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
         check_slabs(self.width, a, b);
         let mut sum = BitSlab::zero(self.width, a.lanes());
-        let cout = ripple_words(a.words(), b.words(), 0, sum.words_mut());
+        let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
         BatchSum { sum, cout }
     }
 
@@ -202,7 +205,10 @@ impl BatchCla {
     ///
     /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
     pub fn new(width: usize) -> Self {
-        assert!(width >= 1 && width <= bitnum::MAX_WIDTH, "unsupported width {width}");
+        assert!(
+            (1..=bitnum::MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
         Self { width }
     }
 }
@@ -241,7 +247,10 @@ impl BatchAdd for BatchCla {
             group_cin = gg | (gp & group_cin);
             debug_assert_eq!(carry, group_cin, "lookahead carry disagrees with chain");
         }
-        BatchSum { sum, cout: group_cin }
+        BatchSum {
+            sum,
+            cout: group_cin,
+        }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -294,8 +303,11 @@ impl BatchCarrySelect {
     /// `block` is not in `1..=64` (blocks are packed into `u64` words on
     /// the scalar path).
     pub fn new(width: usize, block: usize) -> Self {
-        assert!(width >= 1 && width <= bitnum::MAX_WIDTH, "unsupported width {width}");
-        assert!(block >= 1 && block <= 64, "block size must be in 1..=64");
+        assert!(
+            (1..=bitnum::MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
+        assert!((1..=64).contains(&block), "block size must be in 1..=64");
         Self { width, block }
     }
 
@@ -325,8 +337,8 @@ impl BatchAdd for BatchCarrySelect {
             let len = self.block.min(self.width - lo);
             let aw = &a.words()[lo..lo + len];
             let bw = &b.words()[lo..lo + len];
-            let c0 = ripple_words(aw, bw, 0, &mut s0[..len]);
-            let c1 = ripple_words(aw, bw, mask, &mut s1[..len]);
+            let c0 = ripple_words(aw, bw, 0, mask, &mut s0[..len]);
+            let c1 = ripple_words(aw, bw, mask, mask, &mut s1[..len]);
             for j in 0..len {
                 sum.set_word(lo + j, (s0[j] & !cin) | (s1[j] & cin));
             }
@@ -361,6 +373,322 @@ impl BatchAdd for BatchCarrySelect {
     }
 }
 
+/// Bit-sliced carry-skip: each block ripples with its real carry-in, and
+/// the carry **out** of the block goes through the skip mux — `cin` when
+/// the whole block propagates, the block generate otherwise — the
+/// behavioral shape of [`crate::carry_skip`].
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchCarrySkip};
+/// let engine = BatchCarrySkip::new(64, 8);
+/// assert_eq!(engine.block(), 8);
+/// assert_eq!(engine.name(), "carry-skip");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCarrySkip {
+    width: usize,
+    block: usize,
+}
+
+impl BatchCarrySkip {
+    /// Creates a carry-skip engine with uniform `block`-bit blocks (the
+    /// most significant block may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`], or if
+    /// `block` is zero.
+    pub fn new(width: usize, block: usize) -> Self {
+        assert!(
+            (1..=bitnum::MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
+        assert!(block >= 1, "block size must be >= 1");
+        Self { width, block }
+    }
+
+    /// The block size.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+}
+
+impl BatchAdd for BatchCarrySkip {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "carry-skip"
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let mut scratch = vec![0u64; self.block];
+        let mut cin = 0u64;
+        for lo in (0..self.width).step_by(self.block) {
+            let len = self.block.min(self.width - lo);
+            let aw = &a.words()[lo..lo + len];
+            let bw = &b.words()[lo..lo + len];
+            let ripple_out = ripple_words(aw, bw, cin, mask, &mut scratch[..len]);
+            for (j, &w) in scratch[..len].iter().enumerate() {
+                sum.set_word(lo + j, w);
+            }
+            // Block propagate word: every bit of the block propagates.
+            let bp = aw.iter().zip(bw).fold(mask, |p, (&x, &y)| p & (x ^ y));
+            // Skip mux. When a lane's block fully propagates it has no
+            // generate, so ripple_out == cin there and the mux is a
+            // restatement — the structural identity of the skip adder.
+            cin = (bp & cin) | (!bp & ripple_out);
+            debug_assert_eq!(cin, ripple_out, "skip mux disagrees with ripple chain");
+        }
+        BatchSum { sum, cout: cin }
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        check_ones(self.width, a, b);
+        let mut sum = UBig::zero(self.width);
+        let mut cin = false;
+        for lo in (0..self.width).step_by(self.block) {
+            let len = self.block.min(self.width - lo);
+            let mut carry = cin;
+            let mut bp = true;
+            for i in lo..lo + len {
+                let p = a.bit(i) ^ b.bit(i);
+                let g = a.bit(i) && b.bit(i);
+                sum.set_bit(i, p ^ carry);
+                carry = g || (p && carry);
+                bp &= p;
+            }
+            cin = if bp { cin } else { carry };
+        }
+        (sum, cin)
+    }
+}
+
+/// Bit-sliced conditional-sum: recursive doubling over block sizes 1, 2,
+/// 4, … where each level keeps *both* conditional sums (carry-in 0 and 1)
+/// per block and merges adjacent blocks with per-lane select words — the
+/// behavioral shape of [`crate::cond_sum`].
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchCondSum};
+/// use bitnum::UBig;
+/// let engine = BatchCondSum::new(12);
+/// let (sum, cout) = engine.add_one(&UBig::from_u128(4000, 12), &UBig::from_u128(200, 12));
+/// assert_eq!(sum.to_u128(), Some(4200 % 4096));
+/// assert!(cout);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCondSum {
+    width: usize,
+}
+
+impl BatchCondSum {
+    /// Creates a conditional-sum engine of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        assert!(
+            (1..=bitnum::MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
+        Self { width }
+    }
+}
+
+impl BatchAdd for BatchCondSum {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "conditional-sum"
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let w = self.width;
+        // Level 0: per-bit conditional sums and carries for both carry-ins.
+        let mut s0: Vec<u64> = (0..w).map(|i| a.word(i) ^ b.word(i)).collect();
+        let mut s1: Vec<u64> = s0.iter().map(|&p| p ^ mask).collect();
+        let mut c0: Vec<u64> = (0..w).map(|i| a.word(i) & b.word(i)).collect();
+        let mut c1: Vec<u64> = (0..w).map(|i| a.word(i) | b.word(i)).collect();
+        let mut size = 1;
+        while size < w {
+            let blocks = w.div_ceil(2 * size);
+            let mut nc0 = Vec::with_capacity(blocks);
+            let mut nc1 = Vec::with_capacity(blocks);
+            for blk in 0..blocks {
+                let base = blk * 2 * size;
+                let mid = base + size;
+                if mid >= w {
+                    // Lone left half: carries pass through unchanged.
+                    nc0.push(c0[2 * blk]);
+                    nc1.push(c1[2 * blk]);
+                    continue;
+                }
+                let hi = (mid + size).min(w);
+                let (lc0, lc1) = (c0[2 * blk], c1[2 * blk]);
+                // The left half's conditional carry-outs select the right
+                // half's precomputed sums, per lane.
+                for i in mid..hi {
+                    let (r0, r1) = (s0[i], s1[i]);
+                    s0[i] = (r0 & !lc0) | (r1 & lc0);
+                    s1[i] = (r0 & !lc1) | (r1 & lc1);
+                }
+                let (rc0, rc1) = (c0[2 * blk + 1], c1[2 * blk + 1]);
+                nc0.push((rc0 & !lc0) | (rc1 & lc0));
+                nc1.push((rc0 & !lc1) | (rc1 & lc1));
+            }
+            c0 = nc0;
+            c1 = nc1;
+            size *= 2;
+        }
+        // The architectural carry-in is 0: the final selection is leg 0.
+        let mut sum = BitSlab::zero(w, a.lanes());
+        for (i, &word) in s0.iter().enumerate() {
+            sum.set_word(i, word);
+        }
+        BatchSum { sum, cout: c0[0] }
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        check_ones(self.width, a, b);
+        let w = self.width;
+        let mut s0: Vec<bool> = (0..w).map(|i| a.bit(i) ^ b.bit(i)).collect();
+        let mut s1: Vec<bool> = s0.iter().map(|&p| !p).collect();
+        let mut c0: Vec<bool> = (0..w).map(|i| a.bit(i) && b.bit(i)).collect();
+        let mut c1: Vec<bool> = (0..w).map(|i| a.bit(i) || b.bit(i)).collect();
+        let mut size = 1;
+        while size < w {
+            let blocks = w.div_ceil(2 * size);
+            let mut nc0 = Vec::with_capacity(blocks);
+            let mut nc1 = Vec::with_capacity(blocks);
+            for blk in 0..blocks {
+                let base = blk * 2 * size;
+                let mid = base + size;
+                if mid >= w {
+                    nc0.push(c0[2 * blk]);
+                    nc1.push(c1[2 * blk]);
+                    continue;
+                }
+                let hi = (mid + size).min(w);
+                let (lc0, lc1) = (c0[2 * blk], c1[2 * blk]);
+                for i in mid..hi {
+                    let (r0, r1) = (s0[i], s1[i]);
+                    s0[i] = if lc0 { r1 } else { r0 };
+                    s1[i] = if lc1 { r1 } else { r0 };
+                }
+                let (rc0, rc1) = (c0[2 * blk + 1], c1[2 * blk + 1]);
+                nc0.push(if lc0 { rc1 } else { rc0 });
+                nc1.push(if lc1 { rc1 } else { rc0 });
+            }
+            c0 = nc0;
+            c1 = nc1;
+            size *= 2;
+        }
+        let mut sum = UBig::zero(w);
+        for (i, &bit) in s0.iter().enumerate() {
+            sum.set_bit(i, bit);
+        }
+        (sum, c0[0])
+    }
+}
+
+/// Bit-sliced Kogge–Stone parallel prefix: span-doubling `(G, P)` merges
+/// across bit positions, word-parallel across lanes — the behavioral shape
+/// of [`crate::prefix::kogge_stone_adder`].
+///
+/// ```
+/// use adders::batch::{BatchAdd, BatchPrefix};
+/// let engine = BatchPrefix::new(48);
+/// assert_eq!(engine.name(), "kogge-stone");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPrefix {
+    width: usize,
+}
+
+impl BatchPrefix {
+    /// Creates a Kogge–Stone prefix engine of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        assert!(
+            (1..=bitnum::MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
+        Self { width }
+    }
+}
+
+impl BatchAdd for BatchPrefix {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "kogge-stone"
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
+        check_slabs(self.width, a, b);
+        let w = self.width;
+        let p: Vec<u64> = (0..w).map(|i| a.word(i) ^ b.word(i)).collect();
+        // Prefix planes: after the sweep, g[i] is the generate of bits 0..=i.
+        let mut g = (0..w).map(|i| a.word(i) & b.word(i)).collect::<Vec<u64>>();
+        let mut gp = p.clone();
+        let mut span = 1;
+        while span < w {
+            // Descending so g[i - span] still holds the previous level.
+            for i in (span..w).rev() {
+                g[i] |= gp[i] & g[i - span];
+                gp[i] &= gp[i - span];
+            }
+            span *= 2;
+        }
+        let mut sum = BitSlab::zero(w, a.lanes());
+        sum.set_word(0, p[0]);
+        for i in 1..w {
+            sum.set_word(i, p[i] ^ g[i - 1]);
+        }
+        BatchSum {
+            sum,
+            cout: g[w - 1],
+        }
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+        check_ones(self.width, a, b);
+        let w = self.width;
+        let p: Vec<bool> = (0..w).map(|i| a.bit(i) ^ b.bit(i)).collect();
+        let mut g: Vec<bool> = (0..w).map(|i| a.bit(i) && b.bit(i)).collect();
+        let mut gp = p.clone();
+        let mut span = 1;
+        while span < w {
+            for i in (span..w).rev() {
+                g[i] = g[i] || (gp[i] && g[i - span]);
+                gp[i] = gp[i] && gp[i - span];
+            }
+            span *= 2;
+        }
+        let mut sum = UBig::zero(w);
+        sum.set_bit(0, p[0]);
+        for i in 1..w {
+            sum.set_bit(i, p[i] ^ g[i - 1]);
+        }
+        (sum, g[w - 1])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +700,10 @@ mod tests {
             Box::new(BatchCla::new(width)),
             Box::new(BatchCarrySelect::new(width, 8.min(width))),
             Box::new(BatchCarrySelect::new(width, 3.min(width))),
+            Box::new(BatchCarrySkip::new(width, 8.min(width))),
+            Box::new(BatchCarrySkip::new(width, 3.min(width))),
+            Box::new(BatchCondSum::new(width)),
+            Box::new(BatchPrefix::new(width)),
         ]
     }
 

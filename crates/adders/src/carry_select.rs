@@ -26,7 +26,7 @@ pub fn carry_select_adder(width: usize, block: usize) -> Netlist {
     let blocks = width.div_ceil(block);
     let first = width - block * (blocks - 1);
     sizes.push(first);
-    sizes.extend(std::iter::repeat(block).take(blocks - 1));
+    sizes.extend(std::iter::repeat_n(block, blocks - 1));
     build(width, &sizes, format!("carry_select_{width}x{block}"))
 }
 
@@ -67,7 +67,11 @@ pub fn carry_select_sqrt_adder(width: usize) -> Netlist {
 
 /// Shared construction: `sizes` are block widths, LSB block first.
 fn build(width: usize, sizes: &[usize], name: String) -> Netlist {
-    assert_eq!(sizes.iter().sum::<usize>(), width, "block sizes must cover the width");
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        width,
+        "block sizes must cover the width"
+    );
     let mut b = NetlistBuilder::new(name);
     let a = b.input_bus("a", width);
     let bb = b.input_bus("b", width);
@@ -137,7 +141,11 @@ mod tests {
         for width in [16usize, 32, 64, 128] {
             let cs = carry_select_sqrt_adder(width);
             let ks = crate::prefix::kogge_stone_adder(width);
-            assert_eq!(equiv::check(&cs, &ks, 512, 10).unwrap(), None, "width {width}");
+            assert_eq!(
+                equiv::check(&cs, &ks, 512, 10).unwrap(),
+                None,
+                "width {width}"
+            );
         }
         // Much faster than ripple.
         let rca_t = sta::analyze(&crate::ripple::ripple_carry_adder(64)).critical_delay_tau();

@@ -19,8 +19,13 @@ pub fn cla_adder(width: usize) -> Netlist {
     let a = b.input_bus("a", width);
     let bb = b.input_bus("b", width);
     let plane = pg::pg_bits(&mut b, &a, &bb);
-    let groups: Vec<GroupPg> =
-        plane.iter().map(|bit| GroupPg { g: bit.g, p: Some(bit.p) }).collect();
+    let groups: Vec<GroupPg> = plane
+        .iter()
+        .map(|bit| GroupPg {
+            g: bit.g,
+            p: Some(bit.p),
+        })
+        .collect();
     let cin = b.const0();
     let (carries_out, cout) = lookahead(&mut b, &groups, cin);
     let sums = pg::sum_bits(&mut b, &plane, &carries_out, None);
@@ -33,11 +38,7 @@ pub fn cla_adder(width: usize) -> Netlist {
 ///
 /// Returns the carry **out of** every group plus the overall carry-out
 /// (equal to the last element; returned separately for convenience).
-fn lookahead(
-    b: &mut NetlistBuilder,
-    groups: &[GroupPg],
-    cin: Signal,
-) -> (Vec<Signal>, Signal) {
+fn lookahead(b: &mut NetlistBuilder, groups: &[GroupPg], cin: Signal) -> (Vec<Signal>, Signal) {
     if groups.len() <= 4 {
         let outs = expand_block(b, groups, cin);
         let cout = *outs.last().expect("non-empty group list");
@@ -90,7 +91,11 @@ mod tests {
         for width in [1usize, 2, 3, 4, 5, 7, 8] {
             let cla = cla_adder(width);
             let rca = crate::ripple::ripple_carry_adder(width);
-            assert_eq!(equiv::check(&cla, &rca, 0, 0).unwrap(), None, "width {width}");
+            assert_eq!(
+                equiv::check(&cla, &rca, 0, 0).unwrap(),
+                None,
+                "width {width}"
+            );
         }
     }
 
@@ -99,7 +104,11 @@ mod tests {
         for width in [17usize, 32, 64, 100] {
             let cla = cla_adder(width);
             let ks = crate::prefix::kogge_stone_adder(width);
-            assert_eq!(equiv::check(&cla, &ks, 512, 5).unwrap(), None, "width {width}");
+            assert_eq!(
+                equiv::check(&cla, &ks, 512, 5).unwrap(),
+                None,
+                "width {width}"
+            );
         }
     }
 
@@ -109,7 +118,10 @@ mod tests {
         // collapse+expand stages, far below the 4x ripple growth.
         let d64 = cla_adder(64).depth();
         let d256 = cla_adder(256).depth();
-        assert!(d256 <= d64 + 16, "CLA depth must grow slowly: {d64} -> {d256}");
+        assert!(
+            d256 <= d64 + 16,
+            "CLA depth must grow slowly: {d64} -> {d256}"
+        );
         assert!(d256 < 64, "CLA-256 depth {d256} must be far sublinear");
     }
 }

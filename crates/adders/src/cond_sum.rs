@@ -6,8 +6,6 @@
 
 use gatesim::{Netlist, NetlistBuilder, Signal};
 
-
-
 /// A block conditionally summed for both carry-in values.
 #[derive(Debug, Clone)]
 struct CondBlock {
@@ -38,7 +36,12 @@ pub fn conditional_sum_adder(width: usize) -> Netlist {
             let g = b.and2(x, y);
             let np = b.xnor2(x, y);
             let gp = b.or2(x, y);
-            CondBlock { sum0: vec![p], cout0: g, sum1: vec![np], cout1: gp }
+            CondBlock {
+                sum0: vec![p],
+                cout0: g,
+                sum1: vec![np],
+                cout1: gp,
+            }
         })
         .collect();
 
@@ -68,7 +71,12 @@ fn merge(b: &mut NetlistBuilder, lo: CondBlock, hi: CondBlock) -> CondBlock {
     let mut sum1 = lo.sum1.clone();
     sum1.extend(b.mux_bus(&hi.sum0, &hi.sum1, lo.cout1));
     let cout1 = b.mux2(hi.cout0, hi.cout1, lo.cout1);
-    CondBlock { sum0, cout0, sum1, cout1 }
+    CondBlock {
+        sum0,
+        cout0,
+        sum1,
+        cout1,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +89,11 @@ mod tests {
         for width in [1usize, 2, 3, 7, 16, 33, 64] {
             let cond = conditional_sum_adder(width);
             let ks = crate::prefix::kogge_stone_adder(width);
-            assert_eq!(equiv::check(&cond, &ks, 512, 13).unwrap(), None, "width {width}");
+            assert_eq!(
+                equiv::check(&cond, &ks, 512, 13).unwrap(),
+                None,
+                "width {width}"
+            );
         }
     }
 

@@ -27,7 +27,10 @@ pub fn pg_bits(b: &mut NetlistBuilder, a: &[Signal], bb: &[Signal]) -> Vec<PgBit
     assert_eq!(a.len(), bb.len(), "operand width mismatch");
     a.iter()
         .zip(bb)
-        .map(|(&x, &y)| PgBit { p: b.xor2(x, y), g: b.and2(x, y) })
+        .map(|(&x, &y)| PgBit {
+            p: b.xor2(x, y),
+            g: b.and2(x, y),
+        })
         .collect()
 }
 
@@ -110,11 +113,7 @@ pub fn sum_bits(
 
 /// A compact serial (ripple) computation of all carry-outs from a PG plane:
 /// `c_i = g_i | (p_i & c_{i-1})`. O(n) cells, O(n) depth.
-pub fn ripple_carries(
-    b: &mut NetlistBuilder,
-    pg: &[PgBit],
-    cin: Option<Signal>,
-) -> Vec<Signal> {
+pub fn ripple_carries(b: &mut NetlistBuilder, pg: &[PgBit], cin: Option<Signal>) -> Vec<Signal> {
     let mut carries = Vec::with_capacity(pg.len());
     let mut c = cin;
     for bit in pg {
@@ -138,7 +137,10 @@ pub fn group_of_slice(b: &mut NetlistBuilder, pg: &[PgBit]) -> GroupPg {
     fn rec(b: &mut NetlistBuilder, pg: &[PgBit]) -> GroupPg {
         match pg.len() {
             0 => panic!("empty slice has no group PG"),
-            1 => GroupPg { g: pg[0].g, p: Some(pg[0].p) },
+            1 => GroupPg {
+                g: pg[0].g,
+                p: Some(pg[0].p),
+            },
             _ => {
                 let mid = pg.len() / 2;
                 let lo = rec(b, &pg[..mid]);
@@ -178,11 +180,13 @@ mod tests {
             let y = UBig::random(n, &mut rng);
             for cin_v in [false, true] {
                 let c = if cin_v { UBig::ones(1) } else { UBig::zero(1) };
-                let out =
-                    sim::simulate_ubig(&net, &[("a", &x), ("b", &y), ("cin", &c)]).unwrap();
+                let out = sim::simulate_ubig(&net, &[("a", &x), ("b", &y), ("cin", &c)]).unwrap();
                 let (want, want_c) = x.add_with_carry(&y, cin_v);
                 assert_eq!(out["sum"], want);
-                assert_eq!(out["cout"], if want_c { UBig::ones(1) } else { UBig::zero(1) });
+                assert_eq!(
+                    out["cout"],
+                    if want_c { UBig::ones(1) } else { UBig::zero(1) }
+                );
             }
         }
     }

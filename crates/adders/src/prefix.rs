@@ -68,7 +68,11 @@ impl PrefixNetwork {
         levels: Vec<Vec<PrefixOp>>,
         name: &'static str,
     ) -> Result<Self, InvalidPrefixNetwork> {
-        let net = Self { width, levels, name };
+        let net = Self {
+            width,
+            levels,
+            name,
+        };
         net.validate()?;
         Ok(net)
     }
@@ -177,7 +181,10 @@ pub fn kogge_stone(width: usize) -> PrefixNetwork {
     let mut stride = 1;
     while stride < width {
         let level = (stride..width)
-            .map(|pos| PrefixOp { pos, from: pos - stride })
+            .map(|pos| PrefixOp {
+                pos,
+                from: pos - stride,
+            })
             .collect();
         levels.push(level);
         stride *= 2;
@@ -214,7 +221,10 @@ pub fn brent_kung(width: usize) -> PrefixNetwork {
         let mut level = Vec::new();
         let mut pos = 2 * stride - 1;
         while pos < width {
-            level.push(PrefixOp { pos, from: pos - stride });
+            level.push(PrefixOp {
+                pos,
+                from: pos - stride,
+            });
             pos += 2 * stride;
         }
         if !level.is_empty() {
@@ -228,7 +238,10 @@ pub fn brent_kung(width: usize) -> PrefixNetwork {
         let mut level = Vec::new();
         let mut pos = 3 * stride - 1;
         while pos < width {
-            level.push(PrefixOp { pos, from: pos - stride });
+            level.push(PrefixOp {
+                pos,
+                from: pos - stride,
+            });
             pos += 2 * stride;
         }
         if !level.is_empty() {
@@ -259,7 +272,10 @@ pub fn han_carlson(width: usize) -> PrefixNetwork {
         let mut stride = 1;
         while stride < m {
             let level = (stride..m)
-                .map(|i| PrefixOp { pos: 2 * i + 1, from: 2 * (i - stride) + 1 })
+                .map(|i| PrefixOp {
+                    pos: 2 * i + 1,
+                    from: 2 * (i - stride) + 1,
+                })
                 .collect::<Vec<_>>();
             levels.push(level);
             stride *= 2;
@@ -296,7 +312,10 @@ pub fn ladner_fischer(width: usize) -> PrefixNetwork {
             while block + span < m {
                 let from = 2 * (block + span - 1) + 1;
                 for i in (block + span..block + 2 * span).take_while(|&i| i < m) {
-                    level.push(PrefixOp { pos: 2 * i + 1, from });
+                    level.push(PrefixOp {
+                        pos: 2 * i + 1,
+                        from,
+                    });
                 }
                 block += 2 * span;
             }
@@ -333,8 +352,13 @@ pub fn realize_groups(
     keep_all_p: bool,
 ) -> Vec<GroupPg> {
     assert_eq!(pg.len(), network.width(), "pg plane width mismatch");
-    let mut groups: Vec<GroupPg> =
-        pg.iter().map(|bit| GroupPg { g: bit.g, p: Some(bit.p) }).collect();
+    let mut groups: Vec<GroupPg> = pg
+        .iter()
+        .map(|bit| GroupPg {
+            g: bit.g,
+            p: Some(bit.p),
+        })
+        .collect();
     let mut lo: Vec<usize> = (0..pg.len()).collect();
     for level in network.levels() {
         let snapshot = groups.clone();
@@ -457,11 +481,7 @@ mod tests {
     #[test]
     fn invalid_networks_rejected() {
         // Non-adjacent combine.
-        let bad = PrefixNetwork::new(
-            4,
-            vec![vec![PrefixOp { pos: 3, from: 1 }]],
-            "bad",
-        );
+        let bad = PrefixNetwork::new(4, vec![vec![PrefixOp { pos: 3, from: 1 }]], "bad");
         assert!(bad.is_err());
         // Incomplete coverage.
         let incomplete = PrefixNetwork::new(4, vec![], "bad");

@@ -2,7 +2,9 @@
 //! agrees lane-for-lane with its scalar path and with exact addition, at
 //! arbitrary widths, lane counts and block sizes.
 
-use adders::batch::{BatchAdd, BatchCarrySelect, BatchCla, BatchRipple};
+use adders::batch::{
+    BatchAdd, BatchCarrySelect, BatchCarrySkip, BatchCla, BatchCondSum, BatchPrefix, BatchRipple,
+};
 use bitnum::batch::BitSlab;
 use bitnum::rng::Xoshiro256;
 use proptest::prelude::*;
@@ -12,6 +14,9 @@ fn engines(width: usize, block: usize) -> Vec<Box<dyn BatchAdd>> {
         Box::new(BatchRipple::new(width)),
         Box::new(BatchCla::new(width)),
         Box::new(BatchCarrySelect::new(width, block)),
+        Box::new(BatchCarrySkip::new(width, block)),
+        Box::new(BatchCondSum::new(width)),
+        Box::new(BatchPrefix::new(width)),
     ]
 }
 

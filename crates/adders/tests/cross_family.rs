@@ -62,9 +62,22 @@ fn textbook_delay_and_area_ordering() {
     // Ripple is the slowest and smallest of the classic designs.
     let t_ripple = delay(Family::Ripple);
     let a_ripple = size(Family::Ripple);
-    for f in [Family::KoggeStone, Family::Sklansky, Family::BrentKung, Family::CondSum] {
-        assert!(delay(f) < t_ripple / 2.0, "{} should be much faster than ripple", f.name());
-        assert!(size(f) > a_ripple, "{} should be bigger than ripple", f.name());
+    for f in [
+        Family::KoggeStone,
+        Family::Sklansky,
+        Family::BrentKung,
+        Family::CondSum,
+    ] {
+        assert!(
+            delay(f) < t_ripple / 2.0,
+            "{} should be much faster than ripple",
+            f.name()
+        );
+        assert!(
+            size(f) > a_ripple,
+            "{} should be bigger than ripple",
+            f.name()
+        );
     }
     // Brent–Kung trades depth for area against Kogge–Stone.
     assert!(size(Family::BrentKung) < size(Family::KoggeStone));

@@ -1,7 +1,9 @@
-//! Scalar vs bit-sliced throughput for every batch engine, with a
+//! Scalar vs bit-sliced throughput for every registered engine, with a
 //! machine-readable result file.
 //!
-//! Two passes share one workload setup:
+//! Both passes are driven entirely by `vlcsa::engine::Registry` — there is
+//! no per-family dispatch here; adding an engine to the registry adds it
+//! to the bench and to `BENCH_batch.json` automatically:
 //!
 //! 1. a criterion group (`batch_vs_scalar/...`) printing per-benchmark
 //!    wall-clock and elements/s rates, and
@@ -17,13 +19,14 @@
 //! a throwaway run. Free arguments filter the criterion pass by substring,
 //! as in the other bench targets.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use adders::batch::{BatchAdd, BatchCarrySelect, BatchCla, BatchRipple};
+use vlcsa_bench::timing::ns_per_call;
+
 use bitnum::batch::BitSlab;
 use bitnum::UBig;
 use criterion::{Criterion, Throughput};
-use vlcsa::{Vlcsa1, Vlcsa2};
+use vlcsa::engine::{Engine, Registry};
 use workloads::dist::{Distribution, OperandSource};
 
 const LANES: usize = 64;
@@ -63,30 +66,11 @@ impl Entry {
     }
 }
 
-/// Best-of-3 nanoseconds per call of `f`, self-calibrating the batch count
-/// from a warm-up quarter of `target`.
-fn ns_per_call<F: FnMut() -> u64>(mut f: F, target: Duration) -> f64 {
-    let mut sink = 0u64;
-    let warm_until = Instant::now() + target / 4;
-    let mut calls = 0u64;
-    while Instant::now() < warm_until {
-        sink = sink.wrapping_add(f());
-        calls += 1;
-    }
-    let calls_per_sample = calls.max(1);
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let t = Instant::now();
-        for _ in 0..calls_per_sample {
-            sink = sink.wrapping_add(f());
-        }
-        best = best.min(t.elapsed().as_nanos() as f64 / calls_per_sample as f64);
-    }
-    std::hint::black_box(sink);
-    best
-}
-
-fn operand_group(dist: Distribution, width: usize, seed: u64) -> (Vec<(UBig, UBig)>, BitSlab, BitSlab) {
+fn operand_group(
+    dist: Distribution,
+    width: usize,
+    seed: u64,
+) -> (Vec<(UBig, UBig)>, BitSlab, BitSlab) {
     let mut src = OperandSource::new(dist, width, seed);
     let pairs: Vec<(UBig, UBig)> = (0..LANES).map(|_| src.next_pair()).collect();
     let mut src = OperandSource::new(dist, width, seed);
@@ -94,26 +78,31 @@ fn operand_group(dist: Distribution, width: usize, seed: u64) -> (Vec<(UBig, UBi
     (pairs, a, b)
 }
 
-fn family_engines(width: usize) -> Vec<Box<dyn BatchAdd>> {
-    vec![
-        Box::new(BatchRipple::new(width)),
-        Box::new(BatchCla::new(width)),
-        Box::new(BatchCarrySelect::new(width, (width as f64).sqrt().ceil() as usize)),
-    ]
-}
-
-/// Times one scalar/batch pair of closures, each processing `LANES`
-/// additions per call, and returns the per-operation numbers.
-fn record<S, B>(engine: &'static str, width: usize, dist: Distribution, target: Duration, mut scalar: S, mut batch: B) -> Entry
-where
-    S: FnMut() -> u64,
-    B: FnMut() -> u64,
-{
-    let scalar_ns = ns_per_call(&mut scalar, target) / LANES as f64;
-    let batch_ns = ns_per_call(&mut batch, target) / LANES as f64;
+/// Times one engine's scalar/batch pair on one operand group. Both sides
+/// count cycles (the variable-latency engines' latency model showing
+/// through; constant 1 per lane for the fixed-latency families).
+fn record(
+    engine: &dyn Engine,
+    dist: Distribution,
+    target: Duration,
+    pairs: &[(UBig, UBig)],
+    a: &BitSlab,
+    b: &BitSlab,
+) -> Entry {
+    let scalar_ns = ns_per_call(
+        || {
+            let mut cycles = 0u64;
+            for (x, y) in pairs {
+                cycles += engine.add_one(x, y).cycles as u64;
+            }
+            cycles
+        },
+        target,
+    ) / LANES as f64;
+    let batch_ns = ns_per_call(|| engine.add_batch(a, b).total_cycles(), target) / LANES as f64;
     Entry {
-        engine,
-        width,
+        engine: engine.name(),
+        width: engine.width(),
         distribution: dist.name(),
         scalar_ns_per_op: scalar_ns,
         batch_ns_per_op: batch_ns,
@@ -122,60 +111,26 @@ where
 
 fn record_all(target: Duration) -> Vec<Entry> {
     let mut entries = Vec::new();
-    // Baseline adder families: uniform operands at two widths.
+    // Every registered engine on uniform operands at two widths …
     for width in [64usize, 256] {
         let (pairs, a, b) = operand_group(Distribution::UnsignedUniform, width, 1);
-        for engine in family_engines(width) {
-            let name = engine.name();
+        for engine in Registry::for_width(width).engines() {
             entries.push(record(
-                name,
-                width,
+                engine.as_ref(),
                 Distribution::UnsignedUniform,
                 target,
-                || {
-                    let mut acc = 0u64;
-                    for (x, y) in &pairs {
-                        acc = acc.wrapping_add(engine.add_one(x, y).1 as u64);
-                    }
-                    acc
-                },
-                || engine.add_batch(&a, &b).cout,
+                &pairs,
+                &a,
+                &b,
             ));
         }
     }
-    // Variable-latency engines: uniform and the paper's Gaussian.
-    for dist in [Distribution::UnsignedUniform, Distribution::paper_gaussian()] {
-        let (pairs, a, b) = operand_group(dist, 64, 2);
-        let v1 = Vlcsa1::new(64, 14);
-        entries.push(record(
-            "vlcsa1",
-            64,
-            dist,
-            target,
-            || {
-                let mut cycles = 0u64;
-                for (x, y) in &pairs {
-                    cycles += v1.add(x, y).cycles as u64;
-                }
-                cycles
-            },
-            || v1.add_batch(&a, &b).total_cycles(),
-        ));
-        let v2 = Vlcsa2::new(64, 13);
-        entries.push(record(
-            "vlcsa2",
-            64,
-            dist,
-            target,
-            || {
-                let mut cycles = 0u64;
-                for (x, y) in &pairs {
-                    cycles += v2.add(x, y).cycles as u64;
-                }
-                cycles
-            },
-            || v2.add_batch(&a, &b).total_cycles(),
-        ));
+    // … and on the paper's Gaussian at 64 bits, where the speculative
+    // engines' stall rates (Table 7.1) show through the throughput.
+    let dist = Distribution::paper_gaussian();
+    let (pairs, a, b) = operand_group(dist, 64, 2);
+    for engine in Registry::for_width(64).engines() {
+        entries.push(record(engine.as_ref(), dist, target, &pairs, &a, &b));
     }
     entries
 }
@@ -183,49 +138,28 @@ fn record_all(target: Duration) -> Vec<Entry> {
 fn criterion_pass(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch_vs_scalar");
     g.throughput(Throughput::Elements(LANES as u64));
-    let (pairs, a, b) = operand_group(Distribution::UnsignedUniform, 64, 1);
-    for engine in family_engines(64) {
-        let name = engine.name();
-        g.bench_function(format!("{name}_64/scalar"), |bch| {
-            bch.iter(|| {
-                let mut acc = 0u64;
-                for (x, y) in &pairs {
-                    acc = acc.wrapping_add(engine.add_one(x, y).1 as u64);
-                }
-                acc
-            })
-        });
-        g.bench_function(format!("{name}_64/batch"), |bch| {
-            bch.iter(|| engine.add_batch(&a, &b).cout)
-        });
+    let registry = Registry::for_width(64);
+    for (dist, tag, seed) in [
+        (Distribution::UnsignedUniform, "", 1u64),
+        (Distribution::paper_gaussian(), "_gaussian", 2),
+    ] {
+        let (pairs, a, b) = operand_group(dist, 64, seed);
+        for engine in registry.engines() {
+            let name = engine.name();
+            g.bench_function(format!("{name}_64{tag}/scalar"), |bch| {
+                bch.iter(|| {
+                    let mut cycles = 0u64;
+                    for (x, y) in &pairs {
+                        cycles += engine.add_one(x, y).cycles as u64;
+                    }
+                    cycles
+                })
+            });
+            g.bench_function(format!("{name}_64{tag}/batch"), |bch| {
+                bch.iter(|| engine.add_batch(&a, &b).total_cycles())
+            });
+        }
     }
-    let v1 = Vlcsa1::new(64, 14);
-    g.bench_function("vlcsa1_64/scalar", |bch| {
-        bch.iter(|| {
-            let mut cycles = 0u64;
-            for (x, y) in &pairs {
-                cycles += v1.add(x, y).cycles as u64;
-            }
-            cycles
-        })
-    });
-    g.bench_function("vlcsa1_64/batch", |bch| {
-        bch.iter(|| v1.add_batch(&a, &b).total_cycles())
-    });
-    let (gpairs, ga, gb) = operand_group(Distribution::paper_gaussian(), 64, 2);
-    let v2 = Vlcsa2::new(64, 13);
-    g.bench_function("vlcsa2_64_gaussian/scalar", |bch| {
-        bch.iter(|| {
-            let mut cycles = 0u64;
-            for (x, y) in &gpairs {
-                cycles += v2.add(x, y).cycles as u64;
-            }
-            cycles
-        })
-    });
-    g.bench_function("vlcsa2_64_gaussian/batch", |bch| {
-        bch.iter(|| v2.add_batch(&ga, &gb).total_cycles())
-    });
     g.finish();
 }
 
@@ -261,13 +195,25 @@ fn main() {
     .configure_from_args();
     criterion_pass(&mut c);
 
-    let target = if smoke { Duration::from_millis(4) } else { Duration::from_millis(400) };
+    let target = if smoke {
+        Duration::from_millis(4)
+    } else {
+        Duration::from_millis(400)
+    };
     let entries = record_all(target);
-    println!("\n{:<14} {:>5} {:>22} {:>14} {:>13} {:>9}", "engine", "width", "distribution", "scalar ns/op", "batch ns/op", "speedup");
+    println!(
+        "\n{:<16} {:>5} {:>22} {:>14} {:>13} {:>9}",
+        "engine", "width", "distribution", "scalar ns/op", "batch ns/op", "speedup"
+    );
     for e in &entries {
         println!(
-            "{:<14} {:>5} {:>22} {:>14.1} {:>13.2} {:>8.1}x",
-            e.engine, e.width, e.distribution, e.scalar_ns_per_op, e.batch_ns_per_op, e.speedup()
+            "{:<16} {:>5} {:>22} {:>14.1} {:>13.2} {:>8.1}x",
+            e.engine,
+            e.width,
+            e.distribution,
+            e.scalar_ns_per_op,
+            e.batch_ns_per_op,
+            e.speedup()
         );
     }
     if smoke {

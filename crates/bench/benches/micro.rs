@@ -11,7 +11,9 @@ use workloads::dist::{Distribution, OperandSource};
 
 fn operand_batch(n: usize, count: usize, seed: u64) -> Vec<(UBig, UBig)> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
-    (0..count).map(|_| (UBig::random(n, &mut rng), UBig::random(n, &mut rng))).collect()
+    (0..count)
+        .map(|_| (UBig::random(n, &mut rng), UBig::random(n, &mut rng)))
+        .collect()
 }
 
 fn bench_behavioral(c: &mut Criterion) {
@@ -80,15 +82,21 @@ fn bench_substrate(c: &mut Criterion) {
     let ks = adders::prefix::kogge_stone_adder(64);
 
     let mut rng = Xoshiro256::seed_from_u64(7);
-    let stim_a: Vec<u64> = (0..64).map(|_| bitnum::rng::RandomBits::next_u64(&mut rng)).collect();
-    let stim_b: Vec<u64> = (0..64).map(|_| bitnum::rng::RandomBits::next_u64(&mut rng)).collect();
+    let stim_a: Vec<u64> = (0..64)
+        .map(|_| bitnum::rng::RandomBits::next_u64(&mut rng))
+        .collect();
+    let stim_b: Vec<u64> = (0..64)
+        .map(|_| bitnum::rng::RandomBits::next_u64(&mut rng))
+        .collect();
     g.throughput(Throughput::Elements(64));
     g.bench_function("netlist_sim_ks64_64vectors", |b| {
         b.iter(|| sim::simulate(&ks, &[("a", &stim_a), ("b", &stim_b)]).unwrap())
     });
 
     g.throughput(Throughput::Elements(1));
-    g.bench_function("sta_ks64", |b| b.iter(|| sta::analyze(&ks).critical_delay_tau()));
+    g.bench_function("sta_ks64", |b| {
+        b.iter(|| sta::analyze(&ks).critical_delay_tau())
+    });
 
     g.bench_function("generate_vlcsa1_64", |b| {
         b.iter(|| vlcsa::netlist::vlcsa1_netlist(64, 14).cell_count())

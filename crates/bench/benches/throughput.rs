@@ -1,0 +1,195 @@
+//! Multi-thread scaling of the sharded executor, per registered engine,
+//! with a machine-readable result file.
+//!
+//! For every engine in `vlcsa::engine::Registry` (no per-family dispatch),
+//! a fixed `WideSlab` workload is run through `vlcsa::exec::Executor` at
+//! 1, 2, 4 and 8 threads, and two speedups over the 1-thread run are
+//! recorded per point:
+//!
+//! * **wall** — measured wall-clock of the sharded run. This is the
+//!   contract number on hosts with at least as many CPUs as threads; on
+//!   smaller hosts the OS serializes the shards and the curve is flat by
+//!   construction.
+//! * **critical path** — each shard's chunk range (the exact production
+//!   partition, `Executor::shard_ranges`) is timed *serially*, and the
+//!   speedup is the shards' summed time over their maximum. Numerator and
+//!   denominator come from the same per-shard methodology, so cache
+//!   effects cancel (timing a 1/N-size shard in isolation keeps its slice
+//!   cache-resident; dividing a full-serial pass by such a shard time
+//!   would overstate scaling) and the ratio is structurally ≤ the thread
+//!   count. It measures what the executor controls — shard balance and
+//!   span — independent of how many CPUs the recording host has; an
+//!   unloaded N-core host with the workload partitioned this way is
+//!   bounded by the same slowest shard.
+//!
+//! The full run writes `BENCH_throughput.json` (schema
+//! `vlcsa-bench/throughput/v1`, documented in EXPERIMENTS.md) with the
+//! recording host's CPU count, so readers can judge which speedup is the
+//! measured one. `-- --smoke` (the CI mode) shrinks the workload and every
+//! budget to milliseconds and skips the JSON write.
+
+use std::time::Duration;
+
+use vlcsa_bench::timing::ns_per_call;
+
+use bitnum::batch::WideSlab;
+use vlcsa::engine::{Engine, Registry};
+use vlcsa::exec::Executor;
+use workloads::dist::{Distribution, OperandSource};
+
+const WIDTH: usize = 64;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One `(engine, threads)` point of the scaling curve.
+struct Point {
+    engine: &'static str,
+    threads: usize,
+    wall_ns_per_op: f64,
+    wall_speedup: f64,
+    critical_path_speedup: f64,
+}
+
+impl Point {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"threads\": {}, ",
+                "\"wall_ns_per_op\": {:.3}, \"wall_speedup\": {:.2}, ",
+                "\"critical_path_speedup\": {:.2}}}"
+            ),
+            self.engine,
+            self.threads,
+            self.wall_ns_per_op,
+            self.wall_speedup,
+            self.critical_path_speedup,
+        )
+    }
+}
+
+/// Serial per-shard times for the exact chunk partition `Executor::run`
+/// uses at this thread count; the critical-path speedup is their sum over
+/// their maximum.
+fn shard_times(
+    engine: &dyn Engine,
+    a: &WideSlab,
+    b: &WideSlab,
+    threads: usize,
+    target: Duration,
+) -> Vec<f64> {
+    Executor::new(threads)
+        .shard_ranges(a.chunks().len())
+        .into_iter()
+        .map(|range| {
+            ns_per_call(
+                || {
+                    let mut acc = 0u64;
+                    for i in range.clone() {
+                        acc = acc.wrapping_add(
+                            engine
+                                .add_batch(&a.chunks()[i], &b.chunks()[i])
+                                .total_cycles(),
+                        );
+                    }
+                    acc
+                },
+                target,
+            )
+        })
+        .collect()
+}
+
+fn scaling_curve(engine: &dyn Engine, a: &WideSlab, b: &WideSlab, target: Duration) -> Vec<Point> {
+    let lanes = a.lanes() as f64;
+    let wall_1 = ns_per_call(|| Executor::new(1).run(engine, a, b).total_cycles(), target);
+    THREADS
+        .iter()
+        .map(|&threads| {
+            let wall = if threads == 1 {
+                wall_1
+            } else {
+                ns_per_call(
+                    || Executor::new(threads).run(engine, a, b).total_cycles(),
+                    target,
+                )
+            };
+            let shards = shard_times(engine, a, b, threads, target);
+            let work: f64 = shards.iter().sum();
+            let span = shards.into_iter().fold(f64::MIN, f64::max);
+            Point {
+                engine: engine.name(),
+                threads,
+                wall_ns_per_op: wall / lanes,
+                wall_speedup: wall_1 / wall,
+                critical_path_speedup: work / span,
+            }
+        })
+        .collect()
+}
+
+fn write_json(
+    points: &[Point],
+    lanes: usize,
+    host_cpus: usize,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/throughput/v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench throughput\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"width\": {WIDTH},\n"));
+    out.push_str(&format!("  \"lanes\": {lanes},\n"));
+    out.push_str("  \"units\": {\"wall_ns_per_op\": \"ns\", \"wall_speedup\": \"ratio vs 1 thread (wall clock)\", \"critical_path_speedup\": \"ratio vs 1 thread (serial work / slowest shard)\"},\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&p.to_json());
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // 2^20 lanes = 16384 chunks: divisible by every thread count in the
+    // curve, and several milliseconds of work per run so thread-spawn
+    // overhead (~tens of µs) stays in the noise of the wall numbers.
+    let lanes = if smoke { 512 } else { 1 << 20 };
+    let target = if smoke {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(250)
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut src = OperandSource::new(Distribution::UnsignedUniform, WIDTH, 1);
+    let (a, b) = src.next_wide(lanes);
+
+    let registry = Registry::for_width(WIDTH);
+    let mut points = Vec::new();
+    println!(
+        "{:<16} {:>7} {:>14} {:>13} {:>15}",
+        "engine", "threads", "wall ns/op", "wall speedup", "critpath speedup"
+    );
+    for engine in registry.engines() {
+        for p in scaling_curve(engine.as_ref(), &a, &b, target) {
+            println!(
+                "{:<16} {:>7} {:>14.3} {:>12.2}x {:>14.2}x",
+                p.engine, p.threads, p.wall_ns_per_op, p.wall_speedup, p.critical_path_speedup
+            );
+            points.push(p);
+        }
+    }
+
+    if smoke {
+        println!(
+            "\n--smoke: skipping BENCH_throughput.json write (budgets too small to be meaningful)"
+        );
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json");
+    match write_json(&points, lanes, host_cpus, &path) {
+        Ok(()) => println!("\nwrote {} (host_cpus = {host_cpus})", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}

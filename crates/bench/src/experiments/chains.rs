@@ -25,7 +25,11 @@ fn histogram(dist: Distribution, width: usize, samples: usize, seed: u64) -> Cha
 fn histogram_table(id: &str, title: &str, dist: Distribution, config: &Config) -> Table {
     let width = 32;
     let hist = histogram(dist, width, config.mc_samples, 0x6001);
-    let mut t = Table::new(id, title, &["chain length", "% of chains", "% of adds with chain >= len"]);
+    let mut t = Table::new(
+        id,
+        title,
+        &["chain length", "% of chains", "% of adds with chain >= len"],
+    );
     for (len, share) in hist.rows() {
         t.row(vec![
             len.to_string(),
@@ -82,8 +86,10 @@ pub fn fig6_5(config: &Config) -> Table {
         Distribution::TwosComplementGaussian { sigma: SIGMA_32 },
         config,
     );
-    t.note("bimodal: a nontrivial share of chains is as long as the adder \
-            (small positive + small negative additions)");
+    t.note(
+        "bimodal: a nontrivial share of chains is as long as the adder \
+            (small positive + small negative additions)",
+    );
     t
 }
 
@@ -120,7 +126,9 @@ pub fn fig6_2(config: &Config) -> Table {
             100.0 * hist.additions_with_chain_at_least(20)
         ));
     }
-    t.note("traces regenerated from our own RSA/DH/EC implementations \
-            (word-level datapath + control-plane additions); see DESIGN.md §5");
+    t.note(
+        "traces regenerated from our own RSA/DH/EC implementations \
+            (word-level datapath + control-plane additions); see DESIGN.md §5",
+    );
     t
 }

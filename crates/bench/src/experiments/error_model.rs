@@ -22,12 +22,16 @@ pub fn fig3_5(_config: &Config) -> Table {
         for n in WIDTHS {
             // The union bound exceeds 1 at tiny windows; the paper's plot
             // saturates at 1 as a probability must.
-            row.push(pct(model::paper_error_rate(n, k, OverflowMode::CarryOut).min(1.0)));
+            row.push(pct(
+                model::paper_error_rate(n, k, OverflowMode::CarryOut).min(1.0)
+            ));
         }
         t.row(row);
     }
-    t.note("eq. 3.13 as printed (⌈n/k⌉−1 terms), clamped to 1; reference point \
-            n=256, k=16 ≈ 0.01%");
+    t.note(
+        "eq. 3.13 as printed (⌈n/k⌉−1 terms), clamped to 1; reference point \
+            n=256, k=16 ≈ 0.01%",
+    );
     t
 }
 
@@ -36,7 +40,14 @@ pub fn fig7_1(config: &Config) -> Table {
     let mut t = Table::new(
         "fig7.1",
         "Analytical error model vs simulation (unsigned uniform inputs)",
-        &["n", "k", "eq. 3.13", "exact model", "Monte Carlo", "MC/exact"],
+        &[
+            "n",
+            "k",
+            "eq. 3.13",
+            "exact model",
+            "Monte Carlo",
+            "MC/exact",
+        ],
     );
     let mut rng = Xoshiro256::seed_from_u64(0x0701);
     for n in WIDTHS {
@@ -62,10 +73,15 @@ pub fn fig7_1(config: &Config) -> Table {
             ]);
         }
     }
-    t.note(format!("{} Monte Carlo trials per point (paper: 10^7)", config.mc_samples));
-    t.note("the implemented adder's carry-out is never independently wrong, so MC \
+    t.note(format!(
+        "{} Monte Carlo trials per point (paper: 10^7)",
+        config.mc_samples
+    ));
+    t.note(
+        "the implemented adder's carry-out is never independently wrong, so MC \
             tracks the exact (truncated) model; eq. 3.13 as printed counts one extra \
-            vacuous term (see DESIGN.md §6)");
+            vacuous term (see DESIGN.md §6)",
+    );
     t
 }
 
@@ -74,7 +90,13 @@ pub fn tab7_3(_config: &Config) -> Table {
     let mut t = Table::new(
         "tab7.3",
         "Parameters of SCSA and the speculative adder in [17] for 0.01%",
-        &["n", "window size k (SCSA)", "paper k", "chain length l (VLSA)", "paper l"],
+        &[
+            "n",
+            "window size k (SCSA)",
+            "paper k",
+            "chain length l (VLSA)",
+            "paper l",
+        ],
     );
     let paper_k = [14usize, 15, 16, 17];
     let paper_l = [17usize, 18, 20, 21];
@@ -89,9 +111,11 @@ pub fn tab7_3(_config: &Config) -> Table {
             paper_l[i].to_string(),
         ]);
     }
-    t.note("k from eq. 3.13 (truncated-sum accounting, rounds-to-2dp semantics); \
+    t.note(
+        "k from eq. 3.13 (truncated-sum accounting, rounds-to-2dp semantics); \
             l from the exact VLSA chain model, same semantics; the paper's l values \
-            mix model and simulation (±1 tolerated, see EXPERIMENTS.md)");
+            mix model and simulation (±1 tolerated, see EXPERIMENTS.md)",
+    );
     t
 }
 
@@ -115,8 +139,10 @@ pub fn tab7_4(_config: &Config) -> Table {
             paper_25[i].to_string(),
         ]);
     }
-    t.note("solver: smallest k whose eq. 3.13 rate rounds to <= target at two \
-            decimals in percent");
+    t.note(
+        "solver: smallest k whose eq. 3.13 rate rounds to <= target at two \
+            decimals in percent",
+    );
     // Also show the exact-model alternative for transparency.
     for &n in &WIDTHS {
         let exact01 = model::window_size_for(

@@ -6,7 +6,7 @@ use bitnum::rng::Xoshiro256;
 use bitnum::UBig;
 use gatesim::{opt, sta, verilog};
 use vlcsa::magnitude::MagnitudeStats;
-use vlcsa::{detect, model, LatencyStats, OverflowMode, Scsa, Vlcsa1, Vlcsa2};
+use vlcsa::{detect, model, Engine, LatencyStats, OverflowMode, Scsa, Vlcsa1, Vlcsa2};
 use vlsa::Vlsa;
 use workloads::dist::{Distribution, OperandSource};
 
@@ -19,7 +19,13 @@ pub fn magnitude(config: &Config) -> Table {
     let mut t = Table::new(
         "ext.magnitude",
         "Relative error magnitude of wrong speculations (non-overflowing adds)",
-        &["design", "params", "errors", "mean magnitude", "max magnitude"],
+        &[
+            "design",
+            "params",
+            "errors",
+            "mean magnitude",
+            "max magnitude",
+        ],
     );
     let mut rng = Xoshiro256::seed_from_u64(0xE001);
     let scsa = Scsa::new(n, 8);
@@ -56,9 +62,11 @@ pub fn magnitude(config: &Config) -> Table {
         format!("{:.4}", vlsa_stats.mean()),
         format!("{:.4}", vlsa_stats.max()),
     ]);
-    t.note("a wrong SCSA speculation misses one carry at a window boundary \
+    t.note(
+        "a wrong SCSA speculation misses one carry at a window boundary \
             contained in the exact result, so its relative magnitude is small; \
-            per-bit speculation can corrupt isolated high-significance bits");
+            per-bit speculation can corrupt isolated high-significance bits",
+    );
     t
 }
 
@@ -70,7 +78,14 @@ pub fn latency(config: &Config) -> Table {
     let mut t = Table::new(
         "ext.latency",
         "Average addition latency (64-bit): VLCSA 1 vs VLCSA 2 vs DesignWare",
-        &["distribution", "VLCSA1 stall", "VLCSA1 ns/add", "VLCSA2 stall", "VLCSA2 ns/add", "DW ns/add"],
+        &[
+            "distribution",
+            "VLCSA1 stall",
+            "VLCSA1 ns/add",
+            "VLCSA2 stall",
+            "VLCSA2 ns/add",
+            "DW ns/add",
+        ],
     );
     // Clock periods from the synthesized netlists: the max over the
     // speculative result(s) and detection stages (Secs. 5.3/6.7).
@@ -84,7 +99,10 @@ pub fn latency(config: &Config) -> Table {
             / 1000.0
     };
     let tune = |net: &gatesim::Netlist| opt::best_buffered(net, &[4, 8, 16]);
-    let clk1 = t_clk(&tune(&vlcsa::netlist::vlcsa1_netlist(n, k1)), &["sum", "err"]);
+    let clk1 = t_clk(
+        &tune(&vlcsa::netlist::vlcsa1_netlist(n, k1)),
+        &["sum", "err"],
+    );
     let clk2 = t_clk(
         &tune(&vlcsa::netlist::vlcsa2_netlist(n, k2)),
         &["spec0", "spec1", "err", "err1"],
@@ -92,34 +110,43 @@ pub fn latency(config: &Config) -> Table {
     let dw = adders::designware::best(n);
     let dw_ns = dw.delay_tau * gatesim::PS_PER_TAU / 1000.0;
 
-    let adder1 = Vlcsa1::new(n, k1);
-    let adder2 = Vlcsa2::new(n, k2);
+    // Both speculative adders behind the unified Engine trait: one driver
+    // loop, per-engine clock periods zipped alongside.
+    let engines: Vec<(Box<dyn Engine>, f64)> = vec![
+        (Box::new(Vlcsa1::new(n, k1)), clk1),
+        (Box::new(Vlcsa2::new(n, k2)), clk2),
+    ];
     for dist in [
         Distribution::UnsignedUniform,
         Distribution::TwosComplementUniform,
-        Distribution::UnsignedGaussian { sigma: (1u64 << 32) as f64 },
+        Distribution::UnsignedGaussian {
+            sigma: (1u64 << 32) as f64,
+        },
         Distribution::paper_gaussian(),
     ] {
         let mut src = OperandSource::new(dist, n, 0xE002);
-        let mut s1 = LatencyStats::new();
-        let mut s2 = LatencyStats::new();
+        let mut stats: Vec<LatencyStats> = vec![LatencyStats::new(); engines.len()];
         for _ in 0..config.mc_samples.min(300_000) {
             let (a, b) = src.next_pair();
-            s1.record(&adder1.add(&a, &b));
-            s2.record(&adder2.add(&a, &b));
+            for ((engine, _), stat) in engines.iter().zip(&mut stats) {
+                stat.record(&engine.add_one(&a, &b));
+            }
         }
-        t.row(vec![
-            dist.name(),
-            pct(s1.stall_rate()),
-            format!("{:.3}", s1.avg_time(clk1)),
-            pct(s2.stall_rate()),
-            format!("{:.3}", s2.avg_time(clk2)),
-            format!("{dw_ns:.3}"),
-        ]);
+        let mut row = vec![dist.name()];
+        for ((_, clk), stat) in engines.iter().zip(&stats) {
+            row.push(pct(stat.stall_rate()));
+            row.push(format!("{:.3}", stat.avg_time(*clk)));
+        }
+        row.push(format!("{dw_ns:.3}"));
+        t.row(row);
     }
-    t.note(format!("T_clk(VLCSA1, k={k1}) = {clk1:.3} ns; T_clk(VLCSA2, k={k2}) = {clk2:.3} ns"));
-    t.note("T_ave = T_clk (1 + P_err), eq. 5.2; VLCSA 1 loses its advantage on \
-            2's-complement Gaussian inputs, VLCSA 2 restores it");
+    t.note(format!(
+        "T_clk(VLCSA1, k={k1}) = {clk1:.3} ns; T_clk(VLCSA2, k={k2}) = {clk2:.3} ns"
+    ));
+    t.note(
+        "T_ave = T_clk (1 + P_err), eq. 5.2; VLCSA 1 loses its advantage on \
+            2's-complement Gaussian inputs, VLCSA 2 restores it",
+    );
     t
 }
 
@@ -129,7 +156,13 @@ pub fn detect_ablation(config: &Config) -> Table {
     let mut t = Table::new(
         "ext.detect",
         "Detection overestimate: ERR flag rate vs true error rate (uniform)",
-        &["k", "true error (model)", "flag rate (model)", "flag rate (MC)", "false-positive share"],
+        &[
+            "k",
+            "true error (model)",
+            "flag rate (model)",
+            "flag rate (MC)",
+            "false-positive share",
+        ],
     );
     let mut rng = Xoshiro256::seed_from_u64(0xE003);
     for k in [6usize, 8, 10, 12, 14] {
@@ -160,9 +193,11 @@ pub fn detect_ablation(config: &Config) -> Table {
             },
         ]);
     }
-    t.note("ERR must be sound (no false negatives); the price is stalling on \
+    t.note(
+        "ERR must be sound (no false negatives); the price is stalling on \
             some correct results — e.g. generate-propagate pairs whose carry \
-            dies inside the next window");
+            dies inside the next window",
+    );
     t
 }
 
@@ -171,7 +206,14 @@ pub fn buffering_ablation(_config: &Config) -> Table {
     let mut t = Table::new(
         "ext.buffering",
         "Fanout buffering ablation (64-bit designs, delay in ns)",
-        &["design", "raw", "buffered(4)", "buffered(8)", "buffered(16)", "best"],
+        &[
+            "design",
+            "raw",
+            "buffered(4)",
+            "buffered(8)",
+            "buffered(16)",
+            "best",
+        ],
     );
     let designs: Vec<(&str, gatesim::Netlist)> = vec![
         ("kogge-stone", adders::prefix::kogge_stone_adder(64)),
@@ -191,8 +233,10 @@ pub fn buffering_ablation(_config: &Config) -> Table {
         row.push(format!("{best:.3}"));
         t.row(row);
     }
-    t.note("high-fanout select lines and Sklansky's divide-and-conquer nodes \
-            gain the most; Kogge-Stone is nearly load-balanced already");
+    t.note(
+        "high-fanout select lines and Sklansky's divide-and-conquer nodes \
+            gain the most; Kogge-Stone is nearly load-balanced already",
+    );
     t
 }
 
@@ -214,7 +258,12 @@ pub fn dsp(config: &Config) -> Table {
         }
     }
     let samples = (config.mc_samples / 15).clamp(500, 20_000);
-    let _ = dsp::run_fir(samples, &dsp::default_taps(), 0xE006, &mut Tee(&mut hist, &mut pairs));
+    let _ = dsp::run_fir(
+        samples,
+        &dsp::default_taps(),
+        0xE006,
+        &mut Tee(&mut hist, &mut pairs),
+    );
 
     let mut t = Table::new(
         "ext.dsp",
@@ -266,12 +315,30 @@ pub fn power(config: &Config) -> Table {
     let transitions = config.mc_samples.clamp(2_048, 65_536);
     let tune = |net: &gatesim::Netlist| opt::best_buffered(net, &[4, 8, 16]);
     let designs: Vec<(String, gatesim::Netlist)> = vec![
-        ("kogge-stone".into(), tune(&adders::prefix::kogge_stone_adder(n))),
-        ("brent-kung".into(), tune(&adders::prefix::brent_kung_adder(n))),
-        ("scsa1 k=14".into(), tune(&vlcsa::netlist::scsa1_netlist(n, 14))),
-        ("vlcsa1 k=14".into(), tune(&vlcsa::netlist::vlcsa1_netlist(n, 14))),
-        ("vlcsa2 k=13".into(), tune(&vlcsa::netlist::vlcsa2_netlist(n, 13))),
-        ("vlsa l=17".into(), tune(&vlsa::netlist::vlsa_netlist(n, 17))),
+        (
+            "kogge-stone".into(),
+            tune(&adders::prefix::kogge_stone_adder(n)),
+        ),
+        (
+            "brent-kung".into(),
+            tune(&adders::prefix::brent_kung_adder(n)),
+        ),
+        (
+            "scsa1 k=14".into(),
+            tune(&vlcsa::netlist::scsa1_netlist(n, 14)),
+        ),
+        (
+            "vlcsa1 k=14".into(),
+            tune(&vlcsa::netlist::vlcsa1_netlist(n, 14)),
+        ),
+        (
+            "vlcsa2 k=13".into(),
+            tune(&vlcsa::netlist::vlcsa2_netlist(n, 13)),
+        ),
+        (
+            "vlsa l=17".into(),
+            tune(&vlsa::netlist::vlsa_netlist(n, 17)),
+        ),
     ];
     let ks_cap = gatesim::power::estimate(&designs[0].1, transitions, 0xE005).switched_cap_per_op;
     for (name, net) in &designs {
@@ -283,11 +350,15 @@ pub fn power(config: &Config) -> Table {
             format!("{:+.1}%", 100.0 * (p.switched_cap_per_op / ks_cap - 1.0)),
         ]);
     }
-    t.note(format!("{transitions} random vector transitions per design"));
-    t.note("speculation does NOT save switching: the twin conditional sums \
+    t.note(format!(
+        "{transitions} random vector transitions per design"
+    ));
+    t.note(
+        "speculation does NOT save switching: the twin conditional sums \
             and select muxes toggle more than one full-width prefix tree, \
             and detection + recovery add more — SCSA buys delay and area, \
-            not dynamic power (Brent-Kung is the low-power point)");
+            not dynamic power (Brent-Kung is the low-power point)",
+    );
     t
 }
 
@@ -303,7 +374,11 @@ pub fn window_style(_config: &Config) -> Table {
     let tune = |net: &gatesim::Netlist| opt::best_buffered(net, &[4, 8, 16]);
     for (n, k) in [(64usize, 14usize), (256, 16)] {
         let mut row = vec![n.to_string(), k.to_string()];
-        for style in [WindowStyle::KoggeStone, WindowStyle::BrentKung, WindowStyle::Sklansky] {
+        for style in [
+            WindowStyle::KoggeStone,
+            WindowStyle::BrentKung,
+            WindowStyle::Sklansky,
+        ] {
             let net = tune(&vlcsa::netlist::scsa1_netlist_styled(n, k, style));
             let timing = sta::analyze(&net);
             let d = timing.output_arrival_tau("sum").unwrap() * gatesim::PS_PER_TAU / 1000.0;
@@ -312,9 +387,11 @@ pub fn window_style(_config: &Config) -> Table {
         }
         t.row(row);
     }
-    t.note("even at 14-16 bit windows the style matters: Kogge-Stone \
+    t.note(
+        "even at 14-16 bit windows the style matters: Kogge-Stone \
             windows are ~20-30% faster than Brent-Kung ones (which win \
-            area) — quantifying why the paper picks Kogge-Stone (Ch. 4.1)");
+            area) — quantifying why the paper picks Kogge-Stone (Ch. 4.1)",
+    );
     t
 }
 
@@ -348,9 +425,16 @@ pub fn verilog_export(config: &Config) -> Table {
             }
             None => "(not written: no --out dir)".into(),
         };
-        t.row(vec![net.name().to_string(), net.cell_count().to_string(), lines.to_string(), file]);
+        t.row(vec![
+            net.name().to_string(),
+            net.cell_count().to_string(),
+            lines.to_string(),
+            file,
+        ]);
     }
-    t.note("the same artifact the paper's C++ generators produced for Design \
-            Compiler; feed to any external flow for cross-validation");
+    t.note(
+        "the same artifact the paper's C++ generators produced for Design \
+            Compiler; feed to any external flow for cross-validation",
+    );
     t
 }

@@ -32,9 +32,14 @@ pub fn tab7_1(config: &Config) -> Table {
             "25.01%".into(),
         ]);
     }
-    t.note(format!("mu = 0, sigma = 2^32; {} trials per width", config.mc_samples));
-    t.note("every fourth addition pairs a small positive with a small negative \
-            of smaller magnitude: the chain runs to the MSB and VLCSA 1 stalls");
+    t.note(format!(
+        "mu = 0, sigma = 2^32; {} trials per width",
+        config.mc_samples
+    ));
+    t.note(
+        "every fourth addition pairs a small positive with a small negative \
+            of smaller magnitude: the chain runs to the MSB and VLCSA 1 stalls",
+    );
     t
 }
 
@@ -43,7 +48,13 @@ pub fn tab7_2(config: &Config) -> Table {
     let mut t = Table::new(
         "tab7.2",
         "Experimental and nominal error rates in VLCSA 2 (2's complement Gaussian)",
-        &["n", "k", "P_err (Monte Carlo)", "P_err (ERR0=1, ERR1=1)", "paper"],
+        &[
+            "n",
+            "k",
+            "P_err (Monte Carlo)",
+            "P_err (ERR0=1, ERR1=1)",
+            "paper",
+        ],
     );
     for (i, (n, k)) in windows_0p01().into_iter().enumerate() {
         let scsa2 = Scsa2::new(n, k);
@@ -52,9 +63,10 @@ pub fn tab7_2(config: &Config) -> Table {
         for _ in 0..config.mc_samples {
             let (a, b) = src.next_pair();
             errors += scsa2.is_error(&a, &b, OverflowMode::Truncate) as usize;
-            stalls +=
-                matches!(detect::select(&scsa2.window_pg(&a, &b)), detect::Selection::Recover)
-                    as usize;
+            stalls += matches!(
+                detect::select(&scsa2.window_pg(&a, &b)),
+                detect::Selection::Recover
+            ) as usize;
         }
         t.row(vec![
             n.to_string(),
@@ -64,9 +76,14 @@ pub fn tab7_2(config: &Config) -> Table {
             "0.01%".into(),
         ]);
     }
-    t.note(format!("mu = 0, sigma = 2^32; {} trials per width", config.mc_samples));
-    t.note("the second speculative result absorbs MSB-reaching chains: the 25% \
-            stall rate of Table 7.1 collapses to the uniform-input level");
+    t.note(format!(
+        "mu = 0, sigma = 2^32; {} trials per width",
+        config.mc_samples
+    ));
+    t.note(
+        "the second speculative result absorbs MSB-reaching chains: the 25% \
+            stall rate of Table 7.1 collapses to the uniform-input level",
+    );
     t
 }
 
@@ -93,8 +110,10 @@ pub fn tab7_5(config: &Config) -> Table {
          trials per candidate window size; rounds-to-2dp acceptance",
         config.mc_samples
     ));
-    t.note("the window size is width-independent: only chains inside the ~33 \
-            Gaussian-significant low bits can die before the MSB");
+    t.note(
+        "the window size is width-independent: only chains inside the ~33 \
+            Gaussian-significant low bits can die before the MSB",
+    );
     t
 }
 
@@ -106,9 +125,10 @@ fn solve(n: usize, target: f64, samples: usize, seed: u64) -> usize {
         let mut stalls = 0usize;
         for _ in 0..samples {
             let (a, b) = src.next_pair();
-            stalls +=
-                matches!(detect::select(&scsa2.window_pg(&a, &b)), detect::Selection::Recover)
-                    as usize;
+            stalls += matches!(
+                detect::select(&scsa2.window_pg(&a, &b)),
+                detect::Selection::Recover
+            ) as usize;
         }
         let rate = stalls as f64 / samples as f64;
         let rounded = (rate * 1e4).round() / 1e4;

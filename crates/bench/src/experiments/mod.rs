@@ -53,7 +53,12 @@ pub fn windows_0p25() -> Vec<(usize, usize)> {
 pub fn vlsa_chains_0p01() -> Vec<(usize, usize)> {
     WIDTHS
         .iter()
-        .map(|&n| (n, vlsa::model::chain_length_for(n, 1e-4, vlsa::model::Semantics::RoundsTo2Dp)))
+        .map(|&n| {
+            (
+                n,
+                vlsa::model::chain_length_for(n, 1e-4, vlsa::model::Semantics::RoundsTo2Dp),
+            )
+        })
         .collect()
 }
 

@@ -69,13 +69,23 @@ pub fn fig7_2(_config: &Config) -> Table {
     let mut t = Table::new(
         "fig7.2",
         "Delay of speculative adders and Kogge-Stone adder",
-        &["n", "KS (ns)", "VLSA-spec (ns)", "SCSA 1 (ns)", "VLSA vs KS", "SCSA vs KS"],
+        &[
+            "n",
+            "KS (ns)",
+            "VLSA-spec (ns)",
+            "SCSA 1 (ns)",
+            "VLSA vs KS",
+            "SCSA vs KS",
+        ],
     );
     let ks01 = windows_0p01();
     let ls01 = vlsa_chains_0p01();
     for (i, &n) in WIDTHS.iter().enumerate() {
         let ks = delay_ns(&kogge_stone(n));
-        let vl = bus_delay_ns(&tune(&vlsa::netlist::vlsa_spec_netlist(n, ls01[i].1)), "sum");
+        let vl = bus_delay_ns(
+            &tune(&vlsa::netlist::vlsa_spec_netlist(n, ls01[i].1)),
+            "sum",
+        );
         let sc = bus_delay_ns(&tune(&vlcsa::netlist::scsa1_netlist(n, ks01[i].1)), "sum");
         t.row(vec![
             n.to_string(),
@@ -86,8 +96,10 @@ pub fn fig7_2(_config: &Config) -> Table {
             pct_vs(sc, ks),
         ]);
     }
-    t.note("0.01% designs (Table 7.3 parameters); paper: SCSA 18-38% below KS, \
-            VLSA-spec 12-27% below KS");
+    t.note(
+        "0.01% designs (Table 7.3 parameters); paper: SCSA 18-38% below KS, \
+            VLSA-spec 12-27% below KS",
+    );
     t
 }
 
@@ -96,7 +108,14 @@ pub fn fig7_3(_config: &Config) -> Table {
     let mut t = Table::new(
         "fig7.3",
         "Area of speculative adders and Kogge-Stone adder",
-        &["n", "KS (um2)", "VLSA-spec (um2)", "SCSA 1 (um2)", "VLSA vs KS", "SCSA vs KS"],
+        &[
+            "n",
+            "KS (um2)",
+            "VLSA-spec (um2)",
+            "SCSA 1 (um2)",
+            "VLSA vs KS",
+            "SCSA vs KS",
+        ],
     );
     let ks01 = windows_0p01();
     let ls01 = vlsa_chains_0p01();
@@ -123,8 +142,15 @@ pub fn fig7_4(_config: &Config) -> Table {
         "fig7.4",
         "Delay of variable latency adders and Kogge-Stone adder (ns)",
         &[
-            "n", "KS", "VLSA spec", "VLSA detect", "VLSA recover", "VLCSA1 spec",
-            "VLCSA1 detect", "VLCSA1 recover", "VLCSA1 vs VLSA (correct-op)",
+            "n",
+            "KS",
+            "VLSA spec",
+            "VLSA detect",
+            "VLSA recover",
+            "VLCSA1 spec",
+            "VLCSA1 detect",
+            "VLCSA1 recover",
+            "VLCSA1 vs VLSA (correct-op)",
         ],
     );
     let ks01 = windows_0p01();
@@ -157,11 +183,15 @@ pub fn fig7_4(_config: &Config) -> Table {
             pct_vs(correct_vc, correct_vl),
         ]);
     }
-    t.note("correct-op delay = max(speculation, detection) = the clock period \
-            T_clk; recovery must close within 2 T_clk (it does, see rows)");
-    t.note("paper: VLCSA 1 correct-op 6-19% below VLSA; our VLSA detector lands \
+    t.note(
+        "correct-op delay = max(speculation, detection) = the clock period \
+            T_clk; recovery must close within 2 T_clk (it does, see rows)",
+    );
+    t.note(
+        "paper: VLCSA 1 correct-op 6-19% below VLSA; our VLSA detector lands \
             slightly below its speculative sum instead of 4-8% above \
-            (shared-plane mapping; see EXPERIMENTS.md deviations)");
+            (shared-plane mapping; see EXPERIMENTS.md deviations)",
+    );
     t
 }
 
@@ -170,7 +200,14 @@ pub fn fig7_5(_config: &Config) -> Table {
     let mut t = Table::new(
         "fig7.5",
         "Area of variable latency adders and Kogge-Stone adder",
-        &["n", "KS (um2)", "VLSA (um2)", "VLCSA1 (um2)", "VLSA vs KS", "VLCSA1 vs KS"],
+        &[
+            "n",
+            "KS (um2)",
+            "VLSA (um2)",
+            "VLCSA1 (um2)",
+            "VLSA vs KS",
+            "VLCSA1 vs KS",
+        ],
     );
     let ks01 = windows_0p01();
     let ls01 = vlsa_chains_0p01();
@@ -191,13 +228,17 @@ pub fn fig7_5(_config: &Config) -> Table {
     t
 }
 
+/// `(n, parameter)` pairs for one error-rate column of a DesignWare
+/// comparison.
+type ParamColumn<'a> = &'a [(usize, usize)];
+
 /// Shared body for the DesignWare comparisons (Figs. 7.6–7.11).
 fn dw_comparison(
     id: &str,
     title: &str,
     is_delay: bool,
     design: impl Fn(usize, usize) -> Netlist,
-    params: (&[(usize, usize)], &[(usize, usize)]),
+    params: (ParamColumn, ParamColumn),
     timing_buses: Option<&[&str]>,
 ) -> Table {
     let unit = if is_delay { "ns" } else { "um2" };
@@ -216,7 +257,11 @@ fn dw_comparison(
     let (p01, p25) = params;
     for (i, &n) in WIDTHS.iter().enumerate() {
         let dw_net = designware(n);
-        let dw = if is_delay { delay_ns(&dw_net) } else { area_um2(&dw_net) };
+        let dw = if is_delay {
+            delay_ns(&dw_net)
+        } else {
+            area_um2(&dw_net)
+        };
         let measure = |k: usize| {
             let net = tune(&design(n, k));
             if is_delay {
@@ -240,8 +285,21 @@ fn dw_comparison(
         };
         let v01 = measure(p01[i].1);
         let v25 = measure(p25[i].1);
-        let f = |v: f64| if is_delay { format!("{v:.3}") } else { format!("{v:.0}") };
-        t.row(vec![n.to_string(), f(dw), f(v01), pct_vs(v01, dw), f(v25), pct_vs(v25, dw)]);
+        let f = |v: f64| {
+            if is_delay {
+                format!("{v:.3}")
+            } else {
+                format!("{v:.0}")
+            }
+        };
+        t.row(vec![
+            n.to_string(),
+            f(dw),
+            f(v01),
+            pct_vs(v01, dw),
+            f(v25),
+            pct_vs(v25, dw),
+        ]);
     }
     t
 }
@@ -254,7 +312,7 @@ pub fn fig7_6(_config: &Config) -> Table {
         "fig7.6",
         "Delay of speculative addition in VLCSA 1 and DesignWare adder",
         true,
-        |n, k| vlcsa::netlist::scsa1_netlist(n, k),
+        vlcsa::netlist::scsa1_netlist,
         (&k01, &k25),
         Some(&["sum"]),
     );
@@ -270,7 +328,7 @@ pub fn fig7_7(_config: &Config) -> Table {
         "fig7.7",
         "Area of speculative addition in VLCSA 1 and DesignWare adder",
         false,
-        |n, k| vlcsa::netlist::scsa1_netlist(n, k),
+        vlcsa::netlist::scsa1_netlist,
         (&k01, &k25),
         None,
     );
@@ -286,7 +344,7 @@ pub fn fig7_8(_config: &Config) -> Table {
         "fig7.8",
         "Delay of VLCSA 1 and DesignWare adder (correct speculation)",
         true,
-        |n, k| vlcsa::netlist::vlcsa1_netlist(n, k),
+        vlcsa::netlist::vlcsa1_netlist,
         (&k01, &k25),
         Some(&["sum", "err"]),
     );
@@ -302,12 +360,14 @@ pub fn fig7_9(_config: &Config) -> Table {
         "fig7.9",
         "Area of VLCSA 1 and DesignWare adder",
         false,
-        |n, k| vlcsa::netlist::vlcsa1_netlist(n, k),
+        vlcsa::netlist::vlcsa1_netlist,
         (&k01, &k25),
         None,
     );
-    t.note("paper: -6..+42% (0.01%) and -19..+16% (0.25%) of the DW adder, \
-            shrinking with width");
+    t.note(
+        "paper: -6..+42% (0.01%) and -19..+16% (0.25%) of the DW adder, \
+            shrinking with width",
+    );
     t
 }
 
@@ -319,7 +379,7 @@ pub fn fig7_10(_config: &Config) -> Table {
         "fig7.10",
         "Delay of VLCSA 2 and DesignWare adder (correct speculation)",
         true,
-        |n, k| vlcsa::netlist::vlcsa2_netlist(n, k),
+        vlcsa::netlist::vlcsa2_netlist,
         (&p01, &p25),
         // Sec. 6.7: T_clk > max(spec0, spec1, ERR0, ERR1); the output
         // steering mux overlaps the output register.
@@ -338,11 +398,13 @@ pub fn fig7_11(_config: &Config) -> Table {
         "fig7.11",
         "Area of VLCSA 2 and DesignWare adder",
         false,
-        |n, k| vlcsa::netlist::vlcsa2_netlist(n, k),
+        vlcsa::netlist::vlcsa2_netlist,
         (&p01, &p25),
         None,
     );
-    t.note("paper: +1..62% (0.01%) and -17..+29% (0.25%) of the DW adder; \
-            larger than VLCSA 1 due to the second speculative result");
+    t.note(
+        "paper: +1..62% (0.01%) and -17..+29% (0.25%) of the DW adder; \
+            larger than VLCSA 1 due to the second speculative result",
+    );
     t
 }

@@ -22,6 +22,7 @@
 
 pub mod experiments;
 mod table;
+pub mod timing;
 
 pub use table::{fnum, pct, Table};
 
@@ -38,14 +39,20 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { mc_samples: 1_000_000, out_dir: None }
+        Self {
+            mc_samples: 1_000_000,
+            out_dir: None,
+        }
     }
 }
 
 impl Config {
     /// A fast configuration for smoke runs and `cargo bench`.
     pub fn quick() -> Self {
-        Self { mc_samples: 100_000, out_dir: None }
+        Self {
+            mc_samples: 100_000,
+            out_dir: None,
+        }
     }
 }
 
@@ -64,40 +71,164 @@ pub fn registry() -> Vec<Experiment> {
     use experiments::*;
     macro_rules! exp {
         ($id:literal, $about:literal, $f:path) => {
-            Experiment { id: $id, about: $about, run: $f }
+            Experiment {
+                id: $id,
+                about: $about,
+                run: $f,
+            }
         };
     }
     vec![
-        exp!("fig3.5", "predicted SCSA error rates vs window size (eq. 3.13)", error_model::fig3_5),
-        exp!("fig6.1", "carry-chain histogram: unsigned uniform, 32-bit", chains::fig6_1),
-        exp!("fig6.2", "carry-chain histograms: cryptographic workload traces", chains::fig6_2),
-        exp!("fig6.3", "carry-chain histogram: 2's-complement uniform", chains::fig6_3),
-        exp!("fig6.4", "carry-chain histogram: unsigned Gaussian", chains::fig6_4),
-        exp!("fig6.5", "carry-chain histogram: 2's-complement Gaussian (bimodal)", chains::fig6_5),
-        exp!("fig7.1", "analytical error model vs Monte Carlo", error_model::fig7_1),
-        exp!("tab7.1", "VLCSA 1 error rates on 2's-complement Gaussian inputs", gaussian::tab7_1),
-        exp!("tab7.2", "VLCSA 2 error rates on 2's-complement Gaussian inputs", gaussian::tab7_2),
-        exp!("tab7.3", "window size (SCSA) vs chain length (VLSA) @0.01%", error_model::tab7_3),
-        exp!("tab7.4", "SCSA/VLCSA 1 window sizes @0.01% and @0.25%", error_model::tab7_4),
-        exp!("tab7.5", "VLCSA 2 window sizes from Gaussian simulation", gaussian::tab7_5),
-        exp!("fig7.2", "delay: speculative adders vs Kogge-Stone", synthesis::fig7_2),
-        exp!("fig7.3", "area: speculative adders vs Kogge-Stone", synthesis::fig7_3),
-        exp!("fig7.4", "delay: variable-latency adders vs Kogge-Stone", synthesis::fig7_4),
-        exp!("fig7.5", "area: variable-latency adders vs Kogge-Stone", synthesis::fig7_5),
-        exp!("fig7.6", "delay: SCSA 1 vs DesignWare-substitute", synthesis::fig7_6),
-        exp!("fig7.7", "area: SCSA 1 vs DesignWare-substitute", synthesis::fig7_7),
-        exp!("fig7.8", "delay: VLCSA 1 vs DesignWare-substitute", synthesis::fig7_8),
-        exp!("fig7.9", "area: VLCSA 1 vs DesignWare-substitute", synthesis::fig7_9),
-        exp!("fig7.10", "delay: VLCSA 2 vs DesignWare-substitute", synthesis::fig7_10),
-        exp!("fig7.11", "area: VLCSA 2 vs DesignWare-substitute", synthesis::fig7_11),
-        exp!("ext.magnitude", "error magnitude: SCSA vs per-bit speculation (Sec. 3.3)", extensions::magnitude),
-        exp!("ext.latency", "average latency of VLCSA 1/2 across input distributions", extensions::latency),
-        exp!("ext.detect", "detection overestimate (false-positive) ablation", extensions::detect_ablation),
-        exp!("ext.buffering", "fanout-buffering ablation on the synthesis flow", extensions::buffering_ablation),
-        exp!("ext.dsp", "FIR accumulation workload profile and engine latency", extensions::dsp),
-        exp!("ext.power", "switching-activity power of the competing designs", extensions::power),
-        exp!("ext.window_style", "window-adder style ablation (KS/BK/Sklansky windows)", extensions::window_style),
-        exp!("ext.verilog", "Verilog export of the main designs", extensions::verilog_export),
+        exp!(
+            "fig3.5",
+            "predicted SCSA error rates vs window size (eq. 3.13)",
+            error_model::fig3_5
+        ),
+        exp!(
+            "fig6.1",
+            "carry-chain histogram: unsigned uniform, 32-bit",
+            chains::fig6_1
+        ),
+        exp!(
+            "fig6.2",
+            "carry-chain histograms: cryptographic workload traces",
+            chains::fig6_2
+        ),
+        exp!(
+            "fig6.3",
+            "carry-chain histogram: 2's-complement uniform",
+            chains::fig6_3
+        ),
+        exp!(
+            "fig6.4",
+            "carry-chain histogram: unsigned Gaussian",
+            chains::fig6_4
+        ),
+        exp!(
+            "fig6.5",
+            "carry-chain histogram: 2's-complement Gaussian (bimodal)",
+            chains::fig6_5
+        ),
+        exp!(
+            "fig7.1",
+            "analytical error model vs Monte Carlo",
+            error_model::fig7_1
+        ),
+        exp!(
+            "tab7.1",
+            "VLCSA 1 error rates on 2's-complement Gaussian inputs",
+            gaussian::tab7_1
+        ),
+        exp!(
+            "tab7.2",
+            "VLCSA 2 error rates on 2's-complement Gaussian inputs",
+            gaussian::tab7_2
+        ),
+        exp!(
+            "tab7.3",
+            "window size (SCSA) vs chain length (VLSA) @0.01%",
+            error_model::tab7_3
+        ),
+        exp!(
+            "tab7.4",
+            "SCSA/VLCSA 1 window sizes @0.01% and @0.25%",
+            error_model::tab7_4
+        ),
+        exp!(
+            "tab7.5",
+            "VLCSA 2 window sizes from Gaussian simulation",
+            gaussian::tab7_5
+        ),
+        exp!(
+            "fig7.2",
+            "delay: speculative adders vs Kogge-Stone",
+            synthesis::fig7_2
+        ),
+        exp!(
+            "fig7.3",
+            "area: speculative adders vs Kogge-Stone",
+            synthesis::fig7_3
+        ),
+        exp!(
+            "fig7.4",
+            "delay: variable-latency adders vs Kogge-Stone",
+            synthesis::fig7_4
+        ),
+        exp!(
+            "fig7.5",
+            "area: variable-latency adders vs Kogge-Stone",
+            synthesis::fig7_5
+        ),
+        exp!(
+            "fig7.6",
+            "delay: SCSA 1 vs DesignWare-substitute",
+            synthesis::fig7_6
+        ),
+        exp!(
+            "fig7.7",
+            "area: SCSA 1 vs DesignWare-substitute",
+            synthesis::fig7_7
+        ),
+        exp!(
+            "fig7.8",
+            "delay: VLCSA 1 vs DesignWare-substitute",
+            synthesis::fig7_8
+        ),
+        exp!(
+            "fig7.9",
+            "area: VLCSA 1 vs DesignWare-substitute",
+            synthesis::fig7_9
+        ),
+        exp!(
+            "fig7.10",
+            "delay: VLCSA 2 vs DesignWare-substitute",
+            synthesis::fig7_10
+        ),
+        exp!(
+            "fig7.11",
+            "area: VLCSA 2 vs DesignWare-substitute",
+            synthesis::fig7_11
+        ),
+        exp!(
+            "ext.magnitude",
+            "error magnitude: SCSA vs per-bit speculation (Sec. 3.3)",
+            extensions::magnitude
+        ),
+        exp!(
+            "ext.latency",
+            "average latency of VLCSA 1/2 across input distributions",
+            extensions::latency
+        ),
+        exp!(
+            "ext.detect",
+            "detection overestimate (false-positive) ablation",
+            extensions::detect_ablation
+        ),
+        exp!(
+            "ext.buffering",
+            "fanout-buffering ablation on the synthesis flow",
+            extensions::buffering_ablation
+        ),
+        exp!(
+            "ext.dsp",
+            "FIR accumulation workload profile and engine latency",
+            extensions::dsp
+        ),
+        exp!(
+            "ext.power",
+            "switching-activity power of the competing designs",
+            extensions::power
+        ),
+        exp!(
+            "ext.window_style",
+            "window-adder style ablation (KS/BK/Sklansky windows)",
+            extensions::window_style
+        ),
+        exp!(
+            "ext.verilog",
+            "Verilog export of the main designs",
+            extensions::verilog_export
+        ),
     ]
 }
 
@@ -105,7 +236,10 @@ pub fn registry() -> Vec<Experiment> {
 ///
 /// Returns `None` for an unknown id.
 pub fn run_by_id(id: &str, config: &Config) -> Option<Table> {
-    registry().into_iter().find(|e| e.id == id).map(|e| (e.run)(config))
+    registry()
+        .into_iter()
+        .find(|e| e.id == id)
+        .map(|e| (e.run)(config))
 }
 
 #[cfg(test)]

@@ -55,7 +55,9 @@ impl UBig {
     /// Panics if `modulus` is zero.
     pub fn mul_mod(&self, rhs: &Self, modulus: &Self) -> Self {
         let product = self.mul_wide(rhs);
-        product.rem(&modulus.resize(product.width())).resize(modulus.width())
+        product
+            .rem(&modulus.resize(product.width()))
+            .resize(modulus.width())
     }
 
     /// Division with remainder: returns `(self / rhs, self % rhs)`, both at
@@ -137,7 +139,10 @@ mod tests {
             let a = UBig::random(60, &mut rng);
             let b = UBig::random(60, &mut rng);
             let p = a.mul_wide(&b);
-            assert_eq!(p.to_u128(), Some(a.to_u128().unwrap() * b.to_u128().unwrap()));
+            assert_eq!(
+                p.to_u128(),
+                Some(a.to_u128().unwrap() * b.to_u128().unwrap())
+            );
         }
     }
 

@@ -13,6 +13,11 @@
 //! ripple kernel [`ripple_words`], which is both a complete 64-lane adder
 //! and the per-window building block of the speculative engines.
 //!
+//! Batches wider than 64 lanes are held by [`WideSlab`]: a sequence of
+//! full [`BitSlab`] chunks (plus one possibly-partial tail chunk), so the
+//! 64-lane kernels become an internal chunking detail and callers can
+//! issue groups of any size.
+//!
 //! # Example
 //!
 //! ```
@@ -22,7 +27,7 @@
 //! let a = BitSlab::from_lanes(&[UBig::from_u128(3, 8), UBig::from_u128(200, 8)]);
 //! let b = BitSlab::from_lanes(&[UBig::from_u128(4, 8), UBig::from_u128(100, 8)]);
 //! let mut sum = BitSlab::zero(8, 2);
-//! let cout = ripple_words(a.words(), b.words(), 0, sum.words_mut());
+//! let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
 //! assert_eq!(sum.lane(0).to_u128(), Some(7));
 //! assert_eq!(sum.lane(1).to_u128(), Some(44)); // 300 mod 256
 //! assert_eq!(cout, 0b10); // only lane 1 overflows 8 bits
@@ -77,14 +82,18 @@ impl BitSlab {
     /// `lanes` is zero or exceeds [`MAX_LANES`].
     pub fn zero(width: usize, lanes: usize) -> Self {
         assert!(
-            width >= 1 && width <= crate::MAX_WIDTH,
+            (1..=crate::MAX_WIDTH).contains(&width),
             "unsupported width {width}"
         );
         assert!(
-            lanes >= 1 && lanes <= MAX_LANES,
+            (1..=MAX_LANES).contains(&lanes),
             "lanes must be in 1..={MAX_LANES}, got {lanes}"
         );
-        Self { width, lanes, words: vec![0; width] }
+        Self {
+            width,
+            lanes,
+            words: vec![0; width],
+        }
     }
 
     /// Transposes a slice of equal-width values into a slab (value `l`
@@ -228,7 +237,11 @@ impl BitSlab {
     ///
     /// Panics if `l >= lanes`.
     pub fn lane(&self, l: usize) -> UBig {
-        assert!(l < self.lanes, "lane {l} out of range for {} lanes", self.lanes);
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
         let mut limbs = vec![0u64; self.width.div_ceil(64)];
         for (i, &w) in self.words.iter().enumerate() {
             limbs[i / 64] |= ((w >> l) & 1) << (i % 64);
@@ -253,10 +266,13 @@ impl BitSlab {
 /// lanes per ~5 word operations.
 ///
 /// All three slices must come from slabs of identical width and lane
-/// count, restricted to the same bit range; `cin` must have no bits set
-/// beyond the lane mask (guaranteed when it is `0`, a slab's
-/// [`BitSlab::lane_mask`], or a word produced by this kernel from masked
-/// inputs).
+/// count, restricted to the same bit range. `lane_mask` is that slab lane
+/// mask ([`BitSlab::lane_mask`]): `cin` — and, in debug builds, every
+/// operand word — must have no bits set beyond it. Violations are the
+/// classic slab-corruption bug (a stray carry bit silently invents a
+/// phantom lane), so they are enforced with `debug_assert!` at the top of
+/// the kernel and fail loudly under `cargo test` instead of corrupting
+/// lanes.
 ///
 /// # Example
 ///
@@ -268,7 +284,7 @@ impl BitSlab {
 /// let b = BitSlab::from_lanes(&vec![UBig::from_u128(6, 4); 3]);
 /// let mut s = BitSlab::zero(4, 3);
 /// // Carry-in only into lane 1: lanes 0 and 2 get 15, lane 1 wraps to 0.
-/// let cout = ripple_words(a.words(), b.words(), 0b010, s.words_mut());
+/// let cout = ripple_words(a.words(), b.words(), 0b010, a.lane_mask(), s.words_mut());
 /// assert_eq!(s.lane(0).to_u128(), Some(15));
 /// assert_eq!(s.lane(1).to_u128(), Some(0));
 /// assert_eq!(cout, 0b010);
@@ -276,10 +292,20 @@ impl BitSlab {
 ///
 /// # Panics
 ///
-/// Panics if the slice lengths differ.
-pub fn ripple_words(a: &[u64], b: &[u64], cin: u64, sum: &mut [u64]) -> u64 {
+/// Panics if the slice lengths differ. Debug builds panic when `cin` or an
+/// operand word carries bits beyond `lane_mask`.
+pub fn ripple_words(a: &[u64], b: &[u64], cin: u64, lane_mask: u64, sum: &mut [u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "operand word counts differ");
     assert_eq!(a.len(), sum.len(), "sum word count differs");
+    debug_assert_eq!(
+        cin & !lane_mask,
+        0,
+        "carry-in word {cin:#x} has bits beyond the lane mask {lane_mask:#x}"
+    );
+    debug_assert!(
+        a.iter().chain(b).all(|&w| w & !lane_mask == 0),
+        "operand words carry bits beyond the lane mask {lane_mask:#x}"
+    );
     let mut carry = cin;
     for ((&aw, &bw), sw) in a.iter().zip(b).zip(sum.iter_mut()) {
         let p = aw ^ bw;
@@ -290,6 +316,177 @@ pub fn ripple_words(a: &[u64], b: &[u64], cin: u64, sum: &mut [u64]) -> u64 {
     carry
 }
 
+/// A batch of arbitrarily many equal-width values, stored as a sequence of
+/// [`BitSlab`] chunks.
+///
+/// Every chunk holds exactly [`MAX_LANES`] lanes except the last, which
+/// holds the remainder (`1..=MAX_LANES`). Global lane `l` lives in chunk
+/// `l / MAX_LANES` at chunk-lane `l % MAX_LANES`, and each chunk maintains
+/// the [`BitSlab`] lane-mask invariant independently — so any ≤64-lane
+/// kernel scales to arbitrary batch sizes by iterating [`WideSlab::chunks`],
+/// and sharded executors can split the chunk list across threads without
+/// touching lane data.
+///
+/// # Example
+///
+/// ```
+/// use bitnum::batch::{WideSlab, MAX_LANES};
+/// use bitnum::UBig;
+///
+/// let values: Vec<UBig> = (0..100).map(|v| UBig::from_u128(v, 16)).collect();
+/// let slab = WideSlab::from_lanes(&values);
+/// assert_eq!(slab.lanes(), 100);
+/// assert_eq!(slab.chunks().len(), 2); // 64 + 36
+/// assert_eq!(slab.chunks()[1].lanes(), 100 - MAX_LANES);
+/// assert_eq!(slab.lane(99).to_u128(), Some(99));
+/// assert_eq!(slab.to_lanes(), values);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WideSlab {
+    width: usize,
+    lanes: usize,
+    chunks: Vec<BitSlab>,
+}
+
+impl WideSlab {
+    /// Creates an all-zero wide slab of `lanes` lanes of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`crate::MAX_WIDTH`], or if
+    /// `lanes` is zero.
+    pub fn zero(width: usize, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a wide slab needs at least one lane");
+        let chunks = Self::chunk_sizes(lanes)
+            .map(|chunk_lanes| BitSlab::zero(width, chunk_lanes))
+            .collect();
+        Self {
+            width,
+            lanes,
+            chunks,
+        }
+    }
+
+    /// Transposes a slice of equal-width values into chunked slabs (value
+    /// `l` becomes lane `l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or the values disagree on width.
+    pub fn from_lanes(values: &[UBig]) -> Self {
+        assert!(!values.is_empty(), "a wide slab needs at least one lane");
+        let width = values[0].width();
+        // BitSlab::from_lanes only checks widths within its own chunk, so
+        // enforce agreement across chunk boundaries here.
+        for (l, v) in values.iter().enumerate() {
+            assert_eq!(v.width(), width, "lane {l} width mismatch");
+        }
+        let chunks: Vec<BitSlab> = values.chunks(MAX_LANES).map(BitSlab::from_lanes).collect();
+        Self {
+            width,
+            lanes: values.len(),
+            chunks,
+        }
+    }
+
+    /// Reassembles a wide slab from chunks (the inverse of
+    /// [`WideSlab::chunks`], as produced by per-chunk kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is empty, the chunks disagree on width, or any
+    /// chunk but the last holds fewer than [`MAX_LANES`] lanes.
+    pub fn from_chunks(chunks: Vec<BitSlab>) -> Self {
+        assert!(!chunks.is_empty(), "a wide slab needs at least one chunk");
+        let width = chunks[0].width();
+        let mut lanes = 0;
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(chunk.width(), width, "chunk {i} width mismatch");
+            assert!(
+                chunk.lanes() == MAX_LANES || i + 1 == chunks.len(),
+                "chunk {i} is partial ({} lanes) but not last",
+                chunk.lanes()
+            );
+            lanes += chunk.lanes();
+        }
+        Self {
+            width,
+            lanes,
+            chunks,
+        }
+    }
+
+    /// Fills a wide slab with uniformly random lanes, chunk by chunk (the
+    /// chunked equivalent of [`BitSlab::random`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`WideSlab::zero`].
+    pub fn random<R: RandomBits + ?Sized>(width: usize, lanes: usize, rng: &mut R) -> Self {
+        assert!(lanes >= 1, "a wide slab needs at least one lane");
+        let chunks = Self::chunk_sizes(lanes)
+            .map(|chunk_lanes| BitSlab::random(width, chunk_lanes, rng))
+            .collect();
+        Self {
+            width,
+            lanes,
+            chunks,
+        }
+    }
+
+    fn chunk_sizes(lanes: usize) -> impl Iterator<Item = usize> {
+        let full = lanes / MAX_LANES;
+        let rem = lanes % MAX_LANES;
+        std::iter::repeat_n(MAX_LANES, full).chain((rem > 0).then_some(rem))
+    }
+
+    /// The bit width of each lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The total number of lanes across all chunks.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The ≤64-lane chunks, global lane order: chunk `c` holds lanes
+    /// `c * MAX_LANES ..`.
+    pub fn chunks(&self) -> &[BitSlab] {
+        &self.chunks
+    }
+
+    /// Extracts global lane `l` as a [`UBig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes`.
+    pub fn lane(&self, l: usize) -> UBig {
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
+        self.chunks[l / MAX_LANES].lane(l % MAX_LANES)
+    }
+
+    /// Untransposes the wide slab back into one [`UBig`] per lane.
+    pub fn to_lanes(&self) -> Vec<UBig> {
+        self.chunks.iter().flat_map(|c| c.to_lanes()).collect()
+    }
+}
+
+impl From<BitSlab> for WideSlab {
+    /// Wraps a single ≤64-lane slab as a one-chunk wide slab.
+    fn from(chunk: BitSlab) -> Self {
+        Self {
+            width: chunk.width(),
+            lanes: chunk.lanes(),
+            chunks: vec![chunk],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,9 +495,15 @@ mod tests {
     #[test]
     fn transpose_roundtrip() {
         let mut rng = Xoshiro256::seed_from_u64(9);
-        for (width, lanes) in [(1usize, 1usize), (8, 3), (64, 64), (65, 17), (130, 5), (512, 64)] {
-            let values: Vec<UBig> =
-                (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+        for (width, lanes) in [
+            (1usize, 1usize),
+            (8, 3),
+            (64, 64),
+            (65, 17),
+            (130, 5),
+            (512, 64),
+        ] {
+            let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
             let slab = BitSlab::from_lanes(&values);
             assert_eq!(slab.to_lanes(), values, "width={width} lanes={lanes}");
             for (l, v) in values.iter().enumerate() {
@@ -328,7 +531,7 @@ mod tests {
             let b = BitSlab::random(width, lanes, &mut rng);
             let cin = rng.next_u64() & a.lane_mask();
             let mut sum = BitSlab::zero(width, lanes);
-            let cout = ripple_words(a.words(), b.words(), cin, sum.words_mut());
+            let cout = ripple_words(a.words(), b.words(), cin, a.lane_mask(), sum.words_mut());
             for l in 0..lanes {
                 let (s, c) = a.lane(l).add_with_carry(&b.lane(l), (cin >> l) & 1 == 1);
                 assert_eq!(sum.lane(l), s, "lane {l} width {width}");
@@ -341,6 +544,86 @@ mod tests {
     #[should_panic(expected = "lanes must be in")]
     fn too_many_lanes_panic() {
         let _ = BitSlab::zero(8, 65);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "beyond the lane mask")]
+    fn unmasked_carry_in_fails_loudly() {
+        // The CHANGES.md gotcha, enforced: a carry-in word with bits beyond
+        // the lane mask must panic in debug builds, not corrupt lanes.
+        let a = BitSlab::zero(8, 3);
+        let b = BitSlab::zero(8, 3);
+        let mut sum = BitSlab::zero(8, 3);
+        let _ = ripple_words(
+            a.words(),
+            b.words(),
+            u64::MAX,
+            a.lane_mask(),
+            sum.words_mut(),
+        );
+    }
+
+    #[test]
+    fn wide_slab_roundtrip_and_chunking() {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        for lanes in [1usize, 63, 64, 65, 100, 128, 200] {
+            let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(40, &mut rng)).collect();
+            let slab = WideSlab::from_lanes(&values);
+            assert_eq!(slab.lanes(), lanes);
+            assert_eq!(slab.width(), 40);
+            assert_eq!(slab.chunks().len(), lanes.div_ceil(MAX_LANES));
+            for (i, chunk) in slab.chunks().iter().enumerate() {
+                let expect = if i + 1 < slab.chunks().len() {
+                    MAX_LANES
+                } else {
+                    lanes - i * MAX_LANES
+                };
+                assert_eq!(chunk.lanes(), expect, "lanes={lanes} chunk={i}");
+            }
+            assert_eq!(slab.to_lanes(), values, "lanes={lanes}");
+            for (l, v) in values.iter().enumerate() {
+                assert_eq!(&slab.lane(l), v);
+            }
+            // from_chunks is the inverse of chunks().
+            let rebuilt = WideSlab::from_chunks(slab.chunks().to_vec());
+            assert_eq!(rebuilt, slab);
+        }
+    }
+
+    #[test]
+    fn wide_slab_random_matches_chunked_draws() {
+        // random() must draw chunk by chunk so sharded reseeding composes.
+        let slab = WideSlab::random(32, 130, &mut Xoshiro256::seed_from_u64(77));
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        for chunk in slab.chunks() {
+            assert_eq!(chunk, &BitSlab::random(32, chunk.lanes(), &mut rng));
+        }
+        assert_eq!(WideSlab::zero(32, 130).lanes(), 130);
+    }
+
+    #[test]
+    fn wide_slab_from_single_chunk() {
+        let chunk = BitSlab::random(16, 10, &mut Xoshiro256::seed_from_u64(4));
+        let wide = WideSlab::from(chunk.clone());
+        assert_eq!(wide.lanes(), 10);
+        assert_eq!(wide.chunks(), std::slice::from_ref(&chunk));
+    }
+
+    #[test]
+    #[should_panic(expected = "partial")]
+    fn wide_slab_partial_chunk_in_middle_panics() {
+        let _ = WideSlab::from_chunks(vec![BitSlab::zero(8, 10), BitSlab::zero(8, 64)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wide_slab_cross_chunk_width_mismatch_panics() {
+        // The mismatching lane sits in the second chunk: per-chunk
+        // validation alone would miss it.
+        let mut values = vec![UBig::zero(8); 64];
+        values.push(UBig::zero(16));
+        let _ = WideSlab::from_lanes(&values);
     }
 
     #[test]

@@ -19,15 +19,21 @@ pub(crate) enum ParseErrorKind {
 
 impl ParseUBigError {
     pub(crate) fn invalid_digit(c: char) -> Self {
-        Self { kind: ParseErrorKind::InvalidDigit(c) }
+        Self {
+            kind: ParseErrorKind::InvalidDigit(c),
+        }
     }
 
     pub(crate) fn empty() -> Self {
-        Self { kind: ParseErrorKind::Empty }
+        Self {
+            kind: ParseErrorKind::Empty,
+        }
     }
 
     pub(crate) fn overflow() -> Self {
-        Self { kind: ParseErrorKind::Overflow }
+        Self {
+            kind: ParseErrorKind::Overflow,
+        }
     }
 }
 

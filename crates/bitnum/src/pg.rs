@@ -257,11 +257,18 @@ pub fn triggered_chains(planes: &PgPlanes) -> Vec<TriggeredChain> {
     // starting at that position, by scanning from the top.
     let mut run_up = vec![0usize; width + 1];
     for i in (0..width).rev() {
-        run_up[i] = if planes.p.bit(i) { run_up[i + 1] + 1 } else { 0 };
+        run_up[i] = if planes.p.bit(i) {
+            run_up[i + 1] + 1
+        } else {
+            0
+        };
     }
     for i in 0..width {
         if planes.g.bit(i) {
-            out.push(TriggeredChain { start: i, len: run_up[i + 1] });
+            out.push(TriggeredChain {
+                start: i,
+                len: run_up[i + 1],
+            });
         }
     }
     out

@@ -120,7 +120,10 @@ impl Xoshiro256 {
     ///
     /// Panics if the state is all zero (a fixed point of the generator).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&x| x != 0), "xoshiro256 state must be non-zero");
+        assert!(
+            s.iter().any(|&x| x != 0),
+            "xoshiro256 state must be non-zero"
+        );
         Self { s }
     }
 }

@@ -45,8 +45,14 @@ impl UBig {
     ///
     /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
     pub fn zero(width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_WIDTH, "unsupported width {width}");
-        Self { width, limbs: vec![0; limbs_for(width)] }
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
+        Self {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
     }
 
     /// Creates the all-ones value (`2^width - 1`) of the given width.
@@ -119,14 +125,19 @@ impl UBig {
     /// Returns [`ParseUBigError`] if the string is empty, contains an invalid
     /// digit, or the value does not fit in `width` bits.
     pub fn from_hex(s: &str, width: usize) -> Result<Self, ParseUBigError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let mut v = Self::zero(width);
         let mut digits = 0usize;
         for c in s.chars() {
             if c == '_' {
                 continue;
             }
-            let d = c.to_digit(16).ok_or_else(|| ParseUBigError::invalid_digit(c))? as u64;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| ParseUBigError::invalid_digit(c))? as u64;
             // Shifting left by 4 must not lose set bits, and the new digit
             // must fit under the width mask.
             if !v.extract_top_nibble_is_zero() {
@@ -180,7 +191,11 @@ impl UBig {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.limbs[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -190,7 +205,11 @@ impl UBig {
     ///
     /// Panics if `i >= width`.
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.limbs[i / 64] |= mask;
@@ -243,7 +262,11 @@ impl UBig {
         let raw = self.to_u128()?;
         if self.msb() {
             // Sign-extend from `width` to 128 bits.
-            let ext = if self.width == 128 { 0 } else { u128::MAX << self.width };
+            let ext = if self.width == 128 {
+                0
+            } else {
+                u128::MAX << self.width
+            };
             Some((raw | ext) as i128)
         } else {
             Some(raw as i128)
@@ -329,7 +352,11 @@ impl UBig {
         let bit_shift = k % 64;
         if limb_shift > 0 {
             for i in (0..out.limbs.len()).rev() {
-                out.limbs[i] = if i >= limb_shift { out.limbs[i - limb_shift] } else { 0 };
+                out.limbs[i] = if i >= limb_shift {
+                    out.limbs[i - limb_shift]
+                } else {
+                    0
+                };
             }
         }
         if bit_shift > 0 {
@@ -355,7 +382,11 @@ impl UBig {
         if limb_shift > 0 {
             let n = out.limbs.len();
             for i in 0..n {
-                out.limbs[i] = if i + limb_shift < n { out.limbs[i + limb_shift] } else { 0 };
+                out.limbs[i] = if i + limb_shift < n {
+                    out.limbs[i + limb_shift]
+                } else {
+                    0
+                };
             }
         }
         if bit_shift > 0 {
@@ -403,7 +434,10 @@ impl UBig {
     ///
     /// Panics if the range exceeds the width or `len == 0`.
     pub fn extract(&self, lo: usize, len: usize) -> Self {
-        assert!(len >= 1 && lo + len <= self.width, "extract range out of bounds");
+        assert!(
+            len >= 1 && lo + len <= self.width,
+            "extract range out of bounds"
+        );
         self.shr(lo).resize(len)
     }
 
@@ -418,7 +452,11 @@ impl UBig {
     pub fn deposit_bits(&mut self, lo: usize, len: usize, value: u64) {
         assert!(len <= 64, "deposit window wider than 64 bits");
         assert!(lo + len <= self.width, "deposit range out of bounds");
-        let value = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let value = if len == 64 {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        };
         let limb = lo / 64;
         let off = lo % 64;
         self.limbs[limb] |= value << off;
@@ -544,14 +582,14 @@ impl fmt::Binary for UBig {
 }
 
 macro_rules! impl_bitop {
-    ($trait:ident, $method:ident, $op:tt) => {
+    ($trait:ident, $method:ident, $assign:tt) => {
         impl $trait for &UBig {
             type Output = UBig;
             fn $method(self, rhs: &UBig) -> UBig {
                 assert_eq!(self.width, rhs.width, "width mismatch in bit operation");
                 let mut out = self.clone();
                 for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
-                    *o = *o $op *r;
+                    *o $assign *r;
                 }
                 out
             }
@@ -565,9 +603,9 @@ macro_rules! impl_bitop {
     };
 }
 
-impl_bitop!(BitAnd, bitand, &);
-impl_bitop!(BitOr, bitor, |);
-impl_bitop!(BitXor, bitxor, ^);
+impl_bitop!(BitAnd, bitand, &=);
+impl_bitop!(BitOr, bitor, |=);
+impl_bitop!(BitXor, bitxor, ^=);
 
 impl Not for &UBig {
     type Output = UBig;

@@ -1,6 +1,6 @@
 //! Property-based tests for `bitnum` against `u128` reference semantics.
 
-use bitnum::batch::{ripple_words, BitSlab};
+use bitnum::batch::{ripple_words, BitSlab, WideSlab};
 use bitnum::pg::{self, PgPlanes};
 use bitnum::rng::Xoshiro256;
 use bitnum::UBig;
@@ -8,7 +8,11 @@ use proptest::prelude::*;
 
 fn ubig_and_u128(width: usize) -> impl Strategy<Value = (UBig, u128)> {
     prop::num::u128::ANY.prop_map(move |v| {
-        let masked = if width == 128 { v } else { v & ((1u128 << width) - 1) };
+        let masked = if width == 128 {
+            v
+        } else {
+            v & ((1u128 << width) - 1)
+        };
         (UBig::from_u128(v, width), masked)
     })
 }
@@ -124,11 +128,24 @@ proptest! {
         let b = BitSlab::random(width, lanes, &mut rng);
         let cin = bitnum::rng::RandomBits::next_u64(&mut rng) & a.lane_mask();
         let mut sum = BitSlab::zero(width, lanes);
-        let cout = ripple_words(a.words(), b.words(), cin, sum.words_mut());
+        let cout = ripple_words(a.words(), b.words(), cin, a.lane_mask(), sum.words_mut());
         for l in 0..lanes {
             let (s, c) = a.lane(l).add_with_carry(&b.lane(l), (cin >> l) & 1 == 1);
             prop_assert_eq!(sum.lane(l), s, "lane {}", l);
             prop_assert_eq!((cout >> l) & 1 == 1, c, "cout lane {}", l);
+        }
+    }
+
+    #[test]
+    fn wideslab_transpose_roundtrip(width in 1usize..200, lanes in 1usize..200, seed in any::<u64>()) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+        let slab = WideSlab::from_lanes(&values);
+        prop_assert_eq!(slab.to_lanes(), values);
+        prop_assert_eq!(slab.chunks().len(), lanes.div_ceil(64));
+        // Every chunk preserves the BitSlab lane-mask invariant.
+        for chunk in slab.chunks() {
+            prop_assert!(chunk.words().iter().all(|&w| w & !chunk.lane_mask() == 0));
         }
     }
 

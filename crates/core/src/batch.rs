@@ -223,9 +223,13 @@ fn spec_pass(layout: &WindowLayout, a: &BitSlab, b: &BitSlab, want_sum1: bool) -
     for (i, (lo, len)) in layout.iter().enumerate() {
         let aw = &a.words()[lo..lo + len];
         let bw = &b.words()[lo..lo + len];
-        let c0 = ripple_words(aw, bw, 0, &mut s0[..len]);
-        let c1 = ripple_words(aw, bw, mask, &mut s1[..len]);
-        pgs.push(WindowPgWords { p: c0 ^ c1, g: c0, gp: c1 });
+        let c0 = ripple_words(aw, bw, 0, mask, &mut s0[..len]);
+        let c1 = ripple_words(aw, bw, mask, mask, &mut s1[..len]);
+        pgs.push(WindowPgWords {
+            p: c0 ^ c1,
+            g: c0,
+            gp: c1,
+        });
         for j in 0..len {
             sum0.set_word(lo + j, (s0[j] & !cin0) | (s1[j] & cin0));
         }
@@ -239,13 +243,19 @@ fn spec_pass(layout: &WindowLayout, a: &BitSlab, b: &BitSlab, want_sum1: bool) -
         cin0 = c0;
         cin1 = if i == 0 { c0 } else { c1 };
     }
-    SpecPass { pgs, sum0, cout0, sum1, cout1 }
+    SpecPass {
+        pgs,
+        sum0,
+        cout0,
+        sum1,
+        cout1,
+    }
 }
 
 /// Full-width exact bit-sliced addition (the shared recovery adder).
 fn exact_batch(a: &BitSlab, b: &BitSlab) -> (BitSlab, u64) {
     let mut sum = BitSlab::zero(a.width(), a.lanes());
-    let cout = ripple_words(a.words(), b.words(), 0, sum.words_mut());
+    let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
     (sum, cout)
 }
 
@@ -283,9 +293,13 @@ impl Scsa {
             .map(|(lo, len)| {
                 let aw = &a.words()[lo..lo + len];
                 let bw = &b.words()[lo..lo + len];
-                let c0 = ripple_words(aw, bw, 0, &mut scratch[..len]);
-                let c1 = ripple_words(aw, bw, mask, &mut scratch[..len]);
-                WindowPgWords { p: c0 ^ c1, g: c0, gp: c1 }
+                let c0 = ripple_words(aw, bw, 0, mask, &mut scratch[..len]);
+                let c1 = ripple_words(aw, bw, mask, mask, &mut scratch[..len]);
+                WindowPgWords {
+                    p: c0 ^ c1,
+                    g: c0,
+                    gp: c1,
+                }
             })
             .collect()
     }
@@ -314,7 +328,10 @@ impl Scsa {
     /// other's lane count.
     pub fn speculate_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSpec {
         let pass = spec_pass(self.layout(), a, b, false);
-        BatchSpec { sum: pass.sum0, cout: pass.cout0 }
+        BatchSpec {
+            sum: pass.sum0,
+            cout: pass.cout0,
+        }
     }
 }
 
@@ -464,7 +481,11 @@ impl Vlcsa2 {
             debug_assert_eq!(sum.words(), exact.words(), "reliability invariant");
             debug_assert_eq!(cout, exact_cout, "reliability invariant");
         }
-        BatchOutcome { sum, cout, flagged: recover }
+        BatchOutcome {
+            sum,
+            cout,
+            flagged: recover,
+        }
     }
 }
 
@@ -495,7 +516,12 @@ mod tests {
     #[test]
     fn speculate_batch_matches_scalar_both_engines() {
         let mut rng = Xoshiro256::seed_from_u64(32);
-        for (n, k, lanes) in [(64usize, 14usize, 64usize), (65, 9, 3), (128, 15, 64), (33, 33, 7)] {
+        for (n, k, lanes) in [
+            (64usize, 14usize, 64usize),
+            (65, 9, 3),
+            (128, 15, 64),
+            (33, 33, 7),
+        ] {
             let scsa = Scsa::new(n, k);
             let scsa2 = Scsa2::new(n, k);
             let a = BitSlab::random(n, lanes, &mut rng);

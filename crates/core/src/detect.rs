@@ -78,7 +78,9 @@ pub fn err1_word(windows: &[WindowPgWords]) -> u64 {
     }
     // `p` words never carry bits beyond the lane mask, so `w[0].p & !w[1].p`
     // stays masked.
-    windows[1..].windows(2).fold(0, |acc, w| acc | (w[0].p & !w[1].p))
+    windows[1..]
+        .windows(2)
+        .fold(0, |acc, w| acc | (w[0].p & !w[1].p))
 }
 
 /// The VLCSA 2 selection decision (Ch. 6.7).
@@ -129,12 +131,24 @@ mod tests {
     fn err1_truth_table() {
         // A propagating window (above window 0) followed by a
         // non-propagating one flags.
-        assert!(err1(&[wpg(false, true), wpg(true, false), wpg(false, false)]));
+        assert!(err1(&[
+            wpg(false, true),
+            wpg(true, false),
+            wpg(false, false)
+        ]));
         // Upward-closed propagate set (over windows >= 1) does not flag.
-        assert!(!err1(&[wpg(false, true), wpg(true, false), wpg(true, false)]));
+        assert!(!err1(&[
+            wpg(false, true),
+            wpg(true, false),
+            wpg(true, false)
+        ]));
         // The pair (0, 1) is excluded: window 0 is not speculative, so a
         // run confined to it cannot invalidate S*,1.
-        assert!(!err1(&[wpg(true, false), wpg(false, false), wpg(false, false)]));
+        assert!(!err1(&[
+            wpg(true, false),
+            wpg(false, false),
+            wpg(false, false)
+        ]));
         assert!(!err1(&[wpg(true, false), wpg(false, false)]));
         assert!(!err1(&[wpg(true, true)]));
     }
@@ -181,7 +195,10 @@ mod tests {
         // select() != Recover must imply the selected result is exact —
         // on uniform AND Gaussian inputs.
         use workloads::dist::{Distribution, OperandSource};
-        for dist in [Distribution::UnsignedUniform, Distribution::paper_gaussian()] {
+        for dist in [
+            Distribution::UnsignedUniform,
+            Distribution::paper_gaussian(),
+        ] {
             let scsa2 = Scsa2::new(64, 9);
             let mut src = OperandSource::new(dist, 64, 31);
             for _ in 0..20_000 {

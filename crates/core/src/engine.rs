@@ -1,0 +1,475 @@
+//! The unified adder-engine abstraction and its registry.
+//!
+//! Before this module, every layer dispatched on adder families ad hoc:
+//! `adders::batch::BatchAdd` for the fixed-latency baselines, inherent
+//! `Vlcsa1::add_batch`/`Vlcsa2::add_batch` for the variable-latency
+//! engines, and string-matched names in the bench layer. [`Engine`] folds
+//! all of them into one object-safe trait — a scalar path, a bit-sliced
+//! batch path, and uniform latency accounting — and [`Registry`]
+//! enumerates every family at a width so drivers (benches, the exhaustive
+//! test suite, the sharded [`Executor`](crate::exec::Executor)) iterate
+//! engines instead of hand-listing them.
+//!
+//! Fixed-latency families report 1 cycle per lane and an empty stall word;
+//! the speculative engines (`vlcsa1`, `vlcsa2`, and the prior-art `vlsa`
+//! baseline) report their real per-lane 1-or-2-cycle latency, so the
+//! paper's accept-rate-driven average latency (eq. 5.2) is measurable for
+//! any engine through the same interface.
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::UBig;
+//! use vlcsa::engine::Registry;
+//!
+//! let registry = Registry::for_width(64);
+//! assert!(registry.engines().len() >= 9);
+//! let a = UBig::from_u128(123, 64);
+//! let b = UBig::from_u128(877, 64);
+//! for engine in registry.engines() {
+//!     let one = engine.add_one(&a, &b);
+//!     assert_eq!(one.sum.to_u128(), Some(1000), "{}", engine.name());
+//! }
+//! ```
+
+use adders::batch::{
+    BatchAdd, BatchCarrySelect, BatchCarrySkip, BatchCla, BatchCondSum, BatchPrefix, BatchRipple,
+};
+use bitnum::batch::{ripple_words, BitSlab};
+use bitnum::UBig;
+use vlsa::engine::VlsaEngine;
+use vlsa::Vlsa;
+
+use crate::batch::BatchOutcome;
+use crate::vlcsa1::{AddOutcome, Vlcsa1};
+use crate::vlcsa2::Vlcsa2;
+
+/// A behavioral adder engine: one scalar path, one bit-sliced batch path,
+/// uniform latency accounting.
+///
+/// Implementations must make the two paths compute the same function —
+/// `add_batch(a, b)` lane `l` must equal `add_one(&a.lane(l), &b.lane(l))`
+/// in sum, carry-out **and** cycle count — and both must equal exact
+/// addition (every engine in this workspace is reliable; the speculative
+/// ones recover). The registry-driven exhaustive suite
+/// (`tests/exhaustive_small_widths.rs`) pins this over the full input
+/// space at small widths.
+///
+/// The trait is object-safe and `Send + Sync` so a `&dyn Engine` can be
+/// shared across the shards of [`Executor`](crate::exec::Executor).
+pub trait Engine: Send + Sync {
+    /// Short display name (e.g. `"carry-select"`, `"vlcsa1"`).
+    fn name(&self) -> &'static str;
+
+    /// The operand width the engine was built for.
+    fn width(&self) -> usize;
+
+    /// Adds one operand pair through the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths disagree with the engine width.
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome;
+
+    /// Adds all lanes of `a` and `b` bit-sliced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the engine width or with each
+    /// other's lane count.
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome;
+}
+
+/// Adapts a fixed-latency [`BatchAdd`] family to the [`Engine`] protocol:
+/// every addition takes 1 cycle and never stalls.
+///
+/// ```
+/// use adders::batch::BatchRipple;
+/// use vlcsa::engine::{Engine, FixedLatency};
+/// use bitnum::UBig;
+///
+/// let engine = FixedLatency::new(BatchRipple::new(16));
+/// let one = engine.add_one(&UBig::from_u128(9, 16), &UBig::from_u128(8, 16));
+/// assert_eq!(one.cycles, 1);
+/// assert!(!one.flagged);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedLatency<A> {
+    inner: A,
+}
+
+impl<A: BatchAdd> FixedLatency<A> {
+    /// Wraps a batch adder family.
+    pub fn new(inner: A) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped family.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: BatchAdd + Send + Sync> Engine for FixedLatency<A> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        let (sum, cout) = self.inner.add_one(a, b);
+        AddOutcome {
+            sum,
+            cout,
+            cycles: 1,
+            flagged: false,
+        }
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+        let out = self.inner.add_batch(a, b);
+        BatchOutcome {
+            sum: out.sum,
+            cout: out.cout,
+            flagged: 0,
+        }
+    }
+}
+
+impl Engine for Vlcsa1 {
+    fn name(&self) -> &'static str {
+        "vlcsa1"
+    }
+
+    fn width(&self) -> usize {
+        Vlcsa1::width(self)
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        self.add(a, b)
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+        Vlcsa1::add_batch(self, a, b)
+    }
+}
+
+impl Engine for Vlcsa2 {
+    fn name(&self) -> &'static str {
+        "vlcsa2"
+    }
+
+    fn width(&self) -> usize {
+        Vlcsa2::width(self)
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        self.add(a, b)
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+        Vlcsa2::add_batch(self, a, b)
+    }
+}
+
+/// The VLSA prior-art baseline (per-bit speculation, DATE 2008) as an
+/// [`Engine`]: scalar additions go through [`VlsaEngine`], batches run the
+/// detector bit-sliced (a word-parallel scan for full `l`-bit propagate
+/// windows with a carry-capable precursor) and one shared exact ripple.
+///
+/// ```
+/// use bitnum::UBig;
+/// use vlcsa::engine::{Engine, VlsaBaseline};
+///
+/// let engine = VlsaBaseline::new(64, 17);
+/// assert_eq!(engine.name(), "vlsa");
+/// let one = engine.add_one(&UBig::from_u128(3, 64), &UBig::from_u128(5, 64));
+/// assert_eq!(one.sum.to_u128(), Some(8));
+/// assert_eq!(one.cycles, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VlsaBaseline {
+    engine: VlsaEngine,
+}
+
+impl VlsaBaseline {
+    /// Creates a VLSA baseline of the given width and speculative chain
+    /// length `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`Vlsa::new`].
+    pub fn new(width: usize, chain_len: usize) -> Self {
+        Self {
+            engine: VlsaEngine::new(Vlsa::new(width, chain_len)),
+        }
+    }
+
+    /// The wrapped scalar engine.
+    pub fn vlsa_engine(&self) -> &VlsaEngine {
+        &self.engine
+    }
+
+    /// The bit-sliced VLSA detector: bit `l` of the result is lane `l`'s
+    /// [`Vlsa::detect`] — a full `chain_len`-bit propagate window ending at
+    /// some `i >= chain_len`, preceded by a carry-capable bit.
+    fn detect_word(&self, a: &BitSlab, b: &BitSlab) -> u64 {
+        let vlsa = self.engine.vlsa();
+        let (width, l) = (vlsa.width(), vlsa.chain_len());
+        if l >= width {
+            return 0;
+        }
+        // Windowed AND by span-doubling (the same sweep shape as the
+        // prefix engines): after growing the span to `l`, `win[i]` is the
+        // AND of `p[i-l+1..=i]` for every `i >= l-1` — O(width·log l) word
+        // operations instead of the naive O(width·l) rescan per position.
+        let mut win: Vec<u64> = (0..width).map(|i| a.word(i) ^ b.word(i)).collect();
+        let mut span = 1;
+        while span < l {
+            let step = span.min(l - span);
+            // Descending, so `win[i - step]` still holds the previous
+            // span's value when `win[i]` consumes it.
+            for i in (step..width).rev() {
+                win[i] &= win[i - step];
+            }
+            span += step;
+        }
+        let mut flagged = 0u64;
+        for (i, &w) in win.iter().enumerate().skip(l) {
+            flagged |= w & (a.word(i - l) | b.word(i - l));
+        }
+        flagged
+    }
+}
+
+impl Engine for VlsaBaseline {
+    fn name(&self) -> &'static str {
+        "vlsa"
+    }
+
+    fn width(&self) -> usize {
+        self.engine.vlsa().width()
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        let out = self.engine.add(a, b);
+        AddOutcome {
+            sum: out.sum,
+            cout: out.cout,
+            cycles: out.cycles,
+            flagged: out.flagged,
+        }
+    }
+
+    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+        let width = self.width();
+        assert_eq!(a.width(), width, "operand slab width mismatch");
+        assert_eq!(b.width(), width, "operand slab width mismatch");
+        assert_eq!(a.lanes(), b.lanes(), "operand slab lane count mismatch");
+        let flagged = self.detect_word(a, b);
+        // Unflagged lanes' speculative sums are provably exact (the
+        // detector is sound) and flagged lanes recover to the exact sum,
+        // so one shared bit-sliced ripple produces every lane's result.
+        let mut sum = BitSlab::zero(width, a.lanes());
+        let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
+        BatchOutcome { sum, cout, flagged }
+    }
+}
+
+/// Every engine family at one width, with the workspace's default
+/// parameters — the single source of truth the benches and the exhaustive
+/// suite iterate instead of hand-listing families.
+///
+/// Families (and default parameters at width `n`):
+///
+/// | name | family | parameters |
+/// |---|---|---|
+/// | `ripple` | ripple-carry | — |
+/// | `cla4` | blocked carry-lookahead | 4-bit groups |
+/// | `carry-select` | carry-select | `⌈√n⌉`-bit blocks |
+/// | `carry-skip` | carry-skip | `⌈√n⌉`-bit blocks |
+/// | `conditional-sum` | conditional-sum | — |
+/// | `kogge-stone` | parallel prefix | — |
+/// | `vlsa` | per-bit speculation (DATE 2008) | `l = min(17, n)` (Table 7.3) |
+/// | `vlcsa1` | window speculation + recovery | `k = min(14, n)` (Table 7.1) |
+/// | `vlcsa2` | two-result speculation | `k = min(13, n)` (Table 7.5) |
+///
+/// # Example
+///
+/// ```
+/// use vlcsa::engine::Registry;
+///
+/// let registry = Registry::for_width(32);
+/// let names: Vec<&str> = registry.engines().iter().map(|e| e.name()).collect();
+/// assert!(names.contains(&"carry-select") && names.contains(&"vlcsa2"));
+/// assert_eq!(registry.get("vlsa").unwrap().width(), 32);
+/// assert!(registry.get("no-such-engine").is_none());
+/// ```
+pub struct Registry {
+    width: usize,
+    engines: Vec<Box<dyn Engine>>,
+}
+
+impl Registry {
+    /// Builds the full registry at a width, using each family's default
+    /// parameters (see the table above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
+    pub fn for_width(width: usize) -> Self {
+        let block = (width as f64).sqrt().ceil() as usize;
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(FixedLatency::new(BatchRipple::new(width))),
+            Box::new(FixedLatency::new(BatchCla::new(width))),
+            Box::new(FixedLatency::new(BatchCarrySelect::new(width, block))),
+            Box::new(FixedLatency::new(BatchCarrySkip::new(width, block))),
+            Box::new(FixedLatency::new(BatchCondSum::new(width))),
+            Box::new(FixedLatency::new(BatchPrefix::new(width))),
+            Box::new(VlsaBaseline::new(width, 17.min(width))),
+            Box::new(Vlcsa1::new(width, 14.min(width).min(63))),
+            Box::new(Vlcsa2::new(width, 13.min(width).min(63))),
+        ];
+        Self { width, engines }
+    }
+
+    /// The width every engine was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// All engines, in the table's order.
+    pub fn engines(&self) -> &[Box<dyn Engine>] {
+        &self.engines
+    }
+
+    /// Looks an engine up by display name.
+    pub fn get(&self, name: &str) -> Option<&dyn Engine> {
+        self.engines
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_ref())
+    }
+
+    /// The display names, in the table's order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::dist::{Distribution, OperandSource};
+
+    #[test]
+    fn registry_has_all_families() {
+        let registry = Registry::for_width(64);
+        assert!(registry.engines().len() >= 9, "fewer than 9 engines");
+        let names = registry.names();
+        for expect in [
+            "ripple",
+            "cla4",
+            "carry-select",
+            "carry-skip",
+            "conditional-sum",
+            "kogge-stone",
+            "vlsa",
+            "vlcsa1",
+            "vlcsa2",
+        ] {
+            assert!(names.contains(&expect), "missing engine {expect}");
+        }
+        // Names are unique — `get` is unambiguous.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate engine names");
+    }
+
+    #[test]
+    fn every_engine_agrees_with_exact_addition() {
+        for width in [7usize, 64, 100] {
+            let registry = Registry::for_width(width);
+            let mut src = OperandSource::new(Distribution::UnsignedUniform, width, 3);
+            let (a, b) = src.next_batch(33);
+            for engine in registry.engines() {
+                assert_eq!(engine.width(), width);
+                let out = engine.add_batch(&a, &b);
+                for l in 0..33 {
+                    let (al, bl) = (a.lane(l), b.lane(l));
+                    let (exact, exact_cout) = al.overflowing_add(&bl);
+                    assert_eq!(out.sum.lane(l), exact, "{} width {width}", engine.name());
+                    assert_eq!((out.cout >> l) & 1 == 1, exact_cout, "{}", engine.name());
+                    let one = engine.add_one(&al, &bl);
+                    assert_eq!(one.sum, exact, "{} scalar", engine.name());
+                    assert_eq!(one.cout, exact_cout);
+                    assert_eq!(
+                        out.cycles(l),
+                        one.cycles,
+                        "{} cycles lane {l}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vlsa_baseline_batch_flags_match_scalar() {
+        // The bit-sliced detector must agree with Vlsa::detect per lane —
+        // on uniform and Gaussian operands, including chain-end cases.
+        for (width, l) in [(64usize, 8usize), (64, 17), (40, 40), (65, 9)] {
+            let engine = VlsaBaseline::new(width, l);
+            for (s, dist) in [
+                Distribution::UnsignedUniform,
+                Distribution::paper_gaussian(),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut src = OperandSource::new(dist, width, 11 ^ s as u64);
+                let (a, b) = src.next_batch(64);
+                let out = engine.add_batch(&a, &b);
+                for lane in 0..64 {
+                    let scalar = engine.add_one(&a.lane(lane), &b.lane(lane));
+                    assert_eq!(
+                        (out.flagged >> lane) & 1 == 1,
+                        scalar.flagged,
+                        "width={width} l={l} lane={lane}"
+                    );
+                    assert_eq!(out.cycles(lane), scalar.cycles);
+                    assert_eq!(out.sum.lane(lane), scalar.sum);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variable_latency_engines_stall_fixed_ones_do_not() {
+        let registry = Registry::for_width(64);
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 5);
+        let (a, b) = src.next_batch(64);
+        for engine in registry.engines() {
+            let out = engine.add_batch(&a, &b);
+            match engine.name() {
+                "vlsa" | "vlcsa1" | "vlcsa2" => {}
+                _ => assert_eq!(out.stalls(), 0, "{} must not stall", engine.name()),
+            }
+        }
+        // Gaussian operands at the paper's parameters stall VLCSA 1 ~25%.
+        let v1 = registry.get("vlcsa1").unwrap();
+        let mut stalls = 0;
+        for _ in 0..20 {
+            let (a, b) = src.next_batch(64);
+            stalls += v1.add_batch(&a, &b).stalls();
+        }
+        assert!(
+            stalls > 100,
+            "vlcsa1 stalls {stalls} of 1280 Gaussian lanes"
+        );
+    }
+}

@@ -46,6 +46,8 @@
 
 pub mod batch;
 pub mod detect;
+pub mod engine;
+pub mod exec;
 pub mod magnitude;
 pub mod model;
 pub mod multiop;
@@ -58,6 +60,8 @@ mod vlcsa2;
 pub mod window;
 
 pub use batch::{Batch2Spec, BatchOutcome, BatchSpec, WindowPgWords};
+pub use engine::{Engine, FixedLatency, Registry, VlsaBaseline};
+pub use exec::{Executor, WideOutcome};
 pub use scsa::{Scsa, SpecResult, WindowPg};
 pub use scsa2::{Scsa2, Spec2Result};
 pub use vlcsa1::{AddOutcome, LatencyStats, Vlcsa1};

@@ -41,7 +41,11 @@ impl MagnitudeStats {
             exact.wrapping_sub(spec)
         };
         let denom = exact.to_f64();
-        let mag = if denom == 0.0 { 1.0 } else { diff.to_f64() / denom };
+        let mag = if denom == 0.0 {
+            1.0
+        } else {
+            diff.to_f64() / denom
+        };
         self.sum += mag;
         self.max = self.max.max(mag);
         Some(mag)
@@ -118,7 +122,9 @@ mod tests {
             }
             if scsa.is_error(&a, &b, OverflowMode::Truncate) {
                 let spec = scsa.speculate(&a, &b);
-                let mag = stats.record(&spec.sum, &exact).expect("is_error says wrong");
+                let mag = stats
+                    .record(&spec.sum, &exact)
+                    .expect("is_error says wrong");
                 // A missing carry is one unit at a window boundary the
                 // exact sum also contains, so each magnitude is <= 1.
                 assert!(mag <= 1.0 + 1e-9, "magnitude {mag}");

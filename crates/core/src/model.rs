@@ -250,7 +250,10 @@ mod tests {
             let exact = exact_error_rate(n, k);
             let paper = paper_error_rate(n, k, OverflowMode::Truncate);
             let ratio = exact / paper;
-            assert!((0.9..1.15).contains(&ratio), "n={n} k={k}: {exact} vs {paper}");
+            assert!(
+                (0.9..1.15).contains(&ratio),
+                "n={n} k={k}: {exact} vs {paper}"
+            );
         }
     }
 
@@ -266,8 +269,7 @@ mod tests {
                 let a = UBig::random(n, &mut rng);
                 let b = UBig::random(n, &mut rng);
                 errors += scsa.is_error(&a, &b, crate::OverflowMode::Truncate) as usize;
-                errors_with_cout +=
-                    scsa.is_error(&a, &b, crate::OverflowMode::CarryOut) as usize;
+                errors_with_cout += scsa.is_error(&a, &b, crate::OverflowMode::CarryOut) as usize;
             }
             // For the implemented adder the carry-out is never
             // independently wrong.
@@ -288,7 +290,10 @@ mod tests {
         let k = 7;
         let nominal = err0_rate_exact(n, k);
         let real = exact_error_rate(n, k);
-        assert!(nominal >= real, "detection must overestimate: {nominal} vs {real}");
+        assert!(
+            nominal >= real,
+            "detection must overestimate: {nominal} vs {real}"
+        );
 
         let scsa = Scsa::new(n, k);
         let mut rng = Xoshiro256::seed_from_u64(123);
@@ -301,7 +306,10 @@ mod tests {
         }
         let mc = flags as f64 / trials as f64;
         let sigma = (nominal * (1.0 - nominal) / trials as f64).sqrt();
-        assert!((mc - nominal).abs() < 5.0 * sigma + 1e-6, "mc={mc} model={nominal}");
+        assert!(
+            (mc - nominal).abs() < 5.0 * sigma + 1e-6,
+            "mc={mc} model={nominal}"
+        );
     }
 
     #[test]

@@ -69,12 +69,16 @@ pub struct MultiAdder {
 impl MultiAdder {
     /// Wraps a VLCSA 1 engine.
     pub fn with_vlcsa1(engine: Vlcsa1) -> Self {
-        Self { engine: Engine::V1(engine) }
+        Self {
+            engine: Engine::V1(engine),
+        }
     }
 
     /// Wraps a VLCSA 2 engine.
     pub fn with_vlcsa2(engine: Vlcsa2) -> Self {
-        Self { engine: Engine::V2(engine) }
+        Self {
+            engine: Engine::V2(engine),
+        }
     }
 
     /// Operand width.
@@ -101,7 +105,12 @@ impl MultiAdder {
             stalls += (outcome.cycles > 1) as u64;
             acc = outcome.sum;
         }
-        MultiOutcome { sum: acc, cycles, additions, stalls }
+        MultiOutcome {
+            sum: acc,
+            cycles,
+            additions,
+            stalls,
+        }
     }
 
     /// Balanced tree reduction: each level runs its additions in parallel
@@ -134,7 +143,12 @@ impl MultiAdder {
             cycles += level_cycles.max(1);
             level = next;
         }
-        MultiOutcome { sum: level.pop().expect("non-empty"), cycles, additions, stalls }
+        MultiOutcome {
+            sum: level.pop().expect("non-empty"),
+            cycles,
+            additions,
+            stalls,
+        }
     }
 }
 

@@ -97,7 +97,13 @@ fn build_windows(
         let cout0 = carries0[len - 1];
         let cout1 = carries1[len - 1];
         let group_p = groups[len - 1].p.expect("keep_all_p tree retains P");
-        parts.push(WindowParts { sum0, sum1, cout0, cout1, group_p });
+        parts.push(WindowParts {
+            sum0,
+            sum1,
+            cout0,
+            cout1,
+            group_p,
+        });
     }
     parts
 }
@@ -164,8 +170,7 @@ fn recovery(b: &mut NetlistBuilder, parts: &[WindowParts]) -> (Vec<Signal>, Sign
     let mut sum = Vec::new();
     for (i, part) in parts.iter().enumerate() {
         if i == 0 {
-            let buffered: Vec<Signal> =
-                part.sum0.iter().map(|&s| b.isolation_buf(s)).collect();
+            let buffered: Vec<Signal> = part.sum0.iter().map(|&s| b.isolation_buf(s)).collect();
             sum.extend(buffered);
         } else {
             let cin = window_couts[i - 1];
@@ -453,8 +458,14 @@ mod tests {
         let spec = t.output_arrival_tau("sum").unwrap();
         let det = t.output_arrival_tau("err").unwrap();
         let rec = t.output_arrival_tau("sum_rec").unwrap();
-        assert!(det < spec * 1.15, "detection ({det:.0}) ~ speculation ({spec:.0})");
+        assert!(
+            det < spec * 1.15,
+            "detection ({det:.0}) ~ speculation ({spec:.0})"
+        );
         let t_clk = spec.max(det);
-        assert!(rec < 2.0 * t_clk, "recovery ({rec:.0}) within two cycles of {t_clk:.0}");
+        assert!(
+            rec < 2.0 * t_clk,
+            "recovery ({rec:.0}) within two cycles of {t_clk:.0}"
+        );
     }
 }

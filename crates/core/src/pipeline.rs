@@ -22,7 +22,7 @@
 //! assert!(report.cycles >= 1000);
 //! ```
 
-use bitnum::batch::BitSlab;
+use bitnum::batch::WideSlab;
 use bitnum::UBig;
 
 use crate::vlcsa1::Vlcsa1;
@@ -97,9 +97,12 @@ impl Pipeline {
         report
     }
 
-    /// Runs a stream of bit-sliced **issue groups** (up to 64 operand
-    /// pairs per step) through a bank of parallel adder units, one unit
-    /// per lane.
+    /// Runs a stream of bit-sliced **issue groups** (any number of operand
+    /// pairs per step — ≤64-lane [`BitSlab`](bitnum::batch::BitSlab)s and
+    /// arbitrary-lane [`WideSlab`]s both work) through a bank of parallel
+    /// adder units, one unit per lane. Groups wider than 64 lanes are
+    /// evaluated chunk by chunk — the 64-lane kernel cap is an internal
+    /// chunking detail, not an issue-width limit.
     ///
     /// Accounting matches [`Pipeline::run`] lane-for-lane: `operations`
     /// and `stalls` count lanes, `cycles` sums per-lane cycles (each lane
@@ -115,22 +118,34 @@ impl Pipeline {
     ///
     /// let mut pipe = Pipeline::new(Vlcsa1::new(64, 14));
     /// let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 1);
-    /// let report = pipe.run_batches((0..16).map(|_| src.next_batch(64)));
-    /// assert_eq!(report.operations, 16 * 64);
+    /// // 16 issue groups of 100 lanes each (chunked internally as 64+36).
+    /// let report = pipe.run_batches((0..16).map(|_| src.next_wide(100)));
+    /// assert_eq!(report.operations, 16 * 100);
     /// assert!(report.cpi() >= 1.0);
     /// ```
-    pub fn run_batches<I: IntoIterator<Item = (BitSlab, BitSlab)>>(
-        &mut self,
-        groups: I,
-    ) -> StreamReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group's slabs disagree on lane count.
+    pub fn run_batches<W, I>(&mut self, groups: I) -> StreamReport
+    where
+        W: Into<WideSlab>,
+        I: IntoIterator<Item = (W, W)>,
+    {
         let mut report = StreamReport::default();
         let mut stall_run = 0u64;
         for (a, b) in groups {
-            let outcome = self.engine.add_batch(&a, &b);
-            report.operations += outcome.lanes() as u64;
-            report.cycles += outcome.total_cycles();
-            report.stalls += outcome.stalls() as u64;
-            if outcome.stalls() > 0 {
+            let (a, b): (WideSlab, WideSlab) = (a.into(), b.into());
+            assert_eq!(a.lanes(), b.lanes(), "issue group lane count mismatch");
+            let mut group_stalls = 0u64;
+            for (ca, cb) in a.chunks().iter().zip(b.chunks()) {
+                let outcome = self.engine.add_batch(ca, cb);
+                report.operations += outcome.lanes() as u64;
+                report.cycles += outcome.total_cycles();
+                group_stalls += u64::from(outcome.stalls());
+            }
+            report.stalls += group_stalls;
+            if group_stalls > 0 {
                 stall_run += 1;
                 report.max_stall_run = report.max_stall_run.max(stall_run);
             } else {
@@ -166,7 +181,10 @@ mod tests {
         // At cpi 1.25 the 12% clock advantage is gone — the Ch. 6
         // motivation in one assertion.
         assert!(report.speedup_vs_fixed(1.12) < 1.0);
-        assert!(report.max_stall_run >= 2, "Gaussian streams stall in bursts");
+        assert!(
+            report.max_stall_run >= 2,
+            "Gaussian streams stall in bursts"
+        );
     }
 
     #[test]
@@ -183,6 +201,24 @@ mod tests {
         assert_eq!(batch.stalls, scalar.stalls);
         assert_eq!(batch.cycles, scalar.cycles);
         assert!(batch.stalls > 0, "Gaussian at k=14 stalls ~25% of lanes");
+    }
+
+    #[test]
+    fn wide_issue_groups_match_scalar_stream_accounting() {
+        // Regression for the former 64-lane cap: 100-lane issue groups
+        // must retire with totals identical to the same 3000 pairs issued
+        // scalar — the cap is now an internal chunking detail.
+        let mut scalar_src = OperandSource::new(Distribution::paper_gaussian(), 64, 21);
+        let mut wide_src = OperandSource::new(Distribution::paper_gaussian(), 64, 21);
+        let mut scalar_pipe = Pipeline::new(Vlcsa1::new(64, 14));
+        let mut wide_pipe = Pipeline::new(Vlcsa1::new(64, 14));
+        let scalar = scalar_pipe.run((0..3000).map(|_| scalar_src.next_pair()));
+        let wide = wide_pipe.run_batches((0..30).map(|_| wide_src.next_wide(100)));
+        assert_eq!(wide.operations, 3000);
+        assert_eq!(wide.operations, scalar.operations);
+        assert_eq!(wide.stalls, scalar.stalls);
+        assert_eq!(wide.cycles, scalar.cycles);
+        assert!(wide.stalls > 0, "Gaussian at k=14 stalls ~25% of lanes");
     }
 
     #[test]

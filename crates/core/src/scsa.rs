@@ -61,7 +61,9 @@ impl Scsa {
     ///
     /// Panics on the conditions of [`WindowLayout::new`].
     pub fn new(width: usize, window: usize) -> Self {
-        Self { layout: WindowLayout::new(width, window) }
+        Self {
+            layout: WindowLayout::new(width, window),
+        }
     }
 
     /// Creates an SCSA 1 from an explicit layout.
@@ -129,8 +131,7 @@ impl Scsa {
     pub fn is_error(&self, a: &UBig, b: &UBig, mode: OverflowMode) -> bool {
         let spec = self.speculate(a, b);
         let (exact, exact_cout) = a.overflowing_add(b);
-        spec.sum != exact
-            || (mode == OverflowMode::CarryOut && spec.cout != exact_cout)
+        spec.sum != exact || (mode == OverflowMode::CarryOut && spec.cout != exact_cout)
     }
 
     fn check(&self, a: &UBig, b: &UBig) {

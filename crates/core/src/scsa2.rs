@@ -59,7 +59,9 @@ impl Scsa2 {
     ///
     /// Panics on the conditions of [`WindowLayout::new`].
     pub fn new(width: usize, window: usize) -> Self {
-        Self { inner: Scsa::new(width, window) }
+        Self {
+            inner: Scsa::new(width, window),
+        }
     }
 
     /// Adder width.
@@ -115,9 +117,18 @@ impl Scsa2 {
             // Window 0 is not speculative — its carry-in is the real 0 —
             // so BOTH chains leave it with the true carry-out G⁰.
             cin0 = (base >> len) & 1 == 1;
-            cin1 = if i == 0 { cin0 } else { ((base + 1) >> len) & 1 == 1 };
+            cin1 = if i == 0 {
+                cin0
+            } else {
+                ((base + 1) >> len) & 1 == 1
+            };
         }
-        Spec2Result { sum0, cout0, sum1, cout1 }
+        Spec2Result {
+            sum0,
+            cout0,
+            sum1,
+            cout1,
+        }
     }
 
     /// True iff **both** speculative results differ from the exact sum
@@ -125,10 +136,10 @@ impl Scsa2 {
     pub fn is_error(&self, a: &UBig, b: &UBig, mode: OverflowMode) -> bool {
         let spec = self.speculate(a, b);
         let (exact, exact_cout) = a.overflowing_add(b);
-        let wrong0 = spec.sum0 != exact
-            || (mode == OverflowMode::CarryOut && spec.cout0 != exact_cout);
-        let wrong1 = spec.sum1 != exact
-            || (mode == OverflowMode::CarryOut && spec.cout1 != exact_cout);
+        let wrong0 =
+            spec.sum0 != exact || (mode == OverflowMode::CarryOut && spec.cout0 != exact_cout);
+        let wrong1 =
+            spec.sum1 != exact || (mode == OverflowMode::CarryOut && spec.cout1 != exact_cout);
         wrong0 && wrong1
     }
 }

@@ -103,7 +103,9 @@ impl Vlcsa1 {
     ///
     /// Panics on the conditions of [`WindowLayout::new`].
     pub fn new(width: usize, window: usize) -> Self {
-        Self { scsa: Scsa::new(width, window) }
+        Self {
+            scsa: Scsa::new(width, window),
+        }
     }
 
     /// Adder width.
@@ -138,12 +140,22 @@ impl Vlcsa1 {
             // STALL: the recovery prefix adder over the window group P/G
             // produces the exact result in the second cycle.
             let (sum, cout) = a.overflowing_add(b);
-            AddOutcome { sum, cout, cycles: 2, flagged }
+            AddOutcome {
+                sum,
+                cout,
+                cycles: 2,
+                flagged,
+            }
         } else {
             // VALID: the speculative result is provably exact here.
             let spec = self.scsa.speculate(a, b);
             debug_assert_eq!(spec.sum, a.wrapping_add(b), "reliability invariant");
-            AddOutcome { sum: spec.sum, cout: spec.cout, cycles: 1, flagged }
+            AddOutcome {
+                sum: spec.sum,
+                cout: spec.cout,
+                cycles: 1,
+                flagged,
+            }
         }
     }
 }
@@ -220,7 +232,11 @@ mod tests {
             cycles: 1,
             flagged: false,
         };
-        let slow = AddOutcome { cycles: 2, flagged: true, ..fast.clone() };
+        let slow = AddOutcome {
+            cycles: 2,
+            flagged: true,
+            ..fast.clone()
+        };
         for _ in 0..99 {
             stats.record(&fast);
         }

@@ -42,7 +42,9 @@ impl Vlcsa2 {
     ///
     /// Panics on the conditions of [`WindowLayout::new`].
     pub fn new(width: usize, window: usize) -> Self {
-        Self { scsa2: Scsa2::new(width, window) }
+        Self {
+            scsa2: Scsa2::new(width, window),
+        }
     }
 
     /// Adder width.
@@ -76,16 +78,31 @@ impl Vlcsa2 {
             Selection::Spec0 => {
                 let spec = self.scsa2.speculate(a, b);
                 debug_assert_eq!(spec.sum0, a.wrapping_add(b), "reliability invariant");
-                AddOutcome { sum: spec.sum0, cout: spec.cout0, cycles: 1, flagged: false }
+                AddOutcome {
+                    sum: spec.sum0,
+                    cout: spec.cout0,
+                    cycles: 1,
+                    flagged: false,
+                }
             }
             Selection::Spec1 => {
                 let spec = self.scsa2.speculate(a, b);
                 debug_assert_eq!(spec.sum1, a.wrapping_add(b), "reliability invariant");
-                AddOutcome { sum: spec.sum1, cout: spec.cout1, cycles: 1, flagged: false }
+                AddOutcome {
+                    sum: spec.sum1,
+                    cout: spec.cout1,
+                    cycles: 1,
+                    flagged: false,
+                }
             }
             Selection::Recover => {
                 let (sum, cout) = a.overflowing_add(b);
-                AddOutcome { sum, cout, cycles: 2, flagged: true }
+                AddOutcome {
+                    sum,
+                    cout,
+                    cycles: 2,
+                    flagged: true,
+                }
             }
         }
     }
@@ -111,7 +128,9 @@ mod tests {
         for dist in [
             Distribution::UnsignedUniform,
             Distribution::TwosComplementUniform,
-            Distribution::UnsignedGaussian { sigma: (1u64 << 32) as f64 },
+            Distribution::UnsignedGaussian {
+                sigma: (1u64 << 32) as f64,
+            },
             Distribution::paper_gaussian(),
         ] {
             let adder = Vlcsa2::new(64, 9);

@@ -26,7 +26,7 @@ impl WindowLayout {
     /// uses windows above 21 bits).
     pub fn new(width: usize, window: usize) -> Self {
         assert!(width >= 1, "width must be >= 1");
-        assert!(window >= 1 && window <= 63, "window size must be in 1..=63");
+        assert!((1..=63).contains(&window), "window size must be in 1..=63");
         let count = width.div_ceil(window);
         let first = width - window * (count - 1);
         let mut bounds = Vec::with_capacity(count);
@@ -37,7 +37,11 @@ impl WindowLayout {
             lo += window;
         }
         debug_assert_eq!(lo, width);
-        Self { width, window, bounds }
+        Self {
+            width,
+            window,
+            bounds,
+        }
     }
 
     /// Total adder width `n`.

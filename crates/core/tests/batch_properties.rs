@@ -20,7 +20,9 @@ fn distributions() -> [Distribution; 4] {
     [
         Distribution::UnsignedUniform,
         Distribution::TwosComplementUniform,
-        Distribution::UnsignedGaussian { sigma: (1u64 << 24) as f64 },
+        Distribution::UnsignedGaussian {
+            sigma: (1u64 << 24) as f64,
+        },
         Distribution::paper_gaussian(),
     ]
 }

@@ -41,7 +41,12 @@ impl AreaReport {
 
 impl fmt::Display for AreaReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1} NAND2-eq ({:.1} um2): ", self.total_nand2, self.total_um2())?;
+        write!(
+            f,
+            "{:.1} NAND2-eq ({:.1} um2): ",
+            self.total_nand2,
+            self.total_um2()
+        )?;
         let mut first = true;
         for (kind, count) in &self.by_kind {
             if !first {
@@ -67,7 +72,10 @@ pub fn analyze(netlist: &Netlist) -> AreaReport {
             total += kind.area();
         }
     }
-    AreaReport { by_kind, total_nand2: total }
+    AreaReport {
+        by_kind,
+        total_nand2: total,
+    }
 }
 
 #[cfg(test)]

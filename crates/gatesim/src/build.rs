@@ -70,9 +70,17 @@ impl NetlistBuilder {
         );
         let bus_idx = self.inputs.len() as u32;
         let signals: Vec<Signal> = (0..width)
-            .map(|bit| self.push(Node::Input { bus: bus_idx, bit: bit as u32 }))
+            .map(|bit| {
+                self.push(Node::Input {
+                    bus: bus_idx,
+                    bit: bit as u32,
+                })
+            })
             .collect();
-        self.inputs.push(Bus { name, signals: signals.clone() });
+        self.inputs.push(Bus {
+            name,
+            signals: signals.clone(),
+        });
         signals
     }
 
@@ -89,7 +97,10 @@ impl NetlistBuilder {
     /// does not belong to this builder.
     pub fn output_bus(&mut self, name: impl Into<String>, signals: &[Signal]) {
         let name = name.into();
-        assert!(!signals.is_empty(), "output bus {name:?} must have width >= 1");
+        assert!(
+            !signals.is_empty(),
+            "output bus {name:?} must have width >= 1"
+        );
         assert!(
             self.outputs.iter().all(|b| b.name != name),
             "output bus {name:?} declared twice"
@@ -97,7 +108,10 @@ impl NetlistBuilder {
         for s in signals {
             assert!(s.index() < self.nodes.len(), "signal from another netlist");
         }
-        self.outputs.push(Bus { name, signals: signals.to_vec() });
+        self.outputs.push(Bus {
+            name,
+            signals: signals.to_vec(),
+        });
     }
 
     /// Declares a 1-bit output.
@@ -110,7 +124,10 @@ impl NetlistBuilder {
         if let Some(s) = self.const0 {
             return s;
         }
-        let s = self.push(Node::Cell { kind: CellKind::Const0, ins: [Signal(0); 4] });
+        let s = self.push(Node::Cell {
+            kind: CellKind::Const0,
+            ins: [Signal(0); 4],
+        });
         self.const0 = Some(s);
         s
     }
@@ -120,7 +137,10 @@ impl NetlistBuilder {
         if let Some(s) = self.const1 {
             return s;
         }
-        let s = self.push(Node::Cell { kind: CellKind::Const1, ins: [Signal(0); 4] });
+        let s = self.push(Node::Cell {
+            kind: CellKind::Const1,
+            ins: [Signal(0); 4],
+        });
         self.const1 = Some(s);
         s
     }
@@ -137,8 +157,14 @@ impl NetlistBuilder {
     /// Returns the constant value of `s`, if it is a constant node.
     pub fn const_value(&self, s: Signal) -> Option<bool> {
         match self.nodes[s.index()] {
-            Node::Cell { kind: CellKind::Const0, .. } => Some(false),
-            Node::Cell { kind: CellKind::Const1, .. } => Some(true),
+            Node::Cell {
+                kind: CellKind::Const0,
+                ..
+            } => Some(false),
+            Node::Cell {
+                kind: CellKind::Const1,
+                ..
+            } => Some(true),
             _ => None,
         }
     }
@@ -146,7 +172,10 @@ impl NetlistBuilder {
     /// If `s` is an inverter output, returns its input.
     fn inv_input(&self, s: Signal) -> Option<Signal> {
         match self.nodes[s.index()] {
-            Node::Cell { kind: CellKind::Inv, ins } => Some(ins[0]),
+            Node::Cell {
+                kind: CellKind::Inv,
+                ins,
+            } => Some(ins[0]),
             _ => None,
         }
     }
@@ -164,7 +193,12 @@ impl NetlistBuilder {
     /// Panics if the number of inputs does not match the cell arity or an
     /// input belongs to another builder.
     pub fn cell(&mut self, kind: CellKind, inputs: &[Signal]) -> Signal {
-        assert_eq!(inputs.len(), kind.arity(), "{kind:?} needs {} inputs", kind.arity());
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind:?} needs {} inputs",
+            kind.arity()
+        );
         for s in inputs {
             assert!(s.index() < self.nodes.len(), "signal from another netlist");
         }
@@ -403,7 +437,10 @@ impl NetlistBuilder {
     /// synthesis tool isolates critical paths.
     pub fn isolation_buf(&mut self, a: Signal) -> Signal {
         assert!(a.index() < self.nodes.len(), "signal from another netlist");
-        self.push(Node::Cell { kind: CellKind::Buf, ins: [a, Signal(0), Signal(0), Signal(0)] })
+        self.push(Node::Cell {
+            kind: CellKind::Buf,
+            ins: [a, Signal(0), Signal(0), Signal(0)],
+        })
     }
 
     /// Inverter.
@@ -574,7 +611,10 @@ impl NetlistBuilder {
     /// Panics if the bus widths differ.
     pub fn mux_bus(&mut self, d0: &[Signal], d1: &[Signal], sel: Signal) -> Vec<Signal> {
         assert_eq!(d0.len(), d1.len(), "mux bus width mismatch");
-        d0.iter().zip(d1).map(|(&x, &y)| self.mux2(x, y, sel)).collect()
+        d0.iter()
+            .zip(d1)
+            .map(|(&x, &y)| self.mux2(x, y, sel))
+            .collect()
     }
 
     /// Number of nodes created so far (including inputs and constants).
@@ -597,7 +637,11 @@ impl NetlistBuilder {
     ///
     /// Panics if no output bus was declared.
     pub fn finish(self) -> Netlist {
-        assert!(!self.outputs.is_empty(), "netlist {:?} has no outputs", self.name);
+        assert!(
+            !self.outputs.is_empty(),
+            "netlist {:?} has no outputs",
+            self.name
+        );
         let mut live = vec![false; self.nodes.len()];
         // Inputs are part of the interface; keep them all.
         for bus in &self.inputs {
@@ -802,7 +846,12 @@ mod tests {
         let bin = b.or_many(&xs);
         b.output_bit("z", bin);
         let n_bin = b.finish();
-        assert!(n_wide.depth() < n_bin.depth(), "{} vs {}", n_wide.depth(), n_bin.depth());
+        assert!(
+            n_wide.depth() < n_bin.depth(),
+            "{} vs {}",
+            n_wide.depth(),
+            n_bin.depth()
+        );
     }
 
     #[test]
@@ -813,10 +862,7 @@ mod tests {
         let zero = b.const0();
         let a4 = b.and4(xs[0], xs[1], xs[2], one);
         // Folded to a 2-input network, not an And4 cell.
-        assert!(!matches!(
-            b.clone_node_kind(a4),
-            Some(CellKind::And4)
-        ));
+        assert!(!matches!(b.clone_node_kind(a4), Some(CellKind::And4)));
         let z = b.or4(xs[0], zero, xs[1], xs[2]);
         assert!(!matches!(b.clone_node_kind(z), Some(CellKind::Or4)));
         let dead = b.nand4(xs[0], xs[0], xs[1], xs[2]); // duplicate input

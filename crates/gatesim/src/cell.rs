@@ -211,8 +211,14 @@ mod tests {
                         CellKind::Mux2.eval(a, b, c, 0) & 1 == 1,
                         if cb { bb } else { ab }
                     );
-                    assert_eq!(CellKind::Aoi21.eval(a, b, c, 0) & 1 == 1, !((ab && bb) || cb));
-                    assert_eq!(CellKind::Oai21.eval(a, b, c, 0) & 1 == 1, !((ab || bb) && cb));
+                    assert_eq!(
+                        CellKind::Aoi21.eval(a, b, c, 0) & 1 == 1,
+                        !((ab && bb) || cb)
+                    );
+                    assert_eq!(
+                        CellKind::Oai21.eval(a, b, c, 0) & 1 == 1,
+                        !((ab || bb) && cb)
+                    );
                     assert_eq!(
                         CellKind::Maj3.eval(a, b, c, 0) & 1 == 1,
                         (ab as u8 + bb as u8 + cb as u8) >= 2

@@ -71,7 +71,9 @@ fn check_interfaces(a: &Netlist, b: &Netlist) -> Result<(), GateError> {
         }
     }
     if a.inputs().len() != b.inputs().len() {
-        return Err(GateError::InterfaceMismatch("different input bus counts".into()));
+        return Err(GateError::InterfaceMismatch(
+            "different input bus counts".into(),
+        ));
     }
     for bus in a.outputs() {
         match b.output(&bus.name) {
@@ -85,7 +87,9 @@ fn check_interfaces(a: &Netlist, b: &Netlist) -> Result<(), GateError> {
         }
     }
     if a.outputs().len() != b.outputs().len() {
-        return Err(GateError::InterfaceMismatch("different output bus counts".into()));
+        return Err(GateError::InterfaceMismatch(
+            "different output bus counts".into(),
+        ));
     }
     Ok(())
 }
@@ -98,8 +102,10 @@ fn run_batch(
     stimuli: &[(String, Vec<u64>)],
     lanes: usize,
 ) -> Result<Option<Counterexample>, GateError> {
-    let borrowed: Vec<(&str, &[u64])> =
-        stimuli.iter().map(|(n, w)| (n.as_str(), w.as_slice())).collect();
+    let borrowed: Vec<(&str, &[u64])> = stimuli
+        .iter()
+        .map(|(n, w)| (n.as_str(), w.as_slice()))
+        .collect();
     let out_a = sim::simulate(a, &borrowed)?;
     let out_b = sim::simulate(b, &borrowed)?;
     for bus in a.outputs() {
@@ -109,7 +115,11 @@ fn run_batch(
         for (x, y) in wa.iter().zip(wb) {
             diff_lanes |= x ^ y;
         }
-        let lane_mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let lane_mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
         diff_lanes &= lane_mask;
         if diff_lanes != 0 {
             let lane = diff_lanes.trailing_zeros() as usize;
@@ -256,7 +266,9 @@ mod tests {
             b.finish()
         };
         assert_eq!(check(&wide(false), &wide(false), 256, 7).unwrap(), None);
-        let cex = check(&wide(false), &wide(true), 256, 7).unwrap().expect("bit 17 differs");
+        let cex = check(&wide(false), &wide(true), 256, 7)
+            .unwrap()
+            .expect("bit 17 differs");
         assert_eq!(cex.output, "z");
     }
 

@@ -55,13 +55,13 @@
 pub mod area;
 mod build;
 pub mod cell;
+pub mod equiv;
 mod error;
 mod netlist;
 pub mod opt;
 pub mod power;
 pub mod sim;
 pub mod sta;
-pub mod equiv;
 pub mod verilog;
 
 pub use build::NetlistBuilder;

@@ -89,12 +89,7 @@ fn rebuild(netlist: &Netlist, max_fanout: u32) -> Netlist {
     }
 
     // Builds the replica set for a newly created signal.
-    fn replicate(
-        b: &mut NetlistBuilder,
-        src: Signal,
-        fanout: u32,
-        max_fanout: u32,
-    ) -> Vec<Signal> {
+    fn replicate(b: &mut NetlistBuilder, src: Signal, fanout: u32, max_fanout: u32) -> Vec<Signal> {
         if fanout <= max_fanout {
             return vec![src];
         }
@@ -183,7 +178,11 @@ mod tests {
         let before = sta::analyze(&n).critical_delay_tau();
         let buffered = buffer_fanout(&n, 8);
         let after = sta::analyze(&buffered).critical_delay_tau();
-        assert!(buffered.max_fanout() <= 8 + 1, "fanout {}", buffered.max_fanout());
+        assert!(
+            buffered.max_fanout() <= 8 + 1,
+            "fanout {}",
+            buffered.max_fanout()
+        );
         assert!(after < before, "buffering should help: {after} vs {before}");
         assert!(equiv::check(&n, &buffered, 256, 2).unwrap().is_none());
     }

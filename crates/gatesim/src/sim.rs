@@ -94,11 +94,13 @@ pub fn simulate_bools(
     let words: Vec<(&str, Vec<u64>)> = stimuli
         .iter()
         .map(|(name, bits)| {
-            (*name, bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect())
+            (
+                *name,
+                bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect(),
+            )
         })
         .collect();
-    let borrowed: Vec<(&str, &[u64])> =
-        words.iter().map(|(n, w)| (*n, w.as_slice())).collect();
+    let borrowed: Vec<(&str, &[u64])> = words.iter().map(|(n, w)| (*n, w.as_slice())).collect();
     let out = simulate(netlist, &borrowed)?;
     Ok(out
         .into_iter()
@@ -127,8 +129,7 @@ pub fn simulate_ubig(
             )
         })
         .collect();
-    let borrowed: Vec<(&str, &[u64])> =
-        words.iter().map(|(n, w)| (*n, w.as_slice())).collect();
+    let borrowed: Vec<(&str, &[u64])> = words.iter().map(|(n, w)| (*n, w.as_slice())).collect();
     let out = simulate(netlist, &borrowed)?;
     Ok(out
         .into_iter()

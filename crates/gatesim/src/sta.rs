@@ -175,7 +175,12 @@ pub fn analyze(netlist: &Netlist) -> TimingReport {
     }
     critical_path.reverse();
 
-    TimingReport { arrivals: arrival, critical_path, critical_delay, output_arrivals }
+    TimingReport {
+        arrivals: arrival,
+        critical_path,
+        critical_delay,
+        output_arrivals,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +236,10 @@ mod tests {
         };
         let tl = analyze(&light).critical_delay_tau();
         let th = analyze(&heavy).critical_delay_tau();
-        assert!(th > tl + 10.0, "fanout 16 ({th}) must cost well over fanout 1 ({tl})");
+        assert!(
+            th > tl + 10.0,
+            "fanout 16 ({th}) must cost well over fanout 1 ({tl})"
+        );
     }
 
     #[test]
@@ -250,7 +258,10 @@ mod tests {
         for w in path.windows(2) {
             assert!(report.arrival_tau(w[0]) <= report.arrival_tau(w[1]));
         }
-        assert_eq!(path.last().unwrap().index(), n.output("z").unwrap().signals[0].index());
+        assert_eq!(
+            path.last().unwrap().index(),
+            n.output("z").unwrap().signals[0].index()
+        );
     }
 
     #[test]
@@ -281,6 +292,8 @@ mod tests {
         b.output_bit("z", z);
         let n = b.finish();
         let r = analyze(&n);
-        assert!((r.critical_delay_ns() - r.critical_delay_tau() * PS_PER_TAU / 1000.0).abs() < 1e-12);
+        assert!(
+            (r.critical_delay_ns() - r.critical_delay_tau() * PS_PER_TAU / 1000.0).abs() < 1e-12
+        );
     }
 }

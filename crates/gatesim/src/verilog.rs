@@ -26,10 +26,20 @@ pub fn emit(netlist: &Netlist) -> String {
     }
     let _ = writeln!(v, "module {module} ({});", ports.join(", "));
     for bus in netlist.inputs() {
-        let _ = writeln!(v, "  input  [{}:0] {};", bus.signals.len() - 1, sanitize(&bus.name));
+        let _ = writeln!(
+            v,
+            "  input  [{}:0] {};",
+            bus.signals.len() - 1,
+            sanitize(&bus.name)
+        );
     }
     for bus in netlist.outputs() {
-        let _ = writeln!(v, "  output [{}:0] {};", bus.signals.len() - 1, sanitize(&bus.name));
+        let _ = writeln!(
+            v,
+            "  output [{}:0] {};",
+            bus.signals.len() - 1,
+            sanitize(&bus.name)
+        );
     }
 
     // Name every node: inputs map to bus selects, cells to fresh wires.
@@ -60,7 +70,12 @@ pub fn emit(netlist: &Netlist) -> String {
                 .take(kind.arity())
                 .map(|s| names[s.index()].clone())
                 .collect();
-            let _ = writeln!(v, "  assign {} = {};", names[i], kind.verilog_expr(&in_names));
+            let _ = writeln!(
+                v,
+                "  assign {} = {};",
+                names[i],
+                kind.verilog_expr(&in_names)
+            );
         }
     }
     for bus in netlist.outputs() {
@@ -82,7 +97,13 @@ pub fn emit(netlist: &Netlist) -> String {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() || out.chars().next().unwrap().is_ascii_digit() {
         out.insert(0, 'm');
@@ -115,8 +136,7 @@ mod tests {
         // Every internal wire that is assigned is declared.
         for line in text.lines() {
             if let Some(rest) = line.trim().strip_prefix("assign n") {
-                let id: String =
-                    rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                let id: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
                 assert!(text.contains(&format!("n{id}")), "wire n{id} declared");
             }
         }

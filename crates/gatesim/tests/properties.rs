@@ -43,7 +43,9 @@ fn build_random(recipes: &[GateRecipe], outputs: usize) -> Netlist {
         };
         pool.push(s);
     }
-    let outs: Vec<Signal> = (0..outputs).map(|i| pool[pool.len() - 1 - (i % pool.len())]).collect();
+    let outs: Vec<Signal> = (0..outputs)
+        .map(|i| pool[pool.len() - 1 - (i % pool.len())])
+        .collect();
     b.output_bus("z", &outs);
     b.finish()
 }

@@ -44,11 +44,21 @@ impl VlsaEngine {
     pub fn add(&self, a: &UBig, b: &UBig) -> VlsaOutcome {
         if self.adder.detect(a, b) {
             let (sum, cout) = self.adder.recover(a, b);
-            VlsaOutcome { sum, cout, cycles: 2, flagged: true }
+            VlsaOutcome {
+                sum,
+                cout,
+                cycles: 2,
+                flagged: true,
+            }
         } else {
             let (sum, cout) = self.adder.speculative_add(a, b);
             debug_assert_eq!(sum, a.wrapping_add(b), "reliability invariant");
-            VlsaOutcome { sum, cout, cycles: 1, flagged: false }
+            VlsaOutcome {
+                sum,
+                cout,
+                cycles: 1,
+                flagged: false,
+            }
         }
     }
 }

@@ -61,7 +61,10 @@ impl Vlsa {
     ///
     /// Panics if `chain_len == 0` or `chain_len > width`.
     pub fn new(width: usize, chain_len: usize) -> Self {
-        assert!(chain_len >= 1 && chain_len <= width, "chain length out of range");
+        assert!(
+            chain_len >= 1 && chain_len <= width,
+            "chain length out of range"
+        );
         Self { width, chain_len }
     }
 
@@ -195,9 +198,8 @@ mod tests {
             let planes = PgPlanes::of(&a, &b);
             // Flag iff a full l-bit propagate window ending at i >= l is
             // preceded by a carry-capable bit.
-            let want = (l..48).any(|i| {
-                (0..l).all(|j| planes.p.bit(i - j)) && (a.bit(i - l) || b.bit(i - l))
-            });
+            let want = (l..48)
+                .any(|i| (0..l).all(|j| planes.p.bit(i - j)) && (a.bit(i - l) || b.bit(i - l)));
             assert_eq!(adder.detect(&a, &b), want);
         }
     }

@@ -40,8 +40,11 @@ pub fn vlsa_spec_netlist(width: usize, chain_len: usize) -> Netlist {
                 src[*bit as usize]
             }
             gatesim::Node::Cell { kind, ins } => {
-                let mapped: Vec<Signal> =
-                    ins.iter().take(kind.arity()).map(|s| map[s.index()]).collect();
+                let mapped: Vec<Signal> = ins
+                    .iter()
+                    .take(kind.arity())
+                    .map(|s| map[s.index()])
+                    .collect();
                 b.cell(*kind, &mapped)
             }
         };
@@ -61,23 +64,31 @@ pub fn vlsa_spec_netlist(width: usize, chain_len: usize) -> Netlist {
 ///
 /// Panics if `chain_len == 0` or `chain_len > width`.
 pub fn vlsa_netlist(width: usize, chain_len: usize) -> Netlist {
-    assert!(chain_len >= 1 && chain_len <= width, "chain length out of range");
+    assert!(
+        chain_len >= 1 && chain_len <= width,
+        "chain length out of range"
+    );
     let mut b = NetlistBuilder::new(format!("vlsa_{width}_l{chain_len}"));
     let a = b.input_bus("a", width);
     let bb = b.input_bus("b", width);
     let plane = pg::pg_bits(&mut b, &a, &bb);
 
     // --- Speculative stage: truncated prefix computation -----------------
-    let mut groups: Vec<GroupPg> =
-        plane.iter().map(|bit| GroupPg { g: bit.g, p: Some(bit.p) }).collect();
+    let mut groups: Vec<GroupPg> = plane
+        .iter()
+        .map(|bit| GroupPg {
+            g: bit.g,
+            p: Some(bit.p),
+        })
+        .collect();
     // Span-start tracker; positions with lo == 0 are exact and final.
     let mut lo: Vec<usize> = (0..width).collect();
     let mut window = 1usize;
     let apply_stride = |b: &mut NetlistBuilder,
-                            groups: &mut Vec<GroupPg>,
-                            lo: &mut Vec<usize>,
-                            stride: usize,
-                            window: usize| {
+                        groups: &mut Vec<GroupPg>,
+                        lo: &mut Vec<usize>,
+                        stride: usize,
+                        window: usize| {
         let snapshot = groups.clone();
         let lo_snapshot = lo.clone();
         for pos in stride..width {
@@ -201,7 +212,10 @@ mod tests {
         let spec = t.output_arrival_tau("sum").unwrap();
         let err = t.output_arrival_tau("err").unwrap();
         let rec = t.output_arrival_tau("sum_exact").unwrap();
-        assert!(err > spec * 0.8, "detector should not be far faster than spec");
+        assert!(
+            err > spec * 0.8,
+            "detector should not be far faster than spec"
+        );
         assert!(rec > spec, "recovery completes after speculation");
     }
 
@@ -212,7 +226,7 @@ mod tests {
         let a = UBig::from_u128(1, n);
         let b = UBig::from_u128((1 << 31) - 1, n);
         let out = sim::simulate_ubig(&net, &[("a", &a), ("b", &b)]).unwrap();
-        assert_eq!(out["err"].bit(0), true);
+        assert!(out["err"].bit(0));
         assert_eq!(out["sum_exact"], a.wrapping_add(&b));
         assert_ne!(out["sum"], a.wrapping_add(&b));
     }

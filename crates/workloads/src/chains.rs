@@ -97,7 +97,7 @@ impl ChainHistogram {
         if self.additions == 0 {
             return 0.0;
         }
-        let c: u64 = self.longest_counts[len.min(self.width + 1).max(0)..].iter().sum();
+        let c: u64 = self.longest_counts[len.min(self.width + 1)..].iter().sum();
         c as f64 / self.additions as f64
     }
 
@@ -117,7 +117,9 @@ impl ChainHistogram {
 
     /// `(length, percentage-of-chains)` rows for plotting, lengths 1..=width.
     pub fn rows(&self) -> Vec<(usize, f64)> {
-        (1..=self.width).map(|len| (len, 100.0 * self.share(len))).collect()
+        (1..=self.width)
+            .map(|len| (len, 100.0 * self.share(len)))
+            .collect()
     }
 
     /// Merges another histogram of the same width into this one.

@@ -50,7 +50,10 @@ pub struct PairCollector {
 impl PairCollector {
     /// A collector keeping at most `cap` pairs (`None` = unbounded).
     pub fn with_cap(cap: Option<usize>) -> Self {
-        Self { pairs: Vec::new(), cap }
+        Self {
+            pairs: Vec::new(),
+            cap,
+        }
     }
 
     /// The collected pairs.
@@ -61,7 +64,7 @@ impl PairCollector {
 
 impl AddSink for PairCollector {
     fn record_add(&mut self, a: &UBig, b: &UBig) {
-        if self.cap.map_or(true, |c| self.pairs.len() < c) {
+        if self.cap.is_none_or(|c| self.pairs.len() < c) {
             self.pairs.push((a.clone(), b.clone()));
         }
     }
@@ -127,7 +130,11 @@ impl<'s, S: AddSink> ModContext<'s, S> {
     pub fn new(modulus: UBig, sink: &'s mut S) -> Self {
         assert!(!modulus.is_zero(), "modulus must be nonzero");
         let width = modulus.width();
-        Self { modulus, width, sink }
+        Self {
+            modulus,
+            width,
+            sink,
+        }
     }
 
     /// The modulus width in bits.
@@ -198,7 +205,9 @@ impl<'s, S: AddSink> ModContext<'s, S> {
     /// `base^exp mod m` by square-and-multiply over [`ModContext::mul_mod`].
     pub fn pow_mod(&mut self, base: &UBig, exp: &UBig) -> UBig {
         let mut result = UBig::from_u128(1, self.width).rem(&self.modulus);
-        let mut b = base.rem(&self.modulus.resize(base.width())).resize(self.width);
+        let mut b = base
+            .rem(&self.modulus.resize(base.width()))
+            .resize(self.width);
         let top = match exp.highest_set_bit() {
             Some(t) => t,
             None => return result,
@@ -294,7 +303,7 @@ pub fn ec_double<S: AddSink>(ctx: &mut ModContext<'_, S>, p: &JacobianPoint) -> 
     let a = ctx.mul_mod(&p.x, &p.x); // X1^2
     let b = ctx.mul_mod(&p.y, &p.y); // Y1^2
     let c = ctx.mul_mod(&b, &b); // B^2
-    // D = 2*((X1+B)^2 - A - C)
+                                 // D = 2*((X1+B)^2 - A - C)
     let x1b = ctx.add_mod(&p.x, &b);
     let x1b2 = ctx.mul_mod(&x1b, &x1b);
     let t = ctx.sub_mod(&x1b2, &a);
@@ -317,7 +326,11 @@ pub fn ec_double<S: AddSink>(ctx: &mut ModContext<'_, S>, p: &JacobianPoint) -> 
     // Z3 = 2*Y1*Z1
     let yz = ctx.mul_mod(&p.y, &p.z);
     let z3 = ctx.add_mod(&yz, &yz);
-    JacobianPoint { x: x3, y: y3, z: z3 }
+    JacobianPoint {
+        x: x3,
+        y: y3,
+        z: z3,
+    }
 }
 
 /// Point addition on secp256k1, add-2007-bl formulas with special cases.
@@ -370,7 +383,11 @@ pub fn ec_add<S: AddSink>(
     let t = ctx.sub_mod(&z12sq, &z1z1);
     let t = ctx.sub_mod(&t, &z2z2);
     let z3 = ctx.mul_mod(&t, &h);
-    JacobianPoint { x: x3, y: y3, z: z3 }
+    JacobianPoint {
+        x: x3,
+        y: y3,
+        z: z3,
+    }
 }
 
 /// Scalar multiplication (double-and-add, MSB first).
@@ -604,17 +621,30 @@ mod tests {
         for bench in CryptoBench::ALL {
             let mut hist = ChainHistogram::new(bench.width());
             bench.run(1, 77, &mut hist);
-            assert!(hist.additions() > 1000, "{}: {} adds", bench.name(), hist.additions());
+            assert!(
+                hist.additions() > 1000,
+                "{}: {} adds",
+                bench.name(),
+                hist.additions()
+            );
             // Fig. 6.2's bimodal shape: dominant geometric short-chain mode
             // plus a heavy mode of chains reaching toward the word width.
-            assert!(hist.share(1) > hist.share(4), "{}: short mode", bench.name());
+            assert!(
+                hist.share(1) > hist.share(4),
+                "{}: short mode",
+                bench.name()
+            );
             let long = hist.additions_with_chain_at_least(20);
             assert!(
                 long > 0.02,
                 "{}: long-chain mode share {long} too small",
                 bench.name()
             );
-            assert!(long < 0.8, "{}: long-chain mode share {long} implausibly big", bench.name());
+            assert!(
+                long < 0.8,
+                "{}: long-chain mode share {long} implausibly big",
+                bench.name()
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The operand distributions of the paper's evaluation.
 
-use bitnum::batch::BitSlab;
-use bitnum::rng::{RandomBits, Xoshiro256};
+use bitnum::batch::{BitSlab, WideSlab};
+use bitnum::rng::{RandomBits, SplitMix64, Xoshiro256};
 use bitnum::UBig;
 
 use crate::gaussian::Gaussian;
@@ -45,7 +45,9 @@ impl Distribution {
 
     /// The paper's σ = 2³² Gaussian in two's complement.
     pub fn paper_gaussian() -> Self {
-        Distribution::TwosComplementGaussian { sigma: (1u64 << 32) as f64 }
+        Distribution::TwosComplementGaussian {
+            sigma: (1u64 << 32) as f64,
+        }
     }
 }
 
@@ -54,6 +56,7 @@ impl Distribution {
 pub struct OperandSource {
     dist: Distribution,
     width: usize,
+    seed: u64,
     rng: Xoshiro256,
     gaussian: Option<Gaussian>,
 }
@@ -71,7 +74,13 @@ impl OperandSource {
             | Distribution::TwosComplementGaussian { sigma } => Some(Gaussian::new(sigma)),
             _ => None,
         };
-        Self { dist, width, rng: Xoshiro256::seed_from_u64(seed), gaussian }
+        Self {
+            dist,
+            width,
+            seed,
+            rng: Xoshiro256::seed_from_u64(seed),
+            gaussian,
+        }
     }
 
     /// The distribution.
@@ -82,6 +91,43 @@ impl OperandSource {
     /// The operand width.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The creation seed (not the current stream position).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives `shards` independent child sources, one per executor shard.
+    ///
+    /// Child `i` draws the same distribution and width from a seed expanded
+    /// out of the **creation** seed by [`SplitMix64`] — so the shard
+    /// streams depend only on `(dist, width, seed, i)`, never on how far
+    /// this source has advanced or on how many threads consume them:
+    /// sharded workloads are exactly reproducible, and re-splitting the
+    /// same source always yields the same children.
+    ///
+    /// ```
+    /// use workloads::dist::{Distribution, OperandSource};
+    ///
+    /// let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 7);
+    /// let _ = src.next_pair(); // advancing the parent changes nothing
+    /// let mut again = OperandSource::new(Distribution::paper_gaussian(), 64, 7);
+    /// let (a, b) = (src.split(4), again.split(4));
+    /// for (mut x, mut y) in a.into_iter().zip(b) {
+    ///     assert_eq!(x.next_pair(), y.next_pair());
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn split(&self, shards: usize) -> Vec<OperandSource> {
+        assert!(shards >= 1, "need at least one shard");
+        let mut sm = SplitMix64::seed_from_u64(self.seed);
+        (0..shards)
+            .map(|_| Self::new(self.dist, self.width, sm.next_u64()))
+            .collect()
     }
 
     /// Draws the next operand pair.
@@ -113,7 +159,7 @@ impl OperandSource {
     /// [`bitnum::batch::MAX_LANES`].
     pub fn next_batch(&mut self, lanes: usize) -> (BitSlab, BitSlab) {
         assert!(
-            lanes >= 1 && lanes <= bitnum::batch::MAX_LANES,
+            (1..=bitnum::batch::MAX_LANES).contains(&lanes),
             "lanes must be in 1..={}, got {lanes}",
             bitnum::batch::MAX_LANES
         );
@@ -125,6 +171,39 @@ impl OperandSource {
             b.push(y);
         }
         (BitSlab::from_lanes(&a), BitSlab::from_lanes(&b))
+    }
+
+    /// Draws the next `lanes` operand pairs as a chunked wide issue group —
+    /// [`OperandSource::next_batch`] without the 64-lane cap, drawing in
+    /// the same `next_pair` order across chunk boundaries.
+    ///
+    /// ```
+    /// use workloads::dist::{Distribution, OperandSource};
+    ///
+    /// let mut scalar = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
+    /// let mut wide = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
+    /// let (a, b) = wide.next_wide(100);
+    /// assert_eq!(a.chunks().len(), 2);
+    /// for l in 0..100 {
+    ///     let (sa, sb) = scalar.next_pair();
+    ///     assert_eq!(a.lane(l), sa);
+    ///     assert_eq!(b.lane(l), sb);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn next_wide(&mut self, lanes: usize) -> (WideSlab, WideSlab) {
+        assert!(lanes >= 1, "lanes must be >= 1, got {lanes}");
+        let mut a = Vec::with_capacity(lanes);
+        let mut b = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let (x, y) = self.next_pair();
+            a.push(x);
+            b.push(y);
+        }
+        (WideSlab::from_lanes(&a), WideSlab::from_lanes(&b))
     }
 
     /// Draws a single operand.
@@ -187,7 +266,9 @@ mod tests {
         for dist in [
             Distribution::UnsignedUniform,
             Distribution::TwosComplementUniform,
-            Distribution::UnsignedGaussian { sigma: (1u64 << 20) as f64 },
+            Distribution::UnsignedGaussian {
+                sigma: (1u64 << 20) as f64,
+            },
             Distribution::paper_gaussian(),
         ] {
             let mut scalar = OperandSource::new(dist, 96, 19);
@@ -202,6 +283,52 @@ mod tests {
             }
             // The streams stay in lock-step afterwards.
             assert_eq!(scalar.next_pair(), batched.next_pair());
+        }
+    }
+
+    #[test]
+    fn next_wide_is_chunked_next_pairs() {
+        let mut scalar = OperandSource::new(Distribution::paper_gaussian(), 96, 19);
+        let mut wide = OperandSource::new(Distribution::paper_gaussian(), 96, 19);
+        let (a, b) = wide.next_wide(150);
+        assert_eq!(a.lanes(), 150);
+        assert_eq!(a.chunks().len(), 3); // 64 + 64 + 22
+        for l in 0..150 {
+            let (sa, sb) = scalar.next_pair();
+            assert_eq!(a.lane(l), sa, "lane {l}");
+            assert_eq!(b.lane(l), sb, "lane {l}");
+        }
+        // The streams stay in lock-step afterwards.
+        assert_eq!(scalar.next_pair(), wide.next_pair());
+    }
+
+    #[test]
+    fn split_is_reproducible_and_position_independent() {
+        let src = OperandSource::new(Distribution::paper_gaussian(), 64, 5);
+        let mut advanced = src.clone();
+        for _ in 0..10 {
+            let _ = advanced.next_pair();
+        }
+        let (fresh, moved) = (src.split(4), advanced.split(4));
+        assert_eq!(fresh.len(), 4);
+        for (mut x, mut y) in fresh.into_iter().zip(moved) {
+            assert_eq!(x.distribution(), src.distribution());
+            assert_eq!(x.width(), 64);
+            for _ in 0..50 {
+                assert_eq!(x.next_pair(), y.next_pair());
+            }
+        }
+    }
+
+    #[test]
+    fn split_shards_draw_distinct_streams() {
+        let src = OperandSource::new(Distribution::UnsignedUniform, 64, 1);
+        let mut shards = src.split(8);
+        let firsts: Vec<_> = shards.iter_mut().map(|s| s.next_pair()).collect();
+        for i in 0..firsts.len() {
+            for j in i + 1..firsts.len() {
+                assert_ne!(firsts[i], firsts[j], "shards {i} and {j} collide");
+            }
         }
     }
 

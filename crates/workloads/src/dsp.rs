@@ -21,8 +21,7 @@ pub const ACC_WIDTH: usize = 32;
 /// A symmetric band-pass-ish FIR kernel with alternating signs (Q1.14).
 pub fn default_taps() -> Vec<i32> {
     vec![
-        -120, 340, -780, 1460, -2390, 3320, -4020, 16384, -4020, 3320, -2390, 1460, -780, 340,
-        -120,
+        -120, 340, -780, 1460, -2390, 3320, -4020, 16384, -4020, 3320, -2390, 1460, -780, 340, -120,
     ]
 }
 
@@ -51,7 +50,7 @@ pub fn run_fir<S: AddSink + ?Sized>(
         let mut acc: i64 = 0;
         for (j, &tap) in taps.iter().enumerate() {
             let product = signal[t + j] * tap as i64; // multiplier output
-            // The accumulator add is what the speculative adder executes.
+                                                      // The accumulator add is what the speculative adder executes.
             let a = UBig::from_i128(acc as i128, ACC_WIDTH);
             let b = UBig::from_i128(product as i128, ACC_WIDTH);
             sink.record_add(&a, &b);

@@ -63,11 +63,7 @@ impl Gaussian {
     }
 
     /// Draws an unsigned (absolute-value) `width`-bit Gaussian operand.
-    pub fn sample_unsigned<R: RandomBits + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        width: usize,
-    ) -> UBig {
+    pub fn sample_unsigned<R: RandomBits + ?Sized>(&mut self, rng: &mut R, width: usize) -> UBig {
         UBig::from_i128(self.sample_i128(rng).abs(), width)
     }
 }

@@ -33,7 +33,10 @@ fn main() {
     let v1 = Vlcsa1::new(width, 8);
     let v2 = Vlcsa2::new(width, 8);
 
-    println!("{:10} {:>10} {:>14} {:>14} {:>22}", "workload", "adds", "VLCSA1 stall", "VLCSA2 stall", "avg cycles (1 -> 2)");
+    println!(
+        "{:10} {:>10} {:>14} {:>14} {:>22}",
+        "workload", "adds", "VLCSA1 stall", "VLCSA2 stall", "avg cycles (1 -> 2)"
+    );
     for bench in CryptoBench::ALL {
         // Collect a bounded trace plus its chain statistics.
         let mut collector = PairCollector::with_cap(Some(200_000));

@@ -55,8 +55,8 @@ fn main() {
         let mut spec_out = Vec::with_capacity(exact_out.len());
         for t in TAPS..SAMPLES {
             let mut acc = UBig::zero(WIDTH);
-            for i in (t - TAPS)..t {
-                let x = UBig::from_u128(signal[i] as u128, WIDTH);
+            for &sample in &signal[(t - TAPS)..t] {
+                let x = UBig::from_u128(sample as u128, WIDTH);
                 wrong += scsa.is_error(&acc, &x, OverflowMode::Truncate) as u64;
                 adds += 1;
                 acc = scsa.speculate(&acc, &x).sum;
@@ -82,11 +82,17 @@ fn main() {
             worst
         );
         let rate = wrong as f64 / adds as f64;
-        assert!(rate <= previous_rate, "error rate must fall with window size");
+        assert!(
+            rate <= previous_rate,
+            "error rate must fall with window size"
+        );
         previous_rate = rate;
         best_ser = best_ser.max(ser_db);
     }
-    assert!(best_ser > 40.0, "some window size should be near-transparent: {best_ser:.1} dB");
+    assert!(
+        best_ser > 40.0,
+        "some window size should be near-transparent: {best_ser:.1} dB"
+    );
     println!(
         "\nThe error rate falls ~2x per window bit, while each miss is one \
          carry at a window boundary — place boundaries in the accumulator's \

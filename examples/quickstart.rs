@@ -33,7 +33,10 @@ fn main() {
     let b = UBig::from_u128(0x0fed_cba9_8765_4321, width);
     let outcome = adder.add(&a, &b);
     stats.record(&outcome);
-    println!("\n{a} + {b} = {} in {} cycle(s)", outcome.sum, outcome.cycles);
+    println!(
+        "\n{a} + {b} = {} in {} cycle(s)",
+        outcome.sum, outcome.cycles
+    );
 
     // A worst-case pattern: a long carry chain forces detection + recovery.
     let ones = UBig::from_u128(u64::MAX as u128 >> 1, width);
@@ -49,8 +52,7 @@ fn main() {
     assert_eq!(outcome.sum, ones.wrapping_add(&one));
 
     // --- 3. Look at the hardware the paper synthesizes -------------------
-    let netlist =
-        opt::best_buffered(&vlcsa::netlist::vlcsa1_netlist(width, window), &[4, 8, 16]);
+    let netlist = opt::best_buffered(&vlcsa::netlist::vlcsa1_netlist(width, window), &[4, 8, 16]);
     let timing = sta::analyze(&netlist);
     let ns = |tau: f64| tau * gatesim::PS_PER_TAU / 1000.0;
     let spec_ns = ns(timing.output_arrival_tau("sum").unwrap());
@@ -77,5 +79,8 @@ fn main() {
         dw_ns,
         100.0 * (1.0 - spec_ns.max(det_ns) / dw_ns)
     );
-    println!("\naverage cycles so far: {:.3} (eq. 5.2)", stats.avg_cycles());
+    println!(
+        "\naverage cycles so far: {:.3} (eq. 5.2)",
+        stats.avg_cycles()
+    );
 }

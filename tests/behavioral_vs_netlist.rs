@@ -22,7 +22,11 @@ fn every_baseline_adder_equals_the_reference() {
             );
         }
         let dw = adders::designware::best(n).netlist;
-        assert_eq!(equiv::check(&reference, &dw, 512, 0xC1).unwrap(), None, "DW at n={n}");
+        assert_eq!(
+            equiv::check(&reference, &dw, 512, 0xC1).unwrap(),
+            None,
+            "DW at n={n}"
+        );
     }
 }
 
@@ -56,7 +60,10 @@ fn vlcsa_netlist_protocol_equals_engine_decisions() {
     // The hardware's VALID/STALL handshake must match the behavioral
     // engines' cycle decisions on both uniform and Gaussian inputs.
     use workloads::dist::{Distribution, OperandSource};
-    for dist in [Distribution::UnsignedUniform, Distribution::paper_gaussian()] {
+    for dist in [
+        Distribution::UnsignedUniform,
+        Distribution::paper_gaussian(),
+    ] {
         let (n, k) = (64usize, 10usize);
         let net1 = vlcsa::netlist::vlcsa1_netlist(n, k);
         let net2 = vlcsa::netlist::vlcsa2_netlist(n, k);
@@ -82,7 +89,10 @@ fn vlcsa_netlist_protocol_equals_engine_decisions() {
             assert_eq!(out["stall"].bit(0), stall);
             assert_eq!(out["sum_rec"], exact);
             if !stall {
-                assert_eq!(out["sum"], exact, "selected speculative result must be exact");
+                assert_eq!(
+                    out["sum"], exact,
+                    "selected speculative result must be exact"
+                );
                 assert_eq!(out["cout"].bit(0), exact_cout);
             }
         }

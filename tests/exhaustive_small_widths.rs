@@ -1,8 +1,17 @@
 //! Exhaustive verification at small widths: for every (a, b) pair in the
 //! full input space, the engines are exact and the detectors sound — a
 //! formal-strength complement to the randomized suites.
+//!
+//! The engine coverage is registry-driven: every `Engine` the `Registry`
+//! knows is checked over the full input space at widths 1–8, on all three
+//! evaluation paths (scalar `add_one`, bit-sliced `add_batch`, and the
+//! sharded executor at 2 shards). Adding a family to the registry adds it
+//! to this suite automatically; no hand-listed families remain.
 
+use bitnum::batch::WideSlab;
 use bitnum::UBig;
+use vlcsa::engine::{Engine, Registry, VlsaBaseline};
+use vlcsa::exec::Executor;
 use vlcsa::{detect, OverflowMode, Scsa, Scsa2, Vlcsa1, Vlcsa2};
 
 /// Every (n, k) combination checked over all 2^(2n) input pairs.
@@ -38,31 +47,128 @@ fn scsa1_error_set_is_exactly_characterized() {
     }
 }
 
+/// All 2^(2n) operand pairs, flattened into one wide workload.
+fn full_input_space(n: usize) -> (Vec<UBig>, Vec<UBig>, WideSlab, WideSlab) {
+    let mut a_lanes = Vec::with_capacity(1 << (2 * n));
+    let mut b_lanes = Vec::with_capacity(1 << (2 * n));
+    for av in 0..(1u64 << n) {
+        for bv in 0..(1u64 << n) {
+            a_lanes.push(UBig::from_u128(av as u128, n));
+            b_lanes.push(UBig::from_u128(bv as u128, n));
+        }
+    }
+    let a = WideSlab::from_lanes(&a_lanes);
+    let b = WideSlab::from_lanes(&b_lanes);
+    (a_lanes, b_lanes, a, b)
+}
+
+/// Checks one engine over the full input space on all three paths:
+/// scalar `add_one`, per-chunk `add_batch`, and the 2-shard executor
+/// (whose merge must be bit-identical to the serial one). Returns the
+/// number of lanes that stalled, so callers can assert speculation was
+/// actually exercised.
+fn check_engine_over_full_space(
+    n: usize,
+    engine: &dyn Engine,
+    (a_lanes, b_lanes, a, b): &(Vec<UBig>, Vec<UBig>, WideSlab, WideSlab),
+) -> u64 {
+    let wide = Executor::new(2).run(engine, a, b);
+    assert_eq!(
+        wide,
+        Executor::new(1).run(engine, a, b),
+        "{} executor not deterministic at n={n}",
+        engine.name()
+    );
+    // Per-chunk add_batch agrees with the merged executor result.
+    for (c, (ca, cb)) in a.chunks().iter().zip(b.chunks()).enumerate() {
+        let batch = engine.add_batch(ca, cb);
+        assert_eq!(
+            &batch.sum,
+            &wide.sum.chunks()[c],
+            "{} chunk {c}",
+            engine.name()
+        );
+        assert_eq!(batch.cout, wide.cout[c], "{} chunk {c}", engine.name());
+        assert_eq!(
+            batch.flagged,
+            wide.flagged[c],
+            "{} chunk {c}",
+            engine.name()
+        );
+    }
+    // Every lane is exact and the scalar path agrees, cycles included.
+    for (l, (al, bl)) in a_lanes.iter().zip(b_lanes).enumerate() {
+        let (sum, cout) = al.overflowing_add(bl);
+        let one = engine.add_one(al, bl);
+        assert_eq!(
+            (&one.sum, one.cout),
+            (&sum, cout),
+            "{} scalar n={n} a={al} b={bl}",
+            engine.name()
+        );
+        assert_eq!(
+            wide.sum.lane(l),
+            sum,
+            "{} batch n={n} lane={l}",
+            engine.name()
+        );
+        assert_eq!(
+            wide.cout(l),
+            cout,
+            "{} batch cout n={n} lane={l}",
+            engine.name()
+        );
+        assert_eq!(
+            wide.cycles(l),
+            one.cycles,
+            "{} cycles n={n} a={al} b={bl}",
+            engine.name()
+        );
+    }
+    wide.stalls()
+}
+
 #[test]
-fn engines_exact_over_full_input_space() {
-    for (n, k) in grid() {
-        let v1 = Vlcsa1::new(n, k);
-        let v2 = Vlcsa2::new(n, k);
-        for av in 0..(1u64 << n) {
-            for bv in 0..(1u64 << n) {
-                let a = UBig::from_u128(av as u128, n);
-                let b = UBig::from_u128(bv as u128, n);
-                let (sum, cout) = a.overflowing_add(&b);
-                let o1 = v1.add(&a, &b);
-                assert_eq!(
-                    (&o1.sum, o1.cout),
-                    (&sum, cout),
-                    "VLCSA1 n={n} k={k} a={av:#x} b={bv:#x}"
-                );
-                let o2 = v2.add(&a, &b);
-                assert_eq!(
-                    (&o2.sum, o2.cout),
-                    (&sum, cout),
-                    "VLCSA2 n={n} k={k} a={av:#x} b={bv:#x}"
-                );
+fn registry_engines_exact_over_full_input_space() {
+    // Every registered engine, every operand pair at widths 1..=8, all
+    // three paths. Registry defaults at these widths give the speculative
+    // engines a single window (k = n), so speculation itself is covered
+    // by the k-sweep test below; this test pins the registry surface.
+    for n in 1..=8usize {
+        let registry = Registry::for_width(n);
+        assert!(registry.engines().len() >= 9, "registry too small at n={n}");
+        let space = full_input_space(n);
+        for engine in registry.engines() {
+            check_engine_over_full_space(n, engine.as_ref(), &space);
+        }
+    }
+}
+
+#[test]
+fn speculative_engines_exact_at_every_window_size() {
+    // The variable-latency engines again, at every real parameter: all
+    // window sizes k in 1..n (and VLSA chain lengths l in 1..n) over the
+    // full input space — the configurations where speculation misses,
+    // detection fires and recovery runs. Single-window k = n is covered
+    // by the registry test above.
+    let mut stalls = 0u64;
+    for n in 2..=8usize {
+        let space = full_input_space(n);
+        for k in 1..n {
+            let engines: [Box<dyn Engine>; 3] = [
+                Box::new(Vlcsa1::new(n, k)),
+                Box::new(Vlcsa2::new(n, k)),
+                Box::new(VlsaBaseline::new(n, k)),
+            ];
+            for engine in &engines {
+                stalls += check_engine_over_full_space(n, engine.as_ref(), &space);
             }
         }
     }
+    assert!(
+        stalls > 10_000,
+        "sub-width parameters must exercise recovery (stalled lanes: {stalls})"
+    );
 }
 
 #[test]

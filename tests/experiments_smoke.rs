@@ -4,7 +4,10 @@
 use vlcsa_bench::{registry, run_by_id, Config};
 
 fn tiny() -> Config {
-    Config { mc_samples: 5_000, out_dir: None }
+    Config {
+        mc_samples: 5_000,
+        out_dir: None,
+    }
 }
 
 #[test]

@@ -12,14 +12,26 @@ fn table_7_3_and_7_4_scsa_window_sizes() {
     let expect_025 = [(64usize, 10usize), (128, 11), (256, 12), (512, 13)];
     for (n, k) in expect_001 {
         assert_eq!(
-            model::window_size_for(n, 1e-4, Semantics::RoundsTo2Dp, OverflowMode::Truncate, Model::Paper),
+            model::window_size_for(
+                n,
+                1e-4,
+                Semantics::RoundsTo2Dp,
+                OverflowMode::Truncate,
+                Model::Paper
+            ),
             k,
             "0.01% n={n}"
         );
     }
     for (n, k) in expect_025 {
         assert_eq!(
-            model::window_size_for(n, 2.5e-3, Semantics::RoundsTo2Dp, OverflowMode::Truncate, Model::Paper),
+            model::window_size_for(
+                n,
+                2.5e-3,
+                Semantics::RoundsTo2Dp,
+                OverflowMode::Truncate,
+                Model::Paper
+            ),
             k,
             "0.25% n={n}"
         );
@@ -48,7 +60,10 @@ fn table_7_1_gaussian_rate() {
             errors += scsa.is_error(&a, &b, OverflowMode::Truncate) as usize;
         }
         let rate = errors as f64 / trials as f64;
-        assert!((0.235..0.265).contains(&rate), "n={n}: rate {rate} (paper: 25.01%)");
+        assert!(
+            (0.235..0.265).contains(&rate),
+            "n={n}: rate {rate} (paper: 25.01%)"
+        );
     }
 }
 
@@ -70,7 +85,10 @@ fn table_7_2_gaussian_rate() {
         }
         let err_rate = errors as f64 / trials as f64;
         let stall_rate = stalls as f64 / trials as f64;
-        assert!(err_rate < 1e-3, "n={n}: error rate {err_rate} (paper: 0.01%)");
+        assert!(
+            err_rate < 1e-3,
+            "n={n}: error rate {err_rate} (paper: 0.01%)"
+        );
         assert!(stall_rate < 2e-3, "n={n}: stall rate {stall_rate}");
     }
 }
@@ -93,7 +111,10 @@ fn table_7_5_width_independence() {
             ) as usize;
         }
         let rate = stalls as f64 / trials as f64;
-        assert!(rate < 1.5e-3, "n={n}, k={k}: stall rate {rate} should be ~0.01%");
+        assert!(
+            rate < 1.5e-3,
+            "n={n}, k={k}: stall rate {rate} should be ~0.01%"
+        );
     }
 }
 
@@ -110,10 +131,18 @@ fn headline_delay_area_claims() {
 
     // SCSA is faster than the strongest traditional adder...
     let t_scsa = sta::analyze(&scsa).output_arrival_tau("sum").unwrap();
-    assert!(t_scsa < 0.95 * dw.delay_tau, "SCSA {t_scsa:.0} vs DW {:.0}", dw.delay_tau);
+    assert!(
+        t_scsa < 0.95 * dw.delay_tau,
+        "SCSA {t_scsa:.0} vs DW {:.0}",
+        dw.delay_tau
+    );
     // ...and smaller.
     let a_scsa = area::analyze(&scsa).total_nand2();
-    assert!(a_scsa < dw.area_nand2, "SCSA area {a_scsa:.0} vs DW {:.0}", dw.area_nand2);
+    assert!(
+        a_scsa < dw.area_nand2,
+        "SCSA area {a_scsa:.0} vs DW {:.0}",
+        dw.area_nand2
+    );
 
     // VLCSA 1's clock (max of speculation and detection) still beats DW.
     let timing = sta::analyze(&vlcsa1);
@@ -121,7 +150,11 @@ fn headline_delay_area_claims() {
         .output_arrival_tau("sum")
         .unwrap()
         .max(timing.output_arrival_tau("err").unwrap());
-    assert!(t_clk < dw.delay_tau, "VLCSA1 clk {t_clk:.0} vs DW {:.0}", dw.delay_tau);
+    assert!(
+        t_clk < dw.delay_tau,
+        "VLCSA1 clk {t_clk:.0} vs DW {:.0}",
+        dw.delay_tau
+    );
     // And recovery closes within two cycles.
     let t_rec = timing.output_arrival_tau("sum_rec").unwrap();
     assert!(t_rec < 2.0 * t_clk, "recovery {t_rec:.0} vs 2x{t_clk:.0}");

@@ -13,7 +13,9 @@ fn all_distributions() -> Vec<Distribution> {
     vec![
         Distribution::UnsignedUniform,
         Distribution::TwosComplementUniform,
-        Distribution::UnsignedGaussian { sigma: (1u64 << 32) as f64 },
+        Distribution::UnsignedGaussian {
+            sigma: (1u64 << 32) as f64,
+        },
         Distribution::paper_gaussian(),
         Distribution::TwosComplementGaussian { sigma: 300.0 },
     ]

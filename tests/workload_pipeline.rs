@@ -64,7 +64,10 @@ fn gaussian_proxy_matches_trace_behaviour_qualitatively() {
         let (a, b) = src.next_pair();
         hist.record(&a, &b);
     }
-    assert!(hist.additions_with_chain_at_least(20) > 0.1, "proxy long-chain mode");
+    assert!(
+        hist.additions_with_chain_at_least(20) > 0.1,
+        "proxy long-chain mode"
+    );
 
     let v1 = Vlcsa1::new(width, 8);
     let mut stalls = 0usize;

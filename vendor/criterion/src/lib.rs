@@ -69,7 +69,11 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Run a single benchmark outside any group.
@@ -95,7 +99,10 @@ impl Criterion {
         }
         // Warm-up: repeat the routine until the warm-up budget is spent.
         let warm_up_until = Instant::now() + self.warm_up_time;
-        let mut bencher = Bencher { iterations: 0, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
         while Instant::now() < warm_up_until {
             bencher.iterations = 0;
             bencher.elapsed = Duration::ZERO;

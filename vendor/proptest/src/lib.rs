@@ -45,7 +45,10 @@ pub mod strategy {
             Self: Sized,
             F: Fn(Self::Value) -> T,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
     }
 
@@ -191,8 +194,18 @@ pub mod prop {
             )*}
         }
         num_module!(
-            u8 / u8, u16 / u16, u32 / u32, u64 / u64, u128 / u128, usize / usize,
-            i8 / i8, i16 / i16, i32 / i32, i64 / i64, i128 / i128, isize / isize
+            u8 / u8,
+            u16 / u16,
+            u32 / u32,
+            u64 / u64,
+            u128 / u128,
+            usize / usize,
+            i8 / i8,
+            i16 / i16,
+            i32 / i32,
+            i64 / i64,
+            i128 / i128,
+            isize / isize
         );
     }
 

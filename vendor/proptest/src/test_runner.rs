@@ -16,13 +16,19 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// A configuration running `cases` successful cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Self::default() }
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
@@ -67,7 +73,9 @@ pub struct TestRng {
 impl TestRng {
     /// The fixed-seed generator used by [`run_cases`].
     pub fn deterministic() -> Self {
-        TestRng { state: 0x9e37_79b9_7f4a_7c15 }
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Next 64 uniformly random bits.
@@ -103,9 +111,7 @@ where
             Err(TestCaseError::Reject(reason)) => {
                 rejected += 1;
                 if rejected > config.max_global_rejects {
-                    panic!(
-                        "proptest: too many rejected cases ({rejected}) — last: {reason}"
-                    );
+                    panic!("proptest: too many rejected cases ({rejected}) — last: {reason}");
                 }
             }
             Err(TestCaseError::Fail(message)) => {

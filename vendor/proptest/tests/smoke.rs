@@ -13,7 +13,7 @@ proptest! {
     #[test]
     fn mixed_param_forms((a, ab) in pair(), flip: bool, k in 1usize..9) {
         prop_assert!(ab % a.max(1) == 0 || a == 0);
-        prop_assert!(k >= 1 && k < 9);
+        prop_assert!((1..9).contains(&k));
         let _ = flip;
     }
 
@@ -39,11 +39,9 @@ proptest! {
 #[test]
 #[should_panic(expected = "generated input")]
 fn failure_reports_generated_input() {
-    proptest::test_runner::run_cases(
-        ProptestConfig::with_cases(4),
-        (0u32..10,),
-        |(_n,)| Err(proptest::test_runner::TestCaseError::fail("forced")),
-    );
+    proptest::test_runner::run_cases(ProptestConfig::with_cases(4), (0u32..10,), |(_n,)| {
+        Err(proptest::test_runner::TestCaseError::fail("forced"))
+    });
 }
 
 #[test]
@@ -51,7 +49,9 @@ fn generation_is_deterministic() {
     let strat = (0u64..1_000_000,);
     let draw = |_| {
         let mut rng = proptest::test_runner::TestRng::deterministic();
-        (0..10).map(|_| strat.generate(&mut rng).0).collect::<Vec<_>>()
+        (0..10)
+            .map(|_| strat.generate(&mut rng).0)
+            .collect::<Vec<_>>()
     };
     assert_eq!(draw(0), draw(1));
 }
