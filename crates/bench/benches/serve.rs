@@ -1,0 +1,234 @@
+//! End-to-end service throughput and latency over TCP loopback, with a
+//! machine-readable result file.
+//!
+//! This is the serving-shaped benchmark the batching front-end exists
+//! for: a `vlcsa_serve::Server` on a loopback port, several concurrent
+//! client connections, each keeping a bounded number of pipelined `ADD`s
+//! in flight, Gaussian operands (the paper's practical operand model) at
+//! width 64. Per engine it records aggregate requests/s, per-request
+//! latency percentiles (submit-to-response, measured at the client), and
+//! the served stall rate — so the variable-latency engines' extra
+//! recovery cycles are visible next to their fixed-latency baselines
+//! under identical traffic.
+//!
+//! Every response is verified against exact addition while it is timed;
+//! a wrong sum aborts the bench. The full run writes `BENCH_serve.json`
+//! (schema `vlcsa-bench/serve/v1`, documented in EXPERIMENTS.md).
+//! `-- --smoke` (the CI loopback smoke) shrinks the op counts to
+//! milliseconds, keeps all assertions, and skips the JSON write.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use bitnum::UBig;
+use vlcsa_serve::{Client, ServeConfig, Server};
+use workloads::dist::{Distribution, OperandSource};
+
+const WIDTH: usize = 64;
+const ENGINES: [&str; 4] = ["ripple", "carry-select", "vlcsa1", "vlcsa2"];
+const CLIENTS: usize = 4;
+const IN_FLIGHT: usize = 64;
+
+/// One engine's measured service point.
+struct Point {
+    engine: &'static str,
+    ops: usize,
+    elapsed: Duration,
+    /// Per-request submit→response latencies, seconds.
+    latencies: Vec<f64>,
+    stalls: u64,
+}
+
+impl Point {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn percentile_us(&self, q: f64) -> f64 {
+        // `latencies` is sorted by `measure` before the point is returned.
+        let idx = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+        self.latencies[idx] * 1e6
+    }
+
+    fn stall_rate(&self) -> f64 {
+        self.stalls as f64 / self.ops as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.0}, ",
+                "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, ",
+                "\"stall_rate\": {:.4}}}"
+            ),
+            self.engine,
+            self.ops,
+            self.ops_per_sec(),
+            self.percentile_us(0.50),
+            self.percentile_us(0.95),
+            self.percentile_us(0.99),
+            self.stall_rate(),
+        )
+    }
+}
+
+/// Drives `ops_per_client` verified requests per client against one
+/// engine and collects every request's latency.
+fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize) -> Point {
+    let start = Instant::now();
+    let worker = |c: usize| {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), WIDTH, 0x5EB7E + c as u64);
+        let mut submitted_at: HashMap<u64, (Instant, UBig, bool)> = HashMap::new();
+        let mut latencies = Vec::with_capacity(ops_per_client);
+        let mut stalls = 0u64;
+        let drain = |client: &mut Client,
+                     submitted_at: &mut HashMap<u64, (Instant, UBig, bool)>,
+                     latencies: &mut Vec<f64>,
+                     stalls: &mut u64| {
+            let (seq, response) = client.recv().expect("recv");
+            let response = response.expect("request error under benchmark traffic");
+            let (at, sum, cout) = submitted_at.remove(&seq).expect("known seq");
+            latencies.push(at.elapsed().as_secs_f64());
+            assert_eq!(response.sum, sum, "{engine} seq {seq}: wrong sum");
+            assert_eq!(response.cout, cout, "{engine} seq {seq}: wrong cout");
+            *stalls += u64::from(response.cycles == 2);
+        };
+        for _ in 0..ops_per_client {
+            if submitted_at.len() >= IN_FLIGHT {
+                drain(&mut client, &mut submitted_at, &mut latencies, &mut stalls);
+            }
+            let (a, b) = src.next_pair();
+            let (sum, cout) = a.overflowing_add(&b);
+            let seq = client.submit(engine, &a, &b).expect("submit");
+            submitted_at.insert(seq, (Instant::now(), sum, cout));
+        }
+        while !submitted_at.is_empty() {
+            drain(&mut client, &mut submitted_at, &mut latencies, &mut stalls);
+        }
+        client.close();
+        (latencies, stalls)
+    };
+    let results: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| scope.spawn(move || worker(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut latencies = Vec::with_capacity(CLIENTS * ops_per_client);
+    let mut stalls = 0;
+    for (lats, s) in results {
+        latencies.extend(lats);
+        stalls += s;
+    }
+    latencies.sort_by(f64::total_cmp);
+    Point {
+        engine,
+        ops: CLIENTS * ops_per_client,
+        elapsed,
+        latencies,
+        stalls,
+    }
+}
+
+fn write_json(points: &[Point], host_cpus: usize, path: &std::path::Path) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/serve/v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench serve\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"width\": {WIDTH},\n"));
+    out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    out.push_str(&format!("  \"in_flight_per_client\": {IN_FLIGHT},\n"));
+    out.push_str("  \"distribution\": \"gaussian(sigma=2^24)\",\n");
+    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\"},\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&p.to_json());
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ops_per_client = if smoke { 256 } else { 8192 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_lanes: 256,
+            max_wait: Duration::from_micros(300),
+            workers: 2,
+            exec_threads: 1,
+            queue_depth: 1024,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "engine", "ops", "ops/s", "p50 µs", "p95 µs", "p99 µs", "stall rate"
+    );
+    let mut points = Vec::new();
+    for engine in ENGINES {
+        let point = measure(addr, engine, ops_per_client);
+        println!(
+            "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4}",
+            point.engine,
+            point.ops,
+            point.ops_per_sec(),
+            point.percentile_us(0.50),
+            point.percentile_us(0.95),
+            point.percentile_us(0.99),
+            point.stall_rate(),
+        );
+        points.push(point);
+    }
+
+    let shutdown_started = Instant::now();
+    server.shutdown();
+    assert!(
+        shutdown_started.elapsed() < Duration::from_secs(10),
+        "server shutdown exceeded its bound"
+    );
+    println!(
+        "\nserver shut down cleanly in {:?}",
+        shutdown_started.elapsed()
+    );
+
+    // The variable-latency engines must show their latency model under
+    // this traffic: Gaussian operands stall VLCSA 1 but are absorbed by
+    // VLCSA 2's second speculative result (Ch. 6).
+    let stall = |name: &str| {
+        points
+            .iter()
+            .find(|p| p.engine == name)
+            .expect("measured")
+            .stall_rate()
+    };
+    assert!(stall("ripple") == 0.0 && stall("carry-select") == 0.0);
+    assert!(
+        stall("vlcsa1") > 0.0,
+        "vlcsa1 must stall on Gaussian traffic"
+    );
+    assert!(stall("vlcsa2") < stall("vlcsa1"));
+
+    if smoke {
+        println!("--smoke: skipping BENCH_serve.json write (budgets too small to be meaningful)");
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    match write_json(&points, host_cpus, &path) {
+        Ok(()) => println!("wrote {} (host_cpus = {host_cpus})", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -32,6 +32,8 @@
 //! }
 //! ```
 
+use std::fmt;
+
 use adders::batch::{
     BatchAdd, BatchCarrySelect, BatchCarrySkip, BatchCla, BatchCondSum, BatchPrefix, BatchRipple,
 };
@@ -354,11 +356,60 @@ impl Registry {
             .map(|e| e.as_ref())
     }
 
+    /// Looks an engine up by display name, returning a structured
+    /// [`EngineLookupError`] that carries the full name list on a miss —
+    /// the error a request/response front-end can send back verbatim so
+    /// clients learn the valid names instead of guessing.
+    ///
+    /// ```
+    /// use vlcsa::engine::Registry;
+    ///
+    /// let registry = Registry::for_width(16);
+    /// assert_eq!(registry.lookup("ripple").unwrap().name(), "ripple");
+    /// let err = registry.lookup("riple").err().unwrap();
+    /// assert_eq!(err.requested, "riple");
+    /// assert_eq!(err.known, registry.names());
+    /// assert!(err.to_string().contains("known engines: ripple"));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineLookupError`] when no engine is named `name`.
+    pub fn lookup(&self, name: &str) -> Result<&dyn Engine, EngineLookupError> {
+        self.get(name).ok_or_else(|| EngineLookupError {
+            requested: name.to_string(),
+            known: self.names(),
+        })
+    }
+
     /// The display names, in the table's order.
     pub fn names(&self) -> Vec<&'static str> {
         self.engines.iter().map(|e| e.name()).collect()
     }
 }
+
+/// A by-name engine lookup miss, carrying the requested name and every
+/// name the registry does know — see [`Registry::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineLookupError {
+    /// The name that was asked for.
+    pub requested: String,
+    /// Every name the registry knows, in the table's order.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for EngineLookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown engine `{}`; known engines: {}",
+            self.requested,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for EngineLookupError {}
 
 #[cfg(test)]
 mod tests {
@@ -388,6 +439,23 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len(), "duplicate engine names");
+    }
+
+    #[test]
+    fn lookup_miss_reports_every_known_name() {
+        let registry = Registry::for_width(64);
+        let err = registry.lookup("no-such-adder").err().unwrap();
+        assert_eq!(err.requested, "no-such-adder");
+        assert_eq!(err.known, registry.names());
+        let msg = err.to_string();
+        for name in registry.names() {
+            assert!(msg.contains(name), "message lacks {name}: {msg}");
+        }
+        // And the hit path returns the same engine `get` does.
+        assert_eq!(
+            registry.lookup("vlcsa2").unwrap().name(),
+            registry.get("vlcsa2").unwrap().name()
+        );
     }
 
     #[test]

@@ -134,6 +134,15 @@ impl Executor {
     /// words, stall words and therefore aggregate statistics for every
     /// thread count, including 1.
     ///
+    /// Threads are spawned only when there is enough work for more than
+    /// one shard: a single-chunk workload (≤ 64 lanes) always runs inline
+    /// on the calling thread. The zero-lane case cannot reach here at all —
+    /// [`WideSlab`] holds at least one lane, and a batching window that
+    /// expires with no requests drains to no groups
+    /// ([`GroupBuilder::drain`](crate::group::GroupBuilder::drain) returns
+    /// an empty vector), so a 0-request expiry never constructs a slab,
+    /// never calls `run`, and never spawns a thread.
+    ///
     /// # Panics
     ///
     /// Panics if the slabs disagree with the engine width or with each

@@ -1,0 +1,254 @@
+//! Packing heterogeneous addition requests into per-engine issue groups.
+//!
+//! A serving front-end receives a stream of independent requests, each
+//! naming an engine and a width and carrying its own operands. The batch
+//! kernels, by contrast, want homogeneous [`WideSlab`] issue groups — one
+//! engine, one width, as many lanes as arrived. [`GroupBuilder`] is the
+//! adapter between the two shapes: requests of any mix are `push`ed in
+//! arrival order, the builder buckets them by `(engine, width)`, and
+//! [`GroupBuilder::drain`] transposes each bucket into an [`IssueGroup`]
+//! whose `tags[l]` remembers which request became lane `l`, so whatever
+//! routing token the caller attached (a connection handle, a sequence
+//! number, a oneshot channel) comes back out aligned with the lane data of
+//! [`Executor::run`](crate::exec::Executor::run).
+//!
+//! The empty-batch edge is explicit: a batching window that expires with
+//! nothing pending drains to **no groups at all** — no slab is built, no
+//! executor is invoked, no thread is spawned. `drain` on an empty builder
+//! is just `Vec::new()`.
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::UBig;
+//! use vlcsa::group::GroupBuilder;
+//!
+//! let mut builder = GroupBuilder::new();
+//! builder.push("ripple", UBig::from_u128(1, 8), UBig::from_u128(2, 8), "r0");
+//! builder.push("vlcsa1", UBig::from_u128(3, 16), UBig::from_u128(4, 16), "v0");
+//! builder.push("ripple", UBig::from_u128(5, 8), UBig::from_u128(6, 8), "r1");
+//! let groups = builder.drain();
+//! assert_eq!(groups.len(), 2); // (ripple, 8) and (vlcsa1, 16)
+//! assert_eq!(groups[0].engine, "ripple");
+//! assert_eq!(groups[0].tags, vec!["r0", "r1"]);
+//! assert_eq!(groups[0].a.lane(1).to_u128(), Some(5));
+//! assert!(builder.is_empty());
+//! ```
+
+use bitnum::batch::WideSlab;
+use bitnum::UBig;
+
+/// One homogeneous issue group ready for
+/// [`Executor::run`](crate::exec::Executor::run): every lane is the same
+/// engine and width, and `tags[l]` is the caller's routing token for lane
+/// `l` of the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueGroup<T> {
+    /// The engine name every lane of this group asked for.
+    pub engine: String,
+    /// The operand width every lane of this group asked for.
+    pub width: usize,
+    /// First operands, lane `l` = the `l`-th request of this bucket.
+    pub a: WideSlab,
+    /// Second operands, aligned with `a`.
+    pub b: WideSlab,
+    /// Per-lane routing tokens, aligned with the slabs.
+    pub tags: Vec<T>,
+}
+
+impl<T> IssueGroup<T> {
+    /// Number of lanes (requests) in the group.
+    pub fn lanes(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+/// One `(engine, width)` bucket of pending requests, in arrival order.
+#[derive(Debug)]
+struct Bucket<T> {
+    engine: String,
+    width: usize,
+    a: Vec<UBig>,
+    b: Vec<UBig>,
+    tags: Vec<T>,
+}
+
+/// Accumulates heterogeneous addition requests and drains them as
+/// homogeneous [`IssueGroup`]s — see the module docs for the shape of the
+/// adapter and the example.
+///
+/// Buckets keep arrival order both across groups (first-request order) and
+/// within a group (lane `l` is the bucket's `l`-th request), so draining is
+/// deterministic for any interleaving of pushes.
+#[derive(Debug)]
+pub struct GroupBuilder<T> {
+    buckets: Vec<Bucket<T>>,
+    lanes: usize,
+}
+
+impl<T> GroupBuilder<T> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            lanes: 0,
+        }
+    }
+
+    /// Queues one request under its `(engine, width)` bucket. The width is
+    /// taken from the operands; `engine` is not validated here — resolve it
+    /// against a [`Registry`](crate::engine::Registry) *before* queueing so
+    /// a bad name fails the one request instead of a whole group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` disagree on width.
+    pub fn push(&mut self, engine: &str, a: UBig, b: UBig, tag: T) {
+        assert_eq!(a.width(), b.width(), "operand width mismatch");
+        let width = a.width();
+        let bucket = match self
+            .buckets
+            .iter_mut()
+            .find(|g| g.width == width && g.engine == engine)
+        {
+            Some(bucket) => bucket,
+            None => {
+                self.buckets.push(Bucket {
+                    engine: engine.to_string(),
+                    width,
+                    a: Vec::new(),
+                    b: Vec::new(),
+                    tags: Vec::new(),
+                });
+                self.buckets.last_mut().expect("just pushed")
+            }
+        };
+        bucket.a.push(a);
+        bucket.b.push(b);
+        bucket.tags.push(tag);
+        self.lanes += 1;
+    }
+
+    /// Total pending lanes across all buckets — the quantity a batching
+    /// window compares against its max-lanes bound.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Transposes every bucket into an [`IssueGroup`] and resets the
+    /// builder. An empty builder drains to an empty vector — the 0-request
+    /// window expiry costs nothing and must never reach an executor.
+    pub fn drain(&mut self) -> Vec<IssueGroup<T>> {
+        self.lanes = 0;
+        std::mem::take(&mut self.buckets)
+            .into_iter()
+            .map(|bucket| IssueGroup {
+                engine: bucket.engine,
+                width: bucket.width,
+                a: WideSlab::from_lanes(&bucket.a),
+                b: WideSlab::from_lanes(&bucket.b),
+                tags: bucket.tags,
+            })
+            .collect()
+    }
+}
+
+impl<T> Default for GroupBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Registry;
+    use crate::exec::Executor;
+    use bitnum::rng::Xoshiro256;
+
+    #[test]
+    fn empty_drain_yields_no_groups() {
+        // The 0-requests-at-window-expiry edge: no slabs, no groups, and
+        // nothing for a worker to run — the executor is never invoked.
+        let mut builder: GroupBuilder<u32> = GroupBuilder::new();
+        assert!(builder.is_empty());
+        assert_eq!(builder.lanes(), 0);
+        assert_eq!(builder.drain(), Vec::new());
+        // Draining again is still free, and the builder is reusable.
+        assert_eq!(builder.drain(), Vec::new());
+        builder.push("ripple", UBig::from_u128(1, 8), UBig::from_u128(2, 8), 7);
+        assert_eq!(builder.drain().len(), 1);
+        assert!(builder.is_empty());
+    }
+
+    #[test]
+    fn buckets_preserve_arrival_order_and_lane_mapping() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut builder = GroupBuilder::new();
+        // 150 requests round-robined over three buckets, two of which share
+        // a name but not a width — groups must not merge across widths, and
+        // the 50-lane buckets exercise partial (<64-lane) chunks.
+        let shapes = [("ripple", 64usize), ("vlcsa1", 64), ("ripple", 40)];
+        let mut expect: Vec<Vec<(UBig, UBig, usize)>> = vec![Vec::new(); shapes.len()];
+        for i in 0..150 {
+            let (engine, width) = shapes[i % shapes.len()];
+            let a = UBig::random(width, &mut rng);
+            let b = UBig::random(width, &mut rng);
+            expect[i % shapes.len()].push((a.clone(), b.clone(), i));
+            builder.push(engine, a, b, i);
+        }
+        assert_eq!(builder.lanes(), 150);
+        let groups = builder.drain();
+        assert!(builder.is_empty());
+        assert_eq!(groups.len(), 3);
+        for (group, expect) in groups.iter().zip(&expect) {
+            assert_eq!(group.lanes(), 50);
+            assert_eq!(group.a.lanes(), 50);
+            for (l, (a, b, tag)) in expect.iter().enumerate() {
+                assert_eq!(&group.a.lane(l), a, "lane {l}");
+                assert_eq!(&group.b.lane(l), b, "lane {l}");
+                assert_eq!(group.tags[l], *tag, "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn drained_groups_run_through_the_executor() {
+        // The end-to-end shape a serving worker uses: drain, resolve the
+        // engine, run, and read outcome lane `l` for `tags[l]`.
+        let mut rng = Xoshiro256::seed_from_u64(22);
+        let mut builder = GroupBuilder::new();
+        for i in 0..70 {
+            let engine = if i % 2 == 0 { "carry-select" } else { "vlcsa2" };
+            builder.push(
+                engine,
+                UBig::random(32, &mut rng),
+                UBig::random(32, &mut rng),
+                i,
+            );
+        }
+        let registry = Registry::for_width(32);
+        let exec = Executor::new(2);
+        for group in builder.drain() {
+            let engine = registry.lookup(&group.engine).expect("validated name");
+            let out = exec.run(engine, &group.a, &group.b);
+            assert_eq!(out.lanes(), group.lanes());
+            for (l, tag) in group.tags.iter().enumerate() {
+                let one = engine.add_one(&group.a.lane(l), &group.b.lane(l));
+                assert_eq!(out.sum.lane(l), one.sum, "tag {tag}");
+                assert_eq!(out.cycles(l), one.cycles, "tag {tag}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "operand width mismatch")]
+    fn mismatched_operand_widths_panic() {
+        GroupBuilder::new().push("ripple", UBig::zero(8), UBig::zero(16), ());
+    }
+}

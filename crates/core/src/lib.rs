@@ -48,6 +48,7 @@ pub mod batch;
 pub mod detect;
 pub mod engine;
 pub mod exec;
+pub mod group;
 pub mod magnitude;
 pub mod model;
 pub mod multiop;
@@ -60,8 +61,9 @@ mod vlcsa2;
 pub mod window;
 
 pub use batch::{Batch2Spec, BatchOutcome, BatchSpec, WindowPgWords};
-pub use engine::{Engine, FixedLatency, Registry, VlsaBaseline};
+pub use engine::{Engine, EngineLookupError, FixedLatency, Registry, VlsaBaseline};
 pub use exec::{Executor, WideOutcome};
+pub use group::{GroupBuilder, IssueGroup};
 pub use scsa::{Scsa, SpecResult, WindowPg};
 pub use scsa2::{Scsa2, Spec2Result};
 pub use vlcsa1::{AddOutcome, LatencyStats, Vlcsa1};

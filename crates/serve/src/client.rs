@@ -1,0 +1,212 @@
+//! A blocking client for the serve protocol, with pipelining.
+//!
+//! [`Client::add`] is the one-shot path: submit, wait for that response.
+//! For throughput, [`Client::submit`] queues many `ADD`s without waiting
+//! and [`Client::recv`] returns completions as the server finishes them —
+//! possibly out of submission order, matched back to requests by sequence
+//! number (the client tracks each pending request's width so sums parse at
+//! the right width).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bitnum::UBig;
+//! use vlcsa_serve::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:4915").unwrap();
+//! let a = UBig::from_u128(7, 64);
+//! let b = UBig::from_u128(8, 64);
+//! let seq = client.submit("vlcsa1", &a, &b).unwrap();
+//! let (done, response) = client.recv().unwrap();
+//! assert_eq!(done, seq);
+//! assert_eq!(response.unwrap().sum.to_u128(), Some(15));
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use bitnum::UBig;
+
+use crate::protocol::{format_add, parse_response, RequestError, Response};
+
+/// One successful `ADD` answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddResponse {
+    /// The exact sum, at the request's width.
+    pub sum: UBig,
+    /// Carry out of the most significant bit.
+    pub cout: bool,
+    /// Cycles the lane consumed (1, or 2 after a recovery stall).
+    pub cycles: u8,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-conversation.
+    Io(std::io::Error),
+    /// The server sent a line this client cannot parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The blocking protocol client — see the module docs.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_seq: u64,
+    /// Widths of in-flight requests, by sequence number.
+    pending: HashMap<u64, usize>,
+}
+
+impl Client {
+    /// Connects to a serve endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            writer,
+            reader,
+            next_seq: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Number of submitted requests not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(line)
+    }
+
+    /// Queues one `ADD` without waiting and returns its sequence number.
+    /// The operand widths must agree (the request width is theirs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket write error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` disagree on width, or if `engine` is empty
+    /// or contains whitespace — the protocol is line- and space-
+    /// delimited, so such a name would desync the whole session, not
+    /// just fail one request. (An unknown-but-well-formed name is fine:
+    /// the server answers it with a structured `ERR`.)
+    pub fn submit(&mut self, engine: &str, a: &UBig, b: &UBig) -> std::io::Result<u64> {
+        assert_eq!(a.width(), b.width(), "operand width mismatch");
+        assert!(
+            !engine.is_empty() && !engine.contains(char::is_whitespace),
+            "engine name `{engine}` is not a single protocol token"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = format_add(seq, engine, a, b);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.pending.insert(seq, a.width());
+        Ok(seq)
+    }
+
+    /// Blocks for the next completion, whichever in-flight request it
+    /// answers: `(seq, Ok(response))` or `(seq, Err(server error))`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, on unparseable lines, and on responses that
+    /// answer no in-flight sequence number.
+    pub fn recv(&mut self) -> Result<(u64, Result<AddResponse, RequestError>), ClientError> {
+        let line = self.read_line()?;
+        // Peek the seq token to find the request (and its width) first.
+        let seq = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse::<u64>().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("no sequence in `{}`", line.trim())))?;
+        let width = self
+            .pending
+            .remove(&seq)
+            .ok_or_else(|| ClientError::Protocol(format!("response to unknown request {seq}")))?;
+        match parse_response(&line, width).map_err(ClientError::Protocol)? {
+            Response::Ok {
+                sum, cout, cycles, ..
+            } => Ok((seq, Ok(AddResponse { sum, cout, cycles }))),
+            Response::Err(err) => Ok((seq, Err(err))),
+            Response::Engines(_) => Err(ClientError::Protocol(
+                "ENGINES response while waiting for ADD".into(),
+            )),
+        }
+    }
+
+    /// One full round trip: submit, then wait for *that* request (other
+    /// pipelined completions arriving first are an error — don't mix `add`
+    /// with in-flight `submit`s).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the conditions of [`Client::submit`] / [`Client::recv`],
+    /// or with the server's [`RequestError`] as a protocol error.
+    pub fn add(&mut self, engine: &str, a: &UBig, b: &UBig) -> Result<AddResponse, ClientError> {
+        let seq = self.submit(engine, a, b)?;
+        let (done, response) = self.recv()?;
+        if done != seq {
+            return Err(ClientError::Protocol(format!(
+                "expected response to {seq}, got {done} (mixing add with pipelined submits?)"
+            )));
+        }
+        response.map_err(|e| ClientError::Protocol(format!("{} {}", e.code, e.message)))
+    }
+
+    /// Asks the server for its engine-name list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unparseable reply. Call with no
+    /// in-flight requests — an `OK` arriving first is a protocol error.
+    pub fn engines(&mut self) -> Result<Vec<String>, ClientError> {
+        self.writer.write_all(b"ENGINES\n")?;
+        let line = self.read_line()?;
+        match parse_response(&line, 1).map_err(ClientError::Protocol)? {
+            Response::Engines(names) => Ok(names),
+            other => Err(ClientError::Protocol(format!(
+                "expected ENGINES response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Shuts the connection down (best effort; dropping does the same).
+    pub fn close(self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}

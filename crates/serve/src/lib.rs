@@ -1,0 +1,60 @@
+//! `vlcsa-serve` — a batching request/response service over the adder
+//! engines: the paper's variable-latency trade-off under real traffic.
+//!
+//! The point of a variable-latency adder is average-case service: 1-cycle
+//! speculation with rare 2-cycle recoveries only pays off when a stream of
+//! requests flows through the unit and the stalls are absorbed by
+//! queueing. This crate is that serving-shaped workload for the
+//! reproduction. Clients submit additions over TCP, each naming any engine
+//! of [`vlcsa::engine::Registry`]; a bounded queue and a batching window
+//! (max lanes / max wait) pack the stream into per-engine
+//! [`WideSlab`](bitnum::batch::WideSlab) issue groups; a worker pool runs
+//! the groups through the sharded [`Executor`](vlcsa::exec::Executor); and
+//! every response carries the lane's exact sum, carry-out and cycle count,
+//! so VLCSA stall accounting is visible end to end.
+//!
+//! The layers, bottom up:
+//!
+//! * [`queue`] — the bounded MPMC queue (backpressure + clean shutdown);
+//! * [`protocol`] — the newline-delimited wire format;
+//! * [`service`] — the transport-independent core: validation, the
+//!   batching window over [`vlcsa::group::GroupBuilder`], the worker pool;
+//! * [`server`] / [`client`] — the TCP front-end and the client library.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bitnum::UBig;
+//! use vlcsa_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! // Engines are discoverable…
+//! assert!(client.engines().unwrap().contains(&"vlcsa2".to_string()));
+//!
+//! // …and additions answer with latency accounting.
+//! let a = UBig::from_u128(u64::MAX as u128, 64);
+//! let b = UBig::from_u128(1, 64);
+//! let response = client.add("vlcsa1", &a, &b).unwrap();
+//! assert_eq!(response.sum.to_u128(), Some(0)); // u64::MAX + 1 wraps at width 64
+//! assert!(response.cout);
+//! assert!(response.cycles == 1 || response.cycles == 2);
+//!
+//! client.close();
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use client::{AddResponse, Client, ClientError};
+pub use protocol::{ErrorCode, Request, RequestError, Response};
+pub use server::Server;
+pub use service::{AddResult, RegistryCache, ServeConfig, Service, SubmitError};

@@ -1,0 +1,392 @@
+//! The newline-delimited wire protocol between clients and the server.
+//!
+//! One request or response per line, tokens separated by single spaces,
+//! operands and sums as bare lowercase hex (the [`UBig`] `{:x}` /
+//! [`UBig::from_hex`] pair). Requests carry a client-chosen sequence
+//! number because the batching window is free to complete requests out of
+//! submission order — two requests from one connection that land in
+//! different issue groups finish whenever their groups do — so every
+//! response names the request it answers.
+//!
+//! ```text
+//! client → server
+//!   ADD <seq> <engine> <width> <a-hex> <b-hex>    one addition request
+//!   ENGINES                                       list known engine names
+//!
+//! server → client
+//!   OK <seq> <sum-hex> <cout:0|1> <cycles>        the lane's exact result
+//!   ERR <seq> <code> <message…>                   per-request failure
+//!   ENGINES <name> <name> …                       the registry's names
+//! ```
+//!
+//! A malformed line that does not yield a sequence number is answered with
+//! `ERR 0 bad-request …`; protocol errors never drop the connection.
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::UBig;
+//! use vlcsa_serve::protocol::{parse_request, Request};
+//!
+//! let req = parse_request("ADD 7 vlcsa1 64 1f 3").unwrap();
+//! match req {
+//!     Request::Add { seq, engine, width, a, b } => {
+//!         assert_eq!((seq, engine.as_str(), width), (7, "vlcsa1", 64));
+//!         assert_eq!(a.to_u128(), Some(0x1f));
+//!         assert_eq!(b.to_u128(), Some(3));
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+use bitnum::UBig;
+
+/// Widths a request may name: at least 1 bit, at most
+/// [`bitnum::MAX_WIDTH`].
+pub const WIDTH_RANGE: std::ops::RangeInclusive<usize> = 1..=bitnum::MAX_WIDTH;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `ADD <seq> <engine> <width> <a-hex> <b-hex>`.
+    Add {
+        /// Client-chosen sequence number, echoed in the response.
+        seq: u64,
+        /// Engine display name (a [`Registry`](vlcsa::engine::Registry) name).
+        engine: String,
+        /// Operand width in bits.
+        width: usize,
+        /// First operand.
+        a: UBig,
+        /// Second operand.
+        b: UBig,
+    },
+    /// `ENGINES` — list the registry's engine names.
+    Engines,
+}
+
+/// Machine-readable failure classes of an `ERR` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line did not parse as any request.
+    BadRequest,
+    /// The engine name is not in the registry (the message lists the
+    /// known names, via
+    /// [`EngineLookupError`](vlcsa::engine::EngineLookupError)).
+    UnknownEngine,
+    /// The width is outside [`WIDTH_RANGE`].
+    BadWidth,
+    /// An operand was not valid hex or did not fit the width.
+    BadOperand,
+    /// The server is shutting down and did not run the request.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// The kebab-case wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownEngine => "unknown-engine",
+            ErrorCode::BadWidth => "bad-width",
+            ErrorCode::BadOperand => "bad-operand",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire token back into a code.
+    pub fn from_str_token(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-engine" => ErrorCode::UnknownEngine,
+            "bad-width" => ErrorCode::BadWidth,
+            "bad-operand" => ErrorCode::BadOperand,
+            "shutdown" => ErrorCode::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request-level failure: the code, the offending sequence number and a
+/// human-readable message. `seq` is 0 when the line was too malformed to
+/// carry one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Sequence number the failure answers (0 if unparseable).
+    pub seq: u64,
+    /// Machine-readable class.
+    pub code: ErrorCode,
+    /// Human-readable detail (single line).
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(seq: u64, code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            seq,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the [`RequestError`] to answer with; the connection stays up.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let mut tokens = line.split_ascii_whitespace();
+    match tokens.next() {
+        Some("ENGINES") => match tokens.next() {
+            None => Ok(Request::Engines),
+            Some(extra) => Err(RequestError::new(
+                0,
+                ErrorCode::BadRequest,
+                format!("ENGINES takes no arguments, got `{extra}`"),
+            )),
+        },
+        Some("ADD") => {
+            let seq = tokens
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    RequestError::new(0, ErrorCode::BadRequest, "ADD needs a numeric sequence")
+                })?;
+            let fail = |code, message: String| RequestError::new(seq, code, message);
+            let engine = tokens
+                .next()
+                .ok_or_else(|| fail(ErrorCode::BadRequest, "ADD is missing the engine".into()))?
+                .to_string();
+            let width = tokens
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| fail(ErrorCode::BadRequest, "ADD needs a numeric width".into()))?;
+            if !WIDTH_RANGE.contains(&width) {
+                return Err(fail(
+                    ErrorCode::BadWidth,
+                    format!(
+                        "width {width} outside {}..={}",
+                        WIDTH_RANGE.start(),
+                        WIDTH_RANGE.end()
+                    ),
+                ));
+            }
+            let mut operand = |name: &str| -> Result<UBig, RequestError> {
+                let token = tokens.next().ok_or_else(|| {
+                    fail(
+                        ErrorCode::BadRequest,
+                        format!("ADD is missing operand {name}"),
+                    )
+                })?;
+                UBig::from_hex(token, width)
+                    .map_err(|e| fail(ErrorCode::BadOperand, format!("operand {name}: {e}")))
+            };
+            let a = operand("a")?;
+            let b = operand("b")?;
+            if let Some(extra) = tokens.next() {
+                return Err(fail(
+                    ErrorCode::BadRequest,
+                    format!("trailing token `{extra}`"),
+                ));
+            }
+            Ok(Request::Add {
+                seq,
+                engine,
+                width,
+                a,
+                b,
+            })
+        }
+        Some(other) => Err(RequestError::new(
+            0,
+            ErrorCode::BadRequest,
+            format!("unknown command `{other}`"),
+        )),
+        None => Err(RequestError::new(0, ErrorCode::BadRequest, "empty line")),
+    }
+}
+
+/// Formats an `ADD` request line (no trailing newline).
+pub fn format_add(seq: u64, engine: &str, a: &UBig, b: &UBig) -> String {
+    format!("ADD {seq} {engine} {} {a:x} {b:x}", a.width())
+}
+
+/// One parsed server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <seq> <sum-hex> <cout> <cycles>`.
+    Ok {
+        /// Echoed request sequence number.
+        seq: u64,
+        /// The exact sum, at the request's width.
+        sum: UBig,
+        /// Carry out of the most significant bit.
+        cout: bool,
+        /// Cycles the lane consumed (1, or 2 after a recovery stall).
+        cycles: u8,
+    },
+    /// `ERR <seq> <code> <message…>`.
+    Err(RequestError),
+    /// `ENGINES <name> …`.
+    Engines(Vec<String>),
+}
+
+/// Formats a response line (no trailing newline). `Ok` needs no width on
+/// the wire: the client parses the sum at the width it asked for.
+pub fn format_response(response: &Response) -> String {
+    match response {
+        Response::Ok {
+            seq,
+            sum,
+            cout,
+            cycles,
+        } => format!("OK {seq} {sum:x} {} {cycles}", u8::from(*cout)),
+        Response::Err(e) => format!("ERR {} {} {}", e.seq, e.code, e.message),
+        Response::Engines(names) => {
+            let mut line = String::from("ENGINES");
+            for name in names {
+                line.push(' ');
+                line.push_str(name);
+            }
+            line
+        }
+    }
+}
+
+/// Parses one response line on the client side. `width` is the width of
+/// the request the caller is matching responses against (used to parse the
+/// sum of an `OK`).
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    match tokens.next() {
+        Some("OK") => {
+            let mut next =
+                |name: &str| tokens.next().ok_or_else(|| format!("OK is missing {name}"));
+            let seq = next("seq")?
+                .parse::<u64>()
+                .map_err(|e| format!("OK seq: {e}"))?;
+            let sum = UBig::from_hex(next("sum")?, width).map_err(|e| format!("OK sum: {e}"))?;
+            let cout = match next("cout")? {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("OK cout must be 0|1, got `{other}`")),
+            };
+            let cycles = next("cycles")?
+                .parse::<u8>()
+                .map_err(|e| format!("OK cycles: {e}"))?;
+            Ok(Response::Ok {
+                seq,
+                sum,
+                cout,
+                cycles,
+            })
+        }
+        Some("ERR") => {
+            let seq = tokens
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or("ERR needs a numeric seq")?;
+            let code = tokens
+                .next()
+                .and_then(ErrorCode::from_str_token)
+                .ok_or("ERR needs a known code")?;
+            let message = tokens.collect::<Vec<_>>().join(" ");
+            Ok(Response::Err(RequestError { seq, code, message }))
+        }
+        Some("ENGINES") => Ok(Response::Engines(tokens.map(str::to_string).collect())),
+        Some(other) => Err(format!("unknown response `{other}`")),
+        None => Err("empty response line".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_roundtrip() {
+        let a = UBig::from_u128(0xdead_beef, 64);
+        let b = UBig::from_u128(0x1234, 64);
+        let line = format_add(42, "carry-select", &a, &b);
+        assert_eq!(line, "ADD 42 carry-select 64 deadbeef 1234");
+        match parse_request(&line).unwrap() {
+            Request::Add {
+                seq,
+                engine,
+                width,
+                a: pa,
+                b: pb,
+            } => {
+                assert_eq!(seq, 42);
+                assert_eq!(engine, "carry-select");
+                assert_eq!(width, 64);
+                assert_eq!(pa, a);
+                assert_eq!(pb, b);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let sum = UBig::from_u128(0xffff_0001, 48);
+        for response in [
+            Response::Ok {
+                seq: 9,
+                sum,
+                cout: true,
+                cycles: 2,
+            },
+            Response::Err(RequestError {
+                seq: 3,
+                code: ErrorCode::UnknownEngine,
+                message: "unknown engine `x`; known engines: ripple, cla4".into(),
+            }),
+            Response::Engines(vec!["ripple".into(), "vlcsa1".into()]),
+        ] {
+            let line = format_response(&response);
+            assert_eq!(parse_response(&line, 48).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_fail_with_codes_not_panics() {
+        for (line, code, seq) in [
+            ("", ErrorCode::BadRequest, 0),
+            ("HELLO", ErrorCode::BadRequest, 0),
+            ("ADD", ErrorCode::BadRequest, 0),
+            ("ADD x ripple 8 1 2", ErrorCode::BadRequest, 0),
+            ("ADD 5 ripple", ErrorCode::BadRequest, 5),
+            ("ADD 5 ripple eight 1 2", ErrorCode::BadRequest, 5),
+            ("ADD 5 ripple 0 1 2", ErrorCode::BadWidth, 5),
+            ("ADD 5 ripple 5000 1 2", ErrorCode::BadWidth, 5),
+            ("ADD 5 ripple 8 xyz 2", ErrorCode::BadOperand, 5),
+            ("ADD 5 ripple 8 fff 2", ErrorCode::BadOperand, 5), // overflow
+            ("ADD 5 ripple 8 1 2 3", ErrorCode::BadRequest, 5),
+            ("ENGINES now", ErrorCode::BadRequest, 0),
+        ] {
+            let err = parse_request(line).err().unwrap_or_else(|| {
+                panic!("`{line}` parsed");
+            });
+            assert_eq!(err.code, code, "`{line}` → {err:?}");
+            assert_eq!(err.seq, seq, "`{line}` → {err:?}");
+        }
+    }
+
+    #[test]
+    fn engines_request_parses() {
+        assert_eq!(parse_request("ENGINES").unwrap(), Request::Engines);
+        assert_eq!(parse_request("  ENGINES  ").unwrap(), Request::Engines);
+    }
+}

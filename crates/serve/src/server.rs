@@ -1,0 +1,293 @@
+//! The TCP front-end: a listener, one reader thread per connection, and
+//! response writing from the worker threads.
+//!
+//! Each accepted connection gets a reader thread that parses request lines
+//! ([`crate::protocol`]) and submits them to the shared [`Service`]. The
+//! write half of the socket is wrapped in an `Arc<Mutex<TcpStream>>`; each
+//! `ADD`'s reply callback captures that handle plus the request's sequence
+//! number, so worker threads write `OK` lines directly to the right
+//! client whenever their issue group completes — out of submission order
+//! when the batching window split a connection's requests across groups.
+//! Validation and protocol errors are answered inline by the reader as
+//! `ERR` lines; nothing short of a socket error drops a connection.
+//! Because workers write to client sockets directly, a client that stops
+//! reading could otherwise pin a worker on its full send buffer and
+//! head-of-line-block every other connection — so each accepted socket
+//! carries [`Server::WRITE_TIMEOUT`], after which that client's response
+//! is dropped (its connection is already broken) and the worker moves on.
+//!
+//! [`Server::shutdown`] is clean and bounded: stop accepting, shut the
+//! sockets down (unblocking the readers), answer everything already
+//! accepted (worker writes to a shut-down socket are ignored), and join
+//! every thread.
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::UBig;
+//! use vlcsa_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let response = client
+//!     .add("carry-select", &UBig::from_u128(2, 32), &UBig::from_u128(3, 32))
+//!     .unwrap();
+//! assert_eq!(response.sum.to_u128(), Some(5));
+//! client.close();
+//! server.shutdown();
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{format_response, parse_request, ErrorCode, Request, RequestError, Response};
+use crate::service::{ServeConfig, Service, SubmitError};
+
+/// Writes one response line to a shared socket, swallowing write errors —
+/// a worker answering after the client hung up (or after shutdown) has
+/// nobody left to tell. A failed (or timed-out) write may have sent a
+/// partial line, so the socket is shut down: a desynced stream is
+/// unrecoverable and killing it also unblocks the connection's reader.
+fn write_line(stream: &Mutex<TcpStream>, response: &Response) {
+    let line = format_response(response);
+    let mut stream = stream.lock().expect("connection write lock");
+    if stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_err()
+    {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn submit_error_response(seq: u64, err: SubmitError) -> Response {
+    let code = match err {
+        SubmitError::UnknownEngine(_) => ErrorCode::UnknownEngine,
+        SubmitError::WidthMismatch(..) => ErrorCode::BadRequest,
+        SubmitError::BadWidth(_) => ErrorCode::BadWidth,
+        SubmitError::Stopped => ErrorCode::Shutdown,
+    };
+    Response::Err(RequestError {
+        seq,
+        code,
+        message: err.to_string(),
+    })
+}
+
+/// One connection's read loop: parse, validate, submit; answer errors
+/// inline. Returns when the client disconnects or the socket is shut down.
+fn serve_connection(stream: TcpStream, service: &Service) {
+    let reader = match stream.try_clone() {
+        Ok(read_half) => BufReader::new(read_half),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(Request::Engines) => {
+                // Engine names are width-independent; any registry lists
+                // them. 64 is as good a cache key as any.
+                let names = service.registries().at(64).names();
+                let names = names.into_iter().map(str::to_string).collect();
+                write_line(&writer, &Response::Engines(names));
+            }
+            Ok(Request::Add {
+                seq,
+                engine,
+                width: _,
+                a,
+                b,
+            }) => {
+                let reply_to = Arc::clone(&writer);
+                let submitted = service.submit(
+                    &engine,
+                    a,
+                    b,
+                    Box::new(move |result| {
+                        write_line(
+                            &reply_to,
+                            &Response::Ok {
+                                seq,
+                                sum: result.sum,
+                                cout: result.cout,
+                                cycles: result.cycles,
+                            },
+                        );
+                    }),
+                );
+                if let Err(err) = submitted {
+                    write_line(&writer, &submit_error_response(seq, err));
+                }
+            }
+            Err(err) => write_line(&writer, &Response::Err(err)),
+        }
+    }
+}
+
+/// The running TCP server — see the module docs and example.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Option<Arc<Service>>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// How long a worker will wait on one client's full send buffer
+    /// before abandoning that response. A client that stops reading gets
+    /// its replies dropped after this bound instead of wedging the shared
+    /// worker pool (head-of-line blocking across connections).
+    pub const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+    /// Binds `addr` (use port 0 for an OS-assigned port), starts the
+    /// service core and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Service::start(config));
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
+            let connections = Arc::clone(&connections);
+            let reader_threads = Arc::clone(&reader_threads);
+            std::thread::spawn(move || {
+                let mut next_conn_id = 0u64;
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Responses are single short lines; without NODELAY,
+                    // Nagle + delayed ACK quantizes every round trip to
+                    // tens of milliseconds. The write timeout bounds how
+                    // long a worker can be held by one stalled client.
+                    stream.set_nodelay(true).ok();
+                    stream.set_write_timeout(Some(Self::WRITE_TIMEOUT)).ok();
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    if let Ok(registered) = stream.try_clone() {
+                        connections
+                            .lock()
+                            .expect("connection registry lock")
+                            .insert(conn_id, registered);
+                    }
+                    let service = Arc::clone(&service);
+                    let conns = Arc::clone(&connections);
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, &service);
+                        // Deregister on exit so a long-running server does
+                        // not accumulate one open fd per dead connection.
+                        conns
+                            .lock()
+                            .expect("connection registry lock")
+                            .remove(&conn_id);
+                    });
+                    // Reap finished readers here, for the same reason.
+                    let finished: Vec<JoinHandle<()>> = {
+                        let mut handles = reader_threads.lock().expect("reader registry lock");
+                        let (done, live) = handles.drain(..).partition(|h| h.is_finished());
+                        *handles = live;
+                        handles.push(handle);
+                        done
+                    };
+                    for done in finished {
+                        // Already returned; join cannot block.
+                        let _ = done.join();
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            addr,
+            stop,
+            service: Some(service),
+            accept_thread: Some(accept_thread),
+            connections,
+            reader_threads,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently registered connections. Dead connections are
+    /// deregistered by their reader threads (and their handles reaped on
+    /// the next accept), so a long-running server's registries track live
+    /// clients, not connection history — this is the observable for that.
+    pub fn open_connections(&self) -> usize {
+        self.connections
+            .lock()
+            .expect("connection registry lock")
+            .len()
+    }
+
+    /// Stops accepting, shuts every connection's socket down, answers the
+    /// already-accepted requests, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; if the
+        // listener is somehow unreachable the loop is already dead.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for (_, stream) in self
+            .connections
+            .lock()
+            .expect("connection registry lock")
+            .drain()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<_> = self
+            .reader_threads
+            .lock()
+            .expect("reader registry lock")
+            .drain(..)
+            .collect();
+        for handle in readers {
+            let _ = handle.join();
+        }
+        // The readers are gone, so nothing submits anymore; this drains
+        // and answers what was accepted (writes to dead sockets no-op).
+        // The joined readers dropped their `Arc` clones, so `into_inner`
+        // succeeds; if it ever did not, `Service::drop` closes and joins.
+        if let Some(service) = self.service.take().and_then(Arc::into_inner) {
+            service.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// A dropped (not shut down) server still stops its accept loop so the
+    /// listener thread cannot outlive the handle.
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}

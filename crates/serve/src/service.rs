@@ -1,0 +1,469 @@
+//! The transport-independent service core: a bounded request queue, a
+//! batching window, and a worker pool over the sharded executor.
+//!
+//! Requests flow through three stages, each its own thread(s):
+//!
+//! 1. **Submitters** (connection readers, or [`Service::add_blocking`]
+//!    callers) validate a request — width in range, operands same width,
+//!    engine resolved against the width's [`Registry`] — and push a
+//!    job into the bounded request queue. Validation happens *before*
+//!    queueing so a bad request fails alone, with a structured error, and
+//!    never contaminates an issue group.
+//! 2. **The batcher** pops the first pending job, then keeps popping until
+//!    either `max_lanes` lanes are pending or `max_wait` has elapsed since
+//!    that first job — the batching window — and drains the accumulated
+//!    [`GroupBuilder`] into per-`(engine, width)`
+//!    [`IssueGroup`](vlcsa::group::IssueGroup)s on the
+//!    group queue. A window that expires with nothing pending produces no
+//!    groups and touches no executor (see `GroupBuilder::drain`).
+//! 3. **Workers** pop issue groups, run them through [`Executor::run`],
+//!    and deliver each lane's sum, carry-out and cycle count to the
+//!    request's reply callback — the lane→request mapping is the group's
+//!    `tags` vector.
+//!
+//! [`Service::shutdown`] closes the request queue, lets the batcher drain
+//! what was already accepted, closes the group queue, and joins every
+//! thread — accepted requests are answered, late submissions fail with
+//! [`SubmitError::Stopped`].
+//!
+//! # Example
+//!
+//! ```
+//! use bitnum::UBig;
+//! use vlcsa_serve::service::{Service, ServeConfig};
+//!
+//! let service = Service::start(ServeConfig::default());
+//! let result = service
+//!     .add_blocking("vlcsa1", UBig::from_u128(40, 64), UBig::from_u128(2, 64))
+//!     .unwrap();
+//! assert_eq!(result.sum.to_u128(), Some(42));
+//! assert!(result.cycles == 1 || result.cycles == 2);
+//! service.shutdown();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bitnum::UBig;
+use vlcsa::engine::{EngineLookupError, Registry};
+use vlcsa::exec::Executor;
+use vlcsa::group::GroupBuilder;
+
+use crate::protocol::WIDTH_RANGE;
+use crate::queue::{PopResult, Queue};
+
+/// Tuning knobs of the service core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bound of the request queue (backpressure depth).
+    pub queue_depth: usize,
+    /// Flush the batching window once this many lanes are pending.
+    pub max_lanes: usize,
+    /// Flush the batching window this long after its first request.
+    pub max_wait: Duration,
+    /// Worker threads draining issue groups.
+    pub workers: usize,
+    /// Threads of the per-group [`Executor`].
+    pub exec_threads: usize,
+}
+
+impl Default for ServeConfig {
+    /// Small-host defaults: one 256-lane window, half a millisecond of
+    /// batching patience, two workers, serial executor.
+    fn default() -> Self {
+        Self {
+            queue_depth: 1024,
+            max_lanes: 256,
+            max_wait: Duration::from_micros(500),
+            workers: 2,
+            exec_threads: 1,
+        }
+    }
+}
+
+/// One lane's answer: the exact sum plus the engine's latency accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddResult {
+    /// The exact sum, at the request's width.
+    pub sum: UBig,
+    /// Carry out of the most significant bit.
+    pub cout: bool,
+    /// Cycles the lane consumed: 1, or 2 after a recovery stall.
+    pub cycles: u8,
+}
+
+/// Why [`Service::submit`] rejected a request before queueing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No engine of that name — carries the full known-name list.
+    UnknownEngine(EngineLookupError),
+    /// The two operands disagree on width.
+    WidthMismatch(usize, usize),
+    /// The width is outside [`WIDTH_RANGE`].
+    BadWidth(usize),
+    /// The service is shutting down.
+    Stopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownEngine(e) => e.fmt(f),
+            SubmitError::WidthMismatch(a, b) => {
+                write!(f, "operand widths disagree: {a} vs {b}")
+            }
+            SubmitError::BadWidth(w) => write!(
+                f,
+                "width {w} outside {}..={}",
+                WIDTH_RANGE.start(),
+                WIDTH_RANGE.end()
+            ),
+            SubmitError::Stopped => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The reply callback a request carries through the pipeline: called
+/// exactly once, from a worker thread, with the lane's result.
+pub type Reply = Box<dyn FnOnce(AddResult) + Send>;
+
+/// A validated request in flight between submitter and batcher.
+struct Job {
+    engine: String,
+    a: UBig,
+    b: UBig,
+    reply: Reply,
+}
+
+/// A lazily-built, shared cache of [`Registry`] instances, one per
+/// requested width — so engine construction cost is paid once per width,
+/// not once per request.
+pub struct RegistryCache {
+    map: Mutex<HashMap<usize, Arc<Registry>>>,
+}
+
+impl RegistryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The registry at `width`, built on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside [`WIDTH_RANGE`] (callers validate
+    /// first).
+    pub fn at(&self, width: usize) -> Arc<Registry> {
+        let mut map = self.map.lock().expect("registry cache lock");
+        Arc::clone(
+            map.entry(width)
+                .or_insert_with(|| Arc::new(Registry::for_width(width))),
+        )
+    }
+}
+
+impl Default for RegistryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The running service core — see the module docs for the pipeline shape.
+pub struct Service {
+    requests: Arc<Queue<Job>>,
+    registries: Arc<RegistryCache>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the batcher and worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `queue_depth`, `max_lanes`, `workers` or
+    /// `exec_threads` is zero.
+    pub fn start(config: ServeConfig) -> Self {
+        assert!(
+            config.max_lanes >= 1,
+            "a batching window needs max_lanes >= 1"
+        );
+        assert!(config.workers >= 1, "the service needs at least one worker");
+        let requests: Arc<Queue<Job>> = Arc::new(Queue::new(config.queue_depth));
+        // Groups queue depth: enough that the batcher never blocks on a
+        // slow worker unless every worker is busy with a backlog.
+        let groups: Arc<Queue<vlcsa::group::IssueGroup<Reply>>> =
+            Arc::new(Queue::new(config.workers * 2));
+        let registries = Arc::new(RegistryCache::new());
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        let batcher = {
+            let requests = Arc::clone(&requests);
+            let groups = Arc::clone(&groups);
+            std::thread::spawn(move || {
+                let mut builder: GroupBuilder<Reply> = GroupBuilder::new();
+                'accept: while let Some(first) = requests.pop() {
+                    builder.push(&first.engine, first.a, first.b, first.reply);
+                    let deadline = Instant::now() + config.max_wait;
+                    let mut open = true;
+                    while builder.lanes() < config.max_lanes {
+                        match requests.pop_deadline(deadline) {
+                            PopResult::Item(job) => {
+                                builder.push(&job.engine, job.a, job.b, job.reply);
+                            }
+                            PopResult::TimedOut => break,
+                            PopResult::Closed => {
+                                open = false;
+                                break;
+                            }
+                        }
+                    }
+                    for group in builder.drain() {
+                        if groups.push(group).is_err() {
+                            break 'accept;
+                        }
+                    }
+                    if !open {
+                        break;
+                    }
+                }
+                groups.close();
+            })
+        };
+        threads.push(batcher);
+
+        for _ in 0..config.workers {
+            let groups = Arc::clone(&groups);
+            let registries = Arc::clone(&registries);
+            let executor = Executor::new(config.exec_threads);
+            threads.push(std::thread::spawn(move || {
+                while let Some(group) = groups.pop() {
+                    let registry = registries.at(group.width);
+                    let engine = registry
+                        .lookup(&group.engine)
+                        .expect("engine validated at submit time");
+                    let out = executor.run(engine, &group.a, &group.b);
+                    for (l, reply) in group.tags.into_iter().enumerate() {
+                        reply(AddResult {
+                            sum: out.sum.lane(l),
+                            cout: out.cout(l),
+                            cycles: out.cycles(l),
+                        });
+                    }
+                }
+            }));
+        }
+
+        Self {
+            requests,
+            registries,
+            threads,
+        }
+    }
+
+    /// The registry cache — the `ENGINES` command and validation share it.
+    pub fn registries(&self) -> &Arc<RegistryCache> {
+        &self.registries
+    }
+
+    /// Validates and queues one addition; `reply` fires from a worker once
+    /// the lane's issue group has run. Blocks while the request queue is
+    /// full (the service's backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Rejects before queueing on unknown engine, bad width, mismatched
+    /// operand widths, or a stopped service — the reply callback is
+    /// dropped unfired in those cases, so transports answer errors inline.
+    pub fn submit(&self, engine: &str, a: UBig, b: UBig, reply: Reply) -> Result<(), SubmitError> {
+        if a.width() != b.width() {
+            return Err(SubmitError::WidthMismatch(a.width(), b.width()));
+        }
+        let width = a.width();
+        if !WIDTH_RANGE.contains(&width) {
+            return Err(SubmitError::BadWidth(width));
+        }
+        let registry = self.registries.at(width);
+        let engine = registry
+            .lookup(engine)
+            .map_err(SubmitError::UnknownEngine)?
+            .name();
+        self.requests
+            .push(Job {
+                engine: engine.to_string(),
+                a,
+                b,
+                reply,
+            })
+            .map_err(|_| SubmitError::Stopped)
+    }
+
+    /// Submits one addition and blocks until its group has run — the
+    /// in-process equivalent of one `ADD` round trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the conditions of [`Service::submit`], or with
+    /// [`SubmitError::Stopped`] if the service shuts down mid-flight.
+    pub fn add_blocking(&self, engine: &str, a: UBig, b: UBig) -> Result<AddResult, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(
+            engine,
+            a,
+            b,
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        )?;
+        rx.recv().map_err(|_| SubmitError::Stopped)
+    }
+
+    /// Stops accepting requests, answers everything already accepted, and
+    /// joins the batcher and workers.
+    pub fn shutdown(mut self) {
+        self.requests.close();
+        for handle in self.threads.drain(..) {
+            handle.join().expect("service thread panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    /// A dropped (not shut down) service still closes the queue and joins,
+    /// so no thread outlives the handle.
+    fn drop(&mut self) {
+        self.requests.close();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> ServeConfig {
+        ServeConfig {
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn add_blocking_matches_scalar_reference() {
+        let service = Service::start(fast_config());
+        let registry = Registry::for_width(32);
+        for (i, engine) in ["ripple", "carry-select", "vlcsa1", "vlcsa2"]
+            .into_iter()
+            .enumerate()
+        {
+            let a = UBig::from_u128(0x9000_0000 + i as u128, 32);
+            let b = UBig::from_u128(0x7fff_ffff, 32);
+            let out = service.add_blocking(engine, a.clone(), b.clone()).unwrap();
+            let one = registry.get(engine).unwrap().add_one(&a, &b);
+            assert_eq!(out.sum, one.sum, "{engine}");
+            assert_eq!(out.cout, one.cout, "{engine}");
+            assert_eq!(out.cycles, one.cycles, "{engine}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_rejects_bad_requests_before_queueing() {
+        let service = Service::start(fast_config());
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        match service.submit("no-such", UBig::zero(8), UBig::zero(8), reply) {
+            Err(SubmitError::UnknownEngine(e)) => {
+                assert_eq!(e.requested, "no-such");
+                assert!(e.known.contains(&"vlcsa1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert_eq!(
+            service
+                .submit("ripple", UBig::zero(8), UBig::zero(16), reply)
+                .err(),
+            Some(SubmitError::WidthMismatch(8, 16))
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_accepted_requests() {
+        let service = Service::start(ServeConfig {
+            // A long window: shutdown must flush it early, not wait it out.
+            max_wait: Duration::from_secs(30),
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10u64 {
+            let tx = tx.clone();
+            service
+                .submit(
+                    "vlcsa2",
+                    UBig::from_u128(i as u128, 64),
+                    UBig::from_u128(1, 64),
+                    Box::new(move |result| {
+                        let _ = tx.send((i, result));
+                    }),
+                )
+                .unwrap();
+        }
+        let start = Instant::now();
+        service.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown waited for the batching window instead of flushing"
+        );
+        let mut answered: Vec<(u64, AddResult)> = rx.try_iter().collect();
+        answered.sort_by_key(|(i, _)| *i);
+        assert_eq!(answered.len(), 10, "every accepted request is answered");
+        for (i, result) in answered {
+            assert_eq!(result.sum.to_u128(), Some(i as u128 + 1));
+        }
+    }
+
+    #[test]
+    fn mixed_widths_and_engines_in_one_window() {
+        let service = Service::start(ServeConfig {
+            max_wait: Duration::from_millis(20),
+            max_lanes: 512,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let shapes = [("ripple", 16usize), ("vlcsa1", 64), ("kogge-stone", 100)];
+        for i in 0..90u64 {
+            let (engine, width) = shapes[i as usize % shapes.len()];
+            let tx = tx.clone();
+            service
+                .submit(
+                    engine,
+                    UBig::from_u128(i as u128, width),
+                    UBig::from_u128(i as u128 * 3, width),
+                    Box::new(move |result| {
+                        let _ = tx.send((i, result));
+                    }),
+                )
+                .unwrap();
+        }
+        drop(tx);
+        let mut seen = 0;
+        while let Ok((i, result)) = rx.recv_timeout(Duration::from_secs(20)) {
+            assert_eq!(result.sum.to_u128(), Some(i as u128 * 4), "request {i}");
+            seen += 1;
+            if seen == 90 {
+                break;
+            }
+        }
+        assert_eq!(seen, 90);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,135 @@
+//! Batching-equivalence property: any interleaving of requests through the
+//! service layer yields bit-identical sums, carry-outs and cycle counts to
+//! calling `Executor::run` directly on the same operands.
+//!
+//! The service layer may split one client's stream across many issue
+//! groups (the batching window), pack many engines' requests into one
+//! window, and complete groups on different workers in any order. None of
+//! that may change a single lane: every per-request answer is a pure
+//! function of `(engine, a, b)`. The reference below buckets the same
+//! requests per `(engine, width)` — in submission order, like the
+//! `GroupBuilder` does — and runs each bucket through the executor in one
+//! shot; bucket sizes are arbitrary, so partial (<64-lane) final chunks
+//! are exercised constantly.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use bitnum::batch::WideSlab;
+use bitnum::rng::{RandomBits, Xoshiro256};
+use bitnum::UBig;
+use proptest::prelude::*;
+use vlcsa::engine::Registry;
+use vlcsa::exec::Executor;
+use vlcsa_serve::{AddResult, ServeConfig, Service};
+
+const ENGINES: [&str; 9] = [
+    "ripple",
+    "cla4",
+    "carry-select",
+    "carry-skip",
+    "conditional-sum",
+    "kogge-stone",
+    "vlsa",
+    "vlcsa1",
+    "vlcsa2",
+];
+const WIDTHS: [usize; 3] = [24, 64, 100];
+
+struct Req {
+    engine: &'static str,
+    a: UBig,
+    b: UBig,
+}
+
+fn random_requests(seed: u64, count: usize) -> Vec<Req> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let engine = ENGINES[(rng.next_u64() % ENGINES.len() as u64) as usize];
+            let width = WIDTHS[(rng.next_u64() % WIDTHS.len() as u64) as usize];
+            Req {
+                engine,
+                a: UBig::random(width, &mut rng),
+                b: UBig::random(width, &mut rng),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random request streams, random batching-window sizes (down to
+    /// 1-lane windows, up to windows larger than a chunk): the service's
+    /// per-request answers equal a direct per-bucket `Executor::run`.
+    #[test]
+    fn service_equals_direct_executor(
+        (seed, count, max_lanes) in (any::<u64>(), 1usize..140, 1usize..97)
+    ) {
+        let requests = random_requests(seed, count);
+        let service = Service::start(ServeConfig {
+            max_lanes,
+            max_wait: Duration::from_micros(200),
+            workers: 3,
+            exec_threads: 2,
+            queue_depth: 32,
+        });
+        let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
+        for (i, req) in requests.iter().enumerate() {
+            let tx = tx.clone();
+            service
+                .submit(
+                    req.engine,
+                    req.a.clone(),
+                    req.b.clone(),
+                    Box::new(move |result| {
+                        let _ = tx.send((i, result));
+                    }),
+                )
+                .expect("valid request");
+        }
+        let mut answers: Vec<Option<AddResult>> = vec![None; requests.len()];
+        for _ in 0..requests.len() {
+            let (i, result) = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("every request is answered");
+            prop_assert!(answers[i].is_none(), "request {} answered twice", i);
+            answers[i] = Some(result);
+        }
+        service.shutdown();
+
+        // Reference: bucket identically (per engine+width, submission
+        // order), one direct executor run per bucket.
+        let mut buckets: Vec<((&'static str, usize), Vec<usize>)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            let key = (req.engine, req.a.width());
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => buckets.push((key, vec![i])),
+            }
+        }
+        let mut registries: HashMap<usize, Registry> = HashMap::new();
+        let executor = Executor::new(2);
+        for ((engine, width), idxs) in buckets {
+            let registry = registries
+                .entry(width)
+                .or_insert_with(|| Registry::for_width(width));
+            let engine = registry.lookup(engine).expect("known engine");
+            let a: Vec<UBig> = idxs.iter().map(|&i| requests[i].a.clone()).collect();
+            let b: Vec<UBig> = idxs.iter().map(|&i| requests[i].b.clone()).collect();
+            let direct = executor.run(engine, &WideSlab::from_lanes(&a), &WideSlab::from_lanes(&b));
+            for (lane, &i) in idxs.iter().enumerate() {
+                let served = answers[i].as_ref().expect("answered above");
+                prop_assert_eq!(
+                    &served.sum,
+                    &direct.sum.lane(lane),
+                    "sum of request {} ({} w{})", i, engine.name(), width
+                );
+                prop_assert_eq!(served.cout, direct.cout(lane), "cout of request {}", i);
+                prop_assert_eq!(served.cycles, direct.cycles(lane), "cycles of request {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Loopback end-to-end tests of the serve front-end: real TCP, concurrent
+//! clients, mixed engines and widths, deterministic assertions against the
+//! scalar reference, and VLCSA cycle accounting checked against the batch
+//! outcome of the same operands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
+use vlcsa::engine::Registry;
+use vlcsa::exec::Executor;
+use vlcsa_serve::{Client, ErrorCode, ServeConfig, Server};
+use workloads::dist::{Distribution, OperandSource};
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        max_wait: Duration::from_micros(300),
+        ..ServeConfig::default()
+    }
+}
+
+/// Joins the server within a wall-clock bound — the clean-shutdown
+/// contract every test ends with.
+fn shutdown_within(server: Server, bound: Duration) {
+    let start = Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < bound,
+        "server shutdown took {:?} (bound {:?})",
+        start.elapsed(),
+        bound
+    );
+}
+
+#[test]
+fn concurrent_clients_mixed_engines_bit_identical() {
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 60;
+    let engines = ["ripple", "carry-select", "vlsa", "vlcsa1", "vlcsa2"];
+    let widths = [16usize, 64, 100];
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE + c as u64);
+                let mut client = Client::connect(addr).unwrap();
+                // Pipeline everything, then drain: completions may arrive
+                // out of submission order across engines.
+                let mut expected = std::collections::HashMap::new();
+                for r in 0..REQUESTS {
+                    use bitnum::rng::RandomBits;
+                    let engine = engines[(c + r) % engines.len()];
+                    let width = widths[(rng.next_u64() % 3) as usize];
+                    let a = UBig::random(width, &mut rng);
+                    let b = UBig::random(width, &mut rng);
+                    let seq = client.submit(engine, &a, &b).unwrap();
+                    expected.insert(seq, (engine, width, a, b));
+                }
+                let mut registries = std::collections::HashMap::new();
+                for _ in 0..REQUESTS {
+                    let (seq, response) = client.recv().unwrap();
+                    let response = response.unwrap_or_else(|e| panic!("seq {seq}: {e:?}"));
+                    let (engine, width, a, b) = expected.remove(&seq).expect("known seq");
+                    let registry = registries
+                        .entry(width)
+                        .or_insert_with(|| Registry::for_width(width));
+                    let one = registry.get(engine).unwrap().add_one(&a, &b);
+                    assert_eq!(response.sum, one.sum, "client {c} seq {seq} {engine}");
+                    assert_eq!(response.cout, one.cout, "client {c} seq {seq} {engine}");
+                    assert_eq!(response.cycles, one.cycles, "client {c} seq {seq} {engine}");
+                }
+                assert!(expected.is_empty());
+                client.close();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn vlcsa_cycle_totals_match_batch_accounting() {
+    // Per-response cycle counts summed over a request stream must equal
+    // the `BatchOutcome`/`WideOutcome` accounting of the same operands —
+    // the eq. 5.2 average-latency bookkeeping, visible through the server.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    const LANES: usize = 200;
+    for engine in ["vlcsa1", "vlcsa2"] {
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 1234);
+        let (a, b) = src.next_wide(LANES);
+        let registry = Registry::for_width(64);
+        let direct = Executor::new(1).run(registry.get(engine).unwrap(), &a, &b);
+
+        let mut seqs = Vec::with_capacity(LANES);
+        for l in 0..LANES {
+            seqs.push(client.submit(engine, &a.lane(l), &b.lane(l)).unwrap());
+        }
+        let mut served_total = 0u64;
+        for _ in 0..LANES {
+            let (_, response) = client.recv().unwrap();
+            let response = response.unwrap();
+            assert!(response.cycles == 1 || response.cycles == 2);
+            served_total += response.cycles as u64;
+        }
+        assert_eq!(
+            served_total,
+            direct.total_cycles(),
+            "{engine}: served cycle total vs executor accounting"
+        );
+        // Gaussian operands at the paper's parameters must actually stall
+        // VLCSA 1 — otherwise this test is vacuous.
+        if engine == "vlcsa1" {
+            assert!(direct.stalls() > 0, "expected stalls in the workload");
+            assert_eq!(served_total, LANES as u64 + direct.stalls());
+        }
+    }
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn bad_engine_name_lists_known_engines_and_keeps_connection() {
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let a = UBig::from_u128(1, 32);
+    let b = UBig::from_u128(2, 32);
+    let seq = client.submit("karry-select", &a, &b).unwrap();
+    let (done, response) = client.recv().unwrap();
+    assert_eq!(done, seq);
+    let err = response.expect_err("unknown engine must fail");
+    assert_eq!(err.code, ErrorCode::UnknownEngine);
+    for name in Registry::for_width(32).names() {
+        assert!(
+            err.message.contains(name),
+            "error must list `{name}`: {}",
+            err.message
+        );
+    }
+    // The connection survives the error.
+    let ok = client.add("carry-select", &a, &b).unwrap();
+    assert_eq!(ok.sum.to_u128(), Some(3));
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn engines_command_lists_the_registry() {
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let names = client.engines().unwrap();
+    let expect: Vec<String> = Registry::for_width(64)
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(names, expect);
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn malformed_lines_are_answered_not_dropped() {
+    // Raw-socket client: protocol garbage gets an ERR with seq 0 (or the
+    // parsed seq), and the same connection still serves valid requests.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+
+    writer.write_all(b"FROBNICATE 1 2 3\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR 0 bad-request"), "{line}");
+
+    line.clear();
+    writer.write_all(b"ADD 9 ripple 8 fff 1\n").unwrap(); // 0xfff > 8 bits
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR 9 bad-operand"), "{line}");
+
+    line.clear();
+    writer.write_all(b"ADD 10 ripple 8 ff 1\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "OK 10 0 1 1"); // 0xff + 1 wraps to 0, carry out
+
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn closed_connections_are_deregistered() {
+    // A long-running server must not accumulate one open socket per dead
+    // connection: each reader deregisters its stream on exit, so after a
+    // churn of short-lived clients the registry drains back to zero.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let a = UBig::from_u128(20, 16);
+    let b = UBig::from_u128(5, 16);
+    for _ in 0..25 {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            client.add("ripple", &a, &b).unwrap().sum.to_u128(),
+            Some(25)
+        );
+        client.close();
+    }
+    // Deregistration runs on the reader threads after the socket closes;
+    // give it a bounded moment.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.open_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        server.open_connections(),
+        0,
+        "dead connections must be pruned from the registry"
+    );
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn idle_windows_then_burst() {
+    // An idle server (batching windows with zero requests) must neither
+    // busy-spin nor wedge: after a quiet period, a burst is served intact.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut seqs = Vec::new();
+    let a = UBig::from_u128(41, 64);
+    let b = UBig::from_u128(1, 64);
+    for _ in 0..32 {
+        seqs.push(client.submit("vlcsa2", &a, &b).unwrap());
+    }
+    for _ in 0..32 {
+        let (_, response) = client.recv().unwrap();
+        assert_eq!(response.unwrap().sum.to_u128(), Some(42));
+    }
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
