@@ -3,39 +3,43 @@
 //!
 //! The netlist generators in this crate describe *hardware structure*; this
 //! module evaluates the same algorithms *behaviorally* over a
-//! [`BitSlab`] — 64 independent additions per gate-level word operation —
-//! so throughput experiments can compare adder families at rates the
-//! one-operand-at-a-time scalar path cannot reach (see the `batch` bench in
-//! `vlcsa-bench` and the benchmark contract in EXPERIMENTS.md).
+//! [`BitSlab`] — one independent addition per lane word bit, per
+//! gate-level word operation — so throughput experiments can compare adder
+//! families at rates the one-operand-at-a-time scalar path cannot reach
+//! (see the `batch` bench in `vlcsa-bench` and the benchmark contract in
+//! EXPERIMENTS.md).
 //!
-//! Every engine implements [`BatchAdd`] with two paths that compute the
-//! identical function:
+//! Every engine is generic over the slab's lane word
+//! ([`Word`]: `u64` for 64 lanes, [`W256`](bitnum::batch::W256) for 256 —
+//! the workspace default) and implements [`BatchAdd`] with two paths that
+//! compute the identical function:
 //!
 //! * [`BatchAdd::add_batch`] — bit-sliced over all lanes of a slab pair;
-//! * [`BatchAdd::add_one`] — the scalar reference with per-bit loops,
+//! * [`ScalarAdd::add_one`] — the scalar reference with per-bit loops,
 //!   mirroring the same carry structure one operand pair at a time. This is
 //!   the baseline the batch speedups in `BENCH_batch.json` are measured
 //!   against.
 //!
 //! Lane-exact agreement between the two (and with [`UBig::overflowing_add`])
-//! is enforced by the `batch_properties` proptest suite.
+//! is enforced by the `batch_properties` proptest suite — for both lane
+//! words, which the same suite pins against each other lane-for-lane.
 //!
 //! # Example
 //!
 //! ```
 //! use adders::batch::{BatchAdd, BatchCarrySelect};
-//! use bitnum::batch::BitSlab;
+//! use bitnum::batch::{BitSlab, Word};
 //! use bitnum::UBig;
 //!
 //! let engine = BatchCarrySelect::new(64, 8);
-//! let a = BitSlab::from_lanes(&vec![UBig::from_u128(123, 64); 4]);
+//! let a: BitSlab = BitSlab::from_lanes(&vec![UBig::from_u128(123, 64); 4]);
 //! let b = BitSlab::from_lanes(&vec![UBig::from_u128(877, 64); 4]);
 //! let out = engine.add_batch(&a, &b);
 //! assert_eq!(out.sum.lane(2).to_u128(), Some(1000));
-//! assert_eq!(out.cout, 0);
+//! assert!(out.cout.is_zero());
 //! ```
 
-use bitnum::batch::{ripple_words, BitSlab};
+use bitnum::batch::{ripple_words, BitSlab, DefaultWord, Word};
 use bitnum::UBig;
 
 /// The result of one batched addition: a slab of sums plus a per-lane
@@ -43,7 +47,7 @@ use bitnum::UBig;
 ///
 /// ```
 /// use adders::batch::{BatchAdd, BatchRipple, BatchSum};
-/// use bitnum::batch::BitSlab;
+/// use bitnum::batch::{BitSlab, Word};
 /// use bitnum::UBig;
 ///
 /// let out: BatchSum = BatchRipple::new(8).add_batch(
@@ -51,26 +55,28 @@ use bitnum::UBig;
 ///     &BitSlab::from_lanes(&[UBig::from_u128(1, 8), UBig::from_u128(1, 8)]),
 /// );
 /// assert_eq!(out.sum.lane(0).to_u128(), Some(0)); // 256 wraps
-/// assert_eq!(out.cout, 0b01); // only lane 0 carries out
+/// assert_eq!(out.cout.limb(0), 0b01); // only lane 0 carries out
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BatchSum {
+pub struct BatchSum<W: Word = DefaultWord> {
     /// The wrapped sums, one lane per input lane.
-    pub sum: BitSlab,
+    pub sum: BitSlab<W>,
     /// Carry-out word: bit `l` is lane `l`'s carry out of bit `width-1`.
-    pub cout: u64,
+    pub cout: W,
 }
 
 /// A behavioral adder engine with a bit-sliced batch path and a scalar
-/// per-bit reference path.
+/// per-bit reference path, generic over the slab lane word `W`.
 ///
 /// Implementations must make the two paths compute the same function:
 /// `add_batch(a, b).sum.lane(l)` equals `add_one(&a.lane(l), &b.lane(l)).0`
 /// for every lane `l` (and likewise the carry-outs) — which in turn must
-/// equal the exact [`UBig::overflowing_add`].
+/// equal the exact [`UBig::overflowing_add`]. Every engine in this module
+/// implements the trait for **every** lane word, so the same engine value
+/// serves 64-lane `u64` slabs and 256-lane `W256` slabs.
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchCla};
+/// use adders::batch::{BatchAdd, BatchCla, BatchSum, ScalarAdd};
 /// use bitnum::batch::BitSlab;
 /// use bitnum::UBig;
 ///
@@ -79,23 +85,29 @@ pub struct BatchSum {
 /// let (sum, cout) = engine.add_one(&a, &b);
 /// assert_eq!(sum.to_u128(), Some(1));
 /// assert!(cout);
-/// let batch = engine.add_batch(&BitSlab::from_lanes(&[a]), &BitSlab::from_lanes(&[b]));
+/// let batch: BatchSum = engine.add_batch(&BitSlab::from_lanes(&[a]), &BitSlab::from_lanes(&[b]));
 /// assert_eq!(batch.sum.lane(0), sum);
 /// ```
-pub trait BatchAdd {
-    /// The operand width the engine was built for.
-    fn width(&self) -> usize;
-
-    /// Short display name for reports (e.g. `"carry-select"`).
-    fn name(&self) -> &'static str;
-
+pub trait BatchAdd<W: Word = DefaultWord>: ScalarAdd {
     /// Adds all lanes of `a` and `b` bit-sliced.
     ///
     /// # Panics
     ///
     /// Panics if the slabs disagree with the engine width or with each
     /// other's lane count.
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum;
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W>;
+}
+
+/// The word-independent half of a batch engine: identity plus the scalar
+/// per-bit reference path. Split out of [`BatchAdd`] so scalar calls on a
+/// concrete engine need no lane-word annotation (the batch path is the
+/// only word-generic surface).
+pub trait ScalarAdd {
+    /// The operand width the engine was built for.
+    fn width(&self) -> usize;
+
+    /// Short display name for reports (e.g. `"carry-select"`).
+    fn name(&self) -> &'static str;
 
     /// Adds one operand pair through the scalar per-bit path (the
     /// benchmark baseline), returning `(sum, carry_out)`.
@@ -106,7 +118,7 @@ pub trait BatchAdd {
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool);
 }
 
-fn check_slabs(width: usize, a: &BitSlab, b: &BitSlab) {
+fn check_slabs<W: Word>(width: usize, a: &BitSlab<W>, b: &BitSlab<W>) {
     assert_eq!(a.width(), width, "slab width mismatch");
     assert_eq!(b.width(), width, "slab width mismatch");
     assert_eq!(a.lanes(), b.lanes(), "slab lane count mismatch");
@@ -121,7 +133,7 @@ fn check_ones(width: usize, a: &UBig, b: &UBig) {
 /// width. The simplest engine and the latency reference for the rest.
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchRipple};
+/// use adders::batch::{BatchRipple, ScalarAdd};
 /// let engine = BatchRipple::new(32);
 /// assert_eq!(engine.width(), 32);
 /// assert_eq!(engine.name(), "ripple");
@@ -146,20 +158,13 @@ impl BatchRipple {
     }
 }
 
-impl BatchAdd for BatchRipple {
+impl ScalarAdd for BatchRipple {
     fn width(&self) -> usize {
         self.width
     }
 
     fn name(&self) -> &'static str {
         "ripple"
-    }
-
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
-        check_slabs(self.width, a, b);
-        let mut sum = BitSlab::zero(self.width, a.lanes());
-        let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
-        BatchSum { sum, cout }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -175,6 +180,21 @@ impl BatchAdd for BatchRipple {
     }
 }
 
+impl<W: Word> BatchAdd<W> for BatchRipple {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+        check_slabs(self.width, a, b);
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let cout = ripple_words(
+            a.words(),
+            b.words(),
+            W::ZERO,
+            a.lane_mask(),
+            sum.words_mut(),
+        );
+        BatchSum { sum, cout }
+    }
+}
+
 /// Bit-sliced blocked carry-lookahead: 4-bit groups compute their group
 /// `(P, G)` signals, the inter-group carries follow the lookahead
 /// recurrence `C_{j+1} = G_j ∨ P_j·C_j`, and each group forms its sum bits
@@ -182,7 +202,7 @@ impl BatchAdd for BatchRipple {
 /// netlist in [`crate::cla`].
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchCla};
+/// use adders::batch::{BatchCla, ScalarAdd};
 /// use bitnum::UBig;
 /// let engine = BatchCla::new(10); // width not a multiple of the group size
 /// let (sum, cout) = engine.add_one(&UBig::from_u128(1000, 10), &UBig::from_u128(30, 10));
@@ -213,44 +233,13 @@ impl BatchCla {
     }
 }
 
-impl BatchAdd for BatchCla {
+impl ScalarAdd for BatchCla {
     fn width(&self) -> usize {
         self.width
     }
 
     fn name(&self) -> &'static str {
         "cla4"
-    }
-
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
-        check_slabs(self.width, a, b);
-        let mut sum = BitSlab::zero(self.width, a.lanes());
-        let mut group_cin = 0u64;
-        for lo in (0..self.width).step_by(CLA_GROUP) {
-            let len = CLA_GROUP.min(self.width - lo);
-            // Group P/G from the per-bit signals (word-parallel lookahead).
-            let (mut gp, mut gg) = (u64::MAX, 0u64);
-            for i in lo..lo + len {
-                let p = a.word(i) ^ b.word(i);
-                let g = a.word(i) & b.word(i);
-                gg = g | (p & gg);
-                gp &= p;
-            }
-            // Sum bits from the group carry-in.
-            let mut carry = group_cin;
-            for i in lo..lo + len {
-                let p = a.word(i) ^ b.word(i);
-                let g = a.word(i) & b.word(i);
-                sum.set_word(i, p ^ carry);
-                carry = g | (p & carry);
-            }
-            group_cin = gg | (gp & group_cin);
-            debug_assert_eq!(carry, group_cin, "lookahead carry disagrees with chain");
-        }
-        BatchSum {
-            sum,
-            cout: group_cin,
-        }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -275,6 +264,40 @@ impl BatchAdd for BatchCla {
     }
 }
 
+impl<W: Word> BatchAdd<W> for BatchCla {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let mut group_cin = W::ZERO;
+        for lo in (0..self.width).step_by(CLA_GROUP) {
+            let len = CLA_GROUP.min(self.width - lo);
+            // Group P/G from the per-bit signals (word-parallel lookahead).
+            let (mut gp, mut gg) = (mask, W::ZERO);
+            for i in lo..lo + len {
+                let p = a.word(i) ^ b.word(i);
+                let g = a.word(i) & b.word(i);
+                gg = g | (p & gg);
+                gp = gp & p;
+            }
+            // Sum bits from the group carry-in.
+            let mut carry = group_cin;
+            for i in lo..lo + len {
+                let p = a.word(i) ^ b.word(i);
+                let g = a.word(i) & b.word(i);
+                sum.set_word(i, p ^ carry);
+                carry = g | (p & carry);
+            }
+            group_cin = gg | (gp & group_cin);
+            debug_assert_eq!(carry, group_cin, "lookahead carry disagrees with chain");
+        }
+        BatchSum {
+            sum,
+            cout: group_cin,
+        }
+    }
+}
+
 /// Bit-sliced carry-select: each block computes its two conditional sums
 /// (carry-in 0 and carry-in 1) with word-parallel ripple chains, then the
 /// incoming carry word selects per lane — the behavioral shape of
@@ -282,7 +305,7 @@ impl BatchAdd for BatchCla {
 /// window adders reuse.
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchCarrySelect};
+/// use adders::batch::{BatchCarrySelect, ScalarAdd};
 /// let engine = BatchCarrySelect::new(64, 8);
 /// assert_eq!(engine.block(), 8);
 /// assert_eq!(engine.name(), "carry-select");
@@ -317,34 +340,13 @@ impl BatchCarrySelect {
     }
 }
 
-impl BatchAdd for BatchCarrySelect {
+impl ScalarAdd for BatchCarrySelect {
     fn width(&self) -> usize {
         self.width
     }
 
     fn name(&self) -> &'static str {
         "carry-select"
-    }
-
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
-        check_slabs(self.width, a, b);
-        let mask = a.lane_mask();
-        let mut sum = BitSlab::zero(self.width, a.lanes());
-        let mut s0 = vec![0u64; self.block];
-        let mut s1 = vec![0u64; self.block];
-        let mut cin = 0u64;
-        for lo in (0..self.width).step_by(self.block) {
-            let len = self.block.min(self.width - lo);
-            let aw = &a.words()[lo..lo + len];
-            let bw = &b.words()[lo..lo + len];
-            let c0 = ripple_words(aw, bw, 0, mask, &mut s0[..len]);
-            let c1 = ripple_words(aw, bw, mask, mask, &mut s1[..len]);
-            for j in 0..len {
-                sum.set_word(lo + j, (s0[j] & !cin) | (s1[j] & cin));
-            }
-            cin = (c0 & !cin) | (c1 & cin);
-        }
-        BatchSum { sum, cout: cin }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -373,13 +375,36 @@ impl BatchAdd for BatchCarrySelect {
     }
 }
 
+impl<W: Word> BatchAdd<W> for BatchCarrySelect {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let mut s0 = vec![W::ZERO; self.block];
+        let mut s1 = vec![W::ZERO; self.block];
+        let mut cin = W::ZERO;
+        for lo in (0..self.width).step_by(self.block) {
+            let len = self.block.min(self.width - lo);
+            let aw = &a.words()[lo..lo + len];
+            let bw = &b.words()[lo..lo + len];
+            let c0 = ripple_words(aw, bw, W::ZERO, mask, &mut s0[..len]);
+            let c1 = ripple_words(aw, bw, mask, mask, &mut s1[..len]);
+            for j in 0..len {
+                sum.set_word(lo + j, (s0[j] & !cin) | (s1[j] & cin));
+            }
+            cin = (c0 & !cin) | (c1 & cin);
+        }
+        BatchSum { sum, cout: cin }
+    }
+}
+
 /// Bit-sliced carry-skip: each block ripples with its real carry-in, and
 /// the carry **out** of the block goes through the skip mux — `cin` when
 /// the whole block propagates, the block generate otherwise — the
 /// behavioral shape of [`crate::carry_skip`].
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchCarrySkip};
+/// use adders::batch::{BatchCarrySkip, ScalarAdd};
 /// let engine = BatchCarrySkip::new(64, 8);
 /// assert_eq!(engine.block(), 8);
 /// assert_eq!(engine.name(), "carry-skip");
@@ -413,38 +438,13 @@ impl BatchCarrySkip {
     }
 }
 
-impl BatchAdd for BatchCarrySkip {
+impl ScalarAdd for BatchCarrySkip {
     fn width(&self) -> usize {
         self.width
     }
 
     fn name(&self) -> &'static str {
         "carry-skip"
-    }
-
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
-        check_slabs(self.width, a, b);
-        let mask = a.lane_mask();
-        let mut sum = BitSlab::zero(self.width, a.lanes());
-        let mut scratch = vec![0u64; self.block];
-        let mut cin = 0u64;
-        for lo in (0..self.width).step_by(self.block) {
-            let len = self.block.min(self.width - lo);
-            let aw = &a.words()[lo..lo + len];
-            let bw = &b.words()[lo..lo + len];
-            let ripple_out = ripple_words(aw, bw, cin, mask, &mut scratch[..len]);
-            for (j, &w) in scratch[..len].iter().enumerate() {
-                sum.set_word(lo + j, w);
-            }
-            // Block propagate word: every bit of the block propagates.
-            let bp = aw.iter().zip(bw).fold(mask, |p, (&x, &y)| p & (x ^ y));
-            // Skip mux. When a lane's block fully propagates it has no
-            // generate, so ripple_out == cin there and the mux is a
-            // restatement — the structural identity of the skip adder.
-            cin = (bp & cin) | (!bp & ripple_out);
-            debug_assert_eq!(cin, ripple_out, "skip mux disagrees with ripple chain");
-        }
-        BatchSum { sum, cout: cin }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -468,13 +468,40 @@ impl BatchAdd for BatchCarrySkip {
     }
 }
 
+impl<W: Word> BatchAdd<W> for BatchCarrySkip {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let mut sum = BitSlab::zero(self.width, a.lanes());
+        let mut scratch = vec![W::ZERO; self.block];
+        let mut cin = W::ZERO;
+        for lo in (0..self.width).step_by(self.block) {
+            let len = self.block.min(self.width - lo);
+            let aw = &a.words()[lo..lo + len];
+            let bw = &b.words()[lo..lo + len];
+            let ripple_out = ripple_words(aw, bw, cin, mask, &mut scratch[..len]);
+            for (j, &w) in scratch[..len].iter().enumerate() {
+                sum.set_word(lo + j, w);
+            }
+            // Block propagate word: every bit of the block propagates.
+            let bp = aw.iter().zip(bw).fold(mask, |p, (&x, &y)| p & (x ^ y));
+            // Skip mux. When a lane's block fully propagates it has no
+            // generate, so ripple_out == cin there and the mux is a
+            // restatement — the structural identity of the skip adder.
+            cin = (bp & cin) | (!bp & ripple_out);
+            debug_assert_eq!(cin, ripple_out, "skip mux disagrees with ripple chain");
+        }
+        BatchSum { sum, cout: cin }
+    }
+}
+
 /// Bit-sliced conditional-sum: recursive doubling over block sizes 1, 2,
 /// 4, … where each level keeps *both* conditional sums (carry-in 0 and 1)
 /// per block and merges adjacent blocks with per-lane select words — the
 /// behavioral shape of [`crate::cond_sum`].
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchCondSum};
+/// use adders::batch::{BatchCondSum, ScalarAdd};
 /// use bitnum::UBig;
 /// let engine = BatchCondSum::new(12);
 /// let (sum, cout) = engine.add_one(&UBig::from_u128(4000, 12), &UBig::from_u128(200, 12));
@@ -501,61 +528,13 @@ impl BatchCondSum {
     }
 }
 
-impl BatchAdd for BatchCondSum {
+impl ScalarAdd for BatchCondSum {
     fn width(&self) -> usize {
         self.width
     }
 
     fn name(&self) -> &'static str {
         "conditional-sum"
-    }
-
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
-        check_slabs(self.width, a, b);
-        let mask = a.lane_mask();
-        let w = self.width;
-        // Level 0: per-bit conditional sums and carries for both carry-ins.
-        let mut s0: Vec<u64> = (0..w).map(|i| a.word(i) ^ b.word(i)).collect();
-        let mut s1: Vec<u64> = s0.iter().map(|&p| p ^ mask).collect();
-        let mut c0: Vec<u64> = (0..w).map(|i| a.word(i) & b.word(i)).collect();
-        let mut c1: Vec<u64> = (0..w).map(|i| a.word(i) | b.word(i)).collect();
-        let mut size = 1;
-        while size < w {
-            let blocks = w.div_ceil(2 * size);
-            let mut nc0 = Vec::with_capacity(blocks);
-            let mut nc1 = Vec::with_capacity(blocks);
-            for blk in 0..blocks {
-                let base = blk * 2 * size;
-                let mid = base + size;
-                if mid >= w {
-                    // Lone left half: carries pass through unchanged.
-                    nc0.push(c0[2 * blk]);
-                    nc1.push(c1[2 * blk]);
-                    continue;
-                }
-                let hi = (mid + size).min(w);
-                let (lc0, lc1) = (c0[2 * blk], c1[2 * blk]);
-                // The left half's conditional carry-outs select the right
-                // half's precomputed sums, per lane.
-                for i in mid..hi {
-                    let (r0, r1) = (s0[i], s1[i]);
-                    s0[i] = (r0 & !lc0) | (r1 & lc0);
-                    s1[i] = (r0 & !lc1) | (r1 & lc1);
-                }
-                let (rc0, rc1) = (c0[2 * blk + 1], c1[2 * blk + 1]);
-                nc0.push((rc0 & !lc0) | (rc1 & lc0));
-                nc1.push((rc0 & !lc1) | (rc1 & lc1));
-            }
-            c0 = nc0;
-            c1 = nc1;
-            size *= 2;
-        }
-        // The architectural carry-in is 0: the final selection is leg 0.
-        let mut sum = BitSlab::zero(w, a.lanes());
-        for (i, &word) in s0.iter().enumerate() {
-            sum.set_word(i, word);
-        }
-        BatchSum { sum, cout: c0[0] }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -601,12 +580,62 @@ impl BatchAdd for BatchCondSum {
     }
 }
 
+impl<W: Word> BatchAdd<W> for BatchCondSum {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+        check_slabs(self.width, a, b);
+        let mask = a.lane_mask();
+        let w = self.width;
+        // Level 0: per-bit conditional sums and carries for both carry-ins.
+        let mut s0: Vec<W> = (0..w).map(|i| a.word(i) ^ b.word(i)).collect();
+        let mut s1: Vec<W> = s0.iter().map(|&p| p ^ mask).collect();
+        let mut c0: Vec<W> = (0..w).map(|i| a.word(i) & b.word(i)).collect();
+        let mut c1: Vec<W> = (0..w).map(|i| a.word(i) | b.word(i)).collect();
+        let mut size = 1;
+        while size < w {
+            let blocks = w.div_ceil(2 * size);
+            let mut nc0 = Vec::with_capacity(blocks);
+            let mut nc1 = Vec::with_capacity(blocks);
+            for blk in 0..blocks {
+                let base = blk * 2 * size;
+                let mid = base + size;
+                if mid >= w {
+                    // Lone left half: carries pass through unchanged.
+                    nc0.push(c0[2 * blk]);
+                    nc1.push(c1[2 * blk]);
+                    continue;
+                }
+                let hi = (mid + size).min(w);
+                let (lc0, lc1) = (c0[2 * blk], c1[2 * blk]);
+                // The left half's conditional carry-outs select the right
+                // half's precomputed sums, per lane.
+                for i in mid..hi {
+                    let (r0, r1) = (s0[i], s1[i]);
+                    s0[i] = (r0 & !lc0) | (r1 & lc0);
+                    s1[i] = (r0 & !lc1) | (r1 & lc1);
+                }
+                let (rc0, rc1) = (c0[2 * blk + 1], c1[2 * blk + 1]);
+                nc0.push((rc0 & !lc0) | (rc1 & lc0));
+                nc1.push((rc0 & !lc1) | (rc1 & lc1));
+            }
+            c0 = nc0;
+            c1 = nc1;
+            size *= 2;
+        }
+        // The architectural carry-in is 0: the final selection is leg 0.
+        let mut sum = BitSlab::zero(w, a.lanes());
+        for (i, &word) in s0.iter().enumerate() {
+            sum.set_word(i, word);
+        }
+        BatchSum { sum, cout: c0[0] }
+    }
+}
+
 /// Bit-sliced Kogge–Stone parallel prefix: span-doubling `(G, P)` merges
 /// across bit positions, word-parallel across lanes — the behavioral shape
 /// of [`crate::prefix::kogge_stone_adder`].
 ///
 /// ```
-/// use adders::batch::{BatchAdd, BatchPrefix};
+/// use adders::batch::{BatchPrefix, ScalarAdd};
 /// let engine = BatchPrefix::new(48);
 /// assert_eq!(engine.name(), "kogge-stone");
 /// ```
@@ -630,40 +659,13 @@ impl BatchPrefix {
     }
 }
 
-impl BatchAdd for BatchPrefix {
+impl ScalarAdd for BatchPrefix {
     fn width(&self) -> usize {
         self.width
     }
 
     fn name(&self) -> &'static str {
         "kogge-stone"
-    }
-
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSum {
-        check_slabs(self.width, a, b);
-        let w = self.width;
-        let p: Vec<u64> = (0..w).map(|i| a.word(i) ^ b.word(i)).collect();
-        // Prefix planes: after the sweep, g[i] is the generate of bits 0..=i.
-        let mut g = (0..w).map(|i| a.word(i) & b.word(i)).collect::<Vec<u64>>();
-        let mut gp = p.clone();
-        let mut span = 1;
-        while span < w {
-            // Descending so g[i - span] still holds the previous level.
-            for i in (span..w).rev() {
-                g[i] |= gp[i] & g[i - span];
-                gp[i] &= gp[i - span];
-            }
-            span *= 2;
-        }
-        let mut sum = BitSlab::zero(w, a.lanes());
-        sum.set_word(0, p[0]);
-        for i in 1..w {
-            sum.set_word(i, p[i] ^ g[i - 1]);
-        }
-        BatchSum {
-            sum,
-            cout: g[w - 1],
-        }
     }
 
     fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
@@ -689,12 +691,42 @@ impl BatchAdd for BatchPrefix {
     }
 }
 
+impl<W: Word> BatchAdd<W> for BatchPrefix {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+        check_slabs(self.width, a, b);
+        let w = self.width;
+        let p: Vec<W> = (0..w).map(|i| a.word(i) ^ b.word(i)).collect();
+        // Prefix planes: after the sweep, g[i] is the generate of bits 0..=i.
+        let mut g = (0..w).map(|i| a.word(i) & b.word(i)).collect::<Vec<W>>();
+        let mut gp = p.clone();
+        let mut span = 1;
+        while span < w {
+            // Descending so g[i - span] still holds the previous level.
+            for i in (span..w).rev() {
+                g[i] = g[i] | (gp[i] & g[i - span]);
+                gp[i] = gp[i] & gp[i - span];
+            }
+            span *= 2;
+        }
+        let mut sum = BitSlab::zero(w, a.lanes());
+        sum.set_word(0, p[0]);
+        for i in 1..w {
+            sum.set_word(i, p[i] ^ g[i - 1]);
+        }
+        BatchSum {
+            sum,
+            cout: g[w - 1],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitnum::batch::W256;
     use bitnum::rng::Xoshiro256;
 
-    fn engines(width: usize) -> Vec<Box<dyn BatchAdd>> {
+    fn engines<W: Word>(width: usize) -> Vec<Box<dyn BatchAdd<W>>> {
         vec![
             Box::new(BatchRipple::new(width)),
             Box::new(BatchCla::new(width)),
@@ -707,14 +739,13 @@ mod tests {
         ]
     }
 
-    #[test]
-    fn both_paths_match_exact_addition() {
+    fn both_paths_match_for<W: Word>() {
         let mut rng = Xoshiro256::seed_from_u64(21);
         for width in [1usize, 7, 10, 64, 65, 100] {
-            for lanes in [1usize, 13, 64] {
-                let a = BitSlab::random(width, lanes, &mut rng);
-                let b = BitSlab::random(width, lanes, &mut rng);
-                for engine in engines(width) {
+            for lanes in [1usize, 13, W::LANES] {
+                let a = BitSlab::<W>::random(width, lanes, &mut rng);
+                let b = BitSlab::<W>::random(width, lanes, &mut rng);
+                for engine in engines::<W>(width) {
                     let batch = engine.add_batch(&a, &b);
                     for l in 0..lanes {
                         let (al, bl) = (a.lane(l), b.lane(l));
@@ -725,7 +756,7 @@ mod tests {
                             "{} batch width={width} lane={l}",
                             engine.name()
                         );
-                        assert_eq!((batch.cout >> l) & 1 == 1, exact_cout);
+                        assert_eq!(batch.cout.bit(l), exact_cout);
                         let (one, one_cout) = engine.add_one(&al, &bl);
                         assert_eq!(one, exact, "{} scalar", engine.name());
                         assert_eq!(one_cout, exact_cout);
@@ -736,15 +767,21 @@ mod tests {
     }
 
     #[test]
+    fn both_paths_match_exact_addition() {
+        both_paths_match_for::<u64>();
+        both_paths_match_for::<W256>();
+    }
+
+    #[test]
     fn carries_cross_block_boundaries() {
         // All-ones + 1: the carry ripples through every block.
         let width = 24;
-        let a = BitSlab::from_lanes(&[UBig::ones(width)]);
-        let b = BitSlab::from_lanes(&[UBig::from_u128(1, width)]);
-        for engine in engines(width) {
+        let a = BitSlab::<W256>::from_lanes(&[UBig::ones(width)]);
+        let b = BitSlab::<W256>::from_lanes(&[UBig::from_u128(1, width)]);
+        for engine in engines::<W256>(width) {
             let out = engine.add_batch(&a, &b);
             assert!(out.sum.lane(0).is_zero(), "{}", engine.name());
-            assert_eq!(out.cout, 1, "{}", engine.name());
+            assert_eq!(out.cout, W256::from_low(1), "{}", engine.name());
         }
     }
 
@@ -752,6 +789,6 @@ mod tests {
     #[should_panic(expected = "slab width mismatch")]
     fn width_mismatch_panics() {
         let engine = BatchRipple::new(16);
-        let _ = engine.add_batch(&BitSlab::zero(8, 2), &BitSlab::zero(8, 2));
+        let _ = engine.add_batch(&BitSlab::<u64>::zero(8, 2), &BitSlab::<u64>::zero(8, 2));
     }
 }

@@ -1,15 +1,18 @@
 //! Property tests: the bit-sliced batch path of every behavioral engine
 //! agrees lane-for-lane with its scalar path and with exact addition, at
-//! arbitrary widths, lane counts and block sizes.
+//! arbitrary widths, lane counts and block sizes — for both lane words
+//! (`u64` and `W256`), which are additionally pinned against each other
+//! bit-for-bit.
 
 use adders::batch::{
     BatchAdd, BatchCarrySelect, BatchCarrySkip, BatchCla, BatchCondSum, BatchPrefix, BatchRipple,
 };
-use bitnum::batch::BitSlab;
+use bitnum::batch::{BitSlab, Word, W256};
 use bitnum::rng::Xoshiro256;
+use bitnum::UBig;
 use proptest::prelude::*;
 
-fn engines(width: usize, block: usize) -> Vec<Box<dyn BatchAdd>> {
+fn engines<W: Word>(width: usize, block: usize) -> Vec<Box<dyn BatchAdd<W>>> {
     vec![
         Box::new(BatchRipple::new(width)),
         Box::new(BatchCla::new(width)),
@@ -20,13 +23,17 @@ fn engines(width: usize, block: usize) -> Vec<Box<dyn BatchAdd>> {
     ]
 }
 
+fn random_lanes(width: usize, lanes: usize, rng: &mut Xoshiro256) -> Vec<UBig> {
+    (0..lanes).map(|_| UBig::random(width, rng)).collect()
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Batch lane `l` == scalar path == `UBig::overflowing_add`, for every
     /// family, including lanes < 64 and widths not multiples of the block.
     #[test]
-    fn lane_agreement(
+    fn lane_agreement_u64(
         n in 1usize..150,
         lanes in 1usize..=64,
         block in 1usize..24,
@@ -34,9 +41,9 @@ proptest! {
     ) {
         let block = block.min(n);
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        let a = BitSlab::random(n, lanes, &mut rng);
-        let b = BitSlab::random(n, lanes, &mut rng);
-        for engine in engines(n, block) {
+        let a = BitSlab::<u64>::random(n, lanes, &mut rng);
+        let b = BitSlab::<u64>::random(n, lanes, &mut rng);
+        for engine in engines::<u64>(n, block) {
             let batch = engine.add_batch(&a, &b);
             prop_assert_eq!(batch.sum.lanes(), lanes);
             prop_assert_eq!(batch.cout & !a.lane_mask(), 0, "stray cout bits");
@@ -55,22 +62,67 @@ proptest! {
         }
     }
 
+    /// The same property through the 256-lane word, at lane counts that
+    /// straddle the 64-lane boundary — plus the word-equivalence pin: the
+    /// `W256` batch result equals the `u64` chunked result bit-for-bit.
+    #[test]
+    fn lane_agreement_and_word_equivalence_w256(
+        n in 1usize..150,
+        lanes in 1usize..=256,
+        block in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let block = block.min(n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let av = random_lanes(n, lanes, &mut rng);
+        let bv = random_lanes(n, lanes, &mut rng);
+        let a = BitSlab::<W256>::from_lanes(&av);
+        let b = BitSlab::<W256>::from_lanes(&bv);
+        for (wide, narrow) in engines::<W256>(n, block)
+            .into_iter()
+            .zip(engines::<u64>(n, block))
+        {
+            let batch = wide.add_batch(&a, &b);
+            prop_assert!((batch.cout & !a.lane_mask()).is_zero(), "stray cout bits");
+            // u64 reference, chunk by chunk over the same lanes.
+            for (c, chunk) in av.chunks(64).enumerate() {
+                let ca = BitSlab::<u64>::from_lanes(chunk);
+                let cb = BitSlab::<u64>::from_lanes(&bv[c * 64..c * 64 + chunk.len()]);
+                let reference = narrow.add_batch(&ca, &cb);
+                prop_assert_eq!(batch.cout.limb(c), reference.cout, "{} chunk {}", wide.name(), c);
+                for l in 0..chunk.len() {
+                    prop_assert_eq!(
+                        batch.sum.lane(c * 64 + l),
+                        reference.sum.lane(l),
+                        "{} n={} chunk={} lane={}", wide.name(), n, c, l
+                    );
+                }
+            }
+            // And the scalar/exact pins per lane.
+            for l in 0..lanes {
+                let (exact, exact_cout) = av[l].overflowing_add(&bv[l]);
+                prop_assert_eq!(batch.sum.lane(l), exact, "{} lane {}", wide.name(), l);
+                prop_assert_eq!(batch.cout.bit(l), exact_cout, "{} lane {}", wide.name(), l);
+            }
+        }
+    }
+
     /// Transpose/untranspose is lossless and the sum words never leak
-    /// bits beyond the lane mask.
+    /// bits beyond the lane mask — in any limb.
     #[test]
     fn slab_invariants_survive_addition(
         n in 1usize..200,
-        lanes in 1usize..=64,
+        lanes in 1usize..=256,
         seed in any::<u64>(),
     ) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        let a = BitSlab::random(n, lanes, &mut rng);
-        let b = BitSlab::random(n, lanes, &mut rng);
-        prop_assert_eq!(BitSlab::from_lanes(&a.to_lanes()), a.clone());
-        let out = BatchRipple::new(n).add_batch(&a, &b);
+        let a = BitSlab::<W256>::random(n, lanes, &mut rng);
+        let b = BitSlab::<W256>::random(n, lanes, &mut rng);
+        prop_assert_eq!(BitSlab::<W256>::from_lanes(&a.to_lanes()), a.clone());
+        let out = BatchAdd::<W256>::add_batch(&BatchRipple::new(n), &a, &b);
         let mask = a.lane_mask();
         for i in 0..n {
-            prop_assert_eq!(out.sum.word(i) & !mask, 0, "stray bits at position {}", i);
+            prop_assert!((out.sum.word(i) & !mask).is_zero(), "stray bits at position {}", i);
         }
     }
 }

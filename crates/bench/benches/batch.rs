@@ -1,17 +1,18 @@
-//! Scalar vs bit-sliced throughput for every registered engine, with a
-//! machine-readable result file.
+//! Scalar vs bit-sliced throughput for every registered engine, at both
+//! slab word widths, with a machine-readable result file.
 //!
 //! Both passes are driven entirely by `vlcsa::engine::Registry` — there is
 //! no per-family dispatch here; adding an engine to the registry adds it
 //! to the bench and to `BENCH_batch.json` automatically:
 //!
 //! 1. a criterion group (`batch_vs_scalar/...`) printing per-benchmark
-//!    wall-clock and elements/s rates, and
+//!    wall-clock and elements/s rates over the default slab word, and
 //! 2. a recording pass that re-times each scalar/batch pair with a
-//!    best-of-3 measurement and writes `BENCH_batch.json` at the
-//!    repository root — the benchmark contract documented in
-//!    EXPERIMENTS.md ("Batched throughput: the `batch` bench and
-//!    `BENCH_batch.json`").
+//!    best-of-3 measurement — once per slab word (`u64` = 64 lanes,
+//!    `W256` = 256 lanes) — and writes `BENCH_batch.json` at the
+//!    repository root (schema `vlcsa-bench/batch/v2`, the benchmark
+//!    contract documented in EXPERIMENTS.md, including the ≥2× ripple
+//!    word-widening floor).
 //!
 //! `cargo bench -p vlcsa-bench --bench batch` runs both passes;
 //! `-- --smoke` (the CI mode) shrinks every budget to milliseconds and
@@ -23,18 +24,22 @@ use std::time::Duration;
 
 use vlcsa_bench::timing::ns_per_call;
 
-use bitnum::batch::BitSlab;
+use bitnum::batch::{BitSlab, DefaultWord, Word, W256};
 use bitnum::UBig;
 use criterion::{Criterion, Throughput};
 use vlcsa::engine::{Engine, Registry};
 use workloads::dist::{Distribution, OperandSource};
 
-const LANES: usize = 64;
+/// Scalar-baseline operand pairs per timed call (one `u64` slab's worth).
+const SCALAR_OPS: usize = 64;
 
-/// One scalar-vs-batch comparison, serialized into `BENCH_batch.json`.
+/// One scalar-vs-batch comparison at one slab word width, serialized into
+/// `BENCH_batch.json`.
 struct Entry {
     engine: &'static str,
     width: usize,
+    word_bits: usize,
+    lanes: usize,
     distribution: String,
     scalar_ns_per_op: f64,
     batch_ns_per_op: f64,
@@ -48,14 +53,16 @@ impl Entry {
     fn to_json(&self) -> String {
         format!(
             concat!(
-                "    {{\"engine\": \"{}\", \"width\": {}, \"lanes\": {}, ",
-                "\"distribution\": \"{}\", \"scalar_ns_per_op\": {:.2}, ",
-                "\"batch_ns_per_op\": {:.2}, \"scalar_ops_per_sec\": {:.0}, ",
-                "\"batch_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}"
+                "    {{\"engine\": \"{}\", \"width\": {}, \"word_bits\": {}, ",
+                "\"lanes\": {}, \"distribution\": \"{}\", ",
+                "\"scalar_ns_per_op\": {:.2}, \"batch_ns_per_op\": {:.2}, ",
+                "\"scalar_ops_per_sec\": {:.0}, \"batch_ops_per_sec\": {:.0}, ",
+                "\"speedup\": {:.2}}}"
             ),
             self.engine,
             self.width,
-            LANES,
+            self.word_bits,
+            self.lanes,
             self.distribution,
             self.scalar_ns_per_op,
             self.batch_ns_per_op,
@@ -66,84 +73,140 @@ impl Entry {
     }
 }
 
-fn operand_group(
-    dist: Distribution,
-    width: usize,
-    seed: u64,
-) -> (Vec<(UBig, UBig)>, BitSlab, BitSlab) {
-    let mut src = OperandSource::new(dist, width, seed);
-    let pairs: Vec<(UBig, UBig)> = (0..LANES).map(|_| src.next_pair()).collect();
-    let mut src = OperandSource::new(dist, width, seed);
-    let (a, b) = src.next_batch(LANES);
-    (pairs, a, b)
+/// One distribution × width operand set: scalar pairs plus a full slab for
+/// each word width, all drawn from the same stream.
+struct OperandSet {
+    pairs: Vec<(UBig, UBig)>,
+    narrow_a: BitSlab<u64>,
+    narrow_b: BitSlab<u64>,
+    wide_a: BitSlab<W256>,
+    wide_b: BitSlab<W256>,
 }
 
-/// Times one engine's scalar/batch pair on one operand group. Both sides
-/// count cycles (the variable-latency engines' latency model showing
-/// through; constant 1 per lane for the fixed-latency families).
-fn record(
-    engine: &dyn Engine,
+fn operand_set(dist: Distribution, width: usize, seed: u64) -> OperandSet {
+    let mut src = OperandSource::new(dist, width, seed);
+    let pairs: Vec<(UBig, UBig)> = (0..W256::LANES).map(|_| src.next_pair()).collect();
+    let lanes =
+        |n: usize, side: fn(&(UBig, UBig)) -> UBig| pairs[..n].iter().map(side).collect::<Vec<_>>();
+    OperandSet {
+        narrow_a: BitSlab::from_lanes(&lanes(64, |p| p.0.clone())),
+        narrow_b: BitSlab::from_lanes(&lanes(64, |p| p.1.clone())),
+        wide_a: BitSlab::from_lanes(&lanes(W256::LANES, |p| p.0.clone())),
+        wide_b: BitSlab::from_lanes(&lanes(W256::LANES, |p| p.1.clone())),
+        pairs,
+    }
+}
+
+/// Times one word width's batch path, amortized per addition.
+fn batch_ns<W: Word>(
+    engine: &dyn Engine<W>,
+    a: &BitSlab<W>,
+    b: &BitSlab<W>,
+    target: Duration,
+) -> f64 {
+    ns_per_call(|| engine.add_batch(a, b).total_cycles(), target) / a.lanes() as f64
+}
+
+/// Records one engine family at one width/distribution: a shared scalar
+/// baseline plus one entry per slab word width.
+fn record_family(
+    narrow: &dyn Engine<u64>,
+    wide: &dyn Engine<W256>,
     dist: Distribution,
     target: Duration,
-    pairs: &[(UBig, UBig)],
-    a: &BitSlab,
-    b: &BitSlab,
-) -> Entry {
+    set: &OperandSet,
+) -> [Entry; 2] {
     let scalar_ns = ns_per_call(
         || {
             let mut cycles = 0u64;
-            for (x, y) in pairs {
-                cycles += engine.add_one(x, y).cycles as u64;
+            for (x, y) in &set.pairs[..SCALAR_OPS] {
+                cycles += narrow.add_one(x, y).cycles as u64;
             }
             cycles
         },
         target,
-    ) / LANES as f64;
-    let batch_ns = ns_per_call(|| engine.add_batch(a, b).total_cycles(), target) / LANES as f64;
-    Entry {
-        engine: engine.name(),
-        width: engine.width(),
+    ) / SCALAR_OPS as f64;
+    let entry = |word_bits: usize, lanes: usize, batch_ns_per_op: f64| Entry {
+        engine: narrow.name(),
+        width: narrow.width(),
+        word_bits,
+        lanes,
         distribution: dist.name(),
         scalar_ns_per_op: scalar_ns,
-        batch_ns_per_op: batch_ns,
-    }
+        batch_ns_per_op,
+    };
+    [
+        entry(
+            64,
+            64,
+            batch_ns(narrow, &set.narrow_a, &set.narrow_b, target),
+        ),
+        entry(
+            W256::LANES,
+            W256::LANES,
+            batch_ns(wide, &set.wide_a, &set.wide_b, target),
+        ),
+    ]
 }
 
 fn record_all(target: Duration) -> Vec<Entry> {
     let mut entries = Vec::new();
-    // Every registered engine on uniform operands at two widths …
-    for width in [64usize, 256] {
-        let (pairs, a, b) = operand_group(Distribution::UnsignedUniform, width, 1);
-        for engine in Registry::for_width(width).engines() {
-            entries.push(record(
-                engine.as_ref(),
-                Distribution::UnsignedUniform,
+    // Every registered engine on uniform operands at two widths, and on
+    // the paper's Gaussian at 64 bits, where the speculative engines'
+    // stall rates (Table 7.1) show through the throughput.
+    let configs = [
+        (Distribution::UnsignedUniform, 64usize, 1u64),
+        (Distribution::UnsignedUniform, 256, 1),
+        (Distribution::paper_gaussian(), 64, 2),
+    ];
+    for (dist, width, seed) in configs {
+        let set = operand_set(dist, width, seed);
+        let narrow_registry = Registry::<u64>::for_width_word(width);
+        let wide_registry = Registry::<W256>::for_width_word(width);
+        for (narrow, wide) in narrow_registry
+            .engines()
+            .iter()
+            .zip(wide_registry.engines())
+        {
+            entries.extend(record_family(
+                narrow.as_ref(),
+                wide.as_ref(),
+                dist,
                 target,
-                &pairs,
-                &a,
-                &b,
+                &set,
             ));
         }
-    }
-    // … and on the paper's Gaussian at 64 bits, where the speculative
-    // engines' stall rates (Table 7.1) show through the throughput.
-    let dist = Distribution::paper_gaussian();
-    let (pairs, a, b) = operand_group(dist, 64, 2);
-    for engine in Registry::for_width(64).engines() {
-        entries.push(record(engine.as_ref(), dist, target, &pairs, &a, &b));
     }
     entries
 }
 
+/// The recorded word-widening win the EXPERIMENTS.md floor is about:
+/// ripple at width 64 on uniform operands, `u64` batch ns/op over `W256`
+/// batch ns/op.
+fn ripple64_word_improvement(entries: &[Entry]) -> Option<f64> {
+    let find = |word_bits: usize| {
+        entries.iter().find(|e| {
+            e.engine == "ripple"
+                && e.width == 64
+                && e.word_bits == word_bits
+                && e.distribution == Distribution::UnsignedUniform.name()
+        })
+    };
+    Some(find(64)?.batch_ns_per_op / find(W256::LANES)?.batch_ns_per_op)
+}
+
 fn criterion_pass(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch_vs_scalar");
-    g.throughput(Throughput::Elements(LANES as u64));
+    g.throughput(Throughput::Elements(DefaultWord::LANES as u64));
     let registry = Registry::for_width(64);
     for (dist, tag, seed) in [
         (Distribution::UnsignedUniform, "", 1u64),
         (Distribution::paper_gaussian(), "_gaussian", 2),
     ] {
-        let (pairs, a, b) = operand_group(dist, 64, seed);
+        let mut src = OperandSource::new(dist, 64, seed);
+        let pairs: Vec<(UBig, UBig)> = (0..DefaultWord::LANES).map(|_| src.next_pair()).collect();
+        let mut src = OperandSource::new(dist, 64, seed);
+        let (a, b) = src.next_batch(DefaultWord::LANES);
         for engine in registry.engines() {
             let name = engine.name();
             g.bench_function(format!("{name}_64{tag}/scalar"), |bch| {
@@ -166,10 +229,14 @@ fn criterion_pass(c: &mut Criterion) {
 fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vlcsa-bench/batch/v1\",\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/batch/v2\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench batch\",\n");
-    out.push_str("  \"units\": {\"scalar_ns_per_op\": \"ns\", \"batch_ns_per_op\": \"ns\", \"scalar_ops_per_sec\": \"additions/s\", \"batch_ops_per_sec\": \"additions/s\", \"speedup\": \"ratio\"},\n");
-    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str("  \"units\": {\"scalar_ns_per_op\": \"ns\", \"batch_ns_per_op\": \"ns\", \"scalar_ops_per_sec\": \"additions/s\", \"batch_ops_per_sec\": \"additions/s\", \"speedup\": \"ratio\", \"word_bits\": \"slab lane-word width (= lanes per batch call)\"},\n");
+    if let Some(improvement) = ripple64_word_improvement(entries) {
+        out.push_str(&format!(
+            "  \"ripple64_w256_improvement\": {improvement:.2},\n"
+        ));
+    }
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&e.to_json());
@@ -202,18 +269,25 @@ fn main() {
     };
     let entries = record_all(target);
     println!(
-        "\n{:<16} {:>5} {:>22} {:>14} {:>13} {:>9}",
-        "engine", "width", "distribution", "scalar ns/op", "batch ns/op", "speedup"
+        "\n{:<16} {:>5} {:>5} {:>22} {:>14} {:>13} {:>9}",
+        "engine", "width", "word", "distribution", "scalar ns/op", "batch ns/op", "speedup"
     );
     for e in &entries {
         println!(
-            "{:<16} {:>5} {:>22} {:>14.1} {:>13.2} {:>8.1}x",
+            "{:<16} {:>5} {:>5} {:>22} {:>14.1} {:>13.2} {:>8.1}x",
             e.engine,
             e.width,
+            e.word_bits,
             e.distribution,
             e.scalar_ns_per_op,
             e.batch_ns_per_op,
             e.speedup()
+        );
+    }
+    if let Some(improvement) = ripple64_word_improvement(&entries) {
+        println!(
+            "\nripple@64 word widening (u64 -> W256 batch ns/op): {improvement:.2}x \
+             (EXPERIMENTS.md floor: >= 2x on full runs)"
         );
     }
     if smoke {

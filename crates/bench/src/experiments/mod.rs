@@ -4,6 +4,7 @@ pub mod chains;
 pub mod error_model;
 pub mod extensions;
 pub mod gaussian;
+pub mod netlists;
 pub mod synthesis;
 
 /// The adder widths of every Ch. 7 sweep.

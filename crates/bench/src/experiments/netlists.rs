@@ -1,0 +1,171 @@
+//! A netlist-side family registry mirroring `vlcsa::engine::Registry`.
+//!
+//! The synthesis experiments (Figs. 7.2–7.11) all follow one flow —
+//! generate a family's netlist at `(width, parameter)`, tune it, measure
+//! delay/area — but historically each figure hand-listed its family's
+//! constructor, parameter table and timing buses. This registry is the
+//! single source of truth for that triple: a figure asks for families by
+//! name (or iterates them) instead of naming `vlcsa::netlist::*`
+//! functions, so adding a netlist family extends every registry-driven
+//! figure without touching the figures — the first slice of the ROADMAP
+//! "registry-driven experiments" item.
+
+use gatesim::Netlist;
+
+use super::{vlsa_chains_0p01, windows_0p01, windows_0p25, WIDTHS};
+use super::{VLCSA2_WINDOW_0P01, VLCSA2_WINDOW_0P25};
+
+/// A `(width, parameter)` column producer — one entry per [`WIDTHS`]
+/// width, parameter meaning per family (window size `k` or chain length
+/// `l`).
+pub type ParamColumn = fn() -> Vec<(usize, usize)>;
+
+/// One synthesizable adder family: how to build it, which parameters hit
+/// the paper's error-rate targets, and which output buses bound its
+/// correct-operation delay.
+pub struct NetlistFamily {
+    /// Registry name (`scsa1`, `vlsa-spec`, `vlsa`, `vlcsa1`, `vlcsa2`).
+    pub name: &'static str,
+    /// Netlist constructor at `(width, parameter)` — window size `k` for
+    /// the SCSA/VLCSA families, chain length `l` for the VLSA ones.
+    pub build: fn(usize, usize) -> Netlist,
+    /// `(width, parameter)` pairs for the 0.01% error-rate target, one per
+    /// [`WIDTHS`] entry.
+    pub params_0p01: ParamColumn,
+    /// `(width, parameter)` pairs for the 0.25% target, where the paper
+    /// evaluates one.
+    pub params_0p25: Option<ParamColumn>,
+    /// Output buses whose latest arrival is the correct-operation delay
+    /// (`None`: the whole-netlist critical path is the figure's quantity).
+    pub timing_buses: Option<&'static [&'static str]>,
+}
+
+impl NetlistFamily {
+    /// The 0.01% parameter for `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in [`WIDTHS`].
+    pub fn param_0p01(&self, width: usize) -> usize {
+        Self::param_at(&(self.params_0p01)(), width, self.name)
+    }
+
+    /// The 0.25% parameter for `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family has no 0.25% column or `width` is not in
+    /// [`WIDTHS`].
+    pub fn param_0p25(&self, width: usize) -> usize {
+        let params = self
+            .params_0p25
+            .unwrap_or_else(|| panic!("family `{}` has no 0.25%% parameter column", self.name));
+        Self::param_at(&params(), width, self.name)
+    }
+
+    fn param_at(params: &[(usize, usize)], width: usize, name: &str) -> usize {
+        params
+            .iter()
+            .find(|(n, _)| *n == width)
+            .unwrap_or_else(|| panic!("family `{name}` has no parameter at width {width}"))
+            .1
+    }
+}
+
+fn vlcsa2_params_0p01() -> Vec<(usize, usize)> {
+    WIDTHS.iter().map(|&n| (n, VLCSA2_WINDOW_0P01)).collect()
+}
+
+fn vlcsa2_params_0p25() -> Vec<(usize, usize)> {
+    WIDTHS.iter().map(|&n| (n, VLCSA2_WINDOW_0P25)).collect()
+}
+
+/// Every synthesizable family, in the paper's presentation order:
+/// speculation-only designs first (Figs. 7.2/7.3), then the complete
+/// variable-latency adders (Figs. 7.4+).
+pub fn families() -> Vec<NetlistFamily> {
+    vec![
+        NetlistFamily {
+            name: "vlsa-spec",
+            build: vlsa::netlist::vlsa_spec_netlist,
+            params_0p01: vlsa_chains_0p01,
+            params_0p25: None,
+            timing_buses: Some(&["sum"]),
+        },
+        NetlistFamily {
+            name: "scsa1",
+            build: vlcsa::netlist::scsa1_netlist,
+            params_0p01: windows_0p01,
+            params_0p25: Some(windows_0p25),
+            timing_buses: Some(&["sum"]),
+        },
+        NetlistFamily {
+            name: "vlsa",
+            build: vlsa::netlist::vlsa_netlist,
+            params_0p01: vlsa_chains_0p01,
+            params_0p25: None,
+            // Correct-op: speculative sum and detection; recovery
+            // (`sum_exact`) overlaps the stall cycle.
+            timing_buses: Some(&["sum", "err"]),
+        },
+        NetlistFamily {
+            name: "vlcsa1",
+            build: vlcsa::netlist::vlcsa1_netlist,
+            params_0p01: windows_0p01,
+            params_0p25: Some(windows_0p25),
+            timing_buses: Some(&["sum", "err"]),
+        },
+        NetlistFamily {
+            name: "vlcsa2",
+            build: vlcsa::netlist::vlcsa2_netlist,
+            params_0p01: vlcsa2_params_0p01,
+            params_0p25: Some(vlcsa2_params_0p25),
+            // Sec. 6.7: T_clk > max(spec0, spec1, ERR0, ERR1); the output
+            // steering mux overlaps the output register.
+            timing_buses: Some(&["spec0", "spec1", "err", "err1"]),
+        },
+    ]
+}
+
+/// Looks a family up by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name — the registry is the complete family list,
+/// so a miss is a programming error in the calling figure.
+pub fn family(name: &str) -> NetlistFamily {
+    families()
+        .into_iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("no netlist family named `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        let fams = families();
+        let names: Vec<&str> = fams.iter().map(|f| f.name).collect();
+        assert_eq!(names, ["vlsa-spec", "scsa1", "vlsa", "vlcsa1", "vlcsa2"]);
+        for fam in &fams {
+            let p01 = (fam.params_0p01)();
+            assert_eq!(p01.len(), WIDTHS.len(), "{}", fam.name);
+            for (i, (n, k)) in p01.iter().enumerate() {
+                assert_eq!(*n, WIDTHS[i], "{}", fam.name);
+                assert!(*k >= 1 && *k <= *n, "{} param {k} at width {n}", fam.name);
+            }
+            // Every family builds at the smallest width without panicking.
+            let netlist = (fam.build)(WIDTHS[0], fam.param_0p01(WIDTHS[0]));
+            assert!(netlist.cell_count() > 0, "{}", fam.name);
+        }
+        assert_eq!(family("vlcsa2").param_0p25(64), VLCSA2_WINDOW_0P25);
+    }
+
+    #[test]
+    #[should_panic(expected = "no netlist family named")]
+    fn unknown_family_panics() {
+        let _ = family("no-such-family");
+    }
+}

@@ -5,6 +5,13 @@
 //! then measure with the load-aware STA and the area model. Delays are
 //! reported in ns and areas in µm² under the calibrated 65 nm-style library
 //! (see `gatesim`).
+//!
+//! The families themselves — constructor, error-rate parameter tables,
+//! correct-operation timing buses — come from the
+//! [`netlists`](super::netlists) registry; no figure hand-lists a
+//! `vlcsa::netlist::*` constructor anymore. The speculation figures
+//! iterate the registry, and the DesignWare comparisons are one shared
+//! body parameterized by a family *name*.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -14,9 +21,8 @@ use gatesim::{area, opt, sta, Netlist};
 use crate::table::Table;
 use crate::Config;
 
-use super::{
-    vlsa_chains_0p01, windows_0p01, windows_0p25, VLCSA2_WINDOW_0P01, VLCSA2_WINDOW_0P25, WIDTHS,
-};
+use super::netlists::{family, NetlistFamily};
+use super::WIDTHS;
 
 /// The optimization pipeline applied to every candidate design.
 fn tune(netlist: &Netlist) -> Netlist {
@@ -35,12 +41,35 @@ fn bus_delay_ns(netlist: &Netlist, bus: &str) -> f64 {
         / 1000.0
 }
 
+/// Correct-operation delay of a registry family's tuned netlist: the
+/// latest arrival over the family's registered timing buses (falling back
+/// to the whole-netlist critical path when none are registered).
+fn correct_op_delay_ns(fam: &NetlistFamily, netlist: &Netlist) -> f64 {
+    match fam.timing_buses {
+        Some(buses) => {
+            let timing = sta::analyze(netlist);
+            buses
+                .iter()
+                .filter_map(|bus| timing.output_arrival_tau(bus))
+                .fold(0.0f64, f64::max)
+                * gatesim::PS_PER_TAU
+                / 1000.0
+        }
+        None => delay_ns(netlist),
+    }
+}
+
 fn area_um2(netlist: &Netlist) -> f64 {
     area::analyze(netlist).total_um2()
 }
 
 fn pct_vs(x: f64, reference: f64) -> String {
     format!("{:+.1}%", 100.0 * (x - reference) / reference)
+}
+
+/// A family's tuned netlist at its 0.01% parameter for `width`.
+fn tuned_0p01(fam: &NetlistFamily, width: usize) -> Netlist {
+    tune(&(fam.build)(width, fam.param_0p01(width)))
 }
 
 /// The tuned Kogge–Stone reference per width (cached).
@@ -64,38 +93,57 @@ fn designware(width: usize) -> Netlist {
         .clone()
 }
 
+/// The registry families of the speculation-only comparison (Figs.
+/// 7.2/7.3), in column order.
+fn speculative_families() -> [NetlistFamily; 2] {
+    [family("vlsa-spec"), family("scsa1")]
+}
+
+/// Shared body of Figs. 7.2/7.3: one measured column per speculative
+/// registry family plus the Kogge–Stone reference and vs-KS percentages.
+fn speculation_vs_ks(
+    id: &str,
+    title: &str,
+    unit: &str,
+    fmt: fn(f64) -> String,
+    measure: impl Fn(&NetlistFamily, &Netlist) -> f64,
+    ks_measure: impl Fn(&Netlist) -> f64,
+) -> Table {
+    let fams = speculative_families();
+    let mut columns = vec!["n".to_string(), format!("KS ({unit})")];
+    let labels = ["VLSA-spec", "SCSA 1"];
+    for label in labels {
+        columns.push(format!("{label} ({unit})"));
+    }
+    for label in ["VLSA", "SCSA"] {
+        columns.push(format!("{label} vs KS"));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(id, title, &column_refs);
+    for &n in WIDTHS.iter() {
+        let ks = ks_measure(&kogge_stone(n));
+        let measured: Vec<f64> = fams
+            .iter()
+            .map(|fam| measure(fam, &tuned_0p01(fam, n)))
+            .collect();
+        let mut row = vec![n.to_string(), fmt(ks)];
+        row.extend(measured.iter().map(|&v| fmt(v)));
+        row.extend(measured.iter().map(|v| pct_vs(*v, ks)));
+        t.row(row);
+    }
+    t
+}
+
 /// Fig. 7.2: delay of the speculative adders vs Kogge–Stone.
 pub fn fig7_2(_config: &Config) -> Table {
-    let mut t = Table::new(
+    let mut t = speculation_vs_ks(
         "fig7.2",
         "Delay of speculative adders and Kogge-Stone adder",
-        &[
-            "n",
-            "KS (ns)",
-            "VLSA-spec (ns)",
-            "SCSA 1 (ns)",
-            "VLSA vs KS",
-            "SCSA vs KS",
-        ],
+        "ns",
+        |v| format!("{v:.3}"),
+        correct_op_delay_ns,
+        delay_ns,
     );
-    let ks01 = windows_0p01();
-    let ls01 = vlsa_chains_0p01();
-    for (i, &n) in WIDTHS.iter().enumerate() {
-        let ks = delay_ns(&kogge_stone(n));
-        let vl = bus_delay_ns(
-            &tune(&vlsa::netlist::vlsa_spec_netlist(n, ls01[i].1)),
-            "sum",
-        );
-        let sc = bus_delay_ns(&tune(&vlcsa::netlist::scsa1_netlist(n, ks01[i].1)), "sum");
-        t.row(vec![
-            n.to_string(),
-            format!("{ks:.3}"),
-            format!("{vl:.3}"),
-            format!("{sc:.3}"),
-            pct_vs(vl, ks),
-            pct_vs(sc, ks),
-        ]);
-    }
     t.note(
         "0.01% designs (Table 7.3 parameters); paper: SCSA 18-38% below KS, \
             VLSA-spec 12-27% below KS",
@@ -105,33 +153,14 @@ pub fn fig7_2(_config: &Config) -> Table {
 
 /// Fig. 7.3: area of the speculative adders vs Kogge–Stone.
 pub fn fig7_3(_config: &Config) -> Table {
-    let mut t = Table::new(
+    let mut t = speculation_vs_ks(
         "fig7.3",
         "Area of speculative adders and Kogge-Stone adder",
-        &[
-            "n",
-            "KS (um2)",
-            "VLSA-spec (um2)",
-            "SCSA 1 (um2)",
-            "VLSA vs KS",
-            "SCSA vs KS",
-        ],
+        "um2",
+        |v| format!("{v:.0}"),
+        |_, netlist| area_um2(netlist),
+        area_um2,
     );
-    let ks01 = windows_0p01();
-    let ls01 = vlsa_chains_0p01();
-    for (i, &n) in WIDTHS.iter().enumerate() {
-        let ks = area_um2(&kogge_stone(n));
-        let vl = area_um2(&tune(&vlsa::netlist::vlsa_spec_netlist(n, ls01[i].1)));
-        let sc = area_um2(&tune(&vlcsa::netlist::scsa1_netlist(n, ks01[i].1)));
-        t.row(vec![
-            n.to_string(),
-            format!("{ks:.0}"),
-            format!("{vl:.0}"),
-            format!("{sc:.0}"),
-            pct_vs(vl, ks),
-            pct_vs(sc, ks),
-        ]);
-    }
     t.note("paper: SCSA 15-38% below KS and always smaller than VLSA-spec");
     t
 }
@@ -153,12 +182,11 @@ pub fn fig7_4(_config: &Config) -> Table {
             "VLCSA1 vs VLSA (correct-op)",
         ],
     );
-    let ks01 = windows_0p01();
-    let ls01 = vlsa_chains_0p01();
-    for (i, &n) in WIDTHS.iter().enumerate() {
+    let (vlsa, vlcsa1) = (family("vlsa"), family("vlcsa1"));
+    for &n in WIDTHS.iter() {
         let ks = delay_ns(&kogge_stone(n));
-        let vl = tune(&vlsa::netlist::vlsa_netlist(n, ls01[i].1));
-        let vc = tune(&vlcsa::netlist::vlcsa1_netlist(n, ks01[i].1));
+        let vl = tuned_0p01(&vlsa, n);
+        let vc = tuned_0p01(&vlcsa1, n);
         let (vl_s, vl_d, vl_r) = (
             bus_delay_ns(&vl, "sum"),
             bus_delay_ns(&vl, "err"),
@@ -169,8 +197,9 @@ pub fn fig7_4(_config: &Config) -> Table {
             bus_delay_ns(&vc, "err"),
             bus_delay_ns(&vc, "sum_rec"),
         );
-        let correct_vl = vl_s.max(vl_d);
-        let correct_vc = vc_s.max(vc_d);
+        // Correct-op delays via the registered bus sets.
+        let correct_vl = correct_op_delay_ns(&vlsa, &vl);
+        let correct_vc = correct_op_delay_ns(&vlcsa1, &vc);
         t.row(vec![
             n.to_string(),
             format!("{ks:.3}"),
@@ -209,12 +238,11 @@ pub fn fig7_5(_config: &Config) -> Table {
             "VLCSA1 vs KS",
         ],
     );
-    let ks01 = windows_0p01();
-    let ls01 = vlsa_chains_0p01();
-    for (i, &n) in WIDTHS.iter().enumerate() {
+    let (vlsa, vlcsa1) = (family("vlsa"), family("vlcsa1"));
+    for &n in WIDTHS.iter() {
         let ks = area_um2(&kogge_stone(n));
-        let vl = area_um2(&tune(&vlsa::netlist::vlsa_netlist(n, ls01[i].1)));
-        let vc = area_um2(&tune(&vlcsa::netlist::vlcsa1_netlist(n, ks01[i].1)));
+        let vl = area_um2(&tuned_0p01(&vlsa, n));
+        let vc = area_um2(&tuned_0p01(&vlcsa1, n));
         t.row(vec![
             n.to_string(),
             format!("{ks:.0}"),
@@ -228,19 +256,12 @@ pub fn fig7_5(_config: &Config) -> Table {
     t
 }
 
-/// `(n, parameter)` pairs for one error-rate column of a DesignWare
-/// comparison.
-type ParamColumn<'a> = &'a [(usize, usize)];
-
-/// Shared body for the DesignWare comparisons (Figs. 7.6–7.11).
-fn dw_comparison(
-    id: &str,
-    title: &str,
-    is_delay: bool,
-    design: impl Fn(usize, usize) -> Netlist,
-    params: (ParamColumn, ParamColumn),
-    timing_buses: Option<&[&str]>,
-) -> Table {
+/// Shared body for the DesignWare comparisons (Figs. 7.6–7.11): the
+/// measured design comes from the named registry family at both
+/// error-rate targets; delay figures bound correct operation with the
+/// family's registered timing buses.
+fn dw_comparison(id: &str, title: &str, is_delay: bool, family_name: &str) -> Table {
+    let fam = family(family_name);
     let unit = if is_delay { "ns" } else { "um2" };
     let mut t = Table::new(
         id,
@@ -254,8 +275,7 @@ fn dw_comparison(
             "vs DW",
         ],
     );
-    let (p01, p25) = params;
-    for (i, &n) in WIDTHS.iter().enumerate() {
+    for &n in WIDTHS.iter() {
         let dw_net = designware(n);
         let dw = if is_delay {
             delay_ns(&dw_net)
@@ -263,28 +283,15 @@ fn dw_comparison(
             area_um2(&dw_net)
         };
         let measure = |k: usize| {
-            let net = tune(&design(n, k));
+            let net = tune(&(fam.build)(n, k));
             if is_delay {
-                match timing_buses {
-                    // Correct-operation delay: max over the named stages
-                    // (speculative result(s) and detection).
-                    Some(buses) => {
-                        let timing = sta::analyze(&net);
-                        buses
-                            .iter()
-                            .filter_map(|bus| timing.output_arrival_tau(bus))
-                            .fold(0.0f64, f64::max)
-                            * gatesim::PS_PER_TAU
-                            / 1000.0
-                    }
-                    None => delay_ns(&net),
-                }
+                correct_op_delay_ns(&fam, &net)
             } else {
                 area_um2(&net)
             }
         };
-        let v01 = measure(p01[i].1);
-        let v25 = measure(p25[i].1);
+        let v01 = measure(fam.param_0p01(n));
+        let v25 = measure(fam.param_0p25(n));
         let f = |v: f64| {
             if is_delay {
                 format!("{v:.3}")
@@ -306,15 +313,11 @@ fn dw_comparison(
 
 /// Fig. 7.6: SCSA 1 delay vs the DesignWare substitute.
 pub fn fig7_6(_config: &Config) -> Table {
-    let k01 = windows_0p01();
-    let k25 = windows_0p25();
     let mut t = dw_comparison(
         "fig7.6",
         "Delay of speculative addition in VLCSA 1 and DesignWare adder",
         true,
-        vlcsa::netlist::scsa1_netlist,
-        (&k01, &k25),
-        Some(&["sum"]),
+        "scsa1",
     );
     t.note("paper: SCSA 1 ~10% below the DW adder at both error rates");
     t
@@ -322,15 +325,11 @@ pub fn fig7_6(_config: &Config) -> Table {
 
 /// Fig. 7.7: SCSA 1 area vs the DesignWare substitute.
 pub fn fig7_7(_config: &Config) -> Table {
-    let k01 = windows_0p01();
-    let k25 = windows_0p25();
     let mut t = dw_comparison(
         "fig7.7",
         "Area of speculative addition in VLCSA 1 and DesignWare adder",
         false,
-        vlcsa::netlist::scsa1_netlist,
-        (&k01, &k25),
-        None,
+        "scsa1",
     );
     t.note("paper: up to 43% (0.01%) and 21-56% (0.25%) below the DW adder");
     t
@@ -338,15 +337,11 @@ pub fn fig7_7(_config: &Config) -> Table {
 
 /// Fig. 7.8: VLCSA 1 correct-operation delay vs the DesignWare substitute.
 pub fn fig7_8(_config: &Config) -> Table {
-    let k01 = windows_0p01();
-    let k25 = windows_0p25();
     let mut t = dw_comparison(
         "fig7.8",
         "Delay of VLCSA 1 and DesignWare adder (correct speculation)",
         true,
-        vlcsa::netlist::vlcsa1_netlist,
-        (&k01, &k25),
-        Some(&["sum", "err"]),
+        "vlcsa1",
     );
     t.note("paper: ~10% below the DW adder when speculation is correct");
     t
@@ -354,15 +349,11 @@ pub fn fig7_8(_config: &Config) -> Table {
 
 /// Fig. 7.9: VLCSA 1 area vs the DesignWare substitute.
 pub fn fig7_9(_config: &Config) -> Table {
-    let k01 = windows_0p01();
-    let k25 = windows_0p25();
     let mut t = dw_comparison(
         "fig7.9",
         "Area of VLCSA 1 and DesignWare adder",
         false,
-        vlcsa::netlist::vlcsa1_netlist,
-        (&k01, &k25),
-        None,
+        "vlcsa1",
     );
     t.note(
         "paper: -6..+42% (0.01%) and -19..+16% (0.25%) of the DW adder, \
@@ -373,17 +364,11 @@ pub fn fig7_9(_config: &Config) -> Table {
 
 /// Fig. 7.10: VLCSA 2 correct-operation delay vs the DesignWare substitute.
 pub fn fig7_10(_config: &Config) -> Table {
-    let p01: Vec<(usize, usize)> = WIDTHS.iter().map(|&n| (n, VLCSA2_WINDOW_0P01)).collect();
-    let p25: Vec<(usize, usize)> = WIDTHS.iter().map(|&n| (n, VLCSA2_WINDOW_0P25)).collect();
     let mut t = dw_comparison(
         "fig7.10",
         "Delay of VLCSA 2 and DesignWare adder (correct speculation)",
         true,
-        vlcsa::netlist::vlcsa2_netlist,
-        (&p01, &p25),
-        // Sec. 6.7: T_clk > max(spec0, spec1, ERR0, ERR1); the output
-        // steering mux overlaps the output register.
-        Some(&["spec0", "spec1", "err", "err1"]),
+        "vlcsa2",
     );
     t.note("window sizes 13/9 per Table 7.5 (re-derived by the tab7.5 experiment)");
     t.note("paper: ~10% below the DW adder when speculation is correct");
@@ -392,15 +377,11 @@ pub fn fig7_10(_config: &Config) -> Table {
 
 /// Fig. 7.11: VLCSA 2 area vs the DesignWare substitute.
 pub fn fig7_11(_config: &Config) -> Table {
-    let p01: Vec<(usize, usize)> = WIDTHS.iter().map(|&n| (n, VLCSA2_WINDOW_0P01)).collect();
-    let p25: Vec<(usize, usize)> = WIDTHS.iter().map(|&n| (n, VLCSA2_WINDOW_0P25)).collect();
     let mut t = dw_comparison(
         "fig7.11",
         "Area of VLCSA 2 and DesignWare adder",
         false,
-        vlcsa::netlist::vlcsa2_netlist,
-        (&p01, &p25),
-        None,
+        "vlcsa2",
     );
     t.note(
         "paper: +1..62% (0.01%) and -17..+29% (0.25%) of the DW adder; \

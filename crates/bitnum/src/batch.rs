@@ -1,98 +1,107 @@
 //! Bit-sliced (transposed) operand storage for batched evaluation.
 //!
-//! A [`BitSlab`] holds up to 64 independent `width`-bit values — *lanes* —
-//! in transposed layout: one `u64` word per **bit position**, where bit `l`
-//! of word `i` is lane `l`'s bit `i`. In this layout a single word
-//! operation evaluates one gate of all lanes simultaneously, so a
-//! `width`-step carry chain produces 64 full additions in `width` word
-//! operations — the trick constrained-decoding engines and bit-sliced
-//! cipher implementations use to make per-element work word-parallel.
+//! A [`BitSlab`] holds up to [`Word::LANES`] independent `width`-bit
+//! values — *lanes* — in transposed layout: one lane word per **bit
+//! position**, where bit `l` of word `i` is lane `l`'s bit `i`. In this
+//! layout a single word operation evaluates one gate of all lanes
+//! simultaneously, so a `width`-step carry chain produces a whole lane
+//! group of full additions in `width` word operations — the trick
+//! constrained-decoding engines and bit-sliced cipher implementations use
+//! to make per-element work word-parallel.
+//!
+//! The lane word is the [`Word`] abstraction: `u64` (64 lanes per word
+//! operation) or the SIMD-friendly [`W256`] (256 lanes). [`DefaultWord`]
+//! — [`W256`] unless the build sets `--cfg vlcsa_word64` — is the default
+//! type parameter everywhere, so code that does not name a word gets the
+//! wide slabs automatically.
 //!
 //! The adder crates build on two primitives here: the storage itself
 //! (transpose in, compute word-parallel, transpose out) and the bit-sliced
-//! ripple kernel [`ripple_words`], which is both a complete 64-lane adder
-//! and the per-window building block of the speculative engines.
+//! ripple kernel [`ripple_words`], which is both a complete whole-slab
+//! adder and the per-window building block of the speculative engines.
 //!
-//! Batches wider than 64 lanes are held by [`WideSlab`]: a sequence of
+//! Batches wider than one word are held by [`WideSlab`]: a sequence of
 //! full [`BitSlab`] chunks (plus one possibly-partial tail chunk), so the
-//! 64-lane kernels become an internal chunking detail and callers can
+//! per-word lane cap becomes an internal chunking detail and callers can
 //! issue groups of any size.
 //!
 //! # Example
 //!
 //! ```
-//! use bitnum::batch::{ripple_words, BitSlab};
+//! use bitnum::batch::{ripple_words, BitSlab, DefaultWord, Word};
 //! use bitnum::UBig;
 //!
-//! let a = BitSlab::from_lanes(&[UBig::from_u128(3, 8), UBig::from_u128(200, 8)]);
+//! let a: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(3, 8), UBig::from_u128(200, 8)]);
 //! let b = BitSlab::from_lanes(&[UBig::from_u128(4, 8), UBig::from_u128(100, 8)]);
 //! let mut sum = BitSlab::zero(8, 2);
-//! let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
+//! let cout = ripple_words(a.words(), b.words(), DefaultWord::ZERO, a.lane_mask(), sum.words_mut());
 //! assert_eq!(sum.lane(0).to_u128(), Some(7));
 //! assert_eq!(sum.lane(1).to_u128(), Some(44)); // 300 mod 256
-//! assert_eq!(cout, 0b10); // only lane 1 overflows 8 bits
+//! assert_eq!(cout.limb(0), 0b10); // only lane 1 overflows 8 bits
 //! ```
 
 use crate::rng::RandomBits;
 use crate::UBig;
 
-/// Maximum number of lanes a [`BitSlab`] can hold (one per bit of a `u64`).
-pub const MAX_LANES: usize = 64;
+pub use crate::word::{DefaultWord, Word, W256};
 
-/// A batch of up to 64 equal-width values in transposed (bit-sliced) layout.
+/// A batch of up to [`Word::LANES`] equal-width values in transposed
+/// (bit-sliced) layout.
 ///
 /// Lane `l`'s bit `i` is stored as bit `l` of [`BitSlab::word`]`(i)`; bits
 /// at lane positions `>= lanes()` are guaranteed zero in every word (a type
-/// invariant maintained by all constructors and [`BitSlab::set_word`]).
+/// invariant maintained by all constructors and [`BitSlab::set_word`],
+/// enforced per-limb by [`Word::lane_mask`]).
 ///
 /// # Example
 ///
 /// ```
-/// use bitnum::batch::BitSlab;
+/// use bitnum::batch::{BitSlab, Word};
 /// use bitnum::UBig;
 ///
 /// let lanes: Vec<UBig> = (0..5).map(|v| UBig::from_u128(v, 16)).collect();
-/// let slab = BitSlab::from_lanes(&lanes);
+/// let slab: BitSlab = BitSlab::from_lanes(&lanes);
 /// assert_eq!(slab.width(), 16);
 /// assert_eq!(slab.lanes(), 5);
 /// // Bit 0 across lanes: values 1 and 3 are odd -> lanes 1 and 3 set.
-/// assert_eq!(slab.word(0), 0b01010);
+/// assert_eq!(slab.word(0).limb(0), 0b01010);
 /// assert_eq!(slab.to_lanes(), lanes);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct BitSlab {
+pub struct BitSlab<W: Word = DefaultWord> {
     width: usize,
     lanes: usize,
     /// `words[i]` holds bit `i` of every lane.
-    words: Vec<u64>,
+    words: Vec<W>,
 }
 
-impl BitSlab {
+impl<W: Word> BitSlab<W> {
     /// Creates an all-zero slab of `lanes` lanes of `width` bits each.
     ///
     /// ```
     /// use bitnum::batch::BitSlab;
-    /// let slab = BitSlab::zero(32, 64);
+    /// let slab: BitSlab = BitSlab::zero(32, 64);
     /// assert!(slab.to_lanes().iter().all(|l| l.is_zero()));
     /// ```
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero or exceeds [`crate::MAX_WIDTH`], or if
-    /// `lanes` is zero or exceeds [`MAX_LANES`].
+    /// `lanes` is zero or exceeds [`Word::LANES`].
     pub fn zero(width: usize, lanes: usize) -> Self {
         assert!(
             (1..=crate::MAX_WIDTH).contains(&width),
             "unsupported width {width}"
         );
         assert!(
-            (1..=MAX_LANES).contains(&lanes),
-            "lanes must be in 1..={MAX_LANES}, got {lanes}"
+            (1..=W::LANES).contains(&lanes),
+            "lanes must be in 1..={}, got {lanes}",
+            W::LANES
         );
         Self {
             width,
             lanes,
-            words: vec![0; width],
+            words: vec![W::ZERO; width],
         }
     }
 
@@ -100,17 +109,17 @@ impl BitSlab {
     /// becomes lane `l`).
     ///
     /// ```
-    /// use bitnum::batch::BitSlab;
+    /// use bitnum::batch::{BitSlab, Word};
     /// use bitnum::UBig;
-    /// let slab = BitSlab::from_lanes(&[UBig::from_u128(0b10, 2), UBig::from_u128(0b01, 2)]);
-    /// assert_eq!(slab.word(0), 0b10); // lane 1 has bit 0 set
-    /// assert_eq!(slab.word(1), 0b01); // lane 0 has bit 1 set
+    /// let slab: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(0b10, 2), UBig::from_u128(0b01, 2)]);
+    /// assert_eq!(slab.word(0).limb(0), 0b10); // lane 1 has bit 0 set
+    /// assert_eq!(slab.word(1).limb(0), 0b01); // lane 0 has bit 1 set
     /// ```
     ///
     /// # Panics
     ///
-    /// Panics if `values` is empty, holds more than [`MAX_LANES`] values,
-    /// or the values disagree on width.
+    /// Panics if `values` is empty, holds more than [`Word::LANES`]
+    /// values, or the values disagree on width.
     pub fn from_lanes(values: &[UBig]) -> Self {
         assert!(!values.is_empty(), "a slab needs at least one lane");
         let width = values[0].width();
@@ -121,7 +130,7 @@ impl BitSlab {
                 let mut w = limb;
                 while w != 0 {
                     let i = li * 64 + w.trailing_zeros() as usize;
-                    slab.words[i] |= 1 << l;
+                    slab.words[i].set_bit(l);
                     w &= w - 1;
                 }
             }
@@ -131,15 +140,16 @@ impl BitSlab {
 
     /// Fills a slab with uniformly random lanes (equivalent to transposing
     /// `lanes` draws of [`UBig::random`], but sampled directly in
-    /// transposed layout).
+    /// transposed layout, limb by limb).
     ///
     /// ```
-    /// use bitnum::batch::BitSlab;
+    /// use bitnum::batch::{BitSlab, Word};
     /// use bitnum::rng::Xoshiro256;
     /// let mut rng = Xoshiro256::seed_from_u64(1);
-    /// let slab = BitSlab::random(64, 16, &mut rng);
+    /// let slab: BitSlab = BitSlab::random(64, 16, &mut rng);
     /// assert_eq!(slab.lanes(), 16);
-    /// assert!(slab.words().iter().all(|&w| w <= slab.lane_mask()));
+    /// let mask = slab.lane_mask();
+    /// assert!(slab.words().iter().all(|&w| (w & !mask).is_zero()));
     /// ```
     ///
     /// # Panics
@@ -149,7 +159,10 @@ impl BitSlab {
         let mut slab = Self::zero(width, lanes);
         let mask = slab.lane_mask();
         for w in &mut slab.words {
-            *w = rng.next_u64() & mask;
+            for li in 0..W::LIMBS {
+                w.set_limb(li, rng.next_u64());
+            }
+            *w = *w & mask;
         }
         slab
     }
@@ -165,19 +178,15 @@ impl BitSlab {
     }
 
     /// The word mask with one bit set per lane
-    /// (`u64::MAX` at 64 lanes).
+    /// ([`Word::ONES`] at [`Word::LANES`] lanes).
     ///
     /// ```
-    /// use bitnum::batch::BitSlab;
-    /// assert_eq!(BitSlab::zero(8, 3).lane_mask(), 0b111);
-    /// assert_eq!(BitSlab::zero(8, 64).lane_mask(), u64::MAX);
+    /// use bitnum::batch::{BitSlab, Word, W256};
+    /// assert_eq!(BitSlab::<u64>::zero(8, 3).lane_mask(), 0b111);
+    /// assert_eq!(BitSlab::<W256>::zero(8, 256).lane_mask(), W256::ONES);
     /// ```
-    pub fn lane_mask(&self) -> u64 {
-        if self.lanes == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.lanes) - 1
-        }
+    pub fn lane_mask(&self) -> W {
+        W::lane_mask(self.lanes)
     }
 
     /// The word of bit position `i`: bit `l` is lane `l`'s bit `i`.
@@ -185,12 +194,12 @@ impl BitSlab {
     /// # Panics
     ///
     /// Panics if `i >= width`.
-    pub fn word(&self, i: usize) -> u64 {
+    pub fn word(&self, i: usize) -> W {
         self.words[i]
     }
 
     /// All bit-position words, LSB position first.
-    pub fn words(&self) -> &[u64] {
+    pub fn words(&self) -> &[W] {
         &self.words
     }
 
@@ -200,7 +209,7 @@ impl BitSlab {
     /// combine existing words (e.g. [`ripple_words`] with a masked
     /// carry-in) preserve this automatically. Use [`BitSlab::set_word`]
     /// when the new word may carry stray high bits.
-    pub fn words_mut(&mut self) -> &mut [u64] {
+    pub fn words_mut(&mut self) -> &mut [W] {
         &mut self.words
     }
 
@@ -208,16 +217,16 @@ impl BitSlab {
     /// [`BitSlab::lanes`].
     ///
     /// ```
-    /// use bitnum::batch::BitSlab;
-    /// let mut slab = BitSlab::zero(4, 2);
-    /// slab.set_word(3, u64::MAX); // stray bits beyond lane 1 are dropped
-    /// assert_eq!(slab.word(3), 0b11);
+    /// use bitnum::batch::{BitSlab, Word};
+    /// let mut slab: BitSlab = BitSlab::zero(4, 2);
+    /// slab.set_word(3, bitnum::batch::DefaultWord::ONES); // stray bits dropped
+    /// assert_eq!(slab.word(3).limb(0), 0b11);
     /// ```
     ///
     /// # Panics
     ///
     /// Panics if `i >= width`.
-    pub fn set_word(&mut self, i: usize, word: u64) {
+    pub fn set_word(&mut self, i: usize, word: W) {
         let mask = self.lane_mask();
         self.words[i] = word & mask;
     }
@@ -229,7 +238,7 @@ impl BitSlab {
     /// use bitnum::batch::BitSlab;
     /// use bitnum::UBig;
     /// let v = UBig::from_u128(0xdead, 64);
-    /// let slab = BitSlab::from_lanes(&[UBig::zero(64), v.clone()]);
+    /// let slab: BitSlab = BitSlab::from_lanes(&[UBig::zero(64), v.clone()]);
     /// assert_eq!(slab.lane(1), v);
     /// ```
     ///
@@ -242,9 +251,10 @@ impl BitSlab {
             "lane {l} out of range for {} lanes",
             self.lanes
         );
+        let (limb, shift) = (l / 64, l % 64);
         let mut limbs = vec![0u64; self.width.div_ceil(64)];
-        for (i, &w) in self.words.iter().enumerate() {
-            limbs[i / 64] |= ((w >> l) & 1) << (i % 64);
+        for (i, w) in self.words.iter().enumerate() {
+            limbs[i / 64] |= ((w.limb(limb) >> shift) & 1) << (i % 64);
         }
         UBig::from_limbs(&limbs, self.width)
     }
@@ -259,52 +269,52 @@ impl BitSlab {
 /// lanes, writing sum words into `sum` and returning the carry-out word.
 ///
 /// `cin` is a *per-lane* carry-in word (bit `l` is lane `l`'s carry-in), so
-/// the same kernel serves as a full-width adder (`cin = 0`), the
+/// the same kernel serves as a full-width adder (`cin = W::ZERO`), the
 /// carry-in-1 leg of a carry-select block (`cin = lane_mask`), or a
 /// speculative window fed by a per-lane select signal. The carry recurrence
-/// per bit position is the usual `c' = g | (p & c)` on whole words: 64
-/// lanes per ~5 word operations.
+/// per bit position is the usual `c' = g | (p & c)` on whole words:
+/// [`Word::LANES`] lanes per ~5 word operations.
 ///
 /// All three slices must come from slabs of identical width and lane
 /// count, restricted to the same bit range. `lane_mask` is that slab lane
 /// mask ([`BitSlab::lane_mask`]): `cin` — and, in debug builds, every
-/// operand word — must have no bits set beyond it. Violations are the
-/// classic slab-corruption bug (a stray carry bit silently invents a
-/// phantom lane), so they are enforced with `debug_assert!` at the top of
-/// the kernel and fail loudly under `cargo test` instead of corrupting
-/// lanes.
+/// operand word — must have no bits set beyond it, **in any limb**.
+/// Violations are the classic slab-corruption bug (a stray carry bit
+/// silently invents a phantom lane), so they are enforced with
+/// `debug_assert!` at the top of the kernel and fail loudly under
+/// `cargo test` instead of corrupting lanes.
 ///
 /// # Example
 ///
 /// ```
-/// use bitnum::batch::{ripple_words, BitSlab};
+/// use bitnum::batch::{ripple_words, BitSlab, DefaultWord, Word};
 /// use bitnum::UBig;
 ///
-/// let a = BitSlab::from_lanes(&vec![UBig::from_u128(9, 4); 3]);
+/// let a: BitSlab = BitSlab::from_lanes(&vec![UBig::from_u128(9, 4); 3]);
 /// let b = BitSlab::from_lanes(&vec![UBig::from_u128(6, 4); 3]);
 /// let mut s = BitSlab::zero(4, 3);
 /// // Carry-in only into lane 1: lanes 0 and 2 get 15, lane 1 wraps to 0.
-/// let cout = ripple_words(a.words(), b.words(), 0b010, a.lane_mask(), s.words_mut());
+/// let cin = DefaultWord::from_low(0b010);
+/// let cout = ripple_words(a.words(), b.words(), cin, a.lane_mask(), s.words_mut());
 /// assert_eq!(s.lane(0).to_u128(), Some(15));
 /// assert_eq!(s.lane(1).to_u128(), Some(0));
-/// assert_eq!(cout, 0b010);
+/// assert_eq!(cout, cin);
 /// ```
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths differ. Debug builds panic when `cin` or an
 /// operand word carries bits beyond `lane_mask`.
-pub fn ripple_words(a: &[u64], b: &[u64], cin: u64, lane_mask: u64, sum: &mut [u64]) -> u64 {
+pub fn ripple_words<W: Word>(a: &[W], b: &[W], cin: W, lane_mask: W, sum: &mut [W]) -> W {
     assert_eq!(a.len(), b.len(), "operand word counts differ");
     assert_eq!(a.len(), sum.len(), "sum word count differs");
-    debug_assert_eq!(
-        cin & !lane_mask,
-        0,
-        "carry-in word {cin:#x} has bits beyond the lane mask {lane_mask:#x}"
+    debug_assert!(
+        (cin & !lane_mask).is_zero(),
+        "carry-in word {cin:?} has bits beyond the lane mask {lane_mask:?}"
     );
     debug_assert!(
-        a.iter().chain(b).all(|&w| w & !lane_mask == 0),
-        "operand words carry bits beyond the lane mask {lane_mask:#x}"
+        a.iter().chain(b).all(|&w| (w & !lane_mask).is_zero()),
+        "operand words carry bits beyond the lane mask {lane_mask:?}"
     );
     let mut carry = cin;
     for ((&aw, &bw), sw) in a.iter().zip(b).zip(sum.iter_mut()) {
@@ -319,36 +329,40 @@ pub fn ripple_words(a: &[u64], b: &[u64], cin: u64, lane_mask: u64, sum: &mut [u
 /// A batch of arbitrarily many equal-width values, stored as a sequence of
 /// [`BitSlab`] chunks.
 ///
-/// Every chunk holds exactly [`MAX_LANES`] lanes except the last, which
-/// holds the remainder (`1..=MAX_LANES`). Global lane `l` lives in chunk
-/// `l / MAX_LANES` at chunk-lane `l % MAX_LANES`, and each chunk maintains
-/// the [`BitSlab`] lane-mask invariant independently — so any ≤64-lane
-/// kernel scales to arbitrary batch sizes by iterating [`WideSlab::chunks`],
-/// and sharded executors can split the chunk list across threads without
-/// touching lane data.
+/// Every chunk holds exactly [`Word::LANES`] lanes except the last, which
+/// holds the remainder (`1..=Word::LANES`). Global lane `l` lives in chunk
+/// `l / W::LANES` at chunk-lane `l % W::LANES`, and each chunk maintains
+/// the [`BitSlab`] lane-mask invariant independently — so any single-word
+/// kernel scales to arbitrary batch sizes by iterating
+/// [`WideSlab::chunks`], and sharded executors can split the chunk list
+/// across threads without touching lane data.
 ///
 /// # Example
 ///
 /// ```
-/// use bitnum::batch::{WideSlab, MAX_LANES};
+/// use bitnum::batch::{BitSlab, Word, WideSlab};
 /// use bitnum::UBig;
 ///
-/// let values: Vec<UBig> = (0..100).map(|v| UBig::from_u128(v, 16)).collect();
-/// let slab = WideSlab::from_lanes(&values);
-/// assert_eq!(slab.lanes(), 100);
-/// assert_eq!(slab.chunks().len(), 2); // 64 + 36
-/// assert_eq!(slab.chunks()[1].lanes(), 100 - MAX_LANES);
-/// assert_eq!(slab.lane(99).to_u128(), Some(99));
+/// let values: Vec<UBig> = (0..300).map(|v| UBig::from_u128(v, 16)).collect();
+/// let slab: WideSlab = WideSlab::from_lanes(&values);
+/// assert_eq!(slab.lanes(), 300);
+/// assert_eq!(slab.chunks().len(), 300usize.div_ceil(slab.lanes_per_chunk()));
+/// assert_eq!(slab.lane(299).to_u128(), Some(299));
 /// assert_eq!(slab.to_lanes(), values);
+///
+/// // With the word named explicitly, the chunking is pinned:
+/// let narrow = WideSlab::<u64>::from_lanes(&values);
+/// assert_eq!(narrow.chunks().len(), 5); // 4 × 64 + 44
+/// assert_eq!(narrow.chunks()[4].lanes(), 44);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct WideSlab {
+pub struct WideSlab<W: Word = DefaultWord> {
     width: usize,
     lanes: usize,
-    chunks: Vec<BitSlab>,
+    chunks: Vec<BitSlab<W>>,
 }
 
-impl WideSlab {
+impl<W: Word> WideSlab<W> {
     /// Creates an all-zero wide slab of `lanes` lanes of `width` bits.
     ///
     /// # Panics
@@ -381,7 +395,7 @@ impl WideSlab {
         for (l, v) in values.iter().enumerate() {
             assert_eq!(v.width(), width, "lane {l} width mismatch");
         }
-        let chunks: Vec<BitSlab> = values.chunks(MAX_LANES).map(BitSlab::from_lanes).collect();
+        let chunks: Vec<BitSlab<W>> = values.chunks(W::LANES).map(BitSlab::from_lanes).collect();
         Self {
             width,
             lanes: values.len(),
@@ -395,15 +409,15 @@ impl WideSlab {
     /// # Panics
     ///
     /// Panics if `chunks` is empty, the chunks disagree on width, or any
-    /// chunk but the last holds fewer than [`MAX_LANES`] lanes.
-    pub fn from_chunks(chunks: Vec<BitSlab>) -> Self {
+    /// chunk but the last holds fewer than [`Word::LANES`] lanes.
+    pub fn from_chunks(chunks: Vec<BitSlab<W>>) -> Self {
         assert!(!chunks.is_empty(), "a wide slab needs at least one chunk");
         let width = chunks[0].width();
         let mut lanes = 0;
         for (i, chunk) in chunks.iter().enumerate() {
             assert_eq!(chunk.width(), width, "chunk {i} width mismatch");
             assert!(
-                chunk.lanes() == MAX_LANES || i + 1 == chunks.len(),
+                chunk.lanes() == W::LANES || i + 1 == chunks.len(),
                 "chunk {i} is partial ({} lanes) but not last",
                 chunk.lanes()
             );
@@ -435,9 +449,9 @@ impl WideSlab {
     }
 
     fn chunk_sizes(lanes: usize) -> impl Iterator<Item = usize> {
-        let full = lanes / MAX_LANES;
-        let rem = lanes % MAX_LANES;
-        std::iter::repeat_n(MAX_LANES, full).chain((rem > 0).then_some(rem))
+        let full = lanes / W::LANES;
+        let rem = lanes % W::LANES;
+        std::iter::repeat_n(W::LANES, full).chain((rem > 0).then_some(rem))
     }
 
     /// The bit width of each lane.
@@ -450,9 +464,16 @@ impl WideSlab {
         self.lanes
     }
 
-    /// The ≤64-lane chunks, global lane order: chunk `c` holds lanes
-    /// `c * MAX_LANES ..`.
-    pub fn chunks(&self) -> &[BitSlab] {
+    /// Lanes per full chunk — [`Word::LANES`] of the slab's word, exposed
+    /// so word-generic callers can compute chunk addressing without
+    /// naming `W`.
+    pub fn lanes_per_chunk(&self) -> usize {
+        W::LANES
+    }
+
+    /// The per-word chunks, global lane order: chunk `c` holds lanes
+    /// `c * W::LANES ..`.
+    pub fn chunks(&self) -> &[BitSlab<W>] {
         &self.chunks
     }
 
@@ -467,7 +488,7 @@ impl WideSlab {
             "lane {l} out of range for {} lanes",
             self.lanes
         );
-        self.chunks[l / MAX_LANES].lane(l % MAX_LANES)
+        self.chunks[l / W::LANES].lane(l % W::LANES)
     }
 
     /// Untransposes the wide slab back into one [`UBig`] per lane.
@@ -476,9 +497,9 @@ impl WideSlab {
     }
 }
 
-impl From<BitSlab> for WideSlab {
-    /// Wraps a single ≤64-lane slab as a one-chunk wide slab.
-    fn from(chunk: BitSlab) -> Self {
+impl<W: Word> From<BitSlab<W>> for WideSlab<W> {
+    /// Wraps a single ≤one-word slab as a one-chunk wide slab.
+    fn from(chunk: BitSlab<W>) -> Self {
         Self {
             width: chunk.width(),
             lanes: chunk.lanes(),
@@ -492,8 +513,7 @@ mod tests {
     use super::*;
     use crate::rng::Xoshiro256;
 
-    #[test]
-    fn transpose_roundtrip() {
+    fn transpose_roundtrip_for<W: Word>() {
         let mut rng = Xoshiro256::seed_from_u64(9);
         for (width, lanes) in [
             (1usize, 1usize),
@@ -501,10 +521,10 @@ mod tests {
             (64, 64),
             (65, 17),
             (130, 5),
-            (512, 64),
+            (512, W::LANES),
         ] {
             let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
-            let slab = BitSlab::from_lanes(&values);
+            let slab = BitSlab::<W>::from_lanes(&values);
             assert_eq!(slab.to_lanes(), values, "width={width} lanes={lanes}");
             for (l, v) in values.iter().enumerate() {
                 assert_eq!(&slab.lane(l), v);
@@ -513,37 +533,66 @@ mod tests {
     }
 
     #[test]
+    fn transpose_roundtrip() {
+        transpose_roundtrip_for::<u64>();
+        transpose_roundtrip_for::<W256>();
+    }
+
+    #[test]
     fn words_respect_lane_mask() {
         let mut rng = Xoshiro256::seed_from_u64(10);
-        let slab = BitSlab::random(100, 7, &mut rng);
+        let slab = BitSlab::<u64>::random(100, 7, &mut rng);
         assert_eq!(slab.lane_mask(), 0x7f);
         assert!(slab.words().iter().all(|&w| w & !0x7f == 0));
         let mut slab = slab;
         slab.set_word(0, u64::MAX);
         assert_eq!(slab.word(0), 0x7f);
+        // Same invariant with the wide word, across limb boundaries.
+        let wide = BitSlab::<W256>::random(100, 70, &mut rng);
+        let mask = wide.lane_mask();
+        assert_eq!(mask.limb(1), (1u64 << 6) - 1);
+        assert!(wide.words().iter().all(|&w| (w & !mask).is_zero()));
+        let mut wide = wide;
+        wide.set_word(0, W256::ONES);
+        assert_eq!(wide.word(0), mask);
     }
 
-    #[test]
-    fn ripple_matches_scalar_adds() {
+    fn ripple_matches_scalar_adds_for<W: Word>() {
         let mut rng = Xoshiro256::seed_from_u64(11);
-        for (width, lanes) in [(64usize, 64usize), (65, 64), (31, 9), (128, 1)] {
-            let a = BitSlab::random(width, lanes, &mut rng);
-            let b = BitSlab::random(width, lanes, &mut rng);
-            let cin = rng.next_u64() & a.lane_mask();
-            let mut sum = BitSlab::zero(width, lanes);
+        for (width, lanes) in [(64usize, 64usize), (65, W::LANES), (31, 9), (128, 1)] {
+            let a = BitSlab::<W>::random(width, lanes, &mut rng);
+            let b = BitSlab::<W>::random(width, lanes, &mut rng);
+            let mut cin = W::ZERO;
+            for li in 0..W::LIMBS {
+                cin.set_limb(li, rng.next_u64());
+            }
+            cin = cin & a.lane_mask();
+            let mut sum = BitSlab::<W>::zero(width, lanes);
             let cout = ripple_words(a.words(), b.words(), cin, a.lane_mask(), sum.words_mut());
             for l in 0..lanes {
-                let (s, c) = a.lane(l).add_with_carry(&b.lane(l), (cin >> l) & 1 == 1);
+                let (s, c) = a.lane(l).add_with_carry(&b.lane(l), cin.bit(l));
                 assert_eq!(sum.lane(l), s, "lane {l} width {width}");
-                assert_eq!((cout >> l) & 1 == 1, c, "cout lane {l}");
+                assert_eq!(cout.bit(l), c, "cout lane {l}");
             }
         }
     }
 
     #[test]
+    fn ripple_matches_scalar_adds() {
+        ripple_matches_scalar_adds_for::<u64>();
+        ripple_matches_scalar_adds_for::<W256>();
+    }
+
+    #[test]
     #[should_panic(expected = "lanes must be in")]
     fn too_many_lanes_panic() {
-        let _ = BitSlab::zero(8, 65);
+        let _ = BitSlab::<u64>::zero(8, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be in")]
+    fn too_many_lanes_panic_w256() {
+        let _ = BitSlab::<W256>::zero(8, 257);
     }
 
     #[test]
@@ -552,32 +601,56 @@ mod tests {
     fn unmasked_carry_in_fails_loudly() {
         // The CHANGES.md gotcha, enforced: a carry-in word with bits beyond
         // the lane mask must panic in debug builds, not corrupt lanes.
-        let a = BitSlab::zero(8, 3);
-        let b = BitSlab::zero(8, 3);
-        let mut sum = BitSlab::zero(8, 3);
+        let a: BitSlab = BitSlab::zero(8, 3);
+        let b: BitSlab = BitSlab::zero(8, 3);
+        let mut sum: BitSlab = BitSlab::zero(8, 3);
         let _ = ripple_words(
             a.words(),
             b.words(),
-            u64::MAX,
+            DefaultWord::ONES,
             a.lane_mask(),
             sum.words_mut(),
         );
     }
 
     #[test]
-    fn wide_slab_roundtrip_and_chunking() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "beyond the lane mask")]
+    fn unmasked_high_limb_carry_fails_loudly() {
+        // The per-limb generalization of the same gotcha: the stray bit
+        // lives in limb 1, beyond anything a u64 mask would see.
+        let a = BitSlab::<W256>::zero(8, 3);
+        let b = BitSlab::<W256>::zero(8, 3);
+        let mut sum = BitSlab::<W256>::zero(8, 3);
+        let mut cin = W256::ZERO;
+        cin.set_bit(64);
+        let _ = ripple_words(a.words(), b.words(), cin, a.lane_mask(), sum.words_mut());
+    }
+
+    fn wide_slab_roundtrip_for<W: Word>() {
         let mut rng = Xoshiro256::seed_from_u64(12);
-        for lanes in [1usize, 63, 64, 65, 100, 128, 200] {
+        for lanes in [
+            1usize,
+            63,
+            64,
+            65,
+            100,
+            W::LANES - 1,
+            W::LANES,
+            W::LANES + 1,
+            3 * W::LANES + 8,
+        ] {
             let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(40, &mut rng)).collect();
-            let slab = WideSlab::from_lanes(&values);
+            let slab = WideSlab::<W>::from_lanes(&values);
             assert_eq!(slab.lanes(), lanes);
             assert_eq!(slab.width(), 40);
-            assert_eq!(slab.chunks().len(), lanes.div_ceil(MAX_LANES));
+            assert_eq!(slab.lanes_per_chunk(), W::LANES);
+            assert_eq!(slab.chunks().len(), lanes.div_ceil(W::LANES));
             for (i, chunk) in slab.chunks().iter().enumerate() {
                 let expect = if i + 1 < slab.chunks().len() {
-                    MAX_LANES
+                    W::LANES
                 } else {
-                    lanes - i * MAX_LANES
+                    lanes - i * W::LANES
                 };
                 assert_eq!(chunk.lanes(), expect, "lanes={lanes} chunk={i}");
             }
@@ -592,19 +665,26 @@ mod tests {
     }
 
     #[test]
+    fn wide_slab_roundtrip_and_chunking() {
+        wide_slab_roundtrip_for::<u64>();
+        wide_slab_roundtrip_for::<W256>();
+    }
+
+    #[test]
     fn wide_slab_random_matches_chunked_draws() {
         // random() must draw chunk by chunk so sharded reseeding composes.
-        let slab = WideSlab::random(32, 130, &mut Xoshiro256::seed_from_u64(77));
+        let lanes = 2 * DefaultWord::LANES + 2;
+        let slab: WideSlab = WideSlab::random(32, lanes, &mut Xoshiro256::seed_from_u64(77));
         let mut rng = Xoshiro256::seed_from_u64(77);
         for chunk in slab.chunks() {
             assert_eq!(chunk, &BitSlab::random(32, chunk.lanes(), &mut rng));
         }
-        assert_eq!(WideSlab::zero(32, 130).lanes(), 130);
+        assert_eq!(WideSlab::<DefaultWord>::zero(32, lanes).lanes(), lanes);
     }
 
     #[test]
     fn wide_slab_from_single_chunk() {
-        let chunk = BitSlab::random(16, 10, &mut Xoshiro256::seed_from_u64(4));
+        let chunk: BitSlab = BitSlab::random(16, 10, &mut Xoshiro256::seed_from_u64(4));
         let wide = WideSlab::from(chunk.clone());
         assert_eq!(wide.lanes(), 10);
         assert_eq!(wide.chunks(), std::slice::from_ref(&chunk));
@@ -613,7 +693,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "partial")]
     fn wide_slab_partial_chunk_in_middle_panics() {
-        let _ = WideSlab::from_chunks(vec![BitSlab::zero(8, 10), BitSlab::zero(8, 64)]);
+        let _ = WideSlab::from_chunks(vec![
+            BitSlab::<u64>::zero(8, 10),
+            BitSlab::<u64>::zero(8, 64),
+        ]);
     }
 
     #[test]
@@ -623,12 +706,65 @@ mod tests {
         // validation alone would miss it.
         let mut values = vec![UBig::zero(8); 64];
         values.push(UBig::zero(16));
-        let _ = WideSlab::from_lanes(&values);
+        let _ = WideSlab::<u64>::from_lanes(&values);
     }
 
     #[test]
     #[should_panic(expected = "width mismatch")]
     fn mixed_width_lanes_panic() {
-        let _ = BitSlab::from_lanes(&[UBig::zero(8), UBig::zero(9)]);
+        let _ = BitSlab::<DefaultWord>::from_lanes(&[UBig::zero(8), UBig::zero(9)]);
+    }
+
+    #[test]
+    fn u64_and_w256_slabs_agree_lane_for_lane() {
+        // The word-equivalence anchor at the storage layer: identical lane
+        // data, identical ripple results, for lane counts that straddle
+        // the u64 chunk boundary and leave partial final chunks.
+        let mut rng = Xoshiro256::seed_from_u64(123);
+        for lanes in [1usize, 63, 64, 65, 130, 200, 256] {
+            let a: Vec<UBig> = (0..lanes).map(|_| UBig::random(50, &mut rng)).collect();
+            let b: Vec<UBig> = (0..lanes).map(|_| UBig::random(50, &mut rng)).collect();
+            let (wa, wb) = (
+                WideSlab::<u64>::from_lanes(&a),
+                WideSlab::<u64>::from_lanes(&b),
+            );
+            let (xa, xb) = (
+                WideSlab::<W256>::from_lanes(&a),
+                WideSlab::<W256>::from_lanes(&b),
+            );
+            assert_eq!(wa.to_lanes(), xa.to_lanes());
+            for l in 0..lanes {
+                assert_eq!(wa.lane(l), xa.lane(l), "lanes={lanes} lane={l}");
+            }
+            let ripple = |aw: &BitSlab<u64>, bw: &BitSlab<u64>| {
+                let mut s = BitSlab::<u64>::zero(50, aw.lanes());
+                let c = ripple_words(aw.words(), bw.words(), 0, aw.lane_mask(), s.words_mut());
+                (s.to_lanes(), c)
+            };
+            let ripple_w = |aw: &BitSlab<W256>, bw: &BitSlab<W256>| {
+                let mut s = BitSlab::<W256>::zero(50, aw.lanes());
+                let c = ripple_words(
+                    aw.words(),
+                    bw.words(),
+                    W256::ZERO,
+                    aw.lane_mask(),
+                    s.words_mut(),
+                );
+                (s.to_lanes(), c)
+            };
+            let narrow: Vec<UBig> = wa
+                .chunks()
+                .iter()
+                .zip(wb.chunks())
+                .flat_map(|(ca, cb)| ripple(ca, cb).0)
+                .collect();
+            let wide: Vec<UBig> = xa
+                .chunks()
+                .iter()
+                .zip(xb.chunks())
+                .flat_map(|(ca, cb)| ripple_w(ca, cb).0)
+                .collect();
+            assert_eq!(narrow, wide, "lanes={lanes}");
+        }
     }
 }

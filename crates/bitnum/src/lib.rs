@@ -14,9 +14,11 @@
 //! * [`rng`] — small deterministic PRNGs (SplitMix64, Xoshiro256++) so every
 //!   experiment in the workspace is exactly reproducible without an external
 //!   RNG dependency.
-//! * [`batch`] — bit-sliced (transposed) batch storage: up to 64 lanes
-//!   packed one `u64` word per bit position, so one word operation
-//!   evaluates a gate of 64 independent additions. The substrate of the
+//! * [`batch`] — bit-sliced (transposed) batch storage: lanes packed one
+//!   [`batch::Word`] per bit position, so one word operation evaluates a
+//!   gate of every lane's addition at once. The lane word is generic —
+//!   `u64` (64 lanes) or the SIMD-friendly [`batch::W256`] (256 lanes,
+//!   the [`batch::DefaultWord`]) — and is the substrate of the
 //!   workspace's batched throughput engines.
 //!
 //! # Example
@@ -44,6 +46,7 @@ mod error;
 pub mod pg;
 pub mod rng;
 mod ubig;
+mod word;
 
 pub use error::ParseUBigError;
 pub use ubig::UBig;

@@ -1,6 +1,6 @@
 //! Property-based tests for `bitnum` against `u128` reference semantics.
 
-use bitnum::batch::{ripple_words, BitSlab, WideSlab};
+use bitnum::batch::{ripple_words, BitSlab, WideSlab, Word, W256};
 use bitnum::pg::{self, PgPlanes};
 use bitnum::rng::Xoshiro256;
 use bitnum::UBig;
@@ -116,36 +116,58 @@ proptest! {
     fn bitslab_transpose_roundtrip(width in 1usize..300, lanes in 1usize..=64, seed in any::<u64>()) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
-        let slab = BitSlab::from_lanes(&values);
-        prop_assert_eq!(slab.to_lanes(), values);
-        prop_assert!(slab.words().iter().all(|&w| w & !slab.lane_mask() == 0));
+        let narrow = BitSlab::<u64>::from_lanes(&values);
+        prop_assert_eq!(narrow.to_lanes(), values.clone());
+        prop_assert!(narrow.words().iter().all(|&w| w & !narrow.lane_mask() == 0));
+        // The wide word stores the identical lane data.
+        let wide = BitSlab::<W256>::from_lanes(&values);
+        prop_assert_eq!(wide.to_lanes(), values);
+        let mask = wide.lane_mask();
+        prop_assert!(wide.words().iter().all(|&w| (w & !mask).is_zero()));
     }
 
     #[test]
     fn bitslab_ripple_matches_scalar(width in 1usize..130, lanes in 1usize..=64, seed in any::<u64>()) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        let a = BitSlab::random(width, lanes, &mut rng);
-        let b = BitSlab::random(width, lanes, &mut rng);
+        let a = BitSlab::<u64>::random(width, lanes, &mut rng);
+        let b = BitSlab::<u64>::random(width, lanes, &mut rng);
         let cin = bitnum::rng::RandomBits::next_u64(&mut rng) & a.lane_mask();
-        let mut sum = BitSlab::zero(width, lanes);
+        let mut sum = BitSlab::<u64>::zero(width, lanes);
         let cout = ripple_words(a.words(), b.words(), cin, a.lane_mask(), sum.words_mut());
         for l in 0..lanes {
             let (s, c) = a.lane(l).add_with_carry(&b.lane(l), (cin >> l) & 1 == 1);
             prop_assert_eq!(sum.lane(l), s, "lane {}", l);
             prop_assert_eq!((cout >> l) & 1 == 1, c, "cout lane {}", l);
         }
+        // The W256 kernel on the same lanes and the same per-lane carry-in
+        // returns bit-identical sums and carry-outs.
+        let wa = BitSlab::<W256>::from_lanes(&a.to_lanes());
+        let wb = BitSlab::<W256>::from_lanes(&b.to_lanes());
+        let wcin = W256::from_low(cin);
+        let mut wsum = BitSlab::<W256>::zero(width, lanes);
+        let wcout = ripple_words(wa.words(), wb.words(), wcin, wa.lane_mask(), wsum.words_mut());
+        prop_assert_eq!(wsum.to_lanes(), sum.to_lanes());
+        prop_assert_eq!(wcout, W256::from_low(cout));
     }
 
     #[test]
-    fn wideslab_transpose_roundtrip(width in 1usize..200, lanes in 1usize..200, seed in any::<u64>()) {
+    fn wideslab_transpose_roundtrip(width in 1usize..200, lanes in 1usize..300, seed in any::<u64>()) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
-        let slab = WideSlab::from_lanes(&values);
-        prop_assert_eq!(slab.to_lanes(), values);
-        prop_assert_eq!(slab.chunks().len(), lanes.div_ceil(64));
+        let narrow = WideSlab::<u64>::from_lanes(&values);
+        prop_assert_eq!(narrow.to_lanes(), values.clone());
+        prop_assert_eq!(narrow.chunks().len(), lanes.div_ceil(64));
         // Every chunk preserves the BitSlab lane-mask invariant.
-        for chunk in slab.chunks() {
+        for chunk in narrow.chunks() {
             prop_assert!(chunk.words().iter().all(|&w| w & !chunk.lane_mask() == 0));
+        }
+        // The wide word chunks at 256 lanes but holds the same data.
+        let wide = WideSlab::<W256>::from_lanes(&values);
+        prop_assert_eq!(wide.chunks().len(), lanes.div_ceil(256));
+        prop_assert_eq!(wide.to_lanes(), values);
+        for chunk in wide.chunks() {
+            let mask = chunk.lane_mask();
+            prop_assert!(chunk.words().iter().all(|&w| (w & !mask).is_zero()));
         }
     }
 

@@ -2,8 +2,9 @@
 //! adders.
 //!
 //! The scalar engines ([`Scsa::speculate`], [`Vlcsa1::add`], …) evaluate
-//! one operand pair at a time; this module evaluates up to 64 pairs
-//! word-parallel over [`BitSlab`] operands. Each window runs its two
+//! one operand pair at a time; this module evaluates a whole lane word of
+//! pairs — 64 per `u64` word, 256 per [`W256`](bitnum::batch::W256) word,
+//! the workspace default — word-parallel over [`BitSlab`] operands. Each window runs its two
 //! conditional legs (carry-in 0 / carry-in 1) as bit-sliced ripple chains —
 //! exactly the carry-select structure of the hardware — and the per-lane
 //! select words are the speculated carries, so the group signals
@@ -34,7 +35,7 @@
 //! }
 //! ```
 
-use bitnum::batch::{ripple_words, BitSlab};
+use bitnum::batch::{ripple_words, BitSlab, DefaultWord, Word};
 
 use crate::detect;
 use crate::scsa::Scsa;
@@ -47,49 +48,49 @@ use crate::window::WindowLayout;
 /// lane `l`'s scalar [`WindowPg`](crate::WindowPg) signal.
 ///
 /// ```
-/// use bitnum::batch::BitSlab;
+/// use bitnum::batch::{BitSlab, Word};
 /// use bitnum::UBig;
 /// use vlcsa::Scsa;
 ///
 /// let scsa = Scsa::new(8, 4);
 /// // Lane 0: window 0 all-propagates (0xf + 0x0); lane 1: it generates.
-/// let a = BitSlab::from_lanes(&[UBig::from_u128(0x0f, 8), UBig::from_u128(0x09, 8)]);
+/// let a: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(0x0f, 8), UBig::from_u128(0x09, 8)]);
 /// let b = BitSlab::from_lanes(&[UBig::from_u128(0x00, 8), UBig::from_u128(0x08, 8)]);
 /// let pgs = scsa.window_pg_batch(&a, &b);
-/// assert_eq!(pgs[0].p, 0b01);
-/// assert_eq!(pgs[0].g, 0b10);
+/// assert_eq!(pgs[0].p.limb(0), 0b01);
+/// assert_eq!(pgs[0].g.limb(0), 0b10);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WindowPgWords {
+pub struct WindowPgWords<W: Word = DefaultWord> {
     /// Group propagate word `P^i`.
-    pub p: u64,
+    pub p: W,
     /// Group generate word `G^i` (carry-out assuming carry-in 0).
-    pub g: u64,
+    pub g: W,
     /// Carry-out word assuming carry-in 1: `G^i ∨ P^i`.
-    pub gp: u64,
+    pub gp: W,
 }
 
 /// The batched SCSA 1 speculative result.
 ///
 /// ```
-/// use bitnum::batch::BitSlab;
+/// use bitnum::batch::{BitSlab, Word};
 /// use bitnum::UBig;
 /// use vlcsa::Scsa;
 ///
 /// let scsa = Scsa::new(64, 14);
-/// let a = BitSlab::from_lanes(&vec![UBig::from_u128(1000, 64); 8]);
+/// let a: BitSlab = BitSlab::from_lanes(&vec![UBig::from_u128(1000, 64); 8]);
 /// let b = BitSlab::from_lanes(&vec![UBig::from_u128(2000, 64); 8]);
 /// let spec = scsa.speculate_batch(&a, &b);
 /// assert_eq!(spec.sum.lane(3).to_u128(), Some(3000));
-/// assert_eq!(spec.cout, 0);
+/// assert!(spec.cout.is_zero());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BatchSpec {
+pub struct BatchSpec<W: Word = DefaultWord> {
     /// The speculative sums (lane `l` matches
     /// [`Scsa::speculate`]`(a.lane(l), b.lane(l)).sum`).
-    pub sum: BitSlab,
+    pub sum: BitSlab<W>,
     /// Per-lane speculative carry-out word.
-    pub cout: u64,
+    pub cout: W,
 }
 
 /// The batched SCSA 2 speculative results (both legs).
@@ -102,21 +103,21 @@ pub struct BatchSpec {
 /// // Small positive + small negative: the MSB-reaching chain makes S*,1
 /// // exact where S*,0 is not — per lane, as in the scalar engine.
 /// let scsa2 = Scsa2::new(64, 13);
-/// let a = BitSlab::from_lanes(&[UBig::from_u128(100, 64)]);
+/// let a: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(100, 64)]);
 /// let b = BitSlab::from_lanes(&[UBig::from_i128(-3, 64)]);
 /// let spec = scsa2.speculate_batch(&a, &b);
 /// assert_eq!(spec.sum1.lane(0).to_u128(), Some(97));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Batch2Spec {
+pub struct Batch2Spec<W: Word = DefaultWord> {
     /// `S*,0` lanes (window carries speculated as `G^{i-1}`).
-    pub sum0: BitSlab,
+    pub sum0: BitSlab<W>,
     /// Per-lane carry-out word of `S*,0`.
-    pub cout0: u64,
+    pub cout0: W,
     /// `S*,1` lanes (window carries speculated as `G^{i-1} ∨ P^{i-1}`).
-    pub sum1: BitSlab,
+    pub sum1: BitSlab<W>,
     /// Per-lane carry-out word of `S*,1`.
-    pub cout1: u64,
+    pub cout1: W,
 }
 
 /// The outcome of one batched variable-latency addition: always-exact sums
@@ -129,7 +130,7 @@ pub struct Batch2Spec {
 ///
 /// let adder = Vlcsa1::new(32, 4);
 /// // Lane 1 hits the classic mis-speculation pattern; lane 0 does not.
-/// let a = BitSlab::from_lanes(&[UBig::from_u128(1, 32), UBig::from_u128(0x0ff8, 32)]);
+/// let a: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(1, 32), UBig::from_u128(0x0ff8, 32)]);
 /// let b = BitSlab::from_lanes(&[UBig::from_u128(2, 32), UBig::from_u128(0x0008, 32)]);
 /// let out = adder.add_batch(&a, &b);
 /// assert_eq!(out.cycles(0), 1);
@@ -139,17 +140,17 @@ pub struct Batch2Spec {
 /// assert_eq!(out.sum.lane(1).to_u128(), Some(0x1000));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BatchOutcome {
+pub struct BatchOutcome<W: Word = DefaultWord> {
     /// The (always exact) sums.
-    pub sum: BitSlab,
+    pub sum: BitSlab<W>,
     /// The (always exact) per-lane carry-out word.
-    pub cout: u64,
+    pub cout: W,
     /// Per-lane stall word: bit `l` set iff lane `l` took the 2-cycle
     /// recovery path.
-    pub flagged: u64,
+    pub flagged: W,
 }
 
-impl BatchOutcome {
+impl<W: Word> BatchOutcome<W> {
     /// Number of lanes in the batch.
     pub fn lanes(&self) -> usize {
         self.sum.lanes()
@@ -162,7 +163,7 @@ impl BatchOutcome {
     /// Panics if `l >= lanes()`.
     pub fn cycles(&self, l: usize) -> u8 {
         assert!(l < self.lanes(), "lane {l} out of range");
-        1 + ((self.flagged >> l) & 1) as u8
+        1 + self.flagged.bit(l) as u8
     }
 
     /// Per-lane cycle counts, lane 0 first.
@@ -190,21 +191,26 @@ impl BatchOutcome {
 /// One bit-sliced speculation pass: per window, both conditional legs and
 /// the select-chain muxes, yielding the group-signal words and the
 /// speculative sum(s).
-struct SpecPass {
-    pgs: Vec<WindowPgWords>,
-    sum0: BitSlab,
-    cout0: u64,
-    sum1: Option<BitSlab>,
-    cout1: u64,
+struct SpecPass<W: Word> {
+    pgs: Vec<WindowPgWords<W>>,
+    sum0: BitSlab<W>,
+    cout0: W,
+    sum1: Option<BitSlab<W>>,
+    cout1: W,
 }
 
-fn check_batch(layout: &WindowLayout, a: &BitSlab, b: &BitSlab) {
+fn check_batch<W: Word>(layout: &WindowLayout, a: &BitSlab<W>, b: &BitSlab<W>) {
     assert_eq!(a.width(), layout.width(), "operand slab width mismatch");
     assert_eq!(b.width(), layout.width(), "operand slab width mismatch");
     assert_eq!(a.lanes(), b.lanes(), "operand slab lane count mismatch");
 }
 
-fn spec_pass(layout: &WindowLayout, a: &BitSlab, b: &BitSlab, want_sum1: bool) -> SpecPass {
+fn spec_pass<W: Word>(
+    layout: &WindowLayout,
+    a: &BitSlab<W>,
+    b: &BitSlab<W>,
+    want_sum1: bool,
+) -> SpecPass<W> {
     check_batch(layout, a, b);
     let width = layout.width();
     let lanes = a.lanes();
@@ -213,17 +219,17 @@ fn spec_pass(layout: &WindowLayout, a: &BitSlab, b: &BitSlab, want_sum1: bool) -
     let mut sum0 = BitSlab::zero(width, lanes);
     let mut sum1 = want_sum1.then(|| BitSlab::zero(width, lanes));
     let window = layout.window();
-    let mut s0 = vec![0u64; window];
-    let mut s1 = vec![0u64; window];
+    let mut s0 = vec![W::ZERO; window];
+    let mut s1 = vec![W::ZERO; window];
     // Select chains: cin0 follows G^{i-1}, cin1 follows G^{i-1} ∨ P^{i-1}
     // (window 0 is not speculative: both start at the real carry-in 0 and
     // leave window 0 with the true G⁰).
-    let (mut cin0, mut cin1) = (0u64, 0u64);
-    let (mut cout0, mut cout1) = (0u64, 0u64);
+    let (mut cin0, mut cin1) = (W::ZERO, W::ZERO);
+    let (mut cout0, mut cout1) = (W::ZERO, W::ZERO);
     for (i, (lo, len)) in layout.iter().enumerate() {
         let aw = &a.words()[lo..lo + len];
         let bw = &b.words()[lo..lo + len];
-        let c0 = ripple_words(aw, bw, 0, mask, &mut s0[..len]);
+        let c0 = ripple_words(aw, bw, W::ZERO, mask, &mut s0[..len]);
         let c1 = ripple_words(aw, bw, mask, mask, &mut s1[..len]);
         pgs.push(WindowPgWords {
             p: c0 ^ c1,
@@ -253,9 +259,15 @@ fn spec_pass(layout: &WindowLayout, a: &BitSlab, b: &BitSlab, want_sum1: bool) -
 }
 
 /// Full-width exact bit-sliced addition (the shared recovery adder).
-fn exact_batch(a: &BitSlab, b: &BitSlab) -> (BitSlab, u64) {
+fn exact_batch<W: Word>(a: &BitSlab<W>, b: &BitSlab<W>) -> (BitSlab<W>, W) {
     let mut sum = BitSlab::zero(a.width(), a.lanes());
-    let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
+    let cout = ripple_words(
+        a.words(),
+        b.words(),
+        W::ZERO,
+        a.lane_mask(),
+        sum.words_mut(),
+    );
     (sum, cout)
 }
 
@@ -264,19 +276,19 @@ impl Scsa {
     /// whole batch — the bit-sliced [`Scsa::window_pg`].
     ///
     /// ```
-    /// use bitnum::batch::BitSlab;
+    /// use bitnum::batch::{BitSlab, Word};
     /// use bitnum::rng::Xoshiro256;
     /// use vlcsa::Scsa;
     ///
     /// let scsa = Scsa::new(100, 13);
     /// let mut rng = Xoshiro256::seed_from_u64(3);
-    /// let a = BitSlab::random(100, 64, &mut rng);
+    /// let a: BitSlab = BitSlab::random(100, 64, &mut rng);
     /// let b = BitSlab::random(100, 64, &mut rng);
     /// let pgs = scsa.window_pg_batch(&a, &b);
     /// let scalar = scsa.window_pg(&a.lane(7), &b.lane(7));
     /// for (w, s) in pgs.iter().zip(&scalar) {
-    ///     assert_eq!((w.p >> 7) & 1 == 1, s.p);
-    ///     assert_eq!((w.g >> 7) & 1 == 1, s.g);
+    ///     assert_eq!(w.p.bit(7), s.p);
+    ///     assert_eq!(w.g.bit(7), s.g);
     /// }
     /// ```
     ///
@@ -284,16 +296,20 @@ impl Scsa {
     ///
     /// Panics if the slabs disagree with the adder width or with each
     /// other's lane count.
-    pub fn window_pg_batch(&self, a: &BitSlab, b: &BitSlab) -> Vec<WindowPgWords> {
+    pub fn window_pg_batch<W: Word>(
+        &self,
+        a: &BitSlab<W>,
+        b: &BitSlab<W>,
+    ) -> Vec<WindowPgWords<W>> {
         check_batch(self.layout(), a, b);
         let mask = a.lane_mask();
-        let mut scratch = vec![0u64; self.layout().window()];
+        let mut scratch = vec![W::ZERO; self.layout().window()];
         self.layout()
             .iter()
             .map(|(lo, len)| {
                 let aw = &a.words()[lo..lo + len];
                 let bw = &b.words()[lo..lo + len];
-                let c0 = ripple_words(aw, bw, 0, mask, &mut scratch[..len]);
+                let c0 = ripple_words(aw, bw, W::ZERO, mask, &mut scratch[..len]);
                 let c1 = ripple_words(aw, bw, mask, mask, &mut scratch[..len]);
                 WindowPgWords {
                     p: c0 ^ c1,
@@ -314,7 +330,7 @@ impl Scsa {
     ///
     /// let scsa = Scsa::new(64, 8);
     /// let mut rng = Xoshiro256::seed_from_u64(5);
-    /// let a = BitSlab::random(64, 32, &mut rng);
+    /// let a: BitSlab = BitSlab::random(64, 32, &mut rng);
     /// let b = BitSlab::random(64, 32, &mut rng);
     /// let spec = scsa.speculate_batch(&a, &b);
     /// for l in 0..32 {
@@ -326,7 +342,7 @@ impl Scsa {
     ///
     /// Panics if the slabs disagree with the adder width or with each
     /// other's lane count.
-    pub fn speculate_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchSpec {
+    pub fn speculate_batch<W: Word>(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSpec<W> {
         let pass = spec_pass(self.layout(), a, b, false);
         BatchSpec {
             sum: pass.sum0,
@@ -338,7 +354,11 @@ impl Scsa {
 impl Scsa2 {
     /// Group signal words per window for a whole batch (same hardware as
     /// SCSA 1; see [`Scsa::window_pg_batch`]).
-    pub fn window_pg_batch(&self, a: &BitSlab, b: &BitSlab) -> Vec<WindowPgWords> {
+    pub fn window_pg_batch<W: Word>(
+        &self,
+        a: &BitSlab<W>,
+        b: &BitSlab<W>,
+    ) -> Vec<WindowPgWords<W>> {
         self.scsa1().window_pg_batch(a, b)
     }
 
@@ -352,7 +372,7 @@ impl Scsa2 {
     ///
     /// let scsa2 = Scsa2::new(96, 11);
     /// let mut rng = Xoshiro256::seed_from_u64(8);
-    /// let a = BitSlab::random(96, 16, &mut rng);
+    /// let a: BitSlab = BitSlab::random(96, 16, &mut rng);
     /// let b = BitSlab::random(96, 16, &mut rng);
     /// let spec = scsa2.speculate_batch(&a, &b);
     /// let scalar = scsa2.speculate(&a.lane(5), &b.lane(5));
@@ -364,7 +384,7 @@ impl Scsa2 {
     ///
     /// Panics if the slabs disagree with the adder width or with each
     /// other's lane count.
-    pub fn speculate_batch(&self, a: &BitSlab, b: &BitSlab) -> Batch2Spec {
+    pub fn speculate_batch<W: Word>(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> Batch2Spec<W> {
         let pass = spec_pass(self.layout(), a, b, true);
         Batch2Spec {
             sum0: pass.sum0,
@@ -401,14 +421,14 @@ impl Vlcsa1 {
     ///
     /// Panics if the slabs disagree with the adder width or with each
     /// other's lane count.
-    pub fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+    pub fn add_batch<W: Word>(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W> {
         let pass = spec_pass(self.layout(), a, b, false);
         let flagged = detect::err0_word(&pass.pgs);
         let mut sum = pass.sum0;
         let mut cout = pass.cout0;
         // The shared recovery adder runs only when some lane stalled —
         // the no-stall common case stays at two ripple legs per window.
-        if flagged != 0 {
+        if !flagged.is_zero() {
             let (exact, exact_cout) = exact_batch(a, b);
             for i in 0..sum.width() {
                 sum.set_word(i, (sum.word(i) & !flagged) | (exact.word(i) & flagged));
@@ -439,7 +459,7 @@ impl Vlcsa2 {
     /// let adder = Vlcsa2::new(64, 13);
     /// // Small positive + small negative: VLCSA 1 would stall; the S*,1
     /// // leg absorbs it in one cycle — here for a whole lane group.
-    /// let a = BitSlab::from_lanes(&vec![UBig::from_u128(1000, 64); 16]);
+    /// let a: BitSlab = BitSlab::from_lanes(&vec![UBig::from_u128(1000, 64); 16]);
     /// let b = BitSlab::from_lanes(&vec![UBig::from_i128(-1, 64); 16]);
     /// let out = adder.add_batch(&a, &b);
     /// assert_eq!(out.stalls(), 0);
@@ -450,7 +470,7 @@ impl Vlcsa2 {
     ///
     /// Panics if the slabs disagree with the adder width or with each
     /// other's lane count.
-    pub fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+    pub fn add_batch<W: Word>(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W> {
         let pass = spec_pass(self.layout(), a, b, true);
         let err0 = detect::err0_word(&pass.pgs);
         let err1 = detect::err1_word(&pass.pgs);
@@ -459,20 +479,20 @@ impl Vlcsa2 {
         let sum1 = pass.sum1.expect("sum1 requested");
         let mut sum = pass.sum0;
         let mut cout = pass.cout0;
-        if err0 != 0 {
+        if !err0.is_zero() {
             // The shared recovery adder runs only when some lane needs it
             // (both detectors high); S*,1-corrected lanes stay word-muxed.
-            let exact = (recover != 0).then(|| exact_batch(a, b));
+            let exact = (!recover.is_zero()).then(|| exact_batch(a, b));
             for i in 0..sum.width() {
                 let mut w = (sum.word(i) & !err0) | (sum1.word(i) & use1);
                 if let Some((ex, _)) = &exact {
-                    w |= ex.word(i) & recover;
+                    w = w | (ex.word(i) & recover);
                 }
                 sum.set_word(i, w);
             }
             cout = (cout & !err0) | (pass.cout1 & use1);
             if let Some((_, ex_cout)) = &exact {
-                cout |= ex_cout & recover;
+                cout = cout | (*ex_cout & recover);
             }
         }
         #[cfg(debug_assertions)]
@@ -500,15 +520,15 @@ mod tests {
     fn window_pg_batch_matches_scalar() {
         let scsa = Scsa::new(100, 13);
         let mut rng = Xoshiro256::seed_from_u64(31);
-        let a = BitSlab::random(100, 37, &mut rng);
-        let b = BitSlab::random(100, 37, &mut rng);
+        let a = BitSlab::<DefaultWord>::random(100, 37, &mut rng);
+        let b = BitSlab::<DefaultWord>::random(100, 37, &mut rng);
         let words = scsa.window_pg_batch(&a, &b);
         for l in 0..37 {
             let scalar = scsa.window_pg(&a.lane(l), &b.lane(l));
             for (i, s) in scalar.iter().enumerate() {
-                assert_eq!((words[i].p >> l) & 1 == 1, s.p, "P window {i} lane {l}");
-                assert_eq!((words[i].g >> l) & 1 == 1, s.g, "G window {i} lane {l}");
-                assert_eq!((words[i].gp >> l) & 1 == 1, s.gp, "GP window {i} lane {l}");
+                assert_eq!(words[i].p.bit(l), s.p, "P window {i} lane {l}");
+                assert_eq!(words[i].g.bit(l), s.g, "G window {i} lane {l}");
+                assert_eq!(words[i].gp.bit(l), s.gp, "GP window {i} lane {l}");
             }
         }
     }
@@ -524,19 +544,19 @@ mod tests {
         ] {
             let scsa = Scsa::new(n, k);
             let scsa2 = Scsa2::new(n, k);
-            let a = BitSlab::random(n, lanes, &mut rng);
-            let b = BitSlab::random(n, lanes, &mut rng);
+            let a = BitSlab::<DefaultWord>::random(n, lanes, &mut rng);
+            let b = BitSlab::<DefaultWord>::random(n, lanes, &mut rng);
             let one = scsa.speculate_batch(&a, &b);
             let two = scsa2.speculate_batch(&a, &b);
             for l in 0..lanes {
                 let s1 = scsa.speculate(&a.lane(l), &b.lane(l));
                 assert_eq!(one.sum.lane(l), s1.sum, "n={n} k={k} lane={l}");
-                assert_eq!((one.cout >> l) & 1 == 1, s1.cout);
+                assert_eq!(one.cout.bit(l), s1.cout);
                 let s2 = scsa2.speculate(&a.lane(l), &b.lane(l));
                 assert_eq!(two.sum0.lane(l), s2.sum0);
                 assert_eq!(two.sum1.lane(l), s2.sum1);
-                assert_eq!((two.cout0 >> l) & 1 == 1, s2.cout0);
-                assert_eq!((two.cout1 >> l) & 1 == 1, s2.cout1);
+                assert_eq!(two.cout0.bit(l), s2.cout0);
+                assert_eq!(two.cout1.bit(l), s2.cout1);
             }
         }
     }
@@ -553,9 +573,9 @@ mod tests {
             for l in 0..64 {
                 let scalar = adder.add(&a.lane(l), &b.lane(l));
                 assert_eq!(out.sum.lane(l), scalar.sum);
-                assert_eq!((out.cout >> l) & 1 == 1, scalar.cout);
+                assert_eq!(out.cout.bit(l), scalar.cout);
                 assert_eq!(out.cycles(l), scalar.cycles);
-                assert_eq!((out.flagged >> l) & 1 == 1, scalar.flagged);
+                assert_eq!(out.flagged.bit(l), scalar.flagged);
             }
         }
         assert!(stalls > 0, "k=6 must stall in 6400 uniform trials");
@@ -579,15 +599,15 @@ mod tests {
                 // The word detectors agree with the scalar selection.
                 let sel = detect::select(&adder.scsa2().window_pg(&a.lane(l), &b.lane(l)));
                 match sel {
-                    Selection::Spec0 => assert_eq!((err0 >> l) & 1, 0),
+                    Selection::Spec0 => assert!(!err0.bit(l)),
                     Selection::Spec1 => {
-                        assert_eq!((err0 >> l) & 1, 1);
-                        assert_eq!((err1 >> l) & 1, 0);
+                        assert!(err0.bit(l));
+                        assert!(!err1.bit(l));
                         spec1_lanes += 1;
                     }
                     Selection::Recover => {
-                        assert_eq!((err0 >> l) & 1, 1);
-                        assert_eq!((err1 >> l) & 1, 1);
+                        assert!(err0.bit(l));
+                        assert!(err1.bit(l));
                         recover_lanes += 1;
                     }
                 }
@@ -601,8 +621,8 @@ mod tests {
     fn single_lane_batch() {
         let adder = Vlcsa1::new(40, 40);
         let mut rng = Xoshiro256::seed_from_u64(3);
-        let a = BitSlab::random(40, 1, &mut rng);
-        let b = BitSlab::random(40, 1, &mut rng);
+        let a = BitSlab::<DefaultWord>::random(40, 1, &mut rng);
+        let b = BitSlab::<DefaultWord>::random(40, 1, &mut rng);
         let out = adder.add_batch(&a, &b);
         assert_eq!(out.lanes(), 1);
         assert_eq!(out.sum.lane(0), a.lane(0).wrapping_add(&b.lane(0)));

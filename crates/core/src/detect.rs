@@ -12,6 +12,8 @@
 //!   When `ERR0 = 1` but `ERR1 = 0`, the offending chain runs to the MSB
 //!   and the second speculative result `S*,1` is exact (Ch. 6.6).
 
+use bitnum::batch::Word;
+
 use crate::batch::WindowPgWords;
 use crate::scsa::WindowPg;
 
@@ -34,24 +36,27 @@ pub fn err1(windows: &[WindowPg]) -> bool {
     windows.len() >= 3 && windows[1..].windows(2).any(|w| w[0].p && !w[1].p)
 }
 
-/// Vectorized `ERR0`: evaluates [`err0`] for up to 64 lanes at once on the
-/// batched group-signal words — one AND + OR per window pair.
+/// Vectorized `ERR0`: evaluates [`err0`] for a whole lane word at once on
+/// the batched group-signal words — one AND + OR per window pair,
+/// whatever the lane word width.
 ///
 /// ```
-/// use bitnum::batch::BitSlab;
+/// use bitnum::batch::{BitSlab, Word};
 /// use bitnum::UBig;
 /// use vlcsa::{detect, Scsa};
 ///
 /// let scsa = Scsa::new(32, 8);
 /// // Lane 1 is the classic error pattern (generate then full propagate);
 /// // lane 0 is carry-free.
-/// let a = BitSlab::from_lanes(&[UBig::from_u128(1, 32), UBig::from_u128(0xff80, 32)]);
+/// let a: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(1, 32), UBig::from_u128(0xff80, 32)]);
 /// let b = BitSlab::from_lanes(&[UBig::from_u128(2, 32), UBig::from_u128(0x0080, 32)]);
 /// let err = detect::err0_word(&scsa.window_pg_batch(&a, &b));
-/// assert_eq!(err, 0b10);
+/// assert_eq!(err.limb(0), 0b10);
 /// ```
-pub fn err0_word(windows: &[WindowPgWords]) -> u64 {
-    windows.windows(2).fold(0, |acc, w| acc | (w[0].g & w[1].p))
+pub fn err0_word<W: Word>(windows: &[WindowPgWords<W>]) -> W {
+    windows
+        .windows(2)
+        .fold(W::ZERO, |acc, w| acc | (w[0].g & w[1].p))
 }
 
 /// Vectorized `ERR1`: evaluates [`err1`] per lane on the batched
@@ -59,28 +64,28 @@ pub fn err0_word(windows: &[WindowPgWords]) -> u64 {
 /// scalar detector.
 ///
 /// ```
-/// use bitnum::batch::BitSlab;
+/// use bitnum::batch::{BitSlab, Word};
 /// use bitnum::UBig;
 /// use vlcsa::{detect, Scsa2};
 ///
 /// let scsa2 = Scsa2::new(64, 13);
 /// // Small positive + small negative: the chain reaches the MSB, so ERR0
 /// // flags but ERR1 stays low and S*,1 is accepted — on every lane.
-/// let a = BitSlab::from_lanes(&vec![UBig::from_u128(100, 64); 2]);
+/// let a: BitSlab = BitSlab::from_lanes(&vec![UBig::from_u128(100, 64); 2]);
 /// let b = BitSlab::from_lanes(&vec![UBig::from_i128(-3, 64); 2]);
 /// let pgs = scsa2.window_pg_batch(&a, &b);
-/// assert_eq!(detect::err0_word(&pgs), 0b11);
-/// assert_eq!(detect::err1_word(&pgs), 0b00);
+/// assert_eq!(detect::err0_word(&pgs).limb(0), 0b11);
+/// assert!(detect::err1_word(&pgs).is_zero());
 /// ```
-pub fn err1_word(windows: &[WindowPgWords]) -> u64 {
+pub fn err1_word<W: Word>(windows: &[WindowPgWords<W>]) -> W {
     if windows.len() < 3 {
-        return 0;
+        return W::ZERO;
     }
     // `p` words never carry bits beyond the lane mask, so `w[0].p & !w[1].p`
-    // stays masked.
+    // stays masked — per limb.
     windows[1..]
         .windows(2)
-        .fold(0, |acc, w| acc | (w[0].p & !w[1].p))
+        .fold(W::ZERO, |acc, w| acc | (w[0].p & !w[1].p))
 }
 
 /// The VLCSA 2 selection decision (Ch. 6.7).

@@ -36,8 +36,9 @@ use std::fmt;
 
 use adders::batch::{
     BatchAdd, BatchCarrySelect, BatchCarrySkip, BatchCla, BatchCondSum, BatchPrefix, BatchRipple,
+    ScalarAdd,
 };
-use bitnum::batch::{ripple_words, BitSlab};
+use bitnum::batch::{ripple_words, BitSlab, DefaultWord, Word};
 use bitnum::UBig;
 use vlsa::engine::VlsaEngine;
 use vlsa::Vlsa;
@@ -58,8 +59,25 @@ use crate::vlcsa2::Vlcsa2;
 /// space at small widths.
 ///
 /// The trait is object-safe and `Send + Sync` so a `&dyn Engine` can be
-/// shared across the shards of [`Executor`](crate::exec::Executor).
-pub trait Engine: Send + Sync {
+/// shared across the shards of [`Executor`](crate::exec::Executor). It is
+/// generic over the slab lane word `W` ([`Word`]): every engine family
+/// implements it for both `u64` (64 lanes) and
+/// [`W256`](bitnum::batch::W256) (256 lanes, the [`DefaultWord`]), and
+/// the word-independent scalar half lives in the [`ScalarEngine`]
+/// supertrait so scalar call sites need no word annotation.
+pub trait Engine<W: Word = DefaultWord>: ScalarEngine {
+    /// Adds all lanes of `a` and `b` bit-sliced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs disagree with the engine width or with each
+    /// other's lane count.
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W>;
+}
+
+/// The word-independent half of an [`Engine`]: identity plus the scalar
+/// evaluation path with uniform latency accounting.
+pub trait ScalarEngine: Send + Sync {
     /// Short display name (e.g. `"carry-select"`, `"vlcsa1"`).
     fn name(&self) -> &'static str;
 
@@ -72,14 +90,6 @@ pub trait Engine: Send + Sync {
     ///
     /// Panics if the operand widths disagree with the engine width.
     fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome;
-
-    /// Adds all lanes of `a` and `b` bit-sliced.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slabs disagree with the engine width or with each
-    /// other's lane count.
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome;
 }
 
 /// Adapts a fixed-latency [`BatchAdd`] family to the [`Engine`] protocol:
@@ -87,7 +97,7 @@ pub trait Engine: Send + Sync {
 ///
 /// ```
 /// use adders::batch::BatchRipple;
-/// use vlcsa::engine::{Engine, FixedLatency};
+/// use vlcsa::engine::{FixedLatency, ScalarEngine};
 /// use bitnum::UBig;
 ///
 /// let engine = FixedLatency::new(BatchRipple::new(16));
@@ -100,7 +110,7 @@ pub struct FixedLatency<A> {
     inner: A,
 }
 
-impl<A: BatchAdd> FixedLatency<A> {
+impl<A: ScalarAdd> FixedLatency<A> {
     /// Wraps a batch adder family.
     pub fn new(inner: A) -> Self {
         Self { inner }
@@ -112,7 +122,7 @@ impl<A: BatchAdd> FixedLatency<A> {
     }
 }
 
-impl<A: BatchAdd + Send + Sync> Engine for FixedLatency<A> {
+impl<A: ScalarAdd + Send + Sync> ScalarEngine for FixedLatency<A> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -130,18 +140,20 @@ impl<A: BatchAdd + Send + Sync> Engine for FixedLatency<A> {
             flagged: false,
         }
     }
+}
 
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+impl<W: Word, A: BatchAdd<W> + Send + Sync> Engine<W> for FixedLatency<A> {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W> {
         let out = self.inner.add_batch(a, b);
         BatchOutcome {
             sum: out.sum,
             cout: out.cout,
-            flagged: 0,
+            flagged: W::ZERO,
         }
     }
 }
 
-impl Engine for Vlcsa1 {
+impl ScalarEngine for Vlcsa1 {
     fn name(&self) -> &'static str {
         "vlcsa1"
     }
@@ -153,13 +165,15 @@ impl Engine for Vlcsa1 {
     fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
         self.add(a, b)
     }
+}
 
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+impl<W: Word> Engine<W> for Vlcsa1 {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W> {
         Vlcsa1::add_batch(self, a, b)
     }
 }
 
-impl Engine for Vlcsa2 {
+impl ScalarEngine for Vlcsa2 {
     fn name(&self) -> &'static str {
         "vlcsa2"
     }
@@ -171,8 +185,10 @@ impl Engine for Vlcsa2 {
     fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
         self.add(a, b)
     }
+}
 
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+impl<W: Word> Engine<W> for Vlcsa2 {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W> {
         Vlcsa2::add_batch(self, a, b)
     }
 }
@@ -184,7 +200,7 @@ impl Engine for Vlcsa2 {
 ///
 /// ```
 /// use bitnum::UBig;
-/// use vlcsa::engine::{Engine, VlsaBaseline};
+/// use vlcsa::engine::{ScalarEngine, VlsaBaseline};
 ///
 /// let engine = VlsaBaseline::new(64, 17);
 /// assert_eq!(engine.name(), "vlsa");
@@ -218,36 +234,36 @@ impl VlsaBaseline {
     /// The bit-sliced VLSA detector: bit `l` of the result is lane `l`'s
     /// [`Vlsa::detect`] — a full `chain_len`-bit propagate window ending at
     /// some `i >= chain_len`, preceded by a carry-capable bit.
-    fn detect_word(&self, a: &BitSlab, b: &BitSlab) -> u64 {
+    fn detect_word<W: Word>(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> W {
         let vlsa = self.engine.vlsa();
         let (width, l) = (vlsa.width(), vlsa.chain_len());
         if l >= width {
-            return 0;
+            return W::ZERO;
         }
         // Windowed AND by span-doubling (the same sweep shape as the
         // prefix engines): after growing the span to `l`, `win[i]` is the
         // AND of `p[i-l+1..=i]` for every `i >= l-1` — O(width·log l) word
         // operations instead of the naive O(width·l) rescan per position.
-        let mut win: Vec<u64> = (0..width).map(|i| a.word(i) ^ b.word(i)).collect();
+        let mut win: Vec<W> = (0..width).map(|i| a.word(i) ^ b.word(i)).collect();
         let mut span = 1;
         while span < l {
             let step = span.min(l - span);
             // Descending, so `win[i - step]` still holds the previous
             // span's value when `win[i]` consumes it.
             for i in (step..width).rev() {
-                win[i] &= win[i - step];
+                win[i] = win[i] & win[i - step];
             }
             span += step;
         }
-        let mut flagged = 0u64;
+        let mut flagged = W::ZERO;
         for (i, &w) in win.iter().enumerate().skip(l) {
-            flagged |= w & (a.word(i - l) | b.word(i - l));
+            flagged = flagged | (w & (a.word(i - l) | b.word(i - l)));
         }
         flagged
     }
 }
 
-impl Engine for VlsaBaseline {
+impl ScalarEngine for VlsaBaseline {
     fn name(&self) -> &'static str {
         "vlsa"
     }
@@ -265,8 +281,10 @@ impl Engine for VlsaBaseline {
             flagged: out.flagged,
         }
     }
+}
 
-    fn add_batch(&self, a: &BitSlab, b: &BitSlab) -> BatchOutcome {
+impl<W: Word> Engine<W> for VlsaBaseline {
+    fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchOutcome<W> {
         let width = self.width();
         assert_eq!(a.width(), width, "operand slab width mismatch");
         assert_eq!(b.width(), width, "operand slab width mismatch");
@@ -276,7 +294,13 @@ impl Engine for VlsaBaseline {
         // detector is sound) and flagged lanes recover to the exact sum,
         // so one shared bit-sliced ripple produces every lane's result.
         let mut sum = BitSlab::zero(width, a.lanes());
-        let cout = ripple_words(a.words(), b.words(), 0, a.lane_mask(), sum.words_mut());
+        let cout = ripple_words(
+            a.words(),
+            b.words(),
+            W::ZERO,
+            a.lane_mask(),
+            sum.words_mut(),
+        );
         BatchOutcome { sum, cout, flagged }
     }
 }
@@ -310,21 +334,36 @@ impl Engine for VlsaBaseline {
 /// assert_eq!(registry.get("vlsa").unwrap().width(), 32);
 /// assert!(registry.get("no-such-engine").is_none());
 /// ```
-pub struct Registry {
+pub struct Registry<W: Word = DefaultWord> {
     width: usize,
-    engines: Vec<Box<dyn Engine>>,
+    engines: Vec<Box<dyn Engine<W>>>,
 }
 
 impl Registry {
-    /// Builds the full registry at a width, using each family's default
-    /// parameters (see the table above).
+    /// Builds the full registry at a width over the [`DefaultWord`] slab
+    /// word, using each family's default parameters (see the table above).
+    /// This is the constructor the benches and the serve front-end use, so
+    /// the default word choice is made in exactly one place.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
     pub fn for_width(width: usize) -> Self {
+        Self::for_width_word(width)
+    }
+}
+
+impl<W: Word> Registry<W> {
+    /// Builds the full registry at a width over an explicit slab word `W`
+    /// — `Registry::<u64>::for_width_word(n)` is the 64-lane registry the
+    /// word-equivalence suites compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`].
+    pub fn for_width_word(width: usize) -> Self {
         let block = (width as f64).sqrt().ceil() as usize;
-        let engines: Vec<Box<dyn Engine>> = vec![
+        let engines: Vec<Box<dyn Engine<W>>> = vec![
             Box::new(FixedLatency::new(BatchRipple::new(width))),
             Box::new(FixedLatency::new(BatchCla::new(width))),
             Box::new(FixedLatency::new(BatchCarrySelect::new(width, block))),
@@ -344,12 +383,12 @@ impl Registry {
     }
 
     /// All engines, in the table's order.
-    pub fn engines(&self) -> &[Box<dyn Engine>] {
+    pub fn engines(&self) -> &[Box<dyn Engine<W>>] {
         &self.engines
     }
 
     /// Looks an engine up by display name.
-    pub fn get(&self, name: &str) -> Option<&dyn Engine> {
+    pub fn get(&self, name: &str) -> Option<&dyn Engine<W>> {
         self.engines
             .iter()
             .find(|e| e.name() == name)
@@ -375,7 +414,7 @@ impl Registry {
     /// # Errors
     ///
     /// Returns [`EngineLookupError`] when no engine is named `name`.
-    pub fn lookup(&self, name: &str) -> Result<&dyn Engine, EngineLookupError> {
+    pub fn lookup(&self, name: &str) -> Result<&dyn Engine<W>, EngineLookupError> {
         self.get(name).ok_or_else(|| EngineLookupError {
             requested: name.to_string(),
             known: self.names(),
@@ -471,7 +510,7 @@ mod tests {
                     let (al, bl) = (a.lane(l), b.lane(l));
                     let (exact, exact_cout) = al.overflowing_add(&bl);
                     assert_eq!(out.sum.lane(l), exact, "{} width {width}", engine.name());
-                    assert_eq!((out.cout >> l) & 1 == 1, exact_cout, "{}", engine.name());
+                    assert_eq!(out.cout.bit(l), exact_cout, "{}", engine.name());
                     let one = engine.add_one(&al, &bl);
                     assert_eq!(one.sum, exact, "{} scalar", engine.name());
                     assert_eq!(one.cout, exact_cout);
@@ -505,7 +544,7 @@ mod tests {
                 for lane in 0..64 {
                     let scalar = engine.add_one(&a.lane(lane), &b.lane(lane));
                     assert_eq!(
-                        (out.flagged >> lane) & 1 == 1,
+                        out.flagged.bit(lane),
                         scalar.flagged,
                         "width={width} l={l} lane={lane}"
                     );

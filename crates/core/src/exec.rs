@@ -1,8 +1,9 @@
 //! Sharded multi-core execution of any [`Engine`] over a [`WideSlab`]
 //! workload.
 //!
-//! The bit-sliced kernels process 64 lanes per word operation on one
-//! thread; this module scales them across cores. A [`WideSlab`] workload
+//! The bit-sliced kernels process one lane word (64 or 256 lanes, see
+//! [`Word`]) per word operation on one thread; this module scales them
+//! across cores. A [`WideSlab`] workload
 //! is split into contiguous per-thread shards of whole chunks, each shard
 //! runs the engine's `add_batch` chunk by chunk on its own scoped thread
 //! (`std::thread::scope` — no extra dependencies, no detached threads),
@@ -28,7 +29,7 @@
 //! assert_eq!(out.sum.lane(137), a.lane(137).wrapping_add(&b.lane(137)));
 //! ```
 
-use bitnum::batch::{WideSlab, MAX_LANES};
+use bitnum::batch::{DefaultWord, WideSlab, Word};
 
 use crate::batch::BatchOutcome;
 use crate::engine::Engine;
@@ -36,21 +37,21 @@ use crate::engine::Engine;
 /// The merged outcome of one sharded wide addition: exact sums for every
 /// lane plus per-chunk carry-out and stall words.
 ///
-/// Lane `l` of the workload lives in chunk `l / MAX_LANES` at bit
-/// `l % MAX_LANES` of that chunk's words — the same addressing as
+/// Lane `l` of the workload lives in chunk `l / W::LANES` at bit
+/// `l % W::LANES` of that chunk's words — the same addressing as
 /// [`WideSlab`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WideOutcome {
+pub struct WideOutcome<W: Word = DefaultWord> {
     /// The (always exact) sums.
-    pub sum: WideSlab,
+    pub sum: WideSlab<W>,
     /// Per-chunk carry-out words, chunk 0 first.
-    pub cout: Vec<u64>,
+    pub cout: Vec<W>,
     /// Per-chunk stall words: bit `l` of word `c` set iff lane
-    /// `c * MAX_LANES + l` took the 2-cycle recovery path.
-    pub flagged: Vec<u64>,
+    /// `c * W::LANES + l` took the 2-cycle recovery path.
+    pub flagged: Vec<W>,
 }
 
-impl WideOutcome {
+impl<W: Word> WideOutcome<W> {
     /// Number of lanes in the workload.
     pub fn lanes(&self) -> usize {
         self.sum.lanes()
@@ -63,7 +64,7 @@ impl WideOutcome {
     /// Panics if `l >= lanes()`.
     pub fn cout(&self, l: usize) -> bool {
         assert!(l < self.lanes(), "lane {l} out of range");
-        (self.cout[l / MAX_LANES] >> (l % MAX_LANES)) & 1 == 1
+        self.cout[l / W::LANES].bit(l % W::LANES)
     }
 
     /// Cycles lane `l` consumed: 1 (speculation accepted) or 2 (recovery).
@@ -73,12 +74,15 @@ impl WideOutcome {
     /// Panics if `l >= lanes()`.
     pub fn cycles(&self, l: usize) -> u8 {
         assert!(l < self.lanes(), "lane {l} out of range");
-        1 + ((self.flagged[l / MAX_LANES] >> (l % MAX_LANES)) & 1) as u8
+        1 + self.flagged[l / W::LANES].bit(l % W::LANES) as u8
     }
 
     /// Number of lanes that stalled for recovery.
     pub fn stalls(&self) -> u64 {
-        self.flagged.iter().map(|w| u64::from(w.count_ones())).sum()
+        self.flagged
+            .iter()
+            .map(|&w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// Total cycles across all lanes (`lanes + stalls`).
@@ -135,8 +139,8 @@ impl Executor {
     /// thread count, including 1.
     ///
     /// Threads are spawned only when there is enough work for more than
-    /// one shard: a single-chunk workload (≤ 64 lanes) always runs inline
-    /// on the calling thread. The zero-lane case cannot reach here at all —
+    /// one shard: a single-chunk workload (at most one lane word's worth
+    /// of lanes) always runs inline on the calling thread. The zero-lane case cannot reach here at all —
     /// [`WideSlab`] holds at least one lane, and a batching window that
     /// expires with no requests drains to no groups
     /// ([`GroupBuilder::drain`](crate::group::GroupBuilder::drain) returns
@@ -147,12 +151,17 @@ impl Executor {
     ///
     /// Panics if the slabs disagree with the engine width or with each
     /// other's lane count.
-    pub fn run(&self, engine: &dyn Engine, a: &WideSlab, b: &WideSlab) -> WideOutcome {
+    pub fn run<W: Word>(
+        &self,
+        engine: &dyn Engine<W>,
+        a: &WideSlab<W>,
+        b: &WideSlab<W>,
+    ) -> WideOutcome<W> {
         assert_eq!(a.width(), engine.width(), "operand slab width mismatch");
         assert_eq!(b.width(), engine.width(), "operand slab width mismatch");
         assert_eq!(a.lanes(), b.lanes(), "operand slab lane count mismatch");
         let chunk_count = a.chunks().len();
-        let mut outcomes: Vec<Option<BatchOutcome>> = vec![None; chunk_count];
+        let mut outcomes: Vec<Option<BatchOutcome<W>>> = vec![None; chunk_count];
         let workers = self.threads.min(chunk_count);
         if workers <= 1 {
             for (slot, (ca, cb)) in outcomes.iter_mut().zip(a.chunks().iter().zip(b.chunks())) {

@@ -23,7 +23,7 @@
 //! use bitnum::UBig;
 //! use vlcsa::group::GroupBuilder;
 //!
-//! let mut builder = GroupBuilder::new();
+//! let mut builder: GroupBuilder<&str> = GroupBuilder::new();
 //! builder.push("ripple", UBig::from_u128(1, 8), UBig::from_u128(2, 8), "r0");
 //! builder.push("vlcsa1", UBig::from_u128(3, 16), UBig::from_u128(4, 16), "v0");
 //! builder.push("ripple", UBig::from_u128(5, 8), UBig::from_u128(6, 8), "r1");
@@ -35,7 +35,7 @@
 //! assert!(builder.is_empty());
 //! ```
 
-use bitnum::batch::WideSlab;
+use bitnum::batch::{DefaultWord, WideSlab, Word};
 use bitnum::UBig;
 
 /// One homogeneous issue group ready for
@@ -43,20 +43,20 @@ use bitnum::UBig;
 /// engine and width, and `tags[l]` is the caller's routing token for lane
 /// `l` of the outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IssueGroup<T> {
+pub struct IssueGroup<T, W: Word = DefaultWord> {
     /// The engine name every lane of this group asked for.
     pub engine: String,
     /// The operand width every lane of this group asked for.
     pub width: usize,
     /// First operands, lane `l` = the `l`-th request of this bucket.
-    pub a: WideSlab,
+    pub a: WideSlab<W>,
     /// Second operands, aligned with `a`.
-    pub b: WideSlab,
+    pub b: WideSlab<W>,
     /// Per-lane routing tokens, aligned with the slabs.
     pub tags: Vec<T>,
 }
 
-impl<T> IssueGroup<T> {
+impl<T, W: Word> IssueGroup<T, W> {
     /// Number of lanes (requests) in the group.
     pub fn lanes(&self) -> usize {
         self.tags.len()
@@ -81,17 +81,19 @@ struct Bucket<T> {
 /// within a group (lane `l` is the bucket's `l`-th request), so draining is
 /// deterministic for any interleaving of pushes.
 #[derive(Debug)]
-pub struct GroupBuilder<T> {
+pub struct GroupBuilder<T, W: Word = DefaultWord> {
     buckets: Vec<Bucket<T>>,
     lanes: usize,
+    _word: std::marker::PhantomData<W>,
 }
 
-impl<T> GroupBuilder<T> {
+impl<T, W: Word> GroupBuilder<T, W> {
     /// Creates an empty builder.
     pub fn new() -> Self {
         Self {
             buckets: Vec::new(),
             lanes: 0,
+            _word: std::marker::PhantomData,
         }
     }
 
@@ -143,7 +145,7 @@ impl<T> GroupBuilder<T> {
     /// Transposes every bucket into an [`IssueGroup`] and resets the
     /// builder. An empty builder drains to an empty vector — the 0-request
     /// window expiry costs nothing and must never reach an executor.
-    pub fn drain(&mut self) -> Vec<IssueGroup<T>> {
+    pub fn drain(&mut self) -> Vec<IssueGroup<T, W>> {
         self.lanes = 0;
         std::mem::take(&mut self.buckets)
             .into_iter()
@@ -158,7 +160,7 @@ impl<T> GroupBuilder<T> {
     }
 }
 
-impl<T> Default for GroupBuilder<T> {
+impl<T, W: Word> Default for GroupBuilder<T, W> {
     fn default() -> Self {
         Self::new()
     }
@@ -189,7 +191,7 @@ mod tests {
     #[test]
     fn buckets_preserve_arrival_order_and_lane_mapping() {
         let mut rng = Xoshiro256::seed_from_u64(21);
-        let mut builder = GroupBuilder::new();
+        let mut builder: GroupBuilder<usize> = GroupBuilder::new();
         // 150 requests round-robined over three buckets, two of which share
         // a name but not a width — groups must not merge across widths, and
         // the 50-lane buckets exercise partial (<64-lane) chunks.
@@ -249,6 +251,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "operand width mismatch")]
     fn mismatched_operand_widths_panic() {
-        GroupBuilder::new().push("ripple", UBig::zero(8), UBig::zero(16), ());
+        GroupBuilder::<(), bitnum::batch::DefaultWord>::new().push(
+            "ripple",
+            UBig::zero(8),
+            UBig::zero(16),
+            (),
+        );
     }
 }

@@ -28,7 +28,7 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 
 use bitnum::UBig;
 
-use crate::protocol::{format_add, parse_response, RequestError, Response};
+use crate::protocol::{format_add, parse_response, RequestError, Response, StatsReport};
 
 /// One successful `ADD` answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,8 +163,8 @@ impl Client {
                 sum, cout, cycles, ..
             } => Ok((seq, Ok(AddResponse { sum, cout, cycles }))),
             Response::Err(err) => Ok((seq, Err(err))),
-            Response::Engines(_) => Err(ClientError::Protocol(
-                "ENGINES response while waiting for ADD".into(),
+            Response::Engines(_) | Response::Stats(_) => Err(ClientError::Protocol(
+                "non-ADD response while waiting for ADD".into(),
             )),
         }
     }
@@ -201,6 +201,24 @@ impl Client {
             Response::Engines(names) => Ok(names),
             other => Err(ClientError::Protocol(format!(
                 "expected ENGINES response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server for its live counters — queue depth, batching
+    /// window occupancy, slab word width and per-engine stall totals.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unparseable reply. Call with no
+    /// in-flight requests — an `OK` arriving first is a protocol error.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        self.writer.write_all(b"STATS\n")?;
+        let line = self.read_line()?;
+        match parse_response(&line, 1).map_err(ClientError::Protocol)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "expected STATS response, got {other:?}"
             ))),
         }
     }

@@ -55,6 +55,6 @@ pub mod server;
 pub mod service;
 
 pub use client::{AddResponse, Client, ClientError};
-pub use protocol::{ErrorCode, Request, RequestError, Response};
+pub use protocol::{EngineStats, ErrorCode, Request, RequestError, Response, StatsReport};
 pub use server::Server;
 pub use service::{AddResult, RegistryCache, ServeConfig, Service, SubmitError};

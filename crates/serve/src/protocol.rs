@@ -12,12 +12,20 @@
 //! client → server
 //!   ADD <seq> <engine> <width> <a-hex> <b-hex>    one addition request
 //!   ENGINES                                       list known engine names
+//!   STATS                                         service counters snapshot
 //!
 //! server → client
 //!   OK <seq> <sum-hex> <cout:0|1> <cycles>        the lane's exact result
 //!   ERR <seq> <code> <message…>                   per-request failure
 //!   ENGINES <name> <name> …                       the registry's names
+//!   STATS <k>=<v> … engine=<name>:<lanes>:<stalls> …   one-line snapshot
 //! ```
+//!
+//! `STATS` answers with a **single line** of `key=value` tokens — queue
+//! depth, batching-window occupancy (pending lanes and the window bound),
+//! the slab word width — followed by one `engine=<name>:<lanes>:<stalls>`
+//! token per engine that has served traffic, from which per-engine stall
+//! rates derive (`stalls / lanes`).
 //!
 //! A malformed line that does not yield a sequence number is answered with
 //! `ERR 0 bad-request …`; protocol errors never drop the connection.
@@ -63,6 +71,8 @@ pub enum Request {
     },
     /// `ENGINES` — list the registry's engine names.
     Engines,
+    /// `STATS` — snapshot the service counters.
+    Stats,
 }
 
 /// Machine-readable failure classes of an `ERR` response.
@@ -152,6 +162,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 format!("ENGINES takes no arguments, got `{extra}`"),
             )),
         },
+        Some("STATS") => match tokens.next() {
+            None => Ok(Request::Stats),
+            Some(extra) => Err(RequestError::new(
+                0,
+                ErrorCode::BadRequest,
+                format!("STATS takes no arguments, got `{extra}`"),
+            )),
+        },
         Some("ADD") => {
             let seq = tokens
                 .next()
@@ -218,6 +236,62 @@ pub fn format_add(seq: u64, engine: &str, a: &UBig, b: &UBig) -> String {
     format!("ADD {seq} {engine} {} {a:x} {b:x}", a.width())
 }
 
+/// Lifetime lane/stall counters of one engine, as served traffic saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Engine display name.
+    pub name: String,
+    /// Lanes (requests) this engine has answered.
+    pub lanes: u64,
+    /// Lanes that took the 2-cycle recovery path.
+    pub stalls: u64,
+}
+
+impl EngineStats {
+    /// Fraction of served lanes that stalled (0 when nothing served).
+    pub fn stall_rate(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / self.lanes as f64
+        }
+    }
+}
+
+/// The `STATS` snapshot: queue depth, batching-window occupancy, the slab
+/// word width, and per-engine stall counters — everything the single
+/// response line carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Requests currently queued ahead of the batcher.
+    pub queue_depth: usize,
+    /// Lanes pending in the open batching window.
+    pub window_lanes: usize,
+    /// The window's flush bound (`ServeConfig::max_lanes`).
+    pub max_lanes: usize,
+    /// Lane width of the slab word the engines run on (64 or 256).
+    pub word_bits: usize,
+    /// Per-engine counters, in first-served order.
+    pub engines: Vec<EngineStats>,
+}
+
+impl StatsReport {
+    /// Batching-window occupancy: pending lanes over the flush bound
+    /// (0 when the bound is unknown, rather than NaN).
+    pub fn window_occupancy(&self) -> f64 {
+        if self.max_lanes == 0 {
+            0.0
+        } else {
+            self.window_lanes as f64 / self.max_lanes as f64
+        }
+    }
+
+    /// The counters of one engine, if it has served traffic.
+    pub fn engine(&self, name: &str) -> Option<&EngineStats> {
+        self.engines.iter().find(|e| e.name == name)
+    }
+}
+
 /// One parsed server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -236,6 +310,8 @@ pub enum Response {
     Err(RequestError),
     /// `ENGINES <name> …`.
     Engines(Vec<String>),
+    /// `STATS <k>=<v> …` — the one-line counters snapshot.
+    Stats(StatsReport),
 }
 
 /// Formats a response line (no trailing newline). `Ok` needs no width on
@@ -254,6 +330,16 @@ pub fn format_response(response: &Response) -> String {
             for name in names {
                 line.push(' ');
                 line.push_str(name);
+            }
+            line
+        }
+        Response::Stats(stats) => {
+            let mut line = format!(
+                "STATS queue_depth={} window_lanes={} max_lanes={} word_bits={}",
+                stats.queue_depth, stats.window_lanes, stats.max_lanes, stats.word_bits
+            );
+            for e in &stats.engines {
+                line.push_str(&format!(" engine={}:{}:{}", e.name, e.lanes, e.stalls));
             }
             line
         }
@@ -305,6 +391,69 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
             Ok(Response::Err(RequestError { seq, code, message }))
         }
         Some("ENGINES") => Ok(Response::Engines(tokens.map(str::to_string).collect())),
+        Some("STATS") => {
+            let mut stats = StatsReport {
+                queue_depth: 0,
+                window_lanes: 0,
+                max_lanes: 0,
+                word_bits: 0,
+                engines: Vec::new(),
+            };
+            // Every scalar key is mandatory: a truncated line must fail
+            // loudly, not parse as an idle snapshot.
+            let (mut have_queue, mut have_window, mut have_max, mut have_word) =
+                (false, false, false, false);
+            for token in tokens {
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("STATS token `{token}` is not key=value"))?;
+                let number = |v: &str| v.parse::<usize>().map_err(|e| format!("STATS {key}: {e}"));
+                match key {
+                    "queue_depth" => {
+                        stats.queue_depth = number(value)?;
+                        have_queue = true;
+                    }
+                    "window_lanes" => {
+                        stats.window_lanes = number(value)?;
+                        have_window = true;
+                    }
+                    "max_lanes" => {
+                        stats.max_lanes = number(value)?;
+                        have_max = true;
+                    }
+                    "word_bits" => {
+                        stats.word_bits = number(value)?;
+                        have_word = true;
+                    }
+                    "engine" => {
+                        let mut parts = value.split(':');
+                        let name = parts
+                            .next()
+                            .filter(|n| !n.is_empty())
+                            .ok_or_else(|| format!("STATS engine `{value}` has no name"))?;
+                        let count = |part: Option<&str>| {
+                            part.and_then(|p| p.parse::<u64>().ok())
+                                .ok_or_else(|| format!("STATS engine `{value}` is malformed"))
+                        };
+                        let lanes = count(parts.next())?;
+                        let stalls = count(parts.next())?;
+                        if parts.next().is_some() {
+                            return Err(format!("STATS engine `{value}` has trailing fields"));
+                        }
+                        stats.engines.push(EngineStats {
+                            name: name.to_string(),
+                            lanes,
+                            stalls,
+                        });
+                    }
+                    other => return Err(format!("STATS has unknown key `{other}`")),
+                }
+            }
+            if !(have_queue && have_window && have_max && have_word) {
+                return Err("STATS is missing a mandatory key".into());
+            }
+            Ok(Response::Stats(stats))
+        }
         Some(other) => Err(format!("unknown response `{other}`")),
         None => Err("empty response line".into()),
     }
@@ -388,5 +537,75 @@ mod tests {
     fn engines_request_parses() {
         assert_eq!(parse_request("ENGINES").unwrap(), Request::Engines);
         assert_eq!(parse_request("  ENGINES  ").unwrap(), Request::Engines);
+    }
+
+    #[test]
+    fn stats_request_parses() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("STATS now").err().unwrap().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn truncated_stats_response_fails_not_parses_as_idle() {
+        // A bare or partial STATS line must be a protocol error — an
+        // all-zero report is indistinguishable from an idle server.
+        for line in [
+            "STATS",
+            "STATS queue_depth=0",
+            "STATS queue_depth=0 window_lanes=0 max_lanes=256",
+            "STATS queue_depth=0 window_lanes=0 word_bits=256 engine=ripple:1:0",
+        ] {
+            let err = parse_response(line, 1).expect_err(line);
+            assert!(err.contains("mandatory"), "{line}: {err}");
+        }
+        // And occupancy never divides by zero even on a hand-built report.
+        let zeroed = StatsReport {
+            queue_depth: 0,
+            window_lanes: 0,
+            max_lanes: 0,
+            word_bits: 0,
+            engines: Vec::new(),
+        };
+        assert_eq!(zeroed.window_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn stats_response_roundtrip_is_one_line() {
+        let stats = StatsReport {
+            queue_depth: 3,
+            window_lanes: 17,
+            max_lanes: 256,
+            word_bits: 256,
+            engines: vec![
+                EngineStats {
+                    name: "vlcsa1".into(),
+                    lanes: 1000,
+                    stalls: 251,
+                },
+                EngineStats {
+                    name: "ripple".into(),
+                    lanes: 64,
+                    stalls: 0,
+                },
+            ],
+        };
+        let line = format_response(&Response::Stats(stats.clone()));
+        assert!(!line.contains('\n'), "STATS must be a single line: {line}");
+        assert!(
+            line.starts_with("STATS queue_depth=3 window_lanes=17"),
+            "{line}"
+        );
+        assert!(line.contains("engine=vlcsa1:1000:251"), "{line}");
+        match parse_response(&line, 1).unwrap() {
+            Response::Stats(parsed) => {
+                assert_eq!(parsed, stats);
+                assert!((parsed.engine("vlcsa1").unwrap().stall_rate() - 0.251).abs() < 1e-12);
+                assert!((parsed.window_occupancy() - 17.0 / 256.0).abs() < 1e-12);
+            }
+            other => panic!("parsed {other:?}"),
+        }
     }
 }

@@ -100,6 +100,9 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 let names = names.into_iter().map(str::to_string).collect();
                 write_line(&writer, &Response::Engines(names));
             }
+            Ok(Request::Stats) => {
+                write_line(&writer, &Response::Stats(service.stats()));
+            }
             Ok(Request::Add {
                 seq,
                 engine,

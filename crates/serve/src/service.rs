@@ -42,16 +42,18 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bitnum::batch::{DefaultWord, Word};
 use bitnum::UBig;
 use vlcsa::engine::{EngineLookupError, Registry};
 use vlcsa::exec::Executor;
 use vlcsa::group::GroupBuilder;
 
-use crate::protocol::WIDTH_RANGE;
+use crate::protocol::{EngineStats, StatsReport, WIDTH_RANGE};
 use crate::queue::{PopResult, Queue};
 
 /// Tuning knobs of the service core.
@@ -175,10 +177,42 @@ impl Default for RegistryCache {
     }
 }
 
+/// Live service counters behind the in-band `STATS` command. The batcher
+/// publishes its window occupancy after every push/drain; workers add each
+/// completed group's lane and stall counts under the group's engine name.
+struct Metrics {
+    /// Lanes pending in the currently-open batching window.
+    window_lanes: AtomicUsize,
+    /// `(engine, lanes_served, lanes_stalled)`, in first-served order.
+    engines: Mutex<Vec<(String, u64, u64)>>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Self {
+            window_lanes: AtomicUsize::new(0),
+            engines: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record_group(&self, engine: &str, lanes: u64, stalls: u64) {
+        let mut engines = self.engines.lock().expect("metrics lock");
+        match engines.iter_mut().find(|(name, _, _)| name == engine) {
+            Some((_, total, stalled)) => {
+                *total += lanes;
+                *stalled += stalls;
+            }
+            None => engines.push((engine.to_string(), lanes, stalls)),
+        }
+    }
+}
+
 /// The running service core — see the module docs for the pipeline shape.
 pub struct Service {
     requests: Arc<Queue<Job>>,
     registries: Arc<RegistryCache>,
+    metrics: Arc<Metrics>,
+    max_lanes: usize,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -201,21 +235,29 @@ impl Service {
         let groups: Arc<Queue<vlcsa::group::IssueGroup<Reply>>> =
             Arc::new(Queue::new(config.workers * 2));
         let registries = Arc::new(RegistryCache::new());
+        let metrics = Arc::new(Metrics::new());
         let mut threads = Vec::with_capacity(config.workers + 1);
 
         let batcher = {
             let requests = Arc::clone(&requests);
             let groups = Arc::clone(&groups);
+            let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || {
                 let mut builder: GroupBuilder<Reply> = GroupBuilder::new();
                 'accept: while let Some(first) = requests.pop() {
                     builder.push(&first.engine, first.a, first.b, first.reply);
+                    metrics
+                        .window_lanes
+                        .store(builder.lanes(), Ordering::Relaxed);
                     let deadline = Instant::now() + config.max_wait;
                     let mut open = true;
                     while builder.lanes() < config.max_lanes {
                         match requests.pop_deadline(deadline) {
                             PopResult::Item(job) => {
                                 builder.push(&job.engine, job.a, job.b, job.reply);
+                                metrics
+                                    .window_lanes
+                                    .store(builder.lanes(), Ordering::Relaxed);
                             }
                             PopResult::TimedOut => break,
                             PopResult::Closed => {
@@ -224,7 +266,9 @@ impl Service {
                             }
                         }
                     }
-                    for group in builder.drain() {
+                    let drained = builder.drain();
+                    metrics.window_lanes.store(0, Ordering::Relaxed);
+                    for group in drained {
                         if groups.push(group).is_err() {
                             break 'accept;
                         }
@@ -241,6 +285,7 @@ impl Service {
         for _ in 0..config.workers {
             let groups = Arc::clone(&groups);
             let registries = Arc::clone(&registries);
+            let metrics = Arc::clone(&metrics);
             let executor = Executor::new(config.exec_threads);
             threads.push(std::thread::spawn(move || {
                 while let Some(group) = groups.pop() {
@@ -249,6 +294,7 @@ impl Service {
                         .lookup(&group.engine)
                         .expect("engine validated at submit time");
                     let out = executor.run(engine, &group.a, &group.b);
+                    metrics.record_group(&group.engine, out.lanes() as u64, out.stalls());
                     for (l, reply) in group.tags.into_iter().enumerate() {
                         reply(AddResult {
                             sum: out.sum.lane(l),
@@ -263,7 +309,39 @@ impl Service {
         Self {
             requests,
             registries,
+            metrics,
+            max_lanes: config.max_lanes,
             threads,
+        }
+    }
+
+    /// Snapshots the live counters the in-band `STATS` command reports:
+    /// queue depth, batching-window occupancy, the slab word width, and
+    /// per-engine served-lane/stall totals.
+    ///
+    /// The snapshot is advisory, not transactional: the queue depth and
+    /// window occupancy move while it is taken. Engine totals are exact —
+    /// a group's lanes and stalls are recorded by the worker that ran it,
+    /// before its replies fire.
+    pub fn stats(&self) -> StatsReport {
+        let engines = self
+            .metrics
+            .engines
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, lanes, stalls)| EngineStats {
+                name: name.clone(),
+                lanes: *lanes,
+                stalls: *stalls,
+            })
+            .collect();
+        StatsReport {
+            queue_depth: self.requests.len(),
+            window_lanes: self.metrics.window_lanes.load(Ordering::Relaxed),
+            max_lanes: self.max_lanes,
+            word_bits: DefaultWord::LANES,
+            engines,
         }
     }
 

@@ -1,6 +1,6 @@
 //! The operand distributions of the paper's evaluation.
 
-use bitnum::batch::{BitSlab, WideSlab};
+use bitnum::batch::{BitSlab, DefaultWord, WideSlab, Word};
 use bitnum::rng::{RandomBits, SplitMix64, Xoshiro256};
 use bitnum::UBig;
 
@@ -155,13 +155,13 @@ impl OperandSource {
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is zero or exceeds
-    /// [`bitnum::batch::MAX_LANES`].
+    /// Panics if `lanes` is zero or exceeds the default word's
+    /// [`Word::LANES`].
     pub fn next_batch(&mut self, lanes: usize) -> (BitSlab, BitSlab) {
         assert!(
-            (1..=bitnum::batch::MAX_LANES).contains(&lanes),
+            (1..=DefaultWord::LANES).contains(&lanes),
             "lanes must be in 1..={}, got {lanes}",
-            bitnum::batch::MAX_LANES
+            DefaultWord::LANES
         );
         let mut a = Vec::with_capacity(lanes);
         let mut b = Vec::with_capacity(lanes);
@@ -174,8 +174,8 @@ impl OperandSource {
     }
 
     /// Draws the next `lanes` operand pairs as a chunked wide issue group —
-    /// [`OperandSource::next_batch`] without the 64-lane cap, drawing in
-    /// the same `next_pair` order across chunk boundaries.
+    /// [`OperandSource::next_batch`] without the per-word lane cap, drawing
+    /// in the same `next_pair` order across chunk boundaries.
     ///
     /// ```
     /// use workloads::dist::{Distribution, OperandSource};
@@ -183,7 +183,7 @@ impl OperandSource {
     /// let mut scalar = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
     /// let mut wide = OperandSource::new(Distribution::paper_gaussian(), 64, 42);
     /// let (a, b) = wide.next_wide(100);
-    /// assert_eq!(a.chunks().len(), 2);
+    /// assert_eq!(a.chunks().len(), 100usize.div_ceil(a.lanes_per_chunk()));
     /// for l in 0..100 {
     ///     let (sa, sb) = scalar.next_pair();
     ///     assert_eq!(a.lane(l), sa);
@@ -292,7 +292,7 @@ mod tests {
         let mut wide = OperandSource::new(Distribution::paper_gaussian(), 96, 19);
         let (a, b) = wide.next_wide(150);
         assert_eq!(a.lanes(), 150);
-        assert_eq!(a.chunks().len(), 3); // 64 + 64 + 22
+        assert_eq!(a.chunks().len(), 150usize.div_ceil(DefaultWord::LANES));
         for l in 0..150 {
             let (sa, sb) = scalar.next_pair();
             assert_eq!(a.lane(l), sa, "lane {l}");

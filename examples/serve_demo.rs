@@ -57,6 +57,24 @@ fn main() {
         );
     }
 
+    // The server-side view of the same accounting: one in-band STATS line
+    // with queue depth, window occupancy, the slab word width and
+    // per-engine stall totals.
+    let stats = client.stats().expect("STATS");
+    println!(
+        "\nSTATS: queue_depth={} window={}/{} word_bits={}",
+        stats.queue_depth, stats.window_lanes, stats.max_lanes, stats.word_bits
+    );
+    for e in &stats.engines {
+        println!(
+            "  {:<14} lanes={:<6} stalls={:<5} stall_rate={:.4}",
+            e.name,
+            e.lanes,
+            e.stalls,
+            e.stall_rate()
+        );
+    }
+
     // The error path is structured: a bad engine name answers with the
     // registry's names instead of dropping the connection.
     let a = UBig::from_u128(1, 64);

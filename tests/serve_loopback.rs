@@ -7,6 +7,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use bitnum::batch::Word;
 use bitnum::rng::Xoshiro256;
 use bitnum::UBig;
 use vlcsa::engine::Registry;
@@ -162,6 +163,105 @@ fn engines_command_lists_the_registry() {
         .collect();
     assert_eq!(names, expect);
     client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn stats_command_reports_queue_window_and_stall_rates() {
+    // The in-band STATS snapshot: a fresh server reports an idle queue and
+    // window; after traffic, per-engine lane totals are exact, the
+    // variable-latency engine shows its Gaussian stall rate, and the
+    // fixed-latency engine shows none. The response is a single line.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let idle = client.stats().unwrap();
+    assert_eq!(idle.queue_depth, 0);
+    assert_eq!(idle.window_lanes, 0);
+    assert_eq!(idle.max_lanes, ServeConfig::default().max_lanes);
+    assert_eq!(idle.word_bits, bitnum::batch::DefaultWord::LANES);
+    assert!(idle.engines.is_empty(), "no traffic served yet: {idle:?}");
+    assert_eq!(idle.window_occupancy(), 0.0);
+
+    const LANES: usize = 300;
+    let mut src = OperandSource::new(Distribution::paper_gaussian(), 64, 77);
+    let registry = Registry::for_width(64);
+    let mut expected_stalls = 0u64;
+    for engine in ["vlcsa1", "ripple"] {
+        for _ in 0..LANES {
+            let (a, b) = src.next_pair();
+            if registry.get(engine).unwrap().add_one(&a, &b).cycles > 1 {
+                expected_stalls += 1;
+            }
+            let seq = client.submit(engine, &a, &b).unwrap();
+            let _ = seq;
+        }
+    }
+    for _ in 0..2 * LANES {
+        client.recv().unwrap().1.unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queue_depth, 0, "all requests answered: {stats:?}");
+    let vlcsa1 = stats.engine("vlcsa1").expect("vlcsa1 served traffic");
+    let ripple = stats.engine("ripple").expect("ripple served traffic");
+    assert_eq!(vlcsa1.lanes, LANES as u64);
+    assert_eq!(ripple.lanes, LANES as u64);
+    assert_eq!(ripple.stalls, 0);
+    assert_eq!(ripple.stall_rate(), 0.0);
+    // Worker accounting equals the scalar reference exactly — the same
+    // cycle bookkeeping the OK lines carry, aggregated server-side.
+    assert_eq!(vlcsa1.stalls, expected_stalls);
+    assert!(
+        vlcsa1.stall_rate() > 0.1,
+        "Gaussian operands at k=14 stall ~25%: {stats:?}"
+    );
+
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn stats_window_occupancy_is_visible_mid_window() {
+    // With a long batching window and a max_lanes bound that is not yet
+    // reached, submitted requests sit in the open window — STATS must show
+    // them as window occupancy (or, transiently, queue depth) while they
+    // wait for the flush.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_wait: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut submitter = Client::connect(server.local_addr()).unwrap();
+    let mut prober = Client::connect(server.local_addr()).unwrap();
+    let a = UBig::from_u128(1, 64);
+    let b = UBig::from_u128(2, 64);
+    let pending = 5usize;
+    for _ in 0..pending {
+        submitter.submit("vlcsa2", &a, &b).unwrap();
+    }
+    // Wait (bounded) for the batcher to absorb the submissions into the
+    // open window, then snapshot through a second connection.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut seen = 0;
+    while Instant::now() < deadline {
+        let stats = prober.stats().unwrap();
+        seen = stats.window_lanes + stats.queue_depth;
+        if stats.window_lanes == pending {
+            assert!((stats.window_occupancy() - pending as f64 / 256.0).abs() < 1e-9);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(seen, pending, "pending requests visible through STATS");
+    for _ in 0..pending {
+        submitter.recv().unwrap().1.unwrap();
+    }
+    prober.close();
+    submitter.close();
     shutdown_within(server, Duration::from_secs(10));
 }
 

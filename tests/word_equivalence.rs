@@ -1,0 +1,156 @@
+//! Word-equivalence property suite: every registry engine computes the
+//! same function over `u64` slabs and `W256` slabs, lane for lane.
+//!
+//! The `Word` abstraction promises that widening the lane word is purely a
+//! throughput change — 4× the lanes per word operation, zero semantic
+//! drift. This suite pins that promise across the whole engine surface:
+//!
+//! * `BitSlab<u64>` vs `BitSlab<W256>` through `Engine::add_batch` for
+//!   every family `Registry` knows, at lane counts that are *not*
+//!   multiples of 64 (so the `W256` lane mask has a partial limb);
+//! * the partial-final-chunk `WideSlab` path through `Executor::run`,
+//!   where the two words chunk the same workload differently (64-lane vs
+//!   256-lane chunks) and must still merge to identical per-lane results;
+//! * per-lane carry-out, stall flag and cycle accounting, not just sums.
+
+use bitnum::batch::{BitSlab, Word, W256};
+use bitnum::UBig;
+use proptest::prelude::*;
+use vlcsa::engine::Registry;
+use vlcsa::exec::Executor;
+use workloads::dist::{Distribution, OperandSource};
+
+/// Lane counts chosen to straddle both words' chunk boundaries and leave
+/// partial final chunks: not multiples of 64, below/above 64 and 256.
+const LANE_CASES: [usize; 6] = [1, 37, 63, 65, 130, 300];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-slab path: for every registry engine, `add_batch` over a
+    /// `BitSlab<W256>` equals `add_batch` over the same lanes as
+    /// `BitSlab<u64>` chunks — sums, carry-outs and stall words.
+    #[test]
+    fn registry_engines_agree_across_words(
+        width in 1usize..150,
+        lanes in 1usize..=256,
+        seed in any::<u64>(),
+    ) {
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), width, seed);
+        let a: Vec<UBig> = (0..lanes).map(|_| src.next_operand()).collect();
+        let b: Vec<UBig> = (0..lanes).map(|_| src.next_operand()).collect();
+        let wide_a = BitSlab::<W256>::from_lanes(&a);
+        let wide_b = BitSlab::<W256>::from_lanes(&b);
+        let narrow = Registry::<u64>::for_width_word(width);
+        let wide = Registry::<W256>::for_width_word(width);
+        prop_assert_eq!(narrow.names(), wide.names());
+        for (ne, we) in narrow.engines().iter().zip(wide.engines()) {
+            let wide_out = we.add_batch(&wide_a, &wide_b);
+            for (c, chunk) in a.chunks(64).enumerate() {
+                let ca = BitSlab::<u64>::from_lanes(chunk);
+                let cb = BitSlab::<u64>::from_lanes(&b[c * 64..c * 64 + chunk.len()]);
+                let narrow_out = ne.add_batch(&ca, &cb);
+                prop_assert_eq!(
+                    wide_out.cout.limb(c), narrow_out.cout,
+                    "{} cout chunk {} width {}", ne.name(), c, width
+                );
+                prop_assert_eq!(
+                    wide_out.flagged.limb(c), narrow_out.flagged,
+                    "{} flagged chunk {} width {}", ne.name(), c, width
+                );
+                for l in 0..chunk.len() {
+                    prop_assert_eq!(
+                        wide_out.sum.lane(c * 64 + l),
+                        narrow_out.sum.lane(l),
+                        "{} sum chunk {} lane {}", ne.name(), c, l
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// WideSlab path: the sharded executor over `WideSlab<u64>` (64-lane
+/// chunks) and `WideSlab<W256>` (256-lane chunks) produces identical
+/// per-lane sums, carry-outs and cycles for every registry engine — at
+/// every thread count, including workloads whose final chunk is partial
+/// for both words.
+#[test]
+fn executor_agrees_across_words_and_thread_counts() {
+    let width = 64;
+    let narrow_registry = Registry::<u64>::for_width_word(width);
+    let wide_registry = Registry::<W256>::for_width_word(width);
+    for &lanes in &LANE_CASES {
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), width, lanes as u64);
+        let a: Vec<UBig> = (0..lanes).map(|_| src.next_operand()).collect();
+        let b: Vec<UBig> = (0..lanes).map(|_| src.next_operand()).collect();
+        let na = bitnum::batch::WideSlab::<u64>::from_lanes(&a);
+        let nb = bitnum::batch::WideSlab::<u64>::from_lanes(&b);
+        let wa = bitnum::batch::WideSlab::<W256>::from_lanes(&a);
+        let wb = bitnum::batch::WideSlab::<W256>::from_lanes(&b);
+        assert_eq!(na.lanes_per_chunk(), 64);
+        assert_eq!(wa.lanes_per_chunk(), 256);
+        for (ne, we) in narrow_registry
+            .engines()
+            .iter()
+            .zip(wide_registry.engines())
+        {
+            for threads in [1usize, 2, 4] {
+                let exec = Executor::new(threads);
+                let narrow_out = exec.run(ne.as_ref(), &na, &nb);
+                let wide_out = exec.run(we.as_ref(), &wa, &wb);
+                assert_eq!(
+                    narrow_out.stalls(),
+                    wide_out.stalls(),
+                    "{} lanes={lanes} threads={threads}",
+                    ne.name()
+                );
+                for l in 0..lanes {
+                    assert_eq!(
+                        narrow_out.sum.lane(l),
+                        wide_out.sum.lane(l),
+                        "{} sum lane {l} lanes={lanes} threads={threads}",
+                        ne.name()
+                    );
+                    assert_eq!(
+                        narrow_out.cout(l),
+                        wide_out.cout(l),
+                        "{} cout lane {l}",
+                        ne.name()
+                    );
+                    assert_eq!(
+                        narrow_out.cycles(l),
+                        wide_out.cycles(l),
+                        "{} cycles lane {l}",
+                        ne.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The default registry is the wide word (unless the build forces
+/// `vlcsa_word64`) and agrees with both explicit registries — the
+/// "Registry-visible choice" anchor: callers that never name a word get
+/// exactly the `W256` semantics pinned above.
+#[test]
+fn default_registry_matches_explicit_word() {
+    use bitnum::batch::DefaultWord;
+    let registry = Registry::for_width(64);
+    assert_eq!(
+        registry.names(),
+        Registry::<u64>::for_width_word(64).names()
+    );
+    let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 7);
+    let lanes = DefaultWord::LANES.min(97);
+    let (a, b) = src.next_batch(lanes);
+    for engine in registry.engines() {
+        let out = engine.add_batch(&a, &b);
+        for l in 0..lanes {
+            let one = engine.add_one(&a.lane(l), &b.lane(l));
+            assert_eq!(out.sum.lane(l), one.sum, "{} lane {l}", engine.name());
+            assert_eq!(out.cout.bit(l), one.cout, "{} lane {l}", engine.name());
+        }
+    }
+}
