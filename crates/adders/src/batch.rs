@@ -720,6 +720,210 @@ impl<W: Word> BatchAdd<W> for BatchPrefix {
     }
 }
 
+fn check_csa_slabs<W: Word>(a: &BitSlab<W>, b: &BitSlab<W>, c: &BitSlab<W>) {
+    check_slabs(a.width(), a, b);
+    check_slabs(a.width(), b, c);
+}
+
+/// Bit-sliced 3:2 carry-save compressor: turns three addends into two
+/// whose wrapping sum is the same, in **two word operations per bit** and
+/// with no carry propagation at all.
+///
+/// Per bit position `i` (word-parallel across all lanes):
+///
+/// * `sum[i] = a[i] ⊕ b[i] ⊕ c[i]` — the full-adder sum;
+/// * `carry[i+1] = (a[i]·b[i]) ∨ (b[i]·c[i]) ∨ (a[i]·c[i])` — the
+///   majority, weighted one position up (`carry[0] = 0`).
+///
+/// The majority out of the top bit falls outside the width and is dropped,
+/// so the invariant is modular: `sum + carry ≡ a + b + c (mod 2^width)`
+/// per lane. Because there is no carry chain, this compresses *better*
+/// bit-sliced than any carry-propagate family evaluates — which is why
+/// [`reduce_csa`] defers the single real carry-resolve to the very end.
+///
+/// ```
+/// use adders::batch::compress3;
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+///
+/// let slab = |v| -> BitSlab { BitSlab::from_lanes(&[UBig::from_u128(v, 8)]) };
+/// let (sum, carry) = compress3(&slab(100), &slab(90), &slab(80));
+/// let total = sum.lane(0).wrapping_add(&carry.lane(0));
+/// assert_eq!(total.to_u128(), Some((100 + 90 + 80) % 256));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the three slabs disagree in width or lane count.
+pub fn compress3<W: Word>(
+    a: &BitSlab<W>,
+    b: &BitSlab<W>,
+    c: &BitSlab<W>,
+) -> (BitSlab<W>, BitSlab<W>) {
+    check_csa_slabs(a, b, c);
+    let (width, lanes) = (a.width(), a.lanes());
+    let mut sum = BitSlab::zero(width, lanes);
+    let mut carry = BitSlab::zero(width, lanes);
+    let mut maj = W::ZERO; // carry[0] = 0
+    for i in 0..width {
+        let (aw, bw, cw) = (a.word(i), b.word(i), c.word(i));
+        sum.set_word(i, aw ^ bw ^ cw);
+        carry.set_word(i, maj);
+        maj = (aw & bw) | (bw & cw) | (aw & cw);
+    }
+    // The final majority word wraps out of the width: dropped (mod 2^width).
+    (sum, carry)
+}
+
+/// Scalar reference for [`compress3`]: one operand triple at a time over
+/// [`UBig`] bitwise operations. `sum + carry ≡ a + b + c (mod 2^width)`.
+///
+/// ```
+/// use adders::batch::compress3_one;
+/// use bitnum::UBig;
+///
+/// let v = |x| UBig::from_u128(x, 8);
+/// let (sum, carry) = compress3_one(&v(200), &v(100), &v(57));
+/// assert_eq!(sum.wrapping_add(&carry).to_u128(), Some(357 % 256));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn compress3_one(a: &UBig, b: &UBig, c: &UBig) -> (UBig, UBig) {
+    check_ones(a.width(), a, b);
+    check_ones(a.width(), b, c);
+    let sum = &(a ^ b) ^ c;
+    let maj = &(&(a & b) | &(b & c)) | &(a & c);
+    // shl drops the top majority bit, matching the modular invariant.
+    (sum, maj.shl(1))
+}
+
+/// Wallace-style carry-save reduction: compresses any number of addend
+/// slabs down to **two** whose wrapping sum equals the wrapping sum of all
+/// inputs, using only [`compress3`] levels — no carry is ever resolved.
+///
+/// Each level greedily feeds groups of three surviving addends through a
+/// 3:2 compressor (pass-through for a leftover one or two), shrinking the
+/// count by ⌊n/3⌋ per level exactly like a hardware Wallace tree. A single
+/// input is paired with a zero slab so the contract (`two` outputs) holds
+/// for every `n >= 1`.
+///
+/// ```
+/// use adders::batch::reduce_csa;
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+///
+/// let addends: Vec<BitSlab> = (1..=8)
+///     .map(|v| BitSlab::from_lanes(&[UBig::from_u128(v * 40, 8)]))
+///     .collect();
+/// let (x, y) = reduce_csa(&addends);
+/// // 40+80+...+320 = 1440; one real addition finishes the sum.
+/// assert_eq!(x.lane(0).wrapping_add(&y.lane(0)).to_u128(), Some(1440 % 256));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `operands` is empty or the slabs disagree in width or lane
+/// count.
+pub fn reduce_csa<W: Word>(operands: &[BitSlab<W>]) -> (BitSlab<W>, BitSlab<W>) {
+    assert!(!operands.is_empty(), "carry-save reduction of no operands");
+    let (width, lanes) = (operands[0].width(), operands[0].lanes());
+    for op in operands {
+        check_slabs(width, &operands[0], op);
+    }
+    let mut level: Vec<BitSlab<W>> = operands.to_vec();
+    while level.len() > 2 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(3) * 2);
+        let mut triples = level.chunks_exact(3);
+        for t in &mut triples {
+            let (s, c) = compress3(&t[0], &t[1], &t[2]);
+            next.push(s);
+            next.push(c);
+        }
+        next.extend_from_slice(triples.remainder());
+        level = next;
+    }
+    let y = if level.len() == 2 {
+        level.pop().expect("two survivors")
+    } else {
+        BitSlab::zero(width, lanes)
+    };
+    let x = level.pop().expect("at least one survivor");
+    (x, y)
+}
+
+/// Scalar reference for [`reduce_csa`]: reduces any number of [`UBig`]
+/// addends to a carry-save pair whose wrapping sum is the wrapping sum of
+/// all inputs. Same tree shape, one lane.
+///
+/// ```
+/// use adders::batch::reduce_csa_one;
+/// use bitnum::UBig;
+///
+/// let ops: Vec<UBig> = (1..=5).map(|v| UBig::from_u128(v, 16)).collect();
+/// let (x, y) = reduce_csa_one(&ops);
+/// assert_eq!(x.wrapping_add(&y).to_u128(), Some(15));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `operands` is empty or the widths differ.
+pub fn reduce_csa_one(operands: &[UBig]) -> (UBig, UBig) {
+    assert!(!operands.is_empty(), "carry-save reduction of no operands");
+    let width = operands[0].width();
+    for op in operands {
+        check_ones(width, &operands[0], op);
+    }
+    let mut level: Vec<UBig> = operands.to_vec();
+    while level.len() > 2 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(3) * 2);
+        let mut triples = level.chunks_exact(3);
+        for t in &mut triples {
+            let (s, c) = compress3_one(&t[0], &t[1], &t[2]);
+            next.push(s);
+            next.push(c);
+        }
+        next.extend_from_slice(triples.remainder());
+        level = next;
+    }
+    let y = if level.len() == 2 {
+        level.pop().expect("two survivors")
+    } else {
+        UBig::zero(width)
+    };
+    let x = level.pop().expect("at least one survivor");
+    (x, y)
+}
+
+/// Sums N addend slabs with **exactly one** carry-resolve: a
+/// [`reduce_csa`] Wallace tree down to two addends, then a single
+/// [`BatchAdd::add_batch`] call on whichever engine family the caller
+/// picked. The returned [`BatchSum`] is that one resolve's output, so its
+/// `sum` is the wrapping N-operand total and its `cout` is the final
+/// resolve's carry-out (the tree itself is modular and reports none).
+///
+/// ```
+/// use adders::batch::{sum_batch, BatchCarrySelect};
+/// use bitnum::batch::BitSlab;
+/// use bitnum::UBig;
+///
+/// let addends: Vec<BitSlab> = (0..4)
+///     .map(|v| BitSlab::from_lanes(&[UBig::from_u128(v + 10, 32)]))
+///     .collect();
+/// let out = sum_batch(&BatchCarrySelect::new(32, 6), &addends);
+/// assert_eq!(out.sum.lane(0).to_u128(), Some(10 + 11 + 12 + 13));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `operands` is empty, the slabs disagree in width or lane
+/// count, or their width disagrees with the engine width.
+pub fn sum_batch<W: Word>(adder: &dyn BatchAdd<W>, operands: &[BitSlab<W>]) -> BatchSum<W> {
+    let (x, y) = reduce_csa(operands);
+    adder.add_batch(&x, &y)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,5 +994,106 @@ mod tests {
     fn width_mismatch_panics() {
         let engine = BatchRipple::new(16);
         let _ = engine.add_batch(&BitSlab::<u64>::zero(8, 2), &BitSlab::<u64>::zero(8, 2));
+    }
+
+    /// Wraps an engine and counts `add_batch` calls, to pin that the
+    /// carry-save reduction resolves carries exactly once.
+    struct CountingAdd {
+        inner: BatchRipple,
+        calls: std::cell::Cell<usize>,
+    }
+
+    impl ScalarAdd for CountingAdd {
+        fn width(&self) -> usize {
+            self.inner.width()
+        }
+        fn name(&self) -> &'static str {
+            "counting-ripple"
+        }
+        fn add_one(&self, a: &UBig, b: &UBig) -> (UBig, bool) {
+            self.inner.add_one(a, b)
+        }
+    }
+
+    impl<W: Word> BatchAdd<W> for CountingAdd {
+        fn add_batch(&self, a: &BitSlab<W>, b: &BitSlab<W>) -> BatchSum<W> {
+            self.calls.set(self.calls.get() + 1);
+            self.inner.add_batch(a, b)
+        }
+    }
+
+    fn csa_reduction_matches_fold_for<W: Word>() {
+        let mut rng = Xoshiro256::seed_from_u64(35);
+        for width in [1usize, 7, 10, 64, 65, 100] {
+            for n in [1usize, 2, 3, 4, 7, 8] {
+                for lanes in [1usize, 13, W::LANES] {
+                    let addends: Vec<BitSlab<W>> = (0..n)
+                        .map(|_| BitSlab::<W>::random(width, lanes, &mut rng))
+                        .collect();
+                    let counting = CountingAdd {
+                        inner: BatchRipple::new(width),
+                        calls: std::cell::Cell::new(0),
+                    };
+                    let out = sum_batch(&counting, &addends);
+                    assert_eq!(counting.calls.get(), 1, "exactly one carry-resolve");
+                    let (x, y) = reduce_csa(&addends);
+                    for l in 0..lanes {
+                        let ops: Vec<UBig> = addends.iter().map(|s| s.lane(l)).collect();
+                        let expect = ops[1..]
+                            .iter()
+                            .fold(ops[0].clone(), |acc, o| acc.wrapping_add(o));
+                        assert_eq!(out.sum.lane(l), expect, "sum width={width} n={n} lane={l}");
+                        // The scalar tree produces the same carry-save pair.
+                        let (sx, sy) = reduce_csa_one(&ops);
+                        assert_eq!(x.lane(l), sx, "x width={width} n={n} lane={l}");
+                        assert_eq!(y.lane(l), sy, "y width={width} n={n} lane={l}");
+                        // The pair itself already carries the total.
+                        assert_eq!(sx.wrapping_add(&sy), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csa_reduction_matches_scalar_fold() {
+        csa_reduction_matches_fold_for::<u64>();
+        csa_reduction_matches_fold_for::<W256>();
+    }
+
+    #[test]
+    fn compress3_is_a_full_adder_per_bit() {
+        // Exhaustive at width 4: every (a, b, c) triple, batch vs scalar.
+        let width = 4;
+        let mut a_lanes = Vec::new();
+        let mut b_lanes = Vec::new();
+        let mut c_lanes = Vec::new();
+        for v in 0..(1u32 << (3 * width)) {
+            a_lanes.push(UBig::from_u128((v & 0xf) as u128, width));
+            b_lanes.push(UBig::from_u128(((v >> 4) & 0xf) as u128, width));
+            c_lanes.push(UBig::from_u128(((v >> 8) & 0xf) as u128, width));
+        }
+        for chunk in 0..a_lanes.len().div_ceil(64) {
+            let r = chunk * 64..((chunk + 1) * 64).min(a_lanes.len());
+            let a = BitSlab::<u64>::from_lanes(&a_lanes[r.clone()]);
+            let b = BitSlab::<u64>::from_lanes(&b_lanes[r.clone()]);
+            let c = BitSlab::<u64>::from_lanes(&c_lanes[r.clone()]);
+            let (s, k) = compress3(&a, &b, &c);
+            for l in 0..a.lanes() {
+                let (ss, sk) = compress3_one(&a.lane(l), &b.lane(l), &c.lane(l));
+                assert_eq!(s.lane(l), ss);
+                assert_eq!(k.lane(l), sk);
+                let expect = a.lane(l).wrapping_add(&b.lane(l)).wrapping_add(&c.lane(l));
+                assert_eq!(ss.wrapping_add(&sk), expect);
+                // carry[0] is structurally zero.
+                assert!(!sk.bit(0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no operands")]
+    fn empty_reduction_panics() {
+        let _ = reduce_csa::<u64>(&[]);
     }
 }

@@ -10,9 +10,11 @@
 //! 2. a recording pass that re-times each scalar/batch pair with a
 //!    best-of-3 measurement — once per slab word (`u64` = 64 lanes,
 //!    `W256` = 256 lanes) — and writes `BENCH_batch.json` at the
-//!    repository root (schema `vlcsa-bench/batch/v2`, the benchmark
+//!    repository root (schema `vlcsa-bench/batch/v3`, the benchmark
 //!    contract documented in EXPERIMENTS.md, including the ≥2× ripple
-//!    word-widening floor).
+//!    word-widening floor), together with a `multiop` row: an 8-operand
+//!    carry-save reduction (Wallace tree + one batch resolve) against the
+//!    scalar sequential fold of the same operands.
 //!
 //! `cargo bench -p vlcsa-bench --bench batch` runs both passes;
 //! `-- --smoke` (the CI mode) shrinks every budget to milliseconds and
@@ -24,6 +26,7 @@ use std::time::Duration;
 
 use vlcsa_bench::timing::ns_per_call;
 
+use adders::batch::{sum_batch, BatchRipple};
 use bitnum::batch::{BitSlab, DefaultWord, Word, W256};
 use bitnum::UBig;
 use criterion::{Criterion, Throughput};
@@ -32,6 +35,9 @@ use workloads::dist::{Distribution, OperandSource};
 
 /// Scalar-baseline operand pairs per timed call (one `u64` slab's worth).
 const SCALAR_OPS: usize = 64;
+
+/// Operand count of the multiop (carry-save reduction) row.
+const MULTIOP_N: usize = 8;
 
 /// One scalar-vs-batch comparison at one slab word width, serialized into
 /// `BENCH_batch.json`.
@@ -180,6 +186,93 @@ fn record_all(target: Duration) -> Vec<Entry> {
     entries
 }
 
+/// One multiop (8-operand carry-save reduction) measurement at one slab
+/// word width: scalar sequential fold (`MULTIOP_N − 1` dependent
+/// `add_one` resolves per reduction) vs bit-sliced Wallace reduction with
+/// exactly one `sum_batch` resolve for the whole slab.
+struct MultiopEntry {
+    word_bits: usize,
+    lanes: usize,
+    scalar_ns_per_reduction: f64,
+    batch_ns_per_reduction: f64,
+}
+
+impl MultiopEntry {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns_per_reduction / self.batch_ns_per_reduction
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"word_bits\": {}, \"lanes\": {}, ",
+                "\"scalar_ns_per_reduction\": {:.2}, ",
+                "\"batch_ns_per_reduction\": {:.2}, \"speedup\": {:.2}}}"
+            ),
+            self.word_bits,
+            self.lanes,
+            self.scalar_ns_per_reduction,
+            self.batch_ns_per_reduction,
+            self.speedup(),
+        )
+    }
+}
+
+/// Records the multiop row at width 64 on uniform operands, ripple
+/// resolve, at both slab word widths. The scalar baseline folds the same
+/// reductions through the registry's scalar ripple path.
+fn record_multiop(target: Duration) -> Vec<MultiopEntry> {
+    let width = 64;
+    let mut src = OperandSource::new(Distribution::UnsignedUniform, width, 3);
+    let columns: Vec<Vec<UBig>> = (0..MULTIOP_N)
+        .map(|_| (0..W256::LANES).map(|_| src.next_operand()).collect())
+        .collect();
+    let scalar = Registry::<u64>::for_width_word(width);
+    let scalar = scalar.get("ripple").expect("ripple registered");
+    let scalar_ns = ns_per_call(
+        || {
+            let mut cycles = 0u64;
+            for l in 0..SCALAR_OPS {
+                let mut acc = columns[0][l].clone();
+                for column in &columns[1..] {
+                    let out = scalar.add_one(&acc, &column[l]);
+                    cycles += out.cycles as u64;
+                    acc = out.sum;
+                }
+            }
+            cycles
+        },
+        target,
+    ) / SCALAR_OPS as f64;
+    let resolver = BatchRipple::new(width);
+    fn batch_side<W: Word>(
+        resolver: &BatchRipple,
+        columns: &[Vec<UBig>],
+        lanes: usize,
+        target: Duration,
+    ) -> f64 {
+        let slabs: Vec<BitSlab<W>> = columns
+            .iter()
+            .map(|c| BitSlab::from_lanes(&c[..lanes]))
+            .collect();
+        ns_per_call(|| sum_batch(resolver, &slabs).sum.width() as u64, target) / lanes as f64
+    }
+    let entry = |word_bits: usize, lanes: usize, batch_ns_per_reduction: f64| MultiopEntry {
+        word_bits,
+        lanes,
+        scalar_ns_per_reduction: scalar_ns,
+        batch_ns_per_reduction,
+    };
+    vec![
+        entry(64, 64, batch_side::<u64>(&resolver, &columns, 64, target)),
+        entry(
+            W256::LANES,
+            W256::LANES,
+            batch_side::<W256>(&resolver, &columns, W256::LANES, target),
+        ),
+    ]
+}
+
 /// The recorded word-widening win the EXPERIMENTS.md floor is about:
 /// ripple at width 64 on uniform operands, `u64` batch ns/op over `W256`
 /// batch ns/op.
@@ -226,17 +319,29 @@ fn criterion_pass(c: &mut Criterion) {
     g.finish();
 }
 
-fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> {
+fn write_json(
+    entries: &[Entry],
+    multiop: &[MultiopEntry],
+    path: &std::path::Path,
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vlcsa-bench/batch/v2\",\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/batch/v3\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench batch\",\n");
-    out.push_str("  \"units\": {\"scalar_ns_per_op\": \"ns\", \"batch_ns_per_op\": \"ns\", \"scalar_ops_per_sec\": \"additions/s\", \"batch_ops_per_sec\": \"additions/s\", \"speedup\": \"ratio\", \"word_bits\": \"slab lane-word width (= lanes per batch call)\"},\n");
+    out.push_str("  \"units\": {\"scalar_ns_per_op\": \"ns\", \"batch_ns_per_op\": \"ns\", \"scalar_ops_per_sec\": \"additions/s\", \"batch_ops_per_sec\": \"additions/s\", \"speedup\": \"ratio\", \"word_bits\": \"slab lane-word width (= lanes per batch call)\", \"scalar_ns_per_reduction\": \"ns per 8-operand sum, sequential fold\", \"batch_ns_per_reduction\": \"ns per 8-operand sum, carry-save + one resolve\"},\n");
     if let Some(improvement) = ripple64_word_improvement(entries) {
         out.push_str(&format!(
             "  \"ripple64_w256_improvement\": {improvement:.2},\n"
         ));
     }
+    out.push_str(&format!(
+        "  \"multiop\": {{\"n\": {MULTIOP_N}, \"engine\": \"ripple\", \"width\": 64, \"distribution\": \"unsigned uniform\", \"entries\": [\n"
+    ));
+    for (i, e) in multiop.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < multiop.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]},\n");
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&e.to_json());
@@ -290,12 +395,35 @@ fn main() {
              (EXPERIMENTS.md floor: >= 2x on full runs)"
         );
     }
+
+    let multiop = record_multiop(target);
+    println!(
+        "\n{:<28} {:>5} {:>5} {:>18} {:>17} {:>9}",
+        "multiop (8-operand sum)", "width", "word", "scalar ns/sum", "batch ns/sum", "speedup"
+    );
+    for e in &multiop {
+        println!(
+            "{:<28} {:>5} {:>5} {:>18.1} {:>17.2} {:>8.1}x",
+            "ripple resolve, uniform",
+            64,
+            e.word_bits,
+            e.scalar_ns_per_reduction,
+            e.batch_ns_per_reduction,
+            e.speedup()
+        );
+        assert!(
+            e.speedup() > 1.0,
+            "carry-save reduction slower than the scalar fold at word_bits {}",
+            e.word_bits
+        );
+    }
+
     if smoke {
         println!("\n--smoke: skipping BENCH_batch.json write (budgets too small to be meaningful)");
         return;
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_batch.json");
-    match write_json(&entries, &path) {
+    match write_json(&entries, &multiop, &path) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
     }

@@ -11,9 +11,17 @@
 //! recovery cycles are visible next to their fixed-latency baselines
 //! under identical traffic.
 //!
+//! The second dimension is the reduction path: the same traffic shape
+//! drives pipelined `SUM`s of [`SUM_N`] operands, where the server
+//! compresses carry-save style and resolves carries exactly once per
+//! request. Each engine's sums/s is compared against the rate the same
+//! engine completes 8-operand reductions as 8 independent `ADD`s
+//! (`adds_per_sec / 8`) — the `vs_independent_adds` ratio recorded per
+//! engine, with a ≥2× floor on full runs (EXPERIMENTS.md).
+//!
 //! Every response is verified against exact addition while it is timed;
 //! a wrong sum aborts the bench. The full run writes `BENCH_serve.json`
-//! (schema `vlcsa-bench/serve/v1`, documented in EXPERIMENTS.md).
+//! (schema `vlcsa-bench/serve/v2`, documented in EXPERIMENTS.md).
 //! `-- --smoke` (the CI loopback smoke) shrinks the op counts to
 //! milliseconds, keeps all assertions, and skips the JSON write.
 
@@ -22,13 +30,24 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use bitnum::UBig;
-use vlcsa_serve::{Client, ServeConfig, Server};
+use vlcsa_serve::{Client, Program, ServeConfig, Server};
 use workloads::dist::{Distribution, OperandSource};
 
 const WIDTH: usize = 64;
 const ENGINES: [&str; 4] = ["ripple", "carry-select", "vlcsa1", "vlcsa2"];
 const CLIENTS: usize = 4;
 const IN_FLIGHT: usize = 64;
+/// Operand count of the reduction dimension (the acceptance shape).
+const SUM_N: usize = 8;
+
+/// What each pipelined request carries.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    /// v1 `ADD`: one addition per request.
+    Add,
+    /// `SUM` of [`SUM_N`] operands: one whole reduction per request.
+    Sum,
+}
 
 /// One engine's measured service point.
 struct Point {
@@ -74,8 +93,13 @@ impl Point {
 }
 
 /// Drives `ops_per_client` verified requests per client against one
-/// engine and collects every request's latency.
-fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize) -> Point {
+/// engine and collects every request's latency. For [`Kind::Sum`] each
+/// request is a whole [`SUM_N`]-operand reduction, verified against the
+/// scalar carry-save lowering (exact sum *and* the single resolve's
+/// carry-out).
+fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize, kind: Kind) -> Point {
+    let sum_program = Program::sum(SUM_N).expect("small sum program");
+    let sum_program = &sum_program;
     let start = Instant::now();
     let worker = |c: usize| {
         let mut client = Client::connect(addr).expect("connect");
@@ -99,9 +123,21 @@ fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize) -> Poi
             if submitted_at.len() >= IN_FLIGHT {
                 drain(&mut client, &mut submitted_at, &mut latencies, &mut stalls);
             }
-            let (a, b) = src.next_pair();
-            let (sum, cout) = a.overflowing_add(&b);
-            let seq = client.submit(engine, &a, &b).expect("submit");
+            let (seq, sum, cout) = match kind {
+                Kind::Add => {
+                    let (a, b) = src.next_pair();
+                    let (sum, cout) = a.overflowing_add(&b);
+                    let seq = client.submit(engine, &a, &b).expect("submit");
+                    (seq, sum, cout)
+                }
+                Kind::Sum => {
+                    let ops: Vec<UBig> = (0..SUM_N).map(|_| src.next_operand()).collect();
+                    let (x, y) = sum_program.csa_pair_scalar(&ops);
+                    let (sum, cout) = x.overflowing_add(&y);
+                    let seq = client.submit_sum(engine, &ops).expect("submit sum");
+                    (seq, sum, cout)
+                }
+            };
             submitted_at.insert(seq, (Instant::now(), sum, cout));
         }
         while !submitted_at.is_empty() {
@@ -136,21 +172,56 @@ fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize) -> Poi
     }
 }
 
-fn write_json(points: &[Point], host_cpus: usize, path: &std::path::Path) -> std::io::Result<()> {
+fn write_json(
+    points: &[Point],
+    sum_points: &[Point],
+    host_cpus: usize,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vlcsa-bench/serve/v1\",\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/serve/v2\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench serve\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(&format!("  \"width\": {WIDTH},\n"));
     out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
     out.push_str(&format!("  \"in_flight_per_client\": {IN_FLIGHT},\n"));
     out.push_str("  \"distribution\": \"gaussian(sigma=2^24)\",\n");
-    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\"},\n");
+    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\", \"vs_independent_adds\": \"sums/s over (adds/s / n): reductions served per second vs issuing n independent ADDs\"},\n");
     out.push_str("  \"entries\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&p.to_json());
         out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"sum_n\": {SUM_N},\n"));
+    out.push_str("  \"sum_entries\": [\n");
+    for (i, p) in sum_points.iter().enumerate() {
+        let add = points
+            .iter()
+            .find(|a| a.engine == p.engine)
+            .expect("matching ADD point");
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"n\": {}, \"sums\": {}, \"sums_per_sec\": {:.0}, ",
+                "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, ",
+                "\"stall_rate\": {:.4}, \"vs_independent_adds\": {:.2}}}"
+            ),
+            p.engine,
+            SUM_N,
+            p.ops,
+            p.ops_per_sec(),
+            p.percentile_us(0.50),
+            p.percentile_us(0.95),
+            p.percentile_us(0.99),
+            p.stall_rate(),
+            p.ops_per_sec() / (add.ops_per_sec() / SUM_N as f64),
+        ));
+        out.push_str(if i + 1 < sum_points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
@@ -180,7 +251,7 @@ fn main() {
     );
     let mut points = Vec::new();
     for engine in ENGINES {
-        let point = measure(addr, engine, ops_per_client);
+        let point = measure(addr, engine, ops_per_client, Kind::Add);
         println!(
             "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4}",
             point.engine,
@@ -192,6 +263,27 @@ fn main() {
             point.stall_rate(),
         );
         points.push(point);
+    }
+
+    println!(
+        "\n{:<14} {:>8} {:>12} {:>9} {:>9} {:>9} {:>11} {:>8}",
+        "engine", "sums", "sums/s", "p50 µs", "p95 µs", "p99 µs", "stall rate", "vs 8×ADD"
+    );
+    let mut sum_points = Vec::new();
+    for (engine, add) in ENGINES.into_iter().zip(&points) {
+        let point = measure(addr, engine, ops_per_client, Kind::Sum);
+        println!(
+            "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4} {:>7.2}x",
+            point.engine,
+            point.ops,
+            point.ops_per_sec(),
+            point.percentile_us(0.50),
+            point.percentile_us(0.95),
+            point.percentile_us(0.99),
+            point.stall_rate(),
+            point.ops_per_sec() / (add.ops_per_sec() / SUM_N as f64),
+        );
+        sum_points.push(point);
     }
 
     let shutdown_started = Instant::now();
@@ -222,12 +314,35 @@ fn main() {
     );
     assert!(stall("vlcsa2") < stall("vlcsa1"));
 
+    // The reduction dimension must actually pay: one SUM request carries
+    // a whole 8-operand reduction through the batching window as a single
+    // lane, so it has to beat issuing 8 independent ADDs — by ≥2× served
+    // reductions/s on full runs (the EXPERIMENTS.md floor), and strictly
+    // at all on smoke budgets.
+    for (add, sum) in points.iter().zip(&sum_points) {
+        let ratio = sum.ops_per_sec() / (add.ops_per_sec() / SUM_N as f64);
+        assert!(
+            ratio > 1.0,
+            "{}: sum-of-{SUM_N} ({:.0}/s) slower than {SUM_N} independent adds ({:.0}/s ÷ {SUM_N})",
+            add.engine,
+            sum.ops_per_sec(),
+            add.ops_per_sec(),
+        );
+        if !smoke {
+            assert!(
+                ratio >= 2.0,
+                "{}: sum-of-{SUM_N} ratio {ratio:.2} below the 2x floor",
+                add.engine
+            );
+        }
+    }
+
     if smoke {
         println!("--smoke: skipping BENCH_serve.json write (budgets too small to be meaningful)");
         return;
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
-    match write_json(&points, host_cpus, &path) {
+    match write_json(&points, &sum_points, host_cpus, &path) {
         Ok(()) => println!("wrote {} (host_cpus = {host_cpus})", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }

@@ -1,5 +1,11 @@
-//! Carry-chain profiling experiments: Figs. 6.1–6.5.
+//! Carry-chain profiling experiments: Figs. 6.1–6.5, plus the
+//! registry-driven chained-reduction sweep (`ext.chain_engines`).
 
+use bitnum::batch::WideSlab;
+use bitnum::UBig;
+use vlcsa::engine::Registry;
+use vlcsa::exec::Executor;
+use vlcsa::program::Program;
 use workloads::chains::ChainHistogram;
 use workloads::crypto::CryptoBench;
 use workloads::dist::{Distribution, OperandSource};
@@ -90,6 +96,77 @@ pub fn fig6_5(config: &Config) -> Table {
         "bimodal: a nontrivial share of chains is as long as the adder \
             (small positive + small negative additions)",
     );
+    t
+}
+
+/// Extension: the chained N-operand reduction swept over every `Registry`
+/// family — no hand-listed engine loop; the table grows automatically
+/// when the registry does.
+///
+/// For each family and N ∈ {2, 4, 8}, the same Gaussian operand stream
+/// (the Fig. 6.5 bimodal case, where variable-latency stalls actually
+/// occur) is summed two ways: a sequential fold of N−1 dependent
+/// carry-resolves through `Engine::add_one`, and the carry-save program
+/// `Program::sum(N)` lowered by `run_csa` to a single resolve per lane.
+/// Both paths are checked against each other lane for lane, so the table
+/// doubles as an exactness sweep.
+pub fn ext_chain_engines(config: &Config) -> Table {
+    let width = 32;
+    let sums = (config.mc_samples / 100).clamp(64, 20_000);
+    let registry = Registry::for_width(width);
+    let exec = Executor::new(2);
+    let program_cache: Vec<(usize, Program)> = [2usize, 4, 8]
+        .iter()
+        .map(|&n| (n, Program::sum(n).expect("small sum program")))
+        .collect();
+    let mut t = Table::new(
+        "ext.chain_engines",
+        "Chained N-operand reduction across every engine family (32-bit, 2's-complement Gaussian)",
+        &[
+            "engine",
+            "N",
+            "fold cycles/sum",
+            "csa cycles/sum",
+            "fold/csa",
+        ],
+    );
+    for engine in registry.engines() {
+        for (n, program) in &program_cache {
+            let mut src = OperandSource::new(
+                Distribution::TwosComplementGaussian { sigma: SIGMA_32 },
+                width,
+                0x6005 + *n as u64,
+            );
+            let columns: Vec<Vec<UBig>> = (0..*n)
+                .map(|_| (0..sums).map(|_| src.next_operand()).collect())
+                .collect();
+            let wide: Vec<WideSlab> = columns.iter().map(|c| WideSlab::from_lanes(c)).collect();
+            let out = program.run_csa(engine.as_ref(), &exec, &wide);
+            let csa_total = out.total_cycles();
+            let mut fold_total = 0u64;
+            for l in 0..sums {
+                let mut acc = columns[0][l].clone();
+                for column in &columns[1..] {
+                    let one = engine.add_one(&acc, &column[l]);
+                    fold_total += u64::from(one.cycles);
+                    acc = one.sum;
+                }
+                assert_eq!(acc, out.sum.lane(l), "{} N={n} lane {l}", engine.name());
+            }
+            t.row(vec![
+                engine.name().to_string(),
+                n.to_string(),
+                format!("{:.3}", fold_total as f64 / sums as f64),
+                format!("{:.3}", csa_total as f64 / sums as f64),
+                format!("{:.2}x", fold_total as f64 / csa_total.max(1) as f64),
+            ]);
+        }
+    }
+    t.note(format!(
+        "{sums} sums per cell; the fold pays N-1 dependent resolves, the \
+            carry-save program exactly one — every family from \
+            Registry::for_width({width}) is swept"
+    ));
     t
 }
 

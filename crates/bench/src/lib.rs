@@ -190,6 +190,11 @@ pub fn registry() -> Vec<Experiment> {
             synthesis::fig7_11
         ),
         exp!(
+            "ext.chain_engines",
+            "chained N-operand reduction swept over every registry family",
+            chains::ext_chain_engines
+        ),
+        exp!(
             "ext.magnitude",
             "error magnitude: SCSA vs per-bit speculation (Sec. 3.3)",
             extensions::magnitude

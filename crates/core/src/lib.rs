@@ -54,6 +54,7 @@ pub mod model;
 pub mod multiop;
 pub mod netlist;
 pub mod pipeline;
+pub mod program;
 mod scsa;
 mod scsa2;
 mod vlcsa1;
@@ -64,6 +65,7 @@ pub use batch::{Batch2Spec, BatchOutcome, BatchSpec, WindowPgWords};
 pub use engine::{Engine, EngineLookupError, FixedLatency, Registry, VlsaBaseline};
 pub use exec::{Executor, WideOutcome};
 pub use group::{GroupBuilder, IssueGroup};
+pub use program::{Operand, Program, ProgramError, ProgramOutcome};
 pub use scsa::{Scsa, SpecResult, WindowPg};
 pub use scsa2::{Scsa2, Spec2Result};
 pub use vlcsa1::{AddOutcome, LatencyStats, Vlcsa1};

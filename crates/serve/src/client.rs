@@ -27,8 +27,12 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 
 use bitnum::UBig;
+use vlcsa::program::Program;
 
-use crate::protocol::{format_add, parse_response, RequestError, Response, StatsReport};
+use crate::protocol::{
+    format_add, format_program, format_sum, parse_response, RequestError, Response, StatsReport,
+    OPERAND_RANGE,
+};
 
 /// One successful `ADD` answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,10 +130,7 @@ impl Client {
     /// the server answers it with a structured `ERR`.)
     pub fn submit(&mut self, engine: &str, a: &UBig, b: &UBig) -> std::io::Result<u64> {
         assert_eq!(a.width(), b.width(), "operand width mismatch");
-        assert!(
-            !engine.is_empty() && !engine.contains(char::is_whitespace),
-            "engine name `{engine}` is not a single protocol token"
-        );
+        self.check_engine_token(engine);
         let seq = self.next_seq;
         self.next_seq += 1;
         let line = format_add(seq, engine, a, b);
@@ -137,6 +138,124 @@ impl Client {
         self.writer.write_all(b"\n")?;
         self.pending.insert(seq, a.width());
         Ok(seq)
+    }
+
+    /// Queues one `SUM` — a whole n-operand reduction in one request —
+    /// without waiting, and returns its sequence number. The response
+    /// (via [`Client::recv`]) carries the exact wrapped sum and the
+    /// single final carry-resolve's `cout` and `cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket write error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is empty or longer than the protocol cap, if
+    /// the operands disagree on width, or if `engine` is not a single
+    /// protocol token (as [`Client::submit`]).
+    pub fn submit_sum(&mut self, engine: &str, operands: &[UBig]) -> std::io::Result<u64> {
+        assert!(
+            OPERAND_RANGE.contains(&operands.len()),
+            "operand count {} outside {OPERAND_RANGE:?}",
+            operands.len()
+        );
+        for op in operands {
+            assert_eq!(op.width(), operands[0].width(), "operand width mismatch");
+        }
+        self.check_engine_token(engine);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = format_sum(seq, engine, operands);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.pending.insert(seq, operands[0].width());
+        Ok(seq)
+    }
+
+    /// One full `SUM` round trip: submit the reduction, wait for *that*
+    /// request (don't mix with in-flight `submit`s).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the conditions of [`Client::submit_sum`] /
+    /// [`Client::recv`], or with the server's [`RequestError`] as a
+    /// protocol error.
+    pub fn sum(&mut self, engine: &str, operands: &[UBig]) -> Result<AddResponse, ClientError> {
+        let seq = self.submit_sum(engine, operands)?;
+        self.recv_expecting(seq)
+    }
+
+    /// Queues one `PROG` — an arbitrary dataflow add-program — without
+    /// waiting, and returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket write error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the program's input count, if
+    /// the inputs disagree on width, if the program has no steps (its
+    /// spec would be an empty wire token), or if `engine` is not a single
+    /// protocol token.
+    pub fn submit_program(
+        &mut self,
+        engine: &str,
+        program: &Program,
+        inputs: &[UBig],
+    ) -> std::io::Result<u64> {
+        assert_eq!(
+            inputs.len(),
+            program.inputs(),
+            "program input count mismatch"
+        );
+        for op in inputs {
+            assert_eq!(op.width(), inputs[0].width(), "operand width mismatch");
+        }
+        self.check_engine_token(engine);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = format_program(seq, engine, program, inputs);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.pending.insert(seq, inputs[0].width());
+        Ok(seq)
+    }
+
+    /// One full `PROG` round trip: submit the program, wait for *that*
+    /// request (don't mix with in-flight `submit`s).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the conditions of [`Client::submit_program`] /
+    /// [`Client::recv`], or with the server's [`RequestError`] as a
+    /// protocol error.
+    pub fn run_program(
+        &mut self,
+        engine: &str,
+        program: &Program,
+        inputs: &[UBig],
+    ) -> Result<AddResponse, ClientError> {
+        let seq = self.submit_program(engine, program, inputs)?;
+        self.recv_expecting(seq)
+    }
+
+    fn check_engine_token(&self, engine: &str) {
+        assert!(
+            !engine.is_empty() && !engine.contains(char::is_whitespace),
+            "engine name `{engine}` is not a single protocol token"
+        );
+    }
+
+    fn recv_expecting(&mut self, seq: u64) -> Result<AddResponse, ClientError> {
+        let (done, response) = self.recv()?;
+        if done != seq {
+            return Err(ClientError::Protocol(format!(
+                "expected response to {seq}, got {done} (mixing add with pipelined submits?)"
+            )));
+        }
+        response.map_err(|e| ClientError::Protocol(format!("{} {}", e.code, e.message)))
     }
 
     /// Blocks for the next completion, whichever in-flight request it
@@ -179,13 +298,7 @@ impl Client {
     /// or with the server's [`RequestError`] as a protocol error.
     pub fn add(&mut self, engine: &str, a: &UBig, b: &UBig) -> Result<AddResponse, ClientError> {
         let seq = self.submit(engine, a, b)?;
-        let (done, response) = self.recv()?;
-        if done != seq {
-            return Err(ClientError::Protocol(format!(
-                "expected response to {seq}, got {done} (mixing add with pipelined submits?)"
-            )));
-        }
-        response.map_err(|e| ClientError::Protocol(format!("{} {}", e.code, e.message)))
+        self.recv_expecting(seq)
     }
 
     /// Asks the server for its engine-name list.

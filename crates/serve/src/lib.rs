@@ -41,6 +41,11 @@
 //! assert!(response.cout);
 //! assert!(response.cycles == 1 || response.cycles == 2);
 //!
+//! // One request can carry a whole reduction: the server compresses the
+//! // operands carry-save style and resolves carries exactly once.
+//! let ops: Vec<UBig> = (1..=8).map(|v| UBig::from_u128(v, 64)).collect();
+//! assert_eq!(client.sum("vlcsa1", &ops).unwrap().sum.to_u128(), Some(36));
+//!
 //! client.close();
 //! server.shutdown();
 //! ```
@@ -58,3 +63,4 @@ pub use client::{AddResponse, Client, ClientError};
 pub use protocol::{EngineStats, ErrorCode, Request, RequestError, Response, StatsReport};
 pub use server::Server;
 pub use service::{AddResult, RegistryCache, ServeConfig, Service, SubmitError};
+pub use vlcsa::program::Program;

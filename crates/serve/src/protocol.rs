@@ -11,6 +11,8 @@
 //! ```text
 //! client → server
 //!   ADD <seq> <engine> <width> <a-hex> <b-hex>    one addition request
+//!   SUM <seq> <engine> <width> <n> <hex>…         one n-operand reduction
+//!   PROG <seq> <engine> <width> <n> <spec> <hex>… one dataflow program
 //!   ENGINES                                       list known engine names
 //!   STATS                                         service counters snapshot
 //!
@@ -20,6 +22,17 @@
 //!   ENGINES <name> <name> …                       the registry's names
 //!   STATS <k>=<v> … engine=<name>:<lanes>:<stalls> …   one-line snapshot
 //! ```
+//!
+//! `SUM` carries a whole multi-operand reduction in one request: the
+//! server compresses the operands carry-save style
+//! ([`Program::csa_pair_scalar`]) and the one remaining carry-resolve
+//! rides the batching window as a **single lane** of the named engine —
+//! the response's `cycles` are that one resolve's, and its `cout` is the
+//! resolve's carry out. `PROG` generalizes `SUM` to any add-DAG over
+//! named temporaries, with the program shape in [`Program::from_spec`]
+//! syntax as one comma-separated token (`i0+i1,t0+i2` is `SUM` of 3);
+//! `n` is the operand count in both forms, capped at
+//! [`MAX_PROGRAM_INPUTS`].
 //!
 //! `STATS` answers with a **single line** of `key=value` tokens — queue
 //! depth, batching-window occupancy (pending lanes and the window bound),
@@ -48,10 +61,14 @@
 //! ```
 
 use bitnum::UBig;
+use vlcsa::program::{Program, MAX_PROGRAM_INPUTS};
 
 /// Widths a request may name: at least 1 bit, at most
 /// [`bitnum::MAX_WIDTH`].
 pub const WIDTH_RANGE: std::ops::RangeInclusive<usize> = 1..=bitnum::MAX_WIDTH;
+
+/// Operand counts a `SUM`/`PROG` request may name.
+pub const OPERAND_RANGE: std::ops::RangeInclusive<usize> = 1..=MAX_PROGRAM_INPUTS;
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +85,32 @@ pub enum Request {
         a: UBig,
         /// Second operand.
         b: UBig,
+    },
+    /// `SUM <seq> <engine> <width> <n> <hex>…` — one n-operand reduction,
+    /// resolved with a single carry-propagate pass.
+    Sum {
+        /// Client-chosen sequence number, echoed in the response.
+        seq: u64,
+        /// Engine display name (a [`Registry`](vlcsa::engine::Registry) name).
+        engine: String,
+        /// Operand width in bits.
+        width: usize,
+        /// The operands, in wire order (1..=[`MAX_PROGRAM_INPUTS`]).
+        operands: Vec<UBig>,
+    },
+    /// `PROG <seq> <engine> <width> <n> <spec> <hex>…` — one dataflow
+    /// program over `n` inputs, spec in [`Program::from_spec`] syntax.
+    Program {
+        /// Client-chosen sequence number, echoed in the response.
+        seq: u64,
+        /// Engine display name (a [`Registry`](vlcsa::engine::Registry) name).
+        engine: String,
+        /// Operand width in bits.
+        width: usize,
+        /// The parsed, validated program shape.
+        program: Program,
+        /// The program's inputs, in wire order.
+        inputs: Vec<UBig>,
     },
     /// `ENGINES` — list the registry's engine names.
     Engines,
@@ -146,6 +189,118 @@ impl RequestError {
     }
 }
 
+/// The `<seq> <engine> <width>` prefix every computing request starts
+/// with, parsed with the command name in the error messages.
+fn parse_head<'a>(
+    cmd: &str,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<(u64, String, usize), RequestError> {
+    let seq = tokens
+        .next()
+        .and_then(|t| t.parse::<u64>().ok())
+        .ok_or_else(|| {
+            RequestError::new(
+                0,
+                ErrorCode::BadRequest,
+                format!("{cmd} needs a numeric sequence"),
+            )
+        })?;
+    let engine = tokens
+        .next()
+        .ok_or_else(|| {
+            RequestError::new(
+                seq,
+                ErrorCode::BadRequest,
+                format!("{cmd} is missing the engine"),
+            )
+        })?
+        .to_string();
+    let width = tokens
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| {
+            RequestError::new(
+                seq,
+                ErrorCode::BadRequest,
+                format!("{cmd} needs a numeric width"),
+            )
+        })?;
+    if !WIDTH_RANGE.contains(&width) {
+        return Err(RequestError::new(
+            seq,
+            ErrorCode::BadWidth,
+            format!(
+                "width {width} outside {}..={}",
+                WIDTH_RANGE.start(),
+                WIDTH_RANGE.end()
+            ),
+        ));
+    }
+    Ok((seq, engine, width))
+}
+
+/// The `<n>` operand count of a `SUM`/`PROG` line, bounds-checked against
+/// [`OPERAND_RANGE`].
+fn parse_operand_count<'a>(
+    cmd: &str,
+    seq: u64,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<usize, RequestError> {
+    let n = tokens
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| {
+            RequestError::new(
+                seq,
+                ErrorCode::BadRequest,
+                format!("{cmd} needs a numeric operand count"),
+            )
+        })?;
+    if !OPERAND_RANGE.contains(&n) {
+        return Err(RequestError::new(
+            seq,
+            ErrorCode::BadRequest,
+            format!(
+                "operand count {n} outside {}..={}",
+                OPERAND_RANGE.start(),
+                OPERAND_RANGE.end()
+            ),
+        ));
+    }
+    Ok(n)
+}
+
+/// Exactly `n` hex operands at `width`, then end of line.
+fn parse_operands<'a>(
+    cmd: &str,
+    seq: u64,
+    width: usize,
+    n: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<Vec<UBig>, RequestError> {
+    let mut operands = Vec::with_capacity(n);
+    for k in 0..n {
+        let token = tokens.next().ok_or_else(|| {
+            RequestError::new(
+                seq,
+                ErrorCode::BadRequest,
+                format!("{cmd} is missing operand {k} of {n}"),
+            )
+        })?;
+        operands.push(UBig::from_hex(token, width).map_err(|e| {
+            RequestError::new(seq, ErrorCode::BadOperand, format!("operand {k}: {e}"))
+        })?);
+    }
+    if let Some(extra) = tokens.next() {
+        return Err(RequestError::new(
+            seq,
+            ErrorCode::BadRequest,
+            format!("trailing token `{extra}`"),
+        ));
+    }
+    Ok(operands)
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -171,55 +326,45 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             )),
         },
         Some("ADD") => {
-            let seq = tokens
-                .next()
-                .and_then(|t| t.parse::<u64>().ok())
-                .ok_or_else(|| {
-                    RequestError::new(0, ErrorCode::BadRequest, "ADD needs a numeric sequence")
-                })?;
-            let fail = |code, message: String| RequestError::new(seq, code, message);
-            let engine = tokens
-                .next()
-                .ok_or_else(|| fail(ErrorCode::BadRequest, "ADD is missing the engine".into()))?
-                .to_string();
-            let width = tokens
-                .next()
-                .and_then(|t| t.parse::<usize>().ok())
-                .ok_or_else(|| fail(ErrorCode::BadRequest, "ADD needs a numeric width".into()))?;
-            if !WIDTH_RANGE.contains(&width) {
-                return Err(fail(
-                    ErrorCode::BadWidth,
-                    format!(
-                        "width {width} outside {}..={}",
-                        WIDTH_RANGE.start(),
-                        WIDTH_RANGE.end()
-                    ),
-                ));
-            }
-            let mut operand = |name: &str| -> Result<UBig, RequestError> {
-                let token = tokens.next().ok_or_else(|| {
-                    fail(
-                        ErrorCode::BadRequest,
-                        format!("ADD is missing operand {name}"),
-                    )
-                })?;
-                UBig::from_hex(token, width)
-                    .map_err(|e| fail(ErrorCode::BadOperand, format!("operand {name}: {e}")))
-            };
-            let a = operand("a")?;
-            let b = operand("b")?;
-            if let Some(extra) = tokens.next() {
-                return Err(fail(
-                    ErrorCode::BadRequest,
-                    format!("trailing token `{extra}`"),
-                ));
-            }
+            let (seq, engine, width) = parse_head("ADD", &mut tokens)?;
+            let mut operands = parse_operands("ADD", seq, width, 2, &mut tokens)?;
+            let b = operands.pop().expect("two operands");
+            let a = operands.pop().expect("two operands");
             Ok(Request::Add {
                 seq,
                 engine,
                 width,
                 a,
                 b,
+            })
+        }
+        Some("SUM") => {
+            let (seq, engine, width) = parse_head("SUM", &mut tokens)?;
+            let n = parse_operand_count("SUM", seq, &mut tokens)?;
+            let operands = parse_operands("SUM", seq, width, n, &mut tokens)?;
+            Ok(Request::Sum {
+                seq,
+                engine,
+                width,
+                operands,
+            })
+        }
+        Some("PROG") => {
+            let (seq, engine, width) = parse_head("PROG", &mut tokens)?;
+            let n = parse_operand_count("PROG", seq, &mut tokens)?;
+            let spec = tokens.next().ok_or_else(|| {
+                RequestError::new(seq, ErrorCode::BadRequest, "PROG is missing the spec")
+            })?;
+            let program = Program::from_spec(spec, n).map_err(|e| {
+                RequestError::new(seq, ErrorCode::BadRequest, format!("program spec: {e}"))
+            })?;
+            let inputs = parse_operands("PROG", seq, width, n, &mut tokens)?;
+            Ok(Request::Program {
+                seq,
+                engine,
+                width,
+                program,
+                inputs,
             })
         }
         Some(other) => Err(RequestError::new(
@@ -234,6 +379,46 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
 /// Formats an `ADD` request line (no trailing newline).
 pub fn format_add(seq: u64, engine: &str, a: &UBig, b: &UBig) -> String {
     format!("ADD {seq} {engine} {} {a:x} {b:x}", a.width())
+}
+
+/// Formats a `SUM` request line (no trailing newline).
+///
+/// # Panics
+///
+/// Panics if `operands` is empty (the width comes from the first one).
+pub fn format_sum(seq: u64, engine: &str, operands: &[UBig]) -> String {
+    let mut line = format!(
+        "SUM {seq} {engine} {} {}",
+        operands[0].width(),
+        operands.len()
+    );
+    for op in operands {
+        line.push_str(&format!(" {op:x}"));
+    }
+    line
+}
+
+/// Formats a `PROG` request line (no trailing newline).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or `program` has no steps — a step-less
+/// program's spec is the empty string, which is not a wire token.
+pub fn format_program(seq: u64, engine: &str, program: &Program, inputs: &[UBig]) -> String {
+    assert!(
+        !program.steps().is_empty(),
+        "a wire program needs at least one step"
+    );
+    let mut line = format!(
+        "PROG {seq} {engine} {} {} {}",
+        inputs[0].width(),
+        inputs.len(),
+        program.spec()
+    );
+    for op in inputs {
+        line.push_str(&format!(" {op:x}"));
+    }
+    line
 }
 
 /// Lifetime lane/stall counters of one engine, as served traffic saw it.
@@ -484,6 +669,84 @@ mod tests {
                 assert_eq!(pb, b);
             }
             other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_roundtrip() {
+        let operands: Vec<UBig> = [0xdeadu128, 0xbeef, 0x7, 0x1234]
+            .iter()
+            .map(|&v| UBig::from_u128(v, 48))
+            .collect();
+        let line = format_sum(9, "vlcsa1", &operands);
+        assert_eq!(line, "SUM 9 vlcsa1 48 4 dead beef 7 1234");
+        match parse_request(&line).unwrap() {
+            Request::Sum {
+                seq,
+                engine,
+                width,
+                operands: parsed,
+            } => {
+                assert_eq!((seq, engine.as_str(), width), (9, "vlcsa1", 48));
+                assert_eq!(parsed, operands);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let program = Program::from_spec("i0+i1,t0+t0,t1+i2", 3).unwrap();
+        let inputs: Vec<UBig> = [5u128, 6, 7]
+            .iter()
+            .map(|&v| UBig::from_u128(v, 16))
+            .collect();
+        let line = format_program(3, "ripple", &program, &inputs);
+        assert_eq!(line, "PROG 3 ripple 16 3 i0+i1,t0+t0,t1+i2 5 6 7");
+        match parse_request(&line).unwrap() {
+            Request::Program {
+                seq,
+                engine,
+                width,
+                program: parsed,
+                inputs: parsed_inputs,
+            } => {
+                assert_eq!((seq, engine.as_str(), width), (3, "ripple", 16));
+                assert_eq!(parsed, program);
+                assert_eq!(parsed_inputs, inputs);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_reductions_fail_with_codes_not_panics() {
+        for (line, code, seq) in [
+            ("SUM", ErrorCode::BadRequest, 0),
+            ("SUM x ripple 8 2 1 2", ErrorCode::BadRequest, 0),
+            ("SUM 5 ripple 8", ErrorCode::BadRequest, 5),
+            ("SUM 5 ripple 8 two 1 2", ErrorCode::BadRequest, 5),
+            ("SUM 5 ripple 0 2 1 2", ErrorCode::BadWidth, 5),
+            ("SUM 5 ripple 8 0", ErrorCode::BadRequest, 5),
+            ("SUM 5 ripple 8 65", ErrorCode::BadRequest, 5), // over the cap
+            ("SUM 5 ripple 8 3 1 2", ErrorCode::BadRequest, 5), // short
+            ("SUM 5 ripple 8 2 1 2 3", ErrorCode::BadRequest, 5), // long
+            ("SUM 5 ripple 8 2 1 xyz", ErrorCode::BadOperand, 5),
+            ("SUM 5 ripple 8 2 fff 2", ErrorCode::BadOperand, 5), // overflow
+            ("PROG", ErrorCode::BadRequest, 0),
+            ("PROG 5 ripple 8 2", ErrorCode::BadRequest, 5), // no spec
+            ("PROG 5 ripple 8 2 i0-i1 1 2", ErrorCode::BadRequest, 5),
+            ("PROG 5 ripple 8 2 t0+i0 1 2", ErrorCode::BadRequest, 5), // fwd ref
+            ("PROG 5 ripple 8 2 i0+i9 1 2", ErrorCode::BadRequest, 5),
+            ("PROG 5 ripple 8 2 i0+i1 1", ErrorCode::BadRequest, 5),
+            ("PROG 5 ripple 8 2 i0+i1 1 2 3", ErrorCode::BadRequest, 5),
+            ("PROG 5 ripple 8 2 i0+i1 1 zz", ErrorCode::BadOperand, 5),
+        ] {
+            let err = parse_request(line).err().unwrap_or_else(|| {
+                panic!("`{line}` parsed");
+            });
+            assert_eq!(err.code, code, "`{line}` → {err:?}");
+            assert_eq!(err.seq, seq, "`{line}` → {err:?}");
         }
     }
 

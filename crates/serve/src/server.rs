@@ -70,6 +70,7 @@ fn submit_error_response(seq: u64, err: SubmitError) -> Response {
         SubmitError::UnknownEngine(_) => ErrorCode::UnknownEngine,
         SubmitError::WidthMismatch(..) => ErrorCode::BadRequest,
         SubmitError::BadWidth(_) => ErrorCode::BadWidth,
+        SubmitError::BadOperandCount(_) => ErrorCode::BadRequest,
         SubmitError::Stopped => ErrorCode::Shutdown,
     };
     Response::Err(RequestError {
@@ -115,6 +116,60 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                     &engine,
                     a,
                     b,
+                    Box::new(move |result| {
+                        write_line(
+                            &reply_to,
+                            &Response::Ok {
+                                seq,
+                                sum: result.sum,
+                                cout: result.cout,
+                                cycles: result.cycles,
+                            },
+                        );
+                    }),
+                );
+                if let Err(err) = submitted {
+                    write_line(&writer, &submit_error_response(seq, err));
+                }
+            }
+            Ok(Request::Sum {
+                seq,
+                engine,
+                width: _,
+                operands,
+            }) => {
+                let reply_to = Arc::clone(&writer);
+                let submitted = service.submit_sum(
+                    &engine,
+                    &operands,
+                    Box::new(move |result| {
+                        write_line(
+                            &reply_to,
+                            &Response::Ok {
+                                seq,
+                                sum: result.sum,
+                                cout: result.cout,
+                                cycles: result.cycles,
+                            },
+                        );
+                    }),
+                );
+                if let Err(err) = submitted {
+                    write_line(&writer, &submit_error_response(seq, err));
+                }
+            }
+            Ok(Request::Program {
+                seq,
+                engine,
+                width: _,
+                program,
+                inputs,
+            }) => {
+                let reply_to = Arc::clone(&writer);
+                let submitted = service.submit_program(
+                    &engine,
+                    &program,
+                    &inputs,
                     Box::new(move |result| {
                         write_line(
                             &reply_to,

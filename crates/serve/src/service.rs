@@ -52,8 +52,9 @@ use bitnum::UBig;
 use vlcsa::engine::{EngineLookupError, Registry};
 use vlcsa::exec::Executor;
 use vlcsa::group::GroupBuilder;
+use vlcsa::program::Program;
 
-use crate::protocol::{EngineStats, StatsReport, WIDTH_RANGE};
+use crate::protocol::{EngineStats, StatsReport, OPERAND_RANGE, WIDTH_RANGE};
 use crate::queue::{PopResult, Queue};
 
 /// Tuning knobs of the service core.
@@ -105,6 +106,9 @@ pub enum SubmitError {
     WidthMismatch(usize, usize),
     /// The width is outside [`WIDTH_RANGE`].
     BadWidth(usize),
+    /// A reduction's operand count is outside [`OPERAND_RANGE`], or does
+    /// not match its program's input count.
+    BadOperandCount(usize),
     /// The service is shutting down.
     Stopped,
 }
@@ -121,6 +125,12 @@ impl std::fmt::Display for SubmitError {
                 "width {w} outside {}..={}",
                 WIDTH_RANGE.start(),
                 WIDTH_RANGE.end()
+            ),
+            SubmitError::BadOperandCount(n) => write!(
+                f,
+                "operand count {n} outside {}..={} or not the program's input count",
+                OPERAND_RANGE.start(),
+                OPERAND_RANGE.end()
             ),
             SubmitError::Stopped => f.write_str("service is shutting down"),
         }
@@ -382,6 +392,91 @@ impl Service {
             .map_err(|_| SubmitError::Stopped)
     }
 
+    /// Validates and queues one whole reduction program: the program's
+    /// carry-save pair ([`Program::csa_pair_scalar`]) is computed here in
+    /// the submitter — xor/majority word sweeps, no carry chains — and
+    /// queued as a **single lane**, so the program's one carry-resolve
+    /// rides the batching window like any `ADD` and the reply's `cycles`
+    /// are that resolve's 1 or 2. The reply's `sum` is the exact wrapped
+    /// program result; its `cout` is the final resolve's carry out.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit`], plus [`SubmitError::BadOperandCount`] when
+    /// `inputs` does not match the program's input count.
+    pub fn submit_program(
+        &self,
+        engine: &str,
+        program: &Program,
+        inputs: &[UBig],
+        reply: Reply,
+    ) -> Result<(), SubmitError> {
+        if inputs.len() != program.inputs() {
+            return Err(SubmitError::BadOperandCount(inputs.len()));
+        }
+        let width = inputs[0].width();
+        for i in &inputs[1..] {
+            if i.width() != width {
+                return Err(SubmitError::WidthMismatch(width, i.width()));
+            }
+        }
+        if !WIDTH_RANGE.contains(&width) {
+            return Err(SubmitError::BadWidth(width));
+        }
+        let registry = self.registries.at(width);
+        let engine = registry
+            .lookup(engine)
+            .map_err(SubmitError::UnknownEngine)?
+            .name();
+        let (x, y) = program.csa_pair_scalar(inputs);
+        self.requests
+            .push(Job {
+                engine: engine.to_string(),
+                a: x,
+                b: y,
+                reply,
+            })
+            .map_err(|_| SubmitError::Stopped)
+    }
+
+    /// Validates and queues one n-operand sum — [`Service::submit_program`]
+    /// with the [`Program::sum`] shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit_program`];
+    /// [`SubmitError::BadOperandCount`] when the operand count is outside
+    /// [`OPERAND_RANGE`].
+    pub fn submit_sum(
+        &self,
+        engine: &str,
+        operands: &[UBig],
+        reply: Reply,
+    ) -> Result<(), SubmitError> {
+        let program = Program::sum(operands.len())
+            .map_err(|_| SubmitError::BadOperandCount(operands.len()))?;
+        self.submit_program(engine, &program, operands, reply)
+    }
+
+    /// Submits one n-operand sum and blocks until its group has run — the
+    /// in-process equivalent of one `SUM` round trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the conditions of [`Service::submit_sum`], or with
+    /// [`SubmitError::Stopped`] if the service shuts down mid-flight.
+    pub fn sum_blocking(&self, engine: &str, operands: &[UBig]) -> Result<AddResult, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_sum(
+            engine,
+            operands,
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        )?;
+        rx.recv().map_err(|_| SubmitError::Stopped)
+    }
+
     /// Submits one addition and blocks until its group has run — the
     /// in-process equivalent of one `ADD` round trip.
     ///
@@ -471,6 +566,58 @@ mod tests {
                 .err(),
             Some(SubmitError::WidthMismatch(8, 16))
         );
+        service.shutdown();
+    }
+
+    #[test]
+    fn sum_blocking_is_the_fold_and_one_lane() {
+        let service = Service::start(fast_config());
+        let operands: Vec<UBig> = (1..=8u128).map(|v| UBig::from_u128(v << 28, 32)).collect();
+        let expect = operands[1..]
+            .iter()
+            .fold(operands[0].clone(), |acc, o| acc.wrapping_add(o));
+        let out = service.sum_blocking("vlcsa1", &operands).unwrap();
+        assert_eq!(out.sum, expect);
+        assert!(out.cycles == 1 || out.cycles == 2);
+        // The whole reduction was one lane of vlcsa1, not eight.
+        let stats = service.stats();
+        assert_eq!(stats.engine("vlcsa1").unwrap().lanes, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_program_validates_before_queueing() {
+        let service = Service::start(fast_config());
+        let program = Program::from_spec("i0+i1,t0+t0", 2).unwrap();
+        let ops = [UBig::from_u128(3, 16), UBig::from_u128(4, 16)];
+        let out = service
+            .submit_program("carry-select", &program, &ops, Box::new(|_| {}))
+            .is_ok();
+        assert!(out);
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert_eq!(
+            service
+                .submit_program("carry-select", &program, &ops[..1], reply)
+                .err(),
+            Some(SubmitError::BadOperandCount(1))
+        );
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert_eq!(
+            service
+                .submit_program(
+                    "carry-select",
+                    &program,
+                    &[UBig::zero(16), UBig::zero(8)],
+                    reply
+                )
+                .err(),
+            Some(SubmitError::WidthMismatch(16, 8))
+        );
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert!(matches!(
+            service.submit_sum("no-such", &ops, reply).err(),
+            Some(SubmitError::UnknownEngine(_))
+        ));
         service.shutdown();
     }
 

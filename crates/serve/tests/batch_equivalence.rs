@@ -22,6 +22,7 @@ use bitnum::UBig;
 use proptest::prelude::*;
 use vlcsa::engine::Registry;
 use vlcsa::exec::Executor;
+use vlcsa::program::{Operand, Program};
 use vlcsa_serve::{AddResult, ServeConfig, Service};
 
 const ENGINES: [&str; 9] = [
@@ -130,6 +131,97 @@ proptest! {
                 prop_assert_eq!(served.cout, direct.cout(lane), "cout of request {}", i);
                 prop_assert_eq!(served.cycles, direct.cycles(lane), "cycles of request {}", i);
             }
+        }
+    }
+
+    /// Random server-submitted programs — random DAG shapes with reused
+    /// temporaries, random engines and widths, interleaved with plain adds
+    /// in shared batching windows — answer exactly the scalar fold
+    /// evaluation, and each program's latency is its single carry-resolve
+    /// (the scalar engine's cycles on the program's carry-save pair).
+    #[test]
+    fn served_programs_equal_scalar_fold(
+        (seed, count, max_lanes) in (any::<u64>(), 1usize..50, 1usize..97)
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut programs: Vec<(&'static str, usize, Program, Vec<UBig>)> = Vec::new();
+        for _ in 0..count {
+            let engine = ENGINES[(rng.next_u64() % ENGINES.len() as u64) as usize];
+            let width = WIDTHS[(rng.next_u64() % WIDTHS.len() as u64) as usize];
+            let inputs = 1 + (rng.next_u64() % 8) as usize;
+            let steps = (rng.next_u64() % 10) as usize;
+            let mut program = Program::new(inputs).expect("valid input count");
+            for s in 0..steps {
+                let draw = |rng: &mut Xoshiro256| {
+                    let pick = (rng.next_u64() % (inputs + s) as u64) as usize;
+                    if pick < inputs {
+                        Operand::Input(pick)
+                    } else {
+                        Operand::Temp(pick - inputs)
+                    }
+                };
+                let (x, y) = (draw(&mut rng), draw(&mut rng));
+                program.push(x, y).expect("operands in range");
+            }
+            let operands: Vec<UBig> =
+                (0..inputs).map(|_| UBig::random(width, &mut rng)).collect();
+            programs.push((engine, width, program, operands));
+        }
+        let service = Service::start(ServeConfig {
+            max_lanes,
+            max_wait: Duration::from_micros(200),
+            workers: 3,
+            exec_threads: 2,
+            queue_depth: 32,
+        });
+        let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
+        for (i, (engine, _, program, operands)) in programs.iter().enumerate() {
+            let tx = tx.clone();
+            service
+                .submit_program(
+                    engine,
+                    program,
+                    operands,
+                    Box::new(move |result| {
+                        let _ = tx.send((i, result));
+                    }),
+                )
+                .expect("valid program");
+            // Interleave a plain add so windows mix both request kinds.
+            if i % 3 == 0 {
+                let width = programs[i].1;
+                let a = UBig::random(width, &mut rng);
+                let b = UBig::random(width, &mut rng);
+                service
+                    .submit(programs[i].0, a, b, Box::new(|_| {}))
+                    .expect("valid add");
+            }
+        }
+        let mut answers: Vec<Option<AddResult>> = vec![None; programs.len()];
+        for _ in 0..programs.len() {
+            let (i, result) = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("every program is answered");
+            prop_assert!(answers[i].is_none(), "program {} answered twice", i);
+            answers[i] = Some(result);
+        }
+        service.shutdown();
+
+        let mut registries: HashMap<usize, Registry> = HashMap::new();
+        for (i, (engine, width, program, operands)) in programs.iter().enumerate() {
+            let served = answers[i].as_ref().expect("answered above");
+            prop_assert_eq!(
+                &served.sum,
+                &program.eval_scalar(operands),
+                "program {} ({} w{}, spec `{}`)", i, engine, width, program.spec()
+            );
+            let registry = registries
+                .entry(*width)
+                .or_insert_with(|| Registry::for_width(*width));
+            let (x, y) = program.csa_pair_scalar(operands);
+            let resolve = registry.get(engine).expect("known engine").add_one(&x, &y);
+            prop_assert_eq!(served.cycles, resolve.cycles, "cycles of program {}", i);
+            prop_assert_eq!(served.cout, resolve.cout, "cout of program {}", i);
         }
     }
 }

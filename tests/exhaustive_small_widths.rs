@@ -8,10 +8,12 @@
 //! sharded executor at 2 shards). Adding a family to the registry adds it
 //! to this suite automatically; no hand-listed families remain.
 
-use bitnum::batch::WideSlab;
+use adders::batch::{compress3, compress3_one, reduce_csa_one, sum_batch, BatchRipple};
+use bitnum::batch::{BitSlab, DefaultWord, WideSlab, Word};
 use bitnum::UBig;
 use vlcsa::engine::{Engine, Registry, VlsaBaseline};
 use vlcsa::exec::Executor;
+use vlcsa::program::Program;
 use vlcsa::{detect, OverflowMode, Scsa, Scsa2, Vlcsa1, Vlcsa2};
 
 /// Every (n, k) combination checked over all 2^(2n) input pairs.
@@ -169,6 +171,160 @@ fn speculative_engines_exact_at_every_window_size() {
         stalls > 10_000,
         "sub-width parameters must exercise recovery (stalled lanes: {stalls})"
     );
+}
+
+/// The m-operand input space at width n, column-major, with exact `u128`
+/// reference sums. The full 2^(m·n) tuple space when that is at most 2^16
+/// tuples; beyond that, the full 2^(2n) (a, b) pair space crossed with
+/// corner patterns (0, all-ones, alternating, 1) for the remaining
+/// operands — the first two operands always sweep their whole space.
+fn operand_tuples(m: usize, n: usize) -> (Vec<Vec<UBig>>, Vec<u128>) {
+    let mut columns: Vec<Vec<UBig>> = vec![Vec::new(); m];
+    let mut sums = Vec::new();
+    if m * n <= 16 {
+        let lane_mask = (1u64 << n) - 1;
+        for t in 0..(1u64 << (m * n)) {
+            let mut sum = 0u128;
+            for (op, column) in columns.iter_mut().enumerate() {
+                let v = (t >> (op * n)) & lane_mask;
+                column.push(UBig::from_u128(v as u128, n));
+                sum += v as u128;
+            }
+            sums.push(sum);
+        }
+    } else {
+        let mask = (1u64 << n) - 1;
+        let corners = [0u64, mask, 0x5555_5555_5555_5555 & mask, 1 & mask];
+        let patterns = if 2 * n <= 13 { corners.len() } else { 2 };
+        for p in 0..patterns {
+            for av in 0..=mask {
+                for bv in 0..=mask {
+                    columns[0].push(UBig::from_u128(av as u128, n));
+                    columns[1].push(UBig::from_u128(bv as u128, n));
+                    let mut sum = (av + bv) as u128;
+                    for (op, column) in columns.iter_mut().enumerate().skip(2) {
+                        let v = corners[(p + op) % corners.len()];
+                        column.push(UBig::from_u128(v as u128, n));
+                        sum += v as u128;
+                    }
+                    sums.push(sum);
+                }
+            }
+        }
+    }
+    (columns, sums)
+}
+
+#[test]
+fn csa_compressor_exact_over_small_widths() {
+    // The 3:2 compressor at widths 1..=8: batch (bit-sliced over the
+    // default word) and scalar agree with each other and with the u128
+    // reference — sum ⊕ carry pair adds back to a+b+c mod 2^n, and the
+    // carry word never carries into bit 0.
+    for n in 1..=8usize {
+        let (columns, sums) = operand_tuples(3, n);
+        let lanes = sums.len();
+        let mut l0 = 0;
+        while l0 < lanes {
+            let take = DefaultWord::LANES.min(lanes - l0);
+            let slabs: Vec<BitSlab> = columns
+                .iter()
+                .map(|c| BitSlab::from_lanes(&c[l0..l0 + take]))
+                .collect();
+            let (x, y) = compress3(&slabs[0], &slabs[1], &slabs[2]);
+            for l in 0..take {
+                let (sx, sy) = compress3_one(
+                    &columns[0][l0 + l],
+                    &columns[1][l0 + l],
+                    &columns[2][l0 + l],
+                );
+                assert_eq!(x.lane(l), sx, "batch sum word n={n} lane {}", l0 + l);
+                assert_eq!(y.lane(l), sy, "batch carry word n={n} lane {}", l0 + l);
+                assert!(!sy.bit(0), "carry into bit 0 n={n} lane {}", l0 + l);
+                let expect = UBig::from_u128(sums[l0 + l] & ((1u128 << n) - 1), n);
+                assert_eq!(
+                    sx.wrapping_add(&sy),
+                    expect,
+                    "pair adds to reference n={n} lane {}",
+                    l0 + l
+                );
+            }
+            l0 += take;
+        }
+    }
+}
+
+#[test]
+fn csa_reduction_exact_over_small_widths_all_paths() {
+    // The N-operand Wallace reduction at widths 1..=8, N ∈ {3, 4, 8},
+    // against the u128 reference on all three paths: scalar
+    // (`reduce_csa_one`), batch (`sum_batch` — one `BatchAdd` resolve per
+    // chunk), and the 2-shard executor through `Program::sum(N).run_csa`.
+    // The full registry sweeps the smallest configs; larger spaces pin one
+    // fixed- and one variable-latency engine.
+    for &m in &[3usize, 4, 8] {
+        for n in 1..=8usize {
+            let (columns, sums) = operand_tuples(m, n);
+            let lanes = sums.len();
+            let expect: Vec<UBig> = sums
+                .iter()
+                .map(|&s| UBig::from_u128(s & ((1u128 << n) - 1), n))
+                .collect();
+
+            // Scalar path.
+            for l in 0..lanes {
+                let tuple: Vec<UBig> = columns.iter().map(|c| c[l].clone()).collect();
+                let (x, y) = reduce_csa_one(&tuple);
+                assert_eq!(
+                    x.wrapping_add(&y),
+                    expect[l],
+                    "scalar reduction m={m} n={n} lane {l}"
+                );
+            }
+
+            // Batch path: chunked slabs, exactly one ripple resolve each.
+            let ripple = BatchRipple::new(n);
+            let mut l0 = 0;
+            while l0 < lanes {
+                let take = DefaultWord::LANES.min(lanes - l0);
+                let slabs: Vec<BitSlab> = columns
+                    .iter()
+                    .map(|c| BitSlab::from_lanes(&c[l0..l0 + take]))
+                    .collect();
+                let out = sum_batch(&ripple, &slabs);
+                for l in 0..take {
+                    assert_eq!(
+                        out.sum.lane(l),
+                        expect[l0 + l],
+                        "batch reduction m={m} n={n} lane {}",
+                        l0 + l
+                    );
+                }
+                l0 += take;
+            }
+
+            // Executor path: the sum program, one resolve for all lanes.
+            let wide: Vec<WideSlab> = columns.iter().map(|c| WideSlab::from_lanes(c)).collect();
+            let program = Program::sum(m).unwrap();
+            let registry = Registry::for_width(n);
+            let engines: Vec<&str> = if m * n <= 8 {
+                registry.names()
+            } else {
+                vec!["carry-select", "vlcsa1"]
+            };
+            let exec = Executor::new(2);
+            for name in engines {
+                let out = program.run_csa(registry.get(name).unwrap(), &exec, &wide);
+                for (l, want) in expect.iter().enumerate() {
+                    assert_eq!(
+                        &out.sum.lane(l),
+                        want,
+                        "{name} executor reduction m={m} n={n} lane {l}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -55,6 +55,25 @@ fn latency_extension_runs() {
 }
 
 #[test]
+fn chain_reduction_experiment_sweeps_every_registry_family() {
+    // The chains experiment is registry-driven, not hand-listed: every
+    // family the registry knows at the experiment's width gets rows, and
+    // each row's fold latency covers at least the carry-save resolve.
+    let table = run_by_id("ext.chain_engines", &tiny()).unwrap();
+    for name in vlcsa::engine::Registry::for_width(32).names() {
+        let rows: Vec<_> = table.rows.iter().filter(|r| r[0] == name).collect();
+        assert_eq!(rows.len(), 3, "{name} swept at every N"); // N in {2, 4, 8}
+        for row in rows {
+            let fold: f64 = row[2].parse().unwrap();
+            let csa: f64 = row[3].parse().unwrap();
+            let n: f64 = row[1].parse().unwrap();
+            assert!(fold >= n - 1.0, "{name} fold pays N-1 resolves");
+            assert!((1.0..=2.0).contains(&csa), "{name} csa is one resolve");
+        }
+    }
+}
+
+#[test]
 fn solver_experiment_is_stable_at_low_samples() {
     // tab7.5 with few samples still returns window sizes in a sane band.
     let table = run_by_id("tab7.5", &tiny()).unwrap();

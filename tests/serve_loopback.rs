@@ -7,11 +7,12 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use bitnum::batch::Word;
-use bitnum::rng::Xoshiro256;
+use bitnum::batch::{WideSlab, Word};
+use bitnum::rng::{RandomBits, Xoshiro256};
 use bitnum::UBig;
 use vlcsa::engine::Registry;
 use vlcsa::exec::Executor;
+use vlcsa::program::Program;
 use vlcsa_serve::{Client, ErrorCode, ServeConfig, Server};
 use workloads::dist::{Distribution, OperandSource};
 
@@ -53,7 +54,6 @@ fn concurrent_clients_mixed_engines_bit_identical() {
                 // out of submission order across engines.
                 let mut expected = std::collections::HashMap::new();
                 for r in 0..REQUESTS {
-                    use bitnum::rng::RandomBits;
                     let engine = engines[(c + r) % engines.len()];
                     let width = widths[(rng.next_u64() % 3) as usize];
                     let a = UBig::random(width, &mut rng);
@@ -319,6 +319,301 @@ fn closed_connections_are_deregistered() {
         0,
         "dead connections must be pruned from the registry"
     );
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn sums_and_programs_round_trip_with_mixed_add_traffic() {
+    // Happy-path end to end: SUM and PROG requests interleave with plain
+    // ADDs on one connection and answer the exact scalar-fold values.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let program = Program::from_spec("i0+i1,t0+t0,t1+i2", 3).unwrap();
+    for (round, engine) in ["ripple", "carry-select", "vlcsa1", "vlcsa2"]
+        .into_iter()
+        .enumerate()
+    {
+        for width in [16usize, 64, 100] {
+            let mut src = OperandSource::new(
+                Distribution::paper_gaussian(),
+                width,
+                round as u64 * 31 + width as u64,
+            );
+            let operands: Vec<UBig> = (0..5).map(|_| src.next_operand()).collect();
+            let expect = operands[1..]
+                .iter()
+                .fold(operands[0].clone(), |acc, o| acc.wrapping_add(o));
+            let response = client.sum(engine, &operands).unwrap();
+            assert_eq!(response.sum, expect, "{engine} SUM width {width}");
+            assert!(response.cycles == 1 || response.cycles == 2);
+
+            let inputs = &operands[..3];
+            let response = client.run_program(engine, &program, inputs).unwrap();
+            assert_eq!(
+                response.sum,
+                program.eval_scalar(inputs),
+                "{engine} PROG width {width}"
+            );
+
+            let (a, b) = src.next_pair();
+            let ok = client.add(engine, &a, &b).unwrap();
+            assert_eq!(ok.sum, a.wrapping_add(&b), "{engine} ADD width {width}");
+        }
+    }
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn served_sum_of_8_resolves_carries_exactly_once() {
+    // The acceptance pin: a SUM of 8 operands is ONE carry-resolve, not
+    // seven. Three observables agree: (1) each response's cycles are the
+    // scalar engine's cycles for resolving the reduction's carry-save
+    // pair; (2) the served cycle total equals the executor's accounting
+    // over those pairs batched as one slab — lanes + stalls, i.e. one
+    // resolve per sum; (3) STATS counts one lane per sum, not eight.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    const SUMS: usize = 120;
+    const N: usize = 8;
+    let width = 64;
+    let program = Program::sum(N).unwrap();
+    let registry = Registry::for_width(width);
+    let engine = registry.get("vlcsa1").unwrap();
+    let mut src = OperandSource::new(Distribution::paper_gaussian(), width, 0x5E41);
+
+    let mut xs = Vec::with_capacity(SUMS);
+    let mut ys = Vec::with_capacity(SUMS);
+    let mut expected = std::collections::HashMap::new();
+    for _ in 0..SUMS {
+        let operands: Vec<UBig> = (0..N).map(|_| src.next_operand()).collect();
+        let (x, y) = program.csa_pair_scalar(&operands);
+        let seq = client.submit_sum("vlcsa1", &operands).unwrap();
+        expected.insert(
+            seq,
+            (program.eval_scalar(&operands), engine.add_one(&x, &y)),
+        );
+        xs.push(x);
+        ys.push(y);
+    }
+    let mut served_total = 0u64;
+    for _ in 0..SUMS {
+        let (seq, response) = client.recv().unwrap();
+        let response = response.unwrap();
+        let (sum, resolve) = expected.remove(&seq).expect("known seq");
+        assert_eq!(response.sum, sum, "seq {seq}");
+        assert!(response.cycles == 1 || response.cycles == 2);
+        // The one resolve is the engine adding the carry-save pair: the
+        // served latency is that single addition's, never 7 additions'.
+        assert_eq!(response.cycles, resolve.cycles, "seq {seq}");
+        assert_eq!(response.cout, resolve.cout, "seq {seq}");
+        served_total += u64::from(response.cycles);
+    }
+    assert!(expected.is_empty());
+
+    let direct = Executor::new(1).run(
+        registry.get("vlcsa1").unwrap(),
+        &WideSlab::from_lanes(&xs),
+        &WideSlab::from_lanes(&ys),
+    );
+    assert_eq!(served_total, direct.total_cycles());
+    assert_eq!(served_total, SUMS as u64 + direct.stalls());
+    assert!(
+        direct.stalls() > 0,
+        "Gaussian carry-save pairs must stall vlcsa1 sometimes, or the pin is vacuous"
+    );
+
+    // One lane per 8-operand sum — the server never expanded the request
+    // into per-operand additions.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.engine("vlcsa1").unwrap().lanes, SUMS as u64);
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn fuzzed_sum_and_prog_lines_never_kill_the_connection() {
+    // Satellite robustness: one raw socket feeds interleaved valid ADD/SUM
+    // traffic, truncated and oversized SUM/PROG lines, and seeded garbage.
+    // Every non-empty line gets exactly one response; malformed lines get
+    // ERR with the right code and sequence; valid requests still answer
+    // exactly; and STATS still parses afterwards.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut rng = Xoshiro256::seed_from_u64(0xF022);
+
+    // Malformed lines with a parseable seq → ERR <seq> <code>.
+    let malformed: Vec<(String, ErrorCode)> = vec![
+        ("SUM 101 ripple".into(), ErrorCode::BadRequest),
+        ("SUM 102 ripple 8".into(), ErrorCode::BadRequest),
+        ("SUM 103 ripple 9999 2 1 2".into(), ErrorCode::BadWidth),
+        ("SUM 104 ripple 8 0".into(), ErrorCode::BadRequest),
+        ("SUM 105 ripple 8 999 1 2".into(), ErrorCode::BadRequest),
+        ("SUM 106 ripple 8 3 1 2".into(), ErrorCode::BadRequest),
+        ("SUM 107 ripple 8 2 1 2 3".into(), ErrorCode::BadRequest),
+        ("SUM 108 ripple 8 2 zz 1".into(), ErrorCode::BadOperand),
+        ("SUM 109 ripple 8 2 ffff 1".into(), ErrorCode::BadOperand),
+        ("SUM 110 no-such 8 2 1 2".into(), ErrorCode::UnknownEngine),
+        ("SUM 111 ripple 8 two 1 2".into(), ErrorCode::BadRequest),
+        (
+            "PROG 112 ripple 8 2 i0*i1 1 2".into(),
+            ErrorCode::BadRequest,
+        ),
+        (
+            "PROG 113 ripple 8 2 t0+i0 1 2".into(),
+            ErrorCode::BadRequest,
+        ),
+        ("PROG 114 ripple 8 2".into(), ErrorCode::BadRequest),
+        ("PROG 115 ripple 8 2 i0+i1 1".into(), ErrorCode::BadRequest),
+        (
+            "PROG 116 ripple 8 2 i0+i9 1 2".into(),
+            ErrorCode::BadRequest,
+        ),
+        // Oversized: a 64 KiB hex operand against width 64.
+        (
+            format!("SUM 117 ripple 64 2 {} 1", "f".repeat(65536)),
+            ErrorCode::BadOperand,
+        ),
+        // Oversized: a program far past the step cap.
+        (
+            format!(
+                "PROG 118 ripple 8 1 {} ff",
+                (0..80)
+                    .map(|s| if s == 0 {
+                        "i0+i0".to_string()
+                    } else {
+                        format!("t{}+t{}", s - 1, s - 1)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            ErrorCode::BadRequest,
+        ),
+    ];
+    // Seqless garbage → ERR 0 bad-request. Tokens avoid whitespace so each
+    // write stays one line.
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789+,=!?#@";
+    let mut garbage: Vec<String> = vec![
+        "SUM".into(),
+        "PROG".into(),
+        "SUM x ripple 8 2 1 2".into(),
+        "SUMMON 1 ripple 8 2 1 2".into(),
+    ];
+    for _ in 0..8 {
+        let len = 1 + (rng.next_u64() % 200) as usize;
+        let token: String = (0..len)
+            .map(|_| ALPHABET[(rng.next_u64() % ALPHABET.len() as u64) as usize] as char)
+            .collect();
+        garbage.push(token);
+    }
+
+    // Valid traffic: ADDs (seq 1000+) and SUMs (seq 2000+) whose exact
+    // answers are checked after the storm.
+    let mut valid: Vec<(String, u64, usize, UBig)> = Vec::new();
+    let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 0xF00D);
+    for i in 0..12u64 {
+        let (a, b) = src.next_pair();
+        valid.push((
+            vlcsa_serve::protocol::format_add(1000 + i, "vlcsa1", &a, &b),
+            1000 + i,
+            64,
+            a.wrapping_add(&b),
+        ));
+        let n = [2usize, 3, 8][i as usize % 3];
+        let operands: Vec<UBig> = (0..n).map(|_| src.next_operand()).collect();
+        let expect = operands[1..]
+            .iter()
+            .fold(operands[0].clone(), |acc, o| acc.wrapping_add(o));
+        valid.push((
+            vlcsa_serve::protocol::format_sum(2000 + i, "ripple", &operands),
+            2000 + i,
+            64,
+            expect,
+        ));
+    }
+
+    // Interleave the three streams deterministically and fire.
+    let mut lines: Vec<(String, Option<(u64, ErrorCode)>)> = Vec::new();
+    for (line, code) in &malformed {
+        let seq = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .unwrap();
+        lines.push((line.clone(), Some((seq, *code))));
+    }
+    for g in &garbage {
+        lines.push((g.clone(), Some((0, ErrorCode::BadRequest))));
+    }
+    for (line, ..) in &valid {
+        lines.push((line.clone(), None));
+    }
+    // Deterministic shuffle.
+    for i in (1..lines.len()).rev() {
+        lines.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+    }
+    for (line, _) in &lines {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+    }
+
+    // One response per line, in any order (ERRs answer inline, OKs from
+    // workers). Classify by seq.
+    let mut errors: Vec<(u64, ErrorCode)> = Vec::new();
+    let mut oks: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    for _ in 0..lines.len() {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "connection died mid-storm"
+        );
+        let mut tokens = line.split_ascii_whitespace();
+        match tokens.next().unwrap() {
+            "OK" => {
+                let seq: u64 = tokens.next().unwrap().parse().unwrap();
+                oks.insert(seq, line.trim().to_string());
+            }
+            "ERR" => {
+                let seq: u64 = tokens.next().unwrap().parse().unwrap();
+                let code = ErrorCode::from_str_token(tokens.next().unwrap()).unwrap();
+                errors.push((seq, code));
+            }
+            other => panic!("unexpected response `{other}`: {line}"),
+        }
+    }
+
+    // Every malformed line got its ERR…
+    for (expect_seq, expect_code) in lines.iter().filter_map(|(_, e)| *e) {
+        let at = errors
+            .iter()
+            .position(|&(s, c)| s == expect_seq && c == expect_code)
+            .unwrap_or_else(|| panic!("no ERR {expect_seq} {expect_code} in {errors:?}"));
+        errors.swap_remove(at);
+    }
+    assert!(errors.is_empty(), "unexplained errors: {errors:?}");
+    // …and every valid request answered exactly.
+    for (_, seq, width, expect) in &valid {
+        let line = oks.remove(seq).unwrap_or_else(|| panic!("no OK for {seq}"));
+        match vlcsa_serve::protocol::parse_response(&line, *width).unwrap() {
+            vlcsa_serve::Response::Ok { sum, .. } => assert_eq!(&sum, expect, "seq {seq}"),
+            other => panic!("seq {seq}: {other:?}"),
+        }
+    }
+    assert!(oks.is_empty(), "unexplained OKs: {oks:?}");
+
+    // The connection survives and STATS still parses.
+    writer.write_all(b"STATS\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match vlcsa_serve::protocol::parse_response(&line, 1).unwrap() {
+        vlcsa_serve::Response::Stats(stats) => {
+            assert_eq!(stats.engine("ripple").unwrap().lanes, 12);
+            assert_eq!(stats.engine("vlcsa1").unwrap().lanes, 12);
+        }
+        other => panic!("STATS answered {other:?}"),
+    }
     shutdown_within(server, Duration::from_secs(10));
 }
 

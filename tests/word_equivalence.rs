@@ -13,11 +13,12 @@
 //!   256-lane chunks) and must still merge to identical per-lane results;
 //! * per-lane carry-out, stall flag and cycle accounting, not just sums.
 
-use bitnum::batch::{BitSlab, Word, W256};
+use bitnum::batch::{BitSlab, WideSlab, Word, W256};
 use bitnum::UBig;
 use proptest::prelude::*;
 use vlcsa::engine::Registry;
 use vlcsa::exec::Executor;
+use vlcsa::program::{Operand, Program};
 use workloads::dist::{Distribution, OperandSource};
 
 /// Lane counts chosen to straddle both words' chunk boundaries and leave
@@ -65,6 +66,72 @@ proptest! {
                         "{} sum chunk {} lane {}", ne.name(), c, l
                     );
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Program path across words: a random server-shaped add-DAG run
+    /// through `Program::run_csa` (one carry-resolve for all lanes) over
+    /// `u64` slabs and `W256` slabs — at lane counts leaving partial
+    /// final chunks for both — is bit-identical per lane to the scalar
+    /// fold, with identical resolve cycles, for every registry engine.
+    #[test]
+    fn program_csa_agrees_across_words(
+        width in 1usize..100,
+        lanes in 1usize..=300,
+        inputs in 1usize..6,
+        steps in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        use bitnum::rng::{RandomBits, Xoshiro256};
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut program = Program::new(inputs).expect("valid input count");
+        for s in 0..steps {
+            let draw = |rng: &mut Xoshiro256| {
+                let pick = (rng.next_u64() % (inputs + s) as u64) as usize;
+                if pick < inputs {
+                    Operand::Input(pick)
+                } else {
+                    Operand::Temp(pick - inputs)
+                }
+            };
+            let (x, y) = (draw(&mut rng), draw(&mut rng));
+            program.push(x, y).expect("operands in range");
+        }
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), width, seed ^ 0x9E);
+        let lanes_ops: Vec<Vec<UBig>> = (0..inputs)
+            .map(|_| (0..lanes).map(|_| src.next_operand()).collect())
+            .collect();
+        let narrow_in: Vec<WideSlab<u64>> =
+            lanes_ops.iter().map(|ops| WideSlab::from_lanes(ops)).collect();
+        let wide_in: Vec<WideSlab<W256>> =
+            lanes_ops.iter().map(|ops| WideSlab::from_lanes(ops)).collect();
+        let narrow_registry = Registry::<u64>::for_width_word(width);
+        let wide_registry = Registry::<W256>::for_width_word(width);
+        let exec = Executor::new(2);
+        for (ne, we) in narrow_registry.engines().iter().zip(wide_registry.engines()) {
+            let narrow_out = program.run_csa(ne.as_ref(), &exec, &narrow_in);
+            let wide_out = program.run_csa(we.as_ref(), &exec, &wide_in);
+            prop_assert_eq!(narrow_out.stalls(), wide_out.stalls(), "{}", ne.name());
+            for l in 0..lanes {
+                let ops: Vec<UBig> = lanes_ops.iter().map(|o| o[l].clone()).collect();
+                let expect = program.eval_scalar(&ops);
+                prop_assert_eq!(
+                    &narrow_out.sum.lane(l), &expect,
+                    "{} narrow lane {} spec `{}`", ne.name(), l, program.spec()
+                );
+                prop_assert_eq!(
+                    &wide_out.sum.lane(l), &expect,
+                    "{} wide lane {} spec `{}`", ne.name(), l, program.spec()
+                );
+                prop_assert_eq!(
+                    narrow_out.cycles(l), wide_out.cycles(l),
+                    "{} cycles lane {}", ne.name(), l
+                );
             }
         }
     }
