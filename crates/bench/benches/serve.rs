@@ -19,11 +19,19 @@
 //! (`adds_per_sec / 8`) — the `vs_independent_adds` ratio recorded per
 //! engine, with a ≥2× floor on full runs (EXPERIMENTS.md).
 //!
+//! The third dimension is delegation: the same `ADD` and `SUM` traffic
+//! once more, naming the `auto` pseudo-engine instead of a concrete
+//! family, so the router's EWMA-driven pick is measured under identical
+//! load. On full runs the `auto` rows carry floors: requests/s must beat
+//! the worst static engine and reach ≥90% of the best (routing overhead
+//! must not eat the win it selects).
+//!
 //! Every response is verified against exact addition while it is timed;
 //! a wrong sum aborts the bench. The full run writes `BENCH_serve.json`
-//! (schema `vlcsa-bench/serve/v2`, documented in EXPERIMENTS.md).
+//! (schema `vlcsa-bench/serve/v3`, documented in EXPERIMENTS.md).
 //! `-- --smoke` (the CI loopback smoke) shrinks the op counts to
-//! milliseconds, keeps all assertions, and skips the JSON write.
+//! milliseconds, keeps the exactness assertions (the throughput floors
+//! need real budgets), and skips the JSON write.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -35,6 +43,9 @@ use workloads::dist::{Distribution, OperandSource};
 
 const WIDTH: usize = 64;
 const ENGINES: [&str; 4] = ["ripple", "carry-select", "vlcsa1", "vlcsa2"];
+/// The router-delegated row, measured after the static engines so the
+/// registry families the statics exercised are already warm estimates.
+const AUTO: &str = "auto";
 const CLIENTS: usize = 4;
 const IN_FLIGHT: usize = 64;
 /// Operand count of the reduction dimension (the acceptance shape).
@@ -180,7 +191,7 @@ fn write_json(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vlcsa-bench/serve/v2\",\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/serve/v3\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench serve\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(&format!("  \"width\": {WIDTH},\n"));
@@ -188,6 +199,30 @@ fn write_json(
     out.push_str(&format!("  \"in_flight_per_client\": {IN_FLIGHT},\n"));
     out.push_str("  \"distribution\": \"gaussian(sigma=2^24)\",\n");
     out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\", \"vs_independent_adds\": \"sums/s over (adds/s / n): reductions served per second vs issuing n independent ADDs\"},\n");
+    // The v3 delegation summary: the `auto` row against the static
+    // envelope, so the EXPERIMENTS.md floors are checkable from the JSON
+    // alone (entries still carry the full per-engine rows).
+    let auto = points
+        .iter()
+        .find(|p| p.engine == AUTO)
+        .expect("auto point measured");
+    let statics: Vec<&Point> = points.iter().filter(|p| p.engine != AUTO).collect();
+    let worst = statics
+        .iter()
+        .map(|p| p.ops_per_sec())
+        .fold(f64::INFINITY, f64::min);
+    let best = statics.iter().map(|p| p.ops_per_sec()).fold(0.0, f64::max);
+    out.push_str(&format!(
+        concat!(
+            "  \"auto_vs_static\": {{\"auto_ops_per_sec\": {:.0}, ",
+            "\"worst_static_ops_per_sec\": {:.0}, \"best_static_ops_per_sec\": {:.0}, ",
+            "\"fraction_of_best\": {:.3}}},\n"
+        ),
+        auto.ops_per_sec(),
+        worst,
+        best,
+        auto.ops_per_sec() / best,
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&p.to_json());
@@ -240,6 +275,7 @@ fn main() {
             workers: 2,
             exec_threads: 1,
             queue_depth: 1024,
+            slo_micros: None,
         },
     )
     .expect("bind loopback");
@@ -250,7 +286,7 @@ fn main() {
         "engine", "ops", "ops/s", "p50 µs", "p95 µs", "p99 µs", "stall rate"
     );
     let mut points = Vec::new();
-    for engine in ENGINES {
+    for engine in ENGINES.into_iter().chain(std::iter::once(AUTO)) {
         let point = measure(addr, engine, ops_per_client, Kind::Add);
         println!(
             "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4}",
@@ -270,8 +306,8 @@ fn main() {
         "engine", "sums", "sums/s", "p50 µs", "p95 µs", "p99 µs", "stall rate", "vs 8×ADD"
     );
     let mut sum_points = Vec::new();
-    for (engine, add) in ENGINES.into_iter().zip(&points) {
-        let point = measure(addr, engine, ops_per_client, Kind::Sum);
+    for add in &points {
+        let point = measure(addr, add.engine, ops_per_client, Kind::Sum);
         println!(
             "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4} {:>7.2}x",
             point.engine,
@@ -335,6 +371,41 @@ fn main() {
                 add.engine
             );
         }
+    }
+
+    // The delegation dimension must pay for itself: under identical
+    // traffic, routing overhead plus whatever the router picked has to
+    // beat the worst static engine outright and stay within 10% of the
+    // best (EXPERIMENTS.md floors). Only on full runs — smoke budgets are
+    // milliseconds of noise.
+    let auto = points
+        .iter()
+        .find(|p| p.engine == AUTO)
+        .expect("auto measured");
+    let statics: Vec<&Point> = points.iter().filter(|p| p.engine != AUTO).collect();
+    let worst = statics
+        .iter()
+        .map(|p| p.ops_per_sec())
+        .fold(f64::INFINITY, f64::min);
+    let best = statics.iter().map(|p| p.ops_per_sec()).fold(0.0, f64::max);
+    println!(
+        "\nauto: {:.0} req/s vs static [{:.0}, {:.0}] ({:.1}% of best)",
+        auto.ops_per_sec(),
+        worst,
+        best,
+        100.0 * auto.ops_per_sec() / best,
+    );
+    if !smoke {
+        assert!(
+            auto.ops_per_sec() > worst,
+            "auto ({:.0} req/s) does not beat the worst static engine ({worst:.0} req/s)",
+            auto.ops_per_sec(),
+        );
+        assert!(
+            auto.ops_per_sec() >= 0.9 * best,
+            "auto ({:.0} req/s) below 90% of the best static engine ({best:.0} req/s)",
+            auto.ops_per_sec(),
+        );
     }
 
     if smoke {

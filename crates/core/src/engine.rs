@@ -90,6 +90,15 @@ pub trait ScalarEngine: Send + Sync {
     ///
     /// Panics if the operand widths disagree with the engine width.
     fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome;
+
+    /// Whether the family can take the 2-cycle recovery path. Fixed-
+    /// latency families (the default) always answer in 1 cycle; the
+    /// speculative engines override this, and the adaptive router
+    /// ([`crate::route`]) only falls back to `false` families when a
+    /// latency SLO is at risk.
+    fn variable_latency(&self) -> bool {
+        false
+    }
 }
 
 /// Adapts a fixed-latency [`BatchAdd`] family to the [`Engine`] protocol:
@@ -165,6 +174,10 @@ impl ScalarEngine for Vlcsa1 {
     fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
         self.add(a, b)
     }
+
+    fn variable_latency(&self) -> bool {
+        true
+    }
 }
 
 impl<W: Word> Engine<W> for Vlcsa1 {
@@ -184,6 +197,10 @@ impl ScalarEngine for Vlcsa2 {
 
     fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
         self.add(a, b)
+    }
+
+    fn variable_latency(&self) -> bool {
+        true
     }
 }
 
@@ -280,6 +297,10 @@ impl ScalarEngine for VlsaBaseline {
             cycles: out.cycles,
             flagged: out.flagged,
         }
+    }
+
+    fn variable_latency(&self) -> bool {
+        true
     }
 }
 

@@ -55,6 +55,7 @@ pub mod multiop;
 pub mod netlist;
 pub mod pipeline;
 pub mod program;
+pub mod route;
 mod scsa;
 mod scsa2;
 mod vlcsa1;
@@ -66,6 +67,7 @@ pub use engine::{Engine, EngineLookupError, FixedLatency, Registry, VlsaBaseline
 pub use exec::{Executor, WideOutcome};
 pub use group::{GroupBuilder, IssueGroup};
 pub use program::{Operand, Program, ProgramError, ProgramOutcome};
+pub use route::{RouteConfig, Router, AUTO_ENGINE};
 pub use scsa::{Scsa, SpecResult, WindowPg};
 pub use scsa2::{Scsa2, Spec2Result};
 pub use vlcsa1::{AddOutcome, LatencyStats, Vlcsa1};

@@ -52,6 +52,10 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server sent a line this client cannot parse.
     Protocol(String),
+    /// The request cannot be expressed on the wire at all — e.g. a
+    /// step-less program, whose spec is the empty string and so not a
+    /// protocol token. Nothing was sent; the connection is still usable.
+    Unrepresentable(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -59,6 +63,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Unrepresentable(msg) => {
+                write!(f, "request not representable on the wire: {msg}")
+            }
         }
     }
 }
@@ -191,20 +198,23 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns the socket write error.
+    /// Returns the socket write error, or
+    /// [`ClientError::Unrepresentable`] — without sending anything — for
+    /// a step-less program: its spec is the empty string, which is not a
+    /// wire token (run it locally with
+    /// [`Program::eval_scalar`] instead; there is nothing to batch).
     ///
     /// # Panics
     ///
     /// Panics if `inputs` does not match the program's input count, if
-    /// the inputs disagree on width, if the program has no steps (its
-    /// spec would be an empty wire token), or if `engine` is not a single
+    /// the inputs disagree on width, or if `engine` is not a single
     /// protocol token.
     pub fn submit_program(
         &mut self,
         engine: &str,
         program: &Program,
         inputs: &[UBig],
-    ) -> std::io::Result<u64> {
+    ) -> Result<u64, ClientError> {
         assert_eq!(
             inputs.len(),
             program.inputs(),
@@ -212,6 +222,12 @@ impl Client {
         );
         for op in inputs {
             assert_eq!(op.width(), inputs[0].width(), "operand width mismatch");
+        }
+        if program.steps().is_empty() {
+            return Err(ClientError::Unrepresentable(format!(
+                "a step-less {}-input program has an empty spec; evaluate it locally",
+                program.inputs()
+            )));
         }
         self.check_engine_token(engine);
         let seq = self.next_seq;
@@ -230,7 +246,9 @@ impl Client {
     ///
     /// Fails on the conditions of [`Client::submit_program`] /
     /// [`Client::recv`], or with the server's [`RequestError`] as a
-    /// protocol error.
+    /// protocol error. A step-less program is a structured
+    /// [`ClientError::Unrepresentable`], not a panic, and leaves the
+    /// connection usable.
     pub fn run_program(
         &mut self,
         engine: &str,
@@ -282,9 +300,9 @@ impl Client {
                 sum, cout, cycles, ..
             } => Ok((seq, Ok(AddResponse { sum, cout, cycles }))),
             Response::Err(err) => Ok((seq, Err(err))),
-            Response::Engines(_) | Response::Stats(_) => Err(ClientError::Protocol(
-                "non-ADD response while waiting for ADD".into(),
-            )),
+            Response::Engines(_) | Response::Stats(_) | Response::Slo(_) => Err(
+                ClientError::Protocol("non-ADD response while waiting for ADD".into()),
+            ),
         }
     }
 
@@ -332,6 +350,50 @@ impl Client {
             Response::Stats(stats) => Ok(stats),
             other => Err(ClientError::Protocol(format!(
                 "expected STATS response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries the server's p99 latency budget — `Ok(None)` means no SLO
+    /// is set (the `auto` router never degrades).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an unparseable reply. Call with no
+    /// in-flight requests — an `OK` arriving first is a protocol error.
+    pub fn slo(&mut self) -> Result<Option<u64>, ClientError> {
+        self.slo_command("SLO\n")
+    }
+
+    /// Sets (`Some(micros)`) or clears (`None`) the server's p99 budget
+    /// and returns the budget now in force (the server's echo).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::slo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is `Some(0)` — the protocol reserves 0; clear
+    /// with `None` / `SLO off` instead.
+    pub fn set_slo(&mut self, budget: Option<u64>) -> Result<Option<u64>, ClientError> {
+        let line = match budget {
+            Some(micros) => {
+                assert!(micros >= 1, "an SLO budget must be >= 1 micros");
+                format!("SLO {micros}\n")
+            }
+            None => "SLO off\n".to_string(),
+        };
+        self.slo_command(&line)
+    }
+
+    fn slo_command(&mut self, line: &str) -> Result<Option<u64>, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        let line = self.read_line()?;
+        match parse_response(&line, 1).map_err(ClientError::Protocol)? {
+            Response::Slo(budget) => Ok(budget),
+            other => Err(ClientError::Protocol(format!(
+                "expected SLO response, got {other:?}"
             ))),
         }
     }

@@ -21,6 +21,12 @@
 //!   batching window over [`vlcsa::group::GroupBuilder`], the worker pool;
 //! * [`server`] / [`client`] — the TCP front-end and the client library.
 //!
+//! Requests may also name the pseudo-engine `auto`: the batcher resolves
+//! it per issue group through [`vlcsa::route::Router`] — EWMA cycles/op
+//! estimates fed by every completed group, degrading to a fixed-latency
+//! family when the `SLO <micros>` p99 budget is breached. `STATS` reports
+//! the current route per width and the budget in force.
+//!
 //! # Quick start
 //!
 //! ```
@@ -60,7 +66,10 @@ pub mod server;
 pub mod service;
 
 pub use client::{AddResponse, Client, ClientError};
-pub use protocol::{EngineStats, ErrorCode, Request, RequestError, Response, StatsReport};
+pub use protocol::{
+    EngineStats, ErrorCode, Request, RequestError, Response, SloAction, StatsReport,
+};
 pub use server::Server;
 pub use service::{AddResult, RegistryCache, ServeConfig, Service, SubmitError};
 pub use vlcsa::program::Program;
+pub use vlcsa::route::{RouteStat, Router, AUTO_ENGINE};

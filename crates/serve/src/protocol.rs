@@ -15,12 +15,14 @@
 //!   PROG <seq> <engine> <width> <n> <spec> <hex>… one dataflow program
 //!   ENGINES                                       list known engine names
 //!   STATS                                         service counters snapshot
+//!   SLO [<micros>|off]                            query / set / clear the p99 budget
 //!
 //! server → client
 //!   OK <seq> <sum-hex> <cout:0|1> <cycles>        the lane's exact result
 //!   ERR <seq> <code> <message…>                   per-request failure
 //!   ENGINES <name> <name> …                       the registry's names
 //!   STATS <k>=<v> … engine=<name>:<lanes>:<stalls> …   one-line snapshot
+//!   SLO <micros>|off                              the budget after the command
 //! ```
 //!
 //! `SUM` carries a whole multi-operand reduction in one request: the
@@ -36,9 +38,17 @@
 //!
 //! `STATS` answers with a **single line** of `key=value` tokens — queue
 //! depth, batching-window occupancy (pending lanes and the window bound),
-//! the slab word width — followed by one `engine=<name>:<lanes>:<stalls>`
-//! token per engine that has served traffic, from which per-engine stall
-//! rates derive (`stalls / lanes`).
+//! the slab word width, the SLO budget (`slo=<micros>` or `slo=off`) —
+//! followed by one `engine=<name>:<lanes>:<stalls>` token per engine that
+//! has served traffic, from which per-engine stall rates derive
+//! (`stalls / lanes`), and one `route=<width>:<engine>:<ok|degraded>`
+//! token per width the `auto` router has decided for (the engine the last
+//! `auto` group at that width ran on, and whether the SLO forced a
+//! fixed-latency fallback).
+//!
+//! Requests may name the engine `auto` to delegate the choice to the
+//! server's router ([`vlcsa::route`]); `SLO <micros>` sets the p99 budget
+//! that router degrades under, `SLO off` clears it, bare `SLO` queries it.
 //!
 //! A malformed line that does not yield a sequence number is answered with
 //! `ERR 0 bad-request …`; protocol errors never drop the connection.
@@ -62,6 +72,7 @@
 
 use bitnum::UBig;
 use vlcsa::program::{Program, MAX_PROGRAM_INPUTS};
+use vlcsa::route::RouteStat;
 
 /// Widths a request may name: at least 1 bit, at most
 /// [`bitnum::MAX_WIDTH`].
@@ -116,6 +127,20 @@ pub enum Request {
     Engines,
     /// `STATS` — snapshot the service counters.
     Stats,
+    /// `SLO` / `SLO <micros>` / `SLO off` — query or change the p99
+    /// latency budget the `auto` router degrades under.
+    Slo(SloAction),
+}
+
+/// What an `SLO` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloAction {
+    /// Bare `SLO`: report the current budget without changing it.
+    Query,
+    /// `SLO <micros>`: set the budget (micros ≥ 1).
+    Set(u64),
+    /// `SLO off`: clear the budget (the router never degrades).
+    Clear,
 }
 
 /// Machine-readable failure classes of an `ERR` response.
@@ -325,6 +350,30 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 format!("STATS takes no arguments, got `{extra}`"),
             )),
         },
+        Some("SLO") => {
+            let action = match tokens.next() {
+                None => SloAction::Query,
+                Some("off") => SloAction::Clear,
+                Some(arg) => match arg.parse::<u64>() {
+                    Ok(micros) if micros >= 1 => SloAction::Set(micros),
+                    _ => {
+                        return Err(RequestError::new(
+                            0,
+                            ErrorCode::BadRequest,
+                            format!("SLO takes a budget in micros (>= 1) or `off`, got `{arg}`"),
+                        ))
+                    }
+                },
+            };
+            if let Some(extra) = tokens.next() {
+                return Err(RequestError::new(
+                    0,
+                    ErrorCode::BadRequest,
+                    format!("SLO takes one argument, got trailing `{extra}`"),
+                ));
+            }
+            Ok(Request::Slo(action))
+        }
         Some("ADD") => {
             let (seq, engine, width) = parse_head("ADD", &mut tokens)?;
             let mut operands = parse_operands("ADD", seq, width, 2, &mut tokens)?;
@@ -444,8 +493,9 @@ impl EngineStats {
 }
 
 /// The `STATS` snapshot: queue depth, batching-window occupancy, the slab
-/// word width, and per-engine stall counters — everything the single
-/// response line carries.
+/// word width, the SLO budget, per-engine stall counters and the `auto`
+/// router's current route per width — everything the single response
+/// line carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReport {
     /// Requests currently queued ahead of the batcher.
@@ -456,8 +506,13 @@ pub struct StatsReport {
     pub max_lanes: usize,
     /// Lane width of the slab word the engines run on (64 or 256).
     pub word_bits: usize,
+    /// The p99 budget the `auto` router degrades under (`None` = off).
+    pub slo_micros: Option<u64>,
     /// Per-engine counters, in first-served order.
     pub engines: Vec<EngineStats>,
+    /// The router's last decision per width, ascending by width — absent
+    /// for widths that have never seen `auto` traffic.
+    pub routes: Vec<RouteStat>,
 }
 
 impl StatsReport {
@@ -497,6 +552,8 @@ pub enum Response {
     Engines(Vec<String>),
     /// `STATS <k>=<v> …` — the one-line counters snapshot.
     Stats(StatsReport),
+    /// `SLO <micros>|off` — the budget in force after an `SLO` command.
+    Slo(Option<u64>),
 }
 
 /// Formats a response line (no trailing newline). `Ok` needs no width on
@@ -520,14 +577,32 @@ pub fn format_response(response: &Response) -> String {
         }
         Response::Stats(stats) => {
             let mut line = format!(
-                "STATS queue_depth={} window_lanes={} max_lanes={} word_bits={}",
-                stats.queue_depth, stats.window_lanes, stats.max_lanes, stats.word_bits
+                "STATS queue_depth={} window_lanes={} max_lanes={} word_bits={} slo={}",
+                stats.queue_depth,
+                stats.window_lanes,
+                stats.max_lanes,
+                stats.word_bits,
+                stats
+                    .slo_micros
+                    .map_or_else(|| "off".to_string(), |m| m.to_string()),
             );
             for e in &stats.engines {
                 line.push_str(&format!(" engine={}:{}:{}", e.name, e.lanes, e.stalls));
             }
+            for r in &stats.routes {
+                line.push_str(&format!(
+                    " route={}:{}:{}",
+                    r.width,
+                    r.engine,
+                    if r.degraded { "degraded" } else { "ok" }
+                ));
+            }
             line
         }
+        Response::Slo(budget) => match budget {
+            Some(micros) => format!("SLO {micros}"),
+            None => "SLO off".to_string(),
+        },
     }
 }
 
@@ -582,12 +657,14 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                 window_lanes: 0,
                 max_lanes: 0,
                 word_bits: 0,
+                slo_micros: None,
                 engines: Vec::new(),
+                routes: Vec::new(),
             };
             // Every scalar key is mandatory: a truncated line must fail
             // loudly, not parse as an idle snapshot.
-            let (mut have_queue, mut have_window, mut have_max, mut have_word) =
-                (false, false, false, false);
+            let (mut have_queue, mut have_window, mut have_max, mut have_word, mut have_slo) =
+                (false, false, false, false, false);
             for token in tokens {
                 let (key, value) = token
                     .split_once('=')
@@ -609,6 +686,42 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                     "word_bits" => {
                         stats.word_bits = number(value)?;
                         have_word = true;
+                    }
+                    "slo" => {
+                        stats.slo_micros = match value {
+                            "off" => None,
+                            micros => Some(
+                                micros
+                                    .parse::<u64>()
+                                    .map_err(|e| format!("STATS slo: {e}"))?,
+                            ),
+                        };
+                        have_slo = true;
+                    }
+                    "route" => {
+                        let mut parts = value.splitn(3, ':');
+                        let width = parts
+                            .next()
+                            .and_then(|w| w.parse::<usize>().ok())
+                            .ok_or_else(|| format!("STATS route `{value}` has no width"))?;
+                        let engine = parts
+                            .next()
+                            .filter(|e| !e.is_empty())
+                            .ok_or_else(|| format!("STATS route `{value}` has no engine"))?;
+                        let degraded = match parts.next() {
+                            Some("ok") => false,
+                            Some("degraded") => true,
+                            _ => {
+                                return Err(format!(
+                                    "STATS route `{value}` needs an ok|degraded state"
+                                ))
+                            }
+                        };
+                        stats.routes.push(RouteStat {
+                            width,
+                            engine: engine.to_string(),
+                            degraded,
+                        });
                     }
                     "engine" => {
                         let mut parts = value.split(':');
@@ -634,11 +747,20 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                     other => return Err(format!("STATS has unknown key `{other}`")),
                 }
             }
-            if !(have_queue && have_window && have_max && have_word) {
+            if !(have_queue && have_window && have_max && have_word && have_slo) {
                 return Err("STATS is missing a mandatory key".into());
             }
             Ok(Response::Stats(stats))
         }
+        Some("SLO") => match (tokens.next(), tokens.next()) {
+            (Some("off"), None) => Ok(Response::Slo(None)),
+            (Some(micros), None) => micros
+                .parse::<u64>()
+                .map(|m| Response::Slo(Some(m)))
+                .map_err(|e| format!("SLO budget: {e}")),
+            (None, _) => Err("SLO response is missing the budget".into()),
+            (_, Some(extra)) => Err(format!("SLO response has trailing `{extra}`")),
+        },
         Some(other) => Err(format!("unknown response `{other}`")),
         None => Err("empty response line".into()),
     }
@@ -812,6 +934,53 @@ mod tests {
     }
 
     #[test]
+    fn slo_request_parses_query_set_and_clear() {
+        assert_eq!(
+            parse_request("SLO").unwrap(),
+            Request::Slo(SloAction::Query)
+        );
+        assert_eq!(
+            parse_request("SLO 2500").unwrap(),
+            Request::Slo(SloAction::Set(2500))
+        );
+        assert_eq!(
+            parse_request("SLO off").unwrap(),
+            Request::Slo(SloAction::Clear)
+        );
+    }
+
+    #[test]
+    fn slo_request_garbage_is_a_seqless_bad_request() {
+        // Pinned `ERR 0 bad-request` surface: SLO carries no sequence
+        // number, so every malformed variant answers at seq 0.
+        for line in [
+            "SLO abc",
+            "SLO 0",
+            "SLO -3",
+            "SLO 1.5",
+            "SLO 12 34",
+            "SLO off now",
+        ] {
+            let err = parse_request(line).err().unwrap_or_else(|| {
+                panic!("`{line}` parsed");
+            });
+            assert_eq!(err.code, ErrorCode::BadRequest, "`{line}` → {err:?}");
+            assert_eq!(err.seq, 0, "`{line}` → {err:?}");
+        }
+    }
+
+    #[test]
+    fn slo_response_roundtrip() {
+        for budget in [Some(1u64), Some(750), None] {
+            let line = format_response(&Response::Slo(budget));
+            assert_eq!(parse_response(&line, 1).unwrap(), Response::Slo(budget));
+        }
+        assert!(parse_response("SLO", 1).is_err());
+        assert!(parse_response("SLO maybe", 1).is_err());
+        assert!(parse_response("SLO 5 6", 1).is_err());
+    }
+
+    #[test]
     fn truncated_stats_response_fails_not_parses_as_idle() {
         // A bare or partial STATS line must be a protocol error — an
         // all-zero report is indistinguishable from an idle server.
@@ -820,6 +989,8 @@ mod tests {
             "STATS queue_depth=0",
             "STATS queue_depth=0 window_lanes=0 max_lanes=256",
             "STATS queue_depth=0 window_lanes=0 word_bits=256 engine=ripple:1:0",
+            // All the pre-SLO keys but no slo= — a v2-era line must fail.
+            "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256",
         ] {
             let err = parse_response(line, 1).expect_err(line);
             assert!(err.contains("mandatory"), "{line}: {err}");
@@ -830,7 +1001,9 @@ mod tests {
             window_lanes: 0,
             max_lanes: 0,
             word_bits: 0,
+            slo_micros: None,
             engines: Vec::new(),
+            routes: Vec::new(),
         };
         assert_eq!(zeroed.window_occupancy(), 0.0);
     }
@@ -842,6 +1015,7 @@ mod tests {
             window_lanes: 17,
             max_lanes: 256,
             word_bits: 256,
+            slo_micros: Some(750),
             engines: vec![
                 EngineStats {
                     name: "vlcsa1".into(),
@@ -854,6 +1028,18 @@ mod tests {
                     stalls: 0,
                 },
             ],
+            routes: vec![
+                RouteStat {
+                    width: 32,
+                    engine: "vlcsa2".into(),
+                    degraded: false,
+                },
+                RouteStat {
+                    width: 64,
+                    engine: "ripple".into(),
+                    degraded: true,
+                },
+            ],
         };
         let line = format_response(&Response::Stats(stats.clone()));
         assert!(!line.contains('\n'), "STATS must be a single line: {line}");
@@ -861,7 +1047,10 @@ mod tests {
             line.starts_with("STATS queue_depth=3 window_lanes=17"),
             "{line}"
         );
+        assert!(line.contains("slo=750"), "{line}");
         assert!(line.contains("engine=vlcsa1:1000:251"), "{line}");
+        assert!(line.contains("route=32:vlcsa2:ok"), "{line}");
+        assert!(line.contains("route=64:ripple:degraded"), "{line}");
         match parse_response(&line, 1).unwrap() {
             Response::Stats(parsed) => {
                 assert_eq!(parsed, stats);

@@ -45,7 +45,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::protocol::{format_response, parse_request, ErrorCode, Request, RequestError, Response};
+use vlcsa::route::AUTO_ENGINE;
+
+use crate::protocol::{
+    format_response, parse_request, ErrorCode, Request, RequestError, Response, SloAction,
+};
 use crate::service::{ServeConfig, Service, SubmitError};
 
 /// Writes one response line to a shared socket, swallowing write errors —
@@ -96,13 +100,28 @@ fn serve_connection(stream: TcpStream, service: &Service) {
         match parse_request(&line) {
             Ok(Request::Engines) => {
                 // Engine names are width-independent; any registry lists
-                // them. 64 is as good a cache key as any.
+                // them. 64 is as good a cache key as any. `auto` rides
+                // along so clients discover the pseudo-engine too.
                 let names = service.registries().at(64).names();
-                let names = names.into_iter().map(str::to_string).collect();
+                let names = names
+                    .into_iter()
+                    .map(str::to_string)
+                    .chain(std::iter::once(AUTO_ENGINE.to_string()))
+                    .collect();
                 write_line(&writer, &Response::Engines(names));
             }
             Ok(Request::Stats) => {
                 write_line(&writer, &Response::Stats(service.stats()));
+            }
+            Ok(Request::Slo(action)) => {
+                match action {
+                    SloAction::Query => {}
+                    SloAction::Set(micros) => service.set_slo(Some(micros)),
+                    SloAction::Clear => service.set_slo(None),
+                }
+                // Always echo the budget now in force, so a set doubles
+                // as a readback and a query is just the degenerate case.
+                write_line(&writer, &Response::Slo(service.slo()));
             }
             Ok(Request::Add {
                 seq,

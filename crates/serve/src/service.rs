@@ -51,8 +51,9 @@ use bitnum::batch::{DefaultWord, Word};
 use bitnum::UBig;
 use vlcsa::engine::{EngineLookupError, Registry};
 use vlcsa::exec::Executor;
-use vlcsa::group::GroupBuilder;
+use vlcsa::group::{GroupBuilder, IssueGroup};
 use vlcsa::program::Program;
+use vlcsa::route::{RouteConfig, Router, AUTO_ENGINE};
 
 use crate::protocol::{EngineStats, StatsReport, OPERAND_RANGE, WIDTH_RANGE};
 use crate::queue::{PopResult, Queue};
@@ -70,6 +71,9 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Threads of the per-group [`Executor`].
     pub exec_threads: usize,
+    /// Initial p99 latency budget (micros) for the `auto` router; `None`
+    /// disables SLO degradation until an `SLO <micros>` command sets one.
+    pub slo_micros: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +86,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(500),
             workers: 2,
             exec_threads: 1,
+            slo_micros: None,
         }
     }
 }
@@ -217,23 +222,51 @@ impl Metrics {
     }
 }
 
+/// One issue group in flight between batcher and workers, tagged with
+/// when it was queued: the router's latency observation starts at the
+/// batching decision, so the SLO p99s include executor queueing, not just
+/// the engine run.
+struct QueuedGroup {
+    group: IssueGroup<Reply>,
+    enqueued: Instant,
+}
+
 /// The running service core — see the module docs for the pipeline shape.
 pub struct Service {
     requests: Arc<Queue<Job>>,
     registries: Arc<RegistryCache>,
     metrics: Arc<Metrics>,
+    router: Arc<Router>,
     max_lanes: usize,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl Service {
-    /// Starts the batcher and worker threads.
+    /// Starts the batcher and worker threads with a production router
+    /// (wall-clock time, registry candidates, `config.slo_micros` as the
+    /// initial budget).
     ///
     /// # Panics
     ///
     /// Panics if any of `queue_depth`, `max_lanes`, `workers` or
     /// `exec_threads` is zero.
     pub fn start(config: ServeConfig) -> Self {
+        let router = Router::new(RouteConfig {
+            slo_micros: config.slo_micros,
+            ..RouteConfig::default()
+        });
+        Self::start_with_router(config, Arc::new(router))
+    }
+
+    /// Starts the service over an injected [`Router`] — the seam the
+    /// routing tests use to script time and statistics deterministically.
+    /// `config.slo_micros` is ignored here; the injected router's budget
+    /// is authoritative.
+    ///
+    /// # Panics
+    ///
+    /// As [`Service::start`].
+    pub fn start_with_router(config: ServeConfig, router: Arc<Router>) -> Self {
         assert!(
             config.max_lanes >= 1,
             "a batching window needs max_lanes >= 1"
@@ -242,8 +275,7 @@ impl Service {
         let requests: Arc<Queue<Job>> = Arc::new(Queue::new(config.queue_depth));
         // Groups queue depth: enough that the batcher never blocks on a
         // slow worker unless every worker is busy with a backlog.
-        let groups: Arc<Queue<vlcsa::group::IssueGroup<Reply>>> =
-            Arc::new(Queue::new(config.workers * 2));
+        let groups: Arc<Queue<QueuedGroup>> = Arc::new(Queue::new(config.workers * 2));
         let registries = Arc::new(RegistryCache::new());
         let metrics = Arc::new(Metrics::new());
         let mut threads = Vec::with_capacity(config.workers + 1);
@@ -252,6 +284,7 @@ impl Service {
             let requests = Arc::clone(&requests);
             let groups = Arc::clone(&groups);
             let metrics = Arc::clone(&metrics);
+            let router = Arc::clone(&router);
             std::thread::spawn(move || {
                 let mut builder: GroupBuilder<Reply> = GroupBuilder::new();
                 'accept: while let Some(first) = requests.pop() {
@@ -278,8 +311,22 @@ impl Service {
                     }
                     let drained = builder.drain();
                     metrics.window_lanes.store(0, Ordering::Relaxed);
-                    for group in drained {
-                        if groups.push(group).is_err() {
+                    for mut group in drained {
+                        // `auto` groups are resolved here, per issue
+                        // group: the whole group runs on the router's
+                        // current pick, so one batching window can still
+                        // send different widths to different engines.
+                        if group.engine == AUTO_ENGINE {
+                            group.engine = router
+                                .route(group.width)
+                                .expect("the registry lists engines at every valid width")
+                                .engine;
+                        }
+                        let queued = QueuedGroup {
+                            group,
+                            enqueued: Instant::now(),
+                        };
+                        if groups.push(queued).is_err() {
                             break 'accept;
                         }
                     }
@@ -296,15 +343,26 @@ impl Service {
             let groups = Arc::clone(&groups);
             let registries = Arc::clone(&registries);
             let metrics = Arc::clone(&metrics);
+            let router = Arc::clone(&router);
             let executor = Executor::new(config.exec_threads);
             threads.push(std::thread::spawn(move || {
-                while let Some(group) = groups.pop() {
+                while let Some(QueuedGroup { group, enqueued }) = groups.pop() {
                     let registry = registries.at(group.width);
                     let engine = registry
                         .lookup(&group.engine)
-                        .expect("engine validated at submit time");
+                        .expect("engine validated at submit time or routed");
                     let out = executor.run(engine, &group.a, &group.b);
+                    let micros = u64::try_from(enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
                     metrics.record_group(&group.engine, out.lanes() as u64, out.stalls());
+                    // Every group feeds the router — named traffic too —
+                    // so `auto` estimates warm up from whatever runs.
+                    router.record(
+                        &group.engine,
+                        group.width,
+                        out.lanes() as u64,
+                        out.stalls(),
+                        micros,
+                    );
                     for (l, reply) in group.tags.into_iter().enumerate() {
                         reply(AddResult {
                             sum: out.sum.lane(l),
@@ -320,6 +378,7 @@ impl Service {
             requests,
             registries,
             metrics,
+            router,
             max_lanes: config.max_lanes,
             threads,
         }
@@ -351,7 +410,9 @@ impl Service {
             window_lanes: self.metrics.window_lanes.load(Ordering::Relaxed),
             max_lanes: self.max_lanes,
             word_bits: DefaultWord::LANES,
+            slo_micros: self.router.slo(),
             engines,
+            routes: self.router.routes(),
         }
     }
 
@@ -360,9 +421,43 @@ impl Service {
         &self.registries
     }
 
+    /// The `auto` router — the `SLO` command and the routing tests share
+    /// it.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// The current p99 budget of the `auto` router (`None` = off).
+    pub fn slo(&self) -> Option<u64> {
+        self.router.slo()
+    }
+
+    /// Replaces the p99 budget; affects the next routed `auto` group.
+    pub fn set_slo(&self, micros: Option<u64>) {
+        self.router.set_slo(micros);
+    }
+
+    /// Resolves a submitted engine name to its canonical form: `auto`
+    /// passes through (the batcher resolves it per issue group, so the
+    /// decision uses the freshest estimates), anything else must be a
+    /// registry name at the width.
+    fn canonical_engine(&self, engine: &str, width: usize) -> Result<&'static str, SubmitError> {
+        if engine == AUTO_ENGINE {
+            return Ok(AUTO_ENGINE);
+        }
+        Ok(self
+            .registries
+            .at(width)
+            .lookup(engine)
+            .map_err(SubmitError::UnknownEngine)?
+            .name())
+    }
+
     /// Validates and queues one addition; `reply` fires from a worker once
     /// the lane's issue group has run. Blocks while the request queue is
-    /// full (the service's backpressure).
+    /// full (the service's backpressure). The engine may be `auto`: the
+    /// batcher then picks a concrete engine per issue group via the
+    /// [`Router`].
     ///
     /// # Errors
     ///
@@ -377,11 +472,7 @@ impl Service {
         if !WIDTH_RANGE.contains(&width) {
             return Err(SubmitError::BadWidth(width));
         }
-        let registry = self.registries.at(width);
-        let engine = registry
-            .lookup(engine)
-            .map_err(SubmitError::UnknownEngine)?
-            .name();
+        let engine = self.canonical_engine(engine, width)?;
         self.requests
             .push(Job {
                 engine: engine.to_string(),
@@ -423,11 +514,7 @@ impl Service {
         if !WIDTH_RANGE.contains(&width) {
             return Err(SubmitError::BadWidth(width));
         }
-        let registry = self.registries.at(width);
-        let engine = registry
-            .lookup(engine)
-            .map_err(SubmitError::UnknownEngine)?
-            .name();
+        let engine = self.canonical_engine(engine, width)?;
         let (x, y) = program.csa_pair_scalar(inputs);
         self.requests
             .push(Job {

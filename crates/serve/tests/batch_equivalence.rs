@@ -76,6 +76,7 @@ proptest! {
             workers: 3,
             exec_threads: 2,
             queue_depth: 32,
+            slo_micros: None,
         });
         let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
         for (i, req) in requests.iter().enumerate() {
@@ -173,6 +174,7 @@ proptest! {
             workers: 3,
             exec_threads: 2,
             queue_depth: 32,
+            slo_micros: None,
         });
         let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
         for (i, (engine, _, program, operands)) in programs.iter().enumerate() {
@@ -222,6 +224,75 @@ proptest! {
             let resolve = registry.get(engine).expect("known engine").add_one(&x, &y);
             prop_assert_eq!(served.cycles, resolve.cycles, "cycles of program {}", i);
             prop_assert_eq!(served.cout, resolve.cout, "cout of program {}", i);
+        }
+    }
+
+    /// Any interleaving served via `auto` is bit-identical to `add_one`
+    /// regardless of which engine the router picked: every registry
+    /// family computes exact addition, so the routing decision is
+    /// unobservable in sums and carry-outs by construction (only the
+    /// cycle count may differ, and it stays in the 1-or-2 envelope).
+    /// Interleaves explicitly-named requests so `auto` groups and named
+    /// groups share batching windows.
+    #[test]
+    fn auto_routing_is_bit_identical_to_add_one(
+        (seed, count, max_lanes) in (any::<u64>(), 1usize..140, 1usize..97)
+    ) {
+        let requests = random_requests(seed, count);
+        let service = Service::start(ServeConfig {
+            max_lanes,
+            max_wait: Duration::from_micros(200),
+            workers: 3,
+            exec_threads: 2,
+            queue_depth: 32,
+            slo_micros: None,
+        });
+        let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
+        for (i, req) in requests.iter().enumerate() {
+            // Two of three requests delegate the engine choice; the rest
+            // keep their concrete name, sharing the same windows.
+            let engine = if i % 3 == 0 { req.engine } else { "auto" };
+            let tx = tx.clone();
+            service
+                .submit(
+                    engine,
+                    req.a.clone(),
+                    req.b.clone(),
+                    Box::new(move |result| {
+                        let _ = tx.send((i, result));
+                    }),
+                )
+                .expect("valid request");
+        }
+        let mut answers: Vec<Option<AddResult>> = vec![None; requests.len()];
+        for _ in 0..requests.len() {
+            let (i, result) = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("every request is answered");
+            prop_assert!(answers[i].is_none(), "request {} answered twice", i);
+            answers[i] = Some(result);
+        }
+        service.shutdown();
+
+        let mut registries: HashMap<usize, Registry> = HashMap::new();
+        for (i, req) in requests.iter().enumerate() {
+            let served = answers[i].as_ref().expect("answered above");
+            let width = req.a.width();
+            let registry = registries
+                .entry(width)
+                .or_insert_with(|| Registry::for_width(width));
+            // `add_one` of any engine is exact addition; use the named
+            // engine as the reference regardless of what `auto` ran.
+            let reference = registry
+                .get(req.engine)
+                .expect("known engine")
+                .add_one(&req.a, &req.b);
+            prop_assert_eq!(&served.sum, &reference.sum, "sum of request {} (w{})", i, width);
+            prop_assert_eq!(served.cout, reference.cout, "cout of request {}", i);
+            prop_assert!(
+                served.cycles == 1 || served.cycles == 2,
+                "cycles of request {} outside the 1-or-2 envelope: {}", i, served.cycles
+            );
         }
     }
 }

@@ -152,7 +152,7 @@ fn bad_engine_name_lists_known_engines_and_keeps_connection() {
 }
 
 #[test]
-fn engines_command_lists_the_registry() {
+fn engines_command_lists_the_registry_plus_auto() {
     let server = Server::start("127.0.0.1:0", test_config()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
     let names = client.engines().unwrap();
@@ -160,8 +160,9 @@ fn engines_command_lists_the_registry() {
         .names()
         .into_iter()
         .map(str::to_string)
+        .chain(std::iter::once(vlcsa_serve::AUTO_ENGINE.to_string()))
         .collect();
-    assert_eq!(names, expect);
+    assert_eq!(names, expect, "registry families then the pseudo-engine");
     client.close();
     shutdown_within(server, Duration::from_secs(10));
 }
@@ -510,7 +511,11 @@ fn fuzzed_sum_and_prog_lines_never_kill_the_connection() {
     }
 
     // Valid traffic: ADDs (seq 1000+) and SUMs (seq 2000+) whose exact
-    // answers are checked after the storm.
+    // answers are checked after the storm, plus `auto`-delegated ADDs
+    // (seq 3000+), SUMs (seq 4000+) and PROGs (seq 5000+) — the router's
+    // pick may be any family, but every family computes exact addition,
+    // so the expected sums don't depend on it.
+    let auto_program = Program::from_spec("i0+i1,t0+i2", 3).unwrap();
     let mut valid: Vec<(String, u64, usize, UBig)> = Vec::new();
     let mut src = OperandSource::new(Distribution::UnsignedUniform, 64, 0xF00D);
     for i in 0..12u64 {
@@ -531,6 +536,30 @@ fn fuzzed_sum_and_prog_lines_never_kill_the_connection() {
             2000 + i,
             64,
             expect,
+        ));
+        let (a, b) = src.next_pair();
+        valid.push((
+            vlcsa_serve::protocol::format_add(3000 + i, "auto", &a, &b),
+            3000 + i,
+            64,
+            a.wrapping_add(&b),
+        ));
+        let operands: Vec<UBig> = (0..3).map(|_| src.next_operand()).collect();
+        let expect = operands[1..]
+            .iter()
+            .fold(operands[0].clone(), |acc, o| acc.wrapping_add(o));
+        valid.push((
+            vlcsa_serve::protocol::format_sum(4000 + i, "auto", &operands),
+            4000 + i,
+            64,
+            expect,
+        ));
+        let inputs: Vec<UBig> = (0..3).map(|_| src.next_operand()).collect();
+        valid.push((
+            vlcsa_serve::protocol::format_program(5000 + i, "auto", &auto_program, &inputs),
+            5000 + i,
+            64,
+            auto_program.eval_scalar(&inputs),
         ));
     }
 
@@ -603,17 +632,137 @@ fn fuzzed_sum_and_prog_lines_never_kill_the_connection() {
     }
     assert!(oks.is_empty(), "unexplained OKs: {oks:?}");
 
-    // The connection survives and STATS still parses.
+    // The connection survives and STATS still parses. The `auto` lanes
+    // were recorded under whatever family the router picked, so the named
+    // engines hold at least their own traffic and the grand total adds up
+    // exactly: 12 named ADDs + 12 named SUMs + 36 delegated requests.
     writer.write_all(b"STATS\n").unwrap();
     let mut line = String::new();
     reader.read_line(&mut line).unwrap();
     match vlcsa_serve::protocol::parse_response(&line, 1).unwrap() {
         vlcsa_serve::Response::Stats(stats) => {
-            assert_eq!(stats.engine("ripple").unwrap().lanes, 12);
-            assert_eq!(stats.engine("vlcsa1").unwrap().lanes, 12);
+            assert!(stats.engine("ripple").unwrap().lanes >= 12);
+            assert!(stats.engine("vlcsa1").unwrap().lanes >= 12);
+            let total: u64 = stats.engines.iter().map(|e| e.lanes).sum();
+            assert_eq!(total, 60, "every request is exactly one lane: {stats:?}");
+            // Delegated traffic flowed, so the router must expose its
+            // width-64 decision, un-degraded (no SLO was ever set).
+            let route = stats
+                .routes
+                .iter()
+                .find(|r| r.width == 64)
+                .expect("auto traffic leaves a width-64 route");
+            assert!(!route.degraded);
+            assert_eq!(stats.slo_micros, None);
         }
         other => panic!("STATS answered {other:?}"),
     }
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn slo_round_trips_and_stats_reports_routes() {
+    // The SLO budget is a live service knob: query, set (the response
+    // doubles as a readback), clear — and STATS carries both the budget
+    // in force and the router's current per-width decision once `auto`
+    // traffic has flowed. Garbage SLO lines are seqless bad-requests that
+    // leave the connection (and the budget) untouched.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    assert_eq!(client.slo().unwrap(), None, "no budget configured at start");
+    assert_eq!(client.set_slo(Some(750)).unwrap(), Some(750), "set echoes");
+    assert_eq!(client.slo().unwrap(), Some(750));
+
+    // Delegated traffic at two widths; exactness never depends on the pick.
+    for width in [32usize, 64] {
+        for v in 0..6u128 {
+            let a = UBig::from_u128(v, width);
+            let b = UBig::from_u128(v + 1, width);
+            let ok = client.add("auto", &a, &b).unwrap();
+            assert_eq!(ok.sum.to_u128(), Some(2 * v + 1));
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.slo_micros, Some(750));
+    let registry_names = Registry::for_width(64).names();
+    for width in [32usize, 64] {
+        let route = stats
+            .routes
+            .iter()
+            .find(|r| r.width == width)
+            .unwrap_or_else(|| panic!("no route for width {width}: {stats:?}"));
+        assert!(
+            registry_names.contains(&route.engine.as_str()),
+            "route resolves to a concrete family: {route:?}"
+        );
+    }
+
+    assert_eq!(client.set_slo(None).unwrap(), None, "clear echoes");
+    assert_eq!(client.stats().unwrap().slo_micros, None);
+
+    // Raw socket: the pinned ERR behavior for garbage SLO arguments. None
+    // of these may change the budget or kill the connection.
+    client.set_slo(Some(900)).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for garbage in [
+        "SLO abc",
+        "SLO 0",
+        "SLO -3",
+        "SLO 1.5",
+        "SLO 12 34",
+        "SLO off now",
+    ] {
+        writer.write_all(garbage.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("ERR 0 bad-request"),
+            "`{garbage}` answered {line}"
+        );
+    }
+    writer.write_all(b"SLO\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "SLO 900", "garbage left the budget untouched");
+    writer.write_all(b"SLO off\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "SLO off");
+
+    client.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn step_less_program_is_a_structured_client_error() {
+    // Regression: a step-less program (e.g. the 1-operand sum) has an
+    // empty spec, which the wire format cannot carry — `run_program` must
+    // answer with a structured error instead of panicking in the
+    // formatter, and the connection must stay usable afterwards.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let step_less = Program::sum(1).unwrap();
+    assert!(step_less.steps().is_empty(), "sum(1) needs no additions");
+    let input = UBig::from_u128(17, 64);
+    match client.run_program("ripple", &step_less, std::slice::from_ref(&input)) {
+        Err(vlcsa_serve::ClientError::Unrepresentable(message)) => {
+            assert!(
+                message.contains("step-less"),
+                "error names the problem: {message}"
+            );
+        }
+        other => panic!("expected Unrepresentable, got {other:?}"),
+    }
+    // Nothing was written to the socket: the same connection still serves.
+    let ok = client
+        .add("ripple", &input, &UBig::from_u128(25, 64))
+        .unwrap();
+    assert_eq!(ok.sum.to_u128(), Some(42));
+    client.close();
     shutdown_within(server, Duration::from_secs(10));
 }
 
