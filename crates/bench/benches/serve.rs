@@ -26,12 +26,20 @@
 //! the worst static engine and reach ≥90% of the best (routing overhead
 //! must not eat the win it selects).
 //!
+//! The fourth dimension is the wire format: the identical `ADD` engine
+//! mix once more over clients that negotiated the binary protocol
+//! ([`Client::connect_binary`]), so operands travel as raw little-endian
+//! limbs into the zero-copy ingress path instead of hex text. The
+//! `binary_vs_text` summary records the aggregate req/s of each framing
+//! over the same mix; on full runs binary must clear ≥1.2× text — the
+//! framing has to pay for its existence.
+//!
 //! Every response is verified against exact addition while it is timed;
 //! a wrong sum aborts the bench. The full run writes `BENCH_serve.json`
-//! (schema `vlcsa-bench/serve/v3`, documented in EXPERIMENTS.md).
-//! `-- --smoke` (the CI loopback smoke) shrinks the op counts to
-//! milliseconds, keeps the exactness assertions (the throughput floors
-//! need real budgets), and skips the JSON write.
+//! (schema `vlcsa-bench/serve/v4`, documented in EXPERIMENTS.md).
+//! `-- --smoke` (the CI loopback smoke, run at both word widths) shrinks
+//! the op counts to milliseconds, keeps the exactness assertions (the
+//! throughput floors need real budgets), and skips the JSON write.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -58,6 +66,15 @@ enum Kind {
     Add,
     /// `SUM` of [`SUM_N`] operands: one whole reduction per request.
     Sum,
+}
+
+/// Which wire format the measuring clients speak.
+#[derive(Clone, Copy, PartialEq)]
+enum Proto {
+    /// Newline-delimited hex text (protocol v1).
+    Text,
+    /// `HELLO`-negotiated limb frames (protocol v2).
+    Binary,
 }
 
 /// One engine's measured service point.
@@ -108,12 +125,21 @@ impl Point {
 /// request is a whole [`SUM_N`]-operand reduction, verified against the
 /// scalar carry-save lowering (exact sum *and* the single resolve's
 /// carry-out).
-fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize, kind: Kind) -> Point {
+fn measure(
+    addr: SocketAddr,
+    engine: &'static str,
+    ops_per_client: usize,
+    kind: Kind,
+    proto: Proto,
+) -> Point {
     let sum_program = Program::sum(SUM_N).expect("small sum program");
     let sum_program = &sum_program;
     let start = Instant::now();
     let worker = |c: usize| {
-        let mut client = Client::connect(addr).expect("connect");
+        let mut client = match proto {
+            Proto::Text => Client::connect(addr).expect("connect"),
+            Proto::Binary => Client::connect_binary(addr).expect("binary handshake"),
+        };
         let mut src = OperandSource::new(Distribution::paper_gaussian(), WIDTH, 0x5EB7E + c as u64);
         let mut submitted_at: HashMap<u64, (Instant, UBig, bool)> = HashMap::new();
         let mut latencies = Vec::with_capacity(ops_per_client);
@@ -183,22 +209,42 @@ fn measure(addr: SocketAddr, engine: &'static str, ops_per_client: usize, kind: 
     }
 }
 
+/// Aggregate req/s of a sequence of runs over one engine mix: total
+/// requests over total wall-clock (the runs are sequential).
+fn aggregate_ops_per_sec(points: &[Point]) -> f64 {
+    let ops: usize = points.iter().map(|p| p.ops).sum();
+    let secs: f64 = points.iter().map(|p| p.elapsed.as_secs_f64()).sum();
+    ops as f64 / secs
+}
+
 fn write_json(
     points: &[Point],
+    binary_points: &[Point],
     sum_points: &[Point],
     host_cpus: usize,
     path: &std::path::Path,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vlcsa-bench/serve/v3\",\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/serve/v4\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench serve\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(&format!("  \"width\": {WIDTH},\n"));
     out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
     out.push_str(&format!("  \"in_flight_per_client\": {IN_FLIGHT},\n"));
     out.push_str("  \"distribution\": \"gaussian(sigma=2^24)\",\n");
-    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\", \"vs_independent_adds\": \"sums/s over (adds/s / n): reductions served per second vs issuing n independent ADDs\"},\n");
+    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\", \"vs_independent_adds\": \"sums/s over (adds/s / n): reductions served per second vs issuing n independent ADDs\", \"binary_vs_text\": \"aggregate binary-framing ADD req/s over aggregate text req/s, same engine mix\"},\n");
+    // The v4 wire-format summary: the same ADD engine mix over both
+    // framings, so the ≥1.2× floor is checkable from the JSON alone.
+    out.push_str(&format!(
+        concat!(
+            "  \"binary_vs_text\": {{\"text_ops_per_sec\": {:.0}, ",
+            "\"binary_ops_per_sec\": {:.0}, \"ratio\": {:.3}}},\n"
+        ),
+        aggregate_ops_per_sec(points),
+        aggregate_ops_per_sec(binary_points),
+        aggregate_ops_per_sec(binary_points) / aggregate_ops_per_sec(points),
+    ));
     // The v3 delegation summary: the `auto` row against the static
     // envelope, so the EXPERIMENTS.md floors are checkable from the JSON
     // alone (entries still carry the full per-engine rows).
@@ -227,6 +273,16 @@ fn write_json(
     for (i, p) in points.iter().enumerate() {
         out.push_str(&p.to_json());
         out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"binary_entries\": [\n");
+    for (i, p) in binary_points.iter().enumerate() {
+        out.push_str(&p.to_json());
+        out.push_str(if i + 1 < binary_points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"sum_n\": {SUM_N},\n"));
@@ -287,7 +343,7 @@ fn main() {
     );
     let mut points = Vec::new();
     for engine in ENGINES.into_iter().chain(std::iter::once(AUTO)) {
-        let point = measure(addr, engine, ops_per_client, Kind::Add);
+        let point = measure(addr, engine, ops_per_client, Kind::Add, Proto::Text);
         println!(
             "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4}",
             point.engine,
@@ -302,12 +358,32 @@ fn main() {
     }
 
     println!(
+        "\n{:<14} {:>8} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "engine (bin)", "ops", "ops/s", "p50 µs", "p95 µs", "p99 µs", "stall rate"
+    );
+    let mut binary_points = Vec::new();
+    for engine in ENGINES.into_iter().chain(std::iter::once(AUTO)) {
+        let point = measure(addr, engine, ops_per_client, Kind::Add, Proto::Binary);
+        println!(
+            "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4}",
+            point.engine,
+            point.ops,
+            point.ops_per_sec(),
+            point.percentile_us(0.50),
+            point.percentile_us(0.95),
+            point.percentile_us(0.99),
+            point.stall_rate(),
+        );
+        binary_points.push(point);
+    }
+
+    println!(
         "\n{:<14} {:>8} {:>12} {:>9} {:>9} {:>9} {:>11} {:>8}",
         "engine", "sums", "sums/s", "p50 µs", "p95 µs", "p99 µs", "stall rate", "vs 8×ADD"
     );
     let mut sum_points = Vec::new();
     for add in &points {
-        let point = measure(addr, add.engine, ops_per_client, Kind::Sum);
+        let point = measure(addr, add.engine, ops_per_client, Kind::Sum, Proto::Text);
         println!(
             "{:<14} {:>8} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>11.4} {:>7.2}x",
             point.engine,
@@ -408,12 +484,30 @@ fn main() {
         );
     }
 
+    // The wire format must pay for itself: the binary framing strips hex
+    // parsing and formatting from both ends of every request, so over the
+    // identical ADD engine mix it has to aggregate ≥1.2× the text req/s on
+    // full runs (smoke budgets are milliseconds of noise — exactness was
+    // still asserted per response above).
+    let text_rate = aggregate_ops_per_sec(&points);
+    let binary_rate = aggregate_ops_per_sec(&binary_points);
+    println!(
+        "\nbinary vs text: {binary_rate:.0} req/s vs {text_rate:.0} req/s ({:.2}x)",
+        binary_rate / text_rate,
+    );
+    if !smoke {
+        assert!(
+            binary_rate >= 1.2 * text_rate,
+            "binary framing ({binary_rate:.0} req/s) below the 1.2x floor over text ({text_rate:.0} req/s)",
+        );
+    }
+
     if smoke {
         println!("--smoke: skipping BENCH_serve.json write (budgets too small to be meaningful)");
         return;
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
-    match write_json(&points, &sum_points, host_cpus, &path) {
+    match write_json(&points, &binary_points, &sum_points, host_cpus, &path) {
         Ok(()) => println!("wrote {} (host_cpus = {host_cpus})", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }

@@ -126,16 +126,120 @@ impl<W: Word> BitSlab<W> {
         let mut slab = Self::zero(width, values.len());
         for (l, v) in values.iter().enumerate() {
             assert_eq!(v.width(), width, "lane {l} width mismatch");
-            for (li, &limb) in v.limbs().iter().enumerate() {
-                let mut w = limb;
-                while w != 0 {
-                    let i = li * 64 + w.trailing_zeros() as usize;
-                    slab.words[i].set_bit(l);
-                    w &= w - 1;
-                }
-            }
+            slab.set_lane_limbs(l, v.limbs());
         }
         slab
+    }
+
+    /// Writes lane `l` directly from little-endian `u64` limbs — the
+    /// zero-copy ingest path of the binary wire protocol: a frame's limb
+    /// bytes scatter straight into the transposed layout with no
+    /// intermediate [`UBig`] and no per-digit parsing.
+    ///
+    /// The lane must currently be all-zero (as produced by
+    /// [`BitSlab::zero`]); the limbs are OR-ed in, and debug builds verify
+    /// the precondition. `limbs` must be exactly `width.div_ceil(64)`
+    /// limbs with no bits set at or above `width` — the caller (protocol
+    /// decoder or [`UBig::limbs`]) has already validated the value, so a
+    /// violation here is a bug, not bad input.
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::UBig;
+    /// let mut slab: BitSlab = BitSlab::zero(100, 2);
+    /// slab.set_lane_limbs(1, &[0xdead_beef, 0x7]);
+    /// assert_eq!(slab.lane(1), UBig::from_limbs(&[0xdead_beef, 0x7], 100));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes`, `limbs` is not exactly `width.div_ceil(64)`
+    /// limbs, or the top limb carries bits at or above `width`. Debug
+    /// builds also panic when the lane is not currently zero.
+    pub fn set_lane_limbs(&mut self, l: usize, limbs: &[u64]) {
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
+        assert_eq!(
+            limbs.len(),
+            self.width.div_ceil(64),
+            "width {} needs {} limbs, got {}",
+            self.width,
+            self.width.div_ceil(64),
+            limbs.len()
+        );
+        let used = self.width % 64;
+        assert!(
+            used == 0 || limbs[limbs.len() - 1] >> used == 0,
+            "limbs carry bits at or above width {}",
+            self.width
+        );
+        debug_assert!(
+            self.words.iter().all(|w| !w.bit(l)),
+            "lane {l} is not zero before set_lane_limbs"
+        );
+        for (li, &limb) in limbs.iter().enumerate() {
+            let mut w = limb;
+            while w != 0 {
+                let i = li * 64 + w.trailing_zeros() as usize;
+                self.words[i].set_bit(l);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Gathers lane `l` into little-endian `u64` limbs — the egress twin
+    /// of [`BitSlab::set_lane_limbs`], filling a caller-provided buffer so
+    /// binary-mode responses need no [`UBig`] or hex formatting.
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::UBig;
+    /// let slab: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(0xfeed, 72)]);
+    /// let mut limbs = [1u64; 2];
+    /// slab.write_lane_limbs(0, &mut limbs);
+    /// assert_eq!(limbs, [0xfeed, 0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes` or `out` is not exactly `width.div_ceil(64)`
+    /// limbs.
+    pub fn write_lane_limbs(&self, l: usize, out: &mut [u64]) {
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
+        assert_eq!(
+            out.len(),
+            self.width.div_ceil(64),
+            "width {} needs {} limbs, got {}",
+            self.width,
+            self.width.div_ceil(64),
+            out.len()
+        );
+        out.fill(0);
+        let (limb, shift) = (l / 64, l % 64);
+        for (i, w) in self.words.iter().enumerate() {
+            out[i / 64] |= ((w.limb(limb) >> shift) & 1) << (i % 64);
+        }
+    }
+
+    /// Shrinks the lane count to `lanes` — the builder's seal for a
+    /// partial tail chunk. Only sound when no lane at or beyond the new
+    /// count was ever written, which [`SlabBuilder`] guarantees by
+    /// construction; verified in debug builds.
+    fn truncated(mut self, lanes: usize) -> Self {
+        debug_assert!((1..=self.lanes).contains(&lanes));
+        self.lanes = lanes;
+        debug_assert!({
+            let mask = self.lane_mask();
+            self.words.iter().all(|&w| (w & !mask).is_zero())
+        });
+        self
     }
 
     /// Fills a slab with uniformly random lanes (equivalent to transposing
@@ -246,16 +350,8 @@ impl<W: Word> BitSlab<W> {
     ///
     /// Panics if `l >= lanes`.
     pub fn lane(&self, l: usize) -> UBig {
-        assert!(
-            l < self.lanes,
-            "lane {l} out of range for {} lanes",
-            self.lanes
-        );
-        let (limb, shift) = (l / 64, l % 64);
         let mut limbs = vec![0u64; self.width.div_ceil(64)];
-        for (i, w) in self.words.iter().enumerate() {
-            limbs[i / 64] |= ((w.limb(limb) >> shift) & 1) << (i % 64);
-        }
+        self.write_lane_limbs(l, &mut limbs);
         UBig::from_limbs(&limbs, self.width)
     }
 
@@ -491,9 +587,132 @@ impl<W: Word> WideSlab<W> {
         self.chunks[l / W::LANES].lane(l % W::LANES)
     }
 
+    /// Gathers global lane `l` into little-endian `u64` limbs without
+    /// building a [`UBig`] — see [`BitSlab::write_lane_limbs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes` or `out` is not exactly `width.div_ceil(64)`
+    /// limbs.
+    pub fn write_lane_limbs(&self, l: usize, out: &mut [u64]) {
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
+        self.chunks[l / W::LANES].write_lane_limbs(l % W::LANES, out);
+    }
+
     /// Untransposes the wide slab back into one [`UBig`] per lane.
     pub fn to_lanes(&self) -> Vec<UBig> {
         self.chunks.iter().flat_map(|c| c.to_lanes()).collect()
+    }
+}
+
+/// Builds a [`WideSlab`] one lane at a time from raw limbs — the ingest
+/// side of the binary wire protocol, where operands arrive as
+/// little-endian `u64` limb runs and must land in transposed layout
+/// without ever becoming a [`UBig`].
+///
+/// Lanes are appended in arrival order with
+/// [`SlabBuilder::push_lane_limbs`] (or [`SlabBuilder::push_lane`] for
+/// callers that do hold a [`UBig`]); chunking at [`Word::LANES`] lanes is
+/// handled internally, and [`SlabBuilder::finish`] seals the possibly
+/// partial tail chunk into a well-formed [`WideSlab`].
+///
+/// # Example
+///
+/// ```
+/// use bitnum::batch::SlabBuilder;
+/// use bitnum::UBig;
+///
+/// let mut builder: SlabBuilder = SlabBuilder::new(100);
+/// builder.push_lane_limbs(&[u64::MAX, 0x5]);
+/// builder.push_lane(&UBig::from_u128(42, 100));
+/// let slab = builder.finish();
+/// assert_eq!(slab.lanes(), 2);
+/// assert_eq!(slab.lane(0), UBig::from_limbs(&[u64::MAX, 0x5], 100));
+/// assert_eq!(slab.lane(1).to_u128(), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct SlabBuilder<W: Word = DefaultWord> {
+    width: usize,
+    lanes: usize,
+    chunks: Vec<BitSlab<W>>,
+    /// The open chunk, allocated at full [`Word::LANES`] capacity; lanes
+    /// `>= open_lanes` are still zero, so sealing a partial tail is a pure
+    /// lane-count truncation.
+    current: BitSlab<W>,
+    open_lanes: usize,
+}
+
+impl<W: Word> SlabBuilder<W> {
+    /// Creates an empty builder for lanes of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`crate::MAX_WIDTH`].
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            lanes: 0,
+            chunks: Vec::new(),
+            current: BitSlab::zero(width, W::LANES),
+            open_lanes: 0,
+        }
+    }
+
+    /// The bit width of each lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Lanes pushed so far.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Appends one lane from little-endian `u64` limbs — a direct
+    /// scatter into the transposed words via [`BitSlab::set_lane_limbs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the limb-shape conditions of
+    /// [`BitSlab::set_lane_limbs`]: not exactly `width.div_ceil(64)`
+    /// limbs, or bits set at or above the width.
+    pub fn push_lane_limbs(&mut self, limbs: &[u64]) {
+        self.current.set_lane_limbs(self.open_lanes, limbs);
+        self.open_lanes += 1;
+        self.lanes += 1;
+        if self.open_lanes == W::LANES {
+            let full = std::mem::replace(&mut self.current, BitSlab::zero(self.width, W::LANES));
+            self.chunks.push(full);
+            self.open_lanes = 0;
+        }
+    }
+
+    /// Appends one lane from a [`UBig`] — the text-protocol path, same
+    /// scatter over [`UBig::limbs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not the builder's width.
+    pub fn push_lane(&mut self, value: &UBig) {
+        assert_eq!(value.width(), self.width, "lane width mismatch");
+        self.push_lane_limbs(value.limbs());
+    }
+
+    /// Seals the pending lanes into a [`WideSlab`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no lane was pushed — a slab needs at least one lane.
+    pub fn finish(mut self) -> WideSlab<W> {
+        assert!(self.lanes >= 1, "a wide slab needs at least one lane");
+        if self.open_lanes > 0 {
+            self.chunks.push(self.current.truncated(self.open_lanes));
+        }
+        WideSlab::from_chunks(self.chunks)
     }
 }
 
@@ -713,6 +932,77 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn mixed_width_lanes_panic() {
         let _ = BitSlab::<DefaultWord>::from_lanes(&[UBig::zero(8), UBig::zero(9)]);
+    }
+
+    fn limb_ingest_matches_from_lanes_for<W: Word>() {
+        // The binary-protocol ingest contract: limbs scattered straight
+        // into the slab layout are bit-identical to the UBig transpose
+        // path, for widths with partial top limbs and lane counts with
+        // partial tail chunks.
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        for (width, lanes) in [
+            (1usize, 1usize),
+            (64, 3),
+            (100, W::LANES),
+            (130, W::LANES + 9),
+            (64, 2 * W::LANES),
+            (24, 3 * W::LANES + 1),
+        ] {
+            let values: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+            let mut builder = SlabBuilder::<W>::new(width);
+            for v in &values {
+                builder.push_lane_limbs(v.limbs());
+            }
+            let built = builder.finish();
+            assert_eq!(
+                built,
+                WideSlab::from_lanes(&values),
+                "width={width} lanes={lanes}"
+            );
+            // Egress round trip: gather each lane's limbs without a UBig
+            // and compare against the source limbs.
+            let mut limbs = vec![0u64; width.div_ceil(64)];
+            for (l, v) in values.iter().enumerate() {
+                built.write_lane_limbs(l, &mut limbs);
+                assert_eq!(limbs, v.limbs(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn limb_ingest_matches_from_lanes() {
+        limb_ingest_matches_from_lanes_for::<u64>();
+        limb_ingest_matches_from_lanes_for::<W256>();
+    }
+
+    fn set_lane_limbs_rejects_bad_shapes_for<W: Word>() {
+        let mut slab = BitSlab::<W>::zero(100, 2);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.set_lane_limbs(0, &[1]); // 100 bits need 2 limbs
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.set_lane_limbs(0, &[0, 1 << 36]); // bit 100 is out of range
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.set_lane_limbs(2, &[0, 0]); // lane out of range
+        }))
+        .is_err());
+        slab.set_lane_limbs(0, &[u64::MAX, (1 << 36) - 1]); // max value fits
+        assert_eq!(slab.lane(0), UBig::ones(100));
+    }
+
+    #[test]
+    fn set_lane_limbs_rejects_bad_shapes() {
+        set_lane_limbs_rejects_bad_shapes_for::<u64>();
+        set_lane_limbs_rejects_bad_shapes_for::<W256>();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_builder_finish_panics() {
+        let _ = SlabBuilder::<DefaultWord>::new(8).finish();
     }
 
     #[test]

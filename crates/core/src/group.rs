@@ -35,7 +35,7 @@
 //! assert!(builder.is_empty());
 //! ```
 
-use bitnum::batch::{DefaultWord, WideSlab, Word};
+use bitnum::batch::{DefaultWord, SlabBuilder, WideSlab, Word};
 use bitnum::UBig;
 
 /// One homogeneous issue group ready for
@@ -64,12 +64,16 @@ impl<T, W: Word> IssueGroup<T, W> {
 }
 
 /// One `(engine, width)` bucket of pending requests, in arrival order.
+/// Operands land in incrementally-built slabs ([`SlabBuilder`]) the moment
+/// they are pushed, so draining is a seal, not a transpose — and limb-level
+/// submitters (the binary wire protocol) write straight into the slab
+/// layout with no intermediate [`UBig`].
 #[derive(Debug)]
-struct Bucket<T> {
+struct Bucket<T, W: Word> {
     engine: String,
     width: usize,
-    a: Vec<UBig>,
-    b: Vec<UBig>,
+    a: SlabBuilder<W>,
+    b: SlabBuilder<W>,
     tags: Vec<T>,
 }
 
@@ -82,9 +86,8 @@ struct Bucket<T> {
 /// deterministic for any interleaving of pushes.
 #[derive(Debug)]
 pub struct GroupBuilder<T, W: Word = DefaultWord> {
-    buckets: Vec<Bucket<T>>,
+    buckets: Vec<Bucket<T, W>>,
     lanes: usize,
-    _word: std::marker::PhantomData<W>,
 }
 
 impl<T, W: Word> GroupBuilder<T, W> {
@@ -93,7 +96,27 @@ impl<T, W: Word> GroupBuilder<T, W> {
         Self {
             buckets: Vec::new(),
             lanes: 0,
-            _word: std::marker::PhantomData,
+        }
+    }
+
+    /// The bucket of `(engine, width)`, created on first use.
+    fn bucket(&mut self, engine: &str, width: usize) -> &mut Bucket<T, W> {
+        match self
+            .buckets
+            .iter_mut()
+            .position(|g| g.width == width && g.engine == engine)
+        {
+            Some(i) => &mut self.buckets[i],
+            None => {
+                self.buckets.push(Bucket {
+                    engine: engine.to_string(),
+                    width,
+                    a: SlabBuilder::new(width),
+                    b: SlabBuilder::new(width),
+                    tags: Vec::new(),
+                });
+                self.buckets.last_mut().expect("just pushed")
+            }
         }
     }
 
@@ -107,26 +130,30 @@ impl<T, W: Word> GroupBuilder<T, W> {
     /// Panics if `a` and `b` disagree on width.
     pub fn push(&mut self, engine: &str, a: UBig, b: UBig, tag: T) {
         assert_eq!(a.width(), b.width(), "operand width mismatch");
-        let width = a.width();
-        let bucket = match self
-            .buckets
-            .iter_mut()
-            .find(|g| g.width == width && g.engine == engine)
-        {
-            Some(bucket) => bucket,
-            None => {
-                self.buckets.push(Bucket {
-                    engine: engine.to_string(),
-                    width,
-                    a: Vec::new(),
-                    b: Vec::new(),
-                    tags: Vec::new(),
-                });
-                self.buckets.last_mut().expect("just pushed")
-            }
-        };
-        bucket.a.push(a);
-        bucket.b.push(b);
+        let bucket = self.bucket(engine, a.width());
+        bucket.a.push_lane(&a);
+        bucket.b.push_lane(&b);
+        bucket.tags.push(tag);
+        self.lanes += 1;
+    }
+
+    /// Queues one request whose operands are raw little-endian `u64` limb
+    /// runs — the binary wire protocol's zero-copy path: the limbs scatter
+    /// straight into the bucket's slab layout
+    /// ([`SlabBuilder::push_lane_limbs`]) without ever becoming a
+    /// [`UBig`]. Mixes freely with [`GroupBuilder::push`] in the same
+    /// bucket; lane order is arrival order either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not exactly `width.div_ceil(64)` limbs
+    /// or carries bits at or above `width` — limb-level submitters
+    /// validate frames *before* queueing, so a malformed operand here is a
+    /// transport bug, not bad input.
+    pub fn push_limbs(&mut self, engine: &str, width: usize, a: &[u64], b: &[u64], tag: T) {
+        let bucket = self.bucket(engine, width);
+        bucket.a.push_lane_limbs(a);
+        bucket.b.push_lane_limbs(b);
         bucket.tags.push(tag);
         self.lanes += 1;
     }
@@ -142,9 +169,11 @@ impl<T, W: Word> GroupBuilder<T, W> {
         self.lanes == 0
     }
 
-    /// Transposes every bucket into an [`IssueGroup`] and resets the
-    /// builder. An empty builder drains to an empty vector — the 0-request
-    /// window expiry costs nothing and must never reach an executor.
+    /// Seals every bucket into an [`IssueGroup`] and resets the builder —
+    /// the lanes were transposed as they arrived, so this is a chunk seal,
+    /// not a batch-wide transpose. An empty builder drains to an empty
+    /// vector — the 0-request window expiry costs nothing and must never
+    /// reach an executor.
     pub fn drain(&mut self) -> Vec<IssueGroup<T, W>> {
         self.lanes = 0;
         std::mem::take(&mut self.buckets)
@@ -152,8 +181,8 @@ impl<T, W: Word> GroupBuilder<T, W> {
             .map(|bucket| IssueGroup {
                 engine: bucket.engine,
                 width: bucket.width,
-                a: WideSlab::from_lanes(&bucket.a),
-                b: WideSlab::from_lanes(&bucket.b),
+                a: bucket.a.finish(),
+                b: bucket.b.finish(),
                 tags: bucket.tags,
             })
             .collect()
@@ -246,6 +275,30 @@ mod tests {
                 assert_eq!(out.cycles(l), one.cycles, "tag {tag}");
             }
         }
+    }
+
+    #[test]
+    fn limb_pushes_mix_with_ubig_pushes_bit_identically() {
+        // The binary protocol's zero-copy ingest and the text protocol's
+        // UBig path land interleaved in the same bucket; the drained group
+        // must be identical to an all-UBig build of the same stream.
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let mut mixed: GroupBuilder<usize> = GroupBuilder::new();
+        let mut reference: GroupBuilder<usize> = GroupBuilder::new();
+        for i in 0..150 {
+            let width = if i % 3 == 0 { 100 } else { 64 };
+            let a = UBig::random(width, &mut rng);
+            let b = UBig::random(width, &mut rng);
+            if i % 2 == 0 {
+                mixed.push_limbs("vlcsa1", width, a.limbs(), b.limbs(), i);
+            } else {
+                mixed.push("vlcsa1", a.clone(), b.clone(), i);
+            }
+            reference.push("vlcsa1", a, b, i);
+        }
+        let (mixed, reference) = (mixed.drain(), reference.drain());
+        assert_eq!(mixed.len(), 2); // widths 100 and 64
+        assert_eq!(mixed, reference);
     }
 
     #[test]

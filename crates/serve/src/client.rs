@@ -7,6 +7,13 @@
 //! number (the client tracks each pending request's width so sums parse at
 //! the right width).
 //!
+//! [`Client::connect`] speaks the text protocol; [`Client::connect_binary`]
+//! negotiates the binary framing of [`crate::binary`] at connect time
+//! (one `HELLO` line, then frames forever) and every method transparently
+//! uses frames instead — operands travel as raw little-endian limbs, no
+//! hex on either side. The API is identical across the two; only the
+//! bytes differ.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -29,9 +36,10 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use bitnum::UBig;
 use vlcsa::program::Program;
 
+use crate::binary::{self, BinResponse, FrameReadError, HELLO_LINE};
 use crate::protocol::{
-    format_add, format_program, format_sum, parse_response, RequestError, Response, StatsReport,
-    OPERAND_RANGE,
+    format_add, format_program, format_sum, parse_response, RequestError, Response, SloAction,
+    StatsReport, OPERAND_RANGE,
 };
 
 /// One successful `ADD` answer.
@@ -78,6 +86,28 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Which encoding this connection committed to at connect time.
+enum Wire {
+    /// Newline-delimited text ([`crate::protocol`]).
+    Text,
+    /// Binary frames ([`crate::binary`]); engine names map to the wire's
+    /// ids via the listing fetched during the upgrade handshake.
+    Binary { ids: HashMap<String, u8> },
+}
+
+/// Resolves an engine name to its binary wire id. Unlike text mode —
+/// where unknown names go to the server and come back as structured
+/// `ERR`s — binary frames carry ids, so a name the listing doesn't have
+/// is unsendable and fails here, before any bytes move.
+fn engine_id(ids: &HashMap<String, u8>, engine: &str) -> std::io::Result<u8> {
+    ids.get(engine).copied().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("engine `{engine}` is not in the server's listing"),
+        )
+    })
+}
+
 /// The blocking protocol client — see the module docs.
 pub struct Client {
     writer: TcpStream,
@@ -85,10 +115,11 @@ pub struct Client {
     next_seq: u64,
     /// Widths of in-flight requests, by sequence number.
     pending: HashMap<u64, usize>,
+    wire: Wire,
 }
 
 impl Client {
-    /// Connects to a serve endpoint.
+    /// Connects to a serve endpoint, speaking the text protocol.
     ///
     /// # Errors
     ///
@@ -102,12 +133,64 @@ impl Client {
             reader,
             next_seq: 1,
             pending: HashMap::new(),
+            wire: Wire::Text,
         })
+    }
+
+    /// Connects and upgrades to the binary framing: sends the `HELLO`
+    /// line, checks the server's echo, and fetches the engine-id listing
+    /// the frames will name engines by. After this returns, every method
+    /// of this client speaks frames.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connect/socket errors, or with a protocol error when the
+    /// other end does not speak the upgrade (e.g. an older server answers
+    /// `ERR 0 bad-request …` instead of the echo).
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let mut client = Self::connect(addr)?;
+        client.writer.write_all(HELLO_LINE.as_bytes())?;
+        client.writer.write_all(b"\n")?;
+        let ack = client.read_line()?;
+        if ack.trim_end_matches(['\r', '\n']) != HELLO_LINE {
+            return Err(ClientError::Protocol(format!(
+                "server did not accept the binary upgrade: `{}`",
+                ack.trim()
+            )));
+        }
+        client.wire = Wire::Binary {
+            ids: HashMap::new(),
+        };
+        let ids = client
+            .engines_entries()?
+            .into_iter()
+            .map(|(id, name)| (name, id))
+            .collect();
+        client.wire = Wire::Binary { ids };
+        Ok(client)
+    }
+
+    /// Whether this connection speaks the binary framing.
+    pub fn is_binary(&self) -> bool {
+        matches!(self.wire, Wire::Binary { .. })
     }
 
     /// Number of submitted requests not yet answered.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Reads one response frame (binary mode only).
+    fn read_response_frame(&mut self) -> Result<(u8, Vec<u8>), ClientError> {
+        match binary::read_frame(&mut self.reader) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(FrameReadError::Io(e)) => Err(ClientError::Io(e)),
+            Err(poison) => Err(ClientError::Protocol(poison.to_string())),
+        }
     }
 
     fn read_line(&mut self) -> Result<String, ClientError> {
@@ -140,9 +223,18 @@ impl Client {
         self.check_engine_token(engine);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let line = format_add(seq, engine, a, b);
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        match &self.wire {
+            Wire::Text => {
+                let line = format_add(seq, engine, a, b);
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            Wire::Binary { ids } => {
+                let id = engine_id(ids, engine)?;
+                let frame = binary::encode_add(seq, id, a.width(), a.limbs(), b.limbs());
+                self.writer.write_all(&frame)?;
+            }
+        }
         self.pending.insert(seq, a.width());
         Ok(seq)
     }
@@ -173,9 +265,18 @@ impl Client {
         self.check_engine_token(engine);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let line = format_sum(seq, engine, operands);
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        match &self.wire {
+            Wire::Text => {
+                let line = format_sum(seq, engine, operands);
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            Wire::Binary { ids } => {
+                let id = engine_id(ids, engine)?;
+                let frame = binary::encode_sum(seq, id, operands);
+                self.writer.write_all(&frame)?;
+            }
+        }
         self.pending.insert(seq, operands[0].width());
         Ok(seq)
     }
@@ -232,9 +333,18 @@ impl Client {
         self.check_engine_token(engine);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let line = format_program(seq, engine, program, inputs);
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        match &self.wire {
+            Wire::Text => {
+                let line = format_program(seq, engine, program, inputs);
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            Wire::Binary { ids } => {
+                let id = engine_id(ids, engine)?;
+                let frame = binary::encode_program(seq, id, program, inputs);
+                self.writer.write_all(&frame)?;
+            }
+        }
         self.pending.insert(seq, inputs[0].width());
         Ok(seq)
     }
@@ -284,6 +394,9 @@ impl Client {
     /// Fails on socket errors, on unparseable lines, and on responses that
     /// answer no in-flight sequence number.
     pub fn recv(&mut self) -> Result<(u64, Result<AddResponse, RequestError>), ClientError> {
+        if self.is_binary() {
+            return self.recv_binary();
+        }
         let line = self.read_line()?;
         // Peek the seq token to find the request (and its width) first.
         let seq = line
@@ -303,6 +416,43 @@ impl Client {
             Response::Engines(_) | Response::Stats(_) | Response::Slo(_) => Err(
                 ClientError::Protocol("non-ADD response while waiting for ADD".into()),
             ),
+        }
+    }
+
+    /// The binary half of [`Client::recv`]: one frame in, the sum rebuilt
+    /// from its limbs at the pending request's width.
+    fn recv_binary(&mut self) -> Result<(u64, Result<AddResponse, RequestError>), ClientError> {
+        let (opcode, body) = self.read_response_frame()?;
+        match binary::decode_response(opcode, &body).map_err(ClientError::Protocol)? {
+            BinResponse::Ok {
+                seq,
+                cout,
+                cycles,
+                sum_limbs,
+            } => {
+                let width = self.pending.remove(&seq).ok_or_else(|| {
+                    ClientError::Protocol(format!("response to unknown request {seq}"))
+                })?;
+                if sum_limbs.len() != width.div_ceil(64) {
+                    return Err(ClientError::Protocol(format!(
+                        "OK sum is {} limbs, width {width} needs {}",
+                        sum_limbs.len(),
+                        width.div_ceil(64)
+                    )));
+                }
+                let sum = UBig::from_limbs(&sum_limbs, width);
+                Ok((seq, Ok(AddResponse { sum, cout, cycles })))
+            }
+            BinResponse::Err(err) => {
+                let seq = err.seq;
+                self.pending.remove(&seq).ok_or_else(|| {
+                    ClientError::Protocol(format!("response to unknown request {seq}"))
+                })?;
+                Ok((seq, Err(err)))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "non-ADD frame while waiting for ADD: {other:?}"
+            ))),
         }
     }
 
@@ -326,12 +476,32 @@ impl Client {
     /// Fails on socket errors or an unparseable reply. Call with no
     /// in-flight requests — an `OK` arriving first is a protocol error.
     pub fn engines(&mut self) -> Result<Vec<String>, ClientError> {
+        if self.is_binary() {
+            return Ok(self
+                .engines_entries()?
+                .into_iter()
+                .map(|(_, name)| name)
+                .collect());
+        }
         self.writer.write_all(b"ENGINES\n")?;
         let line = self.read_line()?;
         match parse_response(&line, 1).map_err(ClientError::Protocol)? {
             Response::Engines(names) => Ok(names),
             other => Err(ClientError::Protocol(format!(
                 "expected ENGINES response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The binary `ENGINES` round trip, ids included — what the upgrade
+    /// handshake builds the name→id map from.
+    fn engines_entries(&mut self) -> Result<Vec<(u8, String)>, ClientError> {
+        self.writer.write_all(&binary::encode_engines_request())?;
+        let (opcode, body) = self.read_response_frame()?;
+        match binary::decode_response(opcode, &body).map_err(ClientError::Protocol)? {
+            BinResponse::Engines(entries) => Ok(entries),
+            other => Err(ClientError::Protocol(format!(
+                "expected ENGINES frame, got {other:?}"
             ))),
         }
     }
@@ -344,8 +514,23 @@ impl Client {
     /// Fails on socket errors or an unparseable reply. Call with no
     /// in-flight requests — an `OK` arriving first is a protocol error.
     pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
-        self.writer.write_all(b"STATS\n")?;
-        let line = self.read_line()?;
+        let line = if self.is_binary() {
+            self.writer.write_all(&binary::encode_stats_request())?;
+            let (opcode, body) = self.read_response_frame()?;
+            match binary::decode_response(opcode, &body).map_err(ClientError::Protocol)? {
+                // The frame carries the text snapshot line verbatim: one
+                // format, one parser, whatever the transport.
+                BinResponse::Stats(line) => line,
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected STATS frame, got {other:?}"
+                    )))
+                }
+            }
+        } else {
+            self.writer.write_all(b"STATS\n")?;
+            self.read_line()?
+        };
         match parse_response(&line, 1).map_err(ClientError::Protocol)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(ClientError::Protocol(format!(
@@ -362,7 +547,7 @@ impl Client {
     /// Fails on socket errors or an unparseable reply. Call with no
     /// in-flight requests — an `OK` arriving first is a protocol error.
     pub fn slo(&mut self) -> Result<Option<u64>, ClientError> {
-        self.slo_command("SLO\n")
+        self.slo_command(SloAction::Query)
     }
 
     /// Sets (`Some(micros)`) or clears (`None`) the server's p99 budget
@@ -377,17 +562,32 @@ impl Client {
     /// Panics if `budget` is `Some(0)` — the protocol reserves 0; clear
     /// with `None` / `SLO off` instead.
     pub fn set_slo(&mut self, budget: Option<u64>) -> Result<Option<u64>, ClientError> {
-        let line = match budget {
+        let action = match budget {
             Some(micros) => {
                 assert!(micros >= 1, "an SLO budget must be >= 1 micros");
-                format!("SLO {micros}\n")
+                SloAction::Set(micros)
             }
-            None => "SLO off\n".to_string(),
+            None => SloAction::Clear,
         };
-        self.slo_command(&line)
+        self.slo_command(action)
     }
 
-    fn slo_command(&mut self, line: &str) -> Result<Option<u64>, ClientError> {
+    fn slo_command(&mut self, action: SloAction) -> Result<Option<u64>, ClientError> {
+        if self.is_binary() {
+            self.writer.write_all(&binary::encode_slo_request(action))?;
+            let (opcode, body) = self.read_response_frame()?;
+            return match binary::decode_response(opcode, &body).map_err(ClientError::Protocol)? {
+                BinResponse::Slo(budget) => Ok(budget),
+                other => Err(ClientError::Protocol(format!(
+                    "expected SLO frame, got {other:?}"
+                ))),
+            };
+        }
+        let line = match action {
+            SloAction::Query => "SLO\n".to_string(),
+            SloAction::Set(micros) => format!("SLO {micros}\n"),
+            SloAction::Clear => "SLO off\n".to_string(),
+        };
         self.writer.write_all(line.as_bytes())?;
         let line = self.read_line()?;
         match parse_response(&line, 1).map_err(ClientError::Protocol)? {

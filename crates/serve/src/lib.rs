@@ -16,7 +16,10 @@
 //! The layers, bottom up:
 //!
 //! * [`queue`] — the bounded MPMC queue (backpressure + clean shutdown);
-//! * [`protocol`] — the newline-delimited wire format;
+//! * [`protocol`] — the newline-delimited text wire format;
+//! * [`binary`] — wire protocol v2: length-prefixed frames whose operands
+//!   are raw little-endian limbs, negotiated per connection via a `HELLO`
+//!   line ([`Client::connect_binary`]) — the zero-copy ingress path;
 //! * [`service`] — the transport-independent core: validation, the
 //!   batching window over [`vlcsa::group::GroupBuilder`], the worker pool;
 //! * [`server`] / [`client`] — the TCP front-end and the client library.
@@ -59,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod client;
 pub mod protocol;
 pub mod queue;

@@ -38,7 +38,10 @@
 //!
 //! `STATS` answers with a **single line** of `key=value` tokens — queue
 //! depth, batching-window occupancy (pending lanes and the window bound),
-//! the slab word width, the SLO budget (`slo=<micros>` or `slo=off`) —
+//! the slab word width, the SLO budget (`slo=<micros>` or `slo=off`),
+//! per-protocol request counters (`proto_text=<n> proto_bin=<n>`: lines
+//! and frames the connection handlers have answered, across the text
+//! protocol and the binary framing of [`crate::binary`]) —
 //! followed by one `engine=<name>:<lanes>:<stalls>` token per engine that
 //! has served traffic, from which per-engine stall rates derive
 //! (`stalls / lanes`), and one `route=<width>:<engine>:<ok|degraded>`
@@ -508,6 +511,12 @@ pub struct StatsReport {
     pub word_bits: usize,
     /// The p99 budget the `auto` router degrades under (`None` = off).
     pub slo_micros: Option<u64>,
+    /// Text-protocol requests the connection handlers have answered
+    /// (every non-empty line, malformed ones included).
+    pub proto_text: u64,
+    /// Binary-protocol requests answered (every frame the server replied
+    /// to; the `HELLO` upgrade line itself counts as neither).
+    pub proto_bin: u64,
     /// Per-engine counters, in first-served order.
     pub engines: Vec<EngineStats>,
     /// The router's last decision per width, ascending by width — absent
@@ -577,7 +586,8 @@ pub fn format_response(response: &Response) -> String {
         }
         Response::Stats(stats) => {
             let mut line = format!(
-                "STATS queue_depth={} window_lanes={} max_lanes={} word_bits={} slo={}",
+                "STATS queue_depth={} window_lanes={} max_lanes={} word_bits={} slo={} \
+                 proto_text={} proto_bin={}",
                 stats.queue_depth,
                 stats.window_lanes,
                 stats.max_lanes,
@@ -585,6 +595,8 @@ pub fn format_response(response: &Response) -> String {
                 stats
                     .slo_micros
                     .map_or_else(|| "off".to_string(), |m| m.to_string()),
+                stats.proto_text,
+                stats.proto_bin,
             );
             for e in &stats.engines {
                 line.push_str(&format!(" engine={}:{}:{}", e.name, e.lanes, e.stalls));
@@ -658,6 +670,8 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                 max_lanes: 0,
                 word_bits: 0,
                 slo_micros: None,
+                proto_text: 0,
+                proto_bin: 0,
                 engines: Vec::new(),
                 routes: Vec::new(),
             };
@@ -665,6 +679,7 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
             // loudly, not parse as an idle snapshot.
             let (mut have_queue, mut have_window, mut have_max, mut have_word, mut have_slo) =
                 (false, false, false, false, false);
+            let (mut have_ptext, mut have_pbin) = (false, false);
             for token in tokens {
                 let (key, value) = token
                     .split_once('=')
@@ -697,6 +712,18 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                             ),
                         };
                         have_slo = true;
+                    }
+                    "proto_text" => {
+                        stats.proto_text = value
+                            .parse::<u64>()
+                            .map_err(|e| format!("STATS proto_text: {e}"))?;
+                        have_ptext = true;
+                    }
+                    "proto_bin" => {
+                        stats.proto_bin = value
+                            .parse::<u64>()
+                            .map_err(|e| format!("STATS proto_bin: {e}"))?;
+                        have_pbin = true;
                     }
                     "route" => {
                         let mut parts = value.splitn(3, ':');
@@ -747,7 +774,9 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                     other => return Err(format!("STATS has unknown key `{other}`")),
                 }
             }
-            if !(have_queue && have_window && have_max && have_word && have_slo) {
+            if !(have_queue && have_window && have_max && have_word && have_slo)
+                || !(have_ptext && have_pbin)
+            {
                 return Err("STATS is missing a mandatory key".into());
             }
             Ok(Response::Stats(stats))
@@ -991,6 +1020,9 @@ mod tests {
             "STATS queue_depth=0 window_lanes=0 word_bits=256 engine=ripple:1:0",
             // All the pre-SLO keys but no slo= — a v2-era line must fail.
             "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256",
+            // All the pre-binary keys but no proto counters — a v3-era
+            // line must fail.
+            "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256 slo=off",
         ] {
             let err = parse_response(line, 1).expect_err(line);
             assert!(err.contains("mandatory"), "{line}: {err}");
@@ -1002,6 +1034,8 @@ mod tests {
             max_lanes: 0,
             word_bits: 0,
             slo_micros: None,
+            proto_text: 0,
+            proto_bin: 0,
             engines: Vec::new(),
             routes: Vec::new(),
         };
@@ -1016,6 +1050,8 @@ mod tests {
             max_lanes: 256,
             word_bits: 256,
             slo_micros: Some(750),
+            proto_text: 420,
+            proto_bin: 69,
             engines: vec![
                 EngineStats {
                     name: "vlcsa1".into(),
@@ -1048,6 +1084,7 @@ mod tests {
             "{line}"
         );
         assert!(line.contains("slo=750"), "{line}");
+        assert!(line.contains("proto_text=420 proto_bin=69"), "{line}");
         assert!(line.contains("engine=vlcsa1:1000:251"), "{line}");
         assert!(line.contains("route=32:vlcsa2:ok"), "{line}");
         assert!(line.contains("route=64:ripple:degraded"), "{line}");

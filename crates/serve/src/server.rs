@@ -2,10 +2,16 @@
 //! response writing from the worker threads.
 //!
 //! Each accepted connection gets a reader thread that parses request lines
-//! ([`crate::protocol`]) and submits them to the shared [`Service`]. The
+//! ([`crate::protocol`]) and submits them to the shared [`Service`]. A
+//! connection whose **first** non-empty line is exactly
+//! [`HELLO_LINE`](crate::binary::HELLO_LINE) upgrades to the binary
+//! framing of [`crate::binary`] instead — the server echoes the line and
+//! both directions speak frames from then on; every other connection is
+//! text forever. The
 //! write half of the socket is wrapped in an `Arc<Mutex<TcpStream>>`; each
 //! `ADD`'s reply callback captures that handle plus the request's sequence
-//! number, so worker threads write `OK` lines directly to the right
+//! number, so worker threads write `OK` lines (or `OK` frames) directly to
+//! the right
 //! client whenever their issue group completes — out of submission order
 //! when the batching window split a connection's requests across groups.
 //! Validation and protocol errors are answered inline by the reader as
@@ -47,6 +53,7 @@ use std::time::Duration;
 
 use vlcsa::route::AUTO_ENGINE;
 
+use crate::binary::{self, BinRequest, FrameReadError, ENGINE_ID_AUTO, HELLO_LINE};
 use crate::protocol::{
     format_response, parse_request, ErrorCode, Request, RequestError, Response, SloAction,
 };
@@ -69,35 +76,92 @@ fn write_line(stream: &Mutex<TcpStream>, response: &Response) {
     }
 }
 
-fn submit_error_response(seq: u64, err: SubmitError) -> Response {
+fn submit_error(seq: u64, err: SubmitError) -> RequestError {
     let code = match err {
         SubmitError::UnknownEngine(_) => ErrorCode::UnknownEngine,
         SubmitError::WidthMismatch(..) => ErrorCode::BadRequest,
         SubmitError::BadWidth(_) => ErrorCode::BadWidth,
         SubmitError::BadOperandCount(_) => ErrorCode::BadRequest,
+        SubmitError::BadLimbs(_) => ErrorCode::BadOperand,
         SubmitError::Stopped => ErrorCode::Shutdown,
     };
-    Response::Err(RequestError {
+    RequestError {
         seq,
         code,
         message: err.to_string(),
-    })
+    }
+}
+
+fn submit_error_response(seq: u64, err: SubmitError) -> Response {
+    Response::Err(submit_error(seq, err))
+}
+
+/// Writes one pre-encoded frame to a shared socket, with the same
+/// swallow-and-shutdown failure policy as [`write_line`] — a partial frame
+/// desyncs the stream just as a partial line does.
+fn write_frame(stream: &Mutex<TcpStream>, frame: &[u8]) {
+    let mut stream = stream.lock().expect("connection write lock");
+    if stream.write_all(frame).is_err() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
 }
 
 /// One connection's read loop: parse, validate, submit; answer errors
 /// inline. Returns when the client disconnects or the socket is shut down.
+///
+/// Protocol negotiation happens here, once: if the first non-empty line
+/// is exactly [`HELLO_LINE`], the server echoes it and hands the
+/// connection to [`serve_binary`] — that decision point is the only one,
+/// so text responses and frames can never interleave on one socket. A
+/// `HELLO` anywhere later is just an unknown text command
+/// (`ERR 0 bad-request`).
 fn serve_connection(stream: TcpStream, service: &Service) {
-    let reader = match stream.try_clone() {
+    let mut reader = match stream.try_clone() {
         Ok(read_half) => BufReader::new(read_half),
         Err(_) => return,
     };
     let writer = Arc::new(Mutex::new(stream));
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut first = true;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line) {
+        if first && line.trim_end_matches(['\r', '\n']) == HELLO_LINE {
+            // The ack is the upgrade line itself, echoed; it is the last
+            // text this connection ever sees. The upgrade exchange counts
+            // as neither protocol's traffic.
+            {
+                let mut stream = writer.lock().expect("connection write lock");
+                if stream
+                    .write_all(HELLO_LINE.as_bytes())
+                    .and_then(|()| stream.write_all(b"\n"))
+                    .is_err()
+                {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            serve_binary(reader, &writer, service);
+            return;
+        }
+        first = false;
+        service.note_text_request();
+        serve_text_line(&line, &writer, service);
+    }
+}
+
+/// Dispatches one parsed-or-not text line — the text protocol's whole
+/// per-request surface, byte-for-byte what it was before the binary
+/// framing existed.
+fn serve_text_line(line: &str, writer: &Arc<Mutex<TcpStream>>, service: &Service) {
+    {
+        match parse_request(line) {
             Ok(Request::Engines) => {
                 // Engine names are width-independent; any registry lists
                 // them. 64 is as good a cache key as any. `auto` rides
@@ -108,10 +172,10 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                     .map(str::to_string)
                     .chain(std::iter::once(AUTO_ENGINE.to_string()))
                     .collect();
-                write_line(&writer, &Response::Engines(names));
+                write_line(writer, &Response::Engines(names));
             }
             Ok(Request::Stats) => {
-                write_line(&writer, &Response::Stats(service.stats()));
+                write_line(writer, &Response::Stats(service.stats()));
             }
             Ok(Request::Slo(action)) => {
                 match action {
@@ -121,7 +185,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 }
                 // Always echo the budget now in force, so a set doubles
                 // as a readback and a query is just the degenerate case.
-                write_line(&writer, &Response::Slo(service.slo()));
+                write_line(writer, &Response::Slo(service.slo()));
             }
             Ok(Request::Add {
                 seq,
@@ -130,7 +194,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 a,
                 b,
             }) => {
-                let reply_to = Arc::clone(&writer);
+                let reply_to = Arc::clone(writer);
                 let submitted = service.submit(
                     &engine,
                     a,
@@ -148,7 +212,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                     }),
                 );
                 if let Err(err) = submitted {
-                    write_line(&writer, &submit_error_response(seq, err));
+                    write_line(writer, &submit_error_response(seq, err));
                 }
             }
             Ok(Request::Sum {
@@ -157,7 +221,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 width: _,
                 operands,
             }) => {
-                let reply_to = Arc::clone(&writer);
+                let reply_to = Arc::clone(writer);
                 let submitted = service.submit_sum(
                     &engine,
                     &operands,
@@ -174,7 +238,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                     }),
                 );
                 if let Err(err) = submitted {
-                    write_line(&writer, &submit_error_response(seq, err));
+                    write_line(writer, &submit_error_response(seq, err));
                 }
             }
             Ok(Request::Program {
@@ -184,7 +248,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                 program,
                 inputs,
             }) => {
-                let reply_to = Arc::clone(&writer);
+                let reply_to = Arc::clone(writer);
                 let submitted = service.submit_program(
                     &engine,
                     &program,
@@ -202,10 +266,152 @@ fn serve_connection(stream: TcpStream, service: &Service) {
                     }),
                 );
                 if let Err(err) = submitted {
-                    write_line(&writer, &submit_error_response(seq, err));
+                    write_line(writer, &submit_error_response(seq, err));
                 }
             }
-            Err(err) => write_line(&writer, &Response::Err(err)),
+            Err(err) => write_line(writer, &Response::Err(err)),
+        }
+    }
+}
+
+/// The binary read loop, entered once per upgraded connection and never
+/// left. Error policy, per frame:
+///
+/// - a clean close at a frame boundary, or a socket error / disconnect
+///   mid-frame: return (nothing to answer a half-frame with);
+/// - an untrustworthy header (unknown version byte, length prefix over
+///   [`binary::MAX_FRAME_BODY`]): answer one `ERR` frame and close — the
+///   stream cannot be resynchronized;
+/// - a malformed **body**: answer an `ERR` frame and keep going — the
+///   length prefix already delimited the bad frame, so later frames on
+///   the same connection are unaffected.
+fn serve_binary(
+    mut reader: BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    service: &Service,
+) {
+    // Engine ids are indices into the width-independent name listing —
+    // the same listing (and the same `lookup` error surface) the text
+    // `ENGINES` command exposes.
+    let names = service.registries().at(64).names();
+    loop {
+        let (opcode, body) = match binary::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(FrameReadError::Io(_)) => return,
+            Err(poison) => {
+                service.note_binary_request();
+                write_frame(
+                    writer,
+                    &binary::encode_err(&RequestError {
+                        seq: 0,
+                        code: ErrorCode::BadRequest,
+                        message: poison.to_string(),
+                    }),
+                );
+                let _ = writer
+                    .lock()
+                    .expect("connection write lock")
+                    .shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        service.note_binary_request();
+        match binary::decode_request(opcode, &body, &names) {
+            Ok(BinRequest::Add {
+                seq,
+                engine,
+                width,
+                a,
+                b,
+            }) => {
+                let reply_to = Arc::clone(writer);
+                // The limbs go straight from the frame into the slab
+                // layout; the reply's limbs come straight out of it.
+                let submitted = service.submit_limbs(
+                    engine,
+                    width,
+                    a,
+                    b,
+                    Box::new(move |result| {
+                        write_frame(
+                            &reply_to,
+                            &binary::encode_ok(seq, result.cout, result.cycles, result.sum.limbs()),
+                        );
+                    }),
+                );
+                if let Err(err) = submitted {
+                    write_frame(writer, &binary::encode_err(&submit_error(seq, err)));
+                }
+            }
+            Ok(BinRequest::Sum {
+                seq,
+                engine,
+                width: _,
+                operands,
+            }) => {
+                let reply_to = Arc::clone(writer);
+                let submitted = service.submit_sum(
+                    engine,
+                    &operands,
+                    Box::new(move |result| {
+                        write_frame(
+                            &reply_to,
+                            &binary::encode_ok(seq, result.cout, result.cycles, result.sum.limbs()),
+                        );
+                    }),
+                );
+                if let Err(err) = submitted {
+                    write_frame(writer, &binary::encode_err(&submit_error(seq, err)));
+                }
+            }
+            Ok(BinRequest::Prog {
+                seq,
+                engine,
+                width: _,
+                program,
+                inputs,
+            }) => {
+                let reply_to = Arc::clone(writer);
+                let submitted = service.submit_program(
+                    engine,
+                    &program,
+                    &inputs,
+                    Box::new(move |result| {
+                        write_frame(
+                            &reply_to,
+                            &binary::encode_ok(seq, result.cout, result.cycles, result.sum.limbs()),
+                        );
+                    }),
+                );
+                if let Err(err) = submitted {
+                    write_frame(writer, &binary::encode_err(&submit_error(seq, err)));
+                }
+            }
+            Ok(BinRequest::Engines) => {
+                let entries: Vec<(u8, &str)> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (i as u8, *n))
+                    .chain(std::iter::once((ENGINE_ID_AUTO, AUTO_ENGINE)))
+                    .collect();
+                write_frame(writer, &binary::encode_engines(&entries));
+            }
+            Ok(BinRequest::Stats) => {
+                // The counters snapshot rides as its text line — one
+                // format, one parser, whatever the transport.
+                let line = format_response(&Response::Stats(service.stats()));
+                write_frame(writer, &binary::encode_stats(&line));
+            }
+            Ok(BinRequest::Slo(action)) => {
+                match action {
+                    SloAction::Query => {}
+                    SloAction::Set(micros) => service.set_slo(Some(micros)),
+                    SloAction::Clear => service.set_slo(None),
+                }
+                write_frame(writer, &binary::encode_slo(service.slo()));
+            }
+            Err(err) => write_frame(writer, &binary::encode_err(&err)),
         }
     }
 }

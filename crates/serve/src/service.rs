@@ -42,7 +42,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -114,6 +114,9 @@ pub enum SubmitError {
     /// A reduction's operand count is outside [`OPERAND_RANGE`], or does
     /// not match its program's input count.
     BadOperandCount(usize),
+    /// A limb-form operand ([`Service::submit_limbs`]) has the wrong limb
+    /// count for its width, or bits set at or above the width.
+    BadLimbs(String),
     /// The service is shutting down.
     Stopped,
 }
@@ -137,6 +140,7 @@ impl std::fmt::Display for SubmitError {
                 OPERAND_RANGE.start(),
                 OPERAND_RANGE.end()
             ),
+            SubmitError::BadLimbs(detail) => f.write_str(detail),
             SubmitError::Stopped => f.write_str("service is shutting down"),
         }
     }
@@ -148,12 +152,38 @@ impl std::error::Error for SubmitError {}
 /// exactly once, from a worker thread, with the lane's result.
 pub type Reply = Box<dyn FnOnce(AddResult) + Send>;
 
+/// The operand form a job carries: parsed values (the text protocol) or
+/// raw little-endian limb runs (the binary protocol), which the batcher
+/// scatters straight into the slab layout via
+/// [`GroupBuilder::push_limbs`] — no intermediate [`UBig`] anywhere on
+/// the limb path.
+enum Operands {
+    /// Two parsed operands of equal width.
+    Values { a: UBig, b: UBig },
+    /// Two validated limb runs of `width.div_ceil(64)` limbs each.
+    Limbs {
+        width: usize,
+        a: Vec<u64>,
+        b: Vec<u64>,
+    },
+}
+
 /// A validated request in flight between submitter and batcher.
 struct Job {
     engine: String,
-    a: UBig,
-    b: UBig,
+    operands: Operands,
     reply: Reply,
+}
+
+/// Moves one job into the batching window, whichever operand form it
+/// carries.
+fn push_job(builder: &mut GroupBuilder<Reply>, job: Job) {
+    match job.operands {
+        Operands::Values { a, b } => builder.push(&job.engine, a, b, job.reply),
+        Operands::Limbs { width, a, b } => {
+            builder.push_limbs(&job.engine, width, &a, &b, job.reply)
+        }
+    }
 }
 
 /// A lazily-built, shared cache of [`Registry`] instances, one per
@@ -198,6 +228,10 @@ impl Default for RegistryCache {
 struct Metrics {
     /// Lanes pending in the currently-open batching window.
     window_lanes: AtomicUsize,
+    /// Text-protocol requests answered (every non-empty line).
+    proto_text: AtomicU64,
+    /// Binary frames answered.
+    proto_bin: AtomicU64,
     /// `(engine, lanes_served, lanes_stalled)`, in first-served order.
     engines: Mutex<Vec<(String, u64, u64)>>,
 }
@@ -206,6 +240,8 @@ impl Metrics {
     fn new() -> Self {
         Self {
             window_lanes: AtomicUsize::new(0),
+            proto_text: AtomicU64::new(0),
+            proto_bin: AtomicU64::new(0),
             engines: Mutex::new(Vec::new()),
         }
     }
@@ -288,7 +324,7 @@ impl Service {
             std::thread::spawn(move || {
                 let mut builder: GroupBuilder<Reply> = GroupBuilder::new();
                 'accept: while let Some(first) = requests.pop() {
-                    builder.push(&first.engine, first.a, first.b, first.reply);
+                    push_job(&mut builder, first);
                     metrics
                         .window_lanes
                         .store(builder.lanes(), Ordering::Relaxed);
@@ -297,7 +333,7 @@ impl Service {
                     while builder.lanes() < config.max_lanes {
                         match requests.pop_deadline(deadline) {
                             PopResult::Item(job) => {
-                                builder.push(&job.engine, job.a, job.b, job.reply);
+                                push_job(&mut builder, job);
                                 metrics
                                     .window_lanes
                                     .store(builder.lanes(), Ordering::Relaxed);
@@ -411,9 +447,24 @@ impl Service {
             max_lanes: self.max_lanes,
             word_bits: DefaultWord::LANES,
             slo_micros: self.router.slo(),
+            proto_text: self.metrics.proto_text.load(Ordering::Relaxed),
+            proto_bin: self.metrics.proto_bin.load(Ordering::Relaxed),
             engines,
             routes: self.router.routes(),
         }
+    }
+
+    /// Counts one answered text-protocol request. Connection handlers call
+    /// this per non-empty line (malformed ones included — they are
+    /// answered too); in-process submissions count as neither protocol.
+    pub fn note_text_request(&self) {
+        self.metrics.proto_text.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one answered binary frame; the `HELLO` upgrade line itself
+    /// is neither text nor binary traffic.
+    pub fn note_binary_request(&self) {
+        self.metrics.proto_bin.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The registry cache — the `ENGINES` command and validation share it.
@@ -476,8 +527,54 @@ impl Service {
         self.requests
             .push(Job {
                 engine: engine.to_string(),
-                a,
-                b,
+                operands: Operands::Values { a, b },
+                reply,
+            })
+            .map_err(|_| SubmitError::Stopped)
+    }
+
+    /// Validates and queues one addition whose operands are raw
+    /// little-endian limb runs — the zero-copy ingress of the binary
+    /// protocol. No [`UBig`] is built anywhere on this path: the limbs are
+    /// validated in place here and the batcher scatters them straight into
+    /// the slab layout ([`GroupBuilder::push_limbs`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit`], plus [`SubmitError::BadLimbs`] when either
+    /// operand is not exactly `width.div_ceil(64)` limbs or has bits set
+    /// at or above `width`.
+    pub fn submit_limbs(
+        &self,
+        engine: &str,
+        width: usize,
+        a: Vec<u64>,
+        b: Vec<u64>,
+        reply: Reply,
+    ) -> Result<(), SubmitError> {
+        if !WIDTH_RANGE.contains(&width) {
+            return Err(SubmitError::BadWidth(width));
+        }
+        let nl = width.div_ceil(64);
+        for (name, limbs) in [("a", &a), ("b", &b)] {
+            if limbs.len() != nl {
+                return Err(SubmitError::BadLimbs(format!(
+                    "operand {name} is {} limbs, width {width} needs {nl}",
+                    limbs.len()
+                )));
+            }
+            let used = width % 64;
+            if used != 0 && limbs[nl - 1] >> used != 0 {
+                return Err(SubmitError::BadLimbs(format!(
+                    "operand {name} has bits set at or above width {width}"
+                )));
+            }
+        }
+        let engine = self.canonical_engine(engine, width)?;
+        self.requests
+            .push(Job {
+                engine: engine.to_string(),
+                operands: Operands::Limbs { width, a, b },
                 reply,
             })
             .map_err(|_| SubmitError::Stopped)
@@ -519,8 +616,7 @@ impl Service {
         self.requests
             .push(Job {
                 engine: engine.to_string(),
-                a: x,
-                b: y,
+                operands: Operands::Values { a: x, b: y },
                 reply,
             })
             .map_err(|_| SubmitError::Stopped)
@@ -705,6 +801,58 @@ mod tests {
             service.submit_sum("no-such", &ops, reply).err(),
             Some(SubmitError::UnknownEngine(_))
         ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_limbs_matches_submit_and_validates_in_place() {
+        let service = Service::start(fast_config());
+        let a = UBig::from_u128((1u128 << 100) - 3, 100);
+        let b = UBig::from_u128(0xdead_beef_cafe, 100);
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit_limbs(
+                "vlcsa1",
+                100,
+                a.limbs().to_vec(),
+                b.limbs().to_vec(),
+                Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            )
+            .unwrap();
+        let out = rx.recv().unwrap();
+        let reference = service.add_blocking("vlcsa1", a, b).unwrap();
+        assert_eq!(out, reference);
+        // Wrong limb count and stray high bits fail before queueing.
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert!(matches!(
+            service.submit_limbs("vlcsa1", 100, vec![1], vec![0, 0], reply),
+            Err(SubmitError::BadLimbs(_))
+        ));
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert!(matches!(
+            service.submit_limbs("vlcsa1", 100, vec![0, 1 << 36], vec![0, 0], reply),
+            Err(SubmitError::BadLimbs(_))
+        ));
+        let reply: Reply = Box::new(|_| panic!("reply must not fire on rejection"));
+        assert!(matches!(
+            service.submit_limbs("no-such", 64, vec![1], vec![2], reply),
+            Err(SubmitError::UnknownEngine(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn proto_counters_start_at_zero_and_count_notes() {
+        let service = Service::start(fast_config());
+        let stats = service.stats();
+        assert_eq!((stats.proto_text, stats.proto_bin), (0, 0));
+        service.note_text_request();
+        service.note_text_request();
+        service.note_binary_request();
+        let stats = service.stats();
+        assert_eq!((stats.proto_text, stats.proto_bin), (2, 1));
         service.shutdown();
     }
 

@@ -23,7 +23,7 @@ use proptest::prelude::*;
 use vlcsa::engine::Registry;
 use vlcsa::exec::Executor;
 use vlcsa::program::{Operand, Program};
-use vlcsa_serve::{AddResult, ServeConfig, Service};
+use vlcsa_serve::{AddResult, Client, ServeConfig, Server, Service};
 
 const ENGINES: [&str; 9] = [
     "ripple",
@@ -294,5 +294,100 @@ proptest! {
                 "cycles of request {} outside the 1-or-2 envelope: {}", i, served.cycles
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Wire-format interop: text and binary clients concurrently against
+    /// one real TCP server, each client's encoding chosen at random (with
+    /// both encodings always represented), mixed engines and widths
+    /// including `auto` and multi-limb operands. Every answer — whichever
+    /// framing carried it — is bit-identical to the scalar reference, so
+    /// the limb ingress path and the hex path are observationally the
+    /// same arithmetic.
+    #[test]
+    fn text_and_binary_clients_interop_bit_identically(
+        (seed, count) in (any::<u64>(), 1usize..40)
+    ) {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                max_wait: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        const CLIENTS: usize = 4;
+
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut rng = Xoshiro256::seed_from_u64(seed ^ (0x9E3779B9 + c as u64));
+                    // Clients 0 and 1 pin one encoding each so every case
+                    // exercises both; the rest flip a coin.
+                    let binary = match c {
+                        0 => true,
+                        1 => false,
+                        _ => rng.next_u64() & 1 == 1,
+                    };
+                    let mut client = if binary {
+                        Client::connect_binary(addr).expect("binary handshake")
+                    } else {
+                        Client::connect(addr).expect("text connect")
+                    };
+                    let mut expected = HashMap::new();
+                    for _ in 0..count {
+                        let engine = if rng.next_u64().is_multiple_of(3) {
+                            "auto"
+                        } else {
+                            ENGINES[(rng.next_u64() % ENGINES.len() as u64) as usize]
+                        };
+                        let width = WIDTHS[(rng.next_u64() % WIDTHS.len() as u64) as usize];
+                        let a = UBig::random(width, &mut rng);
+                        let b = UBig::random(width, &mut rng);
+                        let seq = client.submit(engine, &a, &b).expect("submit");
+                        expected.insert(seq, (engine, a, b));
+                    }
+                    let mut registries: HashMap<usize, Registry> = HashMap::new();
+                    for _ in 0..count {
+                        let (seq, response) = client.recv().expect("recv");
+                        let response =
+                            response.unwrap_or_else(|e| panic!("seq {seq}: {e:?}"));
+                        let (engine, a, b) = expected.remove(&seq).expect("known seq");
+                        let width = a.width();
+                        let registry = registries
+                            .entry(width)
+                            .or_insert_with(|| Registry::for_width(width));
+                        // Every registry family computes exact addition, so
+                        // `ripple` is a valid sum/cout reference even when
+                        // `auto` delegated the choice.
+                        let name = if engine == "auto" { "ripple" } else { engine };
+                        let one = registry.get(name).expect("known engine").add_one(&a, &b);
+                        let enc = if binary { "binary" } else { "text" };
+                        assert_eq!(response.sum, one.sum, "{enc} client {c} seq {seq}");
+                        assert_eq!(response.cout, one.cout, "{enc} client {c} seq {seq}");
+                        if engine == "auto" {
+                            assert!(
+                                response.cycles == 1 || response.cycles == 2,
+                                "{enc} client {c} seq {seq}: cycles {}",
+                                response.cycles
+                            );
+                        } else {
+                            assert_eq!(response.cycles, one.cycles, "{enc} client {c} seq {seq}");
+                        }
+                    }
+                    client.close();
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        server.shutdown();
     }
 }

@@ -767,6 +767,278 @@ fn step_less_program_is_a_structured_client_error() {
 }
 
 #[test]
+fn binary_clients_round_trip_and_proto_counters_pin() {
+    // The tentpole end to end, plus the STATS satellite: a binary client
+    // negotiated via HELLO serves exact sums at multi-limb widths (and
+    // through `auto`), while proto_text/proto_bin count every answered
+    // request on the right side — the STATS request itself included, the
+    // HELLO upgrade line excluded.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let mut text = Client::connect(addr).unwrap();
+    assert!(!text.is_binary());
+    let mut src = OperandSource::new(Distribution::paper_gaussian(), 100, 0xB1A2);
+    for _ in 0..3 {
+        let (a, b) = src.next_pair();
+        let ok = text.add("vlcsa1", &a, &b).unwrap();
+        assert_eq!(ok.sum, a.wrapping_add(&b));
+    }
+
+    let mut bin = Client::connect_binary(addr).unwrap();
+    assert!(bin.is_binary());
+    // The listing is identical across transports, auto included.
+    assert_eq!(bin.engines().unwrap(), text.engines().unwrap());
+    for engine in ["vlcsa2", "auto"] {
+        let (a, b) = src.next_pair();
+        let ok = bin.add(engine, &a, &b).unwrap();
+        assert_eq!(ok.sum, a.wrapping_add(&b), "{engine}");
+        assert!(ok.cycles == 1 || ok.cycles == 2);
+    }
+    // SUM and PROG travel as frames too.
+    let operands: Vec<UBig> = (0..5).map(|_| src.next_operand()).collect();
+    let expect = operands[1..]
+        .iter()
+        .fold(operands[0].clone(), |acc, o| acc.wrapping_add(o));
+    assert_eq!(bin.sum("ripple", &operands).unwrap().sum, expect);
+    let program = Program::from_spec("i0+i1,t0+i2", 3).unwrap();
+    let inputs = &operands[..3];
+    assert_eq!(
+        bin.run_program("carry-select", &program, inputs)
+            .unwrap()
+            .sum,
+        program.eval_scalar(inputs)
+    );
+    // And the SLO knob answers over frames.
+    assert_eq!(bin.set_slo(Some(750)).unwrap(), Some(750));
+    assert_eq!(bin.slo().unwrap(), Some(750));
+    assert_eq!(bin.set_slo(None).unwrap(), None);
+
+    // The pin: the text side has answered 3 ADDs + 1 ENGINES; the binary
+    // side has answered the handshake ENGINES + the explicit engines() +
+    // 2 ADDs + SUM + PROG + 3 SLO commands = 9 frames, and this STATS is
+    // the 10th. The HELLO upgrade line counts as neither.
+    let snapshot = bin.stats().unwrap();
+    assert_eq!(snapshot.proto_text, 4, "{snapshot:?}");
+    assert_eq!(snapshot.proto_bin, 10, "{snapshot:?}");
+    // The text view agrees — one set of counters, two transports — and
+    // its own STATS line is text request number 5.
+    let snapshot = text.stats().unwrap();
+    assert_eq!(snapshot.proto_text, 5, "{snapshot:?}");
+    assert_eq!(snapshot.proto_bin, 10, "{snapshot:?}");
+
+    bin.close();
+    text.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn binary_bad_engine_id_gets_structured_err_frame() {
+    // The Registry::lookup error surface, reachable from binary mode: an
+    // out-of-range engine id answers with an ERR frame that lists the
+    // id ↔ name mapping, and the same connection keeps serving.
+    use vlcsa_serve::binary;
+
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    writer.write_all(b"HELLO BIN 1\n").unwrap();
+    let mut ack = String::new();
+    reader.read_line(&mut ack).unwrap();
+    assert_eq!(ack.trim(), binary::HELLO_LINE);
+
+    writer
+        .write_all(&binary::encode_add(7, 200, 64, &[5], &[6]))
+        .unwrap();
+    let (opcode, body) = binary::read_frame(&mut reader).unwrap().unwrap();
+    match binary::decode_response(opcode, &body).unwrap() {
+        vlcsa_serve::binary::BinResponse::Err(err) => {
+            assert_eq!(err.seq, 7);
+            assert_eq!(err.code, ErrorCode::UnknownEngine);
+            for (i, name) in Registry::for_width(64).names().iter().enumerate() {
+                assert!(
+                    err.message.contains(&format!("{i}={name}")),
+                    "listing must map `{name}`: {}",
+                    err.message
+                );
+            }
+            assert!(err.message.contains("255=auto"), "{}", err.message);
+        }
+        other => panic!("expected ERR frame, got {other:?}"),
+    }
+    // The connection survives: id 0 is the listing's first engine.
+    writer
+        .write_all(&binary::encode_add(8, 0, 64, &[40], &[2]))
+        .unwrap();
+    let (opcode, body) = binary::read_frame(&mut reader).unwrap().unwrap();
+    match binary::decode_response(opcode, &body).unwrap() {
+        vlcsa_serve::binary::BinResponse::Ok { seq, sum_limbs, .. } => {
+            assert_eq!((seq, sum_limbs.as_slice()), (8, &[42u64][..]));
+        }
+        other => panic!("expected OK frame, got {other:?}"),
+    }
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn binary_garbage_answers_or_closes_cleanly_never_desyncs() {
+    // The framing robustness satellite. In-frame malformations (unknown
+    // opcode, wrong counts, stray bits) are answered and the stream stays
+    // in sync; header-level poison (bad version, lying length) answers
+    // once and closes; a mid-frame disconnect is a clean close. The server
+    // survives all of it.
+    use vlcsa_serve::binary;
+
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let hello = |stream: &mut TcpStream, reader: &mut BufReader<TcpStream>| {
+        stream.write_all(b"HELLO BIN 1\n").unwrap();
+        let mut ack = String::new();
+        reader.read_line(&mut ack).unwrap();
+        assert_eq!(ack.trim(), binary::HELLO_LINE);
+    };
+    let expect_err = |reader: &mut BufReader<TcpStream>, seq: u64, code: ErrorCode| {
+        let (opcode, body) = binary::read_frame(reader).unwrap().unwrap();
+        match binary::decode_response(opcode, &body).unwrap() {
+            vlcsa_serve::binary::BinResponse::Err(err) => {
+                assert_eq!((err.seq, err.code), (seq, code), "{}", err.message);
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+    };
+
+    // Each scenario owns its sockets in a block: shadowed `TcpStream`
+    // bindings would otherwise keep client FDs open until the end of the
+    // test, and the drained-readers check below would never pass.
+
+    // 1) In-frame garbage, then later frames still answered — no desync.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        hello(&mut stream, &mut reader);
+        // Unknown opcode (body carries seq 21).
+        let mut bad_op = binary::encode_add(21, 0, 64, &[1], &[2]);
+        bad_op[1] = 0x7f;
+        stream.write_all(&bad_op).unwrap();
+        expect_err(&mut reader, 21, ErrorCode::BadRequest);
+        // Truncated body: an ADD body cut mid-operand (the header's length
+        // is honest about the short body, so the stream stays in sync).
+        let whole = binary::encode_add(22, 0, 64, &[1], &[2]);
+        let cut_body_len = (whole.len() - 6 - 4) as u32;
+        let mut cut = Vec::new();
+        cut.extend_from_slice(&[1, 0x01]);
+        cut.extend_from_slice(&cut_body_len.to_le_bytes());
+        cut.extend_from_slice(&whole[6..whole.len() - 4]);
+        stream.write_all(&cut).unwrap();
+        expect_err(&mut reader, 22, ErrorCode::BadRequest);
+        // Stray bits above the width.
+        stream
+            .write_all(&binary::encode_add(23, 0, 60, &[1 << 63], &[0]))
+            .unwrap();
+        expect_err(&mut reader, 23, ErrorCode::BadOperand);
+        // Bad width.
+        stream
+            .write_all(&binary::encode_add(24, 0, 5000, &[0], &[0]))
+            .unwrap();
+        expect_err(&mut reader, 24, ErrorCode::BadWidth);
+        // The stream is still perfectly usable.
+        stream
+            .write_all(&binary::encode_add(25, 0, 64, &[20], &[22]))
+            .unwrap();
+        let (opcode, body) = binary::read_frame(&mut reader).unwrap().unwrap();
+        match binary::decode_response(opcode, &body).unwrap() {
+            vlcsa_serve::binary::BinResponse::Ok { seq, sum_limbs, .. } => {
+                assert_eq!((seq, sum_limbs.as_slice()), (25, &[42u64][..]));
+            }
+            other => panic!("expected OK, got {other:?}"),
+        }
+    }
+
+    // 2) Unknown version byte: one ERR, then the server closes.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        hello(&mut stream, &mut reader);
+        let mut frame = binary::encode_add(31, 0, 64, &[1], &[2]);
+        frame[0] = 9;
+        stream.write_all(&frame).unwrap();
+        expect_err(&mut reader, 0, ErrorCode::BadRequest);
+        assert!(
+            matches!(binary::read_frame(&mut reader), Ok(None) | Err(_)),
+            "stream must close after a version it cannot trust"
+        );
+    }
+
+    // 3) Oversized length prefix: one ERR, then close — never an
+    //    allocation or a hang.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        hello(&mut stream, &mut reader);
+        let mut lying = vec![1u8, 0x01];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.write_all(&lying).unwrap();
+        expect_err(&mut reader, 0, ErrorCode::BadRequest);
+        assert!(matches!(binary::read_frame(&mut reader), Ok(None) | Err(_)));
+    }
+
+    // 4) Mid-frame disconnect: a clean close server-side, no panic, no
+    //    stuck reader thread.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        hello(&mut stream, &mut reader);
+        let whole = binary::encode_add(41, 0, 64, &[1], &[2]);
+        stream.write_all(&whole[..whole.len() / 2]).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.open_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.open_connections(), 0, "readers drained");
+
+    // 5) After the storm, a fresh client of each protocol still works.
+    let mut text = Client::connect(addr).unwrap();
+    let a = UBig::from_u128(40, 64);
+    let b = UBig::from_u128(2, 64);
+    assert_eq!(text.add("ripple", &a, &b).unwrap().sum.to_u128(), Some(42));
+    let mut bin = Client::connect_binary(addr).unwrap();
+    assert_eq!(bin.add("ripple", &a, &b).unwrap().sum.to_u128(), Some(42));
+    text.close();
+    bin.close();
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
+fn hello_after_the_first_line_is_just_an_unknown_command() {
+    // Negotiation is first-line-only: a connection that has spoken text
+    // once can never upgrade, so a later HELLO is answered as a normal
+    // unknown command and the connection stays text.
+    let server = Server::start("127.0.0.1:0", test_config()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+
+    writer.write_all(b"ADD 1 ripple 8 1 2\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "OK 1 3 0 1");
+
+    line.clear();
+    writer.write_all(b"HELLO BIN 1\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR 0 bad-request"), "{line}");
+
+    line.clear();
+    writer.write_all(b"ADD 2 ripple 8 2 3\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "OK 2 5 0 1", "still text after the late HELLO");
+    shutdown_within(server, Duration::from_secs(10));
+}
+
+#[test]
 fn idle_windows_then_burst() {
     // An idle server (batching windows with zero requests) must neither
     // busy-spin nor wedge: after a quiet period, a burst is served intact.
