@@ -331,7 +331,7 @@ fn main() {
             workers: 2,
             exec_threads: 1,
             queue_depth: 1024,
-            slo_micros: None,
+            route: Default::default(),
         },
     )
     .expect("bind loopback");

@@ -1,5 +1,6 @@
 //! Carry-chain profiling experiments: Figs. 6.1–6.5, plus the
-//! registry-driven chained-reduction sweep (`ext.chain_engines`).
+//! registry-driven sweeps `ext.chain_engines` (chained reductions) and
+//! `ext.dist_engines` (per-distribution latency, every family).
 
 use bitnum::batch::WideSlab;
 use bitnum::UBig;
@@ -10,7 +11,7 @@ use workloads::chains::ChainHistogram;
 use workloads::crypto::CryptoBench;
 use workloads::dist::{Distribution, OperandSource};
 
-use crate::table::Table;
+use crate::table::{pct, Table};
 use crate::Config;
 
 /// σ for the 32-bit profiling figures (the paper does not state the value
@@ -207,5 +208,54 @@ pub fn fig6_2(config: &Config) -> Table {
         "traces regenerated from our own RSA/DH/EC implementations \
             (word-level datapath + control-plane additions); see DESIGN.md §5",
     );
+    t
+}
+
+/// `ext.dist_engines`: the four Fig. 6.1–6.5 input distributions, swept
+/// over every registry family at the profiling width.
+///
+/// Figs. 6.1–6.5 profile carry chains per distribution; this table
+/// closes the loop by measuring what those chain shapes do to each
+/// family's latency: uniform inputs keep chains short and stalls rare,
+/// the Gaussian (and especially the bimodal two's-complement Gaussian)
+/// workloads push chains toward the MSB and the speculative families
+/// into their 2-cycle recovery path.
+pub fn ext_dist_engines(config: &Config) -> Table {
+    let width = 32;
+    let samples = (config.mc_samples / 4).clamp(1_000, 100_000);
+    let distributions = [
+        Distribution::UnsignedUniform,
+        Distribution::TwosComplementUniform,
+        Distribution::UnsignedGaussian { sigma: SIGMA_32 },
+        Distribution::TwosComplementGaussian { sigma: SIGMA_32 },
+    ];
+    let registry = Registry::for_width(width);
+    let mut t = Table::new(
+        "ext.dist_engines",
+        "Stall statistics across every engine family and Fig. 6 input distribution (32-bit)",
+        &["engine", "distribution", "stall rate (MC)", "mean cycles"],
+    );
+    for engine in registry.engines() {
+        for (i, &dist) in distributions.iter().enumerate() {
+            let mut src = OperandSource::new(dist, width, 0xd157 + i as u64);
+            let (mut stalls, mut cycles) = (0u64, 0u64);
+            for _ in 0..samples {
+                let (a, b) = src.next_pair();
+                let out = engine.add_one(&a, &b);
+                stalls += u64::from(out.cycles == 2);
+                cycles += u64::from(out.cycles);
+            }
+            t.row(vec![
+                engine.name().to_string(),
+                dist.name().to_string(),
+                pct(stalls as f64 / samples as f64),
+                format!("{:.4}", cycles as f64 / samples as f64),
+            ]);
+        }
+    }
+    t.note(format!(
+        "{samples} additions per cell; sigma = 2^8 for the Gaussian rows, \
+            matching Figs. 6.4/6.5"
+    ));
     t
 }

@@ -1,4 +1,5 @@
-//! Error-model experiments: Fig. 3.5, Fig. 7.1, Tables 7.3/7.4.
+//! Error-model experiments: Fig. 3.5, Fig. 7.1, Tables 7.3/7.4, plus the
+//! registry-driven Monte-Carlo sweep `ext.model_engines`.
 
 use bitnum::rng::Xoshiro256;
 use bitnum::UBig;
@@ -154,5 +155,60 @@ pub fn tab7_4(_config: &Config) -> Table {
         );
         t.note(format!("exact-model solver @0.01% n={n}: k={exact01}"));
     }
+    t
+}
+
+/// `ext.model_engines`: the Monte-Carlo half of the error model, swept
+/// over every registry family instead of a hand-picked SCSA.
+///
+/// Each family answers the same 64-bit unsigned-uniform stream through
+/// its scalar path; fixed-latency families must report a zero stall
+/// rate, the speculative ones a rate in the neighbourhood their error
+/// model predicts. Sums are cross-checked against the first (ripple)
+/// family lane by lane, so the table doubles as a correctness sweep.
+pub fn ext_model_engines(config: &Config) -> Table {
+    use vlcsa::engine::Registry;
+    use workloads::dist::{Distribution, OperandSource};
+
+    let width = 64;
+    let samples = (config.mc_samples / 4).clamp(1_000, 100_000);
+    let registry = Registry::for_width(width);
+    let reference = &registry.engines()[0];
+    let mut t = Table::new(
+        "ext.model_engines",
+        "Monte-Carlo stall statistics across every engine family (64-bit, unsigned uniform)",
+        &[
+            "engine",
+            "variable latency",
+            "stall rate (MC)",
+            "flag rate (MC)",
+            "mean cycles",
+        ],
+    );
+    for engine in registry.engines() {
+        let mut src = OperandSource::new(Distribution::UnsignedUniform, width, 0x3e5a);
+        let (mut stalls, mut flags, mut cycles) = (0u64, 0u64, 0u64);
+        for _ in 0..samples {
+            let (a, b) = src.next_pair();
+            let out = engine.add_one(&a, &b);
+            let want = reference.add_one(&a, &b);
+            assert_eq!(out.sum, want.sum, "{} sum drift", engine.name());
+            assert_eq!(out.cout, want.cout, "{} cout drift", engine.name());
+            stalls += u64::from(out.cycles == 2);
+            flags += u64::from(out.flagged);
+            cycles += u64::from(out.cycles);
+        }
+        t.row(vec![
+            engine.name().to_string(),
+            engine.variable_latency().to_string(),
+            pct(stalls as f64 / samples as f64),
+            pct(flags as f64 / samples as f64),
+            format!("{:.4}", cycles as f64 / samples as f64),
+        ]);
+    }
+    t.note(format!(
+        "{samples} additions per family, same operand stream for all; \
+            sums pinned to the ripple family bit for bit"
+    ));
     t
 }

@@ -195,6 +195,21 @@ pub fn registry() -> Vec<Experiment> {
             chains::ext_chain_engines
         ),
         exp!(
+            "ext.model_engines",
+            "Monte-Carlo stall statistics swept over every registry family",
+            error_model::ext_model_engines
+        ),
+        exp!(
+            "ext.gaussian_engines",
+            "Gaussian-workload stalls: every registry family at every width",
+            gaussian::ext_gaussian_engines
+        ),
+        exp!(
+            "ext.dist_engines",
+            "Fig. 6 distributions vs every registry family's latency",
+            chains::ext_dist_engines
+        ),
+        exp!(
             "ext.magnitude",
             "error magnitude: SCSA vs per-bit speculation (Sec. 3.3)",
             extensions::magnitude

@@ -190,6 +190,74 @@ impl<W: Word> BitSlab<W> {
         }
     }
 
+    /// Overwrites lane `l` from little-endian `u64` limbs — the dirty-slab
+    /// twin of [`BitSlab::set_lane_limbs`]: every bit of the lane is
+    /// written (set **or cleared**), so the lane needs no pre-zeroing and
+    /// whole slabs can be recycled across batches without a zeroing sweep
+    /// (see [`SlabBuilder::recycle`]).
+    ///
+    /// ```
+    /// use bitnum::batch::BitSlab;
+    /// use bitnum::UBig;
+    /// let mut slab: BitSlab = BitSlab::from_lanes(&[UBig::from_u128(0xffff, 100)]);
+    /// slab.overwrite_lane_limbs(0, &[0xdead_beef, 0x7]); // stale bits vanish
+    /// assert_eq!(slab.lane(0), UBig::from_limbs(&[0xdead_beef, 0x7], 100));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes`, `limbs` is not exactly `width.div_ceil(64)`
+    /// limbs, or the top limb carries bits at or above `width`.
+    pub fn overwrite_lane_limbs(&mut self, l: usize, limbs: &[u64]) {
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
+        assert_eq!(
+            limbs.len(),
+            self.width.div_ceil(64),
+            "width {} needs {} limbs, got {}",
+            self.width,
+            self.width.div_ceil(64),
+            limbs.len()
+        );
+        let used = self.width % 64;
+        assert!(
+            used == 0 || limbs[limbs.len() - 1] >> used == 0,
+            "limbs carry bits at or above width {}",
+            self.width
+        );
+        for (li, &limb) in limbs.iter().enumerate() {
+            let base = li * 64;
+            let top = (base + 64).min(self.width);
+            for i in base..top {
+                if (limb >> (i - base)) & 1 == 1 {
+                    self.words[i].set_bit(l);
+                } else {
+                    self.words[i].clear_bit(l);
+                }
+            }
+        }
+    }
+
+    /// Clears every bit of lane `l` — the lane-level eraser for callers
+    /// that retire a lane without immediately rewriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes`.
+    pub fn clear_lane(&mut self, l: usize) {
+        assert!(
+            l < self.lanes,
+            "lane {l} out of range for {} lanes",
+            self.lanes
+        );
+        for w in &mut self.words {
+            w.clear_bit(l);
+        }
+    }
+
     /// Gathers lane `l` into little-endian `u64` limbs — the egress twin
     /// of [`BitSlab::set_lane_limbs`], filling a caller-provided buffer so
     /// binary-mode responses need no [`UBig`] or hex formatting.
@@ -228,17 +296,19 @@ impl<W: Word> BitSlab<W> {
         }
     }
 
-    /// Shrinks the lane count to `lanes` — the builder's seal for a
-    /// partial tail chunk. Only sound when no lane at or beyond the new
-    /// count was ever written, which [`SlabBuilder`] guarantees by
-    /// construction; verified in debug builds.
+    /// Shrinks the lane count to `lanes` and masks every word down to the
+    /// new lane mask — the builder's seal for a partial tail chunk. The
+    /// masking sweep makes the seal sound even when lanes at or beyond the
+    /// new count hold stale bits (a recycled chunk, see
+    /// [`SlabBuilder::recycle`]), restoring the slab invariant that no bit
+    /// above the lane count is set.
     fn truncated(mut self, lanes: usize) -> Self {
         debug_assert!((1..=self.lanes).contains(&lanes));
         self.lanes = lanes;
-        debug_assert!({
-            let mask = self.lane_mask();
-            self.words.iter().all(|&w| (w & !mask).is_zero())
-        });
+        let mask = self.lane_mask();
+        for w in &mut self.words {
+            *w = *w & mask;
+        }
         self
     }
 
@@ -639,11 +709,16 @@ pub struct SlabBuilder<W: Word = DefaultWord> {
     width: usize,
     lanes: usize,
     chunks: Vec<BitSlab<W>>,
-    /// The open chunk, allocated at full [`Word::LANES`] capacity; lanes
-    /// `>= open_lanes` are still zero, so sealing a partial tail is a pure
-    /// lane-count truncation.
+    /// The open chunk, allocated at full [`Word::LANES`] capacity. Lanes
+    /// are written through the overwrite path
+    /// ([`BitSlab::overwrite_lane_limbs`]), so the chunk needs no
+    /// pre-zeroing and recycled (dirty) chunks are fine; sealing a partial
+    /// tail masks stale lanes away ([`BitSlab::truncated`]).
     current: BitSlab<W>,
     open_lanes: usize,
+    /// Dirty full-capacity chunks reclaimed by [`SlabBuilder::recycle`],
+    /// consumed on chunk rollover before any fresh allocation.
+    spare: Vec<BitSlab<W>>,
 }
 
 impl<W: Word> SlabBuilder<W> {
@@ -659,6 +734,45 @@ impl<W: Word> SlabBuilder<W> {
             chunks: Vec::new(),
             current: BitSlab::zero(width, W::LANES),
             open_lanes: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Reclaims a finished slab's chunk allocations for a new build at the
+    /// same width **without zeroing them** — the allocation-recycling loop
+    /// of a long-running batcher. Sound because every push overwrites its
+    /// lane bit-for-bit and [`SlabBuilder::finish`] masks the partial
+    /// tail, so stale bits from the previous batch can never leak into the
+    /// next one.
+    ///
+    /// ```
+    /// use bitnum::batch::SlabBuilder;
+    /// use bitnum::UBig;
+    ///
+    /// let mut builder: SlabBuilder = SlabBuilder::new(64);
+    /// builder.push_lane(&UBig::from_u128(u64::MAX as u128, 64));
+    /// let mut builder = SlabBuilder::recycle(builder.finish());
+    /// builder.push_lane_limbs(&[42]); // lane 0 reused, stale bits gone
+    /// assert_eq!(builder.finish().lane(0).to_u128(), Some(42));
+    /// ```
+    pub fn recycle(slab: WideSlab<W>) -> Self {
+        let width = slab.width;
+        let mut spare = slab.chunks;
+        for chunk in &mut spare {
+            // Reopen every harvested chunk at full capacity; the words
+            // keep their stale bits.
+            chunk.lanes = W::LANES;
+        }
+        let current = spare
+            .pop()
+            .unwrap_or_else(|| BitSlab::zero(width, W::LANES));
+        Self {
+            width,
+            lanes: 0,
+            chunks: Vec::new(),
+            current,
+            open_lanes: 0,
+            spare,
         }
     }
 
@@ -673,19 +787,26 @@ impl<W: Word> SlabBuilder<W> {
     }
 
     /// Appends one lane from little-endian `u64` limbs — a direct
-    /// scatter into the transposed words via [`BitSlab::set_lane_limbs`].
+    /// scatter into the transposed words via
+    /// [`BitSlab::overwrite_lane_limbs`]. The overwrite path writes every
+    /// bit of the lane, so the builder's chunks need no pre-zeroing and
+    /// recycled chunks ([`SlabBuilder::recycle`]) are ingested as-is.
     ///
     /// # Panics
     ///
     /// Panics on the limb-shape conditions of
-    /// [`BitSlab::set_lane_limbs`]: not exactly `width.div_ceil(64)`
+    /// [`BitSlab::overwrite_lane_limbs`]: not exactly `width.div_ceil(64)`
     /// limbs, or bits set at or above the width.
     pub fn push_lane_limbs(&mut self, limbs: &[u64]) {
-        self.current.set_lane_limbs(self.open_lanes, limbs);
+        self.current.overwrite_lane_limbs(self.open_lanes, limbs);
         self.open_lanes += 1;
         self.lanes += 1;
         if self.open_lanes == W::LANES {
-            let full = std::mem::replace(&mut self.current, BitSlab::zero(self.width, W::LANES));
+            let next = self
+                .spare
+                .pop()
+                .unwrap_or_else(|| BitSlab::zero(self.width, W::LANES));
+            let full = std::mem::replace(&mut self.current, next);
             self.chunks.push(full);
             self.open_lanes = 0;
         }
@@ -997,6 +1118,82 @@ mod tests {
     fn set_lane_limbs_rejects_bad_shapes() {
         set_lane_limbs_rejects_bad_shapes_for::<u64>();
         set_lane_limbs_rejects_bad_shapes_for::<W256>();
+    }
+
+    fn overwrite_reuses_dirty_slab_for<W: Word>() {
+        // The PR 8 gotcha: set_lane_limbs OR-s into the lane and requires
+        // it zero. The overwrite path must rewrite a *dirty* lane exactly,
+        // clearing stale bits the new value does not set.
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        let width = 100;
+        let lanes = W::LANES;
+        let first: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+        let second: Vec<UBig> = (0..lanes).map(|_| UBig::random(width, &mut rng)).collect();
+        let mut slab = BitSlab::<W>::from_lanes(&first);
+        for (l, v) in second.iter().enumerate() {
+            slab.overwrite_lane_limbs(l, v.limbs());
+        }
+        assert_eq!(slab, BitSlab::from_lanes(&second));
+        // Same shape panics as the OR path.
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.overwrite_lane_limbs(0, &[1]); // 100 bits need 2 limbs
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.overwrite_lane_limbs(0, &[0, 1 << 36]); // bit 100 out of range
+        }))
+        .is_err());
+        // clear_lane erases exactly one lane.
+        slab.clear_lane(1);
+        assert_eq!(slab.lane(1), UBig::zero(width));
+        assert_eq!(slab.lane(0), second[0]);
+    }
+
+    #[test]
+    fn overwrite_lane_limbs_reuses_dirty_slab() {
+        overwrite_reuses_dirty_slab_for::<u64>();
+        overwrite_reuses_dirty_slab_for::<W256>();
+    }
+
+    fn recycled_builder_matches_fresh_build_for<W: Word>() {
+        // A recycled (dirty, unzeroed) slab must rebuild bit-identically:
+        // pushes overwrite their lanes and the partial-tail seal masks the
+        // stale remainder — including the slab lane-mask invariant.
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let width = 72;
+        let mut builder = SlabBuilder::<W>::new(width);
+        for _ in 0..(2 * W::LANES) {
+            builder.push_lane(&UBig::random(width, &mut rng));
+        }
+        let dirty = builder.finish();
+
+        // Rebuild *fewer* lanes than the donor held, so both a partial
+        // tail over a dirty chunk and an unused spare chunk are exercised.
+        let fresh_lanes = W::LANES + W::LANES / 2 + 3;
+        let values: Vec<UBig> = (0..fresh_lanes)
+            .map(|_| UBig::random(width, &mut rng))
+            .collect();
+        let mut recycled = SlabBuilder::<W>::recycle(dirty);
+        let mut fresh = SlabBuilder::<W>::new(width);
+        for v in &values {
+            recycled.push_lane_limbs(v.limbs());
+            fresh.push_lane(v);
+        }
+        let (recycled, fresh) = (recycled.finish(), fresh.finish());
+        assert_eq!(recycled, fresh);
+        for chunk in recycled.chunks() {
+            let mask = chunk.lane_mask();
+            assert!(
+                chunk.words().iter().all(|&w| (w & !mask).is_zero()),
+                "stale bits above the lane count survived the seal"
+            );
+        }
+    }
+
+    #[test]
+    fn recycled_builder_matches_fresh_build() {
+        recycled_builder_matches_fresh_build_for::<u64>();
+        recycled_builder_matches_fresh_build_for::<W256>();
     }
 
     #[test]

@@ -90,6 +90,19 @@ pub trait Word:
     /// Panics if `lane >= LANES`.
     fn set_bit(&mut self, lane: usize);
 
+    /// Clears lane `lane`'s bit — the lane-overwrite primitive: together
+    /// with [`Word::set_bit`] it lets a slab lane be rewritten in place
+    /// without requiring the lane to be zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES`.
+    fn clear_bit(&mut self, lane: usize) {
+        let li = lane / 64;
+        let limb = self.limb(li) & !(1u64 << (lane % 64));
+        self.set_limb(li, limb);
+    }
+
     /// Number of set bits (lanes at 1) — the stall-count primitive.
     fn count_ones(self) -> u32;
 
@@ -148,6 +161,11 @@ impl Word for u64 {
     fn set_bit(&mut self, lane: usize) {
         assert!(lane < Self::LANES, "lane {lane} out of range");
         *self |= 1 << lane;
+    }
+
+    fn clear_bit(&mut self, lane: usize) {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        *self &= !(1 << lane);
     }
 
     fn count_ones(self) -> u32 {
@@ -252,6 +270,11 @@ impl Word for W256 {
     fn set_bit(&mut self, lane: usize) {
         assert!(lane < Self::LANES, "lane {lane} out of range");
         self.0[lane / 64] |= 1 << (lane % 64);
+    }
+
+    fn clear_bit(&mut self, lane: usize) {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        self.0[lane / 64] &= !(1 << (lane % 64));
     }
 
     fn count_ones(self) -> u32 {

@@ -1,0 +1,658 @@
+//! `vlcsa-ffi` — the embeddable C ABI over the serving stack: submit,
+//! poll, and stats with no socket anywhere.
+//!
+//! The TCP server and this crate are two transports over the same core:
+//! [`vlcsa_serve::Service`] validates, batches, routes (`auto` + SLO
+//! degradation) and runs issue groups; here the "wire" is a function
+//! call. A host process links `libvlcsa_ffi` (cdylib or staticlib),
+//! includes `include/vlcsa.h`, and drives the engines through an opaque
+//! handle:
+//!
+//! * [`vlcsa_init`] / [`vlcsa_free`] — start and stop one engine handle
+//!   (engine name incl. `"auto"`, width, worker threads, batching
+//!   window, optional SLO budget);
+//! * [`vlcsa_add`] / [`vlcsa_sum`] — synchronous adds and n-operand
+//!   reductions over raw little-endian `u64` limb buffers — the same
+//!   zero-copy limb ingress as the binary wire protocol, no hex and no
+//!   bignum allocation on the caller's thread for `add`;
+//! * [`vlcsa_submit`] / [`vlcsa_poll`] — the asynchronous ticket API:
+//!   submissions batch through the same window the TCP server uses, so
+//!   a burst of tickets coalesces into wide issue groups;
+//! * [`vlcsa_stats`] / [`vlcsa_last_error`] — aggregate counters
+//!   (lanes, stalls, issue groups, queue depth) and per-thread /
+//!   per-handle error text.
+//!
+//! # Boundary contract
+//!
+//! Every entry point returns a stable error code from `vlcsa.h`
+//! (`VLCSA_OK`, `VLCSA_PENDING`, `VLCSA_ERR_*`) and **never panics
+//! across the boundary**: each body runs under
+//! [`std::panic::catch_unwind`] and an escaped panic becomes
+//! `VLCSA_ERR_PANIC`. Freed or never-allocated handles are detected via
+//! a process-wide live-handle registry, so a double free or a call on a
+//! stale pointer reports `VLCSA_ERR_BAD_HANDLE` instead of touching
+//! freed memory. Null pointers report `VLCSA_ERR_NULL`.
+//!
+//! Handles are `Send + Sync`: any thread may call any function on the
+//! same handle concurrently, except [`vlcsa_free`], which the host must
+//! serialize against in-flight calls on the same handle (the usual
+//! close-once contract of C handle APIs).
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::ffi::{c_char, c_int, CStr, CString};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use bitnum::UBig;
+use vlcsa::route::AUTO_ENGINE;
+use vlcsa_serve::protocol::{OPERAND_RANGE, WIDTH_RANGE};
+use vlcsa_serve::service::{AddResult, ServeConfig, Service, SubmitError};
+
+/// Success.
+pub const VLCSA_OK: c_int = 0;
+/// The ticket's result is not ready yet ([`vlcsa_poll`] only).
+pub const VLCSA_PENDING: c_int = 1;
+/// A required pointer argument was null.
+pub const VLCSA_ERR_NULL: c_int = -1;
+/// The handle is not a live engine (never allocated, or already freed).
+pub const VLCSA_ERR_BAD_HANDLE: c_int = -2;
+/// The configuration is invalid (unknown engine name, width out of
+/// `1..=4096`, non-UTF-8 engine string).
+pub const VLCSA_ERR_BAD_CONFIG: c_int = -3;
+/// The operands are invalid (operand count outside `1..=64`, or bits
+/// set at or above the configured width).
+pub const VLCSA_ERR_BAD_OPERANDS: c_int = -4;
+/// The ticket is unknown (never issued, or its result already claimed).
+pub const VLCSA_ERR_BAD_TICKET: c_int = -5;
+/// The service is shutting down.
+pub const VLCSA_ERR_STOPPED: c_int = -6;
+/// A panic was caught at the boundary — a bug in the library, reported
+/// as an error code rather than an abort in the host process.
+pub const VLCSA_ERR_PANIC: c_int = -7;
+
+/// The C-visible configuration of one engine handle — must stay layout-
+/// identical to `vlcsa_config_t` in `include/vlcsa.h`.
+#[repr(C)]
+pub struct VlcsaConfig {
+    /// Engine name (`"auto"`, `"vlcsa1"`, `"carry-select"`, …); null
+    /// selects `"auto"`.
+    pub engine: *const c_char,
+    /// Operand width in bits, `1..=4096`.
+    pub width: usize,
+    /// Worker threads running issue groups; 0 picks the default.
+    pub threads: usize,
+    /// Batching-window flush bound in lanes; 0 picks the default.
+    pub max_lanes: usize,
+    /// Batching-window flush bound in microseconds; 0 picks the default.
+    pub max_wait_micros: u64,
+    /// p99 latency budget for `auto` SLO degradation; 0 = off.
+    pub slo_micros: u64,
+}
+
+/// The C-visible counters snapshot — must stay layout-identical to
+/// `vlcsa_stats_t` in `include/vlcsa.h`. Engine totals are aggregated
+/// across every engine the handle's traffic touched (under `"auto"`
+/// that can be several).
+#[repr(C)]
+pub struct VlcsaStats {
+    /// Lanes (requests) served.
+    pub lanes: u64,
+    /// Lanes that took the 2-cycle recovery path.
+    pub stalls: u64,
+    /// Issue groups (batches) run — non-zero once anything was served.
+    pub groups: u64,
+    /// Requests currently queued ahead of the batcher.
+    pub queue_depth: u64,
+    /// Lanes pending in the open batching window.
+    pub window_lanes: u64,
+    /// Lanes per slab word this build batches into (64 or 256).
+    pub word_bits: u64,
+}
+
+/// One ticket's parking slot: filled by the worker's reply callback,
+/// drained by [`vlcsa_poll`].
+type Slot = Arc<Mutex<Option<AddResult>>>;
+
+/// The opaque engine handle behind `vlcsa_engine_t`.
+pub struct VlcsaEngine {
+    service: Service,
+    engine: String,
+    width: usize,
+    limbs: usize,
+    next_ticket: AtomicU64,
+    tickets: Mutex<HashMap<u64, Slot>>,
+    last_error: Mutex<CString>,
+}
+
+/// Process-wide set of live handle addresses. Calls verify membership
+/// before dereferencing, so stale pointers fail closed with
+/// [`VLCSA_ERR_BAD_HANDLE`] instead of reading freed memory.
+fn live_handles() -> &'static Mutex<HashSet<usize>> {
+    static LIVE: OnceLock<Mutex<HashSet<usize>>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+thread_local! {
+    /// Error text for failures with no (valid) handle to hang it on.
+    static TLS_ERROR: RefCell<CString> = RefCell::new(CString::default());
+}
+
+/// Records error text on the handle if one is live, else on the calling
+/// thread, and passes the code through.
+fn fail(engine: Option<&VlcsaEngine>, code: c_int, message: &str) -> c_int {
+    let text = CString::new(message.replace('\0', "?")).unwrap_or_default();
+    match engine {
+        Some(e) => *e.last_error.lock().expect("last_error lock") = text,
+        None => TLS_ERROR.with(|t| *t.borrow_mut() = text),
+    }
+    code
+}
+
+/// Checks handle liveness and reborrows it. The `unsafe` contract is
+/// the caller's: a live address in the registry is one we allocated via
+/// `Box` in [`vlcsa_init`] and have not freed.
+unsafe fn deref_handle<'a>(handle: *mut VlcsaEngine) -> Result<&'a VlcsaEngine, c_int> {
+    if handle.is_null() {
+        return Err(fail(None, VLCSA_ERR_NULL, "engine handle is null"));
+    }
+    if !live_handles()
+        .lock()
+        .expect("live-handle lock")
+        .contains(&(handle as usize))
+    {
+        return Err(fail(
+            None,
+            VLCSA_ERR_BAD_HANDLE,
+            "engine handle is not live (already freed, or never allocated)",
+        ));
+    }
+    Ok(&*handle)
+}
+
+/// Maps a service rejection onto the C error-code space.
+fn submit_code(err: &SubmitError) -> c_int {
+    match err {
+        SubmitError::UnknownEngine(_) => VLCSA_ERR_BAD_CONFIG,
+        SubmitError::WidthMismatch(..) | SubmitError::BadWidth(_) => VLCSA_ERR_BAD_OPERANDS,
+        SubmitError::BadOperandCount(_) | SubmitError::BadLimbs(_) => VLCSA_ERR_BAD_OPERANDS,
+        SubmitError::Stopped => VLCSA_ERR_STOPPED,
+    }
+}
+
+/// Wraps an entry-point body so a panic becomes [`VLCSA_ERR_PANIC`]
+/// instead of unwinding into the host's C frames (undefined behavior).
+fn guarded(body: impl FnOnce() -> c_int) -> c_int {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(code) => code,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic across the FFI boundary".to_string());
+            fail(None, VLCSA_ERR_PANIC, &msg)
+        }
+    }
+}
+
+/// Copies a result into the caller's out buffers. `sum` must hold
+/// `limbs` limbs; `cout`/`cycles` may be null when the caller does not
+/// care.
+unsafe fn write_result(
+    result: &AddResult,
+    limbs: usize,
+    sum: *mut u64,
+    cout: *mut c_int,
+    cycles: *mut u32,
+) {
+    let out = std::slice::from_raw_parts_mut(sum, limbs);
+    out.copy_from_slice(result.sum.limbs());
+    if !cout.is_null() {
+        *cout = c_int::from(result.cout);
+    }
+    if !cycles.is_null() {
+        *cycles = u32::from(result.cycles);
+    }
+}
+
+/// Validates that `limbs` is a well-formed operand at `width`: bits at
+/// or above the width must be zero (the wire protocols reject these
+/// too, so all transports agree on what an operand is).
+fn check_top_bits(limbs: &[u64], width: usize) -> Result<(), String> {
+    let used = width % 64;
+    if used != 0 {
+        let top = limbs[limbs.len() - 1];
+        if top >> used != 0 {
+            return Err(format!("operand has bits set at or above width {width}"));
+        }
+    }
+    Ok(())
+}
+
+/// Creates an engine handle.
+///
+/// On success writes the new handle to `*out` and returns [`VLCSA_OK`];
+/// on failure leaves `*out` untouched and returns a negative code (the
+/// text is available via `vlcsa_last_error(NULL)` on this thread).
+///
+/// # Safety
+///
+/// `config` must point to a valid [`VlcsaConfig`] (its `engine` field
+/// null or a valid NUL-terminated string) and `out` to writable storage
+/// for one pointer.
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_init(
+    config: *const VlcsaConfig,
+    out: *mut *mut VlcsaEngine,
+) -> c_int {
+    guarded(|| {
+        if config.is_null() || out.is_null() {
+            return fail(None, VLCSA_ERR_NULL, "config and out must be non-null");
+        }
+        let config = &*config;
+        if !WIDTH_RANGE.contains(&config.width) {
+            return fail(
+                None,
+                VLCSA_ERR_BAD_CONFIG,
+                &format!(
+                    "width {} outside {}..={}",
+                    config.width,
+                    WIDTH_RANGE.start(),
+                    WIDTH_RANGE.end()
+                ),
+            );
+        }
+        let engine = if config.engine.is_null() {
+            AUTO_ENGINE.to_string()
+        } else {
+            match CStr::from_ptr(config.engine).to_str() {
+                Ok(name) => name.to_string(),
+                Err(_) => {
+                    return fail(None, VLCSA_ERR_BAD_CONFIG, "engine name is not UTF-8");
+                }
+            }
+        };
+        // Engine names are width-independent; validate against the
+        // registry before spawning any service threads.
+        if engine != AUTO_ENGINE
+            && !vlcsa::engine::Registry::for_width(64)
+                .names()
+                .contains(&engine.as_str())
+        {
+            return fail(
+                None,
+                VLCSA_ERR_BAD_CONFIG,
+                &format!("unknown engine `{engine}`"),
+            );
+        }
+        let defaults = ServeConfig::default();
+        let serve = ServeConfig {
+            max_lanes: if config.max_lanes == 0 {
+                defaults.max_lanes
+            } else {
+                config.max_lanes
+            },
+            max_wait: if config.max_wait_micros == 0 {
+                defaults.max_wait
+            } else {
+                Duration::from_micros(config.max_wait_micros)
+            },
+            workers: if config.threads == 0 {
+                defaults.workers
+            } else {
+                config.threads
+            },
+            ..defaults
+        }
+        .with_slo((config.slo_micros != 0).then_some(config.slo_micros));
+        let handle = Box::new(VlcsaEngine {
+            service: Service::start(serve),
+            engine,
+            width: config.width,
+            limbs: config.width.div_ceil(64),
+            next_ticket: AtomicU64::new(1),
+            tickets: Mutex::new(HashMap::new()),
+            last_error: Mutex::new(CString::default()),
+        });
+        let raw = Box::into_raw(handle);
+        live_handles()
+            .lock()
+            .expect("live-handle lock")
+            .insert(raw as usize);
+        *out = raw;
+        VLCSA_OK
+    })
+}
+
+/// Destroys an engine handle: drains in-flight work, joins the worker
+/// threads, and releases the handle. Unclaimed tickets are dropped.
+/// A second free of the same pointer returns [`VLCSA_ERR_BAD_HANDLE`].
+///
+/// # Safety
+///
+/// No other call on `engine` may be in flight or started after this
+/// one (close-once, like `fclose`).
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_free(engine: *mut VlcsaEngine) -> c_int {
+    guarded(|| {
+        if engine.is_null() {
+            return fail(None, VLCSA_ERR_NULL, "engine handle is null");
+        }
+        // Claim the address atomically: exactly one free wins; the loser
+        // sees a dead handle and never touches the memory.
+        if !live_handles()
+            .lock()
+            .expect("live-handle lock")
+            .remove(&(engine as usize))
+        {
+            return fail(
+                None,
+                VLCSA_ERR_BAD_HANDLE,
+                "engine handle is not live (double free?)",
+            );
+        }
+        // Dropping the service closes the queue and joins every thread.
+        drop(Box::from_raw(engine));
+        VLCSA_OK
+    })
+}
+
+/// The number of `u64` limbs per operand (and per sum) at this handle's
+/// width: `ceil(width / 64)`. Returns 0 on a dead or null handle.
+///
+/// # Safety
+///
+/// `engine` must be null, live, or a previously valid handle (the
+/// live-handle registry screens the rest).
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_limbs(engine: *mut VlcsaEngine) -> usize {
+    guarded(|| match deref_handle(engine) {
+        Ok(e) => {
+            // `guarded` wants a c_int; limb counts fit comfortably
+            // (width <= 4096 means at most 64 limbs).
+            e.limbs as c_int
+        }
+        Err(_) => 0,
+    })
+    .max(0) as usize
+}
+
+/// Lanes per slab word this build batches into: 64 (`--cfg
+/// vlcsa_word64`) or 256 (default).
+#[no_mangle]
+pub extern "C" fn vlcsa_word_bits() -> usize {
+    use bitnum::batch::{DefaultWord, Word};
+    DefaultWord::LANES
+}
+
+/// Synchronous addition: `sum = a + b` at the handle's width, blocking
+/// until the batching window flushes and the lane runs. Operands and
+/// sum are little-endian `u64` limb buffers of [`vlcsa_limbs`] limbs.
+/// `cout` (carry out of the top bit) and `cycles` (1, or 2 after a
+/// recovery stall) may be null.
+///
+/// # Safety
+///
+/// `a`, `b` and `sum` must each point to [`vlcsa_limbs`]`(engine)`
+/// readable (resp. writable) limbs; `cout` and `cycles` must be null or
+/// writable.
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_add(
+    engine: *mut VlcsaEngine,
+    a: *const u64,
+    b: *const u64,
+    sum: *mut u64,
+    cout: *mut c_int,
+    cycles: *mut u32,
+) -> c_int {
+    guarded(|| {
+        let e = match deref_handle(engine) {
+            Ok(e) => e,
+            Err(code) => return code,
+        };
+        if a.is_null() || b.is_null() || sum.is_null() {
+            return fail(Some(e), VLCSA_ERR_NULL, "a, b and sum must be non-null");
+        }
+        let a = std::slice::from_raw_parts(a, e.limbs).to_vec();
+        let b = std::slice::from_raw_parts(b, e.limbs).to_vec();
+        let (tx, rx) = mpsc::channel();
+        let submitted = e.service.submit_limbs(
+            &e.engine,
+            e.width,
+            a,
+            b,
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        if let Err(err) = submitted {
+            return fail(Some(e), submit_code(&err), &err.to_string());
+        }
+        match rx.recv() {
+            Ok(result) => {
+                write_result(&result, e.limbs, sum, cout, cycles);
+                VLCSA_OK
+            }
+            Err(_) => fail(Some(e), VLCSA_ERR_STOPPED, "service stopped mid-request"),
+        }
+    })
+}
+
+/// Synchronous n-operand reduction: `sum = ops[0] + … + ops[n-1]` at
+/// the handle's width, compressed carry-save style so carries resolve
+/// exactly once. `ops` is `n` operands of [`vlcsa_limbs`] limbs each,
+/// back to back; `n` must be in `1..=64`. `cout` is the carry out of
+/// the whole reduction's final resolve.
+///
+/// # Safety
+///
+/// `ops` must point to `n * `[`vlcsa_limbs`]`(engine)` readable limbs
+/// and `sum` to [`vlcsa_limbs`]`(engine)` writable limbs; `cout` and
+/// `cycles` must be null or writable.
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_sum(
+    engine: *mut VlcsaEngine,
+    ops: *const u64,
+    n: usize,
+    sum: *mut u64,
+    cout: *mut c_int,
+    cycles: *mut u32,
+) -> c_int {
+    guarded(|| {
+        let e = match deref_handle(engine) {
+            Ok(e) => e,
+            Err(code) => return code,
+        };
+        if ops.is_null() || sum.is_null() {
+            return fail(Some(e), VLCSA_ERR_NULL, "ops and sum must be non-null");
+        }
+        // Validate the count BEFORE touching n * limbs of caller
+        // memory: a hostile n must fail here, not read out of bounds.
+        if !OPERAND_RANGE.contains(&n) {
+            return fail(
+                Some(e),
+                VLCSA_ERR_BAD_OPERANDS,
+                &format!(
+                    "operand count {n} outside {}..={}",
+                    OPERAND_RANGE.start(),
+                    OPERAND_RANGE.end()
+                ),
+            );
+        }
+        let flat = std::slice::from_raw_parts(ops, n * e.limbs);
+        let mut operands = Vec::with_capacity(n);
+        for chunk in flat.chunks_exact(e.limbs) {
+            // `UBig::from_limbs` masks silently; the FFI contract (like
+            // the wire protocols) rejects out-of-width bits instead.
+            if let Err(msg) = check_top_bits(chunk, e.width) {
+                return fail(Some(e), VLCSA_ERR_BAD_OPERANDS, &msg);
+            }
+            operands.push(UBig::from_limbs(chunk, e.width));
+        }
+        match e.service.sum_blocking(&e.engine, &operands) {
+            Ok(result) => {
+                write_result(&result, e.limbs, sum, cout, cycles);
+                VLCSA_OK
+            }
+            Err(err) => fail(Some(e), submit_code(&err), &err.to_string()),
+        }
+    })
+}
+
+/// Asynchronous addition: queues `a + b` into the batching window and
+/// returns a ticket immediately. Many submits from one burst coalesce
+/// into the same wide issue group — the point of the async API. Claim
+/// the result with [`vlcsa_poll`]; tickets are single-use.
+///
+/// # Safety
+///
+/// `a` and `b` must each point to [`vlcsa_limbs`]`(engine)` readable
+/// limbs (copied before return); `ticket` must be writable.
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_submit(
+    engine: *mut VlcsaEngine,
+    a: *const u64,
+    b: *const u64,
+    ticket: *mut u64,
+) -> c_int {
+    guarded(|| {
+        let e = match deref_handle(engine) {
+            Ok(e) => e,
+            Err(code) => return code,
+        };
+        if a.is_null() || b.is_null() || ticket.is_null() {
+            return fail(Some(e), VLCSA_ERR_NULL, "a, b and ticket must be non-null");
+        }
+        let a = std::slice::from_raw_parts(a, e.limbs).to_vec();
+        let b = std::slice::from_raw_parts(b, e.limbs).to_vec();
+        let slot: Slot = Arc::new(Mutex::new(None));
+        let fill = Arc::clone(&slot);
+        let submitted = e.service.submit_limbs(
+            &e.engine,
+            e.width,
+            a,
+            b,
+            Box::new(move |result| {
+                *fill.lock().expect("ticket slot lock") = Some(result);
+            }),
+        );
+        if let Err(err) = submitted {
+            return fail(Some(e), submit_code(&err), &err.to_string());
+        }
+        let id = e.next_ticket.fetch_add(1, Ordering::Relaxed);
+        e.tickets
+            .lock()
+            .expect("ticket table lock")
+            .insert(id, slot);
+        *ticket = id;
+        VLCSA_OK
+    })
+}
+
+/// Claims a ticket's result. Returns [`VLCSA_PENDING`] (without
+/// blocking) while the lane is still in flight; on [`VLCSA_OK`] the
+/// ticket is consumed and a second poll returns
+/// [`VLCSA_ERR_BAD_TICKET`].
+///
+/// # Safety
+///
+/// `sum` must point to [`vlcsa_limbs`]`(engine)` writable limbs;
+/// `cout` and `cycles` must be null or writable.
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_poll(
+    engine: *mut VlcsaEngine,
+    ticket: u64,
+    sum: *mut u64,
+    cout: *mut c_int,
+    cycles: *mut u32,
+) -> c_int {
+    guarded(|| {
+        let e = match deref_handle(engine) {
+            Ok(e) => e,
+            Err(code) => return code,
+        };
+        if sum.is_null() {
+            return fail(Some(e), VLCSA_ERR_NULL, "sum must be non-null");
+        }
+        let mut tickets = e.tickets.lock().expect("ticket table lock");
+        let Some(slot) = tickets.get(&ticket) else {
+            return fail(
+                Some(e),
+                VLCSA_ERR_BAD_TICKET,
+                &format!("ticket {ticket} was never issued or is already claimed"),
+            );
+        };
+        let ready = slot.lock().expect("ticket slot lock").take();
+        match ready {
+            Some(result) => {
+                tickets.remove(&ticket);
+                drop(tickets);
+                write_result(&result, e.limbs, sum, cout, cycles);
+                VLCSA_OK
+            }
+            None => VLCSA_PENDING,
+        }
+    })
+}
+
+/// Snapshots the handle's service counters into `*out`. Lane, stall and
+/// group totals aggregate across every engine the traffic touched
+/// (several, when routing under `"auto"`).
+///
+/// # Safety
+///
+/// `out` must point to writable storage for one [`VlcsaStats`].
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_stats(engine: *mut VlcsaEngine, out: *mut VlcsaStats) -> c_int {
+    guarded(|| {
+        let e = match deref_handle(engine) {
+            Ok(e) => e,
+            Err(code) => return code,
+        };
+        if out.is_null() {
+            return fail(Some(e), VLCSA_ERR_NULL, "out must be non-null");
+        }
+        let report = e.service.stats();
+        *out = VlcsaStats {
+            lanes: report.total_lanes(),
+            stalls: report.total_stalls(),
+            groups: report.total_groups(),
+            queue_depth: report.queue_depth as u64,
+            window_lanes: report.window_lanes as u64,
+            word_bits: report.word_bits as u64,
+        };
+        VLCSA_OK
+    })
+}
+
+/// The text of the last error: the handle's, or — when `engine` is null
+/// or not live — the calling thread's (covering [`vlcsa_init`] and
+/// bad-handle failures). The pointer is valid until the next failing
+/// call on the same handle (resp. thread); never null, possibly empty.
+///
+/// # Safety
+///
+/// `engine` must be null or a pointer previously returned by
+/// [`vlcsa_init`] (live or freed — freed handles fall back to the
+/// thread's error text rather than being dereferenced).
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_last_error(engine: *mut VlcsaEngine) -> *const c_char {
+    // No `guarded`: this path allocates nothing and must stay callable
+    // while reporting a caught panic.
+    if !engine.is_null()
+        && live_handles()
+            .lock()
+            .expect("live-handle lock")
+            .contains(&(engine as usize))
+    {
+        let e = &*engine;
+        return e.last_error.lock().expect("last_error lock").as_ptr();
+    }
+    TLS_ERROR.with(|t| t.borrow().as_ptr())
+}

@@ -22,6 +22,9 @@
 //!   line ([`Client::connect_binary`]) — the zero-copy ingress path;
 //! * [`service`] — the transport-independent core: validation, the
 //!   batching window over [`vlcsa::group::GroupBuilder`], the worker pool;
+//! * [`session`] — transport-independent request dispatch over sink
+//!   traits, shared by the TCP server and socket-free embedders (the
+//!   `vlcsa-ffi` C ABI);
 //! * [`server`] / [`client`] — the TCP front-end and the client library.
 //!
 //! Requests may also name the pseudo-engine `auto`: the batcher resolves
@@ -68,6 +71,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod session;
 
 pub use client::{AddResponse, Client, ClientError};
 pub use protocol::{
@@ -75,5 +79,6 @@ pub use protocol::{
 };
 pub use server::Server;
 pub use service::{AddResult, RegistryCache, ServeConfig, Service, SubmitError};
+pub use session::{FrameSink, ResponseSink};
 pub use vlcsa::program::Program;
 pub use vlcsa::route::{RouteStat, Router, AUTO_ENGINE};

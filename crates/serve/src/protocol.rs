@@ -21,7 +21,7 @@
 //!   OK <seq> <sum-hex> <cout:0|1> <cycles>        the lane's exact result
 //!   ERR <seq> <code> <message…>                   per-request failure
 //!   ENGINES <name> <name> …                       the registry's names
-//!   STATS <k>=<v> … engine=<name>:<lanes>:<stalls> …   one-line snapshot
+//!   STATS <k>=<v> … engine=<name>:<lanes>:<stalls>:<groups> …   one-line snapshot
 //!   SLO <micros>|off                              the budget after the command
 //! ```
 //!
@@ -42,7 +42,7 @@
 //! per-protocol request counters (`proto_text=<n> proto_bin=<n>`: lines
 //! and frames the connection handlers have answered, across the text
 //! protocol and the binary framing of [`crate::binary`]) —
-//! followed by one `engine=<name>:<lanes>:<stalls>` token per engine that
+//! followed by one `engine=<name>:<lanes>:<stalls>:<groups>` token per engine that
 //! has served traffic, from which per-engine stall rates derive
 //! (`stalls / lanes`), and one `route=<width>:<engine>:<ok|degraded>`
 //! token per width the `auto` router has decided for (the engine the last
@@ -482,6 +482,8 @@ pub struct EngineStats {
     pub lanes: u64,
     /// Lanes that took the 2-cycle recovery path.
     pub stalls: u64,
+    /// Issue groups (batches) this engine has run.
+    pub groups: u64,
 }
 
 impl EngineStats {
@@ -538,6 +540,21 @@ impl StatsReport {
     /// The counters of one engine, if it has served traffic.
     pub fn engine(&self, name: &str) -> Option<&EngineStats> {
         self.engines.iter().find(|e| e.name == name)
+    }
+
+    /// Total lanes served across every engine.
+    pub fn total_lanes(&self) -> u64 {
+        self.engines.iter().map(|e| e.lanes).sum()
+    }
+
+    /// Total stalled lanes across every engine.
+    pub fn total_stalls(&self) -> u64 {
+        self.engines.iter().map(|e| e.stalls).sum()
+    }
+
+    /// Total issue groups (batches) run across every engine.
+    pub fn total_groups(&self) -> u64 {
+        self.engines.iter().map(|e| e.groups).sum()
     }
 }
 
@@ -599,7 +616,10 @@ pub fn format_response(response: &Response) -> String {
                 stats.proto_bin,
             );
             for e in &stats.engines {
-                line.push_str(&format!(" engine={}:{}:{}", e.name, e.lanes, e.stalls));
+                line.push_str(&format!(
+                    " engine={}:{}:{}:{}",
+                    e.name, e.lanes, e.stalls, e.groups
+                ));
             }
             for r in &stats.routes {
                 line.push_str(&format!(
@@ -762,6 +782,7 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                         };
                         let lanes = count(parts.next())?;
                         let stalls = count(parts.next())?;
+                        let groups = count(parts.next())?;
                         if parts.next().is_some() {
                             return Err(format!("STATS engine `{value}` has trailing fields"));
                         }
@@ -769,6 +790,7 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                             name: name.to_string(),
                             lanes,
                             stalls,
+                            groups,
                         });
                     }
                     other => return Err(format!("STATS has unknown key `{other}`")),
@@ -1017,7 +1039,7 @@ mod tests {
             "STATS",
             "STATS queue_depth=0",
             "STATS queue_depth=0 window_lanes=0 max_lanes=256",
-            "STATS queue_depth=0 window_lanes=0 word_bits=256 engine=ripple:1:0",
+            "STATS queue_depth=0 window_lanes=0 word_bits=256 engine=ripple:1:0:1",
             // All the pre-SLO keys but no slo= — a v2-era line must fail.
             "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256",
             // All the pre-binary keys but no proto counters — a v3-era
@@ -1057,11 +1079,13 @@ mod tests {
                     name: "vlcsa1".into(),
                     lanes: 1000,
                     stalls: 251,
+                    groups: 37,
                 },
                 EngineStats {
                     name: "ripple".into(),
                     lanes: 64,
                     stalls: 0,
+                    groups: 2,
                 },
             ],
             routes: vec![
@@ -1085,7 +1109,7 @@ mod tests {
         );
         assert!(line.contains("slo=750"), "{line}");
         assert!(line.contains("proto_text=420 proto_bin=69"), "{line}");
-        assert!(line.contains("engine=vlcsa1:1000:251"), "{line}");
+        assert!(line.contains("engine=vlcsa1:1000:251:37"), "{line}");
         assert!(line.contains("route=32:vlcsa2:ok"), "{line}");
         assert!(line.contains("route=64:ripple:degraded"), "{line}");
         match parse_response(&line, 1).unwrap() {
@@ -1093,6 +1117,9 @@ mod tests {
                 assert_eq!(parsed, stats);
                 assert!((parsed.engine("vlcsa1").unwrap().stall_rate() - 0.251).abs() < 1e-12);
                 assert!((parsed.window_occupancy() - 17.0 / 256.0).abs() < 1e-12);
+                assert_eq!(parsed.total_lanes(), 1064);
+                assert_eq!(parsed.total_stalls(), 251);
+                assert_eq!(parsed.total_groups(), 39);
             }
             other => panic!("parsed {other:?}"),
         }

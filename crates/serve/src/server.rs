@@ -4,7 +4,7 @@
 //! Each accepted connection gets a reader thread that parses request lines
 //! ([`crate::protocol`]) and submits them to the shared [`Service`]. A
 //! connection whose **first** non-empty line is exactly
-//! [`HELLO_LINE`](crate::binary::HELLO_LINE) upgrades to the binary
+//! [`HELLO_LINE`] upgrades to the binary
 //! framing of [`crate::binary`] instead — the server echoes the line and
 //! both directions speak frames from then on; every other connection is
 //! text forever. The
@@ -51,58 +51,40 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use vlcsa::route::AUTO_ENGINE;
+use crate::binary::{self, FrameReadError, HELLO_LINE};
+use crate::protocol::{ErrorCode, RequestError, Response};
+use crate::service::{ServeConfig, Service};
+use crate::session::{self, FrameSink, ResponseSink};
 
-use crate::binary::{self, BinRequest, FrameReadError, ENGINE_ID_AUTO, HELLO_LINE};
-use crate::protocol::{
-    format_response, parse_request, ErrorCode, Request, RequestError, Response, SloAction,
-};
-use crate::service::{ServeConfig, Service, SubmitError};
-
-/// Writes one response line to a shared socket, swallowing write errors —
-/// a worker answering after the client hung up (or after shutdown) has
-/// nobody left to tell. A failed (or timed-out) write may have sent a
-/// partial line, so the socket is shut down: a desynced stream is
-/// unrecoverable and killing it also unblocks the connection's reader.
-fn write_line(stream: &Mutex<TcpStream>, response: &Response) {
-    let line = format_response(response);
-    let mut stream = stream.lock().expect("connection write lock");
-    if stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .is_err()
-    {
-        let _ = stream.shutdown(Shutdown::Both);
+/// The text sink over a shared socket: writes one response line,
+/// swallowing write errors — a worker answering after the client hung up
+/// (or after shutdown) has nobody left to tell. A failed (or timed-out)
+/// write may have sent a partial line, so the socket is shut down: a
+/// desynced stream is unrecoverable and killing it also unblocks the
+/// connection's reader.
+impl ResponseSink for Mutex<TcpStream> {
+    fn send(&self, response: &Response) {
+        let line = crate::protocol::format_response(response);
+        let mut stream = self.lock().expect("connection write lock");
+        if stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 }
 
-fn submit_error(seq: u64, err: SubmitError) -> RequestError {
-    let code = match err {
-        SubmitError::UnknownEngine(_) => ErrorCode::UnknownEngine,
-        SubmitError::WidthMismatch(..) => ErrorCode::BadRequest,
-        SubmitError::BadWidth(_) => ErrorCode::BadWidth,
-        SubmitError::BadOperandCount(_) => ErrorCode::BadRequest,
-        SubmitError::BadLimbs(_) => ErrorCode::BadOperand,
-        SubmitError::Stopped => ErrorCode::Shutdown,
-    };
-    RequestError {
-        seq,
-        code,
-        message: err.to_string(),
-    }
-}
-
-fn submit_error_response(seq: u64, err: SubmitError) -> Response {
-    Response::Err(submit_error(seq, err))
-}
-
-/// Writes one pre-encoded frame to a shared socket, with the same
-/// swallow-and-shutdown failure policy as [`write_line`] — a partial frame
-/// desyncs the stream just as a partial line does.
-fn write_frame(stream: &Mutex<TcpStream>, frame: &[u8]) {
-    let mut stream = stream.lock().expect("connection write lock");
-    if stream.write_all(frame).is_err() {
-        let _ = stream.shutdown(Shutdown::Both);
+/// The frame sink over a shared socket, with the same swallow-and-shutdown
+/// failure policy as the text sink — a partial frame desyncs the stream
+/// just as a partial line does.
+impl FrameSink for Mutex<TcpStream> {
+    fn send_frame(&self, frame: &[u8]) {
+        let mut stream = self.lock().expect("connection write lock");
+        if stream.write_all(frame).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -152,139 +134,22 @@ fn serve_connection(stream: TcpStream, service: &Service) {
         }
         first = false;
         service.note_text_request();
-        serve_text_line(&line, &writer, service);
-    }
-}
-
-/// Dispatches one parsed-or-not text line — the text protocol's whole
-/// per-request surface, byte-for-byte what it was before the binary
-/// framing existed.
-fn serve_text_line(line: &str, writer: &Arc<Mutex<TcpStream>>, service: &Service) {
-    {
-        match parse_request(line) {
-            Ok(Request::Engines) => {
-                // Engine names are width-independent; any registry lists
-                // them. 64 is as good a cache key as any. `auto` rides
-                // along so clients discover the pseudo-engine too.
-                let names = service.registries().at(64).names();
-                let names = names
-                    .into_iter()
-                    .map(str::to_string)
-                    .chain(std::iter::once(AUTO_ENGINE.to_string()))
-                    .collect();
-                write_line(writer, &Response::Engines(names));
-            }
-            Ok(Request::Stats) => {
-                write_line(writer, &Response::Stats(service.stats()));
-            }
-            Ok(Request::Slo(action)) => {
-                match action {
-                    SloAction::Query => {}
-                    SloAction::Set(micros) => service.set_slo(Some(micros)),
-                    SloAction::Clear => service.set_slo(None),
-                }
-                // Always echo the budget now in force, so a set doubles
-                // as a readback and a query is just the degenerate case.
-                write_line(writer, &Response::Slo(service.slo()));
-            }
-            Ok(Request::Add {
-                seq,
-                engine,
-                width: _,
-                a,
-                b,
-            }) => {
-                let reply_to = Arc::clone(writer);
-                let submitted = service.submit(
-                    &engine,
-                    a,
-                    b,
-                    Box::new(move |result| {
-                        write_line(
-                            &reply_to,
-                            &Response::Ok {
-                                seq,
-                                sum: result.sum,
-                                cout: result.cout,
-                                cycles: result.cycles,
-                            },
-                        );
-                    }),
-                );
-                if let Err(err) = submitted {
-                    write_line(writer, &submit_error_response(seq, err));
-                }
-            }
-            Ok(Request::Sum {
-                seq,
-                engine,
-                width: _,
-                operands,
-            }) => {
-                let reply_to = Arc::clone(writer);
-                let submitted = service.submit_sum(
-                    &engine,
-                    &operands,
-                    Box::new(move |result| {
-                        write_line(
-                            &reply_to,
-                            &Response::Ok {
-                                seq,
-                                sum: result.sum,
-                                cout: result.cout,
-                                cycles: result.cycles,
-                            },
-                        );
-                    }),
-                );
-                if let Err(err) = submitted {
-                    write_line(writer, &submit_error_response(seq, err));
-                }
-            }
-            Ok(Request::Program {
-                seq,
-                engine,
-                width: _,
-                program,
-                inputs,
-            }) => {
-                let reply_to = Arc::clone(writer);
-                let submitted = service.submit_program(
-                    &engine,
-                    &program,
-                    &inputs,
-                    Box::new(move |result| {
-                        write_line(
-                            &reply_to,
-                            &Response::Ok {
-                                seq,
-                                sum: result.sum,
-                                cout: result.cout,
-                                cycles: result.cycles,
-                            },
-                        );
-                    }),
-                );
-                if let Err(err) = submitted {
-                    write_line(writer, &submit_error_response(seq, err));
-                }
-            }
-            Err(err) => write_line(writer, &Response::Err(err)),
-        }
+        session::dispatch_text(&line, service, &writer);
     }
 }
 
 /// The binary read loop, entered once per upgraded connection and never
-/// left. Error policy, per frame:
+/// left. This is pure transport: read frames, hand them to
+/// [`session::dispatch_binary`]. Error policy, per frame:
 ///
 /// - a clean close at a frame boundary, or a socket error / disconnect
 ///   mid-frame: return (nothing to answer a half-frame with);
 /// - an untrustworthy header (unknown version byte, length prefix over
 ///   [`binary::MAX_FRAME_BODY`]): answer one `ERR` frame and close — the
 ///   stream cannot be resynchronized;
-/// - a malformed **body**: answer an `ERR` frame and keep going — the
-///   length prefix already delimited the bad frame, so later frames on
-///   the same connection are unaffected.
+/// - a malformed **body**: dispatch answers an `ERR` frame and the loop
+///   keeps going — the length prefix already delimited the bad frame, so
+///   later frames on the same connection are unaffected.
 fn serve_binary(
     mut reader: BufReader<TcpStream>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -301,14 +166,11 @@ fn serve_binary(
             Err(FrameReadError::Io(_)) => return,
             Err(poison) => {
                 service.note_binary_request();
-                write_frame(
-                    writer,
-                    &binary::encode_err(&RequestError {
-                        seq: 0,
-                        code: ErrorCode::BadRequest,
-                        message: poison.to_string(),
-                    }),
-                );
+                writer.send_frame(&binary::encode_err(&RequestError {
+                    seq: 0,
+                    code: ErrorCode::BadRequest,
+                    message: poison.to_string(),
+                }));
                 let _ = writer
                     .lock()
                     .expect("connection write lock")
@@ -317,102 +179,7 @@ fn serve_binary(
             }
         };
         service.note_binary_request();
-        match binary::decode_request(opcode, &body, &names) {
-            Ok(BinRequest::Add {
-                seq,
-                engine,
-                width,
-                a,
-                b,
-            }) => {
-                let reply_to = Arc::clone(writer);
-                // The limbs go straight from the frame into the slab
-                // layout; the reply's limbs come straight out of it.
-                let submitted = service.submit_limbs(
-                    engine,
-                    width,
-                    a,
-                    b,
-                    Box::new(move |result| {
-                        write_frame(
-                            &reply_to,
-                            &binary::encode_ok(seq, result.cout, result.cycles, result.sum.limbs()),
-                        );
-                    }),
-                );
-                if let Err(err) = submitted {
-                    write_frame(writer, &binary::encode_err(&submit_error(seq, err)));
-                }
-            }
-            Ok(BinRequest::Sum {
-                seq,
-                engine,
-                width: _,
-                operands,
-            }) => {
-                let reply_to = Arc::clone(writer);
-                let submitted = service.submit_sum(
-                    engine,
-                    &operands,
-                    Box::new(move |result| {
-                        write_frame(
-                            &reply_to,
-                            &binary::encode_ok(seq, result.cout, result.cycles, result.sum.limbs()),
-                        );
-                    }),
-                );
-                if let Err(err) = submitted {
-                    write_frame(writer, &binary::encode_err(&submit_error(seq, err)));
-                }
-            }
-            Ok(BinRequest::Prog {
-                seq,
-                engine,
-                width: _,
-                program,
-                inputs,
-            }) => {
-                let reply_to = Arc::clone(writer);
-                let submitted = service.submit_program(
-                    engine,
-                    &program,
-                    &inputs,
-                    Box::new(move |result| {
-                        write_frame(
-                            &reply_to,
-                            &binary::encode_ok(seq, result.cout, result.cycles, result.sum.limbs()),
-                        );
-                    }),
-                );
-                if let Err(err) = submitted {
-                    write_frame(writer, &binary::encode_err(&submit_error(seq, err)));
-                }
-            }
-            Ok(BinRequest::Engines) => {
-                let entries: Vec<(u8, &str)> = names
-                    .iter()
-                    .enumerate()
-                    .map(|(i, n)| (i as u8, *n))
-                    .chain(std::iter::once((ENGINE_ID_AUTO, AUTO_ENGINE)))
-                    .collect();
-                write_frame(writer, &binary::encode_engines(&entries));
-            }
-            Ok(BinRequest::Stats) => {
-                // The counters snapshot rides as its text line — one
-                // format, one parser, whatever the transport.
-                let line = format_response(&Response::Stats(service.stats()));
-                write_frame(writer, &binary::encode_stats(&line));
-            }
-            Ok(BinRequest::Slo(action)) => {
-                match action {
-                    SloAction::Query => {}
-                    SloAction::Set(micros) => service.set_slo(Some(micros)),
-                    SloAction::Clear => service.set_slo(None),
-                }
-                write_frame(writer, &binary::encode_slo(service.slo()));
-            }
-            Err(err) => write_frame(writer, &binary::encode_err(&err)),
-        }
+        session::dispatch_binary(opcode, &body, &names, service, writer);
     }
 }
 

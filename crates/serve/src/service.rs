@@ -13,7 +13,7 @@
 //!    either `max_lanes` lanes are pending or `max_wait` has elapsed since
 //!    that first job — the batching window — and drains the accumulated
 //!    [`GroupBuilder`] into per-`(engine, width)`
-//!    [`IssueGroup`](vlcsa::group::IssueGroup)s on the
+//!    [`IssueGroup`]s on the
 //!    group queue. A window that expires with nothing pending produces no
 //!    groups and touches no executor (see `GroupBuilder::drain`).
 //! 3. **Workers** pop issue groups, run them through [`Executor::run`],
@@ -59,7 +59,7 @@ use crate::protocol::{EngineStats, StatsReport, OPERAND_RANGE, WIDTH_RANGE};
 use crate::queue::{PopResult, Queue};
 
 /// Tuning knobs of the service core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Bound of the request queue (backpressure depth).
     pub queue_depth: usize,
@@ -71,14 +71,18 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Threads of the per-group [`Executor`].
     pub exec_threads: usize,
-    /// Initial p99 latency budget (micros) for the `auto` router; `None`
-    /// disables SLO degradation until an `SLO <micros>` command sets one.
-    pub slo_micros: Option<u64>,
+    /// Tuning of the `auto` router — EWMA weight, exploration floor, p99
+    /// window and the initial SLO budget — injected wholesale into the
+    /// production [`Router`] by [`Service::start`], so embedders (the TCP
+    /// server, the C ABI, tests) configure routing without constructing a
+    /// router themselves.
+    pub route: RouteConfig,
 }
 
 impl Default for ServeConfig {
     /// Small-host defaults: one 256-lane window, half a millisecond of
-    /// batching patience, two workers, serial executor.
+    /// batching patience, two workers, serial executor, default routing
+    /// (no SLO until one is set).
     fn default() -> Self {
         Self {
             queue_depth: 1024,
@@ -86,8 +90,18 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(500),
             workers: 2,
             exec_threads: 1,
-            slo_micros: None,
+            route: RouteConfig::default(),
         }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the initial p99 budget (micros) of the `auto` router; `None`
+    /// disables SLO degradation until an `SLO <micros>` command (or
+    /// [`Service::set_slo`]) sets one.
+    pub fn with_slo(mut self, micros: Option<u64>) -> Self {
+        self.route.slo_micros = micros;
+        self
     }
 }
 
@@ -232,8 +246,9 @@ struct Metrics {
     proto_text: AtomicU64,
     /// Binary frames answered.
     proto_bin: AtomicU64,
-    /// `(engine, lanes_served, lanes_stalled)`, in first-served order.
-    engines: Mutex<Vec<(String, u64, u64)>>,
+    /// `(engine, lanes_served, lanes_stalled, groups_run)`, in
+    /// first-served order.
+    engines: Mutex<Vec<(String, u64, u64, u64)>>,
 }
 
 impl Metrics {
@@ -248,12 +263,13 @@ impl Metrics {
 
     fn record_group(&self, engine: &str, lanes: u64, stalls: u64) {
         let mut engines = self.engines.lock().expect("metrics lock");
-        match engines.iter_mut().find(|(name, _, _)| name == engine) {
-            Some((_, total, stalled)) => {
+        match engines.iter_mut().find(|(name, ..)| name == engine) {
+            Some((_, total, stalled, groups)) => {
                 *total += lanes;
                 *stalled += stalls;
+                *groups += 1;
             }
-            None => engines.push((engine.to_string(), lanes, stalls)),
+            None => engines.push((engine.to_string(), lanes, stalls, 1)),
         }
     }
 }
@@ -279,25 +295,21 @@ pub struct Service {
 
 impl Service {
     /// Starts the batcher and worker threads with a production router
-    /// (wall-clock time, registry candidates, `config.slo_micros` as the
-    /// initial budget).
+    /// (wall-clock time, registry candidates, `config.route` as its
+    /// tuning, including the initial SLO budget).
     ///
     /// # Panics
     ///
     /// Panics if any of `queue_depth`, `max_lanes`, `workers` or
     /// `exec_threads` is zero.
     pub fn start(config: ServeConfig) -> Self {
-        let router = Router::new(RouteConfig {
-            slo_micros: config.slo_micros,
-            ..RouteConfig::default()
-        });
-        Self::start_with_router(config, Arc::new(router))
+        Self::start_with_router(config, Arc::new(Router::new(config.route)))
     }
 
     /// Starts the service over an injected [`Router`] — the seam the
     /// routing tests use to script time and statistics deterministically.
-    /// `config.slo_micros` is ignored here; the injected router's budget
-    /// is authoritative.
+    /// `config.route` is ignored here; the injected router's tuning and
+    /// budget are authoritative.
     ///
     /// # Panics
     ///
@@ -435,10 +447,11 @@ impl Service {
             .lock()
             .expect("metrics lock")
             .iter()
-            .map(|(name, lanes, stalls)| EngineStats {
+            .map(|(name, lanes, stalls, groups)| EngineStats {
                 name: name.clone(),
                 lanes: *lanes,
                 stalls: *stalls,
+                groups: *groups,
             })
             .collect();
         StatsReport {

@@ -1,0 +1,417 @@
+//! Transport-independent request dispatch: the per-request surface of
+//! both wire protocols, factored out of the TCP front-end.
+//!
+//! [`server`](crate::server) owns sockets, threads, and framing; this
+//! module owns what happens *between* a decoded request and the
+//! [`Service`] — validation-error mapping, submit calls, and reply
+//! routing. Responses leave through a caller-supplied sink:
+//!
+//! * [`ResponseSink`] receives parsed [`Response`] values (the text
+//!   protocol's unit of output);
+//! * [`FrameSink`] receives pre-encoded binary frames (the framed
+//!   protocol's unit of output).
+//!
+//! The TCP server implements both sinks on `Mutex<TcpStream>`; the C ABI
+//! ([`vlcsa-ffi`]) and in-process tests implement them on plain
+//! collectors. Either way, worker threads call the sink directly when an
+//! issue group completes — possibly out of submission order, possibly
+//! concurrently — so sinks must be `Send + Sync` and serialize their own
+//! output.
+//!
+//! [`vlcsa-ffi`]: https://docs.rs/vlcsa-ffi
+
+use std::sync::Arc;
+
+use vlcsa::route::AUTO_ENGINE;
+
+use crate::binary::{self, BinRequest, ENGINE_ID_AUTO};
+use crate::protocol::{
+    format_response, parse_request, ErrorCode, Request, RequestError, Response, SloAction,
+};
+use crate::service::{Service, SubmitError};
+
+/// Where parsed text-protocol responses go. Implementations must
+/// tolerate concurrent calls from worker threads and serialize their own
+/// output (the TCP server locks the socket; a test sink locks a `Vec`).
+pub trait ResponseSink: Send + Sync + 'static {
+    /// Delivers one response. Errors are the sink's problem: a dispatch
+    /// has nobody to tell that the client hung up.
+    fn send(&self, response: &Response);
+}
+
+/// Where pre-encoded binary frames go; same concurrency contract as
+/// [`ResponseSink`].
+pub trait FrameSink: Send + Sync + 'static {
+    /// Delivers one complete, already-encoded frame.
+    fn send_frame(&self, frame: &[u8]);
+}
+
+/// Maps a [`SubmitError`] onto the wire error-code space, echoing the
+/// request's sequence number. One mapping for both protocols (and the C
+/// ABI, which reuses the same codes).
+pub fn submit_error(seq: u64, err: SubmitError) -> RequestError {
+    let code = match err {
+        SubmitError::UnknownEngine(_) => ErrorCode::UnknownEngine,
+        SubmitError::WidthMismatch(..) => ErrorCode::BadRequest,
+        SubmitError::BadWidth(_) => ErrorCode::BadWidth,
+        SubmitError::BadOperandCount(_) => ErrorCode::BadRequest,
+        SubmitError::BadLimbs(_) => ErrorCode::BadOperand,
+        SubmitError::Stopped => ErrorCode::Shutdown,
+    };
+    RequestError {
+        seq,
+        code,
+        message: err.to_string(),
+    }
+}
+
+fn submit_error_response(seq: u64, err: SubmitError) -> Response {
+    Response::Err(submit_error(seq, err))
+}
+
+/// Dispatches one text-protocol line: parse, validate, submit; answer
+/// errors inline through the sink. `ADD`/`SUM`/`PROG` replies arrive
+/// later, from a worker thread, when the batching window flushes — the
+/// sink is retained (via `Arc`) until every in-flight reply has fired.
+pub fn dispatch_text<S: ResponseSink>(line: &str, service: &Service, sink: &Arc<S>) {
+    match parse_request(line) {
+        Ok(Request::Engines) => {
+            // Engine names are width-independent; any registry lists
+            // them. 64 is as good a cache key as any. `auto` rides
+            // along so clients discover the pseudo-engine too.
+            let names = service.registries().at(64).names();
+            let names = names
+                .into_iter()
+                .map(str::to_string)
+                .chain(std::iter::once(AUTO_ENGINE.to_string()))
+                .collect();
+            sink.send(&Response::Engines(names));
+        }
+        Ok(Request::Stats) => {
+            sink.send(&Response::Stats(service.stats()));
+        }
+        Ok(Request::Slo(action)) => {
+            match action {
+                SloAction::Query => {}
+                SloAction::Set(micros) => service.set_slo(Some(micros)),
+                SloAction::Clear => service.set_slo(None),
+            }
+            // Always echo the budget now in force, so a set doubles
+            // as a readback and a query is just the degenerate case.
+            sink.send(&Response::Slo(service.slo()));
+        }
+        Ok(Request::Add {
+            seq,
+            engine,
+            width: _,
+            a,
+            b,
+        }) => {
+            let reply_to = Arc::clone(sink);
+            let submitted = service.submit(
+                &engine,
+                a,
+                b,
+                Box::new(move |result| {
+                    reply_to.send(&Response::Ok {
+                        seq,
+                        sum: result.sum,
+                        cout: result.cout,
+                        cycles: result.cycles,
+                    });
+                }),
+            );
+            if let Err(err) = submitted {
+                sink.send(&submit_error_response(seq, err));
+            }
+        }
+        Ok(Request::Sum {
+            seq,
+            engine,
+            width: _,
+            operands,
+        }) => {
+            let reply_to = Arc::clone(sink);
+            let submitted = service.submit_sum(
+                &engine,
+                &operands,
+                Box::new(move |result| {
+                    reply_to.send(&Response::Ok {
+                        seq,
+                        sum: result.sum,
+                        cout: result.cout,
+                        cycles: result.cycles,
+                    });
+                }),
+            );
+            if let Err(err) = submitted {
+                sink.send(&submit_error_response(seq, err));
+            }
+        }
+        Ok(Request::Program {
+            seq,
+            engine,
+            width: _,
+            program,
+            inputs,
+        }) => {
+            let reply_to = Arc::clone(sink);
+            let submitted = service.submit_program(
+                &engine,
+                &program,
+                &inputs,
+                Box::new(move |result| {
+                    reply_to.send(&Response::Ok {
+                        seq,
+                        sum: result.sum,
+                        cout: result.cout,
+                        cycles: result.cycles,
+                    });
+                }),
+            );
+            if let Err(err) = submitted {
+                sink.send(&submit_error_response(seq, err));
+            }
+        }
+        Err(err) => sink.send(&Response::Err(err)),
+    }
+}
+
+/// Dispatches one binary frame (already read and length-delimited):
+/// decode, validate, submit; answer errors as `ERR` frames through the
+/// sink. `names` is the width-independent engine listing frame ids index
+/// into — the caller computes it once per connection, not per frame.
+/// Body-level malformation is answered and absorbed here; only the
+/// *caller* can see header-level poison (bad version, oversized length),
+/// which is a close-the-stream event.
+pub fn dispatch_binary<S: FrameSink>(
+    opcode: u8,
+    body: &[u8],
+    names: &[&'static str],
+    service: &Service,
+    sink: &Arc<S>,
+) {
+    match binary::decode_request(opcode, body, names) {
+        Ok(BinRequest::Add {
+            seq,
+            engine,
+            width,
+            a,
+            b,
+        }) => {
+            let reply_to = Arc::clone(sink);
+            // The limbs go straight from the frame into the slab
+            // layout; the reply's limbs come straight out of it.
+            let submitted = service.submit_limbs(
+                engine,
+                width,
+                a,
+                b,
+                Box::new(move |result| {
+                    reply_to.send_frame(&binary::encode_ok(
+                        seq,
+                        result.cout,
+                        result.cycles,
+                        result.sum.limbs(),
+                    ));
+                }),
+            );
+            if let Err(err) = submitted {
+                sink.send_frame(&binary::encode_err(&submit_error(seq, err)));
+            }
+        }
+        Ok(BinRequest::Sum {
+            seq,
+            engine,
+            width: _,
+            operands,
+        }) => {
+            let reply_to = Arc::clone(sink);
+            let submitted = service.submit_sum(
+                engine,
+                &operands,
+                Box::new(move |result| {
+                    reply_to.send_frame(&binary::encode_ok(
+                        seq,
+                        result.cout,
+                        result.cycles,
+                        result.sum.limbs(),
+                    ));
+                }),
+            );
+            if let Err(err) = submitted {
+                sink.send_frame(&binary::encode_err(&submit_error(seq, err)));
+            }
+        }
+        Ok(BinRequest::Prog {
+            seq,
+            engine,
+            width: _,
+            program,
+            inputs,
+        }) => {
+            let reply_to = Arc::clone(sink);
+            let submitted = service.submit_program(
+                engine,
+                &program,
+                &inputs,
+                Box::new(move |result| {
+                    reply_to.send_frame(&binary::encode_ok(
+                        seq,
+                        result.cout,
+                        result.cycles,
+                        result.sum.limbs(),
+                    ));
+                }),
+            );
+            if let Err(err) = submitted {
+                sink.send_frame(&binary::encode_err(&submit_error(seq, err)));
+            }
+        }
+        Ok(BinRequest::Engines) => {
+            let entries: Vec<(u8, &str)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i as u8, *n))
+                .chain(std::iter::once((ENGINE_ID_AUTO, AUTO_ENGINE)))
+                .collect();
+            sink.send_frame(&binary::encode_engines(&entries));
+        }
+        Ok(BinRequest::Stats) => {
+            // The counters snapshot rides as its text line — one
+            // format, one parser, whatever the transport.
+            let line = format_response(&Response::Stats(service.stats()));
+            sink.send_frame(&binary::encode_stats(&line));
+        }
+        Ok(BinRequest::Slo(action)) => {
+            match action {
+                SloAction::Query => {}
+                SloAction::Set(micros) => service.set_slo(Some(micros)),
+                SloAction::Clear => service.set_slo(None),
+            }
+            sink.send_frame(&binary::encode_slo(service.slo()));
+        }
+        Err(err) => sink.send_frame(&binary::encode_err(&err)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    use super::*;
+    use crate::service::ServeConfig;
+
+    /// A sink that collects formatted response lines — the whole point of
+    /// the split: the text protocol exercised with no socket anywhere.
+    struct Lines(Mutex<Vec<String>>);
+
+    impl ResponseSink for Lines {
+        fn send(&self, response: &Response) {
+            self.0
+                .lock()
+                .expect("test sink lock")
+                .push(format_response(response));
+        }
+    }
+
+    impl FrameSink for Lines {
+        fn send_frame(&self, frame: &[u8]) {
+            // Tests only need to see that *a* frame arrived; stash the
+            // opcode byte (frame[1], after the version byte).
+            self.0
+                .lock()
+                .expect("test sink lock")
+                .push(format!("frame:{:#04x}", frame[1]));
+        }
+    }
+
+    fn drain(sink: &Arc<Lines>, want: usize) -> Vec<String> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let lines = sink.0.lock().expect("test sink lock");
+                if lines.len() >= want {
+                    return lines.clone();
+                }
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for replies");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn text_dispatch_needs_no_socket() {
+        let service = Service::start(ServeConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        });
+        let sink = Arc::new(Lines(Mutex::new(Vec::new())));
+        dispatch_text("ADD 7 carry-select 32 2 3", &service, &sink);
+        dispatch_text("SUM 8 ripple 32 4 1 2 3 4", &service, &sink);
+        dispatch_text("nonsense", &service, &sink);
+        let mut lines = drain(&sink, 3);
+        lines.sort();
+        // Cycles may be 1 or 2 (a recovery stall), so match the prefix.
+        assert!(
+            lines.iter().any(|l| l.starts_with("OK 7 5 0 ")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("OK 8 a 0 ")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("ERR 0 bad-request")),
+            "{lines:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn text_dispatch_maps_submit_errors_inline() {
+        let service = Service::start(ServeConfig::default());
+        let sink = Arc::new(Lines(Mutex::new(Vec::new())));
+        dispatch_text("ADD 3 no-such-engine 32 1 2", &service, &sink);
+        let lines = drain(&sink, 1);
+        assert!(
+            lines[0].starts_with("ERR 3 unknown-engine"),
+            "{:?}",
+            lines[0]
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn binary_dispatch_needs_no_socket() {
+        let service = Service::start(ServeConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        });
+        let names = service.registries().at(64).names();
+        let sink = Arc::new(Lines(Mutex::new(Vec::new())));
+        // A STATS frame is opcode-only; an ADD frame carries real limbs.
+        let stats = binary::encode_stats_request();
+        dispatch_binary(
+            stats[1],
+            &stats[binary::HEADER_LEN..],
+            &names,
+            &service,
+            &sink,
+        );
+        let add = binary::encode_add(5, 0, 64, &[7], &[8]);
+        dispatch_binary(add[1], &add[binary::HEADER_LEN..], &names, &service, &sink);
+        let mut lines = drain(&sink, 2);
+        lines.sort();
+        assert!(
+            lines.contains(&format!("frame:{:#04x}", binary::resp::STATS)),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&format!("frame:{:#04x}", binary::resp::OK)),
+            "{lines:?}"
+        );
+        service.shutdown();
+    }
+}

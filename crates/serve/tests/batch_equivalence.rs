@@ -76,7 +76,7 @@ proptest! {
             workers: 3,
             exec_threads: 2,
             queue_depth: 32,
-            slo_micros: None,
+            route: vlcsa::route::RouteConfig::default(),
         });
         let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
         for (i, req) in requests.iter().enumerate() {
@@ -174,7 +174,7 @@ proptest! {
             workers: 3,
             exec_threads: 2,
             queue_depth: 32,
-            slo_micros: None,
+            route: vlcsa::route::RouteConfig::default(),
         });
         let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
         for (i, (engine, _, program, operands)) in programs.iter().enumerate() {
@@ -245,7 +245,7 @@ proptest! {
             workers: 3,
             exec_threads: 2,
             queue_depth: 32,
-            slo_micros: None,
+            route: vlcsa::route::RouteConfig::default(),
         });
         let (tx, rx) = mpsc::channel::<(usize, AddResult)>();
         for (i, req) in requests.iter().enumerate() {

@@ -74,6 +74,73 @@ fn chain_reduction_experiment_sweeps_every_registry_family() {
 }
 
 #[test]
+fn model_engines_experiment_sweeps_every_registry_family() {
+    // One row per family: fixed-latency families stall never, the
+    // speculative ones stall at most a bounded share of the time, and
+    // mean cycles stays inside the 1..=2 band the latency model allows.
+    let table = run_by_id("ext.model_engines", &tiny()).unwrap();
+    let names = vlcsa::engine::Registry::for_width(64).names();
+    assert_eq!(table.rows.len(), names.len());
+    for name in names {
+        let row = table
+            .rows
+            .iter()
+            .find(|r| r[0] == name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        let variable: bool = row[1].parse().unwrap();
+        let stall: f64 = row[2].trim_end_matches('%').parse().unwrap();
+        let mean: f64 = row[4].parse().unwrap();
+        assert!((1.0..=2.0).contains(&mean), "{name} mean cycles {mean}");
+        if !variable {
+            assert_eq!(stall, 0.0, "{name} is fixed-latency yet stalled");
+            assert_eq!(mean, 1.0, "{name} is fixed-latency yet took cycles");
+        }
+    }
+}
+
+#[test]
+fn gaussian_engines_experiment_sweeps_every_family_and_width() {
+    // families x WIDTHS rows, each with a sane cycle count; the bimodal
+    // Gaussian workload must actually exercise some recovery path in at
+    // least one speculative family.
+    let table = run_by_id("ext.gaussian_engines", &tiny()).unwrap();
+    let mut stalled_somewhere = false;
+    for width in [64usize, 128, 256, 512] {
+        let names = vlcsa::engine::Registry::for_width(width).names();
+        for name in &names {
+            let rows: Vec<_> = table
+                .rows
+                .iter()
+                .filter(|r| r[0] == *name && r[1] == width.to_string())
+                .collect();
+            assert_eq!(rows.len(), 1, "{name} at n={width}");
+            let mean: f64 = rows[0][3].parse().unwrap();
+            assert!((1.0..=2.0).contains(&mean), "{name} n={width} mean {mean}");
+            let stall: f64 = rows[0][2].trim_end_matches('%').parse().unwrap();
+            stalled_somewhere |= stall > 0.0;
+        }
+    }
+    assert!(
+        stalled_somewhere,
+        "the Gaussian workload must trigger recovery in some family"
+    );
+}
+
+#[test]
+fn dist_engines_experiment_sweeps_every_family_and_distribution() {
+    // Four distribution rows per family at the 32-bit profiling width.
+    let table = run_by_id("ext.dist_engines", &tiny()).unwrap();
+    for name in vlcsa::engine::Registry::for_width(32).names() {
+        let rows: Vec<_> = table.rows.iter().filter(|r| r[0] == name).collect();
+        assert_eq!(rows.len(), 4, "{name} swept at every distribution");
+        for row in rows {
+            let mean: f64 = row[3].parse().unwrap();
+            assert!((1.0..=2.0).contains(&mean), "{name} {} mean {mean}", row[1]);
+        }
+    }
+}
+
+#[test]
 fn solver_experiment_is_stable_at_low_samples() {
     // tab7.5 with few samples still returns window sizes in a sane band.
     let table = run_by_id("tab7.5", &tiny()).unwrap();
