@@ -16,6 +16,14 @@
 //!    carry-save reduction (Wallace tree + one batch resolve) against the
 //!    scalar sequential fold of the same operands.
 //!
+//! The recording pass also times the `W512` scaling probe for every
+//! family, but its rows are admitted into `BENCH_batch.json` only when
+//! the probe beats `W256` per-op by at least [`W512_FLOOR`]; otherwise
+//! the run prints the measured ratios and the negative result lives in
+//! EXPERIMENTS.md instead of the result file (the expected outcome on
+//! AVX2 hosts, where an eight-limb lane map compiles to two 256-bit ops
+//! per gate).
+//!
 //! `cargo bench -p vlcsa-bench --bench batch` runs both passes;
 //! `-- --smoke` (the CI mode) shrinks every budget to milliseconds and
 //! skips the JSON write so a checked-in result file is never clobbered by
@@ -27,7 +35,7 @@ use std::time::Duration;
 use vlcsa_bench::timing::ns_per_call;
 
 use adders::batch::{sum_batch, BatchRipple};
-use bitnum::batch::{BitSlab, DefaultWord, Word, W256};
+use bitnum::batch::{BitSlab, DefaultWord, Word, W256, W512};
 use bitnum::UBig;
 use criterion::{Criterion, Throughput};
 use vlcsa::engine::{Engine, Registry};
@@ -38,6 +46,11 @@ const SCALAR_OPS: usize = 64;
 
 /// Operand count of the multiop (carry-save reduction) row.
 const MULTIOP_N: usize = 8;
+
+/// Admission floor for `W512` probe rows: a `word_bits: 512` entry is
+/// recorded only when its batch ns/op beats the same family's `W256`
+/// entry by at least this ratio.
+const W512_FLOOR: f64 = 1.2;
 
 /// One scalar-vs-batch comparison at one slab word width, serialized into
 /// `BENCH_batch.json`.
@@ -87,11 +100,13 @@ struct OperandSet {
     narrow_b: BitSlab<u64>,
     wide_a: BitSlab<W256>,
     wide_b: BitSlab<W256>,
+    probe_a: BitSlab<W512>,
+    probe_b: BitSlab<W512>,
 }
 
 fn operand_set(dist: Distribution, width: usize, seed: u64) -> OperandSet {
     let mut src = OperandSource::new(dist, width, seed);
-    let pairs: Vec<(UBig, UBig)> = (0..W256::LANES).map(|_| src.next_pair()).collect();
+    let pairs: Vec<(UBig, UBig)> = (0..W512::LANES).map(|_| src.next_pair()).collect();
     let lanes =
         |n: usize, side: fn(&(UBig, UBig)) -> UBig| pairs[..n].iter().map(side).collect::<Vec<_>>();
     OperandSet {
@@ -99,6 +114,8 @@ fn operand_set(dist: Distribution, width: usize, seed: u64) -> OperandSet {
         narrow_b: BitSlab::from_lanes(&lanes(64, |p| p.1.clone())),
         wide_a: BitSlab::from_lanes(&lanes(W256::LANES, |p| p.0.clone())),
         wide_b: BitSlab::from_lanes(&lanes(W256::LANES, |p| p.1.clone())),
+        probe_a: BitSlab::from_lanes(&lanes(W512::LANES, |p| p.0.clone())),
+        probe_b: BitSlab::from_lanes(&lanes(W512::LANES, |p| p.1.clone())),
         pairs,
     }
 }
@@ -118,10 +135,11 @@ fn batch_ns<W: Word>(
 fn record_family(
     narrow: &dyn Engine<u64>,
     wide: &dyn Engine<W256>,
+    probe: &dyn Engine<W512>,
     dist: Distribution,
     target: Duration,
     set: &OperandSet,
-) -> [Entry; 2] {
+) -> [Entry; 3] {
     let scalar_ns = ns_per_call(
         || {
             let mut cycles = 0u64;
@@ -152,6 +170,11 @@ fn record_family(
             W256::LANES,
             batch_ns(wide, &set.wide_a, &set.wide_b, target),
         ),
+        entry(
+            W512::LANES,
+            W512::LANES,
+            batch_ns(probe, &set.probe_a, &set.probe_b, target),
+        ),
     ]
 }
 
@@ -169,14 +192,17 @@ fn record_all(target: Duration) -> Vec<Entry> {
         let set = operand_set(dist, width, seed);
         let narrow_registry = Registry::<u64>::for_width_word(width);
         let wide_registry = Registry::<W256>::for_width_word(width);
-        for (narrow, wide) in narrow_registry
+        let probe_registry = Registry::<W512>::for_width_word(width);
+        for ((narrow, wide), probe) in narrow_registry
             .engines()
             .iter()
             .zip(wide_registry.engines())
+            .zip(probe_registry.engines())
         {
             entries.extend(record_family(
                 narrow.as_ref(),
                 wide.as_ref(),
+                probe.as_ref(),
                 dist,
                 target,
                 &set,
@@ -288,6 +314,63 @@ fn ripple64_word_improvement(entries: &[Entry]) -> Option<f64> {
     Some(find(64)?.batch_ns_per_op / find(W256::LANES)?.batch_ns_per_op)
 }
 
+/// Applies the [`W512_FLOOR`] admission rule: prints every probe-vs-`W256`
+/// ratio, then drops the `word_bits: 512` rows that did not clear the
+/// floor so they never reach `BENCH_batch.json`. Returns the surviving
+/// entries and how many probe rows were admitted.
+fn admit_probe_rows(entries: Vec<Entry>) -> (Vec<Entry>, usize) {
+    let wide_ns = |probe: &Entry| {
+        entries
+            .iter()
+            .find(|e| {
+                e.engine == probe.engine
+                    && e.width == probe.width
+                    && e.distribution == probe.distribution
+                    && e.word_bits == W256::LANES
+            })
+            .map(|e| e.batch_ns_per_op)
+    };
+    println!(
+        "\n{:<16} {:>5} {:>22} {:>18} {:>10}",
+        "W512 probe", "width", "distribution", "vs W256 ns/op", "admitted"
+    );
+    let admitted: Vec<bool> = entries
+        .iter()
+        .map(|e| {
+            if e.word_bits != W512::LANES {
+                return true;
+            }
+            let Some(wide) = wide_ns(e) else { return false };
+            let ratio = wide / e.batch_ns_per_op;
+            let keep = ratio >= W512_FLOOR;
+            println!(
+                "{:<16} {:>5} {:>22} {:>17.2}x {:>10}",
+                e.engine,
+                e.width,
+                e.distribution,
+                ratio,
+                if keep { "yes" } else { "no" }
+            );
+            keep
+        })
+        .collect();
+    let mut admitted = admitted.into_iter();
+    let total = entries.len();
+    let kept: Vec<Entry> = entries
+        .into_iter()
+        .filter(|_| admitted.next().expect("one flag per entry"))
+        .collect();
+    let probes_kept = kept.iter().filter(|e| e.word_bits == W512::LANES).count();
+    let dropped = total - kept.len();
+    if dropped > 0 {
+        println!(
+            "{dropped} W512 probe row(s) below the {W512_FLOOR}x floor — \
+             not recorded (see the negative result in EXPERIMENTS.md)"
+        );
+    }
+    (kept, probes_kept)
+}
+
 fn criterion_pass(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch_vs_scalar");
     g.throughput(Throughput::Elements(DefaultWord::LANES as u64));
@@ -393,6 +476,12 @@ fn main() {
         println!(
             "\nripple@64 word widening (u64 -> W256 batch ns/op): {improvement:.2}x \
              (EXPERIMENTS.md floor: >= 2x on full runs)"
+        );
+    }
+    let (entries, probes_kept) = admit_probe_rows(entries);
+    if probes_kept > 0 {
+        println!(
+            "{probes_kept} W512 probe row(s) cleared the {W512_FLOOR}x floor and will be recorded"
         );
     }
 

@@ -34,19 +34,36 @@
 //! over the same mix; on full runs binary must clear ≥1.2× text — the
 //! framing has to pay for its existence.
 //!
+//! The fifth dimension is head-of-line isolation — the claim the
+//! per-lane runtime exists for. A second server carries the production
+//! registry plus a synthetic `sleepy` engine whose `add_batch` holds its
+//! lane's worker for [`STALL_MS`] per batch; a background client keeps
+//! the sleepy lane saturated while every static engine is re-measured
+//! under identical traffic. Per engine the run records unstalled vs
+//! stalled req/s and p99 and their `retained` ratio, with a ≥80%
+//! retention floor on full runs — under the old shared worker pool the
+//! sleepy batches would serialize everyone behind [`STALL_MS`] naps.
+//!
 //! Every response is verified against exact addition while it is timed;
 //! a wrong sum aborts the bench. The full run writes `BENCH_serve.json`
-//! (schema `vlcsa-bench/serve/v4`, documented in EXPERIMENTS.md).
+//! (schema `vlcsa-bench/serve/v5`, documented in EXPERIMENTS.md).
 //! `-- --smoke` (the CI loopback smoke, run at both word widths) shrinks
 //! the op counts to milliseconds, keeps the exactness assertions (the
 //! throughput floors need real budgets), and skips the JSON write.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bitnum::batch::{BitSlab, DefaultWord};
 use bitnum::UBig;
-use vlcsa_serve::{Client, Program, ServeConfig, Server};
+use vlcsa::batch::BatchOutcome;
+use vlcsa::engine::{Engine, Registry, ScalarEngine};
+use vlcsa::route::{RouteConfig, Router};
+use vlcsa::AddOutcome;
+use vlcsa_serve::{Client, Program, RegistryCache, ServeConfig, Server, Service};
 use workloads::dist::{Distribution, OperandSource};
 
 const WIDTH: usize = 64;
@@ -58,6 +75,15 @@ const CLIENTS: usize = 4;
 const IN_FLIGHT: usize = 64;
 /// Operand count of the reduction dimension (the acceptance shape).
 const SUM_N: usize = 8;
+
+/// How long the synthetic stalled engine parks its lane's worker inside
+/// every `add_batch`, server-side.
+const STALL_MS: u64 = 2;
+/// Registry name of the synthetic stalled engine.
+const STALLED: &str = "sleepy";
+/// Full-run floor: each engine must retain at least this fraction of its
+/// unstalled req/s while the sleepy lane is saturated.
+const RETAINED_FLOOR: f64 = 0.8;
 
 /// What each pipelined request carries.
 #[derive(Clone, Copy, PartialEq)]
@@ -118,6 +144,114 @@ impl Point {
             self.stall_rate(),
         )
     }
+}
+
+/// The synthetic stalled engine of the isolation dimension: correct
+/// sums (it delegates to ripple), but every batch parks its lane's
+/// worker for [`STALL_MS`] first.
+struct SleepyEngine {
+    inner: Box<dyn Engine<DefaultWord>>,
+}
+
+impl ScalarEngine for SleepyEngine {
+    fn name(&self) -> &'static str {
+        STALLED
+    }
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        self.inner.add_one(a, b)
+    }
+}
+
+impl Engine<DefaultWord> for SleepyEngine {
+    fn add_batch(
+        &self,
+        a: &BitSlab<DefaultWord>,
+        b: &BitSlab<DefaultWord>,
+    ) -> BatchOutcome<DefaultWord> {
+        std::thread::sleep(Duration::from_millis(STALL_MS));
+        self.inner.add_batch(a, b)
+    }
+}
+
+/// The production registry plus the `sleepy` engine at every width.
+fn sleepy_cache() -> RegistryCache {
+    RegistryCache::with_factory(|width| {
+        let mut engines = Registry::for_width(width).into_engines();
+        let inner = Registry::for_width(width)
+            .into_engines()
+            .into_iter()
+            .find(|e| e.name() == "ripple")
+            .expect("ripple registered at every width");
+        engines.push(Box::new(SleepyEngine { inner }));
+        Registry::from_engines(width, engines)
+    })
+}
+
+/// One engine's isolation comparison: the same traffic with the sleepy
+/// lane idle and with it saturated.
+struct IsolationRow {
+    unstalled: Point,
+    stalled: Point,
+}
+
+impl IsolationRow {
+    fn retained(&self) -> f64 {
+        self.stalled.ops_per_sec() / self.unstalled.ops_per_sec()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"unstalled_ops_per_sec\": {:.0}, ",
+                "\"stalled_ops_per_sec\": {:.0}, \"unstalled_p99_us\": {:.1}, ",
+                "\"stalled_p99_us\": {:.1}, \"retained\": {:.3}}}"
+            ),
+            self.unstalled.engine,
+            self.unstalled.ops_per_sec(),
+            self.stalled.ops_per_sec(),
+            self.unstalled.percentile_us(0.99),
+            self.stalled.percentile_us(0.99),
+            self.retained(),
+        )
+    }
+}
+
+/// Keeps the sleepy lane saturated (a few pipelined requests, each
+/// holding the lane's worker for [`STALL_MS`]) until `stop`, verifying
+/// every response. Returns how many stalled requests were served.
+fn drive_stalled_lane(addr: SocketAddr, stop: &AtomicBool) -> usize {
+    let mut client = Client::connect(addr).expect("stall driver connect");
+    let mut src = OperandSource::new(Distribution::paper_gaussian(), WIDTH, 0xD1E);
+    let mut pending: HashMap<u64, UBig> = HashMap::new();
+    let mut served = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        while pending.len() < 4 {
+            let (a, b) = src.next_pair();
+            let (sum, _) = a.overflowing_add(&b);
+            pending.insert(client.submit(STALLED, &a, &b).expect("stall submit"), sum);
+        }
+        let (seq, response) = client.recv().expect("stall recv");
+        let response = response.expect("stalled lane error");
+        let sum = pending.remove(&seq).expect("known stall seq");
+        assert_eq!(response.sum, sum, "stalled lane returned a wrong sum");
+        served += 1;
+    }
+    while !pending.is_empty() {
+        let (seq, response) = client.recv().expect("stall drain");
+        let sum = pending.remove(&seq).expect("known stall seq");
+        assert_eq!(
+            response.expect("stalled lane error").sum,
+            sum,
+            "stalled lane returned a wrong sum on drain"
+        );
+    }
+    client.close();
+    served
 }
 
 /// Drives `ops_per_client` verified requests per client against one
@@ -221,19 +355,20 @@ fn write_json(
     points: &[Point],
     binary_points: &[Point],
     sum_points: &[Point],
+    isolation: &[IsolationRow],
     host_cpus: usize,
     path: &std::path::Path,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vlcsa-bench/serve/v4\",\n");
+    out.push_str("  \"schema\": \"vlcsa-bench/serve/v5\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p vlcsa-bench --bench serve\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(&format!("  \"width\": {WIDTH},\n"));
     out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
     out.push_str(&format!("  \"in_flight_per_client\": {IN_FLIGHT},\n"));
     out.push_str("  \"distribution\": \"gaussian(sigma=2^24)\",\n");
-    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\", \"vs_independent_adds\": \"sums/s over (adds/s / n): reductions served per second vs issuing n independent ADDs\", \"binary_vs_text\": \"aggregate binary-framing ADD req/s over aggregate text req/s, same engine mix\"},\n");
+    out.push_str("  \"units\": {\"ops_per_sec\": \"requests/s over TCP loopback\", \"p50_us\": \"microseconds submit-to-response\", \"stall_rate\": \"fraction of requests served in 2 cycles\", \"vs_independent_adds\": \"sums/s over (adds/s / n): reductions served per second vs issuing n independent ADDs\", \"binary_vs_text\": \"aggregate binary-framing ADD req/s over aggregate text req/s, same engine mix\", \"retained\": \"stalled_ops_per_sec over unstalled_ops_per_sec while the sleepy lane is saturated\"},\n");
     // The v4 wire-format summary: the same ADD engine mix over both
     // framings, so the ≥1.2× floor is checkable from the JSON alone.
     out.push_str(&format!(
@@ -269,6 +404,17 @@ fn write_json(
         best,
         auto.ops_per_sec() / best,
     ));
+    // The v5 isolation dimension: per-engine req/s and p99 with the
+    // sleepy lane idle vs saturated, so the ≥80% retention floor is
+    // checkable from the JSON alone.
+    out.push_str(&format!(
+        "  \"lane_isolation\": {{\"stalled_engine\": \"{STALLED}\", \"stall_ms\": {STALL_MS}, \"floor_retained\": {RETAINED_FLOOR}, \"entries\": [\n"
+    ));
+    for (i, row) in isolation.iter().enumerate() {
+        out.push_str(&row.to_json());
+        out.push_str(if i + 1 < isolation.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]},\n");
     out.push_str("  \"entries\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&p.to_json());
@@ -409,6 +555,82 @@ fn main() {
         shutdown_started.elapsed()
     );
 
+    // Fifth dimension: head-of-line isolation. A fresh server whose
+    // registry carries the sleepy engine; each static engine is measured
+    // with the sleepy lane idle, then again while a background client
+    // keeps it saturated with [`STALL_MS`]-per-batch requests.
+    let iso_service = Service::start_custom(
+        ServeConfig {
+            max_lanes: 256,
+            max_wait: Duration::from_micros(300),
+            workers: 2,
+            exec_threads: 1,
+            queue_depth: 1024,
+            route: Default::default(),
+        },
+        Arc::new(Router::new(RouteConfig::default())),
+        Arc::new(sleepy_cache()),
+    );
+    let iso_server =
+        Server::start_with_service("127.0.0.1:0", iso_service).expect("bind isolation server");
+    let iso_addr = iso_server.local_addr();
+    println!(
+        "\n{:<14} {:>14} {:>14} {:>12} {:>12} {:>9}",
+        "engine", "unstalled/s", "stalled/s", "p99 µs", "p99 µs (st)", "retained"
+    );
+    let unstalled: Vec<Point> = ENGINES
+        .into_iter()
+        .map(|engine| measure(iso_addr, engine, ops_per_client, Kind::Add, Proto::Text))
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let driver = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || drive_stalled_lane(iso_addr, &stop))
+    };
+    let isolation: Vec<IsolationRow> = unstalled
+        .into_iter()
+        .map(|unstalled| {
+            let stalled = measure(
+                iso_addr,
+                unstalled.engine,
+                ops_per_client,
+                Kind::Add,
+                Proto::Text,
+            );
+            let row = IsolationRow { unstalled, stalled };
+            println!(
+                "{:<14} {:>14.0} {:>14.0} {:>12.1} {:>12.1} {:>8.1}%",
+                row.unstalled.engine,
+                row.unstalled.ops_per_sec(),
+                row.stalled.ops_per_sec(),
+                row.unstalled.percentile_us(0.99),
+                row.stalled.percentile_us(0.99),
+                100.0 * row.retained(),
+            );
+            row
+        })
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    let stalled_served = driver.join().expect("stall driver");
+    iso_server.shutdown();
+    println!("sleepy lane served {stalled_served} requests at {STALL_MS}ms per batch");
+    assert!(
+        stalled_served > 0,
+        "the stalled lane never served — the isolation runs measured nothing"
+    );
+    if !smoke {
+        for row in &isolation {
+            assert!(
+                row.retained() >= RETAINED_FLOOR,
+                "{}: retained {:.1}% of unstalled throughput with the sleepy lane \
+                 saturated, below the {:.0}% floor",
+                row.unstalled.engine,
+                100.0 * row.retained(),
+                100.0 * RETAINED_FLOOR,
+            );
+        }
+    }
+
     // The variable-latency engines must show their latency model under
     // this traffic: Gaussian operands stall VLCSA 1 but are absorbed by
     // VLCSA 2's second speculative result (Ch. 6).
@@ -507,7 +729,14 @@ fn main() {
         return;
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
-    match write_json(&points, &binary_points, &sum_points, host_cpus, &path) {
+    match write_json(
+        &points,
+        &binary_points,
+        &sum_points,
+        &isolation,
+        host_cpus,
+        &path,
+    ) {
         Ok(()) => println!("wrote {} (host_cpus = {host_cpus})", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }

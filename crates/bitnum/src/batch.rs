@@ -43,7 +43,7 @@
 use crate::rng::RandomBits;
 use crate::UBig;
 
-pub use crate::word::{DefaultWord, Word, W256};
+pub use crate::word::{DefaultWord, Word, W256, W512};
 
 /// A batch of up to [`Word::LANES`] equal-width values in transposed
 /// (bit-sliced) layout.

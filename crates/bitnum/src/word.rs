@@ -2,21 +2,24 @@
 //!
 //! A [`Word`] is the machine word a [`BitSlab`](crate::batch::BitSlab)
 //! stores one bit position in: bit `l` of the word is lane `l`'s bit, so
-//! the word width **is** the lane capacity of a slab chunk. Two words are
-//! provided:
+//! the word width **is** the lane capacity of a slab chunk. Three words
+//! are provided:
 //!
 //! * [`u64`] — the original 64-lane word, one native operation per gate;
 //! * [`W256`] — four `u64` limbs operated element-wise, 256 lanes per
 //!   word. The limb operations are written as fixed-size array maps so the
 //!   compiler vectorizes them into SIMD on stable Rust (no `std::simd`,
 //!   no nightly, no unsafe) — one 256-bit gate evaluation per vector
-//!   operation where the target has the registers for it.
+//!   operation where the target has the registers for it;
+//! * [`W512`] — the eight-limb scaling probe past the AVX2 register
+//!   width; see its docs for why it is measured rather than assumed to
+//!   win.
 //!
 //! The trait is **sealed**: the slab layout, the lane-mask invariant and
-//! the kernels' masking contract are verified for exactly these two
-//! implementations (the `word_equivalence` property suite pins
-//! `BitSlab<u64>` against `BitSlab<W256>` lane-for-lane), and a foreign
-//! implementation could silently break them.
+//! the kernels' masking contract are verified for exactly these
+//! implementations (the `word_equivalence` property suite pins the slabs
+//! against each other lane-for-lane), and a foreign implementation could
+//! silently break them.
 //!
 //! [`DefaultWord`] is the workspace-wide default slab word — [`W256`]
 //! unless the build sets `--cfg vlcsa_word64` (the CI matrix runs the
@@ -30,6 +33,7 @@ mod sealed {
     pub trait Sealed {}
     impl Sealed for u64 {}
     impl Sealed for super::W256 {}
+    impl Sealed for super::W512 {}
 }
 
 /// A bit-sliced lane word: `LANES` independent lanes, one per bit, with
@@ -290,6 +294,124 @@ impl Word for W256 {
     }
 }
 
+/// A 512-lane slab word: eight `u64` limbs, limb `i` holding lanes
+/// `64*i .. 64*i + 64`, with the same element-wise limb maps as [`W256`].
+///
+/// This is the scaling probe past the AVX2 register width: on hosts whose
+/// vector units stop at 256 bits the eight-limb maps compile to two
+/// 256-bit operations per gate, so throughput per lane should be flat at
+/// best versus [`W256`] while working-set pressure doubles — the
+/// measurement behind the word-width row of `BENCH_batch.json` /
+/// `EXPERIMENTS.md`. It is a full [`Word`]: every engine, slab and
+/// executor is generic over the lane word, so `BitSlab<W512>` works
+/// end to end, and the `word_equivalence` suite pins it lane-for-lane
+/// against the other two words.
+///
+/// ```
+/// use bitnum::batch::{Word, W512};
+///
+/// let mut w = W512::ZERO;
+/// w.set_bit(3);
+/// w.set_bit(500);
+/// assert!(w.bit(500) && !w.bit(499));
+/// assert_eq!(w.count_ones(), 2);
+/// assert_eq!(w.limb(7), 1 << (500 - 448));
+/// assert_eq!(W512::lane_mask(512), W512::ONES);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct W512(pub [u64; 8]);
+
+impl std::fmt::Debug for W512 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // High limb first, as one 512-bit hex number, like `W256`.
+        write!(f, "W512(0x")?;
+        for (i, limb) in self.0.iter().rev().enumerate() {
+            if i > 0 {
+                write!(f, "_")?;
+            }
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl BitAnd for W512 {
+    type Output = Self;
+    fn bitand(self, rhs: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] & rhs.0[i]))
+    }
+}
+
+impl BitOr for W512 {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] | rhs.0[i]))
+    }
+}
+
+impl BitXor for W512 {
+    type Output = Self;
+    fn bitxor(self, rhs: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] ^ rhs.0[i]))
+    }
+}
+
+impl Not for W512 {
+    type Output = Self;
+    fn not(self) -> Self {
+        Self(std::array::from_fn(|i| !self.0[i]))
+    }
+}
+
+impl Word for W512 {
+    const LANES: usize = 512;
+    const LIMBS: usize = 8;
+    const ZERO: Self = Self([0; 8]);
+    const ONES: Self = Self([u64::MAX; 8]);
+
+    fn lane_mask(lanes: usize) -> Self {
+        assert!(
+            (1..=Self::LANES).contains(&lanes),
+            "lanes must be in 1..={}, got {lanes}",
+            Self::LANES
+        );
+        Self(std::array::from_fn(|i| {
+            match lanes.saturating_sub(64 * i) {
+                0 => 0,
+                rem if rem >= 64 => u64::MAX,
+                rem => (1u64 << rem) - 1,
+            }
+        }))
+    }
+
+    fn bit(self, lane: usize) -> bool {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        (self.0[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, lane: usize) {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        self.0[lane / 64] |= 1 << (lane % 64);
+    }
+
+    fn clear_bit(&mut self, lane: usize) {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        self.0[lane / 64] &= !(1 << (lane % 64));
+    }
+
+    fn count_ones(self) -> u32 {
+        self.0.iter().map(|limb| limb.count_ones()).sum()
+    }
+
+    fn limb(self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    fn set_limb(&mut self, i: usize, value: u64) {
+        self.0[i] = value;
+    }
+}
+
 /// The workspace-wide default slab word: [`W256`], or [`u64`] when the
 /// build sets `--cfg vlcsa_word64` (the CI word-width matrix).
 ///
@@ -348,6 +470,23 @@ mod tests {
     #[test]
     fn w256_word_laws() {
         check_word_laws::<W256>();
+    }
+
+    #[test]
+    fn w512_word_laws() {
+        check_word_laws::<W512>();
+    }
+
+    #[test]
+    fn w512_partial_masks_cross_limbs() {
+        let m = W512::lane_mask(300);
+        assert_eq!(m.limb(3), u64::MAX);
+        assert_eq!(m.limb(4), (1u64 << 44) - 1);
+        assert_eq!(m.limb(5), 0);
+        assert_eq!(W512::lane_mask(512), W512::ONES);
+        let s = format!("{:?}", W512::from_low(0x10));
+        assert!(s.starts_with("W512(0x0000"), "{s}");
+        assert!(s.ends_with("0000000000000010)"), "{s}");
     }
 
     #[test]

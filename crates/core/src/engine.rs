@@ -398,6 +398,43 @@ impl<W: Word> Registry<W> {
         Self { width, engines }
     }
 
+    /// Builds a registry from an explicit engine table — the injection
+    /// seam for synthetic families: head-of-line isolation tests and the
+    /// serve bench's `lane_isolation` dimension wrap a real engine in a
+    /// gate (or a sleep) and register it alongside the production table.
+    /// Lookups are first-match by name, so do not register duplicates.
+    ///
+    /// ```
+    /// use vlcsa::engine::Registry;
+    ///
+    /// let mut engines = Registry::for_width(16).into_engines();
+    /// engines.truncate(2);
+    /// let registry = Registry::from_engines(16, engines);
+    /// assert_eq!(registry.names(), ["ripple", "cla4"]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty or any engine's width is not `width`.
+    pub fn from_engines(width: usize, engines: Vec<Box<dyn Engine<W>>>) -> Self {
+        assert!(!engines.is_empty(), "a registry needs at least one engine");
+        for engine in &engines {
+            assert_eq!(
+                engine.width(),
+                width,
+                "engine {} is built for another width",
+                engine.name()
+            );
+        }
+        Self { width, engines }
+    }
+
+    /// Unwraps the engine table, so callers can extend the production
+    /// table and rebuild via [`Registry::from_engines`].
+    pub fn into_engines(self) -> Vec<Box<dyn Engine<W>>> {
+        self.engines
+    }
+
     /// The width every engine was built for.
     pub fn width(&self) -> usize {
         self.width

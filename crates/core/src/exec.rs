@@ -168,20 +168,27 @@ impl Executor {
                 *slot = Some(engine.add_batch(ca, cb));
             }
         } else {
-            // Contiguous shards of whole chunks; each scoped thread fills
-            // its own slice of the outcome table, so the merge below reads
-            // pure chunk order and never observes scheduling.
+            // Contiguous shards of whole chunks; each shard fills its own
+            // slice of the outcome table, so the merge below reads pure
+            // chunk order and never observes scheduling. Shard 0 runs on
+            // the calling thread — a serve lane worker contributes its own
+            // core instead of parking in `scope` while `threads` children
+            // do all the work, so N configured threads spawn N-1.
             let shard = chunk_count.div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (t, slots) in outcomes.chunks_mut(shard).enumerate() {
-                    let base = t * shard;
-                    scope.spawn(move || {
-                        for (off, slot) in slots.iter_mut().enumerate() {
-                            let i = base + off;
-                            *slot = Some(engine.add_batch(&a.chunks()[i], &b.chunks()[i]));
-                        }
-                    });
+            let run_shard = |base: usize, slots: &mut [Option<BatchOutcome<W>>]| {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let i = base + off;
+                    *slot = Some(engine.add_batch(&a.chunks()[i], &b.chunks()[i]));
                 }
+            };
+            std::thread::scope(|scope| {
+                let mut shards = outcomes.chunks_mut(shard).enumerate();
+                let first = shards.next().expect("workers > 1 implies chunks > 1");
+                for (t, slots) in shards {
+                    let base = t * shard;
+                    scope.spawn(move || run_shard(base, slots));
+                }
+                run_shard(0, first.1);
             });
         }
         let mut chunks = Vec::with_capacity(chunk_count);

@@ -195,6 +195,119 @@ impl<T, W: Word> Default for GroupBuilder<T, W> {
     }
 }
 
+/// The single-bucket batching window of one `(engine, width)` worker lane.
+///
+/// A per-lane serving pipeline already knows every request it sees shares
+/// one engine and one width — the lane *is* that bucket — so the
+/// per-push bucket search of [`GroupBuilder`] (a linear scan plus a string
+/// compare) is pure overhead on its hot path. `LaneBuilder` drops it:
+/// pushes append straight onto the lane's two [`SlabBuilder`]s, and
+/// [`LaneBuilder::drain`] seals at most one [`IssueGroup`].
+///
+/// ```
+/// use bitnum::UBig;
+/// use vlcsa::group::LaneBuilder;
+///
+/// let mut lane: LaneBuilder<u32> = LaneBuilder::new("vlcsa1", 16);
+/// lane.push(UBig::from_u128(40, 16), UBig::from_u128(2, 16), 7);
+/// let group = lane.drain().expect("one pending lane");
+/// assert_eq!(group.engine, "vlcsa1");
+/// assert_eq!(group.tags, vec![7]);
+/// assert!(lane.drain().is_none()); // an empty window drains to nothing
+/// ```
+#[derive(Debug)]
+pub struct LaneBuilder<T, W: Word = DefaultWord> {
+    engine: String,
+    width: usize,
+    a: SlabBuilder<W>,
+    b: SlabBuilder<W>,
+    tags: Vec<T>,
+}
+
+impl<T, W: Word> LaneBuilder<T, W> {
+    /// Creates the empty window of the `(engine, width)` lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`bitnum::MAX_WIDTH`]
+    /// (the [`SlabBuilder`] contract).
+    pub fn new(engine: impl Into<String>, width: usize) -> Self {
+        Self {
+            engine: engine.into(),
+            width,
+            a: SlabBuilder::new(width),
+            b: SlabBuilder::new(width),
+            tags: Vec::new(),
+        }
+    }
+
+    /// The engine every request of this lane runs on.
+    pub fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    /// The operand width of every request of this lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Queues one request. Lane submitters validate width upstream (the
+    /// lane was *selected* by width), so a mismatch here is a routing bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand's width is not the lane width.
+    pub fn push(&mut self, a: UBig, b: UBig, tag: T) {
+        assert_eq!(a.width(), self.width, "operand width off the lane width");
+        assert_eq!(b.width(), self.width, "operand width off the lane width");
+        self.a.push_lane(&a);
+        self.b.push_lane(&b);
+        self.tags.push(tag);
+    }
+
+    /// Queues one request whose operands are raw little-endian limb runs —
+    /// the zero-copy path of [`GroupBuilder::push_limbs`], minus the
+    /// bucket search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not exactly `width.div_ceil(64)` limbs
+    /// or carries bits at or above the lane width.
+    pub fn push_limbs(&mut self, a: &[u64], b: &[u64], tag: T) {
+        self.a.push_lane_limbs(a);
+        self.b.push_lane_limbs(b);
+        self.tags.push(tag);
+    }
+
+    /// Pending lanes in the open window.
+    pub fn lanes(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Seals the window into its [`IssueGroup`] and resets the builder.
+    /// An empty window drains to `None` — no slab, no executor, no thread,
+    /// exactly like [`GroupBuilder::drain`]'s empty vector.
+    pub fn drain(&mut self) -> Option<IssueGroup<T, W>> {
+        if self.tags.is_empty() {
+            return None;
+        }
+        let a = std::mem::replace(&mut self.a, SlabBuilder::new(self.width));
+        let b = std::mem::replace(&mut self.b, SlabBuilder::new(self.width));
+        Some(IssueGroup {
+            engine: self.engine.clone(),
+            width: self.width,
+            a: a.finish(),
+            b: b.finish(),
+            tags: std::mem::take(&mut self.tags),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +419,67 @@ mod tests {
     fn mismatched_operand_widths_panic() {
         GroupBuilder::<(), bitnum::batch::DefaultWord>::new().push(
             "ripple",
+            UBig::zero(8),
+            UBig::zero(16),
+            (),
+        );
+    }
+
+    #[test]
+    fn lane_builder_equals_group_builder_single_bucket() {
+        // The lane window is observationally the one-bucket GroupBuilder:
+        // same group, same lane order, same tags, for mixed value/limb
+        // pushes — and it resets cleanly across windows.
+        let mut rng = Xoshiro256::seed_from_u64(0xA11E);
+        let mut lane: LaneBuilder<usize> = LaneBuilder::new("vlcsa2", 100);
+        let mut reference: GroupBuilder<usize> = GroupBuilder::new();
+        assert_eq!(lane.engine(), "vlcsa2");
+        assert_eq!(lane.width(), 100);
+        for window in 0..3 {
+            for i in 0..70usize {
+                let a = UBig::random(100, &mut rng);
+                let b = UBig::random(100, &mut rng);
+                if i % 3 == 0 {
+                    lane.push_limbs(a.limbs(), b.limbs(), window * 100 + i);
+                    reference.push_limbs("vlcsa2", 100, a.limbs(), b.limbs(), window * 100 + i);
+                } else {
+                    lane.push(a.clone(), b.clone(), window * 100 + i);
+                    reference.push("vlcsa2", a, b, window * 100 + i);
+                }
+            }
+            assert_eq!(lane.lanes(), 70);
+            assert!(!lane.is_empty());
+            let group = lane.drain().expect("70 pending lanes");
+            let mut expect = reference.drain();
+            assert_eq!(expect.len(), 1);
+            assert_eq!(group, expect.remove(0), "window {window}");
+            assert!(lane.is_empty());
+            assert!(lane.drain().is_none());
+        }
+    }
+
+    #[test]
+    fn lane_builder_groups_run_exactly() {
+        let mut lane: LaneBuilder<u32> = LaneBuilder::new("ripple", 16);
+        for i in 0..5u32 {
+            lane.push(
+                UBig::from_u128(u128::from(i), 16),
+                UBig::from_u128(u128::from(i) * 2, 16),
+                i,
+            );
+        }
+        let group = lane.drain().unwrap();
+        let registry = Registry::for_width(16);
+        let out = Executor::new(1).run(registry.get("ripple").unwrap(), &group.a, &group.b);
+        for (l, tag) in group.tags.iter().enumerate() {
+            assert_eq!(out.sum.lane(l).to_u128(), Some(u128::from(*tag) * 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "off the lane width")]
+    fn lane_builder_rejects_off_width_operands() {
+        LaneBuilder::<(), bitnum::batch::DefaultWord>::new("ripple", 8).push(
             UBig::zero(8),
             UBig::zero(16),
             (),

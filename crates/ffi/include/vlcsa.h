@@ -91,6 +91,22 @@ typedef struct vlcsa_stats {
     uint64_t word_bits;    /* lanes per slab word (64 or 256)       */
 } vlcsa_stats_t;
 
+/* Engine-name capacity of vlcsa_lane_stats_t, including the NUL. */
+#define VLCSA_LANE_NAME_CAP 32
+
+/* One live (engine, width) lane of the scale-out runtime: each lane
+ * owns its own ingress queue, batching window and workers, so these
+ * depths are per-lane backlogs, not shares of a global queue. */
+typedef struct vlcsa_lane_stats {
+    /* Concrete engine name running this lane (NUL-terminated,
+     * truncated to fit). "auto" traffic appears under the engine the
+     * router picked. */
+    char engine[VLCSA_LANE_NAME_CAP];
+    size_t width;       /* operand width of this lane               */
+    uint64_t depth;     /* requests queued ahead of its batcher     */
+    uint64_t occupancy; /* lanes pending in its open window         */
+} vlcsa_lane_stats_t;
+
 /* --- Lifecycle -------------------------------------------------------- */
 
 /* Creates an engine handle; writes it to *out on VLCSA_OK. */
@@ -140,6 +156,17 @@ int vlcsa_poll(vlcsa_engine_t *engine, uint64_t ticket, uint64_t *sum,
 
 /* Snapshots the service counters into *out. */
 int vlcsa_stats(vlcsa_engine_t *engine, vlcsa_stats_t *out);
+
+/* Number of live (engine, width) lanes (lanes spin up on first use
+ * and live until shutdown). Returns 0 on a null or dead handle. */
+size_t vlcsa_lane_count(vlcsa_engine_t *engine);
+
+/* Snapshots up to cap per-lane rows into out and writes the total
+ * number of live lanes to *count (which may exceed cap — call
+ * vlcsa_lane_count or retry with a larger buffer). out may be NULL
+ * when cap is 0. */
+int vlcsa_lanes(vlcsa_engine_t *engine, vlcsa_lane_stats_t *out,
+                size_t cap, size_t *count);
 
 /* Last error text: the handle's, or the calling thread's when engine
  * is NULL or not live. Never NULL; possibly empty. */

@@ -18,9 +18,12 @@
 //! * [`vlcsa_submit`] / [`vlcsa_poll`] — the asynchronous ticket API:
 //!   submissions batch through the same window the TCP server uses, so
 //!   a burst of tickets coalesces into wide issue groups;
-//! * [`vlcsa_stats`] / [`vlcsa_last_error`] — aggregate counters
-//!   (lanes, stalls, issue groups, queue depth) and per-thread /
-//!   per-handle error text.
+//! * [`vlcsa_stats`] / [`vlcsa_lane_count`] / [`vlcsa_lanes`] /
+//!   [`vlcsa_last_error`] — aggregate counters (lanes, stalls, issue
+//!   groups, queue depth), per-`(engine, width)` lane snapshots (each
+//!   lane's own ingress backlog and window occupancy — the scale-out
+//!   runtime's unit of isolation), and per-thread / per-handle error
+//!   text.
 //!
 //! # Boundary contract
 //!
@@ -113,6 +116,29 @@ pub struct VlcsaStats {
     pub window_lanes: u64,
     /// Lanes per slab word this build batches into (64 or 256).
     pub word_bits: u64,
+}
+
+/// Engine-name capacity of [`VlcsaLaneStats`], including the NUL —
+/// must match `VLCSA_LANE_NAME_CAP` in `include/vlcsa.h`.
+pub const VLCSA_LANE_NAME_CAP: usize = 32;
+
+/// One live `(engine, width)` lane's queue snapshot — must stay
+/// layout-identical to `vlcsa_lane_stats_t` in `include/vlcsa.h`. Each
+/// lane owns its own ingress queue, batching window and workers, so
+/// `depth`/`occupancy` are per-lane backlogs, not shares of a global
+/// queue.
+#[repr(C)]
+pub struct VlcsaLaneStats {
+    /// Concrete engine name running this lane, NUL-terminated and
+    /// truncated to fit; `auto` traffic appears under the engine the
+    /// router picked.
+    pub engine: [c_char; VLCSA_LANE_NAME_CAP],
+    /// Operand width of this lane.
+    pub width: usize,
+    /// Requests queued ahead of this lane's batcher.
+    pub depth: u64,
+    /// Lanes pending in this lane's open batching window.
+    pub occupancy: u64,
 }
 
 /// One ticket's parking slot: filled by the worker's reply callback,
@@ -627,6 +653,79 @@ pub unsafe extern "C" fn vlcsa_stats(engine: *mut VlcsaEngine, out: *mut VlcsaSt
             window_lanes: report.window_lanes as u64,
             word_bits: report.word_bits as u64,
         };
+        VLCSA_OK
+    })
+}
+
+/// The number of live `(engine, width)` lanes on this handle — lanes
+/// spin up on first use and live until shutdown. Returns 0 on a null
+/// or dead handle.
+///
+/// # Safety
+///
+/// `engine` must be null, live, or a previously valid handle (the
+/// live-handle registry screens the rest).
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_lane_count(engine: *mut VlcsaEngine) -> usize {
+    guarded(|| match deref_handle(engine) {
+        // `guarded` wants a c_int; the lane count is bounded by the
+        // engine-family count times the widths this handle touched.
+        Ok(e) => e.service.stats().lanes.len() as c_int,
+        Err(_) => 0,
+    })
+    .max(0) as usize
+}
+
+/// Snapshots up to `cap` per-lane rows into `out` and writes the total
+/// number of live lanes to `*count`. The total may exceed `cap` — the
+/// caller sizes the buffer via [`vlcsa_lane_count`] or retries larger;
+/// the copied prefix is still valid either way.
+///
+/// # Safety
+///
+/// `out` must point to `cap` writable [`VlcsaLaneStats`] (or be null
+/// when `cap` is 0) and `count` to writable storage for one `size_t`.
+#[no_mangle]
+pub unsafe extern "C" fn vlcsa_lanes(
+    engine: *mut VlcsaEngine,
+    out: *mut VlcsaLaneStats,
+    cap: usize,
+    count: *mut usize,
+) -> c_int {
+    guarded(|| {
+        let e = match deref_handle(engine) {
+            Ok(e) => e,
+            Err(code) => return code,
+        };
+        if count.is_null() {
+            return fail(Some(e), VLCSA_ERR_NULL, "count must be non-null");
+        }
+        if out.is_null() && cap != 0 {
+            return fail(Some(e), VLCSA_ERR_NULL, "out must be non-null when cap > 0");
+        }
+        let lanes = e.service.stats().lanes;
+        *count = lanes.len();
+        let copy = cap.min(lanes.len());
+        if copy > 0 {
+            for (slot, lane) in std::slice::from_raw_parts_mut(out, copy)
+                .iter_mut()
+                .zip(&lanes)
+            {
+                let mut name = [0 as c_char; VLCSA_LANE_NAME_CAP];
+                for (dst, src) in name
+                    .iter_mut()
+                    .zip(lane.engine.bytes().take(VLCSA_LANE_NAME_CAP - 1))
+                {
+                    *dst = src as c_char;
+                }
+                *slot = VlcsaLaneStats {
+                    engine: name,
+                    width: lane.width,
+                    depth: lane.depth as u64,
+                    occupancy: lane.occupancy as u64,
+                };
+            }
+        }
         VLCSA_OK
     })
 }

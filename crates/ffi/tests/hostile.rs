@@ -297,3 +297,36 @@ fn tickets_are_single_use_and_unknown_tickets_fail() {
     );
     assert_eq!(unsafe { vlcsa_free(handle) }, VLCSA_OK);
 }
+
+/// The lane-introspection entry points fail closed exactly like the
+/// rest of the surface: null/dead handles, null out-params, and a
+/// non-zero cap with a null buffer are all rejected with stable codes
+/// and error text, never a crash.
+#[test]
+fn lane_introspection_rejects_null_and_dead_handles() {
+    assert_eq!(unsafe { vlcsa_ffi::vlcsa_lane_count(ptr::null_mut()) }, 0);
+    let mut count = 7usize;
+    assert_eq!(
+        unsafe { vlcsa_ffi::vlcsa_lanes(ptr::null_mut(), ptr::null_mut(), 0, &mut count) },
+        vlcsa_ffi::VLCSA_ERR_NULL
+    );
+    assert_eq!(count, 7, "count untouched on failure");
+
+    let handle = init_ok(64);
+    assert_eq!(
+        unsafe { vlcsa_ffi::vlcsa_lanes(handle, ptr::null_mut(), 0, ptr::null_mut()) },
+        vlcsa_ffi::VLCSA_ERR_NULL
+    );
+    // cap > 0 demands a buffer.
+    assert_eq!(
+        unsafe { vlcsa_ffi::vlcsa_lanes(handle, ptr::null_mut(), 4, &mut count) },
+        vlcsa_ffi::VLCSA_ERR_NULL
+    );
+    assert_eq!(unsafe { vlcsa_free(handle) }, VLCSA_OK);
+    // Dead handle after free.
+    assert_eq!(unsafe { vlcsa_ffi::vlcsa_lane_count(handle) }, 0);
+    assert_eq!(
+        unsafe { vlcsa_ffi::vlcsa_lanes(handle, ptr::null_mut(), 0, &mut count) },
+        vlcsa_ffi::VLCSA_ERR_BAD_HANDLE
+    );
+}

@@ -189,3 +189,59 @@ fn auto_routed_tickets_batch_and_report_groups() {
     assert_eq!(stats.word_bits as usize, vlcsa_word_bits());
     assert_eq!(unsafe { vlcsa_free(handle) }, VLCSA_OK);
 }
+
+/// The per-lane introspection surface: after traffic on one concrete
+/// engine, exactly one `(engine, width)` lane exists, its name and
+/// width come back through the C struct, and a drained handle reports
+/// empty per-lane backlogs. A second width on the same handle is not
+/// possible (handles are width-bound), so the multi-lane shape is
+/// exercised via `auto` in the burst test above feeding several
+/// engines; here the contract is the snapshot layout itself.
+#[test]
+fn lane_snapshots_report_engine_width_and_drained_backlog() {
+    let width = 96usize;
+    let handle = init(c"carry-select", width);
+    // No traffic yet: lanes spin up on first use.
+    assert_eq!(unsafe { vlcsa_ffi::vlcsa_lane_count(handle) }, 0);
+    let mut count = usize::MAX;
+    assert_eq!(
+        unsafe { vlcsa_ffi::vlcsa_lanes(handle, ptr::null_mut(), 0, &mut count) },
+        VLCSA_OK
+    );
+    assert_eq!(count, 0);
+
+    let mut rng = SplitMix64::seed_from_u64(0x1a9e5);
+    for _ in 0..8 {
+        let (a, b) = (UBig::random(width, &mut rng), UBig::random(width, &mut rng));
+        let reference = BatchRipple::new(width);
+        let (want_sum, want_cout) = reference.add_one(&a, &b);
+        let (sum, cout, _) = ffi_add(handle, width, &a, &b);
+        assert_eq!(sum, want_sum);
+        assert_eq!(cout, want_cout);
+    }
+
+    assert_eq!(unsafe { vlcsa_ffi::vlcsa_lane_count(handle) }, 1);
+    let zeroed = || vlcsa_ffi::VlcsaLaneStats {
+        engine: [0; vlcsa_ffi::VLCSA_LANE_NAME_CAP],
+        width: 0,
+        depth: u64::MAX,
+        occupancy: u64::MAX,
+    };
+    // A too-small buffer still reports the true total and fills the
+    // prefix it was given.
+    let mut rows = [zeroed(), zeroed()];
+    let mut count = 0usize;
+    assert_eq!(
+        unsafe { vlcsa_ffi::vlcsa_lanes(handle, rows.as_mut_ptr(), rows.len(), &mut count) },
+        VLCSA_OK
+    );
+    assert_eq!(count, 1);
+    let name = unsafe { std::ffi::CStr::from_ptr(rows[0].engine.as_ptr()) };
+    assert_eq!(name.to_str().expect("engine name is UTF-8"), "carry-select");
+    assert_eq!(rows[0].width, width);
+    // Blocking adds have all drained: no queued requests, no open window.
+    assert_eq!((rows[0].depth, rows[0].occupancy), (0, 0));
+    // The untouched second row really was untouched.
+    assert_eq!(rows[1].width, 0);
+    assert_eq!(unsafe { vlcsa_free(handle) }, VLCSA_OK);
+}

@@ -15,23 +15,29 @@
 //!
 //! The layers, bottom up:
 //!
-//! * [`queue`] — the bounded MPMC queue (backpressure + clean shutdown);
+//! * [`queue`] — the bounded MPMC queues, plain and sharded
+//!   (backpressure + clean shutdown);
 //! * [`protocol`] — the newline-delimited text wire format;
 //! * [`binary`] — wire protocol v2: length-prefixed frames whose operands
 //!   are raw little-endian limbs, negotiated per connection via a `HELLO`
 //!   line ([`Client::connect_binary`]) — the zero-copy ingress path;
-//! * [`service`] — the transport-independent core: validation, the
-//!   batching window over [`vlcsa::group::GroupBuilder`], the worker pool;
+//! * [`service`] — the transport-independent core: validation and
+//!   routing, then per-`(engine, width)` worker lanes, each owning a
+//!   sharded ingress queue, a batching window over
+//!   [`vlcsa::group::LaneBuilder`] and its own worker pool — a stalling
+//!   engine head-of-line-blocks only its own lane;
 //! * [`session`] — transport-independent request dispatch over sink
 //!   traits, shared by the TCP server and socket-free embedders (the
 //!   `vlcsa-ffi` C ABI);
 //! * [`server`] / [`client`] — the TCP front-end and the client library.
 //!
-//! Requests may also name the pseudo-engine `auto`: the batcher resolves
-//! it per issue group through [`vlcsa::route::Router`] — EWMA cycles/op
+//! Requests may also name the pseudo-engine `auto`: submitters resolve it
+//! per request through [`vlcsa::route::Router`] — EWMA cycles/op
 //! estimates fed by every completed group, degrading to a fixed-latency
-//! family when the `SLO <micros>` p99 budget is breached. `STATS` reports
-//! the current route per width and the budget in force.
+//! family when the `SLO <micros>` p99 budget is breached — and the
+//! request then rides the chosen engine's lane. `STATS` reports the
+//! current route per width, the budget in force, and every lane's queue
+//! depth and window occupancy.
 //!
 //! # Quick start
 //!
@@ -62,23 +68,30 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// The default build carries no `unsafe` at all. The `reactor` feature
+// needs raw epoll syscalls, so there the crate-wide wall drops to `deny`
+// and exactly one module (`reactor::sys` and its call sites) opts out
+// with per-site `SAFETY` arguments.
+#![cfg_attr(not(feature = "reactor"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
 pub mod client;
 pub mod protocol;
 pub mod queue;
+#[cfg(feature = "reactor")]
+mod reactor;
 pub mod server;
 pub mod service;
 pub mod session;
 
 pub use client::{AddResponse, Client, ClientError};
 pub use protocol::{
-    EngineStats, ErrorCode, Request, RequestError, Response, SloAction, StatsReport,
+    EngineStats, ErrorCode, LaneStats, Request, RequestError, Response, SloAction, StatsReport,
 };
 pub use server::Server;
 pub use service::{AddResult, RegistryCache, ServeConfig, Service, SubmitError};
-pub use session::{FrameSink, ResponseSink};
+pub use session::{ByteSession, FeedOutcome, FrameSink, ResponseSink};
 pub use vlcsa::program::Program;
 pub use vlcsa::route::{RouteStat, Router, AUTO_ENGINE};

@@ -41,7 +41,11 @@
 //! the slab word width, the SLO budget (`slo=<micros>` or `slo=off`),
 //! per-protocol request counters (`proto_text=<n> proto_bin=<n>`: lines
 //! and frames the connection handlers have answered, across the text
-//! protocol and the binary framing of [`crate::binary`]) —
+//! protocol and the binary framing of [`crate::binary`]), the live lane
+//! count (`lanes_total=<n>`, with one
+//! `lane=<engine>:<width>:depth=<n>:occupancy=<n>` token per
+//! `(engine, width)` worker lane traffic has spun up — the global
+//! `queue_depth`/`window_lanes` are the sums of the per-lane gauges) —
 //! followed by one `engine=<name>:<lanes>:<stalls>:<groups>` token per engine that
 //! has served traffic, from which per-engine stall rates derive
 //! (`stalls / lanes`), and one `route=<width>:<engine>:<ok|degraded>`
@@ -497,10 +501,31 @@ impl EngineStats {
     }
 }
 
+/// One serve lane's live gauges: the `(engine, width)` pair it runs, its
+/// ingress queue depth and its open batching-window occupancy — the
+/// `lane=<engine>:<width>:depth=<n>:occupancy=<n>` token of `STATS`.
+///
+/// Lanes are created on demand by traffic, so an idle server reports
+/// none; the global `queue_depth`/`window_lanes` scalars are the sums of
+/// these per-lane gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStats {
+    /// The engine this lane runs (`auto` is resolved before lanes, so
+    /// this is always a concrete name).
+    pub engine: String,
+    /// The operand width this lane batches.
+    pub width: usize,
+    /// Requests queued in the lane's sharded ingress, ahead of its
+    /// batcher.
+    pub depth: usize,
+    /// Lanes pending in the lane's open batching window.
+    pub occupancy: usize,
+}
+
 /// The `STATS` snapshot: queue depth, batching-window occupancy, the slab
-/// word width, the SLO budget, per-engine stall counters and the `auto`
-/// router's current route per width — everything the single response
-/// line carries.
+/// word width, the SLO budget, per-lane gauges, per-engine stall counters
+/// and the `auto` router's current route per width — everything the
+/// single response line carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReport {
     /// Requests currently queued ahead of the batcher.
@@ -519,6 +544,10 @@ pub struct StatsReport {
     /// Binary-protocol requests answered (every frame the server replied
     /// to; the `HELLO` upgrade line itself counts as neither).
     pub proto_bin: u64,
+    /// Per-lane live gauges, in lane-creation order — empty on an idle
+    /// server (lanes spin up on demand). `queue_depth` and `window_lanes`
+    /// are the sums of the per-lane `depth` and `occupancy`.
+    pub lanes: Vec<LaneStats>,
     /// Per-engine counters, in first-served order.
     pub engines: Vec<EngineStats>,
     /// The router's last decision per width, ascending by width — absent
@@ -540,6 +569,14 @@ impl StatsReport {
     /// The counters of one engine, if it has served traffic.
     pub fn engine(&self, name: &str) -> Option<&EngineStats> {
         self.engines.iter().find(|e| e.name == name)
+    }
+
+    /// The live gauges of one `(engine, width)` lane, if traffic has spun
+    /// it up.
+    pub fn lane(&self, engine: &str, width: usize) -> Option<&LaneStats> {
+        self.lanes
+            .iter()
+            .find(|l| l.engine == engine && l.width == width)
     }
 
     /// Total lanes served across every engine.
@@ -604,7 +641,7 @@ pub fn format_response(response: &Response) -> String {
         Response::Stats(stats) => {
             let mut line = format!(
                 "STATS queue_depth={} window_lanes={} max_lanes={} word_bits={} slo={} \
-                 proto_text={} proto_bin={}",
+                 proto_text={} proto_bin={} lanes_total={}",
                 stats.queue_depth,
                 stats.window_lanes,
                 stats.max_lanes,
@@ -614,7 +651,14 @@ pub fn format_response(response: &Response) -> String {
                     .map_or_else(|| "off".to_string(), |m| m.to_string()),
                 stats.proto_text,
                 stats.proto_bin,
+                stats.lanes.len(),
             );
+            for l in &stats.lanes {
+                line.push_str(&format!(
+                    " lane={}:{}:depth={}:occupancy={}",
+                    l.engine, l.width, l.depth, l.occupancy
+                ));
+            }
             for e in &stats.engines {
                 line.push_str(&format!(
                     " engine={}:{}:{}:{}",
@@ -692,6 +736,7 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                 slo_micros: None,
                 proto_text: 0,
                 proto_bin: 0,
+                lanes: Vec::new(),
                 engines: Vec::new(),
                 routes: Vec::new(),
             };
@@ -700,6 +745,7 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
             let (mut have_queue, mut have_window, mut have_max, mut have_word, mut have_slo) =
                 (false, false, false, false, false);
             let (mut have_ptext, mut have_pbin) = (false, false);
+            let mut lanes_total: Option<usize> = None;
             for token in tokens {
                 let (key, value) = token
                     .split_once('=')
@@ -744,6 +790,33 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                             .parse::<u64>()
                             .map_err(|e| format!("STATS proto_bin: {e}"))?;
                         have_pbin = true;
+                    }
+                    "lanes_total" => {
+                        lanes_total = Some(number(value)?);
+                    }
+                    "lane" => {
+                        let mut parts = value.splitn(4, ':');
+                        let engine = parts
+                            .next()
+                            .filter(|e| !e.is_empty())
+                            .ok_or_else(|| format!("STATS lane `{value}` has no engine"))?;
+                        let width = parts
+                            .next()
+                            .and_then(|w| w.parse::<usize>().ok())
+                            .ok_or_else(|| format!("STATS lane `{value}` has no width"))?;
+                        let gauge = |part: Option<&str>, name: &str| {
+                            part.and_then(|p| p.strip_prefix(&format!("{name}=")))
+                                .and_then(|p| p.parse::<usize>().ok())
+                                .ok_or_else(|| format!("STATS lane `{value}` is missing {name}="))
+                        };
+                        let depth = gauge(parts.next(), "depth")?;
+                        let occupancy = gauge(parts.next(), "occupancy")?;
+                        stats.lanes.push(LaneStats {
+                            engine: engine.to_string(),
+                            width,
+                            depth,
+                            occupancy,
+                        });
                     }
                     "route" => {
                         let mut parts = value.splitn(3, ':');
@@ -800,6 +873,18 @@ pub fn parse_response(line: &str, width: usize) -> Result<Response, String> {
                 || !(have_ptext && have_pbin)
             {
                 return Err("STATS is missing a mandatory key".into());
+            }
+            match lanes_total {
+                // v4-era lines had no lane gauges at all.
+                None => return Err("STATS is missing a mandatory key".into()),
+                Some(total) if total != stats.lanes.len() => {
+                    return Err(format!(
+                        "STATS lanes_total={} but {} lane tokens",
+                        total,
+                        stats.lanes.len()
+                    ))
+                }
+                Some(_) => {}
             }
             Ok(Response::Stats(stats))
         }
@@ -1045,10 +1130,22 @@ mod tests {
             // All the pre-binary keys but no proto counters — a v3-era
             // line must fail.
             "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256 slo=off",
+            // All the pre-lane keys but no lanes_total= — a v4-era line
+            // must fail.
+            "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256 slo=off \
+             proto_text=0 proto_bin=0",
         ] {
             let err = parse_response(line, 1).expect_err(line);
             assert!(err.contains("mandatory"), "{line}: {err}");
         }
+        // A lane-token count that disagrees with lanes_total is truncation.
+        let err = parse_response(
+            "STATS queue_depth=0 window_lanes=0 max_lanes=256 word_bits=256 slo=off \
+             proto_text=0 proto_bin=0 lanes_total=2 lane=ripple:64:depth=0:occupancy=0",
+            1,
+        )
+        .expect_err("count mismatch");
+        assert!(err.contains("lanes_total"), "{err}");
         // And occupancy never divides by zero even on a hand-built report.
         let zeroed = StatsReport {
             queue_depth: 0,
@@ -1058,6 +1155,7 @@ mod tests {
             slo_micros: None,
             proto_text: 0,
             proto_bin: 0,
+            lanes: Vec::new(),
             engines: Vec::new(),
             routes: Vec::new(),
         };
@@ -1074,6 +1172,20 @@ mod tests {
             slo_micros: Some(750),
             proto_text: 420,
             proto_bin: 69,
+            lanes: vec![
+                LaneStats {
+                    engine: "vlcsa1".into(),
+                    width: 64,
+                    depth: 2,
+                    occupancy: 13,
+                },
+                LaneStats {
+                    engine: "ripple".into(),
+                    width: 100,
+                    depth: 1,
+                    occupancy: 4,
+                },
+            ],
             engines: vec![
                 EngineStats {
                     name: "vlcsa1".into(),
@@ -1108,7 +1220,18 @@ mod tests {
             "{line}"
         );
         assert!(line.contains("slo=750"), "{line}");
-        assert!(line.contains("proto_text=420 proto_bin=69"), "{line}");
+        assert!(
+            line.contains("proto_text=420 proto_bin=69 lanes_total=2"),
+            "{line}"
+        );
+        assert!(
+            line.contains("lane=vlcsa1:64:depth=2:occupancy=13"),
+            "{line}"
+        );
+        assert!(
+            line.contains("lane=ripple:100:depth=1:occupancy=4"),
+            "{line}"
+        );
         assert!(line.contains("engine=vlcsa1:1000:251:37"), "{line}");
         assert!(line.contains("route=32:vlcsa2:ok"), "{line}");
         assert!(line.contains("route=64:ripple:degraded"), "{line}");
@@ -1120,6 +1243,9 @@ mod tests {
                 assert_eq!(parsed.total_lanes(), 1064);
                 assert_eq!(parsed.total_stalls(), 251);
                 assert_eq!(parsed.total_groups(), 39);
+                assert_eq!(parsed.lane("vlcsa1", 64).unwrap().depth, 2);
+                assert_eq!(parsed.lane("ripple", 100).unwrap().occupancy, 4);
+                assert!(parsed.lane("vlcsa1", 100).is_none());
             }
             other => panic!("parsed {other:?}"),
         }

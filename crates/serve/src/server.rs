@@ -27,6 +27,14 @@
 //! accepted (worker writes to a shut-down socket are ignored), and join
 //! every thread.
 //!
+//! With the `reactor` cargo feature, the one-reader-thread-per-connection
+//! model is replaced by the [`crate::session::ByteSession`] state machine
+//! driven from an `epoll(7)` reader pool (see the `reactor` module) —
+//! many idle connections, a handful of threads. Everything else — the
+//! service core, the wire protocols, the write path, the shutdown
+//! contract — is identical, and without the feature none of that code is
+//! even compiled.
+//!
 //! # Example
 //!
 //! ```
@@ -44,17 +52,24 @@
 //! ```
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
+#[cfg(not(feature = "reactor"))]
+use std::io::{BufRead, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+#[cfg(not(feature = "reactor"))]
 use crate::binary::{self, FrameReadError, HELLO_LINE};
-use crate::protocol::{ErrorCode, RequestError, Response};
+use crate::protocol::Response;
+#[cfg(not(feature = "reactor"))]
+use crate::protocol::{ErrorCode, RequestError};
 use crate::service::{ServeConfig, Service};
-use crate::session::{self, FrameSink, ResponseSink};
+#[cfg(not(feature = "reactor"))]
+use crate::session;
+use crate::session::{FrameSink, ResponseSink};
 
 /// The text sink over a shared socket: writes one response line,
 /// swallowing write errors — a worker answering after the client hung up
@@ -97,6 +112,7 @@ impl FrameSink for Mutex<TcpStream> {
 /// so text responses and frames can never interleave on one socket. A
 /// `HELLO` anywhere later is just an unknown text command
 /// (`ERR 0 bad-request`).
+#[cfg(not(feature = "reactor"))]
 fn serve_connection(stream: TcpStream, service: &Service) {
     let mut reader = match stream.try_clone() {
         Ok(read_half) => BufReader::new(read_half),
@@ -150,6 +166,7 @@ fn serve_connection(stream: TcpStream, service: &Service) {
 /// - a malformed **body**: dispatch answers an `ERR` frame and the loop
 ///   keeps going — the length prefix already delimited the bad frame, so
 ///   later frames on the same connection are unaffected.
+#[cfg(not(feature = "reactor"))]
 fn serve_binary(
     mut reader: BufReader<TcpStream>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -183,6 +200,45 @@ fn serve_binary(
     }
 }
 
+/// Hands one accepted connection to the epoll reactor: the original
+/// stream becomes the watched read half, a clone becomes the shared
+/// write half, and `on_close` keeps the server's connection registry in
+/// sync with the reactor's. On any setup failure the connection is
+/// dropped (and deregistered) — the same fate a failed `try_clone` has
+/// on the threaded path.
+#[cfg(feature = "reactor")]
+fn attach_to_reactor(
+    reactor: &crate::reactor::Reactor,
+    stream: TcpStream,
+    conn_id: u64,
+    connections: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+) {
+    let deregister = |connections: &Mutex<HashMap<u64, TcpStream>>| {
+        connections
+            .lock()
+            .expect("connection registry lock")
+            .remove(&conn_id);
+    };
+    match stream.try_clone() {
+        Ok(writer) => {
+            let conns = Arc::clone(connections);
+            let on_close = Box::new(move || {
+                conns
+                    .lock()
+                    .expect("connection registry lock")
+                    .remove(&conn_id);
+            });
+            if reactor
+                .register(stream, Arc::new(Mutex::new(writer)), on_close)
+                .is_err()
+            {
+                deregister(connections);
+            }
+        }
+        Err(_) => deregister(connections),
+    }
+}
+
 /// The running TCP server — see the module docs and example.
 pub struct Server {
     addr: SocketAddr,
@@ -191,6 +247,8 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
     reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    #[cfg(feature = "reactor")]
+    reactor: Option<Arc<crate::reactor::Reactor>>,
 }
 
 impl Server {
@@ -207,18 +265,38 @@ impl Server {
     ///
     /// Returns the bind error.
     pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        Self::start_with_service(addr, Service::start(config))
+    }
+
+    /// Like [`Server::start`], but over an already-built [`Service`] —
+    /// the seam for serving custom routers or injected registries
+    /// ([`Service::start_custom`]) over real sockets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (the feature-gated reactor build can also
+    /// surface an `epoll` setup error). The service is dropped — and
+    /// thereby drained — on the error path.
+    pub fn start_with_service(addr: impl ToSocketAddrs, service: Service) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Service::start(config));
+        let service = Arc::new(service);
+        #[cfg(feature = "reactor")]
+        let reactor =
+            crate::reactor::Reactor::start(Arc::clone(&service), Self::reactor_readers())?;
         let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_thread = {
             let stop = Arc::clone(&stop);
+            #[cfg(not(feature = "reactor"))]
             let service = Arc::clone(&service);
             let connections = Arc::clone(&connections);
+            #[cfg(not(feature = "reactor"))]
             let reader_threads = Arc::clone(&reader_threads);
+            #[cfg(feature = "reactor")]
+            let reactor = Arc::clone(&reactor);
             std::thread::spawn(move || {
                 let mut next_conn_id = 0u64;
                 for stream in listener.incoming() {
@@ -240,29 +318,35 @@ impl Server {
                             .expect("connection registry lock")
                             .insert(conn_id, registered);
                     }
-                    let service = Arc::clone(&service);
-                    let conns = Arc::clone(&connections);
-                    let handle = std::thread::spawn(move || {
-                        serve_connection(stream, &service);
-                        // Deregister on exit so a long-running server does
-                        // not accumulate one open fd per dead connection.
-                        conns
-                            .lock()
-                            .expect("connection registry lock")
-                            .remove(&conn_id);
-                    });
-                    // Reap finished readers here, for the same reason.
-                    let finished: Vec<JoinHandle<()>> = {
-                        let mut handles = reader_threads.lock().expect("reader registry lock");
-                        let (done, live) = handles.drain(..).partition(|h| h.is_finished());
-                        *handles = live;
-                        handles.push(handle);
-                        done
-                    };
-                    for done in finished {
-                        // Already returned; join cannot block.
-                        let _ = done.join();
+                    #[cfg(not(feature = "reactor"))]
+                    {
+                        let service = Arc::clone(&service);
+                        let conns = Arc::clone(&connections);
+                        let handle = std::thread::spawn(move || {
+                            serve_connection(stream, &service);
+                            // Deregister on exit so a long-running server
+                            // does not accumulate one open fd per dead
+                            // connection.
+                            conns
+                                .lock()
+                                .expect("connection registry lock")
+                                .remove(&conn_id);
+                        });
+                        // Reap finished readers here, for the same reason.
+                        let finished: Vec<JoinHandle<()>> = {
+                            let mut handles = reader_threads.lock().expect("reader registry lock");
+                            let (done, live) = handles.drain(..).partition(|h| h.is_finished());
+                            *handles = live;
+                            handles.push(handle);
+                            done
+                        };
+                        for done in finished {
+                            // Already returned; join cannot block.
+                            let _ = done.join();
+                        }
                     }
+                    #[cfg(feature = "reactor")]
+                    attach_to_reactor(&reactor, stream, conn_id, &connections);
                 }
             })
         };
@@ -274,7 +358,18 @@ impl Server {
             accept_thread: Some(accept_thread),
             connections,
             reader_threads,
+            #[cfg(feature = "reactor")]
+            reactor: Some(reactor),
         })
+    }
+
+    /// Reader-pool size for the reactor build: a few threads overlap a
+    /// few concurrently-chatty connections; idle ones cost nothing.
+    #[cfg(feature = "reactor")]
+    fn reactor_readers() -> usize {
+        std::thread::available_parallelism()
+            .map_or(2, usize::from)
+            .clamp(1, 4)
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -311,6 +406,14 @@ impl Server {
         {
             let _ = stream.shutdown(Shutdown::Both);
         }
+        // With the sockets already shut down, every pool thread's next
+        // read returns, so the join inside is bounded; the reactor binding
+        // drops at the end of the block, releasing its `Arc<Service>`
+        // clone so `into_inner` below sees the last handle.
+        #[cfg(feature = "reactor")]
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
         let readers: Vec<_> = self
             .reader_threads
             .lock()
@@ -335,6 +438,13 @@ impl Drop for Server {
     /// listener thread cannot outlive the handle.
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // The pool threads notice within their wait timeout, exit, and
+        // drop their reactor handles — no join needed here, mirroring the
+        // reader threads being left to unblock on their own.
+        #[cfg(feature = "reactor")]
+        if let Some(reactor) = &self.reactor {
+            reactor.request_stop();
+        }
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();

@@ -1,30 +1,39 @@
-//! The transport-independent service core: a bounded request queue, a
-//! batching window, and a worker pool over the sharded executor.
+//! The transport-independent service core: per-`(engine, width)` worker
+//! lanes, each owning a sharded ingress queue, a batching window and its
+//! own worker pool over the sharded executor.
 //!
-//! Requests flow through three stages, each its own thread(s):
+//! Requests flow through three stages, the last two private to a lane:
 //!
 //! 1. **Submitters** (connection readers, or [`Service::add_blocking`]
 //!    callers) validate a request — width in range, operands same width,
-//!    engine resolved against the width's [`Registry`] — and push a
-//!    job into the bounded request queue. Validation happens *before*
-//!    queueing so a bad request fails alone, with a structured error, and
-//!    never contaminates an issue group.
-//! 2. **The batcher** pops the first pending job, then keeps popping until
-//!    either `max_lanes` lanes are pending or `max_wait` has elapsed since
-//!    that first job — the batching window — and drains the accumulated
-//!    [`GroupBuilder`] into per-`(engine, width)`
-//!    [`IssueGroup`]s on the
-//!    group queue. A window that expires with nothing pending produces no
-//!    groups and touches no executor (see `GroupBuilder::drain`).
-//! 3. **Workers** pop issue groups, run them through [`Executor::run`],
-//!    and deliver each lane's sum, carry-out and cycle count to the
-//!    request's reply callback — the lane→request mapping is the group's
-//!    `tags` vector.
+//!    engine resolved against the width's [`Registry`], `auto` resolved to
+//!    a concrete engine by the [`Router`] — and push a job into the
+//!    matching lane's bounded, sharded ingress queue, spinning the lane up
+//!    on first use. Validation and routing happen *before* queueing so a
+//!    bad request fails alone, with a structured error, and every queued
+//!    job already knows which lane runs it.
+//! 2. **The lane's batcher** pops the first pending job, then keeps
+//!    popping until either `max_lanes` lanes are pending or `max_wait` has
+//!    elapsed since that first job — the batching window — and drains the
+//!    accumulated [`LaneBuilder`] into one
+//!    [`IssueGroup`] on the lane's group queue. A
+//!    window that expires with nothing pending produces no group and
+//!    touches no executor.
+//! 3. **The lane's workers** pop issue groups, run them through
+//!    [`Executor::run`], and deliver each lane's sum, carry-out and cycle
+//!    count to the request's reply callback — the lane→request mapping is
+//!    the group's `tags` vector.
 //!
-//! [`Service::shutdown`] closes the request queue, lets the batcher drain
-//! what was already accepted, closes the group queue, and joins every
-//! thread — accepted requests are answered, late submissions fail with
-//! [`SubmitError::Stopped`].
+//! Because every lane owns its queues and threads end to end, a stalling
+//! or slow engine head-of-line-blocks only its own traffic: other lanes'
+//! batchers and workers never wait on it. That is the paper's isolation
+//! argument carried into the serving layer — variable-latency wins are
+//! only real if a rare slow completion cannot delay the fast ones.
+//!
+//! [`Service::shutdown`] closes every lane's ingress, lets each batcher
+//! drain what was already accepted, closes the group queues, and joins
+//! every thread — accepted requests are answered, late submissions fail
+//! with [`SubmitError::Stopped`].
 //!
 //! # Example
 //!
@@ -51,23 +60,30 @@ use bitnum::batch::{DefaultWord, Word};
 use bitnum::UBig;
 use vlcsa::engine::{EngineLookupError, Registry};
 use vlcsa::exec::Executor;
-use vlcsa::group::{GroupBuilder, IssueGroup};
+use vlcsa::group::{IssueGroup, LaneBuilder};
 use vlcsa::program::Program;
 use vlcsa::route::{RouteConfig, Router, AUTO_ENGINE};
 
-use crate::protocol::{EngineStats, StatsReport, OPERAND_RANGE, WIDTH_RANGE};
-use crate::queue::{PopResult, Queue};
+use crate::protocol::{EngineStats, LaneStats, StatsReport, OPERAND_RANGE, WIDTH_RANGE};
+use crate::queue::{PopResult, Queue, ShardedQueue};
 
-/// Tuning knobs of the service core.
+/// Stripes of every lane's ingress queue — enough that a handful of
+/// connection readers funnelling into one hot lane spread across distinct
+/// locks, small enough that the batcher's sweep stays cheap.
+const INGRESS_SHARDS: usize = 4;
+
+/// Tuning knobs of the service core. Each knob applies **per lane** (a
+/// lane is one `(engine, width)` pair traffic has spun up): lanes are
+/// fully independent, so their queues and worker pools are too.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Bound of the request queue (backpressure depth).
+    /// Bound of each lane's ingress queue (backpressure depth).
     pub queue_depth: usize,
-    /// Flush the batching window once this many lanes are pending.
+    /// Flush a lane's batching window once this many lanes are pending.
     pub max_lanes: usize,
-    /// Flush the batching window this long after its first request.
+    /// Flush a lane's batching window this long after its first request.
     pub max_wait: Duration,
-    /// Worker threads draining issue groups.
+    /// Worker threads draining each lane's issue groups.
     pub workers: usize,
     /// Threads of the per-group [`Executor`].
     pub exec_threads: usize,
@@ -81,8 +97,8 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     /// Small-host defaults: one 256-lane window, half a millisecond of
-    /// batching patience, two workers, serial executor, default routing
-    /// (no SLO until one is set).
+    /// batching patience, two workers per lane, serial executor, default
+    /// routing (no SLO until one is set).
     fn default() -> Self {
         Self {
             queue_depth: 1024,
@@ -169,34 +185,29 @@ pub type Reply = Box<dyn FnOnce(AddResult) + Send>;
 /// The operand form a job carries: parsed values (the text protocol) or
 /// raw little-endian limb runs (the binary protocol), which the batcher
 /// scatters straight into the slab layout via
-/// [`GroupBuilder::push_limbs`] — no intermediate [`UBig`] anywhere on
+/// [`LaneBuilder::push_limbs`] — no intermediate [`UBig`] anywhere on
 /// the limb path.
 enum Operands {
     /// Two parsed operands of equal width.
     Values { a: UBig, b: UBig },
     /// Two validated limb runs of `width.div_ceil(64)` limbs each.
-    Limbs {
-        width: usize,
-        a: Vec<u64>,
-        b: Vec<u64>,
-    },
+    Limbs { a: Vec<u64>, b: Vec<u64> },
 }
 
-/// A validated request in flight between submitter and batcher.
+/// A validated request in flight between a submitter and its lane's
+/// batcher. The engine and width are the lane's — resolved before
+/// queueing — so the job carries only the operands and the reply.
 struct Job {
-    engine: String,
     operands: Operands,
     reply: Reply,
 }
 
-/// Moves one job into the batching window, whichever operand form it
-/// carries.
-fn push_job(builder: &mut GroupBuilder<Reply>, job: Job) {
+/// Moves one job into the lane's batching window, whichever operand form
+/// it carries.
+fn push_job(builder: &mut LaneBuilder<Reply>, job: Job) {
     match job.operands {
-        Operands::Values { a, b } => builder.push(&job.engine, a, b, job.reply),
-        Operands::Limbs { width, a, b } => {
-            builder.push_limbs(&job.engine, width, &a, &b, job.reply)
-        }
+        Operands::Values { a, b } => builder.push(a, b, job.reply),
+        Operands::Limbs { a, b } => builder.push_limbs(&a, &b, job.reply),
     }
 }
 
@@ -205,13 +216,24 @@ fn push_job(builder: &mut GroupBuilder<Reply>, job: Job) {
 /// not once per request.
 pub struct RegistryCache {
     map: Mutex<HashMap<usize, Arc<Registry>>>,
+    factory: Box<dyn Fn(usize) -> Registry + Send + Sync>,
 }
 
 impl RegistryCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache over the production engine table
+    /// ([`Registry::for_width`]).
     pub fn new() -> Self {
+        Self::with_factory(Registry::for_width)
+    }
+
+    /// Creates an empty cache over a custom per-width registry factory —
+    /// the seam the head-of-line isolation test and the serve bench use to
+    /// register synthetic (gated or sleeping) engines alongside the
+    /// production table, via [`Registry::from_engines`].
+    pub fn with_factory(factory: impl Fn(usize) -> Registry + Send + Sync + 'static) -> Self {
         Self {
             map: Mutex::new(HashMap::new()),
+            factory: Box::new(factory),
         }
     }
 
@@ -225,7 +247,7 @@ impl RegistryCache {
         let mut map = self.map.lock().expect("registry cache lock");
         Arc::clone(
             map.entry(width)
-                .or_insert_with(|| Arc::new(Registry::for_width(width))),
+                .or_insert_with(|| Arc::new((self.factory)(width))),
         )
     }
 }
@@ -236,12 +258,11 @@ impl Default for RegistryCache {
     }
 }
 
-/// Live service counters behind the in-band `STATS` command. The batcher
-/// publishes its window occupancy after every push/drain; workers add each
-/// completed group's lane and stall counts under the group's engine name.
+/// Live service counters behind the in-band `STATS` command. Queue depth
+/// and window occupancy are per-lane gauges (see [`Lane`]); workers add
+/// each completed group's lane and stall counts under the group's engine
+/// name here.
 struct Metrics {
-    /// Lanes pending in the currently-open batching window.
-    window_lanes: AtomicUsize,
     /// Text-protocol requests answered (every non-empty line).
     proto_text: AtomicU64,
     /// Binary frames answered.
@@ -254,7 +275,6 @@ struct Metrics {
 impl Metrics {
     fn new() -> Self {
         Self {
-            window_lanes: AtomicUsize::new(0),
             proto_text: AtomicU64::new(0),
             proto_bin: AtomicU64::new(0),
             engines: Mutex::new(Vec::new()),
@@ -274,29 +294,61 @@ impl Metrics {
     }
 }
 
-/// One issue group in flight between batcher and workers, tagged with
-/// when it was queued: the router's latency observation starts at the
-/// batching decision, so the SLO p99s include executor queueing, not just
-/// the engine run.
+/// One issue group in flight between a lane's batcher and its workers,
+/// tagged with when it was queued: the router's latency observation
+/// starts at the batching decision, so the SLO p99s include executor
+/// queueing, not just the engine run.
 struct QueuedGroup {
     group: IssueGroup<Reply>,
     enqueued: Instant,
 }
 
+/// One `(engine, width)` worker lane: the submit-facing half. The batcher
+/// thread, the group queue and the worker threads it feeds are spawned at
+/// creation and owned by the [`LaneSet`]'s join list; submitters only see
+/// the ingress queue and the window gauge.
+struct Lane {
+    engine: String,
+    width: usize,
+    ingress: ShardedQueue<Job>,
+    /// Lanes pending in the batcher's currently-open window.
+    window_lanes: AtomicUsize,
+}
+
+/// Every live lane plus the join handles of their threads, behind one
+/// lock. The lock is held only to look up / create a lane (rare) and to
+/// snapshot stats — never across a queue operation.
+struct LaneSet {
+    lanes: Vec<Arc<Lane>>,
+    threads: Vec<JoinHandle<()>>,
+    closed: bool,
+}
+
+/// A stable per-thread stripe hint for [`ShardedQueue::push`]: threads
+/// enumerate themselves on first submit, so each connection reader keeps
+/// hitting its own ingress stripe.
+fn shard_hint() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    HINT.with(|h| *h)
+}
+
 /// The running service core — see the module docs for the pipeline shape.
 pub struct Service {
-    requests: Arc<Queue<Job>>,
+    lanes: Mutex<LaneSet>,
     registries: Arc<RegistryCache>,
     metrics: Arc<Metrics>,
     router: Arc<Router>,
-    max_lanes: usize,
-    threads: Vec<JoinHandle<()>>,
+    config: ServeConfig,
 }
 
 impl Service {
-    /// Starts the batcher and worker threads with a production router
-    /// (wall-clock time, registry candidates, `config.route` as its
-    /// tuning, including the initial SLO budget).
+    /// Starts the service with a production router (wall-clock time,
+    /// registry candidates, `config.route` as its tuning, including the
+    /// initial SLO budget). Lanes (and their threads) spin up on demand as
+    /// traffic names `(engine, width)` pairs.
     ///
     /// # Panics
     ///
@@ -315,40 +367,82 @@ impl Service {
     ///
     /// As [`Service::start`].
     pub fn start_with_router(config: ServeConfig, router: Arc<Router>) -> Self {
+        Self::start_custom(config, router, Arc::new(RegistryCache::new()))
+    }
+
+    /// Starts the service over an injected router **and** registry cache —
+    /// the full seam: [`RegistryCache::with_factory`] lets tests and
+    /// benches add synthetic engines (an always-stall gate, a sleeper) to
+    /// the table, and this constructor routes lanes through them.
+    ///
+    /// # Panics
+    ///
+    /// As [`Service::start`].
+    pub fn start_custom(
+        config: ServeConfig,
+        router: Arc<Router>,
+        registries: Arc<RegistryCache>,
+    ) -> Self {
         assert!(
             config.max_lanes >= 1,
             "a batching window needs max_lanes >= 1"
         );
-        assert!(config.workers >= 1, "the service needs at least one worker");
-        let requests: Arc<Queue<Job>> = Arc::new(Queue::new(config.queue_depth));
-        // Groups queue depth: enough that the batcher never blocks on a
-        // slow worker unless every worker is busy with a backlog.
-        let groups: Arc<Queue<QueuedGroup>> = Arc::new(Queue::new(config.workers * 2));
-        let registries = Arc::new(RegistryCache::new());
-        let metrics = Arc::new(Metrics::new());
-        let mut threads = Vec::with_capacity(config.workers + 1);
+        assert!(config.workers >= 1, "a lane needs at least one worker");
+        Self {
+            lanes: Mutex::new(LaneSet {
+                lanes: Vec::new(),
+                threads: Vec::new(),
+                closed: false,
+            }),
+            registries,
+            metrics: Arc::new(Metrics::new()),
+            router,
+            config,
+        }
+    }
+
+    /// The lane serving `(engine, width)`, spun up on first use: its
+    /// batcher and `config.workers` workers are spawned here and their
+    /// handles parked in the [`LaneSet`] for shutdown to join.
+    fn lane_for(&self, engine: &str, width: usize) -> Result<Arc<Lane>, SubmitError> {
+        let mut set = self.lanes.lock().expect("lane set lock");
+        if set.closed {
+            return Err(SubmitError::Stopped);
+        }
+        if let Some(lane) = set
+            .lanes
+            .iter()
+            .find(|l| l.width == width && l.engine == engine)
+        {
+            return Ok(Arc::clone(lane));
+        }
+        let lane = Arc::new(Lane {
+            engine: engine.to_string(),
+            width,
+            ingress: ShardedQueue::new(self.config.queue_depth, INGRESS_SHARDS),
+            window_lanes: AtomicUsize::new(0),
+        });
+        // Group-queue depth: enough that the batcher never blocks on a
+        // slow worker unless every one of this lane's workers is busy
+        // with a backlog.
+        let groups: Arc<Queue<QueuedGroup>> = Arc::new(Queue::new(self.config.workers * 2));
+        let config = self.config;
 
         let batcher = {
-            let requests = Arc::clone(&requests);
+            let lane = Arc::clone(&lane);
             let groups = Arc::clone(&groups);
-            let metrics = Arc::clone(&metrics);
-            let router = Arc::clone(&router);
             std::thread::spawn(move || {
-                let mut builder: GroupBuilder<Reply> = GroupBuilder::new();
-                'accept: while let Some(first) = requests.pop() {
+                let mut builder: LaneBuilder<Reply> = LaneBuilder::new(&lane.engine, lane.width);
+                'accept: while let Some(first) = lane.ingress.pop() {
                     push_job(&mut builder, first);
-                    metrics
-                        .window_lanes
-                        .store(builder.lanes(), Ordering::Relaxed);
+                    lane.window_lanes.store(builder.lanes(), Ordering::Relaxed);
                     let deadline = Instant::now() + config.max_wait;
                     let mut open = true;
                     while builder.lanes() < config.max_lanes {
-                        match requests.pop_deadline(deadline) {
+                        match lane.ingress.pop_deadline(deadline) {
                             PopResult::Item(job) => {
                                 push_job(&mut builder, job);
-                                metrics
-                                    .window_lanes
-                                    .store(builder.lanes(), Ordering::Relaxed);
+                                lane.window_lanes.store(builder.lanes(), Ordering::Relaxed);
                             }
                             PopResult::TimedOut => break,
                             PopResult::Closed => {
@@ -358,18 +452,8 @@ impl Service {
                         }
                     }
                     let drained = builder.drain();
-                    metrics.window_lanes.store(0, Ordering::Relaxed);
-                    for mut group in drained {
-                        // `auto` groups are resolved here, per issue
-                        // group: the whole group runs on the router's
-                        // current pick, so one batching window can still
-                        // send different widths to different engines.
-                        if group.engine == AUTO_ENGINE {
-                            group.engine = router
-                                .route(group.width)
-                                .expect("the registry lists engines at every valid width")
-                                .engine;
-                        }
+                    lane.window_lanes.store(0, Ordering::Relaxed);
+                    if let Some(group) = drained {
                         let queued = QueuedGroup {
                             group,
                             enqueued: Instant::now(),
@@ -385,13 +469,14 @@ impl Service {
                 groups.close();
             })
         };
-        threads.push(batcher);
 
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        threads.push(batcher);
         for _ in 0..config.workers {
             let groups = Arc::clone(&groups);
-            let registries = Arc::clone(&registries);
-            let metrics = Arc::clone(&metrics);
-            let router = Arc::clone(&router);
+            let registries = Arc::clone(&self.registries);
+            let metrics = Arc::clone(&self.metrics);
+            let router = Arc::clone(&self.router);
             let executor = Executor::new(config.exec_threads);
             threads.push(std::thread::spawn(move || {
                 while let Some(QueuedGroup { group, enqueued }) = groups.pop() {
@@ -422,22 +507,18 @@ impl Service {
             }));
         }
 
-        Self {
-            requests,
-            registries,
-            metrics,
-            router,
-            max_lanes: config.max_lanes,
-            threads,
-        }
+        set.lanes.push(Arc::clone(&lane));
+        set.threads.append(&mut threads);
+        Ok(lane)
     }
 
     /// Snapshots the live counters the in-band `STATS` command reports:
-    /// queue depth, batching-window occupancy, the slab word width, and
+    /// per-lane queue depth and window occupancy (and their sums, the
+    /// global `queue_depth`/`window_lanes`), the slab word width, and
     /// per-engine served-lane/stall totals.
     ///
-    /// The snapshot is advisory, not transactional: the queue depth and
-    /// window occupancy move while it is taken. Engine totals are exact —
+    /// The snapshot is advisory, not transactional: the queue depths and
+    /// window occupancies move while it is taken. Engine totals are exact —
     /// a group's lanes and stalls are recorded by the worker that ran it,
     /// before its replies fire.
     pub fn stats(&self) -> StatsReport {
@@ -454,14 +535,28 @@ impl Service {
                 groups: *groups,
             })
             .collect();
+        let lanes: Vec<LaneStats> = self
+            .lanes
+            .lock()
+            .expect("lane set lock")
+            .lanes
+            .iter()
+            .map(|lane| LaneStats {
+                engine: lane.engine.clone(),
+                width: lane.width,
+                depth: lane.ingress.len(),
+                occupancy: lane.window_lanes.load(Ordering::Relaxed),
+            })
+            .collect();
         StatsReport {
-            queue_depth: self.requests.len(),
-            window_lanes: self.metrics.window_lanes.load(Ordering::Relaxed),
-            max_lanes: self.max_lanes,
+            queue_depth: lanes.iter().map(|l| l.depth).sum(),
+            window_lanes: lanes.iter().map(|l| l.occupancy).sum(),
+            max_lanes: self.config.max_lanes,
             word_bits: DefaultWord::LANES,
             slo_micros: self.router.slo(),
             proto_text: self.metrics.proto_text.load(Ordering::Relaxed),
             proto_bin: self.metrics.proto_bin.load(Ordering::Relaxed),
+            lanes,
             engines,
             routes: self.router.routes(),
         }
@@ -496,32 +591,47 @@ impl Service {
         self.router.slo()
     }
 
-    /// Replaces the p99 budget; affects the next routed `auto` group.
+    /// Replaces the p99 budget; affects the next routed `auto` request.
     pub fn set_slo(&self, micros: Option<u64>) {
         self.router.set_slo(micros);
     }
 
-    /// Resolves a submitted engine name to its canonical form: `auto`
-    /// passes through (the batcher resolves it per issue group, so the
-    /// decision uses the freshest estimates), anything else must be a
-    /// registry name at the width.
-    fn canonical_engine(&self, engine: &str, width: usize) -> Result<&'static str, SubmitError> {
+    /// Resolves a submitted engine name to the concrete engine whose lane
+    /// runs it: `auto` asks the [`Router`] (per request, with the current
+    /// estimates — so consecutive `auto` requests can land on different
+    /// lanes as estimates move), anything else must be a registry name at
+    /// the width.
+    fn canonical_engine(&self, engine: &str, width: usize) -> Result<String, SubmitError> {
         if engine == AUTO_ENGINE {
-            return Ok(AUTO_ENGINE);
+            return Ok(self
+                .router
+                .route(width)
+                .expect("the registry lists engines at every valid width")
+                .engine);
         }
         Ok(self
             .registries
             .at(width)
             .lookup(engine)
             .map_err(SubmitError::UnknownEngine)?
-            .name())
+            .name()
+            .to_string())
+    }
+
+    /// Queues one validated job on the `(engine, width)` lane, spinning
+    /// the lane up on first use.
+    fn enqueue(&self, engine: String, width: usize, job: Job) -> Result<(), SubmitError> {
+        let lane = self.lane_for(&engine, width)?;
+        lane.ingress
+            .push(shard_hint(), job)
+            .map_err(|_| SubmitError::Stopped)
     }
 
     /// Validates and queues one addition; `reply` fires from a worker once
-    /// the lane's issue group has run. Blocks while the request queue is
-    /// full (the service's backpressure). The engine may be `auto`: the
-    /// batcher then picks a concrete engine per issue group via the
-    /// [`Router`].
+    /// the lane's issue group has run. Blocks while the lane's ingress
+    /// queue is full (the service's backpressure). The engine may be
+    /// `auto`: the request is then routed to a concrete engine's lane here,
+    /// via the [`Router`].
     ///
     /// # Errors
     ///
@@ -537,20 +647,21 @@ impl Service {
             return Err(SubmitError::BadWidth(width));
         }
         let engine = self.canonical_engine(engine, width)?;
-        self.requests
-            .push(Job {
-                engine: engine.to_string(),
+        self.enqueue(
+            engine,
+            width,
+            Job {
                 operands: Operands::Values { a, b },
                 reply,
-            })
-            .map_err(|_| SubmitError::Stopped)
+            },
+        )
     }
 
     /// Validates and queues one addition whose operands are raw
     /// little-endian limb runs — the zero-copy ingress of the binary
     /// protocol. No [`UBig`] is built anywhere on this path: the limbs are
-    /// validated in place here and the batcher scatters them straight into
-    /// the slab layout ([`GroupBuilder::push_limbs`]).
+    /// validated in place here and the lane's batcher scatters them
+    /// straight into the slab layout ([`LaneBuilder::push_limbs`]).
     ///
     /// # Errors
     ///
@@ -584,13 +695,14 @@ impl Service {
             }
         }
         let engine = self.canonical_engine(engine, width)?;
-        self.requests
-            .push(Job {
-                engine: engine.to_string(),
-                operands: Operands::Limbs { width, a, b },
+        self.enqueue(
+            engine,
+            width,
+            Job {
+                operands: Operands::Limbs { a, b },
                 reply,
-            })
-            .map_err(|_| SubmitError::Stopped)
+            },
+        )
     }
 
     /// Validates and queues one whole reduction program: the program's
@@ -626,13 +738,14 @@ impl Service {
         }
         let engine = self.canonical_engine(engine, width)?;
         let (x, y) = program.csa_pair_scalar(inputs);
-        self.requests
-            .push(Job {
-                engine: engine.to_string(),
+        self.enqueue(
+            engine,
+            width,
+            Job {
                 operands: Operands::Values { a: x, b: y },
                 reply,
-            })
-            .map_err(|_| SubmitError::Stopped)
+            },
+        )
     }
 
     /// Validates and queues one n-operand sum — [`Service::submit_program`]
@@ -693,22 +806,31 @@ impl Service {
         rx.recv().map_err(|_| SubmitError::Stopped)
     }
 
+    /// Closes every lane's ingress and collects the join handles — the
+    /// shared half of [`Service::shutdown`] and `Drop`.
+    fn close_lanes(&self) -> Vec<JoinHandle<()>> {
+        let mut set = self.lanes.lock().expect("lane set lock");
+        set.closed = true;
+        for lane in &set.lanes {
+            lane.ingress.close();
+        }
+        std::mem::take(&mut set.threads)
+    }
+
     /// Stops accepting requests, answers everything already accepted, and
-    /// joins the batcher and workers.
-    pub fn shutdown(mut self) {
-        self.requests.close();
-        for handle in self.threads.drain(..) {
+    /// joins every lane's batcher and workers.
+    pub fn shutdown(self) {
+        for handle in self.close_lanes() {
             handle.join().expect("service thread panicked");
         }
     }
 }
 
 impl Drop for Service {
-    /// A dropped (not shut down) service still closes the queue and joins,
+    /// A dropped (not shut down) service still closes the lanes and joins,
     /// so no thread outlives the handle.
     fn drop(&mut self) {
-        self.requests.close();
-        for handle in self.threads.drain(..) {
+        for handle in self.close_lanes() {
             let _ = handle.join();
         }
     }
@@ -937,6 +1059,69 @@ mod tests {
             }
         }
         assert_eq!(seen, 90);
+        // Three distinct shapes spun up three distinct lanes, each with
+        // idle gauges once everything is answered.
+        let stats = service.stats();
+        assert_eq!(stats.lanes.len(), 3, "{:?}", stats.lanes);
+        for (engine, width) in shapes {
+            let lane = stats.lane(engine, width).expect(engine);
+            assert_eq!((lane.depth, lane.occupancy), (0, 0), "{engine}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn lanes_spin_up_on_demand_and_auto_resolves_to_a_concrete_lane() {
+        let service = Service::start(fast_config());
+        assert!(
+            service.stats().lanes.is_empty(),
+            "idle service has no lanes"
+        );
+        service
+            .add_blocking("ripple", UBig::from_u128(1, 32), UBig::from_u128(2, 32))
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.lanes.len(), 1);
+        assert_eq!(stats.lanes[0].engine, "ripple");
+        assert_eq!(stats.lanes[0].width, 32);
+        // `auto` is resolved before lanes: no lane is ever named `auto`.
+        service
+            .add_blocking("auto", UBig::from_u128(3, 32), UBig::from_u128(4, 32))
+            .unwrap();
+        let stats = service.stats();
+        assert!(
+            stats.lanes.iter().all(|l| l.engine != AUTO_ENGINE),
+            "{:?}",
+            stats.lanes
+        );
+        // The routed request really ran: the route table names width 32.
+        assert!(
+            stats.routes.iter().any(|r| r.width == 32),
+            "{:?}",
+            stats.routes
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn same_engine_different_widths_are_different_lanes() {
+        let service = Service::start(fast_config());
+        for width in [16usize, 64, 100] {
+            service
+                .add_blocking(
+                    "vlcsa1",
+                    UBig::from_u128(5, width),
+                    UBig::from_u128(6, width),
+                )
+                .unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.lanes.len(), 3, "{:?}", stats.lanes);
+        for width in [16usize, 64, 100] {
+            assert!(stats.lane("vlcsa1", width).is_some(), "width {width}");
+        }
+        // One engine counter accumulates across its width lanes.
+        assert_eq!(stats.engine("vlcsa1").unwrap().lanes, 3);
         service.shutdown();
     }
 }

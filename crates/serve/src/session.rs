@@ -24,7 +24,10 @@ use std::sync::Arc;
 
 use vlcsa::route::AUTO_ENGINE;
 
-use crate::binary::{self, BinRequest, ENGINE_ID_AUTO};
+use crate::binary::{
+    self, BinRequest, FrameReadError, ENGINE_ID_AUTO, HEADER_LEN, HELLO_LINE, MAX_FRAME_BODY,
+    PROTOCOL_VERSION,
+};
 use crate::protocol::{
     format_response, parse_request, ErrorCode, Request, RequestError, Response, SloAction,
 };
@@ -295,6 +298,132 @@ pub fn dispatch_binary<S: FrameSink>(
     }
 }
 
+/// How a [`ByteSession::feed`] left the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// The stream is still healthy; feed more bytes as they arrive.
+    Continue,
+    /// The stream is finished — poisoned framing or an undecodable line.
+    /// Any answerable error was already answered through the sink; the
+    /// caller should shut the connection down.
+    Close,
+}
+
+/// The event-driven twin of the server's blocking read loops: an
+/// incremental byte-stream session for transports that deliver bytes in
+/// arbitrary slices (the `reactor` feature's epoll reader pool) instead
+/// of owning a blocking per-connection read loop.
+///
+/// Semantics match `serve_connection` / `serve_binary` in
+/// [`server`](crate::server) exactly:
+///
+/// * text lines are dispatched as they complete; blank lines are ignored
+///   and do not burn the upgrade opportunity;
+/// * a **first** non-empty line equal to [`HELLO_LINE`] upgrades the
+///   session to binary framing — the ack (the upgrade line echoed) leaves
+///   through [`FrameSink`] as raw bytes, the last non-frame output the
+///   connection ever sees;
+/// * framed mode consumes length-delimited frames; an untrustworthy
+///   header (unknown version byte, lying length prefix) answers one `ERR`
+///   frame and reports [`FeedOutcome::Close`];
+/// * a line that is not valid UTF-8 closes the stream, as the blocking
+///   reader's `read_line` error path does.
+///
+/// One instance is one connection's state; callers serialize `feed` per
+/// connection (the reactor holds a per-connection lock). Replies to
+/// batched submissions arrive later, from worker threads, through the
+/// same sink — identical to the blocking front-end.
+pub struct ByteSession<S> {
+    sink: Arc<S>,
+    buf: Vec<u8>,
+    mode: SessionMode,
+    first: bool,
+}
+
+enum SessionMode {
+    Text,
+    Binary { names: Vec<&'static str> },
+}
+
+impl<S: ResponseSink + FrameSink> ByteSession<S> {
+    /// A fresh session in text mode, answering through `sink`.
+    pub fn new(sink: Arc<S>) -> Self {
+        Self {
+            sink,
+            buf: Vec::new(),
+            mode: SessionMode::Text,
+            first: true,
+        }
+    }
+
+    /// Consumes `bytes` — any split, including an empty slice — and
+    /// dispatches every request they complete. Incomplete trailing input
+    /// is buffered for the next call.
+    pub fn feed(&mut self, bytes: &[u8], service: &Service) -> FeedOutcome {
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match &self.mode {
+                SessionMode::Text => {
+                    let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+                        return FeedOutcome::Continue;
+                    };
+                    let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                    let Ok(line) = std::str::from_utf8(&line) else {
+                        return FeedOutcome::Close;
+                    };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if self.first && line.trim_end_matches(['\r', '\n']) == HELLO_LINE {
+                        // The ack is the upgrade line itself; it rides the
+                        // frame sink because it is raw bytes, not a
+                        // `Response`. The exchange counts as neither
+                        // protocol's traffic, as in the blocking loop.
+                        self.sink.send_frame(format!("{HELLO_LINE}\n").as_bytes());
+                        self.mode = SessionMode::Binary {
+                            names: service.registries().at(64).names(),
+                        };
+                        continue;
+                    }
+                    self.first = false;
+                    service.note_text_request();
+                    dispatch_text(line, service, &self.sink);
+                }
+                SessionMode::Binary { names } => {
+                    if self.buf.len() < HEADER_LEN {
+                        return FeedOutcome::Continue;
+                    }
+                    let version = self.buf[0];
+                    let len = u32::from_le_bytes(self.buf[2..6].try_into().expect("4 header bytes"))
+                        as usize;
+                    let poison = if version != PROTOCOL_VERSION {
+                        Some(FrameReadError::BadVersion(version))
+                    } else if len > MAX_FRAME_BODY {
+                        Some(FrameReadError::Oversized(len))
+                    } else {
+                        None
+                    };
+                    if let Some(poison) = poison {
+                        service.note_binary_request();
+                        self.sink.send_frame(&binary::encode_err(&RequestError {
+                            seq: 0,
+                            code: ErrorCode::BadRequest,
+                            message: poison.to_string(),
+                        }));
+                        return FeedOutcome::Close;
+                    }
+                    if self.buf.len() < HEADER_LEN + len {
+                        return FeedOutcome::Continue;
+                    }
+                    let frame: Vec<u8> = self.buf.drain(..HEADER_LEN + len).collect();
+                    service.note_binary_request();
+                    dispatch_binary(frame[1], &frame[HEADER_LEN..], names, service, &self.sink);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::Mutex;
@@ -412,6 +541,123 @@ mod tests {
             lines.contains(&format!("frame:{:#04x}", binary::resp::OK)),
             "{lines:?}"
         );
+        service.shutdown();
+    }
+
+    /// A byte-accurate sink for [`ByteSession`] tests: text responses as
+    /// their wire lines, frames (and the HELLO ack) verbatim.
+    struct Wire(Mutex<Vec<Vec<u8>>>);
+
+    impl ResponseSink for Wire {
+        fn send(&self, response: &Response) {
+            let mut line = format_response(response).into_bytes();
+            line.push(b'\n');
+            self.0.lock().expect("test sink lock").push(line);
+        }
+    }
+
+    impl FrameSink for Wire {
+        fn send_frame(&self, frame: &[u8]) {
+            self.0.lock().expect("test sink lock").push(frame.to_vec());
+        }
+    }
+
+    fn drain_wire(sink: &Arc<Wire>, want: usize) -> Vec<Vec<u8>> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let out = sink.0.lock().expect("test sink lock");
+                if out.len() >= want {
+                    return out.clone();
+                }
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for replies");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn byte_session_reassembles_split_text_lines() {
+        let service = Service::start(ServeConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        });
+        let sink = Arc::new(Wire(Mutex::new(Vec::new())));
+        let mut session = ByteSession::new(Arc::clone(&sink));
+        // A request split mid-token across three feeds dispatches exactly
+        // once, when its newline arrives.
+        assert_eq!(
+            session.feed(b"ADD 7 carry-s", &service),
+            FeedOutcome::Continue
+        );
+        assert_eq!(
+            session.feed(b"elect 32 2 3", &service),
+            FeedOutcome::Continue
+        );
+        assert!(sink.0.lock().expect("test sink lock").is_empty());
+        assert_eq!(session.feed(b"\n", &service), FeedOutcome::Continue);
+        let out = drain_wire(&sink, 1);
+        let line = String::from_utf8(out[0].clone()).expect("text reply");
+        assert!(line.starts_with("OK 7 5 0 "), "{line:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn byte_session_upgrades_and_frames_byte_at_a_time() {
+        let service = Service::start(ServeConfig {
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        });
+        let sink = Arc::new(Wire(Mutex::new(Vec::new())));
+        let mut session = ByteSession::new(Arc::clone(&sink));
+        // Blank lines (even CRLF) before the HELLO do not burn the
+        // upgrade; then a whole ADD frame arrives one byte at a time.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"\r\n");
+        bytes.extend_from_slice(b"HELLO BIN 1\n");
+        bytes.extend_from_slice(&binary::encode_add(5, 0, 64, &[7], &[8]));
+        for b in bytes {
+            assert_eq!(session.feed(&[b], &service), FeedOutcome::Continue);
+        }
+        let out = drain_wire(&sink, 2);
+        assert_eq!(out[0], b"HELLO BIN 1\n".to_vec(), "ack first");
+        assert_eq!(out[1][1], binary::resp::OK, "then the OK frame");
+        let report = service.stats();
+        assert_eq!(
+            report.proto_text, 0,
+            "the upgrade is neither protocol's traffic"
+        );
+        assert_eq!(report.proto_bin, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn byte_session_poisoned_header_answers_err_and_closes() {
+        let service = Service::start(ServeConfig::default());
+        let sink = Arc::new(Wire(Mutex::new(Vec::new())));
+        let mut session = ByteSession::new(Arc::clone(&sink));
+        assert_eq!(
+            session.feed(b"HELLO BIN 1\n", &service),
+            FeedOutcome::Continue
+        );
+        // Version byte 9: untrustworthy header, stream unrecoverable.
+        let header = [9u8, 0x01, 0, 0, 0, 0];
+        assert_eq!(session.feed(&header, &service), FeedOutcome::Close);
+        let out = drain_wire(&sink, 2);
+        assert_eq!(out[1][1], binary::resp::ERR, "{out:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn byte_session_closes_on_invalid_utf8_line() {
+        let service = Service::start(ServeConfig::default());
+        let sink = Arc::new(Wire(Mutex::new(Vec::new())));
+        let mut session = ByteSession::new(Arc::clone(&sink));
+        assert_eq!(
+            session.feed(&[0xff, 0xfe, b'\n'], &service),
+            FeedOutcome::Close
+        );
+        assert!(sink.0.lock().expect("test sink lock").is_empty());
         service.shutdown();
     }
 }

@@ -1,0 +1,305 @@
+//! Head-of-line isolation across serve lanes: a stalled engine must not
+//! delay any other `(engine, width)` lane.
+//!
+//! This is the scale-out runtime's core claim — per-lane batchers, queues
+//! and workers mean a slow engine head-of-line-blocks only its own
+//! traffic — pinned deterministically, with no sleeps: a synthetic
+//! `gated` engine (registered through the [`RegistryCache::with_factory`]
+//! seam) parks its worker inside `add_batch` on a condvar handshake, the
+//! test *observes* the park, drives a full burst through other lanes to
+//! completion while the gate is still closed, and only then releases the
+//! stalled lane. With a shared worker pool and `workers: 1`, step two
+//! would hang forever; with per-lane workers it cannot.
+//!
+//! The scenario runs at a one-limb and a multi-limb width, and the whole
+//! file compiles under both slab words (`DefaultWord` is `W256`, or `u64`
+//! under `--cfg vlcsa_word64`), so the isolation property is pinned for
+//! both word widths.
+
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bitnum::batch::{BitSlab, DefaultWord};
+use bitnum::UBig;
+use vlcsa::batch::BatchOutcome;
+use vlcsa::engine::{Engine, Registry, ScalarEngine};
+use vlcsa::route::{RouteConfig, Router};
+use vlcsa::AddOutcome;
+use vlcsa_serve::{RegistryCache, ServeConfig, Service};
+
+/// The rendezvous between the test and the stalled worker: the worker
+/// reports how many `add_batch` calls are parked inside the gate, the
+/// test waits for that count to rise, then opens the gate.
+struct Gate {
+    state: Mutex<GateState>,
+    changed: Condvar,
+}
+
+struct GateState {
+    parked: usize,
+    open: bool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                parked: 0,
+                open: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Called by the engine, from a lane worker: announce the park, then
+    /// block until the gate opens.
+    fn park(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.parked += 1;
+        self.changed.notify_all();
+        while !state.open {
+            state = self.changed.wait(state).expect("gate lock");
+        }
+    }
+
+    /// Called by the test: block until `n` workers are parked. Bounded so
+    /// a regression fails the test instead of wedging the suite.
+    fn await_parked(&self, n: usize) {
+        let deadline = Duration::from_secs(30);
+        let state = self.state.lock().expect("gate lock");
+        let (state, timeout) = self
+            .changed
+            .wait_timeout_while(state, deadline, |s| s.parked < n)
+            .expect("gate lock");
+        assert!(
+            !timeout.timed_out(),
+            "no worker reached the gated engine: {} parked",
+            state.parked
+        );
+    }
+
+    fn open(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.open = true;
+        self.changed.notify_all();
+    }
+}
+
+/// An always-stall engine: scalar path delegates untouched, batch path
+/// parks on the gate before delegating — so a request through its lane
+/// wedges that lane's worker, visibly and releasably, while computing the
+/// correct sum once released.
+struct GatedEngine {
+    inner: Box<dyn Engine<DefaultWord>>,
+    gate: Arc<Gate>,
+}
+
+impl ScalarEngine for GatedEngine {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn add_one(&self, a: &UBig, b: &UBig) -> AddOutcome {
+        self.inner.add_one(a, b)
+    }
+}
+
+impl Engine<DefaultWord> for GatedEngine {
+    fn add_batch(
+        &self,
+        a: &BitSlab<DefaultWord>,
+        b: &BitSlab<DefaultWord>,
+    ) -> BatchOutcome<DefaultWord> {
+        self.gate.park();
+        self.inner.add_batch(a, b)
+    }
+}
+
+/// The production registry plus the `gated` engine, sharing one gate
+/// across widths.
+fn gated_cache(gate: &Arc<Gate>) -> RegistryCache {
+    let gate = Arc::clone(gate);
+    RegistryCache::with_factory(move |width| {
+        let mut engines = Registry::for_width(width).into_engines();
+        let inner = Registry::for_width(width)
+            .into_engines()
+            .into_iter()
+            .find(|e| e.name() == "ripple")
+            .expect("ripple exists at every width");
+        engines.push(Box::new(GatedEngine {
+            inner,
+            gate: Arc::clone(&gate),
+        }));
+        Registry::from_engines(width, engines)
+    })
+}
+
+/// One worker per lane is the sharpest configuration: under the old
+/// shared pool this is exactly the shape where one stalled `add_batch`
+/// wedged the whole service.
+fn one_worker_config() -> ServeConfig {
+    ServeConfig {
+        max_wait: Duration::from_millis(1),
+        workers: 1,
+        exec_threads: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn stalled_lane_does_not_delay_others_at(width: usize) {
+    let gate = Arc::new(Gate::new());
+    let service = Service::start_custom(
+        one_worker_config(),
+        Arc::new(Router::new(RouteConfig::default())),
+        Arc::new(gated_cache(&gate)),
+    );
+
+    // One request down the gated lane; wait until its worker is provably
+    // parked inside `add_batch` — not merely queued.
+    let (gated_tx, gated_rx) = mpsc::channel();
+    service
+        .submit(
+            "gated",
+            UBig::from_u128(41, width),
+            UBig::from_u128(1, width),
+            Box::new(move |result| {
+                let _ = gated_tx.send(result);
+            }),
+        )
+        .expect("gated submit");
+    gate.await_parked(1);
+
+    // With the gate still closed, a burst through two *other* lanes (the
+    // same width, and engine families on both sides of the latency
+    // trade-off) must run to completion.
+    let (tx, rx) = mpsc::channel();
+    let burst = 64u64;
+    for i in 0..burst {
+        let engine = if i % 2 == 0 { "vlcsa1" } else { "carry-select" };
+        let tx = tx.clone();
+        service
+            .submit(
+                engine,
+                UBig::from_u128(i as u128, width),
+                UBig::from_u128(i as u128 * 5, width),
+                Box::new(move |result| {
+                    let _ = tx.send((i, result));
+                }),
+            )
+            .expect("burst submit");
+    }
+    drop(tx);
+    let mut seen = 0u64;
+    while let Ok((i, result)) = rx.recv_timeout(Duration::from_secs(30)) {
+        assert_eq!(result.sum.to_u128(), Some(i as u128 * 6), "request {i}");
+        seen += 1;
+        if seen == burst {
+            break;
+        }
+    }
+    assert_eq!(
+        seen, burst,
+        "burst answered while the gated lane is stalled"
+    );
+
+    // The stalled group really has not completed: workers record a
+    // group's stats only after `add_batch` returns, so `gated` must be
+    // absent from the engine counters while both its neighbours served
+    // the full burst.
+    let stats = service.stats();
+    assert!(
+        stats.engine("gated").is_none(),
+        "gated group completed early: {:?}",
+        stats.engines
+    );
+    assert_eq!(
+        stats.engine("vlcsa1").expect("vlcsa1 served").lanes
+            + stats
+                .engine("carry-select")
+                .expect("carry-select served")
+                .lanes,
+        burst,
+        "{:?}",
+        stats.engines
+    );
+    assert!(
+        stats.lane("gated", width).is_some(),
+        "the gated lane exists: {:?}",
+        stats.lanes
+    );
+
+    // Release the gate: the stalled request completes with the exact sum,
+    // proving the lane was wedged, not dead.
+    gate.open();
+    let released = gated_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("gated reply after release");
+    assert_eq!(released.sum.to_u128(), Some(42));
+    let stats = service.stats();
+    assert_eq!(stats.engine("gated").expect("gated ran").lanes, 1);
+
+    service.shutdown();
+}
+
+#[test]
+fn stalled_lane_does_not_delay_others_one_limb() {
+    stalled_lane_does_not_delay_others_at(64);
+}
+
+#[test]
+fn stalled_lane_does_not_delay_others_multi_limb() {
+    stalled_lane_does_not_delay_others_at(100);
+}
+
+/// The converse guarantee: traffic on healthy lanes does not leak into a
+/// stalled lane's queue accounting — the gated lane's depth stays exactly
+/// its own backlog.
+#[test]
+fn stalled_lane_keeps_only_its_own_backlog() {
+    let gate = Arc::new(Gate::new());
+    let service = Service::start_custom(
+        one_worker_config(),
+        Arc::new(Router::new(RouteConfig::default())),
+        Arc::new(gated_cache(&gate)),
+    );
+    let (gated_tx, gated_rx) = mpsc::channel();
+    for _ in 0..3 {
+        let tx = gated_tx.clone();
+        service
+            .submit(
+                "gated",
+                UBig::from_u128(1, 64),
+                UBig::from_u128(2, 64),
+                Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            )
+            .expect("gated submit");
+    }
+    drop(gated_tx);
+    gate.await_parked(1);
+    // One group is wedged in the worker; serve the healthy lane fully.
+    let healthy = service
+        .add_blocking("vlcsa2", UBig::from_u128(20, 64), UBig::from_u128(22, 64))
+        .expect("healthy lane");
+    assert_eq!(healthy.sum.to_u128(), Some(42));
+    let stats = service.stats();
+    let healthy_lane = stats.lane("vlcsa2", 64).expect("vlcsa2 lane");
+    assert_eq!(
+        (healthy_lane.depth, healthy_lane.occupancy),
+        (0, 0),
+        "healthy lane drained: {:?}",
+        stats.lanes
+    );
+    gate.open();
+    let mut answered = 0;
+    while gated_rx.recv_timeout(Duration::from_secs(30)).is_ok() {
+        answered += 1;
+    }
+    assert_eq!(answered, 3, "every gated request answered after release");
+    service.shutdown();
+}

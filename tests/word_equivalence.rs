@@ -13,7 +13,7 @@
 //!   256-lane chunks) and must still merge to identical per-lane results;
 //! * per-lane carry-out, stall flag and cycle accounting, not just sums.
 
-use bitnum::batch::{BitSlab, WideSlab, Word, W256};
+use bitnum::batch::{BitSlab, WideSlab, Word, W256, W512};
 use bitnum::UBig;
 use proptest::prelude::*;
 use vlcsa::engine::Registry;
@@ -188,6 +188,67 @@ fn executor_agrees_across_words_and_thread_counts() {
                     assert_eq!(
                         narrow_out.cycles(l),
                         wide_out.cycles(l),
+                        "{} cycles lane {l}",
+                        ne.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The eight-limb scaling probe obeys the same contract: `WideSlab<W512>`
+/// (512-lane chunks) through the sharded executor is bit-identical per
+/// lane to `WideSlab<u64>` for every registry engine, at lane counts
+/// that leave partial final chunks on both sides of 512 — so any
+/// throughput measured for `W512` is semantics-free, purely a word-width
+/// change.
+#[test]
+fn w512_executor_agrees_with_u64() {
+    let width = 64;
+    let narrow_registry = Registry::<u64>::for_width_word(width);
+    let probe_registry = Registry::<W512>::for_width_word(width);
+    assert_eq!(narrow_registry.names(), probe_registry.names());
+    for &lanes in &[1usize, 63, 300, 513, 700] {
+        let mut src = OperandSource::new(Distribution::paper_gaussian(), width, lanes as u64);
+        let a: Vec<UBig> = (0..lanes).map(|_| src.next_operand()).collect();
+        let b: Vec<UBig> = (0..lanes).map(|_| src.next_operand()).collect();
+        let na = WideSlab::<u64>::from_lanes(&a);
+        let nb = WideSlab::<u64>::from_lanes(&b);
+        let wa = WideSlab::<W512>::from_lanes(&a);
+        let wb = WideSlab::<W512>::from_lanes(&b);
+        assert_eq!(wa.lanes_per_chunk(), 512);
+        for (ne, we) in narrow_registry
+            .engines()
+            .iter()
+            .zip(probe_registry.engines())
+        {
+            for threads in [1usize, 3] {
+                let exec = Executor::new(threads);
+                let narrow_out = exec.run(ne.as_ref(), &na, &nb);
+                let probe_out = exec.run(we.as_ref(), &wa, &wb);
+                assert_eq!(
+                    narrow_out.stalls(),
+                    probe_out.stalls(),
+                    "{} lanes={lanes} threads={threads}",
+                    ne.name()
+                );
+                for l in 0..lanes {
+                    assert_eq!(
+                        narrow_out.sum.lane(l),
+                        probe_out.sum.lane(l),
+                        "{} sum lane {l} lanes={lanes}",
+                        ne.name()
+                    );
+                    assert_eq!(
+                        narrow_out.cout(l),
+                        probe_out.cout(l),
+                        "{} cout lane {l}",
+                        ne.name()
+                    );
+                    assert_eq!(
+                        narrow_out.cycles(l),
+                        probe_out.cycles(l),
                         "{} cycles lane {l}",
                         ne.name()
                     );
